@@ -1,0 +1,45 @@
+//! Criterion bench: solving the Global Histogram Equalization problem.
+//!
+//! The paper argues HEBS is cheap enough to run per frame in hardware; this
+//! bench measures the software cost of the GHE step (histogram → transform)
+//! for several image sizes and target ranges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hebs_core::ghe::{equalize, TargetRange};
+use hebs_imaging::{Histogram, SipiImage};
+use std::hint::black_box;
+
+fn bench_ghe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ghe");
+    for size in [64u32, 128, 256] {
+        let image = SipiImage::Lena.generate(size);
+        group.bench_with_input(BenchmarkId::new("histogram", size), &image, |b, img| {
+            b.iter(|| Histogram::of(black_box(img)));
+        });
+        let histogram = Histogram::of(&image);
+        group.bench_with_input(
+            BenchmarkId::new("equalize_range128", size),
+            &histogram,
+            |b, hist| {
+                let target = TargetRange::from_span(128).expect("valid span");
+                b.iter(|| equalize(black_box(hist), target).expect("equalize succeeds"));
+            },
+        );
+    }
+    for range in [64u32, 128, 220] {
+        let image = SipiImage::Peppers.generate(128);
+        let histogram = Histogram::of(&image);
+        group.bench_with_input(
+            BenchmarkId::new("equalize_by_range", range),
+            &range,
+            |b, &range| {
+                let target = TargetRange::from_span(range).expect("valid span");
+                b.iter(|| equalize(black_box(&histogram), target).expect("equalize succeeds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ghe);
+criterion_main!(benches);

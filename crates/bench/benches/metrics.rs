@@ -1,0 +1,51 @@
+//! Criterion bench: the distortion metrics.
+//!
+//! The distortion evaluation dominates the closed-loop policy's cost, so its
+//! throughput determines whether per-frame adaptation is feasible in
+//! software.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hebs_imaging::SipiImage;
+use hebs_quality::{mse, ssim, uiqi, DistortionMeasure, HebsDistortion};
+use std::hint::black_box;
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    for size in [128u32, 256] {
+        let original = SipiImage::Baboon.generate(size);
+        let degraded = original.map(|v| (f64::from(v) * 0.8) as u8);
+        group.bench_with_input(
+            BenchmarkId::new("uiqi", size),
+            &(original.clone(), degraded.clone()),
+            |b, (a, d)| {
+                b.iter(|| uiqi::universal_quality_index(black_box(a), black_box(d)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ssim", size),
+            &(original.clone(), degraded.clone()),
+            |b, (a, d)| {
+                b.iter(|| ssim::structural_similarity(black_box(a), black_box(d)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rmse", size),
+            &(original.clone(), degraded.clone()),
+            |b, (a, d)| {
+                b.iter(|| mse::root_mean_squared_error(black_box(a), black_box(d)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hvs_uiqi", size),
+            &(original, degraded),
+            |b, (a, d)| {
+                let measure = HebsDistortion::default();
+                b.iter(|| measure.distortion(black_box(a), black_box(d)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

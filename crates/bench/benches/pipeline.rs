@@ -1,0 +1,43 @@
+//! Criterion bench: the end-to-end HEBS pipeline.
+//!
+//! Measures (a) a single fixed-range evaluation — the per-frame cost of the
+//! open-loop hardware flow — and (b) the full closed-loop optimization with
+//! its range search, plus the two baselines for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hebs_core::{
+    pipeline::evaluate_at_range, BacklightPolicy, CbcsPolicy, DlsPolicy, DlsVariant, HebsPolicy,
+    PipelineConfig, TargetRange,
+};
+use hebs_imaging::SipiImage;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    let image = SipiImage::Lena.generate(128);
+    let config = PipelineConfig::default();
+
+    group.bench_function("fixed_range_evaluation", |b| {
+        let target = TargetRange::from_span(140).expect("valid span");
+        b.iter(|| evaluate_at_range(&config, black_box(&image), target).expect("pipeline runs"));
+    });
+
+    let policies: Vec<(&str, Box<dyn BacklightPolicy>)> = vec![
+        ("hebs_closed_loop", Box::new(HebsPolicy::closed_loop(config.clone()))),
+        ("cbcs", Box::new(CbcsPolicy::new())),
+        (
+            "dls_contrast",
+            Box::new(DlsPolicy::new(DlsVariant::ContrastEnhancement)),
+        ),
+    ];
+    for (name, policy) in &policies {
+        group.bench_with_input(BenchmarkId::new("optimize", name), policy, |b, policy| {
+            b.iter(|| policy.optimize(black_box(&image), 0.10).expect("policy runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: the Piecewise Linear Coarsening dynamic program.
+//!
+//! The paper states the DP costs `O(m·n²)`; this bench measures the actual
+//! scaling with the number of input points `n` and the segment budget `m`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hebs_transform::{coarsen, PiecewiseLinear};
+use std::hint::black_box;
+
+fn bench_plc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plc");
+    // Scaling with the number of input points (fixed m = 7).
+    for n in [64usize, 128, 256] {
+        let curve = PiecewiseLinear::from_samples(n, |x| x.powf(0.45));
+        group.bench_with_input(BenchmarkId::new("points", n), &curve, |b, curve| {
+            b.iter(|| coarsen(black_box(curve), 7).expect("coarsen succeeds"));
+        });
+    }
+    // Scaling with the segment budget (fixed n = 256, the GHE output size).
+    let curve = PiecewiseLinear::from_samples(256, |x| 0.1 + 0.9 * x.powf(0.6));
+    for m in [3usize, 7, 15] {
+        group.bench_with_input(BenchmarkId::new("segments", m), &m, |b, &m| {
+            b.iter(|| coarsen(black_box(&curve), m).expect("coarsen succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plc);
+criterion_main!(benches);

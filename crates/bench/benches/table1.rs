@@ -1,0 +1,25 @@
+//! Criterion bench: a reduced Table 1 run (a handful of suite images at one
+//! distortion budget), tracking the wall-clock cost of regenerating the
+//! paper's main result table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hebs_bench::run_table1;
+use hebs_core::PipelineConfig;
+use hebs_imaging::SipiSuite;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let suite = SipiSuite::with_size(96);
+    group.bench_function("suite96_budget10", |b| {
+        b.iter(|| {
+            run_table1(black_box(&suite), &[0.10], PipelineConfig::default())
+                .expect("table 1 runs")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Reproduces Figure 2 of the paper: the four pixel-transformation-function
+//! families (identity, brightness compensation, contrast enhancement and
+//! single-band grayscale spreading), tabulated as `Φ(x, β)` series over the
+//! normalized input range for β = 0.6.
+//!
+//! ```text
+//! cargo run --release -p hebs-bench --bin fig2
+//! ```
+
+use hebs_bench::TextTable;
+use hebs_transform::{
+    BrightnessCompensation, ContrastEnhancement, Identity, PixelTransform, SingleBandSpreading,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let beta = 0.6;
+    let identity = Identity::new();
+    let brightness = BrightnessCompensation::new(beta)?;
+    let contrast = ContrastEnhancement::new(beta)?;
+    let band = SingleBandSpreading::centred(0.5, beta)?;
+
+    let mut table = TextTable::new([
+        "x",
+        "a: identity",
+        "b: brightness",
+        "c: contrast",
+        "d: single-band",
+    ]);
+    for i in 0..=20 {
+        let x = f64::from(i) / 20.0;
+        table.push_row([
+            format!("{x:.2}"),
+            format!("{:.3}", identity.evaluate(x)),
+            format!("{:.3}", brightness.evaluate(x)),
+            format!("{:.3}", contrast.evaluate(x)),
+            format!("{:.3}", band.evaluate(x)),
+        ]);
+    }
+    println!("Figure 2 — pixel transformation functions at beta = {beta}");
+    println!("{table}");
+    println!(
+        "Single-band window: [{:.2}, {:.2}] (slope {:.2})",
+        band.lower(),
+        band.upper(),
+        band.slope()
+    );
+    Ok(())
+}

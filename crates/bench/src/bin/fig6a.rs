@@ -1,0 +1,38 @@
+//! Reproduces Figure 6a of the paper: CCFL driver power versus backlight
+//! illuminance factor for the LG Philips LP064V1, showing the linear region
+//! and the saturation knee at β ≈ 0.82.
+//!
+//! ```text
+//! cargo run --release -p hebs-bench --bin fig6a
+//! ```
+
+use hebs_bench::TextTable;
+use hebs_display::CcflModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = CcflModel::lp064v1();
+    println!("Figure 6a — CCFL illuminance (backlight factor) vs driver power");
+    println!(
+        "model: P = 1.9600*b - 0.2372 for b <= 0.8234; P = 6.9440*b - 4.3240 above\n"
+    );
+    let mut table = TextTable::new(["backlight b", "power (norm. W)", "region"]);
+    for (beta, power) in model.characteristic_curve(0.40, 1.00, 25) {
+        let region = if beta <= model.saturation_knee {
+            "linear"
+        } else {
+            "saturated"
+        };
+        table.push_row([
+            format!("{beta:.3}"),
+            format!("{power:.4}"),
+            region.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "full-backlight power: {:.3}; power saved by dimming to b = 0.5: {:.1}%",
+        model.full_power(),
+        model.power_saving(0.5)? * 100.0
+    );
+    Ok(())
+}

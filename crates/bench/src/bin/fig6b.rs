@@ -1,0 +1,34 @@
+//! Reproduces Figure 6b of the paper: TFT-LCD panel power versus pixel
+//! transmittance (the quadratic fit with the LP064V1 coefficients), showing
+//! that the panel term barely varies compared with the CCFL term.
+//!
+//! ```text
+//! cargo run --release -p hebs-bench --bin fig6b
+//! ```
+
+use hebs_bench::TextTable;
+use hebs_display::{CcflModel, TftPanelModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let panel = TftPanelModel::lp064v1();
+    let ccfl = CcflModel::lp064v1();
+    println!("Figure 6b — panel transmittance vs panel power (quadratic fit)");
+    println!("model: P = 0.02449*t^2 + 0.04984*t + 0.993\n");
+    let mut table = TextTable::new(["transmittance t", "panel power", "share of subsystem (%)"]);
+    for (t, power) in panel.characteristic_curve(0.10, 1.00, 19) {
+        let share = power / (power + ccfl.full_power()) * 100.0;
+        table.push_row([
+            format!("{t:.3}"),
+            format!("{power:.5}"),
+            format!("{share:.1}"),
+        ]);
+    }
+    println!("{table}");
+    let swing = panel.pixel_power(1.0) - panel.pixel_power(0.0);
+    println!(
+        "total variation over the full transmittance range: {:.4} normalized W ({:.1}% of the panel term)",
+        swing,
+        swing / panel.pixel_power(0.0) * 100.0
+    );
+    Ok(())
+}

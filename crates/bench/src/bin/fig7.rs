@@ -1,0 +1,64 @@
+//! Reproduces Figure 7 of the paper: the distortion-versus-dynamic-range
+//! scatter over the benchmark suite, together with the fitted average
+//! ("entire dataset") curve and the worst-case envelope — the distortion
+//! characteristic curve that the HEBS hardware flow looks ranges up on.
+//!
+//! ```text
+//! cargo run --release -p hebs-bench --bin fig7 [image-size]
+//! ```
+
+use hebs_bench::{run_characterization, TextTable};
+use hebs_core::{PipelineConfig, DEFAULT_RANGES};
+use hebs_imaging::SipiSuite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    eprintln!("characterizing the 19-image suite at {size}x{size} over {} ranges ...", DEFAULT_RANGES.len());
+    let suite = SipiSuite::with_size(size);
+    let config = PipelineConfig::default();
+    let characteristic = run_characterization(&suite, &DEFAULT_RANGES, &config)?;
+
+    // Scatter: per-image distortion at each range.
+    println!("Figure 7 — distortion (%) vs target dynamic range (scatter)");
+    let mut scatter = TextTable::new(["image", "range", "distortion (%)", "power saving (%)"]);
+    for sample in characteristic.samples() {
+        scatter.push_row([
+            sample.image.clone(),
+            sample.dynamic_range.to_string(),
+            format!("{:.2}", sample.distortion * 100.0),
+            format!("{:.2}", sample.power_saving * 100.0),
+        ]);
+    }
+    println!("{scatter}");
+
+    // The two fits of the figure.
+    println!("Fitted curves (evaluated on the characterization grid):");
+    let mut fits = TextTable::new(["range", "average fit (%)", "worst-case fit (%)"]);
+    for &range in &DEFAULT_RANGES {
+        fits.push_row([
+            range.to_string(),
+            format!("{:.2}", characteristic.predicted_distortion(range) * 100.0),
+            format!("{:.2}", characteristic.predicted_worst_case(range) * 100.0),
+        ]);
+    }
+    println!("{fits}");
+
+    println!("Inverse lookup (minimum admissible dynamic range per distortion budget):");
+    let mut inverse = TextTable::new(["budget (%)", "range (average fit)", "range (worst-case fit)"]);
+    for budget in [0.05, 0.10, 0.20] {
+        let average = characteristic
+            .min_range_for(budget, false)
+            .map(|r| r.to_string())
+            .unwrap_or_else(|_| "infeasible".to_string());
+        let worst = characteristic
+            .min_range_for(budget, true)
+            .map(|r| r.to_string())
+            .unwrap_or_else(|_| "infeasible".to_string());
+        inverse.push_row([format!("{:.0}", budget * 100.0), average, worst]);
+    }
+    println!("{inverse}");
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Reproduces Figure 8 of the paper: six sample images shown at target
+//! dynamic ranges 220 and 100, with the measured distortion and power saving
+//! of each cell. The transformed images are also written out as PGM files so
+//! they can be inspected visually, mirroring the figure.
+//!
+//! ```text
+//! cargo run --release -p hebs-bench --bin fig8
+//! ```
+
+use hebs_bench::{run_figure8, TextTable};
+use hebs_core::{pipeline::evaluate_at_range, PipelineConfig, TargetRange};
+use hebs_imaging::{io, SipiImage, SipiSuite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let suite = SipiSuite::with_size(128);
+    let config = PipelineConfig::default();
+    let rows = run_figure8(&suite, &config)?;
+
+    println!("Figure 8 — sample images at dynamic range 220 and 100");
+    let mut table = TextTable::new(["image", "range", "distortion (%)", "power saving (%)"]);
+    for row in &rows {
+        table.push_row([
+            row.image.clone(),
+            row.dynamic_range.to_string(),
+            format!("{:.2}", row.distortion * 100.0),
+            format!("{:.2}", row.power_saving * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!("(Paper reference: range 220 -> distortion 0.9-3.1%, saving 25-30%;");
+    println!(" range 100 -> distortion 5.1-10.2%, saving 42-61%.)");
+
+    // Write the visual reference images for one of the samples.
+    let out_dir = std::env::temp_dir().join("hebs-fig8");
+    std::fs::create_dir_all(&out_dir)?;
+    let image = suite.image(SipiImage::Lena).expect("suite contains Lena");
+    io::save_pgm(image, out_dir.join("lena_original.pgm"))?;
+    for range in [220u32, 100] {
+        let eval = evaluate_at_range(&config, image, TargetRange::from_span(range)?)?;
+        io::save_pgm(&eval.displayed, out_dir.join(format!("lena_range{range}.pgm")))?;
+    }
+    println!("\nwrote lena_original.pgm, lena_range220.pgm, lena_range100.pgm to {}", out_dir.display());
+    Ok(())
+}

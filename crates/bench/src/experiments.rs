@@ -1,0 +1,264 @@
+//! Reusable experiment runners.
+//!
+//! Each runner reproduces one experiment of the paper's evaluation section
+//! and returns plain data; the `src/bin/*` harnesses only format and print
+//! it. Keeping the logic here lets the Criterion benches and the integration
+//! tests reuse exactly the same code paths.
+
+use hebs_core::{
+    BacklightPolicy, CbcsPolicy, DistortionCharacteristic, DlsPolicy, DlsVariant, HebsPolicy,
+    PipelineConfig, TargetRange,
+};
+use hebs_imaging::{GrayImage, SipiImage, SipiSuite};
+
+/// One row of the Table 1 reproduction: the savings and measured distortions
+/// for a single image at each distortion budget.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark image name.
+    pub image: String,
+    /// Fractional power saving per budget.
+    pub savings: Vec<f64>,
+    /// Measured distortion per budget.
+    pub distortions: Vec<f64>,
+    /// Chosen backlight factor per budget.
+    pub betas: Vec<f64>,
+}
+
+/// The full Table 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table1Report {
+    /// The distortion budgets (fractions) the columns correspond to.
+    pub budgets: Vec<f64>,
+    /// Per-image rows in suite order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Report {
+    /// Mean fractional saving per budget over all rows.
+    pub fn average_savings(&self) -> Vec<f64> {
+        if self.rows.is_empty() {
+            return vec![0.0; self.budgets.len()];
+        }
+        let mut sums = vec![0.0f64; self.budgets.len()];
+        for row in &self.rows {
+            for (i, &s) in row.savings.iter().enumerate() {
+                sums[i] += s;
+            }
+        }
+        sums.iter().map(|s| s / self.rows.len() as f64).collect()
+    }
+}
+
+/// Runs the Table 1 experiment: for every suite image and distortion budget,
+/// the closed-loop HEBS policy picks the dimmest admissible setting.
+///
+/// # Errors
+///
+/// Propagates pipeline errors from the HEBS policy.
+pub fn run_table1(
+    suite: &SipiSuite,
+    budgets: &[f64],
+    config: PipelineConfig,
+) -> hebs_core::Result<Table1Report> {
+    let policy = HebsPolicy::closed_loop(config);
+    let mut rows = Vec::with_capacity(suite.len());
+    for (id, image) in suite.iter() {
+        let mut savings = Vec::with_capacity(budgets.len());
+        let mut distortions = Vec::with_capacity(budgets.len());
+        let mut betas = Vec::with_capacity(budgets.len());
+        for &budget in budgets {
+            let outcome = policy.optimize(image, budget)?;
+            savings.push(outcome.power_saving);
+            distortions.push(outcome.distortion);
+            betas.push(outcome.beta);
+        }
+        rows.push(Table1Row {
+            image: id.name().to_string(),
+            savings,
+            distortions,
+            betas,
+        });
+    }
+    Ok(Table1Report {
+        budgets: budgets.to_vec(),
+        rows,
+    })
+}
+
+/// Runs the Figure 7 characterization sweep over the suite and returns the
+/// fitted distortion characteristic (the raw scatter is available from the
+/// returned value).
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn run_characterization(
+    suite: &SipiSuite,
+    ranges: &[u32],
+    config: &PipelineConfig,
+) -> hebs_core::Result<DistortionCharacteristic> {
+    DistortionCharacteristic::characterize(
+        config,
+        suite.iter().map(|(id, image)| (id.name(), image)),
+        ranges,
+    )
+}
+
+/// One cell of the Figure 8 reproduction: a sample image evaluated at a
+/// fixed target dynamic range.
+#[derive(Debug, Clone)]
+pub struct Figure8Row {
+    /// Benchmark image name.
+    pub image: String,
+    /// Target dynamic range evaluated.
+    pub dynamic_range: u32,
+    /// Measured distortion.
+    pub distortion: f64,
+    /// Fractional power saving.
+    pub power_saving: f64,
+}
+
+/// Runs the Figure 8 experiment: the six sample images at dynamic ranges 220
+/// and 100 (distortion and power saving per cell).
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn run_figure8(
+    suite: &SipiSuite,
+    config: &PipelineConfig,
+) -> hebs_core::Result<Vec<Figure8Row>> {
+    let samples = [
+        SipiImage::Lena,
+        SipiImage::Peppers,
+        SipiImage::Splash,
+        SipiImage::Trees,
+        SipiImage::Girl,
+        SipiImage::Baboon,
+    ];
+    let ranges = [220u32, 100];
+    let mut rows = Vec::new();
+    for id in samples {
+        let image = suite.image(id).expect("suite contains every identifier");
+        for range in ranges {
+            let target = TargetRange::from_span(range)?;
+            let eval = hebs_core::pipeline::evaluate_at_range(config, image, target)?;
+            rows.push(Figure8Row {
+                image: id.name().to_string(),
+                dynamic_range: range,
+                distortion: eval.distortion,
+                power_saving: eval.power_saving,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// The outcome of comparing all policies on one image.
+#[derive(Debug, Clone)]
+pub struct BaselineComparison {
+    /// Benchmark image name.
+    pub image: String,
+    /// `(policy name, fractional saving, measured distortion)` triples.
+    pub results: Vec<(String, f64, f64)>,
+}
+
+/// Runs the baseline comparison: HEBS vs CBCS vs both DLS variants at one
+/// distortion budget, over the given images.
+///
+/// # Errors
+///
+/// Propagates policy errors.
+pub fn run_baseline_comparison(
+    images: &[(SipiImage, &GrayImage)],
+    budget: f64,
+    config: PipelineConfig,
+) -> hebs_core::Result<Vec<BaselineComparison>> {
+    let policies: Vec<Box<dyn BacklightPolicy>> = vec![
+        Box::new(HebsPolicy::closed_loop(config)),
+        Box::new(CbcsPolicy::new()),
+        Box::new(DlsPolicy::new(DlsVariant::ContrastEnhancement)),
+        Box::new(DlsPolicy::new(DlsVariant::BrightnessCompensation)),
+    ];
+    let mut comparisons = Vec::new();
+    for (id, image) in images {
+        let mut results = Vec::new();
+        for policy in &policies {
+            let outcome = policy.optimize(image, budget)?;
+            results.push((
+                policy.name().to_string(),
+                outcome.power_saving,
+                outcome.distortion,
+            ));
+        }
+        comparisons.push(BaselineComparison {
+            image: id.name().to_string(),
+            results,
+        });
+    }
+    Ok(comparisons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_suite() -> SipiSuite {
+        SipiSuite::with_size(48)
+    }
+
+    #[test]
+    fn table1_report_has_a_row_per_image_and_budget_columns() {
+        let suite = tiny_suite();
+        let report = run_table1(&suite, &[0.10], PipelineConfig::default()).unwrap();
+        assert_eq!(report.rows.len(), 19);
+        assert!(report.rows.iter().all(|r| r.savings.len() == 1));
+        let averages = report.average_savings();
+        assert_eq!(averages.len(), 1);
+        assert!(averages[0] > 0.0);
+    }
+
+    #[test]
+    fn table1_savings_grow_with_the_budget() {
+        let suite = SipiSuite::with_size(48);
+        let report = run_table1(&suite, &[0.05, 0.20], PipelineConfig::default()).unwrap();
+        let averages = report.average_savings();
+        assert!(averages[1] > averages[0]);
+    }
+
+    #[test]
+    fn figure8_has_two_ranges_for_six_images() {
+        let suite = tiny_suite();
+        let rows = run_figure8(&suite, &PipelineConfig::default()).unwrap();
+        assert_eq!(rows.len(), 12);
+        // Range 100 always saves more power than range 220 for the same
+        // image (the backlight is dimmer).
+        for pair in rows.chunks(2) {
+            assert!(pair[1].power_saving > pair[0].power_saving);
+        }
+    }
+
+    #[test]
+    fn baseline_comparison_contains_all_policies() {
+        let suite = tiny_suite();
+        let images = vec![(
+            SipiImage::Lena,
+            suite.image(SipiImage::Lena).expect("lena exists"),
+        )];
+        let comparisons =
+            run_baseline_comparison(&images, 0.10, PipelineConfig::default()).unwrap();
+        assert_eq!(comparisons.len(), 1);
+        assert_eq!(comparisons[0].results.len(), 4);
+        let hebs = &comparisons[0].results[0];
+        assert_eq!(hebs.0, "hebs");
+    }
+
+    #[test]
+    fn characterization_runs_on_a_subset() {
+        let suite = tiny_suite();
+        let characteristic =
+            run_characterization(&suite, &[80, 160, 240], &PipelineConfig::default()).unwrap();
+        assert_eq!(characteristic.samples().len(), 19 * 3);
+    }
+}

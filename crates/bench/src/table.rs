@@ -1,0 +1,131 @@
+//! A minimal fixed-width text-table formatter shared by all harness
+//! binaries, so every experiment prints rows the same way the paper's tables
+//! are laid out.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned-first-column, right-aligned-numbers text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells are rendered empty, extra cells are kept.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, cell) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(out, "{cell:<width$}");
+                } else {
+                    let _ = write!(out, "  {cell:>width$}");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total_width: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+        out.push_str(&"-".repeat(total_width));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals (the style of the
+/// paper's tables).
+pub fn percent(fraction: f64) -> String {
+    format!("{:.2}", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut table = TextTable::new(["image", "saving"]);
+        table.push_row(["Lena", "47.53"]);
+        table.push_row(["a-very-long-name", "7.00"]);
+        let text = table.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("image"));
+        assert!(lines[2].starts_with("Lena"));
+        // Numeric column is right-aligned: both rows end at the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut table = TextTable::new(["a", "b", "c"]);
+        table.push_row(["1"]);
+        table.push_row(["1", "2", "3", "4"]);
+        let text = table.render();
+        assert!(text.contains('4'));
+        assert_eq!(table.row_count(), 2);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.4553), "45.53");
+        assert_eq!(percent(1.0), "100.00");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut table = TextTable::new(["x"]);
+        table.push_row(["y"]);
+        assert_eq!(format!("{table}"), table.render());
+    }
+}

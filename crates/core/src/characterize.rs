@@ -1,0 +1,288 @@
+//! Distortion characterization: the distortion-versus-dynamic-range curve.
+//!
+//! Section 5.1c / Figure 7 of the paper: for every benchmark image, the
+//! transformed image's distortion is measured at a set of target dynamic
+//! ranges; an *average* fit and a *worst-case* fit through the scatter form
+//! the **distortion characteristic curve**. At run time the HEBS flow looks
+//! up the minimum admissible dynamic range for the user's distortion budget
+//! on this curve instead of searching per image — that is what makes the
+//! hardware implementation a simple table lookup.
+
+use hebs_imaging::{GrayImage, Histogram};
+
+use crate::error::{HebsError, Result};
+use crate::fit::{fit_upper_envelope, Polynomial};
+use crate::ghe::TargetRange;
+use crate::pipeline::{evaluate_at_range_with_histogram, PipelineConfig};
+
+/// One measured `(dynamic range, distortion)` sample, tagged with the image
+/// it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizationSample {
+    /// Name of the benchmark image.
+    pub image: String,
+    /// Target dynamic range that was evaluated.
+    pub dynamic_range: u32,
+    /// Measured distortion at that range.
+    pub distortion: f64,
+    /// Measured power saving at that range.
+    pub power_saving: f64,
+}
+
+/// The fitted distortion characteristic curve.
+#[derive(Debug, Clone)]
+pub struct DistortionCharacteristic {
+    samples: Vec<CharacterizationSample>,
+    average: Polynomial,
+    worst_case: Polynomial,
+}
+
+/// Default set of target dynamic ranges used for characterization (the paper
+/// evaluates "ten different values" per image).
+pub const DEFAULT_RANGES: [u32; 10] = [25, 50, 75, 100, 125, 150, 175, 200, 225, 250];
+
+impl DistortionCharacteristic {
+    /// Builds the characteristic by sweeping the given dynamic ranges over a
+    /// set of named benchmark images.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HebsError::InsufficientData`] when fewer than three
+    /// `(range, distortion)` samples could be produced, plus any error from
+    /// the underlying pipeline.
+    pub fn characterize<'a, I>(config: &PipelineConfig, images: I, ranges: &[u32]) -> Result<Self>
+    where
+        I: IntoIterator<Item = (&'a str, &'a GrayImage)>,
+    {
+        let mut samples = Vec::new();
+        for (name, image) in images {
+            let histogram = Histogram::of(image);
+            for &range in ranges {
+                let target = TargetRange::from_span(range)?;
+                let eval =
+                    evaluate_at_range_with_histogram(config, image, &histogram, target)?;
+                samples.push(CharacterizationSample {
+                    image: name.to_string(),
+                    dynamic_range: range,
+                    distortion: eval.distortion,
+                    power_saving: eval.power_saving,
+                });
+            }
+        }
+        Self::from_samples(samples)
+    }
+
+    /// Builds the characteristic from precomputed samples (used by tests and
+    /// by the benchmark harness, which wants to print the raw scatter too).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HebsError::InsufficientData`] when fewer than three samples
+    /// are supplied.
+    pub fn from_samples(samples: Vec<CharacterizationSample>) -> Result<Self> {
+        if samples.len() < 3 {
+            return Err(HebsError::InsufficientData {
+                samples: samples.len(),
+                required: 3,
+            });
+        }
+        let points: Vec<(f64, f64)> = samples
+            .iter()
+            .map(|s| (f64::from(s.dynamic_range), s.distortion))
+            .collect();
+        let average = Polynomial::fit(&points, 2)?;
+        let worst_case = fit_upper_envelope(&points, 2)?;
+        Ok(DistortionCharacteristic {
+            samples,
+            average,
+            worst_case,
+        })
+    }
+
+    /// The raw `(range, distortion)` scatter the fits were built from.
+    pub fn samples(&self) -> &[CharacterizationSample] {
+        &self.samples
+    }
+
+    /// The average ("entire dataset") fit of Figure 7.
+    pub fn average_fit(&self) -> &Polynomial {
+        &self.average
+    }
+
+    /// The worst-case (upper envelope) fit of Figure 7.
+    pub fn worst_case_fit(&self) -> &Polynomial {
+        &self.worst_case
+    }
+
+    /// Predicted distortion at a given dynamic range using the average fit,
+    /// clamped to `[0, 1]`.
+    pub fn predicted_distortion(&self, dynamic_range: u32) -> f64 {
+        self.average
+            .evaluate(f64::from(dynamic_range))
+            .clamp(0.0, 1.0)
+    }
+
+    /// Predicted worst-case distortion at a given dynamic range, clamped to
+    /// `[0, 1]`.
+    pub fn predicted_worst_case(&self, dynamic_range: u32) -> f64 {
+        self.worst_case
+            .evaluate(f64::from(dynamic_range))
+            .clamp(0.0, 1.0)
+    }
+
+    /// The minimum admissible dynamic range for a distortion budget: the
+    /// smallest range whose predicted distortion does not exceed
+    /// `max_distortion`. With `conservative = true` the worst-case fit is
+    /// used (guaranteeing the bound for every characterized image), otherwise
+    /// the average fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HebsError::InvalidFraction`] when `max_distortion` is
+    /// outside `[0, 1]`, and [`HebsError::Infeasible`] when even the full
+    /// 256-level range is predicted to exceed the budget.
+    pub fn min_range_for(&self, max_distortion: f64, conservative: bool) -> Result<u32> {
+        if !(0.0..=1.0).contains(&max_distortion) || !max_distortion.is_finite() {
+            return Err(HebsError::InvalidFraction {
+                name: "max_distortion",
+                value: max_distortion,
+            });
+        }
+        let predict = |range: u32| {
+            if conservative {
+                self.predicted_worst_case(range)
+            } else {
+                self.predicted_distortion(range)
+            }
+        };
+        // The fits are (near-)monotone decreasing in range over [2, 256];
+        // scan from the smallest range upward and return the first
+        // admissible one.
+        for range in 2..=256u32 {
+            if predict(range) <= max_distortion {
+                return Ok(range);
+            }
+        }
+        Err(HebsError::Infeasible {
+            max_distortion,
+            best_achievable: predict(256),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hebs_imaging::synthetic;
+
+    fn tiny_suite() -> Vec<(String, GrayImage)> {
+        vec![
+            ("portrait".to_string(), synthetic::portrait(48, 48, 31)),
+            ("landscape".to_string(), synthetic::landscape(48, 48, 32)),
+            ("texture".to_string(), synthetic::fine_texture(48, 48, 33)),
+        ]
+    }
+
+    fn tiny_characteristic() -> DistortionCharacteristic {
+        let config = PipelineConfig::default();
+        let suite = tiny_suite();
+        DistortionCharacteristic::characterize(
+            &config,
+            suite.iter().map(|(n, i)| (n.as_str(), i)),
+            &[60, 120, 180, 240],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn characterization_produces_samples_for_every_image_and_range() {
+        let characteristic = tiny_characteristic();
+        assert_eq!(characteristic.samples().len(), 3 * 4);
+        assert!(characteristic
+            .samples()
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.distortion)));
+    }
+
+    #[test]
+    fn distortion_decreases_with_range_on_average() {
+        let characteristic = tiny_characteristic();
+        let at_60 = characteristic.predicted_distortion(60);
+        let at_240 = characteristic.predicted_distortion(240);
+        assert!(
+            at_60 > at_240,
+            "distortion at range 60 ({at_60}) should exceed range 240 ({at_240})"
+        );
+    }
+
+    #[test]
+    fn worst_case_fit_dominates_average_fit() {
+        let characteristic = tiny_characteristic();
+        for range in [60u32, 120, 180, 240] {
+            assert!(
+                characteristic.predicted_worst_case(range) + 1e-9
+                    >= characteristic.predicted_distortion(range)
+            );
+        }
+    }
+
+    #[test]
+    fn min_range_for_is_monotone_in_the_budget() {
+        let characteristic = tiny_characteristic();
+        let strict = characteristic.min_range_for(0.05, false).unwrap_or(256);
+        let relaxed = characteristic.min_range_for(0.20, false).unwrap_or(256);
+        assert!(relaxed <= strict);
+    }
+
+    #[test]
+    fn conservative_lookup_requires_wider_range() {
+        let characteristic = tiny_characteristic();
+        let average = characteristic.min_range_for(0.10, false).unwrap_or(256);
+        let conservative = characteristic.min_range_for(0.10, true).unwrap_or(256);
+        assert!(conservative >= average);
+    }
+
+    #[test]
+    fn invalid_budget_rejected() {
+        let characteristic = tiny_characteristic();
+        assert!(characteristic.min_range_for(-0.1, false).is_err());
+        assert!(characteristic.min_range_for(1.5, false).is_err());
+        assert!(characteristic.min_range_for(f64::NAN, false).is_err());
+    }
+
+    #[test]
+    fn from_samples_requires_enough_data() {
+        let samples = vec![CharacterizationSample {
+            image: "x".to_string(),
+            dynamic_range: 100,
+            distortion: 0.1,
+            power_saving: 0.3,
+        }];
+        assert!(matches!(
+            DistortionCharacteristic::from_samples(samples),
+            Err(HebsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn synthetic_samples_round_trip_through_fit() {
+        // Distortion that falls linearly with range: d = 0.3 − 0.001·R.
+        let samples: Vec<CharacterizationSample> = (1..=10)
+            .map(|i| {
+                let range = 25 * i;
+                CharacterizationSample {
+                    image: format!("img{i}"),
+                    dynamic_range: range,
+                    distortion: 0.3 - 0.001 * f64::from(range),
+                    power_saving: 0.5,
+                }
+            })
+            .collect();
+        let characteristic = DistortionCharacteristic::from_samples(samples).unwrap();
+        // The fit should reproduce the generating line closely.
+        assert!((characteristic.predicted_distortion(100) - 0.2).abs() < 0.01);
+        // Inverting: distortion 0.1 needs range ≈ 200.
+        let range = characteristic.min_range_for(0.1, false).unwrap();
+        assert!((195..=210).contains(&range), "range {range}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Error type for the HEBS core algorithms.
+
+use std::fmt;
+
+use hebs_display::DisplayError;
+use hebs_transform::TransformError;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HebsError>;
+
+/// Error raised by the HEBS pipeline and its configuration.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HebsError {
+    /// A distortion bound or other fraction was outside `[0, 1]`.
+    InvalidFraction {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A dynamic-range value was outside `[2, 256]`.
+    InvalidDynamicRange {
+        /// The offending value.
+        range: u32,
+    },
+    /// The distortion characterization did not contain enough samples to fit
+    /// a curve.
+    InsufficientData {
+        /// Number of samples available.
+        samples: usize,
+        /// Number of samples required.
+        required: usize,
+    },
+    /// No backlight setting satisfies the requested distortion bound.
+    Infeasible {
+        /// The distortion bound that could not be met.
+        max_distortion: f64,
+        /// The smallest distortion that was achievable.
+        best_achievable: f64,
+    },
+    /// An error from the transformation layer.
+    Transform(TransformError),
+    /// An error from the display substrate.
+    Display(DisplayError),
+}
+
+impl fmt::Display for HebsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HebsError::InvalidFraction { name, value } => {
+                write!(f, "parameter {name} = {value} is outside of [0, 1]")
+            }
+            HebsError::InvalidDynamicRange { range } => {
+                write!(f, "dynamic range {range} is outside of [2, 256]")
+            }
+            HebsError::InsufficientData { samples, required } => write!(
+                f,
+                "need at least {required} characterization samples, got {samples}"
+            ),
+            HebsError::Infeasible {
+                max_distortion,
+                best_achievable,
+            } => write!(
+                f,
+                "no setting meets distortion bound {max_distortion}; best achievable is {best_achievable}"
+            ),
+            HebsError::Transform(err) => write!(f, "transformation error: {err}"),
+            HebsError::Display(err) => write!(f, "display error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for HebsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HebsError::Transform(err) => Some(err),
+            HebsError::Display(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransformError> for HebsError {
+    fn from(err: TransformError) -> Self {
+        HebsError::Transform(err)
+    }
+}
+
+impl From<DisplayError> for HebsError {
+    fn from(err: DisplayError) -> Self {
+        HebsError::Display(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = HebsError::InvalidFraction {
+            name: "max_distortion",
+            value: 1.5,
+        };
+        assert!(err.to_string().contains("max_distortion"));
+        let err = HebsError::InvalidDynamicRange { range: 300 };
+        assert!(err.to_string().contains("300"));
+        let err = HebsError::Infeasible {
+            max_distortion: 0.01,
+            best_achievable: 0.05,
+        };
+        assert!(err.to_string().contains("0.05"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        use std::error::Error;
+        let err: HebsError = TransformError::InvalidBacklightFactor { beta: 2.0 }.into();
+        assert!(err.source().is_some());
+        let err: HebsError = DisplayError::InvalidBacklightFactor { beta: 2.0 }.into();
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HebsError>();
+    }
+}

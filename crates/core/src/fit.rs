@@ -1,0 +1,253 @@
+//! Least-squares curve fitting for the distortion characteristic curve.
+//!
+//! Section 5.1c of the paper: the distortion of a transformed image as a
+//! function of its target dynamic range is measured over a benchmark suite,
+//! and "standard curve fitting tools" produce an *average* fit and a
+//! *worst-case* fit (Figure 7). At run time the worst-case (or average) fit
+//! is inverted to look up the minimum admissible dynamic range for a given
+//! distortion budget. The paper used MATLAB; this module implements ordinary
+//! least-squares polynomial fitting from scratch (solving the normal
+//! equations by Gaussian elimination), which is all that is required.
+
+use crate::error::{HebsError, Result};
+
+/// A polynomial `p(x) = c₀ + c₁·x + … + c_d·x^d` fitted by least squares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coefficients: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from its coefficients, lowest order first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients` is empty.
+    pub fn new(coefficients: Vec<f64>) -> Self {
+        assert!(!coefficients.is_empty(), "polynomial needs coefficients");
+        Polynomial { coefficients }
+    }
+
+    /// Coefficients, lowest order first.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Degree of the polynomial.
+    pub fn degree(&self) -> usize {
+        self.coefficients.len() - 1
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's scheme).
+    pub fn evaluate(&self, x: f64) -> f64 {
+        self.coefficients
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Fits a polynomial of the given degree to `(x, y)` samples by ordinary
+    /// least squares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HebsError::InsufficientData`] when there are fewer samples
+    /// than coefficients, and [`HebsError::InvalidFraction`] if the normal
+    /// equations are singular (degenerate sample placement).
+    pub fn fit(samples: &[(f64, f64)], degree: usize) -> Result<Self> {
+        let terms = degree + 1;
+        if samples.len() < terms {
+            return Err(HebsError::InsufficientData {
+                samples: samples.len(),
+                required: terms,
+            });
+        }
+        // Build the normal equations A·c = b with
+        // A[i][j] = Σ x^(i+j), b[i] = Σ y·x^i.
+        let mut a = vec![vec![0.0f64; terms]; terms];
+        let mut b = vec![0.0f64; terms];
+        for &(x, y) in samples {
+            let mut x_pow_i = 1.0;
+            for i in 0..terms {
+                let mut x_pow_ij = x_pow_i;
+                for j in 0..terms {
+                    a[i][j] += x_pow_ij;
+                    x_pow_ij *= x;
+                }
+                b[i] += y * x_pow_i;
+                x_pow_i *= x;
+            }
+        }
+        let coefficients = solve_linear_system(a, b)?;
+        Ok(Polynomial { coefficients })
+    }
+
+    /// Root-mean-square residual of the fit over a sample set.
+    pub fn rms_residual(&self, samples: &[(f64, f64)]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = samples
+            .iter()
+            .map(|&(x, y)| {
+                let d = self.evaluate(x) - y;
+                d * d
+            })
+            .sum();
+        (sum / samples.len() as f64).sqrt()
+    }
+}
+
+/// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot: largest magnitude entry in this column.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("matrix entries are finite")
+            })
+            .expect("non-empty column");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return Err(HebsError::InsufficientData {
+                samples: n,
+                required: n + 1,
+            });
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for col in (row + 1)..n {
+            sum -= a[row][col] * x[col];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Fits an *upper envelope* polynomial: a least-squares fit that is then
+/// shifted upward so it lies at or above every sample (the paper's
+/// "worst-case fit" of Figure 7).
+///
+/// # Errors
+///
+/// Propagates the errors of [`Polynomial::fit`].
+pub fn fit_upper_envelope(samples: &[(f64, f64)], degree: usize) -> Result<Polynomial> {
+    let base = Polynomial::fit(samples, degree)?;
+    let max_shortfall = samples
+        .iter()
+        .map(|&(x, y)| y - base.evaluate(x))
+        .fold(0.0f64, f64::max);
+    let mut coefficients = base.coefficients.clone();
+    coefficients[0] += max_shortfall;
+    Ok(Polynomial::new(coefficients))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_of_a_quadratic() {
+        let samples: Vec<(f64, f64)> = (0..10)
+            .map(|i| {
+                let x = f64::from(i);
+                (x, 2.0 + 3.0 * x - 0.5 * x * x)
+            })
+            .collect();
+        let poly = Polynomial::fit(&samples, 2).unwrap();
+        assert!((poly.coefficients()[0] - 2.0).abs() < 1e-9);
+        assert!((poly.coefficients()[1] - 3.0).abs() < 1e-9);
+        assert!((poly.coefficients()[2] + 0.5).abs() < 1e-9);
+        assert!(poly.rms_residual(&samples) < 1e-9);
+        assert_eq!(poly.degree(), 2);
+    }
+
+    #[test]
+    fn linear_fit_of_noisy_line() {
+        // y = 10 − 0.03·x with deterministic "noise".
+        let samples: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = f64::from(i) * 5.0;
+                let noise = if i % 2 == 0 { 0.2 } else { -0.2 };
+                (x, 10.0 - 0.03 * x + noise)
+            })
+            .collect();
+        let poly = Polynomial::fit(&samples, 1).unwrap();
+        assert!((poly.coefficients()[0] - 10.0).abs() < 0.1);
+        assert!((poly.coefficients()[1] + 0.03).abs() < 0.005);
+        assert!(poly.rms_residual(&samples) < 0.3);
+    }
+
+    #[test]
+    fn insufficient_samples_rejected() {
+        let samples = vec![(0.0, 1.0), (1.0, 2.0)];
+        assert!(matches!(
+            Polynomial::fit(&samples, 2),
+            Err(HebsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_samples_rejected() {
+        // All x identical: the normal equations are singular for degree ≥ 1.
+        let samples = vec![(1.0, 1.0), (1.0, 2.0), (1.0, 3.0)];
+        assert!(Polynomial::fit(&samples, 1).is_err());
+    }
+
+    #[test]
+    fn degree_zero_fit_is_the_mean() {
+        let samples = vec![(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)];
+        let poly = Polynomial::fit(&samples, 0).unwrap();
+        assert!((poly.evaluate(10.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horner_evaluation() {
+        let poly = Polynomial::new(vec![1.0, -2.0, 0.5]);
+        // 1 − 2·3 + 0.5·9 = −0.5.
+        assert!((poly.evaluate(3.0) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "polynomial needs coefficients")]
+    fn empty_polynomial_panics() {
+        let _ = Polynomial::new(vec![]);
+    }
+
+    #[test]
+    fn upper_envelope_dominates_all_samples() {
+        let samples: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = f64::from(i) * 10.0;
+                let bump = if i == 7 { 3.0 } else { 0.0 };
+                (x, 30.0 - 0.1 * x + bump)
+            })
+            .collect();
+        let envelope = fit_upper_envelope(&samples, 1).unwrap();
+        for &(x, y) in &samples {
+            assert!(
+                envelope.evaluate(x) >= y - 1e-9,
+                "envelope below sample at x = {x}"
+            );
+        }
+        // And it should not be wildly above the mean fit.
+        let base = Polynomial::fit(&samples, 1).unwrap();
+        assert!(envelope.evaluate(50.0) - base.evaluate(50.0) <= 3.0 + 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! HEBS: Histogram Equalization for Backlight Scaling.
+//!
+//! This crate implements the algorithm of *"HEBS: Histogram Equalization for
+//! Backlight Scaling"* (Iranli, Fatemi, Pedram — DATE 2005) on top of the
+//! display, transformation and quality substrates of the workspace:
+//!
+//! 1. A user-specified maximum tolerable distortion is turned into a minimum
+//!    admissible dynamic range via the [`characterize::DistortionCharacteristic`]
+//!    curve (or via a per-image closed-loop search).
+//! 2. The [`ghe`] module solves the Global Histogram Equalization problem:
+//!    the pixel transformation that maps the image's cumulative histogram
+//!    onto a uniform histogram of the target range (Eq. 5–7).
+//! 3. The transformation is approximated by a small piecewise-linear curve
+//!    (the PLC dynamic program in `hebs-transform`) and programmed into the
+//!    hierarchical reference driver, which spreads the contrast by `1/β`
+//!    (Eq. 10) while the backlight is dimmed to `β`.
+//! 4. Distortion and power of the result are measured through the display
+//!    models, producing a [`policy::ScalingOutcome`].
+//!
+//! The prior-work baselines DLS and CBCS are provided in [`baselines`] and
+//! implement the same [`policy::BacklightPolicy`] trait so they can be
+//! compared head to head; [`video::VideoPipeline`] adds temporal smoothing
+//! for frame sequences.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hebs_core::{BacklightPolicy, HebsPolicy, PipelineConfig};
+//! use hebs_imaging::SipiImage;
+//!
+//! let image = SipiImage::Lena.generate(64);
+//! let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+//! let outcome = policy.optimize(&image, 0.10)?;
+//! assert!(outcome.distortion <= 0.10 + 1e-9);
+//! assert!(outcome.power_saving > 0.0);
+//! # Ok::<(), hebs_core::HebsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod characterize;
+mod error;
+pub mod fit;
+pub mod ghe;
+pub mod pipeline;
+pub mod policy;
+pub mod video;
+
+pub use baselines::{CbcsPolicy, DlsPolicy, DlsVariant};
+pub use characterize::{CharacterizationSample, DistortionCharacteristic, DEFAULT_RANGES};
+pub use error::{HebsError, Result};
+pub use ghe::{GheSolution, TargetRange};
+pub use pipeline::{BlendMode, PipelineConfig, RangeEvaluation};
+pub use policy::{BacklightPolicy, HebsPolicy, RangeSelection, ScalingOutcome};
+pub use video::{FrameOutcome, VideoPipeline, VideoReport};

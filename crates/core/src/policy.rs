@@ -1,0 +1,333 @@
+//! Backlight scaling policies and the HEBS policy itself.
+//!
+//! A *policy* answers the Dynamic Backlight Scaling problem of Section 3:
+//! given an image and a maximum tolerable distortion, pick the backlight
+//! factor and the pixel transformation that minimize power. The trait
+//! [`BacklightPolicy`] is implemented by HEBS (this module) and by the
+//! prior-work baselines in [`crate::baselines`], so the comparison harness
+//! can treat them uniformly.
+
+use hebs_display::PowerBreakdown;
+use hebs_imaging::{GrayImage, Histogram};
+use hebs_transform::LookupTable;
+
+use crate::characterize::DistortionCharacteristic;
+use crate::error::{HebsError, Result};
+use crate::ghe::TargetRange;
+use crate::pipeline::{evaluate_at_range_with_histogram, PipelineConfig, RangeEvaluation};
+
+/// The outcome of running a backlight scaling policy on one image.
+#[derive(Debug, Clone)]
+pub struct ScalingOutcome {
+    /// Name of the policy that produced this outcome.
+    pub policy: String,
+    /// Backlight scaling factor `β` chosen by the policy.
+    pub beta: f64,
+    /// Target dynamic range of the transformed image, when the policy is
+    /// range-based (HEBS); `None` for the baselines.
+    pub dynamic_range: Option<u32>,
+    /// Measured distortion between the original and the displayed image.
+    pub distortion: f64,
+    /// Power breakdown of the scaled configuration.
+    pub power: PowerBreakdown,
+    /// Fractional power saving versus the original image at full backlight.
+    pub power_saving: f64,
+    /// The lookup table programmed into the reference driver.
+    pub lut: LookupTable,
+    /// The luminance image the display emits.
+    pub displayed: GrayImage,
+}
+
+impl ScalingOutcome {
+    /// Builds an outcome from a pipeline range evaluation.
+    pub(crate) fn from_evaluation(policy: &str, eval: RangeEvaluation) -> Self {
+        ScalingOutcome {
+            policy: policy.to_string(),
+            beta: eval.beta,
+            dynamic_range: Some(eval.target.span()),
+            distortion: eval.distortion,
+            power: eval.power,
+            power_saving: eval.power_saving,
+            lut: eval.lut,
+            displayed: eval.displayed,
+        }
+    }
+}
+
+/// A dynamic backlight scaling policy.
+pub trait BacklightPolicy {
+    /// Short name used in benchmark tables.
+    fn name(&self) -> &str;
+
+    /// Chooses a backlight setting and pixel transformation for `image`
+    /// such that the measured distortion stays at or below `max_distortion`
+    /// while saving as much power as the policy can.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `max_distortion` is outside `[0, 1]` or the
+    /// underlying models reject the configuration. Policies fall back to the
+    /// identity (no dimming) rather than erroring when the bound simply
+    /// cannot be improved upon.
+    fn optimize(&self, image: &GrayImage, max_distortion: f64) -> Result<ScalingOutcome>;
+}
+
+/// How the HEBS policy determines the target dynamic range for a distortion
+/// budget.
+#[derive(Debug, Clone)]
+pub enum RangeSelection {
+    /// Look the range up on a precomputed distortion characteristic curve
+    /// (the paper's flow — a single table lookup at run time). The boolean
+    /// selects the conservative (worst-case) fit.
+    Characteristic {
+        /// The fitted curve to look ranges up on.
+        curve: DistortionCharacteristic,
+        /// Use the worst-case fit instead of the average fit.
+        conservative: bool,
+    },
+    /// Search the range per image using the actual measured distortion
+    /// (closed loop): slower, but the bound is honoured exactly.
+    ClosedLoop,
+}
+
+/// The HEBS backlight scaling policy.
+pub struct HebsPolicy {
+    config: PipelineConfig,
+    selection: RangeSelection,
+    name: String,
+}
+
+impl std::fmt::Debug for HebsPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HebsPolicy")
+            .field("name", &self.name)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HebsPolicy {
+    /// A closed-loop HEBS policy: the target range is searched per image so
+    /// the distortion bound is met exactly.
+    pub fn closed_loop(config: PipelineConfig) -> Self {
+        HebsPolicy {
+            config,
+            selection: RangeSelection::ClosedLoop,
+            name: "hebs".to_string(),
+        }
+    }
+
+    /// An open-loop HEBS policy using a precomputed distortion
+    /// characteristic curve, as in the paper's hardware flow.
+    pub fn open_loop(
+        config: PipelineConfig,
+        curve: DistortionCharacteristic,
+        conservative: bool,
+    ) -> Self {
+        HebsPolicy {
+            config,
+            selection: RangeSelection::Characteristic { curve, conservative },
+            name: if conservative {
+                "hebs-open-worstcase".to_string()
+            } else {
+                "hebs-open".to_string()
+            },
+        }
+    }
+
+    /// The pipeline configuration this policy runs with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    fn evaluate(
+        &self,
+        image: &GrayImage,
+        histogram: &Histogram,
+        range: u32,
+    ) -> Result<RangeEvaluation> {
+        let target = TargetRange::from_span(range)?;
+        evaluate_at_range_with_histogram(&self.config, image, histogram, target)
+    }
+
+    /// Closed-loop search: the smallest range whose measured distortion is
+    /// within the budget. Distortion is monotone non-increasing in the range
+    /// to a good approximation, so a bisection over `[2, 256]` suffices; the
+    /// final evaluation is returned.
+    fn search_range(
+        &self,
+        image: &GrayImage,
+        histogram: &Histogram,
+        max_distortion: f64,
+    ) -> Result<RangeEvaluation> {
+        let full = self.evaluate(image, histogram, 256)?;
+        if full.distortion > max_distortion {
+            // Even the widest range misses the budget: fall back to it (it is
+            // the least-distorting configuration HEBS can produce).
+            return Ok(full);
+        }
+        let mut lo = 2u32;
+        let mut hi = 256u32;
+        let mut best = full;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let eval = self.evaluate(image, histogram, mid)?;
+            if eval.distortion <= max_distortion {
+                hi = mid;
+                best = eval;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Ok(best)
+    }
+}
+
+impl BacklightPolicy for HebsPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn optimize(&self, image: &GrayImage, max_distortion: f64) -> Result<ScalingOutcome> {
+        if !(0.0..=1.0).contains(&max_distortion) || !max_distortion.is_finite() {
+            return Err(HebsError::InvalidFraction {
+                name: "max_distortion",
+                value: max_distortion,
+            });
+        }
+        let histogram = Histogram::of(image);
+        let evaluation = match &self.selection {
+            RangeSelection::ClosedLoop => self.search_range(image, &histogram, max_distortion)?,
+            RangeSelection::Characteristic { curve, conservative } => {
+                // When even the full range is predicted to exceed the budget
+                // the characteristic cannot help; fall back to the widest
+                // (least distorting) range rather than refusing to display.
+                let range = curve
+                    .min_range_for(max_distortion, *conservative)
+                    .unwrap_or(256);
+                self.evaluate(image, &histogram, range.max(2))?
+            }
+        };
+        Ok(ScalingOutcome::from_evaluation(&self.name, evaluation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::DistortionCharacteristic;
+    use hebs_imaging::synthetic;
+
+    fn test_image() -> GrayImage {
+        synthetic::still_life(64, 64, 41)
+    }
+
+    #[test]
+    fn closed_loop_respects_the_distortion_bound() {
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let img = test_image();
+        for bound in [0.05, 0.10, 0.20] {
+            let outcome = policy.optimize(&img, bound).unwrap();
+            assert!(
+                outcome.distortion <= bound + 1e-9,
+                "distortion {} exceeds bound {bound}",
+                outcome.distortion
+            );
+            assert!(outcome.power_saving >= 0.0);
+            assert_eq!(outcome.policy, "hebs");
+        }
+    }
+
+    #[test]
+    fn larger_budget_never_saves_less_power() {
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let img = test_image();
+        let tight = policy.optimize(&img, 0.05).unwrap();
+        let loose = policy.optimize(&img, 0.20).unwrap();
+        assert!(loose.power_saving + 1e-9 >= tight.power_saving);
+        assert!(loose.beta <= tight.beta + 1e-9);
+    }
+
+    #[test]
+    fn meaningful_savings_at_moderate_distortion() {
+        // The headline claim of the paper: tens of percent of power saved at
+        // ten-percent distortion.
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let img = test_image();
+        let outcome = policy.optimize(&img, 0.10).unwrap();
+        assert!(
+            outcome.power_saving > 0.25,
+            "expected >25% saving at 10% distortion, got {}",
+            outcome.power_saving
+        );
+    }
+
+    #[test]
+    fn invalid_budget_rejected() {
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let img = test_image();
+        assert!(policy.optimize(&img, -0.1).is_err());
+        assert!(policy.optimize(&img, 1.5).is_err());
+        assert!(policy.optimize(&img, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn open_loop_uses_the_characteristic_curve() {
+        let config = PipelineConfig::default();
+        let suite = vec![
+            ("a".to_string(), synthetic::portrait(48, 48, 42)),
+            ("b".to_string(), synthetic::landscape(48, 48, 43)),
+            ("c".to_string(), synthetic::fine_texture(48, 48, 44)),
+        ];
+        let characteristic = DistortionCharacteristic::characterize(
+            &config,
+            suite.iter().map(|(n, i)| (n.as_str(), i)),
+            &[80, 160, 240],
+        )
+        .unwrap();
+        let policy = HebsPolicy::open_loop(config, characteristic, false);
+        let outcome = policy.optimize(&test_image(), 0.15).unwrap();
+        assert!(outcome.dynamic_range.is_some());
+        assert!(outcome.beta <= 1.0);
+        assert_eq!(outcome.policy, "hebs-open");
+    }
+
+    #[test]
+    fn conservative_open_loop_dims_less_aggressively() {
+        let config = PipelineConfig::default();
+        let suite = vec![
+            ("a".to_string(), synthetic::portrait(48, 48, 45)),
+            ("b".to_string(), synthetic::low_key(48, 48, 46)),
+            ("c".to_string(), synthetic::fine_texture(48, 48, 47)),
+        ];
+        let characteristic = DistortionCharacteristic::characterize(
+            &config,
+            suite.iter().map(|(n, i)| (n.as_str(), i)),
+            &[80, 160, 240],
+        )
+        .unwrap();
+        let average = HebsPolicy::open_loop(config.clone(), characteristic.clone(), false);
+        let conservative = HebsPolicy::open_loop(config, characteristic, true);
+        let img = test_image();
+        let avg_outcome = average.optimize(&img, 0.10).unwrap();
+        let cons_outcome = conservative.optimize(&img, 0.10).unwrap();
+        assert!(cons_outcome.beta + 1e-9 >= avg_outcome.beta);
+    }
+
+    #[test]
+    fn outcome_is_consistent_with_its_own_power_breakdown() {
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let img = test_image();
+        let outcome = policy.optimize(&img, 0.10).unwrap();
+        assert!((outcome.power.beta - outcome.beta).abs() < 1e-12);
+        assert!(outcome.lut.is_monotone());
+        assert_eq!(outcome.displayed.width(), img.width());
+    }
+
+    #[test]
+    fn policy_trait_is_object_safe() {
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let as_object: &dyn BacklightPolicy = &policy;
+        assert_eq!(as_object.name(), "hebs");
+    }
+}

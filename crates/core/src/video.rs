@@ -1,0 +1,266 @@
+//! Per-frame backlight scaling for video with temporal smoothing.
+//!
+//! Running a per-image policy independently on every video frame can make
+//! the backlight level jump between frames (visible flicker), especially
+//! around scene cuts. The [`VideoPipeline`] wraps any [`BacklightPolicy`]
+//! and limits how fast the backlight factor may change per frame, re-deriving
+//! the pixel compensation for the smoothed level. It drives the
+//! [`hebs_display::controller::LcdController`] model so flicker and bus
+//! statistics come out of the same simulation.
+
+use hebs_display::controller::{ControllerStats, LcdController};
+use hebs_display::LcdSubsystem;
+use hebs_imaging::GrayImage;
+use hebs_quality::{DistortionMeasure, HebsDistortion};
+use hebs_transform::{ContrastEnhancement, PixelTransform};
+
+use crate::error::{HebsError, Result};
+use crate::policy::BacklightPolicy;
+
+/// Per-frame record produced by the video pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameOutcome {
+    /// Frame index within the sequence.
+    pub frame_index: usize,
+    /// Backlight factor requested by the per-image policy.
+    pub requested_beta: f64,
+    /// Backlight factor actually applied after temporal smoothing.
+    pub applied_beta: f64,
+    /// Measured distortion of the displayed frame.
+    pub distortion: f64,
+    /// Power saving of the displayed frame versus full backlight.
+    pub power_saving: f64,
+}
+
+/// Aggregate results for a processed sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoReport {
+    /// Per-frame outcomes, in order.
+    pub frames: Vec<FrameOutcome>,
+    /// Controller statistics (bus transitions, backlight travel).
+    pub controller: ControllerStats,
+}
+
+impl VideoReport {
+    /// Mean power saving over the sequence.
+    pub fn mean_power_saving(&self) -> f64 {
+        mean(self.frames.iter().map(|f| f.power_saving))
+    }
+
+    /// Mean distortion over the sequence.
+    pub fn mean_distortion(&self) -> f64 {
+        mean(self.frames.iter().map(|f| f.distortion))
+    }
+
+    /// Largest frame-to-frame change in the applied backlight factor.
+    pub fn max_backlight_step(&self) -> f64 {
+        self.frames
+            .windows(2)
+            .map(|w| (w[1].applied_beta - w[0].applied_beta).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+fn mean<I: Iterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// A video-rate backlight scaling pipeline with temporal smoothing.
+pub struct VideoPipeline<P> {
+    policy: P,
+    subsystem: LcdSubsystem,
+    measure: HebsDistortion,
+    /// Maximum allowed change of the backlight factor between consecutive
+    /// frames.
+    max_step: f64,
+    /// Distortion budget handed to the per-frame policy.
+    max_distortion: f64,
+}
+
+impl<P: BacklightPolicy> VideoPipeline<P> {
+    /// Creates a pipeline around a per-image policy.
+    ///
+    /// `max_step` bounds the per-frame backlight change (0.05 ≈ imperceptible
+    /// at usual frame rates); `max_distortion` is the per-frame budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HebsError::InvalidFraction`] if either fraction is outside
+    /// `[0, 1]`.
+    pub fn new(policy: P, max_step: f64, max_distortion: f64) -> Result<Self> {
+        for (name, value) in [("max_step", max_step), ("max_distortion", max_distortion)] {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(HebsError::InvalidFraction { name, value });
+            }
+        }
+        Ok(VideoPipeline {
+            policy,
+            subsystem: LcdSubsystem::lp064v1(),
+            measure: HebsDistortion::default(),
+            max_step,
+            max_distortion,
+        })
+    }
+
+    /// The wrapped per-image policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Processes a sequence of frames and returns the per-frame outcomes and
+    /// controller statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy and display errors; returns
+    /// [`HebsError::InsufficientData`] for an empty sequence.
+    pub fn process<I>(&self, frames: I) -> Result<VideoReport>
+    where
+        I: IntoIterator<Item = GrayImage>,
+    {
+        let mut iter = frames.into_iter().peekable();
+        let first = iter.peek().ok_or(HebsError::InsufficientData {
+            samples: 0,
+            required: 1,
+        })?;
+        let mut controller =
+            LcdController::new(first.width(), first.height()).map_err(HebsError::Display)?;
+
+        let mut outcomes = Vec::new();
+        let mut previous_beta = 1.0f64;
+        for (frame_index, frame) in iter.enumerate() {
+            let outcome = self.policy.optimize(&frame, self.max_distortion)?;
+            let requested_beta = outcome.beta;
+            // Temporal smoothing: clamp the change relative to the previous
+            // applied level.
+            let applied_beta = if frame_index == 0 {
+                requested_beta
+            } else {
+                requested_beta.clamp(previous_beta - self.max_step, previous_beta + self.max_step)
+            }
+            .clamp(0.0, 1.0);
+
+            // If smoothing changed the level, re-derive a compensation for
+            // the applied level so brightness does not visibly pump: the
+            // luminance-preserving contrast-enhancement curve for the applied
+            // backlight is a safe choice for any policy.
+            let (lut, beta_for_power) = if (applied_beta - requested_beta).abs() < 1e-9 {
+                (outcome.lut.clone(), requested_beta)
+            } else {
+                let compensation = ContrastEnhancement::new(applied_beta.max(1.0 / 255.0))?;
+                (compensation.to_lut(), applied_beta)
+            };
+
+            controller
+                .program(lut.clone(), beta_for_power)
+                .map_err(HebsError::Display)?;
+            let emitted = controller.submit_frame(&frame).map_err(HebsError::Display)?;
+            let distortion = self.measure.distortion(&frame, &emitted);
+            let drive = lut.apply(&frame);
+            let power_saving = self
+                .subsystem
+                .power_saving(&frame, &drive, beta_for_power)?;
+
+            outcomes.push(FrameOutcome {
+                frame_index,
+                requested_beta,
+                applied_beta: beta_for_power,
+                distortion,
+                power_saving,
+            });
+            previous_beta = beta_for_power;
+        }
+        Ok(VideoReport {
+            frames: outcomes,
+            controller: controller.stats(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use crate::policy::HebsPolicy;
+    use hebs_imaging::{FrameSequence, SceneKind};
+
+    fn pipeline(max_step: f64) -> VideoPipeline<HebsPolicy> {
+        VideoPipeline::new(
+            HebsPolicy::closed_loop(PipelineConfig::default()),
+            max_step,
+            0.12,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn processes_every_frame() {
+        let frames = FrameSequence::new(SceneKind::Static, 48, 48, 4, 7);
+        let report = pipeline(0.1).process(frames.frames()).unwrap();
+        assert_eq!(report.frames.len(), 4);
+        assert_eq!(report.controller.frames, 4);
+        assert!(report.mean_power_saving() > 0.0);
+        assert!(report.mean_distortion() <= 0.12 + 0.05);
+    }
+
+    #[test]
+    fn empty_sequence_is_rejected() {
+        let result = pipeline(0.1).process(std::iter::empty());
+        assert!(matches!(result, Err(HebsError::InsufficientData { .. })));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        assert!(VideoPipeline::new(policy, 1.5, 0.1).is_err());
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        assert!(VideoPipeline::new(policy, 0.1, -0.1).is_err());
+    }
+
+    #[test]
+    fn smoothing_bounds_the_backlight_step_across_a_scene_cut() {
+        let frames = FrameSequence::new(SceneKind::SceneCut, 48, 48, 6, 9);
+        let smoothed = pipeline(0.05).process(frames.frames()).unwrap();
+        assert!(
+            smoothed.max_backlight_step() <= 0.05 + 1e-9,
+            "step {} exceeds bound",
+            smoothed.max_backlight_step()
+        );
+
+        let unsmoothed = pipeline(1.0).process(frames.frames()).unwrap();
+        // Without smoothing the cut produces a much larger jump.
+        assert!(unsmoothed.max_backlight_step() >= smoothed.max_backlight_step());
+    }
+
+    #[test]
+    fn static_scene_keeps_backlight_stable() {
+        let frames = FrameSequence::new(SceneKind::Static, 48, 48, 5, 11);
+        let report = pipeline(0.1).process(frames.frames()).unwrap();
+        let betas: Vec<f64> = report.frames.iter().map(|f| f.applied_beta).collect();
+        let spread = betas.iter().cloned().fold(f64::MIN, f64::max)
+            - betas.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 0.15, "backlight wandered by {spread} on a static scene");
+    }
+
+    #[test]
+    fn fade_to_black_increases_savings_over_time() {
+        let frames = FrameSequence::new(SceneKind::FadeToBlack, 48, 48, 6, 13);
+        let report = pipeline(0.3).process(frames.frames()).unwrap();
+        let first = report.frames.first().unwrap().power_saving;
+        let last = report.frames.last().unwrap().power_saving;
+        assert!(
+            last > first,
+            "saving should grow as the scene fades (first {first}, last {last})"
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Cold Cathode Fluorescent Lamp (CCFL) backlight power model.
+//!
+//! Section 5.1a of the paper models the CCFL driver power as a two-piece
+//! linear function of the (normalized) backlight factor `β`:
+//!
+//! ```text
+//! P(β) = A_lin · β + C_lin      0 ≤ β ≤ C_s      (linear region)
+//! P(β) = A_sat · β + C_sat      C_s ≤ β ≤ 1      (saturation region)
+//! ```
+//!
+//! Above the saturation knee `C_s` the lamp's luminous efficacy drops (the
+//! tube heats up), so squeezing out the last 20 % of brightness costs
+//! disproportionately much power — which is exactly why backlight dimming is
+//! so effective. The default coefficients are the LG Philips LP064V1 values
+//! fitted in the paper.
+
+use crate::error::{DisplayError, Result};
+
+/// Two-piece-linear CCFL power model (Eq. 11 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcflModel {
+    /// Slope of the linear region.
+    pub a_lin: f64,
+    /// Intercept of the linear region.
+    pub c_lin: f64,
+    /// Slope of the saturation region.
+    pub a_sat: f64,
+    /// Intercept of the saturation region.
+    pub c_sat: f64,
+    /// Backlight factor at which saturation begins (`C_s`).
+    pub saturation_knee: f64,
+}
+
+impl Default for CcflModel {
+    fn default() -> Self {
+        Self::lp064v1()
+    }
+}
+
+impl CcflModel {
+    /// The LG Philips LP064V1 coefficients reported in the paper:
+    /// `C_s = 0.8234`, `A_lin = 1.9600`, `C_lin = −0.2372`,
+    /// `A_sat = 6.9440`, `C_sat = −4.3240`.
+    ///
+    /// (The paper lists the magnitudes; the saturated-region intercept must
+    /// be negative for the two pieces to meet at the knee.)
+    pub fn lp064v1() -> Self {
+        CcflModel {
+            a_lin: 1.9600,
+            c_lin: -0.2372,
+            a_sat: 6.9440,
+            c_sat: -4.3240,
+            saturation_knee: 0.8234,
+        }
+    }
+
+    /// Creates a custom model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidParameter`] if the knee is outside
+    /// `(0, 1]`, a slope is non-positive, or any coefficient is not finite.
+    pub fn new(a_lin: f64, c_lin: f64, a_sat: f64, c_sat: f64, saturation_knee: f64) -> Result<Self> {
+        for (name, value) in [
+            ("a_lin", a_lin),
+            ("c_lin", c_lin),
+            ("a_sat", a_sat),
+            ("c_sat", c_sat),
+            ("saturation_knee", saturation_knee),
+        ] {
+            if !value.is_finite() {
+                return Err(DisplayError::InvalidParameter { name, value });
+            }
+        }
+        if a_lin <= 0.0 {
+            return Err(DisplayError::InvalidParameter {
+                name: "a_lin",
+                value: a_lin,
+            });
+        }
+        if a_sat <= 0.0 {
+            return Err(DisplayError::InvalidParameter {
+                name: "a_sat",
+                value: a_sat,
+            });
+        }
+        if !(0.0 < saturation_knee && saturation_knee <= 1.0) {
+            return Err(DisplayError::InvalidParameter {
+                name: "saturation_knee",
+                value: saturation_knee,
+            });
+        }
+        Ok(CcflModel {
+            a_lin,
+            c_lin,
+            a_sat,
+            c_sat,
+            saturation_knee,
+        })
+    }
+
+    /// Driver power (in the paper's normalized watt units) needed to produce
+    /// backlight factor `beta`.
+    ///
+    /// Power is clamped to be non-negative (the fitted linear region has a
+    /// slightly negative intercept which would otherwise produce a small
+    /// negative power near `β = 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidBacklightFactor`] unless
+    /// `beta ∈ [0, 1]`.
+    pub fn power(&self, beta: f64) -> Result<f64> {
+        if !(beta.is_finite() && (0.0..=1.0).contains(&beta)) {
+            return Err(DisplayError::InvalidBacklightFactor { beta });
+        }
+        let power = if beta <= self.saturation_knee {
+            self.a_lin * beta + self.c_lin
+        } else {
+            self.a_sat * beta + self.c_sat
+        };
+        Ok(power.max(0.0))
+    }
+
+    /// Power at full backlight (`β = 1`), the denominator of every
+    /// power-saving percentage.
+    pub fn full_power(&self) -> f64 {
+        self.power(1.0).expect("beta = 1 is always valid")
+    }
+
+    /// Fractional power saving of running at `beta` instead of full
+    /// backlight: `1 − P(β)/P(1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidBacklightFactor`] unless
+    /// `beta ∈ [0, 1]`.
+    pub fn power_saving(&self, beta: f64) -> Result<f64> {
+        Ok(1.0 - self.power(beta)? / self.full_power())
+    }
+
+    /// The largest backlight factor whose driver power does not exceed
+    /// `budget` (normalized watts). Useful for power-capped operating modes.
+    pub fn max_backlight_for_power(&self, budget: f64) -> f64 {
+        if budget <= 0.0 {
+            return 0.0;
+        }
+        // Invert the saturated segment first (it covers the high end).
+        let beta_sat = (budget - self.c_sat) / self.a_sat;
+        if beta_sat >= self.saturation_knee {
+            return beta_sat.min(1.0);
+        }
+        let beta_lin = (budget - self.c_lin) / self.a_lin;
+        beta_lin.clamp(0.0, self.saturation_knee)
+    }
+
+    /// Samples the illuminance-versus-power curve of Figure 6a: returns
+    /// `(β, P(β))` pairs for `samples` evenly spaced backlight factors over
+    /// `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples < 2` or the range is not inside `[0, 1]`.
+    pub fn characteristic_curve(&self, lo: f64, hi: f64, samples: usize) -> Vec<(f64, f64)> {
+        assert!(samples >= 2, "need at least two samples");
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo < hi);
+        (0..samples)
+            .map(|i| {
+                let beta = lo + (hi - lo) * i as f64 / (samples - 1) as f64;
+                let power = self.power(beta).expect("beta in range by construction");
+                (beta, power)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp064v1_matches_paper_coefficients() {
+        let model = CcflModel::lp064v1();
+        assert_eq!(model.a_lin, 1.96);
+        assert_eq!(model.saturation_knee, 0.8234);
+        // Full power: 6.944 · 1 − 4.324 = 2.62.
+        assert!((model.full_power() - 2.62).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pieces_meet_near_the_knee() {
+        let model = CcflModel::lp064v1();
+        let knee = model.saturation_knee;
+        let linear_side = model.a_lin * knee + model.c_lin;
+        let sat_side = model.a_sat * knee + model.c_sat;
+        // The paper's fitted coefficients are not exactly continuous, but the
+        // mismatch at the knee is small (< 0.05 normalized watts).
+        assert!((linear_side - sat_side).abs() < 0.05);
+    }
+
+    #[test]
+    fn power_is_monotone_in_beta() {
+        let model = CcflModel::lp064v1();
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let beta = f64::from(i) / 100.0;
+            let p = model.power(beta).unwrap();
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn saturation_region_is_steeper() {
+        let model = CcflModel::lp064v1();
+        let below = model.power(0.80).unwrap();
+        let at = model.power(0.85).unwrap();
+        let above = model.power(0.90).unwrap();
+        let slope_low = (at - below) / 0.05;
+        let slope_high = (above - at) / 0.05;
+        assert!(slope_high > slope_low);
+    }
+
+    #[test]
+    fn power_never_negative() {
+        let model = CcflModel::lp064v1();
+        assert_eq!(model.power(0.0).unwrap(), 0.0);
+        assert!(model.power(0.05).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn invalid_beta_rejected() {
+        let model = CcflModel::lp064v1();
+        assert!(model.power(-0.1).is_err());
+        assert!(model.power(1.1).is_err());
+        assert!(model.power(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn power_saving_at_half_backlight() {
+        let model = CcflModel::lp064v1();
+        // P(0.5) = 1.96·0.5 − 0.2372 = 0.7428; saving = 1 − 0.7428/2.62 ≈ 71.6 %.
+        let saving = model.power_saving(0.5).unwrap();
+        assert!((saving - 0.7165).abs() < 1e-3);
+        assert_eq!(model.power_saving(1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn max_backlight_for_power_inverts_power() {
+        let model = CcflModel::lp064v1();
+        for &beta in &[0.2, 0.5, 0.8234, 0.9, 1.0] {
+            let p = model.power(beta).unwrap();
+            let recovered = model.max_backlight_for_power(p);
+            assert!(
+                (recovered - beta).abs() < 1e-9,
+                "beta {beta} recovered as {recovered}"
+            );
+        }
+        assert_eq!(model.max_backlight_for_power(0.0), 0.0);
+        assert_eq!(model.max_backlight_for_power(100.0), 1.0);
+    }
+
+    #[test]
+    fn characteristic_curve_shape() {
+        let model = CcflModel::lp064v1();
+        let curve = model.characteristic_curve(0.4, 1.0, 13);
+        assert_eq!(curve.len(), 13);
+        assert!((curve[0].0 - 0.4).abs() < 1e-12);
+        assert!((curve[12].0 - 1.0).abs() < 1e-12);
+        // Monotone increasing power along the curve.
+        assert!(curve.windows(2).all(|w| w[1].1 >= w[0].1));
+    }
+
+    #[test]
+    fn custom_model_validation() {
+        assert!(CcflModel::new(1.0, 0.0, 2.0, -1.0, 0.8).is_ok());
+        assert!(CcflModel::new(-1.0, 0.0, 2.0, -1.0, 0.8).is_err());
+        assert!(CcflModel::new(1.0, 0.0, 0.0, -1.0, 0.8).is_err());
+        assert!(CcflModel::new(1.0, 0.0, 2.0, -1.0, 0.0).is_err());
+        assert!(CcflModel::new(1.0, 0.0, 2.0, -1.0, 1.5).is_err());
+        assert!(CcflModel::new(1.0, f64::INFINITY, 2.0, -1.0, 0.8).is_err());
+    }
+
+    #[test]
+    fn default_is_lp064v1() {
+        assert_eq!(CcflModel::default(), CcflModel::lp064v1());
+    }
+}

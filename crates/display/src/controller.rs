@@ -1,0 +1,242 @@
+//! LCD controller and frame-buffer simulation.
+//!
+//! The video controller writes incoming frames into a frame buffer; the LCD
+//! controller reads them out scanline by scanline every refresh period,
+//! pushes the pixel values through the programmed reference-driver lookup
+//! table, and drives the panel (Section 2, Figure 1 of the paper). This
+//! module provides a small cycle-less model of that path. It tracks two
+//! quantities that matter for the video use case:
+//!
+//! * **Bus activity** — the number of bit transitions on the video interface
+//!   per refresh, the quantity targeted by the encoding techniques of the
+//!   paper's references [2] and [3]. It is reported so users can see that
+//!   HEBS (which changes pixel values) does not blow up interface power.
+//! * **Backlight transitions** — how often and by how much the backlight
+//!   setting changes between frames, which the temporal-smoothing policy in
+//!   `hebs-core` is designed to bound (visible flicker).
+
+use hebs_imaging::GrayImage;
+use hebs_transform::LookupTable;
+
+use crate::error::{DisplayError, Result};
+
+/// Statistics accumulated by the controller over the frames it has shown.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ControllerStats {
+    /// Number of frames displayed.
+    pub frames: u64,
+    /// Total Hamming distance (bit transitions) on the pixel bus between
+    /// consecutively transmitted pixels, summed over all frames.
+    pub bus_transitions: u64,
+    /// Sum over frames of the absolute change in backlight factor relative
+    /// to the previous frame.
+    pub backlight_travel: f64,
+    /// Largest single-frame backlight change seen.
+    pub max_backlight_step: f64,
+}
+
+/// Frame-buffer plus LCD-controller model.
+#[derive(Debug, Clone)]
+pub struct LcdController {
+    width: u32,
+    height: u32,
+    frame_buffer: Option<GrayImage>,
+    lut: LookupTable,
+    backlight: f64,
+    stats: ControllerStats,
+}
+
+impl LcdController {
+    /// Creates a controller for a panel of the given resolution, initialized
+    /// with an identity lookup table and full backlight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidParameter`] if either dimension is 0.
+    pub fn new(width: u32, height: u32) -> Result<Self> {
+        if width == 0 || height == 0 {
+            return Err(DisplayError::InvalidParameter {
+                name: "resolution",
+                value: 0.0,
+            });
+        }
+        Ok(LcdController {
+            width,
+            height,
+            frame_buffer: None,
+            lut: LookupTable::identity(),
+            backlight: 1.0,
+            stats: ControllerStats::default(),
+        })
+    }
+
+    /// Panel width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Panel height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Currently programmed backlight factor.
+    pub fn backlight(&self) -> f64 {
+        self.backlight
+    }
+
+    /// Currently programmed lookup table.
+    pub fn lut(&self) -> &LookupTable {
+        &self.lut
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// Programs a new lookup table (reference-driver state) and backlight
+    /// factor, to take effect from the next frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidBacklightFactor`] unless
+    /// `beta ∈ [0, 1]`.
+    pub fn program(&mut self, lut: LookupTable, beta: f64) -> Result<()> {
+        if !(beta.is_finite() && (0.0..=1.0).contains(&beta)) {
+            return Err(DisplayError::InvalidBacklightFactor { beta });
+        }
+        let step = (beta - self.backlight).abs();
+        if self.stats.frames > 0 {
+            self.stats.backlight_travel += step;
+            self.stats.max_backlight_step = self.stats.max_backlight_step.max(step);
+        }
+        self.lut = lut;
+        self.backlight = beta;
+        Ok(())
+    }
+
+    /// Submits a frame: stores it in the frame buffer, refreshes the panel
+    /// through the programmed lookup table, and returns the luminance image
+    /// the panel emits (normalized against the full-backlight white point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidParameter`] if the frame's resolution
+    /// does not match the panel.
+    pub fn submit_frame(&mut self, frame: &GrayImage) -> Result<GrayImage> {
+        if frame.width() != self.width || frame.height() != self.height {
+            return Err(DisplayError::InvalidParameter {
+                name: "frame_resolution",
+                value: f64::from(frame.width()),
+            });
+        }
+        // Bus activity: Hamming distance between consecutively transmitted
+        // (transformed) pixel values in scan order.
+        let transformed = self.lut.apply(frame);
+        let mut transitions = 0u64;
+        let mut previous = 0u8;
+        for value in transformed.pixels() {
+            transitions += u64::from((value ^ previous).count_ones());
+            previous = value;
+        }
+        self.stats.bus_transitions += transitions;
+        self.stats.frames += 1;
+        self.frame_buffer = Some(frame.clone());
+
+        // Emitted luminance: β · t(transformed level).
+        let beta = self.backlight;
+        Ok(transformed.map(|v| (f64::from(v) * beta).round().clamp(0.0, 255.0) as u8))
+    }
+
+    /// The frame currently held in the frame buffer, if any.
+    pub fn frame_buffer(&self) -> Option<&GrayImage> {
+        self.frame_buffer.as_ref()
+    }
+
+    /// Mean bus transitions per pixel over all submitted frames.
+    pub fn mean_bus_transitions_per_pixel(&self) -> f64 {
+        if self.stats.frames == 0 {
+            return 0.0;
+        }
+        let pixels = self.stats.frames * u64::from(self.width) * u64::from(self.height);
+        self.stats.bus_transitions as f64 / pixels as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hebs_imaging::synthetic;
+
+    #[test]
+    fn controller_requires_nonzero_resolution() {
+        assert!(LcdController::new(0, 10).is_err());
+        assert!(LcdController::new(10, 0).is_err());
+        assert!(LcdController::new(10, 10).is_ok());
+    }
+
+    #[test]
+    fn identity_programming_displays_frame_unchanged_at_full_backlight() {
+        let mut controller = LcdController::new(32, 32).unwrap();
+        let frame = synthetic::portrait(32, 32, 1);
+        let shown = controller.submit_frame(&frame).unwrap();
+        assert_eq!(shown, frame);
+        assert_eq!(controller.frame_buffer(), Some(&frame));
+        assert_eq!(controller.stats().frames, 1);
+    }
+
+    #[test]
+    fn programming_changes_output() {
+        let mut controller = LcdController::new(8, 8).unwrap();
+        let frame = GrayImage::filled(8, 8, 100);
+        controller
+            .program(LookupTable::from_fn(|v| v.saturating_add(50)), 0.5)
+            .unwrap();
+        let shown = controller.submit_frame(&frame).unwrap();
+        // (100 + 50) · 0.5 = 75.
+        assert_eq!(shown.get(0, 0), Some(75));
+        assert_eq!(controller.backlight(), 0.5);
+    }
+
+    #[test]
+    fn frame_resolution_mismatch_rejected() {
+        let mut controller = LcdController::new(8, 8).unwrap();
+        let frame = GrayImage::filled(9, 8, 0);
+        assert!(controller.submit_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn invalid_backlight_rejected() {
+        let mut controller = LcdController::new(8, 8).unwrap();
+        assert!(controller.program(LookupTable::identity(), 1.2).is_err());
+        assert!(controller.program(LookupTable::identity(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn bus_transitions_depend_on_content() {
+        let mut flat = LcdController::new(16, 16).unwrap();
+        flat.submit_frame(&GrayImage::filled(16, 16, 128)).unwrap();
+        let mut busy = LcdController::new(16, 16).unwrap();
+        busy.submit_frame(&synthetic::checkerboard(16, 16, 1, 0, 255))
+            .unwrap();
+        assert!(busy.stats().bus_transitions > flat.stats().bus_transitions);
+        assert!(busy.mean_bus_transitions_per_pixel() > 1.0);
+    }
+
+    #[test]
+    fn backlight_travel_accumulates_after_first_frame() {
+        let mut controller = LcdController::new(8, 8).unwrap();
+        let frame = GrayImage::filled(8, 8, 100);
+        // Programming before the first frame does not count as flicker.
+        controller.program(LookupTable::identity(), 0.8).unwrap();
+        controller.submit_frame(&frame).unwrap();
+        controller.program(LookupTable::identity(), 0.6).unwrap();
+        controller.submit_frame(&frame).unwrap();
+        controller.program(LookupTable::identity(), 0.9).unwrap();
+        controller.submit_frame(&frame).unwrap();
+        let stats = controller.stats();
+        assert!((stats.backlight_travel - (0.2 + 0.3)).abs() < 1e-9);
+        assert!((stats.max_backlight_step - 0.3).abs() < 1e-9);
+    }
+}

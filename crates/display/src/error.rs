@@ -1,0 +1,78 @@
+//! Error type for the display substrate.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DisplayError>;
+
+/// Error raised when a display model is constructed or driven with invalid
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DisplayError {
+    /// The backlight factor must lie in `[0, 1]`.
+    InvalidBacklightFactor {
+        /// The offending value.
+        beta: f64,
+    },
+    /// A model coefficient or configuration value was not finite or outside
+    /// its admissible range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The reference-voltage driver cannot realize the requested curve.
+    UnrealizableCurve {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DisplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DisplayError::InvalidBacklightFactor { beta } => {
+                write!(f, "backlight factor {beta} is outside of [0, 1]")
+            }
+            DisplayError::InvalidParameter { name, value } => {
+                write!(f, "invalid value {value} for parameter {name}")
+            }
+            DisplayError::UnrealizableCurve { reason } => {
+                write!(f, "reference driver cannot realize curve: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DisplayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DisplayError::InvalidBacklightFactor { beta: 2.0 }
+            .to_string()
+            .contains('2'));
+        assert!(DisplayError::InvalidParameter {
+            name: "supply_voltage",
+            value: -1.0
+        }
+        .to_string()
+        .contains("supply_voltage"));
+        assert!(DisplayError::UnrealizableCurve {
+            reason: "too many segments".to_string()
+        }
+        .to_string()
+        .contains("too many segments"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DisplayError>();
+    }
+}

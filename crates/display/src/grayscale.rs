@@ -1,0 +1,201 @@
+//! The grayscale-voltage transfer function of the LCD source drivers.
+//!
+//! The source drivers convert each pixel value into an analog *grayscale
+//! voltage* which sets the liquid-crystal cell's transmittance (Section 2 of
+//! the paper). The drivers can only output voltages obtained by mixing a
+//! small set of *reference voltages* provided by a resistor ladder (voltage
+//! divider); between two adjacent reference taps the output is linear in the
+//! pixel value. The backlight-scaling hardware of both CBCS and HEBS works
+//! by reprogramming those reference voltages, which is why every realizable
+//! pixel transformation is piecewise linear with as many segments as there
+//! are reference taps.
+
+use crate::error::{DisplayError, Result};
+
+/// A bank of reference voltages (the output of the voltage-divider ladder),
+/// normalized to the supply voltage `V_dd = 1.0`.
+///
+/// Tap `i` of `k` taps corresponds to the input pixel value
+/// `x_i = i / (k − 1)`; the grayscale voltage for intermediate pixel values
+/// is obtained by linear interpolation between adjacent taps — exactly what
+/// the resistor string inside the source driver does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceLadder {
+    taps: Vec<f64>,
+}
+
+impl ReferenceLadder {
+    /// The default ladder: `tap_count` evenly spaced voltages from 0 to 1,
+    /// which realizes the identity grayscale-voltage function (slope 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidParameter`] if `tap_count < 2`.
+    pub fn uniform(tap_count: usize) -> Result<Self> {
+        if tap_count < 2 {
+            return Err(DisplayError::InvalidParameter {
+                name: "tap_count",
+                value: tap_count as f64,
+            });
+        }
+        let taps = (0..tap_count)
+            .map(|i| i as f64 / (tap_count - 1) as f64)
+            .collect();
+        Ok(ReferenceLadder { taps })
+    }
+
+    /// Creates a ladder from explicit normalized tap voltages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::UnrealizableCurve`] if fewer than two taps are
+    /// given, a tap is outside `[0, 1]`, or the taps are not non-decreasing
+    /// (a resistor string cannot produce a decreasing voltage profile).
+    pub fn from_taps(taps: Vec<f64>) -> Result<Self> {
+        if taps.len() < 2 {
+            return Err(DisplayError::UnrealizableCurve {
+                reason: format!("need at least 2 reference taps, got {}", taps.len()),
+            });
+        }
+        for (i, &v) in taps.iter().enumerate() {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(DisplayError::UnrealizableCurve {
+                    reason: format!("tap {i} voltage {v} outside of [0, V_dd]"),
+                });
+            }
+            if i > 0 && v < taps[i - 1] {
+                return Err(DisplayError::UnrealizableCurve {
+                    reason: format!("tap {i} voltage {v} below tap {}", i - 1),
+                });
+            }
+        }
+        Ok(ReferenceLadder { taps })
+    }
+
+    /// Number of reference taps.
+    pub fn tap_count(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Borrow of the normalized tap voltages.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// The grayscale voltage (normalized to `V_dd`) produced for an input
+    /// pixel value `level`, by interpolating between the two adjacent taps.
+    pub fn grayscale_voltage(&self, level: u8) -> f64 {
+        let k = self.taps.len();
+        let x = f64::from(level) / 255.0;
+        let position = x * (k - 1) as f64;
+        let lower = position.floor() as usize;
+        let upper = (lower + 1).min(k - 1);
+        let t = position - lower as f64;
+        self.taps[lower] + t * (self.taps[upper] - self.taps[lower])
+    }
+
+    /// Compiles the ladder into the effective 256-entry level mapping that
+    /// the panel sees: input level → output level (`voltage / V_dd · 255`,
+    /// rounded). This is the hardware-quantized version of the requested
+    /// transfer curve.
+    pub fn to_lut(&self) -> [u8; 256] {
+        let mut lut = [0u8; 256];
+        for (level, entry) in lut.iter_mut().enumerate() {
+            let v = self.grayscale_voltage(level as u8);
+            *entry = (v * 255.0).round().clamp(0.0, 255.0) as u8;
+        }
+        lut
+    }
+
+    /// Root-mean-square deviation between the voltage curve this ladder
+    /// realizes and a requested normalized transfer function, sampled at all
+    /// 256 levels. Used to verify how faithfully a driver realizes the curve
+    /// the algorithm asked for.
+    pub fn rms_error_against<F>(&self, mut requested: F) -> f64
+    where
+        F: FnMut(f64) -> f64,
+    {
+        let mut sum = 0.0;
+        for level in 0..=255u8 {
+            let x = f64::from(level) / 255.0;
+            let d = self.grayscale_voltage(level) - requested(x).clamp(0.0, 1.0);
+            sum += d * d;
+        }
+        (sum / 256.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_ladder_is_identity() {
+        let ladder = ReferenceLadder::uniform(10).unwrap();
+        assert_eq!(ladder.tap_count(), 10);
+        for level in [0u8, 63, 127, 200, 255] {
+            let expected = f64::from(level) / 255.0;
+            assert!((ladder.grayscale_voltage(level) - expected).abs() < 1e-12);
+        }
+        let lut = ladder.to_lut();
+        for level in 0..=255usize {
+            assert_eq!(lut[level], level as u8);
+        }
+    }
+
+    #[test]
+    fn uniform_requires_two_taps() {
+        assert!(ReferenceLadder::uniform(1).is_err());
+        assert!(ReferenceLadder::uniform(2).is_ok());
+    }
+
+    #[test]
+    fn from_taps_validation() {
+        assert!(ReferenceLadder::from_taps(vec![0.0]).is_err());
+        assert!(ReferenceLadder::from_taps(vec![0.0, 1.2]).is_err());
+        assert!(ReferenceLadder::from_taps(vec![0.5, 0.4]).is_err());
+        assert!(ReferenceLadder::from_taps(vec![0.0, f64::NAN]).is_err());
+        assert!(ReferenceLadder::from_taps(vec![0.0, 0.5, 0.5, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn clamped_ladder_saturates_output() {
+        // All taps at the extremes: a hard threshold between dark and bright.
+        let ladder = ReferenceLadder::from_taps(vec![0.0, 0.0, 1.0, 1.0]).unwrap();
+        assert_eq!(ladder.grayscale_voltage(0), 0.0);
+        assert_eq!(ladder.grayscale_voltage(255), 1.0);
+        // Level 85 (one third): position = 1.0 → exactly at tap 1 = 0.
+        assert!(ladder.grayscale_voltage(85) < 0.01);
+        // Level 170 (two thirds): position = 2.0 → tap 2 = 1.
+        assert!(ladder.grayscale_voltage(170) > 0.99);
+    }
+
+    #[test]
+    fn voltage_is_monotone_for_valid_ladders() {
+        let ladder = ReferenceLadder::from_taps(vec![0.0, 0.1, 0.5, 0.55, 0.9, 1.0]).unwrap();
+        let lut = ladder.to_lut();
+        assert!(lut.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn rms_error_of_exact_match_is_zero() {
+        let ladder = ReferenceLadder::uniform(11).unwrap();
+        assert!(ladder.rms_error_against(|x| x) < 1e-12);
+        // A very different curve has visible error.
+        assert!(ladder.rms_error_against(|x| x * x) > 0.05);
+    }
+
+    #[test]
+    fn more_taps_realize_a_curve_more_faithfully() {
+        let requested = |x: f64| x.sqrt();
+        let coarse = ReferenceLadder::from_taps(
+            (0..4).map(|i| requested(f64::from(i) / 3.0)).collect(),
+        )
+        .unwrap();
+        let fine = ReferenceLadder::from_taps(
+            (0..16).map(|i| requested(f64::from(i) / 15.0)).collect(),
+        )
+        .unwrap();
+        assert!(fine.rms_error_against(requested) < coarse.rms_error_against(requested));
+    }
+}

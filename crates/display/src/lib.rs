@@ -1,0 +1,52 @@
+//! TFT-LCD display-subsystem substrate for the HEBS reproduction.
+//!
+//! The HEBS paper evaluates backlight-scaling policies on a transmissive
+//! TFT-LCD (the LG Philips LP064V1) driven by a CCFL backlight. This crate
+//! models every piece of that hardware that the algorithm touches:
+//!
+//! * [`CcflModel`] — the two-piece-linear power model of the Cold Cathode
+//!   Fluorescent Lamp backlight (Eq. 11, Figure 6a).
+//! * [`TftPanelModel`] — the quadratic a-Si:H TFT panel power model
+//!   (Eq. 12, Figure 6b) and the linear grayscale → transmittance mapping.
+//! * [`grayscale`] — the grayscale-voltage transfer function of the source
+//!   drivers and the reference-voltage ladder maths behind it.
+//! * [`plrd`] — register-level simulation of the Programmable LCD Reference
+//!   Driver: the conventional clamp-switch circuit of the CBCS baseline
+//!   (Figure 5a) and the hierarchical k-band circuit proposed by HEBS
+//!   (Figure 5b), both of which compile a requested transfer curve into the
+//!   quantized lookup table the hardware can actually realize.
+//! * [`LcdSubsystem`] — whole-subsystem power accounting (backlight + panel
+//!   + controller) and displayed-image simulation, the quantity every
+//!   benchmark reports.
+//! * [`controller`] — a small frame-buffer / refresh model used by the video
+//!   examples.
+//!
+//! # Example
+//!
+//! ```
+//! use hebs_display::{CcflModel, LcdSubsystem, TftPanelModel};
+//! use hebs_imaging::GrayImage;
+//!
+//! let lcd = LcdSubsystem::lp064v1();
+//! let image = GrayImage::from_fn(32, 32, |x, _| (x * 8) as u8);
+//! let full = lcd.power(&image, 1.0)?;
+//! let dimmed = lcd.power(&image, 0.5)?;
+//! assert!(dimmed.total() < full.total());
+//! # Ok::<(), hebs_display::DisplayError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ccfl;
+pub mod controller;
+mod error;
+pub mod grayscale;
+mod panel;
+pub mod plrd;
+mod subsystem;
+
+pub use ccfl::CcflModel;
+pub use error::{DisplayError, Result};
+pub use panel::TftPanelModel;
+pub use subsystem::{LcdSubsystem, PowerBreakdown};

@@ -1,0 +1,247 @@
+//! a-Si:H TFT-LCD panel model: transmittance and power.
+//!
+//! Section 5.1b of the paper measures the LP064V1 panel and fits its power
+//! consumption as a quadratic function of the (normalized) pixel value:
+//!
+//! ```text
+//! P_panel(x) = a·x² + b·x + c        x ∈ [0, 1]
+//! ```
+//!
+//! with `a = 0.02449`, `b = 0.04984`, `c = 0.993` for the normally-white
+//! LP064V1. The variation with transmittance is tiny compared with the CCFL
+//! power — the paper notes it "can be ignored" — but the subsystem model
+//! keeps it so the reproduction's totals have the same composition as the
+//! paper's.
+//!
+//! The panel also defines the grayscale → transmittance mapping `t(X)`,
+//! which the paper takes to be linear from `[0, 255]` to `[0, 1]`.
+
+use crate::error::{DisplayError, Result};
+use hebs_imaging::GrayImage;
+
+/// Quadratic panel power model and linear transmittance mapping (Eq. 12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TftPanelModel {
+    /// Quadratic coefficient of the power fit.
+    pub a: f64,
+    /// Linear coefficient of the power fit.
+    pub b: f64,
+    /// Constant coefficient of the power fit.
+    pub c: f64,
+}
+
+impl Default for TftPanelModel {
+    fn default() -> Self {
+        Self::lp064v1()
+    }
+}
+
+impl TftPanelModel {
+    /// The LG Philips LP064V1 coefficients measured in the paper:
+    /// `a = 0.02449`, `b = 0.04984`, `c = 0.993`.
+    ///
+    /// Note the paper's Figure 6b shows the normally-white panel's power
+    /// *decreasing* slightly as transmittance increases; with the published
+    /// regression coefficients the fitted curve is mildly increasing instead.
+    /// The reproduction uses the published coefficients verbatim — the
+    /// effect on totals is below one percent either way.
+    pub fn lp064v1() -> Self {
+        TftPanelModel {
+            a: 0.02449,
+            b: 0.04984,
+            c: 0.993,
+        }
+    }
+
+    /// Creates a custom quadratic model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidParameter`] if any coefficient is not
+    /// finite or the constant term is negative (panel power cannot be
+    /// negative at zero transmittance).
+    pub fn new(a: f64, b: f64, c: f64) -> Result<Self> {
+        for (name, value) in [("a", a), ("b", b), ("c", c)] {
+            if !value.is_finite() {
+                return Err(DisplayError::InvalidParameter { name, value });
+            }
+        }
+        if c < 0.0 {
+            return Err(DisplayError::InvalidParameter { name: "c", value: c });
+        }
+        Ok(TftPanelModel { a, b, c })
+    }
+
+    /// Linear transmittance of a pixel with 8-bit value `level`:
+    /// `t(X) = X / 255 ∈ [0, 1]`.
+    pub fn transmittance(&self, level: u8) -> f64 {
+        f64::from(level) / 255.0
+    }
+
+    /// Panel power for a single pixel at normalized transmittance `x`.
+    ///
+    /// The input is clamped to `[0, 1]`.
+    pub fn pixel_power(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        (self.a * x * x + self.b * x + self.c).max(0.0)
+    }
+
+    /// Mean panel power for displaying an image (average of the per-pixel
+    /// power over all pixels).
+    pub fn image_power(&self, image: &GrayImage) -> f64 {
+        let n = image.pixel_count() as f64;
+        if n == 0.0 {
+            return self.c;
+        }
+        image
+            .pixels()
+            .map(|level| self.pixel_power(self.transmittance(level)))
+            .sum::<f64>()
+            / n
+    }
+
+    /// Samples the transmittance-versus-power curve of Figure 6b: `(t, P(t))`
+    /// pairs for `samples` evenly spaced transmittance values over
+    /// `[lo, hi] ⊆ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples < 2` or the range is invalid.
+    pub fn characteristic_curve(&self, lo: f64, hi: f64, samples: usize) -> Vec<(f64, f64)> {
+        assert!(samples >= 2, "need at least two samples");
+        assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo < hi);
+        (0..samples)
+            .map(|i| {
+                let t = lo + (hi - lo) * i as f64 / (samples - 1) as f64;
+                (t, self.pixel_power(t))
+            })
+            .collect()
+    }
+
+    /// Luminance emitted by a pixel: `I(X) = β · t(X)` (Eq. 1a of the
+    /// paper), for backlight factor `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidBacklightFactor`] unless
+    /// `beta ∈ [0, 1]`.
+    pub fn luminance(&self, level: u8, beta: f64) -> Result<f64> {
+        if !(beta.is_finite() && (0.0..=1.0).contains(&beta)) {
+            return Err(DisplayError::InvalidBacklightFactor { beta });
+        }
+        Ok(beta * self.transmittance(level))
+    }
+
+    /// The displayed luminance image (normalized to `[0, 1]`) of `image`
+    /// shown at backlight factor `beta`, quantized back to 8 bits against
+    /// the *full-backlight* white point.
+    ///
+    /// This is what an external observer (or a camera) would record; the
+    /// distortion pipeline uses it when comparing "what is shown" against
+    /// the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidBacklightFactor`] unless
+    /// `beta ∈ [0, 1]`.
+    pub fn displayed_image(&self, image: &GrayImage, beta: f64) -> Result<GrayImage> {
+        if !(beta.is_finite() && (0.0..=1.0).contains(&beta)) {
+            return Err(DisplayError::InvalidBacklightFactor { beta });
+        }
+        Ok(image.map(|level| {
+            let luminance = beta * self.transmittance(level);
+            (luminance * 255.0).round().clamp(0.0, 255.0) as u8
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp064v1_coefficients() {
+        let panel = TftPanelModel::lp064v1();
+        assert_eq!(panel.a, 0.02449);
+        assert_eq!(panel.b, 0.04984);
+        assert_eq!(panel.c, 0.993);
+        assert_eq!(TftPanelModel::default(), panel);
+    }
+
+    #[test]
+    fn transmittance_is_linear() {
+        let panel = TftPanelModel::lp064v1();
+        assert_eq!(panel.transmittance(0), 0.0);
+        assert_eq!(panel.transmittance(255), 1.0);
+        assert!((panel.transmittance(128) - 128.0 / 255.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pixel_power_matches_fit() {
+        let panel = TftPanelModel::lp064v1();
+        // P(1) = 0.02449 + 0.04984 + 0.993 = 1.06733.
+        assert!((panel.pixel_power(1.0) - 1.06733).abs() < 1e-9);
+        assert!((panel.pixel_power(0.0) - 0.993).abs() < 1e-12);
+        // Inputs are clamped.
+        assert_eq!(panel.pixel_power(2.0), panel.pixel_power(1.0));
+        assert_eq!(panel.pixel_power(-1.0), panel.pixel_power(0.0));
+    }
+
+    #[test]
+    fn panel_power_variation_is_small() {
+        // The paper: panel power varies by only a few percent over the full
+        // transmittance range — tiny compared to the CCFL.
+        let panel = TftPanelModel::lp064v1();
+        let ratio = panel.pixel_power(1.0) / panel.pixel_power(0.0);
+        assert!(ratio < 1.10);
+        assert!(ratio > 1.0);
+    }
+
+    #[test]
+    fn image_power_of_uniform_images() {
+        let panel = TftPanelModel::lp064v1();
+        let black = GrayImage::filled(8, 8, 0);
+        let white = GrayImage::filled(8, 8, 255);
+        assert!((panel.image_power(&black) - 0.993).abs() < 1e-12);
+        assert!((panel.image_power(&white) - 1.06733).abs() < 1e-9);
+        let ramp = GrayImage::from_fn(256, 1, |x, _| x as u8);
+        let p = panel.image_power(&ramp);
+        assert!(p > 0.993 && p < 1.06733);
+    }
+
+    #[test]
+    fn luminance_follows_eq_1a() {
+        let panel = TftPanelModel::lp064v1();
+        assert_eq!(panel.luminance(255, 1.0).unwrap(), 1.0);
+        assert_eq!(panel.luminance(255, 0.5).unwrap(), 0.5);
+        assert_eq!(panel.luminance(0, 0.7).unwrap(), 0.0);
+        assert!(panel.luminance(100, 1.5).is_err());
+    }
+
+    #[test]
+    fn displayed_image_dims_with_backlight() {
+        let panel = TftPanelModel::lp064v1();
+        let img = GrayImage::from_fn(4, 1, |x, _| (x * 85) as u8);
+        let full = panel.displayed_image(&img, 1.0).unwrap();
+        assert_eq!(full, img);
+        let half = panel.displayed_image(&img, 0.5).unwrap();
+        assert_eq!(half.get(3, 0), Some(128));
+        assert!(panel.displayed_image(&img, -0.1).is_err());
+    }
+
+    #[test]
+    fn characteristic_curve_covers_figure_6b_range() {
+        let panel = TftPanelModel::lp064v1();
+        let curve = panel.characteristic_curve(0.1, 1.0, 10);
+        assert_eq!(curve.len(), 10);
+        assert!(curve.windows(2).all(|w| w[1].1 >= w[0].1));
+        assert!(curve.iter().all(|&(_, p)| (0.9..=1.1).contains(&p)));
+    }
+
+    #[test]
+    fn custom_model_validation() {
+        assert!(TftPanelModel::new(0.1, 0.1, 1.0).is_ok());
+        assert!(TftPanelModel::new(f64::NAN, 0.1, 1.0).is_err());
+        assert!(TftPanelModel::new(0.1, 0.1, -1.0).is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! Programmable LCD Reference Driver (PLRD) simulation.
+//!
+//! The backlight-scaling hardware of both the CBCS baseline and HEBS lives
+//! in the reference-voltage divider that feeds the source drivers
+//! (Figure 5 of the paper):
+//!
+//! * The **conventional** circuit (Figure 5a) is a plain resistor ladder
+//!   with controllable clamp switches added at both ends. It can clamp the
+//!   low and high grayscale regions to the rails and steepen the single
+//!   linear region in between — i.e. it can only realize the *single-band
+//!   grayscale spreading* transfer function with one slope.
+//! * The **hierarchical** circuit proposed by HEBS (Figure 5b) replaces the
+//!   ladder with `k` controllable voltage sources plus switches between
+//!   grayscale groups, so the grayscale-voltage curve can have up to `k`
+//!   linear regions with different slopes, including flat bands in the
+//!   middle of the range.
+//!
+//! Both simulators accept the transfer curve the algorithm wants, check that
+//! the hardware can realize it, apply the finite DAC resolution of the
+//! voltage sources, and hand back the quantized 256-entry lookup table that
+//! the panel will actually apply — which is what the power/distortion
+//! evaluation must use if the reproduction is to account for hardware
+//! quantization error the way the real system would.
+
+use hebs_transform::{LookupTable, PiecewiseLinear, PixelTransform, SingleBandSpreading};
+
+use crate::error::{DisplayError, Result};
+use crate::grayscale::ReferenceLadder;
+
+/// Result of programming a reference driver: the realized hardware state and
+/// the effective pixel mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgrammedDriver {
+    /// Normalized reference voltages actually latched into the driver
+    /// (after DAC quantization), from the darkest to the brightest tap.
+    pub reference_voltages: Vec<f64>,
+    /// The effective level-to-level mapping the panel applies.
+    pub lut: LookupTable,
+    /// Root-mean-square deviation (in normalized output units) between the
+    /// requested curve and what the hardware realizes.
+    pub realization_error: f64,
+}
+
+/// The conventional 10-tap reference driver with end clamp switches
+/// (Figure 5a) — the hardware assumed by the CBCS baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConventionalPlrd {
+    tap_count: usize,
+    dac_bits: u8,
+}
+
+impl Default for ConventionalPlrd {
+    fn default() -> Self {
+        // The paper cites an Analog Devices reference driver with a 10-way
+        // divider; 8-bit DACs are typical for the programmable variant.
+        ConventionalPlrd {
+            tap_count: 10,
+            dac_bits: 8,
+        }
+    }
+}
+
+impl ConventionalPlrd {
+    /// Creates a driver with a custom number of ladder taps and DAC
+    /// resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidParameter`] if `tap_count < 2` or
+    /// `dac_bits` is 0 or above 16.
+    pub fn new(tap_count: usize, dac_bits: u8) -> Result<Self> {
+        if tap_count < 2 {
+            return Err(DisplayError::InvalidParameter {
+                name: "tap_count",
+                value: tap_count as f64,
+            });
+        }
+        if dac_bits == 0 || dac_bits > 16 {
+            return Err(DisplayError::InvalidParameter {
+                name: "dac_bits",
+                value: f64::from(dac_bits),
+            });
+        }
+        Ok(ConventionalPlrd {
+            tap_count,
+            dac_bits,
+        })
+    }
+
+    /// Number of ladder taps.
+    pub fn tap_count(&self) -> usize {
+        self.tap_count
+    }
+
+    /// Programs the clamp switches to realize a single-band spreading
+    /// function: inputs at or below `spreading.lower()` clamp to 0, inputs
+    /// at or above `spreading.upper()` clamp to full scale, and the band in
+    /// between is spread linearly.
+    ///
+    /// # Errors
+    ///
+    /// This driver can realize any single-band curve, so the only errors are
+    /// parameter errors propagated from the ladder construction.
+    pub fn program(&self, spreading: &SingleBandSpreading) -> Result<ProgrammedDriver> {
+        let requested = |x: f64| spreading.evaluate(x);
+        let taps: Vec<f64> = (0..self.tap_count)
+            .map(|i| {
+                let x = i as f64 / (self.tap_count - 1) as f64;
+                quantize(requested(x), self.dac_bits)
+            })
+            .collect();
+        let ladder = ReferenceLadder::from_taps(taps)?;
+        let realization_error = ladder.rms_error_against(requested);
+        Ok(ProgrammedDriver {
+            reference_voltages: ladder.taps().to_vec(),
+            lut: LookupTable::from_entries(ladder.to_lut()),
+            realization_error,
+        })
+    }
+}
+
+/// The hierarchical k-source reference driver proposed by HEBS (Figure 5b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchicalPlrd {
+    source_count: usize,
+    dac_bits: u8,
+}
+
+impl Default for HierarchicalPlrd {
+    fn default() -> Self {
+        // The paper's example uses a small number of controllable sources;
+        // 8 sources with 8-bit DACs is a representative configuration.
+        HierarchicalPlrd {
+            source_count: 8,
+            dac_bits: 8,
+        }
+    }
+}
+
+impl HierarchicalPlrd {
+    /// Creates a driver with `source_count` controllable voltage sources and
+    /// the given DAC resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidParameter`] if `source_count < 2` or
+    /// `dac_bits` is 0 or above 16.
+    pub fn new(source_count: usize, dac_bits: u8) -> Result<Self> {
+        if source_count < 2 {
+            return Err(DisplayError::InvalidParameter {
+                name: "source_count",
+                value: source_count as f64,
+            });
+        }
+        if dac_bits == 0 || dac_bits > 16 {
+            return Err(DisplayError::InvalidParameter {
+                name: "dac_bits",
+                value: f64::from(dac_bits),
+            });
+        }
+        Ok(HierarchicalPlrd {
+            source_count,
+            dac_bits,
+        })
+    }
+
+    /// Number of controllable voltage sources `k`.
+    pub fn source_count(&self) -> usize {
+        self.source_count
+    }
+
+    /// Maximum number of linear segments the driver can realize
+    /// (`source_count − 1`).
+    pub fn max_segments(&self) -> usize {
+        self.source_count - 1
+    }
+
+    /// Programs the voltage sources to realize a coarsened transfer curve
+    /// `Λ`, applying the backlight compensation of Eq. 10:
+    /// `V_i = V_dd · Y_{q_i} / β`.
+    ///
+    /// The curve's breakpoints become the source tap positions; outputs that
+    /// would exceed the supply rail after the `1/β` spreading are clamped to
+    /// `V_dd` (they saturate to full white), exactly as in the real circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::UnrealizableCurve`] when the curve has more
+    /// segments than the driver has sources to realize, and
+    /// [`DisplayError::InvalidBacklightFactor`] for `beta` outside `(0, 1]`.
+    pub fn program(&self, curve: &PiecewiseLinear, beta: f64) -> Result<ProgrammedDriver> {
+        if !(beta.is_finite() && beta > 0.0 && beta <= 1.0) {
+            return Err(DisplayError::InvalidBacklightFactor { beta });
+        }
+        if curve.segment_count() > self.max_segments() {
+            return Err(DisplayError::UnrealizableCurve {
+                reason: format!(
+                    "curve has {} segments but the driver supports at most {}",
+                    curve.segment_count(),
+                    self.max_segments()
+                ),
+            });
+        }
+        // Eq. 10: spread the curve's outputs by 1/β so the dimmer backlight
+        // is compensated by higher transmittance, then quantize to the DAC.
+        let voltages: Vec<f64> = curve
+            .points()
+            .iter()
+            .map(|p| quantize((p.y / beta).min(1.0), self.dac_bits))
+            .collect();
+        let requested = |x: f64| (curve.evaluate(x) / beta).min(1.0);
+        // Build the effective LUT by interpolating between breakpoints at
+        // the curve's own abscissas (the switches route each grayscale group
+        // to its source).
+        let points = curve.points();
+        let lut = LookupTable::from_normalized(|x| {
+            // Find surrounding breakpoints.
+            let mut lo = 0;
+            let mut hi = points.len() - 1;
+            if x <= points[0].x {
+                return voltages[0];
+            }
+            if x >= points[hi].x {
+                return voltages[hi];
+            }
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                if points[mid].x <= x {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let t = (x - points[lo].x) / (points[hi].x - points[lo].x);
+            voltages[lo] + t * (voltages[hi] - voltages[lo])
+        });
+        // Measure realization error against the ideal (unquantized) request.
+        let mut sum = 0.0;
+        for level in 0..=255u16 {
+            let x = f64::from(level) / 255.0;
+            let realized = f64::from(lut.map(level as u8)) / 255.0;
+            let d = realized - requested(x);
+            sum += d * d;
+        }
+        let realization_error = (sum / 256.0).sqrt();
+        Ok(ProgrammedDriver {
+            reference_voltages: voltages,
+            lut,
+            realization_error,
+        })
+    }
+}
+
+/// Quantizes a normalized voltage to the resolution of a `bits`-bit DAC.
+fn quantize(value: f64, bits: u8) -> f64 {
+    let steps = f64::from((1u32 << bits) - 1);
+    (value.clamp(0.0, 1.0) * steps).round() / steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hebs_transform::{coarsen, ControlPoint};
+
+    #[test]
+    fn conventional_driver_realizes_single_band() {
+        let driver = ConventionalPlrd::default();
+        let spread = SingleBandSpreading::new(0.2, 0.8, 0.6).unwrap();
+        let programmed = driver.program(&spread).unwrap();
+        assert!(programmed.lut.is_monotone());
+        // Below the band: black. Above: white. Middle: roughly half.
+        assert_eq!(programmed.lut.map(0), 0);
+        assert_eq!(programmed.lut.map(255), 255);
+        let mid = programmed.lut.map(128);
+        assert!((120..=136).contains(&mid), "mid level {mid}");
+        assert!(programmed.realization_error < 0.05);
+    }
+
+    #[test]
+    fn conventional_driver_parameter_validation() {
+        assert!(ConventionalPlrd::new(1, 8).is_err());
+        assert!(ConventionalPlrd::new(10, 0).is_err());
+        assert!(ConventionalPlrd::new(10, 17).is_err());
+        assert!(ConventionalPlrd::new(12, 10).is_ok());
+    }
+
+    #[test]
+    fn hierarchical_driver_rejects_too_many_segments() {
+        let driver = HierarchicalPlrd::new(4, 8).unwrap();
+        assert_eq!(driver.max_segments(), 3);
+        let curve = PiecewiseLinear::from_samples(16, |x| x);
+        assert!(matches!(
+            driver.program(&curve, 0.8),
+            Err(DisplayError::UnrealizableCurve { .. })
+        ));
+    }
+
+    #[test]
+    fn hierarchical_driver_rejects_bad_beta() {
+        let driver = HierarchicalPlrd::default();
+        let curve = PiecewiseLinear::identity();
+        assert!(driver.program(&curve, 0.0).is_err());
+        assert!(driver.program(&curve, 1.5).is_err());
+    }
+
+    #[test]
+    fn identity_curve_with_full_backlight_is_identity_lut() {
+        let driver = HierarchicalPlrd::default();
+        let programmed = driver.program(&PiecewiseLinear::identity(), 1.0).unwrap();
+        for level in [0u8, 50, 128, 200, 255] {
+            let out = programmed.lut.map(level);
+            assert!((i16::from(out) - i16::from(level)).abs() <= 1);
+        }
+        assert!(programmed.realization_error < 0.01);
+    }
+
+    #[test]
+    fn eq_10_spreads_outputs_by_one_over_beta() {
+        // A curve that compresses the image into [0, 0.5], displayed with
+        // β = 0.5: the driver should spread it back to the full range.
+        let driver = HierarchicalPlrd::default();
+        let curve = PiecewiseLinear::new(vec![
+            ControlPoint::new(0.0, 0.0),
+            ControlPoint::new(1.0, 0.5),
+        ])
+        .unwrap();
+        let programmed = driver.program(&curve, 0.5).unwrap();
+        assert_eq!(programmed.lut.map(0), 0);
+        assert_eq!(programmed.lut.map(255), 255);
+        let mid = programmed.lut.map(128);
+        assert!((125..=131).contains(&mid));
+        // Reference voltages follow Eq. 10.
+        assert!((programmed.reference_voltages[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outputs_clamp_at_the_supply_rail() {
+        // y/β would exceed 1 for the top of this curve; it must clamp.
+        let driver = HierarchicalPlrd::default();
+        let curve = PiecewiseLinear::new(vec![
+            ControlPoint::new(0.0, 0.0),
+            ControlPoint::new(1.0, 0.9),
+        ])
+        .unwrap();
+        let programmed = driver.program(&curve, 0.5).unwrap();
+        assert_eq!(programmed.lut.map(255), 255);
+        assert!(programmed
+            .reference_voltages
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn coarsened_ghe_curve_round_trips_through_the_driver() {
+        // End-to-end: build a curved transfer function, coarsen it to the
+        // driver's segment budget, program, and check fidelity.
+        let exact = PiecewiseLinear::from_samples(256, |x| x.powf(0.6));
+        let driver = HierarchicalPlrd::new(8, 10).unwrap();
+        let coarse = coarsen(&exact, driver.max_segments()).unwrap();
+        let programmed = driver.program(&coarse.curve, 1.0).unwrap();
+        assert!(programmed.lut.is_monotone());
+        assert!(
+            programmed.realization_error < 0.02,
+            "error {}",
+            programmed.realization_error
+        );
+    }
+
+    #[test]
+    fn dac_resolution_limits_fidelity() {
+        let curve = PiecewiseLinear::from_samples(5, |x| x.powf(0.7));
+        let coarse_dac = HierarchicalPlrd::new(8, 3).unwrap();
+        let fine_dac = HierarchicalPlrd::new(8, 12).unwrap();
+        let low = coarse_dac.program(&curve, 1.0).unwrap();
+        let high = fine_dac.program(&curve, 1.0).unwrap();
+        assert!(high.realization_error <= low.realization_error + 1e-12);
+    }
+
+    #[test]
+    fn quantize_respects_bit_depth() {
+        assert_eq!(quantize(0.5, 1), 1.0); // 1-bit DAC rounds 0.5 up.
+        assert!((quantize(0.5, 8) - 0.5).abs() < 1.0 / 255.0);
+        assert_eq!(quantize(-0.5, 8), 0.0);
+        assert_eq!(quantize(1.5, 8), 1.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Whole LCD-subsystem power accounting.
+//!
+//! The power numbers the paper reports (Table 1, Figure 8) are savings of
+//! the *display subsystem*: the CCFL backlight plus the TFT panel (the LCD
+//! controller's own consumption is constant and small). The two fitted
+//! models of Section 5.1 share the same normalized-watt unit, so the
+//! subsystem total is simply their sum:
+//!
+//! ```text
+//! P(F', β) = P_ccfl(β) + mean_pixels P_panel(t(Φ(x))) + P_controller
+//! ```
+//!
+//! With the LP064V1 coefficients the CCFL draws ≈ 2.62 units at full
+//! backlight and the panel ≈ 1.0 unit, which reproduces the paper's headline
+//! numbers: dimming to β ≈ 0.39 (dynamic range 100) saves ≈ 55 % of the
+//! subsystem total, and β ≈ 0.86 (range 220) saves ≈ 26 %.
+
+use hebs_imaging::GrayImage;
+
+use crate::ccfl::CcflModel;
+use crate::error::{DisplayError, Result};
+use crate::panel::TftPanelModel;
+
+/// Per-component power figures for displaying one image.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// CCFL backlight driver power.
+    pub ccfl: f64,
+    /// TFT panel power (averaged over the pixels of the displayed image).
+    pub panel: f64,
+    /// Constant LCD controller / timing power.
+    pub controller: f64,
+    /// Backlight factor the figures were computed for.
+    pub beta: f64,
+}
+
+impl PowerBreakdown {
+    /// Total subsystem power.
+    pub fn total(&self) -> f64 {
+        self.ccfl + self.panel + self.controller
+    }
+
+    /// Fraction of the total drawn by the backlight.
+    pub fn backlight_share(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.ccfl / self.total()
+        }
+    }
+}
+
+/// The display subsystem: backlight model + panel model + controller
+/// overhead.
+///
+/// ```
+/// use hebs_display::LcdSubsystem;
+/// use hebs_imaging::GrayImage;
+///
+/// let lcd = LcdSubsystem::lp064v1();
+/// let img = GrayImage::filled(16, 16, 180);
+/// let saving = lcd.power_saving(&img, &img, 0.5)?;
+/// assert!(saving > 0.3 && saving < 0.8);
+/// # Ok::<(), hebs_display::DisplayError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LcdSubsystem {
+    ccfl: CcflModel,
+    panel: TftPanelModel,
+    controller_power: f64,
+}
+
+impl Default for LcdSubsystem {
+    fn default() -> Self {
+        Self::lp064v1()
+    }
+}
+
+impl LcdSubsystem {
+    /// The LG Philips LP064V1 display used throughout the paper, with a
+    /// small constant controller overhead.
+    pub fn lp064v1() -> Self {
+        LcdSubsystem {
+            ccfl: CcflModel::lp064v1(),
+            panel: TftPanelModel::lp064v1(),
+            controller_power: 0.05,
+        }
+    }
+
+    /// Builds a subsystem from custom component models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidParameter`] if the controller power is
+    /// negative or not finite.
+    pub fn new(ccfl: CcflModel, panel: TftPanelModel, controller_power: f64) -> Result<Self> {
+        if !controller_power.is_finite() || controller_power < 0.0 {
+            return Err(DisplayError::InvalidParameter {
+                name: "controller_power",
+                value: controller_power,
+            });
+        }
+        Ok(LcdSubsystem {
+            ccfl,
+            panel,
+            controller_power,
+        })
+    }
+
+    /// The backlight model.
+    pub fn ccfl(&self) -> &CcflModel {
+        &self.ccfl
+    }
+
+    /// The panel model.
+    pub fn panel(&self) -> &TftPanelModel {
+        &self.panel
+    }
+
+    /// Power breakdown for displaying `image` (already transformed, i.e. the
+    /// pixel values the panel will be driven with) at backlight factor
+    /// `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidBacklightFactor`] unless
+    /// `beta ∈ [0, 1]`.
+    pub fn power(&self, image: &GrayImage, beta: f64) -> Result<PowerBreakdown> {
+        let ccfl = self.ccfl.power(beta)?;
+        let panel = self.panel.image_power(image);
+        Ok(PowerBreakdown {
+            ccfl,
+            panel,
+            controller: self.controller_power,
+            beta,
+        })
+    }
+
+    /// Power saving (fraction in `[0, 1]`) of displaying `transformed` at
+    /// `beta` instead of `original` at full backlight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidBacklightFactor`] unless
+    /// `beta ∈ [0, 1]`.
+    pub fn power_saving(
+        &self,
+        original: &GrayImage,
+        transformed: &GrayImage,
+        beta: f64,
+    ) -> Result<f64> {
+        let baseline = self.power(original, 1.0)?.total();
+        let scaled = self.power(transformed, beta)?.total();
+        Ok((1.0 - scaled / baseline).max(0.0))
+    }
+
+    /// The luminance image an observer sees: `I(X) = β · t(X)` per pixel,
+    /// quantized against the full-backlight white point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidBacklightFactor`] unless
+    /// `beta ∈ [0, 1]`.
+    pub fn displayed_image(&self, image: &GrayImage, beta: f64) -> Result<GrayImage> {
+        self.panel.displayed_image(image, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hebs_imaging::synthetic;
+
+    #[test]
+    fn full_backlight_baseline_magnitude() {
+        let lcd = LcdSubsystem::lp064v1();
+        let img = synthetic::still_life(64, 64, 1);
+        let breakdown = lcd.power(&img, 1.0).unwrap();
+        // CCFL ≈ 2.62, panel ≈ 1.0, controller 0.05.
+        assert!((breakdown.ccfl - 2.62).abs() < 1e-9);
+        assert!(breakdown.panel > 0.99 && breakdown.panel < 1.07);
+        assert!((breakdown.total() - 3.67).abs() < 0.06);
+        assert!(breakdown.backlight_share() > 0.6);
+    }
+
+    #[test]
+    fn dimming_saves_power_monotonically() {
+        let lcd = LcdSubsystem::lp064v1();
+        let img = synthetic::portrait(64, 64, 2);
+        let mut prev_saving = -1.0;
+        for beta in [1.0, 0.9, 0.8, 0.6, 0.4, 0.2] {
+            let saving = lcd.power_saving(&img, &img, beta).unwrap();
+            assert!(saving >= prev_saving, "saving not monotone at beta {beta}");
+            prev_saving = saving;
+        }
+    }
+
+    #[test]
+    fn headline_savings_match_paper_magnitudes() {
+        // The paper's Figure 8: dynamic range 220 (β ≈ 0.86) saves ≈ 26-30 %,
+        // dynamic range 100 (β ≈ 0.39) saves ≈ 42-61 %.
+        let lcd = LcdSubsystem::lp064v1();
+        let img = synthetic::landscape(64, 64, 3);
+        let saving_220 = lcd.power_saving(&img, &img, 220.0 / 255.0).unwrap();
+        let saving_100 = lcd.power_saving(&img, &img, 100.0 / 255.0).unwrap();
+        assert!(
+            (0.20..=0.36).contains(&saving_220),
+            "range-220 saving {saving_220}"
+        );
+        assert!(
+            (0.40..=0.65).contains(&saving_100),
+            "range-100 saving {saving_100}"
+        );
+    }
+
+    #[test]
+    fn power_saving_is_zero_at_full_backlight() {
+        let lcd = LcdSubsystem::lp064v1();
+        let img = synthetic::portrait(32, 32, 4);
+        let saving = lcd.power_saving(&img, &img, 1.0).unwrap();
+        assert!(saving.abs() < 1e-12);
+    }
+
+    #[test]
+    fn brighter_transformed_image_costs_slightly_more_panel_power() {
+        let lcd = LcdSubsystem::lp064v1();
+        let dark = GrayImage::filled(16, 16, 20);
+        let bright = GrayImage::filled(16, 16, 240);
+        let p_dark = lcd.power(&dark, 0.5).unwrap();
+        let p_bright = lcd.power(&bright, 0.5).unwrap();
+        assert!(p_bright.panel > p_dark.panel);
+        // But the difference is tiny relative to the CCFL term.
+        assert!((p_bright.total() - p_dark.total()) / p_dark.total() < 0.05);
+    }
+
+    #[test]
+    fn invalid_beta_is_rejected() {
+        let lcd = LcdSubsystem::lp064v1();
+        let img = GrayImage::filled(4, 4, 0);
+        assert!(lcd.power(&img, 1.0001).is_err());
+        assert!(lcd.power_saving(&img, &img, -0.1).is_err());
+    }
+
+    #[test]
+    fn displayed_image_uses_panel_model() {
+        let lcd = LcdSubsystem::lp064v1();
+        let img = GrayImage::filled(4, 4, 200);
+        let shown = lcd.displayed_image(&img, 0.5).unwrap();
+        assert_eq!(shown.get(0, 0), Some(100));
+    }
+
+    #[test]
+    fn custom_subsystem_validation() {
+        let ccfl = CcflModel::lp064v1();
+        let panel = TftPanelModel::lp064v1();
+        assert!(LcdSubsystem::new(ccfl, panel, 0.1).is_ok());
+        assert!(LcdSubsystem::new(ccfl, panel, -0.1).is_err());
+        assert!(LcdSubsystem::new(ccfl, panel, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type shared by the imaging crate.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ImageError>;
+
+/// Error raised by image construction, manipulation or I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ImageError {
+    /// The requested dimensions are invalid (zero, or inconsistent with the
+    /// supplied pixel buffer length).
+    InvalidDimensions {
+        /// Image width in pixels.
+        width: u32,
+        /// Image height in pixels.
+        height: u32,
+        /// Length of the pixel buffer that was supplied.
+        buffer_len: usize,
+    },
+    /// A pixel coordinate fell outside of the image bounds.
+    OutOfBounds {
+        /// Requested x coordinate.
+        x: u32,
+        /// Requested y coordinate.
+        y: u32,
+        /// Image width in pixels.
+        width: u32,
+        /// Image height in pixels.
+        height: u32,
+    },
+    /// A PGM/PPM stream could not be decoded.
+    Decode(String),
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::InvalidDimensions {
+                width,
+                height,
+                buffer_len,
+            } => write!(
+                f,
+                "invalid image dimensions {width}x{height} for buffer of {buffer_len} bytes"
+            ),
+            ImageError::OutOfBounds {
+                x,
+                y,
+                width,
+                height,
+            } => write!(
+                f,
+                "pixel coordinate ({x}, {y}) is outside of a {width}x{height} image"
+            ),
+            ImageError::Decode(msg) => write!(f, "failed to decode image: {msg}"),
+            ImageError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImageError {
+    fn from(err: std::io::Error) -> Self {
+        ImageError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_dimensions() {
+        let err = ImageError::InvalidDimensions {
+            width: 3,
+            height: 4,
+            buffer_len: 5,
+        };
+        let text = err.to_string();
+        assert!(text.contains("3x4"));
+        assert!(text.contains("5 bytes"));
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let err = ImageError::OutOfBounds {
+            x: 10,
+            y: 20,
+            width: 8,
+            height: 8,
+        };
+        assert!(err.to_string().contains("(10, 20)"));
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err = ImageError::from(io);
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImageError>();
+    }
+}

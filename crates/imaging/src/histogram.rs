@@ -1,0 +1,475 @@
+//! Marginal and cumulative pixel-value histograms.
+//!
+//! The histogram is the central data structure of the HEBS algorithm: the
+//! Global Histogram Equalization step maps the image's *cumulative*
+//! histogram onto a uniform cumulative histogram of reduced dynamic range
+//! (Eq. 5–7 of the paper).
+
+use crate::image::GrayImage;
+
+/// Number of distinct grayscale levels of an 8-bit display.
+pub const GRAY_LEVELS: usize = 256;
+
+/// Marginal distribution histogram `h(x)` of an 8-bit grayscale image.
+///
+/// Bin `i` counts the number of pixels with value exactly `i`.
+///
+/// ```
+/// use hebs_imaging::{GrayImage, Histogram};
+///
+/// let img = GrayImage::from_fn(4, 4, |x, _| if x < 2 { 10 } else { 200 });
+/// let hist = Histogram::of(&img);
+/// assert_eq!(hist.count(10), 8);
+/// assert_eq!(hist.count(200), 8);
+/// assert_eq!(hist.total(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: [u64; GRAY_LEVELS],
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram (all bins zero).
+    pub fn new() -> Self {
+        Histogram {
+            bins: [0; GRAY_LEVELS],
+            total: 0,
+        }
+    }
+
+    /// Computes the histogram of an image.
+    pub fn of(image: &GrayImage) -> Self {
+        let mut hist = Histogram::new();
+        for value in image.pixels() {
+            hist.bins[value as usize] += 1;
+        }
+        hist.total = image.pixel_count() as u64;
+        hist
+    }
+
+    /// Builds a histogram directly from per-level counts.
+    ///
+    /// This is useful in tests and when synthesizing target distributions.
+    pub fn from_counts(counts: [u64; GRAY_LEVELS]) -> Self {
+        let total = counts.iter().sum();
+        Histogram {
+            bins: counts,
+            total,
+        }
+    }
+
+    /// Adds one observation of `level`.
+    pub fn record(&mut self, level: u8) {
+        self.bins[level as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of pixels with value exactly `level`.
+    pub fn count(&self, level: u8) -> u64 {
+        self.bins[level as usize]
+    }
+
+    /// Total number of observations (pixels).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Borrow of the raw per-level counts.
+    pub fn counts(&self) -> &[u64; GRAY_LEVELS] {
+        &self.bins
+    }
+
+    /// Relative frequency of `level` (`count / total`), 0 for an empty
+    /// histogram.
+    pub fn frequency(&self, level: u8) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bins[level as usize] as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest level with a nonzero count, or `None` for an empty histogram.
+    pub fn min_level(&self) -> Option<u8> {
+        self.bins.iter().position(|&c| c > 0).map(|i| i as u8)
+    }
+
+    /// Largest level with a nonzero count, or `None` for an empty histogram.
+    pub fn max_level(&self) -> Option<u8> {
+        self.bins.iter().rposition(|&c| c > 0).map(|i| i as u8)
+    }
+
+    /// Number of levels spanned by the occupied part of the histogram
+    /// (`max − min + 1`), 0 for an empty histogram.
+    pub fn dynamic_range(&self) -> u32 {
+        match (self.min_level(), self.max_level()) {
+            (Some(lo), Some(hi)) => u32::from(hi) - u32::from(lo) + 1,
+            _ => 0,
+        }
+    }
+
+    /// Number of distinct levels that actually occur in the image.
+    pub fn occupied_levels(&self) -> usize {
+        self.bins.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Mean pixel value.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as f64 * c as f64)
+            .sum::<f64>()
+            / self.total as f64
+    }
+
+    /// Population variance of the pixel values.
+    pub fn variance(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let d = i as f64 - mean;
+                d * d * c as f64
+            })
+            .sum::<f64>()
+            / self.total as f64
+    }
+
+    /// Shannon entropy of the level distribution, in bits.
+    ///
+    /// A uniform histogram over `R` levels has entropy `log2(R)`; HEBS pushes
+    /// the transformed histogram towards that maximum for its target range.
+    pub fn entropy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        self.bins
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// The level below which `fraction` of the pixels lie (inclusive).
+    ///
+    /// `fraction` is clamped to `[0, 1]`. Returns `None` for an empty
+    /// histogram.
+    pub fn percentile(&self, fraction: f64) -> Option<u8> {
+        if self.total == 0 {
+            return None;
+        }
+        let fraction = fraction.clamp(0.0, 1.0);
+        let target = (fraction * self.total as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut cumulative = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Some(i as u8);
+            }
+        }
+        self.max_level()
+    }
+
+    /// L1 distance between the *normalized* histograms, in `[0, 2]`.
+    ///
+    /// The paper mentions "the integral of the absolute value of the
+    /// histogram differences" as a naïve (histogram-only) distortion measure;
+    /// this method provides it as a diagnostic.
+    pub fn l1_distance(&self, other: &Histogram) -> f64 {
+        (0..GRAY_LEVELS)
+            .map(|i| (self.frequency(i as u8) - other.frequency(i as u8)).abs())
+            .sum()
+    }
+
+    /// Computes the cumulative histogram `H(x) = Σ_{k ≤ x} h(k)`.
+    pub fn cumulative(&self) -> CumulativeHistogram {
+        CumulativeHistogram::from_histogram(self)
+    }
+}
+
+/// Cumulative distribution histogram `H(x)` of pixel values.
+///
+/// `H(x)` is the number of pixels with value `≤ x`; `H(255)` equals the total
+/// pixel count `N`. The GHE transformation of the paper is
+/// `Φ(x) = g_min + (g_max − g_min) · H(x) / N` (Eq. 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CumulativeHistogram {
+    cumulative: [u64; GRAY_LEVELS],
+    total: u64,
+}
+
+impl CumulativeHistogram {
+    /// Builds the cumulative histogram from a marginal histogram.
+    pub fn from_histogram(hist: &Histogram) -> Self {
+        let mut cumulative = [0u64; GRAY_LEVELS];
+        let mut running = 0u64;
+        for (i, &c) in hist.counts().iter().enumerate() {
+            running += c;
+            cumulative[i] = running;
+        }
+        CumulativeHistogram {
+            cumulative,
+            total: hist.total(),
+        }
+    }
+
+    /// Computes the cumulative histogram of an image.
+    pub fn of(image: &GrayImage) -> Self {
+        Self::from_histogram(&Histogram::of(image))
+    }
+
+    /// Number of pixels with value `≤ level`.
+    pub fn up_to(&self, level: u8) -> u64 {
+        self.cumulative[level as usize]
+    }
+
+    /// Total number of pixels `N`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Normalized CDF value `H(x)/N ∈ [0, 1]`; 0 for an empty histogram.
+    pub fn normalized(&self, level: u8) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.cumulative[level as usize] as f64 / self.total as f64
+        }
+    }
+
+    /// Borrow of the raw cumulative counts.
+    pub fn values(&self) -> &[u64; GRAY_LEVELS] {
+        &self.cumulative
+    }
+
+    /// The ideal *uniform* cumulative histogram `U(x)` supported on
+    /// `[g_min, g_max]` with the same total `N` (footnote 3 of the paper):
+    /// `U(x) = 0` below `g_min`, `N` above `g_max`, and linear in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g_min > g_max`.
+    pub fn uniform_target(total: u64, g_min: u8, g_max: u8) -> Self {
+        assert!(g_min <= g_max, "g_min must not exceed g_max");
+        let mut cumulative = [0u64; GRAY_LEVELS];
+        let lo = g_min as usize;
+        let hi = g_max as usize;
+        for (i, slot) in cumulative.iter_mut().enumerate() {
+            *slot = if i < lo {
+                0
+            } else if i >= hi {
+                total
+            } else if hi == lo {
+                total
+            } else {
+                let fraction = (i - lo) as f64 / (hi - lo) as f64;
+                (fraction * total as f64).round() as u64
+            };
+        }
+        CumulativeHistogram {
+            cumulative,
+            total,
+        }
+    }
+
+    /// Sum over all levels of the absolute difference with another cumulative
+    /// histogram, normalized by the total count.
+    ///
+    /// This is the discrete version of the objective in Eq. 4 of the paper:
+    /// `∫ |U(Φ(x)) − H(x)| dx`, used to check how close an equalized image
+    /// gets to the uniform target.
+    pub fn equalization_error(&self, other: &CumulativeHistogram) -> f64 {
+        let n = self.total.max(other.total).max(1) as f64;
+        (0..GRAY_LEVELS)
+            .map(|i| {
+                (self.cumulative[i] as f64 - other.cumulative[i] as f64).abs() / n
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_image() -> GrayImage {
+        GrayImage::from_fn(256, 4, |x, _| x as u8)
+    }
+
+    #[test]
+    fn histogram_of_ramp_is_flat() {
+        let hist = Histogram::of(&ramp_image());
+        assert!(hist.counts().iter().all(|&c| c == 4));
+        assert_eq!(hist.total(), 1024);
+        assert_eq!(hist.dynamic_range(), 256);
+        assert_eq!(hist.occupied_levels(), 256);
+    }
+
+    #[test]
+    fn histogram_of_constant_image() {
+        let img = GrayImage::filled(10, 10, 42);
+        let hist = Histogram::of(&img);
+        assert_eq!(hist.count(42), 100);
+        assert_eq!(hist.occupied_levels(), 1);
+        assert_eq!(hist.dynamic_range(), 1);
+        assert_eq!(hist.min_level(), Some(42));
+        assert_eq!(hist.max_level(), Some(42));
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let hist = Histogram::new();
+        assert_eq!(hist.total(), 0);
+        assert_eq!(hist.min_level(), None);
+        assert_eq!(hist.max_level(), None);
+        assert_eq!(hist.dynamic_range(), 0);
+        assert_eq!(hist.mean(), 0.0);
+        assert_eq!(hist.variance(), 0.0);
+        assert_eq!(hist.entropy(), 0.0);
+        assert_eq!(hist.percentile(0.5), None);
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = Histogram::new();
+        a.record(5);
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(5);
+        b.record(200);
+        a.merge(&b);
+        assert_eq!(a.count(5), 3);
+        assert_eq!(a.count(200), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn frequency_sums_to_one() {
+        let hist = Histogram::of(&ramp_image());
+        let sum: f64 = (0..=255u8).map(|l| hist.frequency(l)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_variance_of_flat_histogram() {
+        let hist = Histogram::of(&ramp_image());
+        assert!((hist.mean() - 127.5).abs() < 1e-9);
+        // Variance of discrete uniform over 0..=255 is (256^2 - 1) / 12.
+        let expected = (256.0f64 * 256.0 - 1.0) / 12.0;
+        assert!((hist.variance() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_eight_bits() {
+        let hist = Histogram::of(&ramp_image());
+        assert!((hist.entropy() - 8.0).abs() < 1e-9);
+        let constant = Histogram::of(&GrayImage::filled(8, 8, 7));
+        assert_eq!(constant.entropy(), 0.0);
+    }
+
+    #[test]
+    fn percentile_of_ramp() {
+        let hist = Histogram::of(&ramp_image());
+        assert_eq!(hist.percentile(0.0), Some(0));
+        assert_eq!(hist.percentile(1.0), Some(255));
+        let median = hist.percentile(0.5).unwrap();
+        assert!((126..=129).contains(&median));
+    }
+
+    #[test]
+    fn l1_distance_properties() {
+        let a = Histogram::of(&GrayImage::filled(4, 4, 0));
+        let b = Histogram::of(&GrayImage::filled(4, 4, 255));
+        assert_eq!(a.l1_distance(&a), 0.0);
+        assert!((a.l1_distance(&b) - 2.0).abs() < 1e-9);
+        assert!((a.l1_distance(&b) - b.l1_distance(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_ends_at_total() {
+        let cum = CumulativeHistogram::of(&ramp_image());
+        let mut prev = 0;
+        for &v in cum.values() {
+            assert!(v >= prev);
+            prev = v;
+        }
+        assert_eq!(cum.up_to(255), cum.total());
+        assert_eq!(cum.total(), 1024);
+        assert!((cum.normalized(255) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_target_shape() {
+        let target = CumulativeHistogram::uniform_target(1000, 50, 150);
+        assert_eq!(target.up_to(0), 0);
+        assert_eq!(target.up_to(49), 0);
+        assert_eq!(target.up_to(150), 1000);
+        assert_eq!(target.up_to(255), 1000);
+        // Midpoint of the band holds roughly half of the pixels.
+        let mid = target.up_to(100);
+        assert!((450..=550).contains(&mid));
+    }
+
+    #[test]
+    fn uniform_target_degenerate_band() {
+        let target = CumulativeHistogram::uniform_target(10, 100, 100);
+        assert_eq!(target.up_to(99), 0);
+        assert_eq!(target.up_to(100), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "g_min must not exceed g_max")]
+    fn uniform_target_rejects_inverted_band() {
+        let _ = CumulativeHistogram::uniform_target(10, 200, 100);
+    }
+
+    #[test]
+    fn equalization_error_zero_for_identical() {
+        let cum = CumulativeHistogram::of(&ramp_image());
+        assert_eq!(cum.equalization_error(&cum), 0.0);
+    }
+
+    #[test]
+    fn ramp_is_close_to_uniform_target() {
+        let cum = CumulativeHistogram::of(&ramp_image());
+        let target = CumulativeHistogram::uniform_target(1024, 0, 255);
+        // A full ramp is (nearly) perfectly equalized already.
+        assert!(cum.equalization_error(&target) < 2.0);
+    }
+
+    #[test]
+    fn from_counts_matches_of() {
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x * 16 + y) % 256) as u8);
+        let hist = Histogram::of(&img);
+        let rebuilt = Histogram::from_counts(*hist.counts());
+        assert_eq!(hist, rebuilt);
+    }
+}

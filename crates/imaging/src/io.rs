@@ -1,0 +1,389 @@
+//! Dependency-free PGM / PPM (Netpbm) codec.
+//!
+//! The HEBS tooling writes intermediate and transformed images as Netpbm
+//! files so they can be inspected with standard viewers. Both the binary
+//! (`P5`/`P6`) and ASCII (`P2`/`P3`) variants are supported for reading;
+//! writing always uses the binary variants.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::{ImageError, Result};
+use crate::image::{GrayImage, RgbImage};
+use crate::pixel::Rgb;
+
+/// Writes a grayscale image as a binary PGM (`P5`) stream.
+///
+/// # Errors
+///
+/// Returns an error if the underlying writer fails.
+pub fn write_pgm<W: Write>(image: &GrayImage, mut writer: W) -> Result<()> {
+    write!(writer, "P5\n{} {}\n255\n", image.width(), image.height())?;
+    writer.write_all(image.as_raw())?;
+    Ok(())
+}
+
+/// Writes a grayscale image as a binary PGM file at `path`.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be created or written.
+pub fn save_pgm<P: AsRef<Path>>(image: &GrayImage, path: P) -> Result<()> {
+    let file = File::create(path)?;
+    write_pgm(image, BufWriter::new(file))
+}
+
+/// Writes an RGB image as a binary PPM (`P6`) stream.
+///
+/// # Errors
+///
+/// Returns an error if the underlying writer fails.
+pub fn write_ppm<W: Write>(image: &RgbImage, mut writer: W) -> Result<()> {
+    write!(writer, "P6\n{} {}\n255\n", image.width(), image.height())?;
+    let mut buffer = Vec::with_capacity(image.pixel_count() * 3);
+    for pixel in image.pixels() {
+        buffer.extend_from_slice(&[pixel.r, pixel.g, pixel.b]);
+    }
+    writer.write_all(&buffer)?;
+    Ok(())
+}
+
+/// Writes an RGB image as a binary PPM file at `path`.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be created or written.
+pub fn save_ppm<P: AsRef<Path>>(image: &RgbImage, path: P) -> Result<()> {
+    let file = File::create(path)?;
+    write_ppm(image, BufWriter::new(file))
+}
+
+/// Reads a PGM (`P2` or `P5`) stream into a grayscale image.
+///
+/// Maximum values other than 255 are rescaled to the 8-bit range.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Decode`] on malformed input and [`ImageError::Io`]
+/// if the reader fails.
+pub fn read_pgm<R: Read>(mut reader: R) -> Result<GrayImage> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    let mut parser = NetpbmParser::new(&bytes);
+    let magic = parser.magic()?;
+    match magic {
+        b"P2" | b"P5" => {}
+        _ => {
+            return Err(ImageError::Decode(format!(
+                "expected PGM magic P2 or P5, found {:?}",
+                String::from_utf8_lossy(magic)
+            )))
+        }
+    }
+    let width = parser.integer()? as u32;
+    let height = parser.integer()? as u32;
+    let max_val = parser.integer()?;
+    if max_val == 0 || max_val > 65_535 {
+        return Err(ImageError::Decode(format!("invalid maxval {max_val}")));
+    }
+    let count = width as usize * height as usize;
+    let raw = if magic == b"P5" {
+        parser.binary_samples(count, max_val)?
+    } else {
+        parser.ascii_samples(count, max_val)?
+    };
+    GrayImage::from_raw(width, height, raw)
+}
+
+/// Reads a PGM file from `path`.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be opened or decoded.
+pub fn load_pgm<P: AsRef<Path>>(path: P) -> Result<GrayImage> {
+    let file = File::open(path)?;
+    read_pgm(BufReader::new(file))
+}
+
+/// Reads a PPM (`P3` or `P6`) stream into an RGB image.
+///
+/// # Errors
+///
+/// Returns [`ImageError::Decode`] on malformed input and [`ImageError::Io`]
+/// if the reader fails.
+pub fn read_ppm<R: Read>(mut reader: R) -> Result<RgbImage> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    let mut parser = NetpbmParser::new(&bytes);
+    let magic = parser.magic()?;
+    match magic {
+        b"P3" | b"P6" => {}
+        _ => {
+            return Err(ImageError::Decode(format!(
+                "expected PPM magic P3 or P6, found {:?}",
+                String::from_utf8_lossy(magic)
+            )))
+        }
+    }
+    let width = parser.integer()? as u32;
+    let height = parser.integer()? as u32;
+    let max_val = parser.integer()?;
+    if max_val == 0 || max_val > 65_535 {
+        return Err(ImageError::Decode(format!("invalid maxval {max_val}")));
+    }
+    let count = width as usize * height as usize * 3;
+    let raw = if magic == b"P6" {
+        parser.binary_samples(count, max_val)?
+    } else {
+        parser.ascii_samples(count, max_val)?
+    };
+    let mut image = RgbImage::new(width, height)?;
+    for y in 0..height {
+        for x in 0..width {
+            let idx = (y as usize * width as usize + x as usize) * 3;
+            image.set(x, y, Rgb::new(raw[idx], raw[idx + 1], raw[idx + 2]))?;
+        }
+    }
+    Ok(image)
+}
+
+/// Reads a PPM file from `path`.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be opened or decoded.
+pub fn load_ppm<P: AsRef<Path>>(path: P) -> Result<RgbImage> {
+    let file = File::open(path)?;
+    read_ppm(BufReader::new(file))
+}
+
+/// Minimal Netpbm header/body tokenizer shared by the PGM and PPM readers.
+struct NetpbmParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> NetpbmParser<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        NetpbmParser { bytes, pos: 0 }
+    }
+
+    fn magic(&mut self) -> Result<&'a [u8]> {
+        self.skip_whitespace_and_comments();
+        if self.pos + 2 > self.bytes.len() {
+            return Err(ImageError::Decode("truncated magic number".to_string()));
+        }
+        let magic = &self.bytes[self.pos..self.pos + 2];
+        self.pos += 2;
+        Ok(magic)
+    }
+
+    fn integer(&mut self) -> Result<u64> {
+        self.skip_whitespace_and_comments();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(ImageError::Decode(
+                "expected an integer in the header".to_string(),
+            ));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ImageError::Decode("non-utf8 header".to_string()))?;
+        text.parse::<u64>()
+            .map_err(|_| ImageError::Decode(format!("integer out of range: {text}")))
+    }
+
+    fn binary_samples(&mut self, count: usize, max_val: u64) -> Result<Vec<u8>> {
+        // Exactly one whitespace byte separates the header from the raster.
+        if self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        let bytes_per_sample = if max_val > 255 { 2 } else { 1 };
+        let needed = count * bytes_per_sample;
+        if self.bytes.len() < self.pos + needed {
+            return Err(ImageError::Decode(format!(
+                "raster truncated: expected {needed} bytes, found {}",
+                self.bytes.len() - self.pos
+            )));
+        }
+        let raster = &self.bytes[self.pos..self.pos + needed];
+        self.pos += needed;
+        let samples: Vec<u8> = if bytes_per_sample == 1 {
+            if max_val == 255 {
+                raster.to_vec()
+            } else {
+                raster
+                    .iter()
+                    .map(|&b| rescale(u64::from(b), max_val))
+                    .collect()
+            }
+        } else {
+            raster
+                .chunks_exact(2)
+                .map(|pair| rescale(u64::from(pair[0]) << 8 | u64::from(pair[1]), max_val))
+                .collect()
+        };
+        Ok(samples)
+    }
+
+    fn ascii_samples(&mut self, count: usize, max_val: u64) -> Result<Vec<u8>> {
+        let mut samples = Vec::with_capacity(count);
+        for _ in 0..count {
+            let value = self.integer()?;
+            if value > max_val {
+                return Err(ImageError::Decode(format!(
+                    "sample {value} exceeds maxval {max_val}"
+                )));
+            }
+            samples.push(rescale(value, max_val));
+        }
+        Ok(samples)
+    }
+
+    fn skip_whitespace_and_comments(&mut self) {
+        loop {
+            while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.bytes.len() && self.bytes[self.pos] == b'#' {
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Rescales a sample from a `[0, max_val]` range to `[0, 255]`.
+fn rescale(value: u64, max_val: u64) -> u8 {
+    if max_val == 255 {
+        value.min(255) as u8
+    } else {
+        ((value as f64 / max_val as f64) * 255.0).round().clamp(0.0, 255.0) as u8
+    }
+}
+
+/// Helper for pixel normalization used in doc examples and harness output.
+///
+/// Equivalent to `level as f64 / 255.0`.
+pub fn normalize_level(level: u8) -> f64 {
+    f64::from(level) / 255.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_round_trip() {
+        let img = GrayImage::from_fn(13, 7, |x, y| (x * 19 + y * 3) as u8);
+        let mut buffer = Vec::new();
+        write_pgm(&img, &mut buffer).unwrap();
+        let decoded = read_pgm(&buffer[..]).unwrap();
+        assert_eq!(decoded, img);
+    }
+
+    #[test]
+    fn ppm_round_trip() {
+        let img = RgbImage::from_fn(5, 4, |x, y| Rgb::new(x as u8, y as u8, (x * y) as u8));
+        let mut buffer = Vec::new();
+        write_ppm(&img, &mut buffer).unwrap();
+        let decoded = read_ppm(&buffer[..]).unwrap();
+        assert_eq!(decoded, img);
+    }
+
+    #[test]
+    fn ascii_pgm_is_accepted() {
+        let text = b"P2\n# a comment\n3 2\n255\n0 128 255\n10 20 30\n";
+        let img = read_pgm(&text[..]).unwrap();
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+        assert_eq!(img.get(1, 0), Some(128));
+        assert_eq!(img.get(2, 1), Some(30));
+    }
+
+    #[test]
+    fn ascii_ppm_is_accepted() {
+        let text = b"P3\n2 1\n255\n255 0 0  0 0 255\n";
+        let img = read_ppm(&text[..]).unwrap();
+        assert_eq!(img.get(0, 0), Some(Rgb::new(255, 0, 0)));
+        assert_eq!(img.get(1, 0), Some(Rgb::new(0, 0, 255)));
+    }
+
+    #[test]
+    fn maxval_rescaling() {
+        let text = b"P2\n2 1\n100\n0 100\n";
+        let img = read_pgm(&text[..]).unwrap();
+        assert_eq!(img.get(0, 0), Some(0));
+        assert_eq!(img.get(1, 0), Some(255));
+    }
+
+    #[test]
+    fn sixteen_bit_binary_pgm() {
+        // 2x1 image with maxval 65535, samples 0 and 65535 (big endian).
+        let mut data = b"P5\n2 1\n65535\n".to_vec();
+        data.extend_from_slice(&[0x00, 0x00, 0xFF, 0xFF]);
+        let img = read_pgm(&data[..]).unwrap();
+        assert_eq!(img.get(0, 0), Some(0));
+        assert_eq!(img.get(1, 0), Some(255));
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        assert!(read_pgm(&b"P6\n1 1\n255\n\x00\x00\x00"[..]).is_err());
+        assert!(read_ppm(&b"P5\n1 1\n255\n\x00"[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_raster() {
+        let data = b"P5\n4 4\n255\n\x00\x01";
+        assert!(read_pgm(&data[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_maxval() {
+        assert!(read_pgm(&b"P2\n1 1\n0\n0\n"[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_ascii_sample_above_maxval() {
+        assert!(read_pgm(&b"P2\n1 1\n10\n11\n"[..]).is_err());
+    }
+
+    #[test]
+    fn comments_anywhere_in_header() {
+        let text = b"P2 # magic\n# width next\n2\n# height\n1\n# maxval\n255\n1 2\n";
+        let img = read_pgm(&text[..]).unwrap();
+        assert_eq!(img.width(), 2);
+        assert_eq!(img.get(1, 0), Some(2));
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let dir = std::env::temp_dir().join("hebs_imaging_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gray_path = dir.join("test.pgm");
+        let rgb_path = dir.join("test.ppm");
+
+        let gray = GrayImage::from_fn(9, 9, |x, y| (x * y) as u8);
+        save_pgm(&gray, &gray_path).unwrap();
+        assert_eq!(load_pgm(&gray_path).unwrap(), gray);
+
+        let rgb = RgbImage::from_fn(3, 3, |x, y| Rgb::new(x as u8, y as u8, 9));
+        save_ppm(&rgb, &rgb_path).unwrap();
+        assert_eq!(load_ppm(&rgb_path).unwrap(), rgb);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn normalize_level_bounds() {
+        assert_eq!(normalize_level(0), 0.0);
+        assert_eq!(normalize_level(255), 1.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Image containers, histograms, I/O and synthetic benchmark generation for
+//! the HEBS (Histogram Equalization for Backlight Scaling) reproduction.
+//!
+//! The HEBS paper (Iranli, Fatemi, Pedram — DATE 2005) operates on 8-bit
+//! grayscale images: it inspects the image *histogram*, derives a pixel
+//! transformation function from it, and evaluates the distortion between the
+//! original and the transformed image. This crate provides everything those
+//! steps need from the imaging side:
+//!
+//! * [`GrayImage`] / [`RgbImage`] — simple owned raster containers.
+//! * [`Histogram`] / [`CumulativeHistogram`] — marginal and cumulative pixel
+//!   value distributions, the central data structure of the algorithm.
+//! * [`io`] — a dependency-free PGM/PPM codec so images can be inspected with
+//!   ordinary tools.
+//! * [`synthetic`] and [`suite`] — procedural generators that stand in for
+//!   the USC SIPI benchmark photographs used by the paper (which cannot be
+//!   redistributed), producing images with controlled histogram shapes.
+//! * [`video`] — frame-sequence generation for the video-playback use case
+//!   the paper's introduction motivates.
+//!
+//! # Example
+//!
+//! ```
+//! use hebs_imaging::{GrayImage, Histogram};
+//!
+//! let image = GrayImage::from_fn(64, 64, |x, y| ((x + y) % 256) as u8);
+//! let hist = Histogram::of(&image);
+//! assert_eq!(hist.total(), 64 * 64);
+//! assert!(hist.mean() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod histogram;
+mod image;
+pub mod io;
+mod ops;
+mod pixel;
+mod stats;
+pub mod suite;
+pub mod synthetic;
+pub mod video;
+
+pub use error::{ImageError, Result};
+pub use histogram::{CumulativeHistogram, Histogram, GRAY_LEVELS};
+pub use image::{GrayImage, RgbImage};
+pub use ops::{apply_lut, crop, downsample, flip_horizontal, flip_vertical};
+pub use pixel::{Rgb, MAX_LEVEL};
+pub use stats::{covariance, ImageStats};
+pub use suite::{SipiImage, SipiSuite};
+pub use video::{FrameSequence, SceneKind};

@@ -1,0 +1,196 @@
+//! Basic whole-image operations.
+
+use crate::error::{ImageError, Result};
+use crate::image::GrayImage;
+
+/// Applies a 256-entry lookup table to every pixel of an image.
+///
+/// This is exactly what the LCD source driver does in hardware once the
+/// reference voltages are programmed: each incoming grayscale level is mapped
+/// to a new (displayed) level through a fixed curve.
+///
+/// ```
+/// use hebs_imaging::{apply_lut, GrayImage};
+///
+/// let img = GrayImage::from_fn(4, 1, |x, _| (x * 10) as u8);
+/// let mut lut = [0u8; 256];
+/// for (i, entry) in lut.iter_mut().enumerate() {
+///     *entry = (i as u8).saturating_add(5);
+/// }
+/// let shifted = apply_lut(&img, &lut);
+/// assert_eq!(shifted.get(0, 0), Some(5));
+/// ```
+pub fn apply_lut(image: &GrayImage, lut: &[u8; 256]) -> GrayImage {
+    image.map(|v| lut[v as usize])
+}
+
+/// Extracts the rectangle `[x, x+width) × [y, y+height)` from an image.
+///
+/// # Errors
+///
+/// Returns [`ImageError::OutOfBounds`] if the rectangle does not fit inside
+/// the image, and [`ImageError::InvalidDimensions`] if the rectangle is
+/// empty.
+pub fn crop(image: &GrayImage, x: u32, y: u32, width: u32, height: u32) -> Result<GrayImage> {
+    if width == 0 || height == 0 {
+        return Err(ImageError::InvalidDimensions {
+            width,
+            height,
+            buffer_len: 0,
+        });
+    }
+    if x + width > image.width() || y + height > image.height() {
+        return Err(ImageError::OutOfBounds {
+            x: x + width - 1,
+            y: y + height - 1,
+            width: image.width(),
+            height: image.height(),
+        });
+    }
+    Ok(GrayImage::from_fn(width, height, |cx, cy| {
+        image
+            .get(x + cx, y + cy)
+            .expect("crop rectangle was bounds-checked")
+    }))
+}
+
+/// Downsamples an image by an integer factor using box averaging.
+///
+/// Each output pixel is the mean of the corresponding `factor × factor`
+/// block (partial blocks at the right/bottom edge use the pixels that exist).
+/// Downsampling is used to speed up distortion characterization sweeps.
+///
+/// # Panics
+///
+/// Panics if `factor` is 0.
+pub fn downsample(image: &GrayImage, factor: u32) -> GrayImage {
+    assert!(factor > 0, "downsample factor must be nonzero");
+    if factor == 1 {
+        return image.clone();
+    }
+    let out_w = image.width().div_ceil(factor).max(1);
+    let out_h = image.height().div_ceil(factor).max(1);
+    GrayImage::from_fn(out_w, out_h, |ox, oy| {
+        let x0 = ox * factor;
+        let y0 = oy * factor;
+        let x1 = (x0 + factor).min(image.width());
+        let y1 = (y0 + factor).min(image.height());
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for yy in y0..y1 {
+            for xx in x0..x1 {
+                sum += u64::from(image.get(xx, yy).expect("block is in bounds"));
+                count += 1;
+            }
+        }
+        (sum as f64 / count as f64).round() as u8
+    })
+}
+
+/// Mirrors an image left–right.
+pub fn flip_horizontal(image: &GrayImage) -> GrayImage {
+    let w = image.width();
+    GrayImage::from_fn(w, image.height(), |x, y| {
+        image.get(w - 1 - x, y).expect("mirrored coordinate in bounds")
+    })
+}
+
+/// Mirrors an image top–bottom.
+pub fn flip_vertical(image: &GrayImage) -> GrayImage {
+    let h = image.height();
+    GrayImage::from_fn(image.width(), h, |x, y| {
+        image.get(x, h - 1 - y).expect("mirrored coordinate in bounds")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_identity_is_noop() {
+        let img = GrayImage::from_fn(8, 8, |x, y| (x * 8 + y) as u8);
+        let mut lut = [0u8; 256];
+        for (i, e) in lut.iter_mut().enumerate() {
+            *e = i as u8;
+        }
+        assert_eq!(apply_lut(&img, &lut), img);
+    }
+
+    #[test]
+    fn lut_constant_maps_everything() {
+        let img = GrayImage::from_fn(4, 4, |x, _| (x * 60) as u8);
+        let lut = [7u8; 256];
+        assert!(apply_lut(&img, &lut).pixels().all(|v| v == 7));
+    }
+
+    #[test]
+    fn crop_extracts_expected_region() {
+        let img = GrayImage::from_fn(10, 10, |x, y| (x + 10 * y) as u8);
+        let sub = crop(&img, 2, 3, 4, 5).unwrap();
+        assert_eq!(sub.width(), 4);
+        assert_eq!(sub.height(), 5);
+        assert_eq!(sub.get(0, 0), Some(2 + 30));
+        assert_eq!(sub.get(3, 4), Some(5 + 70));
+    }
+
+    #[test]
+    fn crop_rejects_out_of_bounds() {
+        let img = GrayImage::filled(8, 8, 0);
+        assert!(crop(&img, 5, 5, 4, 4).is_err());
+        assert!(crop(&img, 0, 0, 0, 4).is_err());
+    }
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let img = GrayImage::from_fn(8, 6, |_, _| 100);
+        let small = downsample(&img, 2);
+        assert_eq!(small.width(), 4);
+        assert_eq!(small.height(), 3);
+        assert!(small.pixels().all(|v| v == 100));
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        // 2x2 blocks of (0, 0, 200, 200) average to 100.
+        let img = GrayImage::from_fn(2, 2, |_, y| if y == 0 { 0 } else { 200 });
+        let small = downsample(&img, 2);
+        assert_eq!(small.get(0, 0), Some(100));
+    }
+
+    #[test]
+    fn downsample_factor_one_is_identity() {
+        let img = GrayImage::from_fn(5, 5, |x, y| (x * y) as u8);
+        assert_eq!(downsample(&img, 1), img);
+    }
+
+    #[test]
+    fn downsample_handles_partial_edge_blocks() {
+        let img = GrayImage::from_fn(5, 5, |_, _| 50);
+        let small = downsample(&img, 2);
+        assert_eq!(small.width(), 3);
+        assert_eq!(small.height(), 3);
+        assert!(small.pixels().all(|v| v == 50));
+    }
+
+    #[test]
+    fn flips_are_involutions() {
+        let img = GrayImage::from_fn(7, 5, |x, y| (x * 31 + y * 7) as u8);
+        assert_eq!(flip_horizontal(&flip_horizontal(&img)), img);
+        assert_eq!(flip_vertical(&flip_vertical(&img)), img);
+    }
+
+    #[test]
+    fn flip_horizontal_moves_first_column_last() {
+        let img = GrayImage::from_fn(3, 1, |x, _| x as u8);
+        let flipped = flip_horizontal(&img);
+        assert_eq!(flipped.as_raw(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn flip_vertical_moves_first_row_last() {
+        let img = GrayImage::from_fn(1, 3, |_, y| y as u8);
+        let flipped = flip_vertical(&img);
+        assert_eq!(flipped.as_raw(), &[2, 1, 0]);
+    }
+}

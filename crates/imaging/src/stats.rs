@@ -1,0 +1,166 @@
+//! Whole-image statistics used by the distortion metrics.
+
+use crate::image::GrayImage;
+
+/// Summary statistics of a grayscale image (on the raw 0–255 level scale).
+///
+/// ```
+/// use hebs_imaging::{GrayImage, ImageStats};
+///
+/// let img = GrayImage::from_fn(64, 64, |x, _| if x < 32 { 0 } else { 200 });
+/// let stats = ImageStats::of(&img);
+/// assert!((stats.mean - 100.0).abs() < 1e-9);
+/// assert!(stats.variance > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImageStats {
+    /// Mean pixel level.
+    pub mean: f64,
+    /// Population variance of the pixel levels.
+    pub variance: f64,
+    /// Minimum pixel level present.
+    pub min: u8,
+    /// Maximum pixel level present.
+    pub max: u8,
+    /// Number of pixels.
+    pub count: usize,
+}
+
+impl ImageStats {
+    /// Computes the statistics of an image in a single pass.
+    pub fn of(image: &GrayImage) -> Self {
+        let count = image.pixel_count();
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut min = u8::MAX;
+        let mut max = u8::MIN;
+        for v in image.pixels() {
+            let fv = f64::from(v);
+            sum += fv;
+            sum_sq += fv * fv;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let n = count as f64;
+        let mean = if count == 0 { 0.0 } else { sum / n };
+        let variance = if count == 0 {
+            0.0
+        } else {
+            (sum_sq / n - mean * mean).max(0.0)
+        };
+        ImageStats {
+            mean,
+            variance,
+            min: if count == 0 { 0 } else { min },
+            max: if count == 0 { 0 } else { max },
+            count,
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Michelson-style global contrast `(max − min) / (max + min)`, or 0 for
+    /// an all-black image.
+    pub fn contrast(&self) -> f64 {
+        let (lo, hi) = (f64::from(self.min), f64::from(self.max));
+        if hi + lo == 0.0 {
+            0.0
+        } else {
+            (hi - lo) / (hi + lo)
+        }
+    }
+}
+
+/// Population covariance of two images' pixel levels.
+///
+/// Both images must have the same number of pixels; pixels are paired in
+/// row-major order. This is the `σ_xy` term of the Universal Image Quality
+/// Index.
+///
+/// # Panics
+///
+/// Panics if the two images have different pixel counts.
+pub fn covariance(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(
+        a.pixel_count(),
+        b.pixel_count(),
+        "covariance requires images with identical pixel counts"
+    );
+    let n = a.pixel_count() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mean_a = a.mean();
+    let mean_b = b.mean();
+    a.pixels()
+        .zip(b.pixels())
+        .map(|(x, y)| (f64::from(x) - mean_a) * (f64::from(y) - mean_b))
+        .sum::<f64>()
+        / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_image() {
+        let img = GrayImage::filled(8, 8, 99);
+        let stats = ImageStats::of(&img);
+        assert_eq!(stats.mean, 99.0);
+        assert_eq!(stats.variance, 0.0);
+        assert_eq!(stats.min, 99);
+        assert_eq!(stats.max, 99);
+        assert_eq!(stats.count, 64);
+        assert_eq!(stats.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn stats_of_two_level_image() {
+        let img = GrayImage::from_fn(2, 1, |x, _| if x == 0 { 0 } else { 200 });
+        let stats = ImageStats::of(&img);
+        assert_eq!(stats.mean, 100.0);
+        assert_eq!(stats.variance, 10_000.0);
+        assert_eq!(stats.std_dev(), 100.0);
+        assert!((stats.contrast() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contrast_of_black_image_is_zero() {
+        let stats = ImageStats::of(&GrayImage::filled(4, 4, 0));
+        assert_eq!(stats.contrast(), 0.0);
+    }
+
+    #[test]
+    fn covariance_of_image_with_itself_is_variance() {
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x * 7 + y * 13) % 256) as u8);
+        let stats = ImageStats::of(&img);
+        let cov = covariance(&img, &img);
+        assert!((cov - stats.variance).abs() < 1e-6);
+    }
+
+    #[test]
+    fn covariance_sign_for_inverted_image() {
+        let img = GrayImage::from_fn(16, 16, |x, y| ((x + y) % 256) as u8);
+        let inverted = img.map(|v| 255 - v);
+        assert!(covariance(&img, &inverted) < 0.0);
+    }
+
+    #[test]
+    fn covariance_of_constant_images_is_zero() {
+        let a = GrayImage::filled(4, 4, 10);
+        let b = GrayImage::filled(4, 4, 240);
+        assert_eq!(covariance(&a, &b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical pixel counts")]
+    fn covariance_panics_on_size_mismatch() {
+        let a = GrayImage::filled(4, 4, 10);
+        let b = GrayImage::filled(5, 4, 10);
+        let _ = covariance(&a, &b);
+    }
+}

@@ -1,0 +1,535 @@
+//! Procedural generation of test and benchmark images.
+//!
+//! The HEBS paper evaluates on photographs from the USC SIPI database. Those
+//! photographs cannot be redistributed, and the behaviour of backlight
+//! scaling policies depends on the *histogram shape* and the amount of local
+//! structure of an image rather than on its semantic content. This module
+//! therefore provides deterministic, seeded generators that produce images
+//! with controlled tonal distributions: smooth gradients, object-like blobs,
+//! fine texture, dark (low-key) and bright (high-key) scenes and synthetic
+//! test patterns.
+//!
+//! All generators are deterministic for a given seed, so benchmark results
+//! are reproducible run to run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::image::GrayImage;
+
+/// Clamps a float to the 8-bit level range and rounds.
+fn to_level(value: f64) -> u8 {
+    value.round().clamp(0.0, 255.0) as u8
+}
+
+/// A horizontal or vertical linear gradient spanning `[lo, hi]`.
+///
+/// ```
+/// use hebs_imaging::synthetic::linear_gradient;
+/// let g = linear_gradient(128, 32, 0, 255, true);
+/// assert_eq!(g.get(0, 0), Some(0));
+/// assert_eq!(g.get(127, 0), Some(255));
+/// ```
+pub fn linear_gradient(width: u32, height: u32, lo: u8, hi: u8, horizontal: bool) -> GrayImage {
+    let span = f64::from(hi) - f64::from(lo);
+    GrayImage::from_fn(width, height, |x, y| {
+        let t = if horizontal {
+            if width <= 1 {
+                0.0
+            } else {
+                f64::from(x) / f64::from(width - 1)
+            }
+        } else if height <= 1 {
+            0.0
+        } else {
+            f64::from(y) / f64::from(height - 1)
+        };
+        to_level(f64::from(lo) + t * span)
+    })
+}
+
+/// A radial gradient: bright in the centre, falling off towards the corners.
+pub fn radial_gradient(width: u32, height: u32, centre: u8, edge: u8) -> GrayImage {
+    let cx = f64::from(width - 1) / 2.0;
+    let cy = f64::from(height - 1) / 2.0;
+    let max_r = (cx * cx + cy * cy).sqrt().max(1.0);
+    GrayImage::from_fn(width, height, |x, y| {
+        let dx = f64::from(x) - cx;
+        let dy = f64::from(y) - cy;
+        let r = (dx * dx + dy * dy).sqrt() / max_r;
+        to_level(f64::from(centre) + (f64::from(edge) - f64::from(centre)) * r)
+    })
+}
+
+/// A checkerboard with square cells of `cell` pixels alternating between two
+/// levels. Useful for contrast and LUT sanity checks.
+///
+/// # Panics
+///
+/// Panics if `cell` is 0.
+pub fn checkerboard(width: u32, height: u32, cell: u32, dark: u8, light: u8) -> GrayImage {
+    assert!(cell > 0, "cell size must be nonzero");
+    GrayImage::from_fn(width, height, |x, y| {
+        if ((x / cell) + (y / cell)) % 2 == 0 {
+            dark
+        } else {
+            light
+        }
+    })
+}
+
+/// Vertical bars stepping through `steps` evenly spaced grayscale levels.
+///
+/// The resulting histogram consists of `steps` equal spikes — a stand-in for
+/// the SIPI `Testpat` chart.
+///
+/// # Panics
+///
+/// Panics if `steps` is 0.
+pub fn bars(width: u32, height: u32, steps: u32) -> GrayImage {
+    assert!(steps > 0, "steps must be nonzero");
+    GrayImage::from_fn(width, height, |x, _| {
+        let band = x * steps / width.max(1);
+        let band = band.min(steps - 1);
+        to_level(f64::from(band) * 255.0 / f64::from((steps - 1).max(1)))
+    })
+}
+
+/// Adds a Gaussian intensity blob onto an existing image (saturating).
+///
+/// Blobs model bright coherent objects (faces, fruit, sails, …): pixels that
+/// belong to one object occupy a narrow band of the histogram, which is what
+/// the HEBS equalization exploits.
+pub fn add_gaussian_blob(
+    image: &mut GrayImage,
+    centre_x: f64,
+    centre_y: f64,
+    sigma: f64,
+    amplitude: f64,
+) {
+    let width = image.width();
+    let height = image.height();
+    let sigma = sigma.max(1e-6);
+    for y in 0..height {
+        for x in 0..width {
+            let dx = f64::from(x) - centre_x;
+            let dy = f64::from(y) - centre_y;
+            let g = amplitude * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
+            let current = f64::from(image.get(x, y).expect("in bounds"));
+            image
+                .set(x, y, to_level(current + g))
+                .expect("in bounds");
+        }
+    }
+}
+
+/// Smooth deterministic value noise in `[0, 1]` built from a seeded random
+/// lattice with bilinear interpolation and three octaves.
+///
+/// `scale` is the lattice spacing in pixels of the coarsest octave; larger
+/// values produce smoother fields.
+///
+/// # Panics
+///
+/// Panics if `scale` is 0.
+pub fn value_noise(width: u32, height: u32, scale: u32, seed: u64) -> Vec<f64> {
+    assert!(scale > 0, "noise scale must be nonzero");
+    let mut field = vec![0.0f64; width as usize * height as usize];
+    let mut total_weight = 0.0;
+    let octaves = [(scale.max(1), 1.0), ((scale / 2).max(1), 0.5), ((scale / 4).max(1), 0.25)];
+    for (octave_index, &(spacing, weight)) in octaves.iter().enumerate() {
+        let lattice_w = width / spacing + 2;
+        let lattice_h = height / spacing + 2;
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(octave_index as u64 * 0x9E37_79B9));
+        let lattice: Vec<f64> = (0..lattice_w * lattice_h)
+            .map(|_| rng.random_range(0.0..1.0))
+            .collect();
+        let sample = |ix: u32, iy: u32| lattice[(iy * lattice_w + ix) as usize];
+        for y in 0..height {
+            for x in 0..width {
+                let fx = f64::from(x) / f64::from(spacing);
+                let fy = f64::from(y) / f64::from(spacing);
+                let x0 = fx.floor() as u32;
+                let y0 = fy.floor() as u32;
+                let tx = fx - f64::from(x0);
+                let ty = fy - f64::from(y0);
+                // Smoothstep the interpolation parameter for a softer field.
+                let sx = tx * tx * (3.0 - 2.0 * tx);
+                let sy = ty * ty * (3.0 - 2.0 * ty);
+                let v00 = sample(x0, y0);
+                let v10 = sample(x0 + 1, y0);
+                let v01 = sample(x0, y0 + 1);
+                let v11 = sample(x0 + 1, y0 + 1);
+                let v0 = v00 + (v10 - v00) * sx;
+                let v1 = v01 + (v11 - v01) * sx;
+                let v = v0 + (v1 - v0) * sy;
+                field[(y * width + x) as usize] += v * weight;
+            }
+        }
+        total_weight += weight;
+    }
+    for v in &mut field {
+        *v /= total_weight;
+    }
+    field
+}
+
+/// A textured image whose levels span `[lo, hi]`, built from value noise.
+///
+/// With a small `scale` this produces fine, high-variance texture (a stand-in
+/// for SIPI `Baboon`); with a large `scale` it produces smooth cloudy scenes.
+pub fn noise_texture(width: u32, height: u32, scale: u32, lo: u8, hi: u8, seed: u64) -> GrayImage {
+    let field = value_noise(width, height, scale, seed);
+    let span = f64::from(hi) - f64::from(lo);
+    GrayImage::from_fn(width, height, |x, y| {
+        let v = field[(y * width + x) as usize];
+        to_level(f64::from(lo) + v * span)
+    })
+}
+
+/// Applies a gamma curve to an image in place (`x' = x^gamma` on normalized
+/// values). `gamma < 1` brightens (high-key), `gamma > 1` darkens (low-key).
+///
+/// # Panics
+///
+/// Panics if `gamma` is not finite and positive.
+pub fn apply_gamma(image: &mut GrayImage, gamma: f64) {
+    assert!(
+        gamma.is_finite() && gamma > 0.0,
+        "gamma must be finite and positive"
+    );
+    image.map_in_place(|v| {
+        let x = f64::from(v) / 255.0;
+        to_level(x.powf(gamma) * 255.0)
+    });
+}
+
+/// Linearly remaps the occupied level range of an image onto `[lo, hi]`.
+///
+/// Used by the benchmark suite to give each synthetic scene a controlled
+/// dynamic range.
+pub fn stretch_to_range(image: &mut GrayImage, lo: u8, hi: u8) {
+    let min = f64::from(image.min_level());
+    let max = f64::from(image.max_level());
+    let span_in = (max - min).max(1.0);
+    let span_out = f64::from(hi) - f64::from(lo);
+    image.map_in_place(|v| {
+        let t = (f64::from(v) - min) / span_in;
+        to_level(f64::from(lo) + t * span_out)
+    });
+}
+
+/// Adds zero-mean uniform "sensor" noise of amplitude `±amplitude` levels to
+/// every pixel (clamped to the 8-bit range).
+///
+/// Real photographs always carry a little sensor noise; the scene composites
+/// add a couple of levels of it so that window-based quality metrics behave
+/// on the synthetic suite the way they do on natural images.
+pub fn add_sensor_noise(image: &mut GrayImage, amplitude: u8, seed: u64) {
+    if amplitude == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0123_4567_89AB);
+    let amp = i16::from(amplitude);
+    image.map_in_place(|v| {
+        let noise: i16 = rng.random_range(-amp..=amp);
+        (i16::from(v) + noise).clamp(0, 255) as u8
+    });
+}
+
+/// Sprinkles salt-and-pepper noise over a fraction of the pixels.
+///
+/// `fraction` is clamped to `[0, 1]`. Used for failure-injection style tests
+/// of the distortion metrics.
+pub fn add_salt_and_pepper(image: &mut GrayImage, fraction: f64, seed: u64) {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let count = (image.pixel_count() as f64 * fraction).round() as usize;
+    let width = image.width();
+    let height = image.height();
+    for _ in 0..count {
+        let x = rng.random_range(0..width);
+        let y = rng.random_range(0..height);
+        let level = if rng.random_bool(0.5) { 0 } else { 255 };
+        image.set(x, y, level).expect("coordinates are in range");
+    }
+}
+
+/// A portrait-like scene: dark background, a bright oval "face" and mid-tone
+/// "clothing" — a trimodal histogram similar to SIPI `Lena` / `Girl`.
+pub fn portrait(width: u32, height: u32, seed: u64) -> GrayImage {
+    let mut img = noise_texture(width, height, width.max(8) / 4, 30, 80, seed);
+    let cx = f64::from(width) * 0.5;
+    let cy = f64::from(height) * 0.4;
+    let sigma = f64::from(width.min(height)) * 0.18;
+    // Face.
+    add_gaussian_blob(&mut img, cx, cy, sigma, 150.0);
+    // Shoulders / clothing.
+    add_gaussian_blob(
+        &mut img,
+        cx,
+        f64::from(height) * 0.85,
+        f64::from(width) * 0.3,
+        70.0,
+    );
+    // A bright highlight (hat / lamp).
+    add_gaussian_blob(
+        &mut img,
+        f64::from(width) * 0.75,
+        f64::from(height) * 0.2,
+        sigma * 0.5,
+        90.0,
+    );
+    add_sensor_noise(&mut img, 2, seed);
+    img
+}
+
+/// A landscape-like scene: bright sky band over darker textured ground — a
+/// bimodal histogram similar to SIPI `Trees` / `Sail`.
+pub fn landscape(width: u32, height: u32, seed: u64) -> GrayImage {
+    let horizon = height as f64 * 0.45;
+    let ground = noise_texture(width, height, width.max(8) / 8, 40, 120, seed);
+    let mut img = GrayImage::from_fn(width, height, |x, y| {
+        if f64::from(y) < horizon {
+            // Sky: bright gradient getting brighter towards the top.
+            let t = f64::from(y) / horizon.max(1.0);
+            to_level(230.0 - 60.0 * t)
+        } else {
+            ground.get(x, y).expect("in bounds")
+        }
+    });
+    add_sensor_noise(&mut img, 2, seed);
+    img
+}
+
+/// A still-life scene: several bright round objects on a mid-dark cloth,
+/// similar to SIPI `Peppers` / `Onion` / `Pears`.
+pub fn still_life(width: u32, height: u32, seed: u64) -> GrayImage {
+    let mut img = noise_texture(width, height, width.max(8) / 3, 50, 90, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD_EF01);
+    let objects = 5 + (seed % 3) as usize;
+    for _ in 0..objects {
+        let cx = rng.random_range(0.15..0.85) * f64::from(width);
+        let cy = rng.random_range(0.2..0.85) * f64::from(height);
+        let sigma = rng.random_range(0.06..0.14) * f64::from(width.min(height));
+        let amplitude = rng.random_range(80.0..160.0);
+        add_gaussian_blob(&mut img, cx, cy, sigma, amplitude);
+    }
+    add_sensor_noise(&mut img, 2, seed);
+    img
+}
+
+/// Fine high-variance texture covering most of the tonal range, similar to
+/// SIPI `Baboon`.
+pub fn fine_texture(width: u32, height: u32, seed: u64) -> GrayImage {
+    let mut img = noise_texture(width, height, 4, 10, 245, seed);
+    // Boost local contrast slightly so the histogram has long tails.
+    apply_gamma(&mut img, 0.95);
+    img
+}
+
+/// A predominantly dark (low-key) scene with a few highlights, similar to a
+/// night shot or SIPI `Splash`.
+pub fn low_key(width: u32, height: u32, seed: u64) -> GrayImage {
+    let mut img = noise_texture(width, height, width.max(8) / 4, 5, 90, seed);
+    apply_gamma(&mut img, 1.6);
+    add_gaussian_blob(
+        &mut img,
+        f64::from(width) * 0.3,
+        f64::from(height) * 0.35,
+        f64::from(width.min(height)) * 0.1,
+        200.0,
+    );
+    add_sensor_noise(&mut img, 2, seed);
+    img
+}
+
+/// A predominantly bright (high-key) scene, similar to an overexposed
+/// daylight shot or SIPI `Autumn` sky.
+pub fn high_key(width: u32, height: u32, seed: u64) -> GrayImage {
+    let mut img = noise_texture(width, height, width.max(8) / 4, 140, 250, seed);
+    apply_gamma(&mut img, 0.75);
+    add_sensor_noise(&mut img, 2, seed);
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn gradient_endpoints() {
+        let g = linear_gradient(100, 10, 20, 220, true);
+        assert_eq!(g.get(0, 0), Some(20));
+        assert_eq!(g.get(99, 0), Some(220));
+        let v = linear_gradient(10, 100, 0, 255, false);
+        assert_eq!(v.get(0, 0), Some(0));
+        assert_eq!(v.get(0, 99), Some(255));
+    }
+
+    #[test]
+    fn gradient_single_column_does_not_divide_by_zero() {
+        let g = linear_gradient(1, 1, 10, 200, true);
+        assert_eq!(g.get(0, 0), Some(10));
+    }
+
+    #[test]
+    fn radial_gradient_centre_brighter_than_corner() {
+        let g = radial_gradient(65, 65, 240, 20);
+        let centre = g.get(32, 32).unwrap();
+        let corner = g.get(0, 0).unwrap();
+        assert!(centre > corner);
+        assert!(centre >= 230);
+        assert!(corner <= 40);
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let c = checkerboard(8, 8, 2, 10, 240);
+        assert_eq!(c.get(0, 0), Some(10));
+        assert_eq!(c.get(2, 0), Some(240));
+        assert_eq!(c.get(0, 2), Some(240));
+        assert_eq!(c.get(2, 2), Some(10));
+    }
+
+    #[test]
+    fn bars_histogram_has_expected_spikes() {
+        let img = bars(160, 16, 8);
+        let hist = Histogram::of(&img);
+        assert_eq!(hist.occupied_levels(), 8);
+        assert_eq!(hist.min_level(), Some(0));
+        assert_eq!(hist.max_level(), Some(255));
+    }
+
+    #[test]
+    fn value_noise_is_deterministic_and_bounded() {
+        let a = value_noise(32, 32, 8, 42);
+        let b = value_noise(32, 32, 8, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let c = value_noise(32, 32, 8, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn noise_texture_respects_bounds() {
+        let img = noise_texture(64, 64, 8, 50, 200, 7);
+        assert!(img.min_level() >= 50);
+        assert!(img.max_level() <= 200);
+    }
+
+    #[test]
+    fn gamma_direction() {
+        let mut bright = linear_gradient(64, 1, 0, 255, true);
+        let original_mean = bright.mean();
+        apply_gamma(&mut bright, 0.5);
+        assert!(bright.mean() > original_mean);
+
+        let mut dark = linear_gradient(64, 1, 0, 255, true);
+        apply_gamma(&mut dark, 2.0);
+        assert!(dark.mean() < original_mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be finite and positive")]
+    fn gamma_rejects_nonpositive() {
+        let mut img = GrayImage::filled(2, 2, 10);
+        apply_gamma(&mut img, 0.0);
+    }
+
+    #[test]
+    fn stretch_to_range_hits_endpoints() {
+        let mut img = noise_texture(32, 32, 8, 100, 150, 3);
+        stretch_to_range(&mut img, 10, 240);
+        assert_eq!(img.min_level(), 10);
+        assert_eq!(img.max_level(), 240);
+    }
+
+    #[test]
+    fn sensor_noise_is_bounded_and_deterministic() {
+        let mut a = GrayImage::filled(32, 32, 100);
+        let mut b = GrayImage::filled(32, 32, 100);
+        add_sensor_noise(&mut a, 2, 7);
+        add_sensor_noise(&mut b, 2, 7);
+        assert_eq!(a, b);
+        assert!(a.pixels().all(|v| (98..=102).contains(&v)));
+        // Mean stays close to the original level (zero-mean noise).
+        assert!((a.mean() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sensor_noise_zero_amplitude_is_noop() {
+        let mut img = GrayImage::filled(8, 8, 42);
+        add_sensor_noise(&mut img, 0, 3);
+        assert!(img.pixels().all(|v| v == 42));
+    }
+
+    #[test]
+    fn sensor_noise_clamps_at_level_extremes() {
+        let mut img = GrayImage::filled(16, 16, 0);
+        add_sensor_noise(&mut img, 3, 9);
+        assert!(img.pixels().all(|v| v <= 3));
+        let mut bright = GrayImage::filled(16, 16, 255);
+        add_sensor_noise(&mut bright, 3, 9);
+        assert!(bright.pixels().all(|v| v >= 252));
+    }
+
+    #[test]
+    fn salt_and_pepper_changes_pixels() {
+        let mut img = GrayImage::filled(64, 64, 128);
+        add_salt_and_pepper(&mut img, 0.1, 11);
+        let hist = Histogram::of(&img);
+        assert!(hist.count(0) + hist.count(255) > 0);
+        // Only roughly 10% of the pixels should be affected.
+        assert!(hist.count(128) > (64 * 64) * 8 / 10);
+    }
+
+    #[test]
+    fn salt_and_pepper_zero_fraction_is_noop() {
+        let mut img = GrayImage::filled(16, 16, 77);
+        add_salt_and_pepper(&mut img, 0.0, 3);
+        assert!(img.pixels().all(|v| v == 77));
+    }
+
+    #[test]
+    fn portrait_is_brighter_near_face_than_background() {
+        let img = portrait(128, 128, 1);
+        let face = img.get(64, 51).unwrap();
+        let corner = img.get(2, 2).unwrap();
+        assert!(face > corner);
+    }
+
+    #[test]
+    fn landscape_sky_brighter_than_ground() {
+        let img = landscape(128, 128, 2);
+        let sky = img.get(64, 5).unwrap();
+        let ground = img.get(64, 120).unwrap();
+        assert!(sky > ground);
+    }
+
+    #[test]
+    fn scene_generators_are_deterministic() {
+        assert_eq!(portrait(64, 64, 9), portrait(64, 64, 9));
+        assert_eq!(landscape(64, 64, 9), landscape(64, 64, 9));
+        assert_eq!(still_life(64, 64, 9), still_life(64, 64, 9));
+        assert_eq!(fine_texture(64, 64, 9), fine_texture(64, 64, 9));
+        assert_eq!(low_key(64, 64, 9), low_key(64, 64, 9));
+        assert_eq!(high_key(64, 64, 9), high_key(64, 64, 9));
+    }
+
+    #[test]
+    fn low_key_is_darker_than_high_key() {
+        let dark = low_key(96, 96, 5);
+        let bright = high_key(96, 96, 5);
+        assert!(dark.mean() + 40.0 < bright.mean());
+    }
+
+    #[test]
+    fn fine_texture_has_wide_histogram() {
+        let img = fine_texture(128, 128, 4);
+        let hist = Histogram::of(&img);
+        assert!(hist.dynamic_range() > 150);
+        assert!(hist.entropy() > 5.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Synthetic video (frame-sequence) generation.
+//!
+//! Backlight scaling in practice runs on video: the policy must be cheap
+//! enough to evaluate per frame and the backlight level should not flicker
+//! between frames. This module generates deterministic frame sequences with
+//! the temporal behaviours that stress those requirements: static scenes
+//! with sensor noise, slow pans, fades to black/white and hard scene cuts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::image::GrayImage;
+use crate::synthetic;
+
+/// The kind of temporal behaviour a generated scene exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SceneKind {
+    /// A static scene with small per-frame sensor noise; the backlight level
+    /// should stay constant.
+    Static,
+    /// A slow horizontal pan across a wide gradient; the histogram drifts
+    /// slowly frame to frame.
+    Pan,
+    /// A fade from the scene to black over the sequence; the optimal
+    /// backlight level decreases steadily.
+    FadeToBlack,
+    /// A hard cut from a dark scene to a bright scene half way through.
+    SceneCut,
+}
+
+impl SceneKind {
+    /// All supported scene kinds.
+    pub const ALL: [SceneKind; 4] = [
+        SceneKind::Static,
+        SceneKind::Pan,
+        SceneKind::FadeToBlack,
+        SceneKind::SceneCut,
+    ];
+}
+
+impl std::fmt::Display for SceneKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SceneKind::Static => "static",
+            SceneKind::Pan => "pan",
+            SceneKind::FadeToBlack => "fade-to-black",
+            SceneKind::SceneCut => "scene-cut",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A deterministic generator of video frames.
+///
+/// ```
+/// use hebs_imaging::{FrameSequence, SceneKind};
+///
+/// let seq = FrameSequence::new(SceneKind::Pan, 64, 64, 10, 7);
+/// let frames: Vec<_> = seq.frames().collect();
+/// assert_eq!(frames.len(), 10);
+/// assert_eq!(frames[0].width(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameSequence {
+    kind: SceneKind,
+    width: u32,
+    height: u32,
+    frame_count: usize,
+    seed: u64,
+}
+
+impl FrameSequence {
+    /// Creates a frame sequence description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension or the frame count is 0.
+    pub fn new(kind: SceneKind, width: u32, height: u32, frame_count: usize, seed: u64) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be nonzero");
+        assert!(frame_count > 0, "frame count must be nonzero");
+        FrameSequence {
+            kind,
+            width,
+            height,
+            frame_count,
+            seed,
+        }
+    }
+
+    /// Scene kind of this sequence.
+    pub fn kind(&self) -> SceneKind {
+        self.kind
+    }
+
+    /// Number of frames the sequence will produce.
+    pub fn frame_count(&self) -> usize {
+        self.frame_count
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Generates the `index`-th frame (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= frame_count`.
+    pub fn frame(&self, index: usize) -> GrayImage {
+        assert!(
+            index < self.frame_count,
+            "frame index {index} out of range (sequence has {} frames)",
+            self.frame_count
+        );
+        let progress = if self.frame_count <= 1 {
+            0.0
+        } else {
+            index as f64 / (self.frame_count - 1) as f64
+        };
+        match self.kind {
+            SceneKind::Static => self.static_frame(index),
+            SceneKind::Pan => self.pan_frame(progress),
+            SceneKind::FadeToBlack => self.fade_frame(progress),
+            SceneKind::SceneCut => self.cut_frame(progress),
+        }
+    }
+
+    /// Iterator over all frames in order.
+    pub fn frames(&self) -> impl Iterator<Item = GrayImage> + '_ {
+        (0..self.frame_count).map(move |i| self.frame(i))
+    }
+
+    fn base_scene(&self) -> GrayImage {
+        synthetic::still_life(self.width, self.height, self.seed)
+    }
+
+    fn static_frame(&self, index: usize) -> GrayImage {
+        let mut frame = self.base_scene();
+        // Small zero-mean sensor noise, different per frame but deterministic.
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(index as u64 * 7919));
+        frame.map_in_place(|v| {
+            let noise: i16 = rng.random_range(-3..=3);
+            (i16::from(v) + noise).clamp(0, 255) as u8
+        });
+        frame
+    }
+
+    fn pan_frame(&self, progress: f64) -> GrayImage {
+        // Pan a viewport across a wide gradient-plus-texture background.
+        let wide_width = self.width * 3;
+        let background = synthetic::noise_texture(wide_width, self.height, 16, 20, 235, self.seed);
+        let max_offset = wide_width - self.width;
+        let offset = (progress * f64::from(max_offset)).round() as u32;
+        GrayImage::from_fn(self.width, self.height, |x, y| {
+            background.get(x + offset, y).expect("viewport is in bounds")
+        })
+    }
+
+    fn fade_frame(&self, progress: f64) -> GrayImage {
+        let scale = 1.0 - progress;
+        self.base_scene()
+            .map(|v| (f64::from(v) * scale).round().clamp(0.0, 255.0) as u8)
+    }
+
+    fn cut_frame(&self, progress: f64) -> GrayImage {
+        if progress < 0.5 {
+            synthetic::low_key(self.width, self.height, self.seed)
+        } else {
+            synthetic::high_key(self.width, self.height, self.seed.wrapping_add(1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_produces_requested_number_of_frames() {
+        let seq = FrameSequence::new(SceneKind::Static, 32, 32, 5, 1);
+        assert_eq!(seq.frames().count(), 5);
+        assert_eq!(seq.frame_count(), 5);
+        assert_eq!(seq.kind(), SceneKind::Static);
+        assert_eq!(seq.width(), 32);
+        assert_eq!(seq.height(), 32);
+    }
+
+    #[test]
+    fn frames_are_deterministic() {
+        let a = FrameSequence::new(SceneKind::Pan, 48, 32, 6, 3);
+        let b = FrameSequence::new(SceneKind::Pan, 48, 32, 6, 3);
+        for i in 0..6 {
+            assert_eq!(a.frame(i), b.frame(i));
+        }
+    }
+
+    #[test]
+    fn static_scene_changes_only_slightly() {
+        let seq = FrameSequence::new(SceneKind::Static, 48, 48, 3, 5);
+        let f0 = seq.frame(0);
+        let f1 = seq.frame(1);
+        let mean_abs_diff: f64 = f0
+            .pixels()
+            .zip(f1.pixels())
+            .map(|(a, b)| (f64::from(a) - f64::from(b)).abs())
+            .sum::<f64>()
+            / f0.pixel_count() as f64;
+        assert!(mean_abs_diff < 5.0);
+    }
+
+    #[test]
+    fn fade_to_black_reduces_mean() {
+        let seq = FrameSequence::new(SceneKind::FadeToBlack, 48, 48, 8, 2);
+        let first_mean = seq.frame(0).mean();
+        let last_mean = seq.frame(7).mean();
+        assert!(last_mean < first_mean * 0.2);
+        assert_eq!(seq.frame(7).max_level(), 0);
+    }
+
+    #[test]
+    fn scene_cut_switches_brightness() {
+        let seq = FrameSequence::new(SceneKind::SceneCut, 48, 48, 10, 4);
+        let dark = seq.frame(0).mean();
+        let bright = seq.frame(9).mean();
+        assert!(bright > dark + 40.0);
+    }
+
+    #[test]
+    fn pan_progresses_across_background() {
+        let seq = FrameSequence::new(SceneKind::Pan, 32, 32, 4, 8);
+        assert_ne!(seq.frame(0), seq.frame(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "frame index")]
+    fn out_of_range_frame_panics() {
+        let seq = FrameSequence::new(SceneKind::Static, 16, 16, 2, 1);
+        let _ = seq.frame(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame count must be nonzero")]
+    fn zero_frames_rejected() {
+        let _ = FrameSequence::new(SceneKind::Static, 16, 16, 0, 1);
+    }
+
+    #[test]
+    fn scene_kind_display_and_all() {
+        assert_eq!(SceneKind::ALL.len(), 4);
+        assert_eq!(SceneKind::FadeToBlack.to_string(), "fade-to-black");
+    }
+}

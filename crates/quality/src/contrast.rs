@@ -1,0 +1,165 @@
+//! Distortion measures used by the prior-work baselines.
+//!
+//! * Reference [4] of the paper (DLS, Chang et al.) evaluates distortion as
+//!   the **fraction of saturated pixels** — pixels pushed outside the
+//!   representable range by the compensation and clipped.
+//! * Reference [5] (CBCS, Cheng & Pedram) uses **contrast fidelity**: the
+//!   fraction of pixel-value levels whose contrast (level-to-level distance)
+//!   is preserved by the transformation.
+//!
+//! HEBS argues both are overestimates of perceived distortion; the
+//! reproduction implements them so the baseline-comparison experiment can
+//! use each policy's native metric as well as the common UIQI measure.
+
+use hebs_imaging::{GrayImage, Histogram};
+
+/// Fraction of pixels of `original` that a transformation maps to a clipped
+/// (fully black or fully white) level in `transformed` even though they were
+/// not at the extremes originally.
+///
+/// This is the distortion notion of the DLS baseline: a pixel "saturates"
+/// when compensation pushes it beyond the representable range and the
+/// information it carried is lost.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn saturated_pixel_fraction(original: &GrayImage, transformed: &GrayImage) -> f64 {
+    assert_eq!(
+        (original.width(), original.height()),
+        (transformed.width(), transformed.height()),
+        "images must have identical dimensions"
+    );
+    let n = original.pixel_count() as f64;
+    let saturated = original
+        .pixels()
+        .zip(transformed.pixels())
+        .filter(|&(before, after)| (after == 255 && before != 255) || (after == 0 && before != 0))
+        .count();
+    saturated as f64 / n
+}
+
+/// Contrast fidelity of a level mapping with respect to an image histogram.
+///
+/// For every pair of adjacent occupied levels in the original histogram, the
+/// contrast between them is considered *preserved* when the mapping keeps
+/// them at distinct output levels. The fidelity is the pixel-population
+/// weighted fraction of preserved levels — 1.0 when every occupied level
+/// remains distinguishable, lower when the transformation collapses levels.
+///
+/// This captures the CBCS notion that information is lost exactly where the
+/// transformation flattens the grayscale mapping.
+pub fn contrast_fidelity(histogram: &Histogram, lut: &[u8; 256]) -> f64 {
+    let total = histogram.total();
+    if total == 0 {
+        return 1.0;
+    }
+    // Occupied levels in ascending order.
+    let occupied: Vec<usize> = (0..256).filter(|&l| histogram.count(l as u8) > 0).collect();
+    if occupied.len() <= 1 {
+        return 1.0;
+    }
+    let mut preserved_population = 0u64;
+    let mut considered_population = 0u64;
+    for pair in occupied.windows(2) {
+        let (lo, hi) = (pair[0], pair[1]);
+        // Weight each adjacent-level pair by the pixels that carry it.
+        let weight = histogram.count(lo as u8) + histogram.count(hi as u8);
+        considered_population += weight;
+        if lut[hi] > lut[lo] {
+            preserved_population += weight;
+        }
+    }
+    if considered_population == 0 {
+        1.0
+    } else {
+        preserved_population as f64 / considered_population as f64
+    }
+}
+
+/// Distortion according to the CBCS baseline: `1 − contrast_fidelity`.
+pub fn contrast_distortion(histogram: &Histogram, lut: &[u8; 256]) -> f64 {
+    1.0 - contrast_fidelity(histogram, lut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hebs_imaging::synthetic;
+
+    fn identity_lut() -> [u8; 256] {
+        let mut lut = [0u8; 256];
+        for (i, e) in lut.iter_mut().enumerate() {
+            *e = i as u8;
+        }
+        lut
+    }
+
+    #[test]
+    fn no_saturation_for_identity() {
+        let img = synthetic::portrait(32, 32, 1);
+        assert_eq!(saturated_pixel_fraction(&img, &img), 0.0);
+    }
+
+    #[test]
+    fn saturation_counts_clipped_pixels() {
+        let img = GrayImage::from_fn(4, 1, |x, _| [10u8, 100, 200, 255][x as usize]);
+        // Shift everything up by 100 with clipping: 200 and 255 both end at
+        // 255, but 255 was already white so only one new saturation.
+        let shifted = img.map(|v| v.saturating_add(100));
+        assert!((saturated_pixel_fraction(&img, &shifted) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_counts_black_crush() {
+        let img = GrayImage::from_fn(4, 1, |x, _| [0u8, 30, 100, 200][x as usize]);
+        let crushed = img.map(|v| v.saturating_sub(50));
+        // 30 → 0 is a new black crush; 0 was already black.
+        assert!((saturated_pixel_fraction(&img, &crushed) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_lut_has_full_fidelity() {
+        let img = synthetic::still_life(48, 48, 4);
+        let hist = Histogram::of(&img);
+        assert_eq!(contrast_fidelity(&hist, &identity_lut()), 1.0);
+        assert_eq!(contrast_distortion(&hist, &identity_lut()), 0.0);
+    }
+
+    #[test]
+    fn constant_lut_has_zero_fidelity() {
+        let img = synthetic::still_life(48, 48, 4);
+        let hist = Histogram::of(&img);
+        let lut = [128u8; 256];
+        assert_eq!(contrast_fidelity(&hist, &lut), 0.0);
+        assert_eq!(contrast_distortion(&hist, &lut), 1.0);
+    }
+
+    #[test]
+    fn partial_collapse_gives_intermediate_fidelity() {
+        // Image with 4 equally populated levels.
+        let img = GrayImage::from_fn(4, 4, |x, _| [10u8, 20, 30, 40][x as usize]);
+        let hist = Histogram::of(&img);
+        // LUT collapses 30 and 40 together but keeps 10/20/30 distinct.
+        let mut lut = identity_lut();
+        lut[40] = lut[30];
+        let fidelity = contrast_fidelity(&hist, &lut);
+        assert!(fidelity > 0.5 && fidelity < 1.0);
+    }
+
+    #[test]
+    fn degenerate_histograms() {
+        let empty = Histogram::new();
+        assert_eq!(contrast_fidelity(&empty, &identity_lut()), 1.0);
+        let single = Histogram::of(&GrayImage::filled(4, 4, 77));
+        assert_eq!(contrast_fidelity(&single, &identity_lut()), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical dimensions")]
+    fn saturation_panics_on_size_mismatch() {
+        let a = GrayImage::filled(4, 4, 0);
+        let b = GrayImage::filled(4, 5, 0);
+        let _ = saturated_pixel_fraction(&a, &b);
+    }
+}

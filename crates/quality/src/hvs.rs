@@ -1,0 +1,232 @@
+//! Human-visual-system (HVS) pre-filter.
+//!
+//! Section 2 of the HEBS paper (following its reference [6]) recommends
+//! transforming both the original and the backlight-scaled image "according
+//! to a human visual system model" before comparing them quantitatively.
+//! This module implements a light-weight version of the classical two-stage
+//! model described in Pratt's *Digital Image Processing* (paper reference
+//! [9]):
+//!
+//! 1. **Luminance adaptation** — perceived brightness is a compressive,
+//!    roughly cube-root function of luminance (Weber–Fechner / CIE L*
+//!    behaviour), so differences in dark regions weigh more than equal
+//!    differences in bright regions.
+//! 2. **Contrast sensitivity** — the eye is most sensitive to mid spatial
+//!    frequencies; very slow gradients and very fine detail matter less.
+//!    This is approximated with a centre–surround (difference-of-boxes)
+//!    band-pass filter blended with the adapted luminance.
+//!
+//! The output is again an 8-bit image so every metric in this crate can be
+//! applied to the filtered pair.
+
+use hebs_imaging::GrayImage;
+
+/// Configuration of the HVS pre-filter.
+///
+/// ```
+/// use hebs_imaging::GrayImage;
+/// use hebs_quality::HvsModel;
+///
+/// let model = HvsModel::default();
+/// let img = GrayImage::from_fn(32, 32, |x, _| (x * 8) as u8);
+/// let perceived = model.apply(&img);
+/// assert_eq!(perceived.width(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HvsModel {
+    /// Exponent of the luminance-adaptation power law (CIE-like ≈ 1/3,
+    /// identity = 1.0).
+    pub adaptation_exponent: f64,
+    /// Radius (in pixels) of the surround box of the contrast-sensitivity
+    /// filter. 0 disables the band-pass stage.
+    pub surround_radius: u32,
+    /// Blend factor in `[0, 1]` between the adapted luminance (0) and the
+    /// band-pass response (1).
+    pub contrast_weight: f64,
+}
+
+impl Default for HvsModel {
+    fn default() -> Self {
+        // The adaptation exponent follows the CIE lightness cube-root law;
+        // the centre–surround stage is blended in lightly. A larger contrast
+        // weight dilutes global-brightness differences (the re-centred
+        // band-pass term is shared by both images), which makes backlight
+        // dimming look cheaper than observers report — 0.15 keeps the
+        // luminance penalty of dimming close to the paper's distortion scale.
+        HvsModel {
+            adaptation_exponent: 1.0 / 3.0,
+            surround_radius: 2,
+            contrast_weight: 0.15,
+        }
+    }
+}
+
+impl HvsModel {
+    /// A model that performs luminance adaptation only (no spatial
+    /// filtering). Useful to isolate the two effects in ablations.
+    pub fn adaptation_only() -> Self {
+        HvsModel {
+            adaptation_exponent: 1.0 / 3.0,
+            surround_radius: 0,
+            contrast_weight: 0.0,
+        }
+    }
+
+    /// The identity model: the filtered image equals the input. With this
+    /// model the HEBS distortion measure degenerates to plain UIQI.
+    pub fn identity() -> Self {
+        HvsModel {
+            adaptation_exponent: 1.0,
+            surround_radius: 0,
+            contrast_weight: 0.0,
+        }
+    }
+
+    /// Applies the model to an image, producing the "perceived" image.
+    pub fn apply(&self, image: &GrayImage) -> GrayImage {
+        let adapted = self.adapt_luminance(image);
+        if self.surround_radius == 0 || self.contrast_weight <= 0.0 {
+            return adapted;
+        }
+        let surround = box_blur(&adapted, self.surround_radius);
+        let w = self.contrast_weight.clamp(0.0, 1.0);
+        GrayImage::from_fn(image.width(), image.height(), |x, y| {
+            let centre = f64::from(adapted.get(x, y).expect("in bounds"));
+            let local_mean = f64::from(surround.get(x, y).expect("in bounds"));
+            // Band-pass response re-centred on mid gray so it stays in range.
+            let band_pass = 128.0 + (centre - local_mean);
+            let blended = (1.0 - w) * centre + w * band_pass;
+            blended.round().clamp(0.0, 255.0) as u8
+        })
+    }
+
+    /// Applies the model to both images of a pair.
+    pub fn apply_pair(&self, a: &GrayImage, b: &GrayImage) -> (GrayImage, GrayImage) {
+        (self.apply(a), self.apply(b))
+    }
+
+    fn adapt_luminance(&self, image: &GrayImage) -> GrayImage {
+        let exponent = self.adaptation_exponent;
+        if (exponent - 1.0).abs() < 1e-12 {
+            return image.clone();
+        }
+        image.map(|v| {
+            let x = f64::from(v) / 255.0;
+            (x.powf(exponent) * 255.0).round().clamp(0.0, 255.0) as u8
+        })
+    }
+}
+
+/// Box blur with the given radius (window of `2r + 1` pixels per side),
+/// clamping at the borders.
+fn box_blur(image: &GrayImage, radius: u32) -> GrayImage {
+    if radius == 0 {
+        return image.clone();
+    }
+    let w = image.width() as i64;
+    let h = image.height() as i64;
+    let r = radius as i64;
+    GrayImage::from_fn(image.width(), image.height(), |x, y| {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let xx = (i64::from(x) + dx).clamp(0, w - 1) as u32;
+                let yy = (i64::from(y) + dy).clamp(0, h - 1) as u32;
+                sum += u64::from(image.get(xx, yy).expect("clamped coordinate"));
+                count += 1;
+            }
+        }
+        (sum as f64 / count as f64).round() as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hebs_imaging::synthetic;
+
+    #[test]
+    fn identity_model_is_a_noop() {
+        let img = synthetic::portrait(48, 48, 3);
+        assert_eq!(HvsModel::identity().apply(&img), img);
+    }
+
+    #[test]
+    fn adaptation_brightens_dark_regions_relatively() {
+        let model = HvsModel::adaptation_only();
+        let img = GrayImage::from_fn(4, 1, |x, _| [10u8, 60, 130, 250][x as usize]);
+        let adapted = model.apply(&img);
+        // Cube root compresses: dark pixels gain more than bright ones.
+        assert!(adapted.get(0, 0).unwrap() > 10);
+        assert!(adapted.get(3, 0).unwrap() >= 240);
+        // Monotonicity is preserved.
+        let values: Vec<u8> = adapted.pixels().collect();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn default_model_preserves_dimensions_and_determinism() {
+        let img = synthetic::landscape(40, 30, 8);
+        let model = HvsModel::default();
+        let a = model.apply(&img);
+        let b = model.apply(&img);
+        assert_eq!(a, b);
+        assert_eq!(a.width(), 40);
+        assert_eq!(a.height(), 30);
+    }
+
+    #[test]
+    fn flat_image_stays_flat_under_band_pass() {
+        let img = GrayImage::filled(16, 16, 200);
+        let model = HvsModel::default();
+        let out = model.apply(&img);
+        // A constant image has no structure: the band-pass response is the
+        // re-centred constant, blended back — output stays constant.
+        let first = out.get(0, 0).unwrap();
+        assert!(out.pixels().all(|v| v == first));
+    }
+
+    #[test]
+    fn apply_pair_filters_both() {
+        let a = synthetic::portrait(32, 32, 1);
+        let b = a.map(|v| v.saturating_add(20));
+        let model = HvsModel::default();
+        let (fa, fb) = model.apply_pair(&a, &b);
+        assert_eq!(fa, model.apply(&a));
+        assert_eq!(fb, model.apply(&b));
+    }
+
+    #[test]
+    fn box_blur_smooths_a_spike() {
+        let mut img = GrayImage::filled(9, 9, 0);
+        img.set(4, 4, 255).unwrap();
+        let blurred = box_blur(&img, 1);
+        // The spike is spread over a 3x3 neighbourhood.
+        assert!(blurred.get(4, 4).unwrap() < 255);
+        assert!(blurred.get(3, 4).unwrap() > 0);
+        assert_eq!(blurred.get(0, 0), Some(0));
+    }
+
+    #[test]
+    fn box_blur_radius_zero_is_identity() {
+        let img = synthetic::fine_texture(16, 16, 2);
+        assert_eq!(box_blur(&img, 0), img);
+    }
+
+    #[test]
+    fn hvs_filtered_distortion_differs_from_raw() {
+        // The HVS weighting should change the measured distortion of a
+        // dark-region-only degradation vs a bright-region-only degradation.
+        use crate::uiqi::universal_quality_index;
+        let img = synthetic::landscape(64, 64, 5);
+        let dark_damaged = img.map(|v| if v < 80 { v / 2 } else { v });
+        let model = HvsModel::adaptation_only();
+        let raw_q = universal_quality_index(&img, &dark_damaged);
+        let (fa, fb) = model.apply_pair(&img, &dark_damaged);
+        let hvs_q = universal_quality_index(&fa, &fb);
+        // After adaptation the dark-region damage is amplified, so perceived
+        // quality is lower (distortion higher).
+        assert!(hvs_q < raw_q + 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+//! Image distortion metrics for the HEBS reproduction.
+//!
+//! The key argument of the HEBS paper is that previous backlight-scaling
+//! policies *overestimate* distortion because they only count saturated or
+//! clipped pixels. A correct measure must combine the mathematical pixel
+//! difference with a model of the human visual system (HVS). This crate
+//! provides:
+//!
+//! * [`mse`] — reference point-wise metrics (MSE, RMSE, PSNR, MAE).
+//! * [`uiqi`] — the Universal Image Quality Index of Wang & Bovik (paper
+//!   reference [8]), the measure HEBS adopts for its distortion
+//!   characteristic curve.
+//! * [`ssim`] — the Structural Similarity index (paper reference [6]), used
+//!   as an alternative measure for ablations.
+//! * [`hvs`] — a human-visual-system pre-filter (luminance adaptation +
+//!   local contrast sensitivity) applied before quantitative comparison, as
+//!   proposed in the paper's Section 2.
+//! * [`contrast`] — the contrast-fidelity and pixel-saturation measures used
+//!   by the DLS and CBCS baselines (paper references [4] and [5]).
+//! * [`DistortionMeasure`] — a trait unifying all of the above so the HEBS
+//!   pipeline can be run with any of them.
+//!
+//! # Example
+//!
+//! ```
+//! use hebs_imaging::GrayImage;
+//! use hebs_quality::{uiqi, HebsDistortion, DistortionMeasure};
+//!
+//! let original = GrayImage::from_fn(64, 64, |x, y| ((x * 3 + y) % 256) as u8);
+//! let identical = original.clone();
+//! assert!((uiqi::universal_quality_index(&original, &identical) - 1.0).abs() < 1e-9);
+//! assert!(HebsDistortion::default().distortion(&original, &identical) < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contrast;
+mod distortion;
+pub mod hvs;
+pub mod mse;
+pub mod ssim;
+pub mod uiqi;
+mod window;
+
+pub use distortion::{
+    DistortionMeasure, HebsDistortion, PixelDistortion, QualityIndex, StructuralDistortion,
+};
+pub use hvs::HvsModel;
+pub use window::WindowStats;

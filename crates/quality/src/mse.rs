@@ -1,0 +1,136 @@
+//! Point-wise reference metrics: MSE, RMSE, PSNR and MAE.
+//!
+//! The paper argues these are *not* good distortion measures for backlight
+//! scaling (they ignore the human visual system), but they are indispensable
+//! as ground-truth diagnostics and for the ablation study comparing
+//! distortion measures.
+
+use hebs_imaging::GrayImage;
+
+/// Asserts that two images can be compared pixel by pixel.
+fn check_dimensions(a: &GrayImage, b: &GrayImage) {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "images must have identical dimensions to be compared"
+    );
+}
+
+/// Mean squared error between two images, on the 0–255 level scale.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn mean_squared_error(a: &GrayImage, b: &GrayImage) -> f64 {
+    check_dimensions(a, b);
+    let n = a.pixel_count() as f64;
+    a.pixels()
+        .zip(b.pixels())
+        .map(|(x, y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Root mean squared error between two images.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn root_mean_squared_error(a: &GrayImage, b: &GrayImage) -> f64 {
+    mean_squared_error(a, b).sqrt()
+}
+
+/// Mean absolute error between two images, on the 0–255 level scale.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn mean_absolute_error(a: &GrayImage, b: &GrayImage) -> f64 {
+    check_dimensions(a, b);
+    let n = a.pixel_count() as f64;
+    a.pixels()
+        .zip(b.pixels())
+        .map(|(x, y)| (f64::from(x) - f64::from(y)).abs())
+        .sum::<f64>()
+        / n
+}
+
+/// Peak signal-to-noise ratio in decibels (peak level 255).
+///
+/// Returns `f64::INFINITY` for identical images.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn peak_signal_to_noise_ratio(a: &GrayImage, b: &GrayImage) -> f64 {
+    let mse = mean_squared_error(a, b);
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image() -> GrayImage {
+        GrayImage::from_fn(32, 32, |x, y| ((x * 5 + y * 11) % 256) as u8)
+    }
+
+    #[test]
+    fn identical_images_have_zero_error() {
+        let img = test_image();
+        assert_eq!(mean_squared_error(&img, &img), 0.0);
+        assert_eq!(root_mean_squared_error(&img, &img), 0.0);
+        assert_eq!(mean_absolute_error(&img, &img), 0.0);
+        assert_eq!(peak_signal_to_noise_ratio(&img, &img), f64::INFINITY);
+    }
+
+    #[test]
+    fn constant_offset_error() {
+        let img = GrayImage::filled(8, 8, 100);
+        let shifted = GrayImage::filled(8, 8, 110);
+        assert_eq!(mean_squared_error(&img, &shifted), 100.0);
+        assert_eq!(root_mean_squared_error(&img, &shifted), 10.0);
+        assert_eq!(mean_absolute_error(&img, &shifted), 10.0);
+    }
+
+    #[test]
+    fn psnr_of_known_mse() {
+        let img = GrayImage::filled(8, 8, 100);
+        let shifted = GrayImage::filled(8, 8, 110);
+        // PSNR = 10 log10(255² / 100) ≈ 28.13 dB.
+        let psnr = peak_signal_to_noise_ratio(&img, &shifted);
+        assert!((psnr - 28.13).abs() < 0.01);
+    }
+
+    #[test]
+    fn metrics_are_symmetric() {
+        let a = test_image();
+        let b = a.map(|v| v.saturating_add(17));
+        assert_eq!(mean_squared_error(&a, &b), mean_squared_error(&b, &a));
+        assert_eq!(mean_absolute_error(&a, &b), mean_absolute_error(&b, &a));
+    }
+
+    #[test]
+    fn worst_case_error() {
+        let black = GrayImage::filled(4, 4, 0);
+        let white = GrayImage::filled(4, 4, 255);
+        assert_eq!(mean_squared_error(&black, &white), 255.0 * 255.0);
+        assert_eq!(mean_absolute_error(&black, &white), 255.0);
+        assert_eq!(peak_signal_to_noise_ratio(&black, &white), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical dimensions")]
+    fn mismatched_dimensions_panic() {
+        let a = GrayImage::filled(4, 4, 0);
+        let b = GrayImage::filled(4, 5, 0);
+        let _ = mean_squared_error(&a, &b);
+    }
+}

@@ -1,0 +1,129 @@
+//! Structural Similarity index (Wang, Bovik, Sheikh, Simoncelli 2004).
+//!
+//! SSIM is the stabilized successor of the Universal Image Quality Index
+//! (paper reference [6]). The HEBS paper lists it among the "future work"
+//! distortion measures; the reproduction ships it so the ablation benchmark
+//! can compare the two.
+
+use hebs_imaging::GrayImage;
+
+use crate::window::WindowStats;
+
+/// Default window size, matching the common 8×8 block implementation.
+pub const DEFAULT_WINDOW: usize = 8;
+
+/// Stabilization constant `C1 = (K1 · L)²` with `K1 = 0.01`, `L = 255`.
+pub const C1: f64 = 6.5025;
+/// Stabilization constant `C2 = (K2 · L)²` with `K2 = 0.03`, `L = 255`.
+pub const C2: f64 = 58.5225;
+
+/// Computes the mean SSIM over non-overlapping 8×8 windows.
+///
+/// Returns a value in `[−1, 1]`; 1 means the images are identical.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn structural_similarity(a: &GrayImage, b: &GrayImage) -> f64 {
+    structural_similarity_windowed(a, b, DEFAULT_WINDOW, DEFAULT_WINDOW)
+}
+
+/// Computes the mean SSIM with an explicit window size and stride.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions, or if `window` or
+/// `stride` is 0.
+pub fn structural_similarity_windowed(
+    a: &GrayImage,
+    b: &GrayImage,
+    window: usize,
+    stride: usize,
+) -> f64 {
+    let stats = WindowStats::new(a, b);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    stats.for_each_window(window, stride, |m| {
+        let numerator = (2.0 * m.mean_a * m.mean_b + C1) * (2.0 * m.covariance + C2);
+        let denominator =
+            (m.mean_a * m.mean_a + m.mean_b * m.mean_b + C1) * (m.var_a + m.var_b + C2);
+        sum += numerator / denominator;
+        count += 1;
+    });
+    if count == 0 {
+        1.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// SSIM-based distortion `1 − SSIM`, clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn ssim_distortion(a: &GrayImage, b: &GrayImage) -> f64 {
+    (1.0 - structural_similarity(a, b)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hebs_imaging::synthetic;
+
+    fn structured_image() -> GrayImage {
+        synthetic::portrait(64, 64, 9)
+    }
+
+    #[test]
+    fn identical_images_have_ssim_one() {
+        let img = structured_image();
+        assert!((structural_similarity(&img, &img) - 1.0).abs() < 1e-9);
+        assert!(ssim_distortion(&img, &img) < 1e-9);
+    }
+
+    #[test]
+    fn ssim_decreases_with_degradation() {
+        let img = structured_image();
+        let mild = img.map(|v| v.saturating_add(8));
+        let strong = img.map(|v| v / 3);
+        let s_mild = structural_similarity(&img, &mild);
+        let s_strong = structural_similarity(&img, &strong);
+        assert!(s_mild > s_strong);
+        assert!(s_strong < 0.9);
+    }
+
+    #[test]
+    fn ssim_is_symmetric_and_bounded() {
+        let a = structured_image();
+        let b = a.map(|v| (f64::from(v) * 0.7 + 10.0) as u8);
+        let s_ab = structural_similarity(&a, &b);
+        let s_ba = structural_similarity(&b, &a);
+        assert!((s_ab - s_ba).abs() < 1e-12);
+        assert!(s_ab <= 1.0 + 1e-12);
+        assert!(s_ab >= -1.0 - 1e-12);
+    }
+
+    #[test]
+    fn flat_images_do_not_divide_by_zero() {
+        let a = GrayImage::filled(16, 16, 0);
+        let b = GrayImage::filled(16, 16, 0);
+        assert!((structural_similarity(&a, &b) - 1.0).abs() < 1e-9);
+        let c = GrayImage::filled(16, 16, 255);
+        assert!(structural_similarity(&a, &c) < 0.01);
+    }
+
+    #[test]
+    fn ssim_tracks_uiqi_ordering() {
+        // On the same degradations, SSIM and UIQI should order image pairs
+        // the same way (they measure the same three factors).
+        use crate::uiqi::universal_quality_index;
+        let img = structured_image();
+        let light = img.map(|v| v.saturating_add(5));
+        let heavy = img.map(|v| v / 2);
+        let ssim_order = structural_similarity(&img, &light) > structural_similarity(&img, &heavy);
+        let uiqi_order =
+            universal_quality_index(&img, &light) > universal_quality_index(&img, &heavy);
+        assert_eq!(ssim_order, uiqi_order);
+    }
+}

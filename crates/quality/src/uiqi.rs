@@ -1,0 +1,203 @@
+//! Universal Image Quality Index (Wang & Bovik, IEEE SPL 2002).
+//!
+//! This is the distortion measure the HEBS paper adopts for its distortion
+//! characteristic curve (Section 5.1c, reference [8]). For an image pair
+//! `(x, y)` the index over one window is
+//!
+//! ```text
+//! Q = (4 · σ_xy · x̄ · ȳ) / ((σ_x² + σ_y²) · (x̄² + ȳ²))
+//! ```
+//!
+//! which factors into loss-of-correlation, luminance-distortion and
+//! contrast-distortion terms, each in `[−1, 1]` with 1 meaning "identical".
+//! The whole-image index is the mean of the window indices over a sliding
+//! window (8×8 in the original paper).
+
+use hebs_imaging::GrayImage;
+
+use crate::window::WindowStats;
+
+/// Default sliding-window size used by the original UIQI paper.
+pub const DEFAULT_WINDOW: usize = 8;
+
+/// Computes the Universal Image Quality Index with the default 8×8 window
+/// and a stride of 1 window (non-overlapping windows).
+///
+/// Returns a value in `[−1, 1]`; 1 means the images are identical.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn universal_quality_index(a: &GrayImage, b: &GrayImage) -> f64 {
+    universal_quality_index_windowed(a, b, DEFAULT_WINDOW, DEFAULT_WINDOW)
+}
+
+/// Computes the UIQI with an explicit window size and stride.
+///
+/// A stride equal to the window size (the default) uses non-overlapping
+/// windows, which is faster; a stride of 1 reproduces the dense sliding
+/// window of the original formulation.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions, or if `window` or
+/// `stride` is 0.
+pub fn universal_quality_index_windowed(
+    a: &GrayImage,
+    b: &GrayImage,
+    window: usize,
+    stride: usize,
+) -> f64 {
+    let stats = WindowStats::new(a, b);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    stats.for_each_window(window, stride, |m| {
+        sum += window_quality(m.mean_a, m.mean_b, m.var_a, m.var_b, m.covariance);
+        count += 1;
+    });
+    if count == 0 {
+        1.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// The UIQI of a single window given its moments.
+///
+/// Degenerate windows are handled as in the reference implementation:
+/// if both denominator factors vanish (both images constant and both black)
+/// the windows are identical in every respect and the quality is 1; if only
+/// the contrast factor vanishes (both images constant) quality reduces to the
+/// luminance term.
+fn window_quality(mean_a: f64, mean_b: f64, var_a: f64, var_b: f64, cov: f64) -> f64 {
+    let luminance_den = mean_a * mean_a + mean_b * mean_b;
+    let contrast_den = var_a + var_b;
+    if contrast_den == 0.0 && luminance_den == 0.0 {
+        return 1.0;
+    }
+    if contrast_den == 0.0 {
+        // Both windows are flat: quality is the luminance similarity.
+        return 2.0 * mean_a * mean_b / luminance_den;
+    }
+    if luminance_den == 0.0 {
+        // Zero-mean windows (cannot happen for u8 images unless both are
+        // black, which the first branch caught), fall back to correlation.
+        return 2.0 * cov / contrast_den;
+    }
+    (4.0 * cov * mean_a * mean_b) / (contrast_den * luminance_den)
+}
+
+/// Converts a quality index `Q ∈ [−1, 1]` into a distortion fraction in
+/// `[0, 1]`, with 0 for identical images.
+///
+/// The paper reports distortion percentages (e.g. "5 % distortion"); this is
+/// the mapping used throughout the reproduction: `D = (1 − Q) / 2` would map
+/// anti-correlated images to 1, but because backlight-scaled images are
+/// always positively correlated with the original the simpler `D = 1 − Q`
+/// (clamped) is used, matching the paper's small percentages for mild
+/// transformations.
+pub fn distortion_from_quality(quality: f64) -> f64 {
+    (1.0 - quality).clamp(0.0, 1.0)
+}
+
+/// Convenience: UIQI-based distortion `1 − Q` between two images.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn uiqi_distortion(a: &GrayImage, b: &GrayImage) -> f64 {
+    distortion_from_quality(universal_quality_index(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hebs_imaging::synthetic;
+
+    fn structured_image() -> GrayImage {
+        synthetic::still_life(64, 64, 77)
+    }
+
+    #[test]
+    fn identical_images_have_quality_one() {
+        let img = structured_image();
+        let q = universal_quality_index(&img, &img);
+        assert!((q - 1.0).abs() < 1e-9);
+        assert!(uiqi_distortion(&img, &img) < 1e-9);
+    }
+
+    #[test]
+    fn quality_decreases_with_stronger_degradation() {
+        let img = structured_image();
+        let mild = img.map(|v| v.saturating_add(10));
+        let strong = img.map(|v| v / 2);
+        let q_mild = universal_quality_index(&img, &mild);
+        let q_strong = universal_quality_index(&img, &strong);
+        assert!(q_mild > q_strong, "mild {q_mild} vs strong {q_strong}");
+        assert!(q_mild < 1.0);
+    }
+
+    #[test]
+    fn quality_is_symmetric() {
+        let a = structured_image();
+        let b = a.map(|v| (f64::from(v) * 0.8) as u8);
+        let q_ab = universal_quality_index(&a, &b);
+        let q_ba = universal_quality_index(&b, &a);
+        assert!((q_ab - q_ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_bounded_by_one() {
+        let a = structured_image();
+        for factor in [0.3, 0.6, 0.9, 1.0] {
+            let b = a.map(|v| (f64::from(v) * factor) as u8);
+            let q = universal_quality_index(&a, &b);
+            assert!(q <= 1.0 + 1e-12, "quality {q} exceeds 1 for factor {factor}");
+        }
+    }
+
+    #[test]
+    fn inverted_image_has_low_quality() {
+        let a = structured_image();
+        let inverted = a.map(|v| 255 - v);
+        let q = universal_quality_index(&a, &inverted);
+        assert!(q < 0.2, "inverted image should have low quality, got {q}");
+    }
+
+    #[test]
+    fn flat_identical_windows_are_perfect() {
+        let a = GrayImage::filled(16, 16, 80);
+        assert!((universal_quality_index(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_windows_with_different_levels_are_penalized() {
+        let a = GrayImage::filled(16, 16, 80);
+        let b = GrayImage::filled(16, 16, 160);
+        let q = universal_quality_index(&a, &b);
+        // Luminance term: 2·80·160 / (80² + 160²) = 0.8.
+        assert!((q - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_black_images_are_identical() {
+        let a = GrayImage::filled(8, 8, 0);
+        assert_eq!(universal_quality_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn windowed_variant_with_dense_stride_is_similar() {
+        let a = structured_image();
+        let b = a.map(|v| v.saturating_sub(20));
+        let sparse = universal_quality_index_windowed(&a, &b, 8, 8);
+        let dense = universal_quality_index_windowed(&a, &b, 8, 2);
+        assert!((sparse - dense).abs() < 0.1);
+    }
+
+    #[test]
+    fn distortion_mapping() {
+        assert_eq!(distortion_from_quality(1.0), 0.0);
+        assert_eq!(distortion_from_quality(0.9), 0.09999999999999998);
+        assert_eq!(distortion_from_quality(-1.0), 1.0);
+    }
+}

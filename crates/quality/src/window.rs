@@ -1,0 +1,265 @@
+//! Sliding-window statistics via summed-area tables.
+//!
+//! Both the Universal Image Quality Index and SSIM are computed over small
+//! sliding windows (8×8 by default) and averaged. Computing each window's
+//! mean, variance and covariance naively costs `O(W·H·w²)`; with integral
+//! images (summed-area tables) it costs `O(W·H)` regardless of the window
+//! size, which keeps the distortion-characterization sweeps fast.
+
+use hebs_imaging::GrayImage;
+
+/// Summed-area tables over one image pair, ready to answer per-window
+/// mean / variance / covariance queries in constant time.
+///
+/// The two images must have identical dimensions.
+#[derive(Debug, Clone)]
+pub struct WindowStats {
+    width: usize,
+    height: usize,
+    sum_a: Vec<f64>,
+    sum_b: Vec<f64>,
+    sum_aa: Vec<f64>,
+    sum_bb: Vec<f64>,
+    sum_ab: Vec<f64>,
+}
+
+/// Per-window first and second order statistics of an image pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowMoments {
+    /// Mean of the first image inside the window.
+    pub mean_a: f64,
+    /// Mean of the second image inside the window.
+    pub mean_b: f64,
+    /// Population variance of the first image inside the window.
+    pub var_a: f64,
+    /// Population variance of the second image inside the window.
+    pub var_b: f64,
+    /// Population covariance of the two images inside the window.
+    pub covariance: f64,
+    /// Number of pixels inside the window.
+    pub count: usize,
+}
+
+impl WindowStats {
+    /// Builds the tables for an image pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two images have different dimensions.
+    pub fn new(a: &GrayImage, b: &GrayImage) -> Self {
+        assert_eq!(a.width(), b.width(), "images must have identical widths");
+        assert_eq!(a.height(), b.height(), "images must have identical heights");
+        let width = a.width() as usize;
+        let height = a.height() as usize;
+        let stride = width + 1;
+        let table_len = stride * (height + 1);
+        let mut sum_a = vec![0.0; table_len];
+        let mut sum_b = vec![0.0; table_len];
+        let mut sum_aa = vec![0.0; table_len];
+        let mut sum_bb = vec![0.0; table_len];
+        let mut sum_ab = vec![0.0; table_len];
+        let raw_a = a.as_raw();
+        let raw_b = b.as_raw();
+        for y in 0..height {
+            for x in 0..width {
+                let va = f64::from(raw_a[y * width + x]);
+                let vb = f64::from(raw_b[y * width + x]);
+                let here = (y + 1) * stride + (x + 1);
+                let up = y * stride + (x + 1);
+                let left = (y + 1) * stride + x;
+                let up_left = y * stride + x;
+                sum_a[here] = va + sum_a[up] + sum_a[left] - sum_a[up_left];
+                sum_b[here] = vb + sum_b[up] + sum_b[left] - sum_b[up_left];
+                sum_aa[here] = va * va + sum_aa[up] + sum_aa[left] - sum_aa[up_left];
+                sum_bb[here] = vb * vb + sum_bb[up] + sum_bb[left] - sum_bb[up_left];
+                sum_ab[here] = va * vb + sum_ab[up] + sum_ab[left] - sum_ab[up_left];
+            }
+        }
+        WindowStats {
+            width,
+            height,
+            sum_a,
+            sum_b,
+            sum_aa,
+            sum_bb,
+            sum_ab,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Statistics of the window whose top-left corner is `(x, y)` and which
+    /// spans `size × size` pixels (clipped to the image).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` lies outside the image or `size` is 0.
+    pub fn moments(&self, x: usize, y: usize, size: usize) -> WindowMoments {
+        assert!(size > 0, "window size must be nonzero");
+        assert!(
+            x < self.width && y < self.height,
+            "window origin ({x}, {y}) outside of {}x{} image",
+            self.width,
+            self.height
+        );
+        let x1 = (x + size).min(self.width);
+        let y1 = (y + size).min(self.height);
+        let count = (x1 - x) * (y1 - y);
+        let n = count as f64;
+        let rect = |table: &[f64]| -> f64 {
+            let stride = self.width + 1;
+            table[y1 * stride + x1] - table[y * stride + x1] - table[y1 * stride + x]
+                + table[y * stride + x]
+        };
+        let sa = rect(&self.sum_a);
+        let sb = rect(&self.sum_b);
+        let saa = rect(&self.sum_aa);
+        let sbb = rect(&self.sum_bb);
+        let sab = rect(&self.sum_ab);
+        let mean_a = sa / n;
+        let mean_b = sb / n;
+        WindowMoments {
+            mean_a,
+            mean_b,
+            var_a: (saa / n - mean_a * mean_a).max(0.0),
+            var_b: (sbb / n - mean_b * mean_b).max(0.0),
+            covariance: sab / n - mean_a * mean_b,
+            count,
+        }
+    }
+
+    /// Iterates over all windows of the given size with the given stride,
+    /// calling `f` with the moments of each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` or `stride` is 0.
+    pub fn for_each_window<F>(&self, size: usize, stride: usize, mut f: F)
+    where
+        F: FnMut(WindowMoments),
+    {
+        assert!(size > 0 && stride > 0, "size and stride must be nonzero");
+        let mut y = 0;
+        while y < self.height {
+            let mut x = 0;
+            while x < self.width {
+                f(self.moments(x, y, size));
+                x += stride;
+            }
+            y += stride;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hebs_imaging::covariance;
+
+    fn naive_moments(a: &GrayImage, b: &GrayImage, x: usize, y: usize, size: usize) -> WindowMoments {
+        let mut values_a = Vec::new();
+        let mut values_b = Vec::new();
+        for yy in y..(y + size).min(a.height() as usize) {
+            for xx in x..(x + size).min(a.width() as usize) {
+                values_a.push(f64::from(a.get(xx as u32, yy as u32).unwrap()));
+                values_b.push(f64::from(b.get(xx as u32, yy as u32).unwrap()));
+            }
+        }
+        let n = values_a.len() as f64;
+        let mean_a = values_a.iter().sum::<f64>() / n;
+        let mean_b = values_b.iter().sum::<f64>() / n;
+        let var_a = values_a.iter().map(|v| (v - mean_a).powi(2)).sum::<f64>() / n;
+        let var_b = values_b.iter().map(|v| (v - mean_b).powi(2)).sum::<f64>() / n;
+        let cov = values_a
+            .iter()
+            .zip(&values_b)
+            .map(|(va, vb)| (va - mean_a) * (vb - mean_b))
+            .sum::<f64>()
+            / n;
+        WindowMoments {
+            mean_a,
+            mean_b,
+            var_a,
+            var_b,
+            covariance: cov,
+            count: values_a.len(),
+        }
+    }
+
+    #[test]
+    fn moments_match_naive_computation() {
+        let a = GrayImage::from_fn(23, 17, |x, y| ((x * 7 + y * 13) % 256) as u8);
+        let b = GrayImage::from_fn(23, 17, |x, y| ((x * 3 + y * 29 + 40) % 256) as u8);
+        let stats = WindowStats::new(&a, &b);
+        for &(x, y, size) in &[(0, 0, 8), (5, 3, 8), (20, 14, 8), (0, 0, 23), (10, 10, 4)] {
+            let fast = stats.moments(x, y, size);
+            let slow = naive_moments(&a, &b, x, y, size);
+            assert_eq!(fast.count, slow.count);
+            assert!((fast.mean_a - slow.mean_a).abs() < 1e-9);
+            assert!((fast.mean_b - slow.mean_b).abs() < 1e-9);
+            assert!((fast.var_a - slow.var_a).abs() < 1e-6);
+            assert!((fast.var_b - slow.var_b).abs() < 1e-6);
+            assert!((fast.covariance - slow.covariance).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn full_image_window_matches_global_covariance() {
+        let a = GrayImage::from_fn(16, 16, |x, y| ((x * x + y) % 256) as u8);
+        let b = a.map(|v| v.saturating_add(30));
+        let stats = WindowStats::new(&a, &b);
+        let m = stats.moments(0, 0, 16);
+        assert!((m.covariance - covariance(&a, &b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_clipping_at_the_border() {
+        let a = GrayImage::filled(10, 10, 50);
+        let b = GrayImage::filled(10, 10, 60);
+        let stats = WindowStats::new(&a, &b);
+        let m = stats.moments(8, 8, 8);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.mean_a, 50.0);
+        assert_eq!(m.mean_b, 60.0);
+        assert_eq!(m.var_a, 0.0);
+    }
+
+    #[test]
+    fn for_each_window_covers_the_image() {
+        let a = GrayImage::filled(20, 12, 1);
+        let stats = WindowStats::new(&a, &a);
+        let mut count = 0;
+        let mut pixels = 0;
+        stats.for_each_window(8, 8, |m| {
+            count += 1;
+            pixels += m.count;
+        });
+        // ceil(20/8) * ceil(12/8) = 3 * 2 = 6 windows covering all 240 pixels.
+        assert_eq!(count, 6);
+        assert_eq!(pixels, 240);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical widths")]
+    fn mismatched_sizes_panic() {
+        let a = GrayImage::filled(4, 4, 0);
+        let b = GrayImage::filled(5, 4, 0);
+        let _ = WindowStats::new(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be nonzero")]
+    fn zero_window_panics() {
+        let a = GrayImage::filled(4, 4, 0);
+        let stats = WindowStats::new(&a, &a);
+        let _ = stats.moments(0, 0, 0);
+    }
+}

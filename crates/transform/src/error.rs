@@ -1,0 +1,102 @@
+//! Error type for transformation construction.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TransformError>;
+
+/// Error raised when a pixel transformation function cannot be constructed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TransformError {
+    /// The backlight scaling factor must lie in `(0, 1]`.
+    InvalidBacklightFactor {
+        /// The offending value.
+        beta: f64,
+    },
+    /// A band boundary was outside `[0, 1]` or inverted (`lower > upper`).
+    InvalidBand {
+        /// Lower bound that was supplied.
+        lower: f64,
+        /// Upper bound that was supplied.
+        upper: f64,
+    },
+    /// A piecewise-linear curve needs at least two control points.
+    TooFewControlPoints {
+        /// Number of points supplied.
+        count: usize,
+    },
+    /// Control point abscissas must be strictly increasing and ordinates
+    /// non-decreasing (the curve must be a monotone function).
+    NotMonotone {
+        /// Index of the first offending control point.
+        index: usize,
+    },
+    /// A control point coordinate was outside `[0, 1]` or not finite.
+    PointOutOfRange {
+        /// Index of the offending control point.
+        index: usize,
+    },
+    /// The requested number of segments for coarsening is invalid (zero, or
+    /// larger than the number of input segments).
+    InvalidSegmentCount {
+        /// Segments requested.
+        requested: usize,
+        /// Segments available in the input curve.
+        available: usize,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::InvalidBacklightFactor { beta } => {
+                write!(f, "backlight factor {beta} is outside of (0, 1]")
+            }
+            TransformError::InvalidBand { lower, upper } => {
+                write!(f, "invalid band [{lower}, {upper}]")
+            }
+            TransformError::TooFewControlPoints { count } => {
+                write!(f, "piecewise-linear curve needs at least 2 points, got {count}")
+            }
+            TransformError::NotMonotone { index } => {
+                write!(f, "control points are not monotone at index {index}")
+            }
+            TransformError::PointOutOfRange { index } => {
+                write!(f, "control point {index} is outside of [0, 1] or not finite")
+            }
+            TransformError::InvalidSegmentCount {
+                requested,
+                available,
+            } => write!(
+                f,
+                "cannot coarsen to {requested} segments (input has {available})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_values() {
+        let err = TransformError::InvalidBacklightFactor { beta: 1.5 };
+        assert!(err.to_string().contains("1.5"));
+        let err = TransformError::InvalidSegmentCount {
+            requested: 10,
+            available: 4,
+        };
+        assert!(err.to_string().contains("10"));
+        assert!(err.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TransformError>();
+    }
+}

@@ -1,0 +1,370 @@
+//! The classical backlight-compensation transformation families (Figure 2 of
+//! the paper).
+
+use crate::error::{Result, TransformError};
+use crate::lut::LookupTable;
+
+/// A pixel transformation function `Φ(x)` on normalized values `x ∈ [0, 1]`.
+///
+/// Implementors must be monotone non-decreasing on `[0, 1]` and map into
+/// `[0, 1]`; [`PixelTransform::to_lut`] relies on this when compiling the
+/// 256-entry table that the display hardware applies.
+pub trait PixelTransform {
+    /// Evaluates the transformation at a normalized pixel value.
+    ///
+    /// Inputs outside `[0, 1]` are clamped by convention.
+    fn evaluate(&self, x: f64) -> f64;
+
+    /// The backlight scaling factor `β ∈ (0, 1]` this transformation was
+    /// designed for (1.0 when no dimming is associated with it).
+    fn backlight_factor(&self) -> f64 {
+        1.0
+    }
+
+    /// Compiles the transformation into a 256-entry lookup table.
+    fn to_lut(&self) -> LookupTable {
+        LookupTable::from_normalized(|x| self.evaluate(x))
+    }
+}
+
+/// Validates that a backlight factor lies in `(0, 1]`.
+fn check_beta(beta: f64) -> Result<f64> {
+    if beta.is_finite() && beta > 0.0 && beta <= 1.0 {
+        Ok(beta)
+    } else {
+        Err(TransformError::InvalidBacklightFactor { beta })
+    }
+}
+
+/// The identity transformation `Φ(x, β) = x` (Figure 2a).
+///
+/// Displaying an unmodified image on a dimmed backlight simply darkens it;
+/// this is the "no compensation" reference point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Identity;
+
+impl Identity {
+    /// Creates the identity transformation.
+    pub fn new() -> Self {
+        Identity
+    }
+}
+
+impl PixelTransform for Identity {
+    fn evaluate(&self, x: f64) -> f64 {
+        x.clamp(0.0, 1.0)
+    }
+}
+
+/// Backlight luminance dimming with *brightness compensation* (Figure 2b):
+/// `Φ(x, β) = min(1, x + 1 − β)`, from reference [4] of the paper (DLS).
+///
+/// Every pixel is shifted up by the amount of backlight lost; bright pixels
+/// saturate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrightnessCompensation {
+    beta: f64,
+}
+
+impl BrightnessCompensation {
+    /// Creates the transformation for backlight factor `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidBacklightFactor`] unless
+    /// `beta ∈ (0, 1]`.
+    pub fn new(beta: f64) -> Result<Self> {
+        Ok(BrightnessCompensation {
+            beta: check_beta(beta)?,
+        })
+    }
+
+    /// The backlight factor this transformation compensates for.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Fraction of the 256 levels that saturate to full white under this
+    /// transformation (levels with `x + 1 − β ≥ 1`, i.e. `x ≥ β`).
+    pub fn saturated_fraction(&self) -> f64 {
+        1.0 - self.beta
+    }
+}
+
+impl PixelTransform for BrightnessCompensation {
+    fn evaluate(&self, x: f64) -> f64 {
+        (x.clamp(0.0, 1.0) + 1.0 - self.beta).min(1.0)
+    }
+
+    fn backlight_factor(&self) -> f64 {
+        self.beta
+    }
+}
+
+/// Backlight luminance dimming with *contrast enhancement* (Figure 2c):
+/// `Φ(x, β) = min(1, x / β)`, from reference [4] of the paper (DLS).
+///
+/// The transmissivity of every pixel is scaled up by `1/β`, which preserves
+/// the luminance `β · t(x/β) ≈ t(x)` exactly for all non-saturating pixels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContrastEnhancement {
+    beta: f64,
+}
+
+impl ContrastEnhancement {
+    /// Creates the transformation for backlight factor `beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidBacklightFactor`] unless
+    /// `beta ∈ (0, 1]`.
+    pub fn new(beta: f64) -> Result<Self> {
+        Ok(ContrastEnhancement {
+            beta: check_beta(beta)?,
+        })
+    }
+
+    /// The backlight factor this transformation compensates for.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Fraction of the normalized input range that saturates to full white
+    /// (inputs `x ≥ β`).
+    pub fn saturated_fraction(&self) -> f64 {
+        1.0 - self.beta
+    }
+}
+
+impl PixelTransform for ContrastEnhancement {
+    fn evaluate(&self, x: f64) -> f64 {
+        (x.clamp(0.0, 1.0) / self.beta).min(1.0)
+    }
+
+    fn backlight_factor(&self) -> f64 {
+        self.beta
+    }
+}
+
+/// Single-band grayscale spreading (Figure 2d, Eq. 3): the affine map
+/// `Φ(x, β) = c·x + d` clamped to `[0, 1]`, which truncates the histogram at
+/// `g_l` (mapped to 0) and `g_u` (mapped to 1) and stretches the band in
+/// between. This is the transformation family of the CBCS baseline
+/// (Cheng & Pedram, reference [5]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleBandSpreading {
+    lower: f64,
+    upper: f64,
+    beta: f64,
+}
+
+impl SingleBandSpreading {
+    /// Creates the spreading function for the band `[lower, upper]` and an
+    /// associated backlight factor `beta`.
+    ///
+    /// Pixels at or below `lower` map to 0, pixels at or above `upper` map to
+    /// 1, and the band in between is stretched linearly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidBand`] when the band is inverted,
+    /// degenerate or out of `[0, 1]`, and
+    /// [`TransformError::InvalidBacklightFactor`] for an invalid `beta`.
+    pub fn new(lower: f64, upper: f64, beta: f64) -> Result<Self> {
+        if !(lower.is_finite() && upper.is_finite())
+            || lower < 0.0
+            || upper > 1.0
+            || lower >= upper
+        {
+            return Err(TransformError::InvalidBand { lower, upper });
+        }
+        Ok(SingleBandSpreading {
+            lower,
+            upper,
+            beta: check_beta(beta)?,
+        })
+    }
+
+    /// Creates the spreading function whose band is exactly wide enough to
+    /// compensate a backlight factor `beta`, centred on `centre`.
+    ///
+    /// The band width is `beta` (so the slope is `1/β`, matching the
+    /// luminance-preserving contrast compensation), shifted if necessary so
+    /// it fits inside `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidBacklightFactor`] for an invalid
+    /// `beta`.
+    pub fn centred(centre: f64, beta: f64) -> Result<Self> {
+        let beta = check_beta(beta)?;
+        let centre = centre.clamp(0.0, 1.0);
+        let half = beta / 2.0;
+        let mut lower = centre - half;
+        let mut upper = centre + half;
+        if lower < 0.0 {
+            upper -= lower;
+            lower = 0.0;
+        }
+        if upper > 1.0 {
+            lower -= upper - 1.0;
+            upper = 1.0;
+        }
+        SingleBandSpreading::new(lower.max(0.0), upper.min(1.0), beta)
+    }
+
+    /// Lower band boundary `g_l` (normalized).
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+
+    /// Upper band boundary `g_u` (normalized).
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
+    /// Slope `c = 1 / (g_u − g_l)` of the linear region.
+    pub fn slope(&self) -> f64 {
+        1.0 / (self.upper - self.lower)
+    }
+
+    /// The backlight factor this transformation compensates for.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl PixelTransform for SingleBandSpreading {
+    fn evaluate(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        ((x - self.lower) / (self.upper - self.lower)).clamp(0.0, 1.0)
+    }
+
+    fn backlight_factor(&self) -> f64 {
+        self.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let id = Identity::new();
+        for i in 0..=10 {
+            let x = f64::from(i) / 10.0;
+            assert_eq!(id.evaluate(x), x);
+        }
+        assert_eq!(id.backlight_factor(), 1.0);
+        assert_eq!(id.to_lut(), LookupTable::identity());
+    }
+
+    #[test]
+    fn identity_clamps_out_of_range_inputs() {
+        let id = Identity::new();
+        assert_eq!(id.evaluate(-0.5), 0.0);
+        assert_eq!(id.evaluate(1.5), 1.0);
+    }
+
+    #[test]
+    fn brightness_compensation_shifts_up() {
+        let phi = BrightnessCompensation::new(0.7).unwrap();
+        assert!((phi.evaluate(0.0) - 0.3).abs() < 1e-12);
+        assert!((phi.evaluate(0.5) - 0.8).abs() < 1e-12);
+        assert_eq!(phi.evaluate(0.8), 1.0);
+        assert_eq!(phi.backlight_factor(), 0.7);
+        assert!((phi.saturated_fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brightness_compensation_at_full_backlight_is_identity() {
+        let phi = BrightnessCompensation::new(1.0).unwrap();
+        for i in 0..=10 {
+            let x = f64::from(i) / 10.0;
+            assert!((phi.evaluate(x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn contrast_enhancement_scales() {
+        let phi = ContrastEnhancement::new(0.5).unwrap();
+        assert_eq!(phi.evaluate(0.0), 0.0);
+        assert!((phi.evaluate(0.25) - 0.5).abs() < 1e-12);
+        assert_eq!(phi.evaluate(0.5), 1.0);
+        assert_eq!(phi.evaluate(0.9), 1.0);
+        assert_eq!(phi.backlight_factor(), 0.5);
+    }
+
+    #[test]
+    fn contrast_enhancement_preserves_luminance_of_unsaturated_pixels() {
+        // β · Φ(x) should equal x when Φ(x) < 1.
+        let beta = 0.6;
+        let phi = ContrastEnhancement::new(beta).unwrap();
+        for i in 0..=5 {
+            let x = f64::from(i) * 0.1;
+            assert!((beta * phi.evaluate(x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_beta_rejected() {
+        assert!(BrightnessCompensation::new(0.0).is_err());
+        assert!(BrightnessCompensation::new(1.1).is_err());
+        assert!(ContrastEnhancement::new(-0.2).is_err());
+        assert!(ContrastEnhancement::new(f64::NAN).is_err());
+        assert!(SingleBandSpreading::new(0.2, 0.8, 2.0).is_err());
+    }
+
+    #[test]
+    fn single_band_maps_band_to_full_range() {
+        let phi = SingleBandSpreading::new(0.25, 0.75, 0.5).unwrap();
+        assert_eq!(phi.evaluate(0.0), 0.0);
+        assert_eq!(phi.evaluate(0.25), 0.0);
+        assert!((phi.evaluate(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(phi.evaluate(0.75), 1.0);
+        assert_eq!(phi.evaluate(1.0), 1.0);
+        assert!((phi.slope() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_band_rejects_bad_bands() {
+        assert!(SingleBandSpreading::new(0.5, 0.5, 0.5).is_err());
+        assert!(SingleBandSpreading::new(0.7, 0.3, 0.5).is_err());
+        assert!(SingleBandSpreading::new(-0.1, 0.5, 0.5).is_err());
+        assert!(SingleBandSpreading::new(0.1, 1.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn centred_band_fits_in_unit_interval() {
+        let near_edge = SingleBandSpreading::centred(0.05, 0.4).unwrap();
+        assert!(near_edge.lower() >= 0.0);
+        assert!(near_edge.upper() <= 1.0);
+        assert!((near_edge.upper() - near_edge.lower() - 0.4).abs() < 1e-9);
+
+        let near_top = SingleBandSpreading::centred(0.98, 0.5).unwrap();
+        assert!(near_top.upper() <= 1.0 + 1e-12);
+        assert!((near_top.upper() - near_top.lower() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_functions_are_monotone_as_luts() {
+        let transforms: Vec<Box<dyn PixelTransform>> = vec![
+            Box::new(Identity::new()),
+            Box::new(BrightnessCompensation::new(0.6).unwrap()),
+            Box::new(ContrastEnhancement::new(0.6).unwrap()),
+            Box::new(SingleBandSpreading::new(0.2, 0.7, 0.5).unwrap()),
+        ];
+        for t in &transforms {
+            assert!(t.to_lut().is_monotone());
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn takes_object(t: &dyn PixelTransform) -> f64 {
+            t.evaluate(0.5)
+        }
+        assert!(takes_object(&Identity::new()) > 0.0);
+    }
+}

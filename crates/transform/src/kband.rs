@@ -1,0 +1,316 @@
+//! k-window (k-band) grayscale spreading functions (Figure 3 of the paper).
+//!
+//! The hierarchical reference-voltage driver proposed by HEBS can hold the
+//! grayscale-voltage curve *flat* not only at the two ends of the histogram
+//! (as the CBCS hardware does) but also in the middle. The resulting pixel
+//! transformation consists of `k` "windows" of input levels that are spread
+//! over the output range, separated by flat regions whose input levels are
+//! collapsed. Pixels inside the windows keep (and gain) contrast; pixels in
+//! the flat gaps lose their distinction — which is acceptable when the gaps
+//! correspond to sparsely populated histogram regions.
+
+use crate::error::{Result, TransformError};
+use crate::functions::PixelTransform;
+use crate::piecewise::{ControlPoint, PiecewiseLinear};
+
+/// One input window `[lower, upper]` (normalized) that will be preserved and
+/// spread by a [`KBandSpreading`] transformation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Lower edge of the window, `0 ≤ lower < upper`.
+    pub lower: f64,
+    /// Upper edge of the window, `lower < upper ≤ 1`.
+    pub upper: f64,
+}
+
+impl Band {
+    /// Creates a band after validating `0 ≤ lower < upper ≤ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidBand`] for inverted, degenerate or
+    /// out-of-range bands.
+    pub fn new(lower: f64, upper: f64) -> Result<Self> {
+        if !(lower.is_finite() && upper.is_finite())
+            || lower < 0.0
+            || upper > 1.0
+            || lower >= upper
+        {
+            return Err(TransformError::InvalidBand { lower, upper });
+        }
+        Ok(Band { lower, upper })
+    }
+
+    /// Width of the band.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether `x` lies inside the band (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lower && x <= self.upper
+    }
+}
+
+/// A k-window grayscale spreading transformation.
+///
+/// Input values inside the windows are mapped with a common slope
+/// `1 / Σ width_i` so that the windows together cover the whole output range
+/// `[0, 1]`; input values between windows map to a constant (the output level
+/// reached at the end of the previous window). The total window width equals
+/// the effective dynamic-range fraction kept by the transformation and is
+/// therefore the natural backlight factor `β` associated with it.
+///
+/// ```
+/// use hebs_transform::{Band, KBandSpreading, PixelTransform};
+///
+/// let spread = KBandSpreading::new(vec![
+///     Band::new(0.0, 0.2)?,
+///     Band::new(0.6, 0.8)?,
+/// ])?;
+/// // Total window width 0.4 → slope 2.5 inside windows.
+/// assert!((spread.backlight_factor() - 0.4).abs() < 1e-12);
+/// assert!((spread.evaluate(0.1) - 0.25).abs() < 1e-12);
+/// // The gap between the windows is flat.
+/// assert_eq!(spread.evaluate(0.3), spread.evaluate(0.5));
+/// # Ok::<(), hebs_transform::TransformError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KBandSpreading {
+    bands: Vec<Band>,
+    total_width: f64,
+}
+
+impl KBandSpreading {
+    /// Creates a spreading function from a set of non-overlapping bands.
+    ///
+    /// Bands are sorted by their lower edge; they must not overlap (touching
+    /// edges are allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::TooFewControlPoints`] when no band is given
+    /// and [`TransformError::InvalidBand`] when two bands overlap.
+    pub fn new(mut bands: Vec<Band>) -> Result<Self> {
+        if bands.is_empty() {
+            return Err(TransformError::TooFewControlPoints { count: 0 });
+        }
+        bands.sort_by(|a, b| a.lower.partial_cmp(&b.lower).expect("band edges are finite"));
+        for pair in bands.windows(2) {
+            if pair[1].lower < pair[0].upper {
+                return Err(TransformError::InvalidBand {
+                    lower: pair[1].lower,
+                    upper: pair[0].upper,
+                });
+            }
+        }
+        let total_width: f64 = bands.iter().map(Band::width).sum();
+        Ok(KBandSpreading { bands, total_width })
+    }
+
+    /// The bands, sorted by lower edge.
+    pub fn bands(&self) -> &[Band] {
+        &self.bands
+    }
+
+    /// Number of windows `k`.
+    pub fn band_count(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Total width of all windows — the fraction of the input dynamic range
+    /// that is preserved, and the natural backlight scaling factor for this
+    /// transformation.
+    pub fn total_width(&self) -> f64 {
+        self.total_width
+    }
+
+    /// Converts the transformation into an explicit piecewise-linear curve.
+    ///
+    /// The curve has a control point at every band edge (plus the domain
+    /// endpoints), which is the form consumed by the PLC step and the
+    /// reference-voltage programmer.
+    pub fn to_piecewise(&self) -> PiecewiseLinear {
+        let mut points = Vec::with_capacity(self.bands.len() * 2 + 2);
+        let mut accumulated = 0.0f64;
+        if self.bands[0].lower > 0.0 {
+            points.push(ControlPoint::new(0.0, 0.0));
+        }
+        for band in &self.bands {
+            let y_start = accumulated / self.total_width;
+            accumulated += band.width();
+            let y_end = accumulated / self.total_width;
+            points.push(ControlPoint::new(band.lower, y_start));
+            points.push(ControlPoint::new(band.upper, y_end));
+        }
+        if self.bands[self.bands.len() - 1].upper < 1.0 {
+            points.push(ControlPoint::new(1.0, 1.0));
+        }
+        // Deduplicate abscissas that coincide (touching bands or bands that
+        // start exactly at 0 / end exactly at 1).
+        points.dedup_by(|b, a| (a.x - b.x).abs() < 1e-12 && {
+            a.y = a.y.max(b.y);
+            true
+        });
+        PiecewiseLinear::new(points).expect("band construction yields a valid monotone curve")
+    }
+}
+
+impl PixelTransform for KBandSpreading {
+    fn evaluate(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        let mut accumulated = 0.0f64;
+        for band in &self.bands {
+            if x < band.lower {
+                break;
+            }
+            if x <= band.upper {
+                accumulated += x - band.lower;
+                return (accumulated / self.total_width).clamp(0.0, 1.0);
+            }
+            accumulated += band.width();
+        }
+        (accumulated / self.total_width).clamp(0.0, 1.0)
+    }
+
+    fn backlight_factor(&self) -> f64 {
+        self.total_width.clamp(f64::MIN_POSITIVE, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_band() -> KBandSpreading {
+        KBandSpreading::new(vec![
+            Band::new(0.1, 0.3).unwrap(),
+            Band::new(0.6, 0.9).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn band_validation() {
+        assert!(Band::new(0.2, 0.1).is_err());
+        assert!(Band::new(0.5, 0.5).is_err());
+        assert!(Band::new(-0.1, 0.5).is_err());
+        assert!(Band::new(0.1, 1.1).is_err());
+        let b = Band::new(0.25, 0.75).unwrap();
+        assert!((b.width() - 0.5).abs() < 1e-12);
+        assert!(b.contains(0.5));
+        assert!(!b.contains(0.8));
+    }
+
+    #[test]
+    fn empty_band_list_rejected() {
+        assert!(KBandSpreading::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn overlapping_bands_rejected() {
+        assert!(KBandSpreading::new(vec![
+            Band::new(0.1, 0.5).unwrap(),
+            Band::new(0.4, 0.8).unwrap(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn touching_bands_are_accepted() {
+        let spread = KBandSpreading::new(vec![
+            Band::new(0.0, 0.5).unwrap(),
+            Band::new(0.5, 1.0).unwrap(),
+        ])
+        .unwrap();
+        // Two touching bands covering everything behave like the identity.
+        for i in 0..=10 {
+            let x = f64::from(i) / 10.0;
+            assert!((spread.evaluate(x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bands_are_sorted_on_construction() {
+        let spread = KBandSpreading::new(vec![
+            Band::new(0.6, 0.9).unwrap(),
+            Band::new(0.1, 0.3).unwrap(),
+        ])
+        .unwrap();
+        assert!(spread.bands()[0].lower < spread.bands()[1].lower);
+        assert_eq!(spread.band_count(), 2);
+    }
+
+    #[test]
+    fn evaluation_inside_and_between_bands() {
+        let spread = two_band();
+        // Total width 0.5, slope 2 inside bands.
+        assert!((spread.total_width() - 0.5).abs() < 1e-12);
+        assert_eq!(spread.evaluate(0.0), 0.0);
+        assert_eq!(spread.evaluate(0.1), 0.0);
+        assert!((spread.evaluate(0.2) - 0.2).abs() < 1e-12);
+        assert!((spread.evaluate(0.3) - 0.4).abs() < 1e-12);
+        // Flat gap between the bands.
+        assert!((spread.evaluate(0.45) - 0.4).abs() < 1e-12);
+        assert!((spread.evaluate(0.6) - 0.4).abs() < 1e-12);
+        // Second band rises to 1.
+        assert!((spread.evaluate(0.75) - 0.7).abs() < 1e-12);
+        assert!((spread.evaluate(0.9) - 1.0).abs() < 1e-12);
+        assert_eq!(spread.evaluate(1.0), 1.0);
+    }
+
+    #[test]
+    fn backlight_factor_is_total_width() {
+        let spread = two_band();
+        assert!((spread.backlight_factor() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_band_matches_single_band_spreading() {
+        use crate::functions::SingleBandSpreading;
+        let kband = KBandSpreading::new(vec![Band::new(0.2, 0.7).unwrap()]).unwrap();
+        let single = SingleBandSpreading::new(0.2, 0.7, 0.5).unwrap();
+        for i in 0..=20 {
+            let x = f64::from(i) / 20.0;
+            assert!(
+                (kband.evaluate(x) - single.evaluate(x)).abs() < 1e-12,
+                "mismatch at x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn piecewise_conversion_matches_direct_evaluation() {
+        let spread = two_band();
+        let curve = spread.to_piecewise();
+        for i in 0..=100 {
+            let x = f64::from(i) / 100.0;
+            assert!(
+                (spread.evaluate(x) - curve.evaluate(x)).abs() < 1e-9,
+                "mismatch at x = {x}"
+            );
+        }
+        assert!(curve.to_lut().is_monotone());
+    }
+
+    #[test]
+    fn piecewise_conversion_with_bands_at_domain_edges() {
+        let spread = KBandSpreading::new(vec![
+            Band::new(0.0, 0.25).unwrap(),
+            Band::new(0.75, 1.0).unwrap(),
+        ])
+        .unwrap();
+        let curve = spread.to_piecewise();
+        assert_eq!(curve.points()[0].x, 0.0);
+        assert_eq!(curve.points()[curve.points().len() - 1].x, 1.0);
+        for i in 0..=50 {
+            let x = f64::from(i) / 50.0;
+            assert!((spread.evaluate(x) - curve.evaluate(x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monotone_lut() {
+        assert!(two_band().to_lut().is_monotone());
+    }
+}

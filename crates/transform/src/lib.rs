@@ -1,0 +1,56 @@
+//! Pixel transformation functions for backlight-scaled displays.
+//!
+//! When the backlight of a transmissive TFT-LCD is dimmed by a factor `β`,
+//! the displayed luminance of a pixel with (normalized) value `x` becomes
+//! `I = β · t(Φ(x, β))`. The *pixel transformation function* `Φ` raises the
+//! panel transmittance to compensate for the dimmer backlight. This crate
+//! implements every transformation family that appears in the HEBS paper
+//! (Iranli, Fatemi, Pedram — DATE 2005) and its baselines:
+//!
+//! * [`Identity`] — no compensation (Figure 2a).
+//! * [`BrightnessCompensation`] — `Φ(x,β) = min(1, x + 1 − β)` (Figure 2b,
+//!   from the DLS work of Chang et al.).
+//! * [`ContrastEnhancement`] — `Φ(x,β) = min(1, x/β)` (Figure 2c).
+//! * [`SingleBandSpreading`] — truncate-and-stretch of one band
+//!   (Figure 2d, the CBCS approach of Cheng & Pedram).
+//! * [`KBandSpreading`] — the k-window grayscale spreading function that the
+//!   HEBS hierarchical reference driver can realize (Figure 3).
+//! * [`PiecewiseLinear`] — arbitrary monotone piecewise-linear curves, the
+//!   form produced by the Global Histogram Equalization step.
+//! * [`plc`] — the Piecewise Linear Coarsening dynamic program that
+//!   approximates an arbitrary curve with a small number of segments
+//!   (Section 4.1, Eq. 9).
+//!
+//! All transformations operate on normalized pixel values `x ∈ [0, 1]` and
+//! can be compiled to a 256-entry [`LookupTable`] for application to 8-bit
+//! images.
+//!
+//! # Example
+//!
+//! ```
+//! use hebs_transform::{BrightnessCompensation, PixelTransform};
+//!
+//! let phi = BrightnessCompensation::new(0.6)?;
+//! assert!((phi.evaluate(0.0) - 0.4).abs() < 1e-12);
+//! assert_eq!(phi.evaluate(0.9), 1.0);
+//! # Ok::<(), hebs_transform::TransformError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod functions;
+mod kband;
+mod lut;
+mod piecewise;
+pub mod plc;
+
+pub use error::{Result, TransformError};
+pub use functions::{
+    BrightnessCompensation, ContrastEnhancement, Identity, PixelTransform, SingleBandSpreading,
+};
+pub use kband::{Band, KBandSpreading};
+pub use lut::LookupTable;
+pub use piecewise::{ControlPoint, PiecewiseLinear};
+pub use plc::{coarsen, CoarseningResult};

@@ -1,0 +1,364 @@
+//! Monotone piecewise-linear transformation curves.
+//!
+//! The exact Global Histogram Equalization transformation of the paper
+//! (Eq. 7) is itself piecewise linear with up to `|G| = 256` segments; the
+//! Piecewise Linear Coarsening step then reduces it to the handful of
+//! segments the hardware can realize. [`PiecewiseLinear`] is the common
+//! representation for both.
+
+use crate::error::{Result, TransformError};
+use crate::functions::PixelTransform;
+
+/// One control point `(x, y)` of a piecewise-linear curve, in normalized
+/// coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ControlPoint {
+    /// Input (original pixel value), `x ∈ [0, 1]`.
+    pub x: f64,
+    /// Output (transformed pixel value), `y ∈ [0, 1]`.
+    pub y: f64,
+}
+
+impl ControlPoint {
+    /// Creates a control point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        ControlPoint { x, y }
+    }
+}
+
+impl From<(f64, f64)> for ControlPoint {
+    fn from(value: (f64, f64)) -> Self {
+        ControlPoint::new(value.0, value.1)
+    }
+}
+
+/// A monotone piecewise-linear function on `[0, 1]` defined by its ordered
+/// control points.
+///
+/// Invariants enforced at construction:
+///
+/// * at least two control points,
+/// * all coordinates finite and inside `[0, 1]`,
+/// * abscissas strictly increasing, ordinates non-decreasing,
+/// * the first abscissa is 0 and the last is 1 (the curve covers the whole
+///   input range).
+///
+/// ```
+/// use hebs_transform::{ControlPoint, PiecewiseLinear, PixelTransform};
+///
+/// let curve = PiecewiseLinear::new(vec![
+///     ControlPoint::new(0.0, 0.2),
+///     ControlPoint::new(0.5, 0.9),
+///     ControlPoint::new(1.0, 1.0),
+/// ])?;
+/// assert!((curve.evaluate(0.25) - 0.55).abs() < 1e-12);
+/// # Ok::<(), hebs_transform::TransformError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    points: Vec<ControlPoint>,
+}
+
+impl PiecewiseLinear {
+    /// Creates a curve from ordered control points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::TooFewControlPoints`],
+    /// [`TransformError::PointOutOfRange`] or [`TransformError::NotMonotone`]
+    /// when the invariants described on the type are violated.
+    pub fn new(points: Vec<ControlPoint>) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(TransformError::TooFewControlPoints {
+                count: points.len(),
+            });
+        }
+        for (index, p) in points.iter().enumerate() {
+            let finite = p.x.is_finite() && p.y.is_finite();
+            if !finite || !(0.0..=1.0).contains(&p.x) || !(0.0..=1.0).contains(&p.y) {
+                return Err(TransformError::PointOutOfRange { index });
+            }
+        }
+        for index in 1..points.len() {
+            if points[index].x <= points[index - 1].x || points[index].y < points[index - 1].y {
+                return Err(TransformError::NotMonotone { index });
+            }
+        }
+        // Require full coverage of the input domain so evaluation never
+        // needs to extrapolate.
+        if points[0].x != 0.0 || points[points.len() - 1].x != 1.0 {
+            return Err(TransformError::PointOutOfRange {
+                index: if points[0].x != 0.0 { 0 } else { points.len() - 1 },
+            });
+        }
+        Ok(PiecewiseLinear { points })
+    }
+
+    /// The identity curve with two control points.
+    pub fn identity() -> Self {
+        PiecewiseLinear {
+            points: vec![ControlPoint::new(0.0, 0.0), ControlPoint::new(1.0, 1.0)],
+        }
+    }
+
+    /// Builds the curve by sampling a monotone function at `samples` evenly
+    /// spaced abscissas (including both endpoints).
+    ///
+    /// Outputs are clamped to `[0, 1]` and forced to be non-decreasing so a
+    /// valid curve is always produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples < 2`.
+    pub fn from_samples<F>(samples: usize, mut f: F) -> Self
+    where
+        F: FnMut(f64) -> f64,
+    {
+        assert!(samples >= 2, "need at least two samples");
+        let mut points = Vec::with_capacity(samples);
+        let mut previous_y = 0.0f64;
+        for i in 0..samples {
+            let x = i as f64 / (samples - 1) as f64;
+            let mut y = f(x).clamp(0.0, 1.0);
+            if i > 0 {
+                y = y.max(previous_y);
+            }
+            previous_y = y;
+            points.push(ControlPoint::new(x, y));
+        }
+        PiecewiseLinear { points }
+    }
+
+    /// Ordered control points of the curve.
+    pub fn points(&self) -> &[ControlPoint] {
+        &self.points
+    }
+
+    /// Number of linear segments (`points − 1`).
+    pub fn segment_count(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// The output value at `x = 0`.
+    pub fn y_min(&self) -> f64 {
+        self.points[0].y
+    }
+
+    /// The output value at `x = 1`.
+    pub fn y_max(&self) -> f64 {
+        self.points[self.points.len() - 1].y
+    }
+
+    /// Output dynamic range `y_max − y_min` (normalized).
+    pub fn output_range(&self) -> f64 {
+        self.y_max() - self.y_min()
+    }
+
+    /// Mean squared error between this curve and another, estimated by
+    /// sampling both at `samples` evenly spaced abscissas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is 0.
+    pub fn mse_against(&self, other: &PiecewiseLinear, samples: usize) -> f64 {
+        assert!(samples > 0, "need at least one sample");
+        let mut sum = 0.0;
+        for i in 0..samples {
+            let x = if samples == 1 {
+                0.0
+            } else {
+                i as f64 / (samples - 1) as f64
+            };
+            let d = self.evaluate(x) - other.evaluate(x);
+            sum += d * d;
+        }
+        sum / samples as f64
+    }
+
+    /// Largest slope of any segment. The reference-voltage hardware has a
+    /// bounded voltage swing, so the realizable slope is limited; the HEBS
+    /// flow checks this before programming the driver.
+    pub fn max_slope(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| (w[1].y - w[0].y) / (w[1].x - w[0].x))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl PixelTransform for PiecewiseLinear {
+    fn evaluate(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        // Find the segment containing x by binary search on the abscissas.
+        let points = &self.points;
+        if x <= points[0].x {
+            return points[0].y;
+        }
+        if x >= points[points.len() - 1].x {
+            return points[points.len() - 1].y;
+        }
+        let mut lo = 0;
+        let mut hi = points.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if points[mid].x <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let a = points[lo];
+        let b = points[hi];
+        let t = (x - a.x) / (b.x - a.x);
+        a.y + t * (b.y - a.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_curve_evaluates_to_input() {
+        let id = PiecewiseLinear::identity();
+        for i in 0..=20 {
+            let x = f64::from(i) / 20.0;
+            assert!((id.evaluate(x) - x).abs() < 1e-12);
+        }
+        assert_eq!(id.segment_count(), 1);
+        assert_eq!(id.output_range(), 1.0);
+    }
+
+    #[test]
+    fn interpolation_between_points() {
+        let curve = PiecewiseLinear::new(vec![
+            ControlPoint::new(0.0, 0.0),
+            ControlPoint::new(0.4, 0.8),
+            ControlPoint::new(1.0, 1.0),
+        ])
+        .unwrap();
+        assert!((curve.evaluate(0.2) - 0.4).abs() < 1e-12);
+        assert!((curve.evaluate(0.7) - 0.9).abs() < 1e-12);
+        assert_eq!(curve.evaluate(0.0), 0.0);
+        assert_eq!(curve.evaluate(1.0), 1.0);
+        assert!((curve.max_slope() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn construction_rejects_bad_input() {
+        assert!(matches!(
+            PiecewiseLinear::new(vec![ControlPoint::new(0.0, 0.0)]),
+            Err(TransformError::TooFewControlPoints { count: 1 })
+        ));
+        // Not starting at x = 0.
+        assert!(PiecewiseLinear::new(vec![
+            ControlPoint::new(0.1, 0.0),
+            ControlPoint::new(1.0, 1.0),
+        ])
+        .is_err());
+        // Decreasing ordinate.
+        assert!(matches!(
+            PiecewiseLinear::new(vec![
+                ControlPoint::new(0.0, 0.5),
+                ControlPoint::new(0.5, 0.4),
+                ControlPoint::new(1.0, 1.0),
+            ]),
+            Err(TransformError::NotMonotone { index: 1 })
+        ));
+        // Duplicate abscissa.
+        assert!(PiecewiseLinear::new(vec![
+            ControlPoint::new(0.0, 0.0),
+            ControlPoint::new(0.5, 0.5),
+            ControlPoint::new(0.5, 0.6),
+            ControlPoint::new(1.0, 1.0),
+        ])
+        .is_err());
+        // Out of range coordinate.
+        assert!(matches!(
+            PiecewiseLinear::new(vec![
+                ControlPoint::new(0.0, -0.1),
+                ControlPoint::new(1.0, 1.0),
+            ]),
+            Err(TransformError::PointOutOfRange { index: 0 })
+        ));
+        // NaN coordinate.
+        assert!(PiecewiseLinear::new(vec![
+            ControlPoint::new(0.0, f64::NAN),
+            ControlPoint::new(1.0, 1.0),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn from_samples_forces_monotonicity() {
+        // A slightly decreasing function gets clamped into a monotone curve.
+        let curve = PiecewiseLinear::from_samples(11, |x| if x < 0.5 { 0.6 } else { 0.5 });
+        let mut prev = 0.0;
+        for p in curve.points() {
+            assert!(p.y >= prev);
+            prev = p.y;
+        }
+    }
+
+    #[test]
+    fn from_samples_matches_function() {
+        let curve = PiecewiseLinear::from_samples(101, |x| x * x);
+        // Piecewise-linear interpolation of x² on 101 samples is accurate to
+        // about (Δx)²/8 ≈ 1.25e-5.
+        for i in 0..=50 {
+            let x = f64::from(i) / 50.0;
+            assert!((curve.evaluate(x) - x * x).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mse_between_identical_curves_is_zero() {
+        let a = PiecewiseLinear::from_samples(17, |x| x.sqrt());
+        assert_eq!(a.mse_against(&a, 100), 0.0);
+    }
+
+    #[test]
+    fn mse_between_identity_and_constant_half() {
+        let id = PiecewiseLinear::identity();
+        let flat = PiecewiseLinear::new(vec![
+            ControlPoint::new(0.0, 0.5),
+            ControlPoint::new(1.0, 0.5),
+        ])
+        .unwrap();
+        // ∫ (x - 1/2)² dx = 1/12 ≈ 0.0833.
+        let mse = id.mse_against(&flat, 10_001);
+        assert!((mse - 1.0 / 12.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn evaluate_clamps_inputs() {
+        let curve = PiecewiseLinear::identity();
+        assert_eq!(curve.evaluate(-3.0), 0.0);
+        assert_eq!(curve.evaluate(42.0), 1.0);
+    }
+
+    #[test]
+    fn lut_compilation_is_monotone() {
+        let curve = PiecewiseLinear::from_samples(32, |x| x.powf(0.4));
+        assert!(curve.to_lut().is_monotone());
+    }
+
+    #[test]
+    fn output_range_of_compressive_curve() {
+        let curve = PiecewiseLinear::new(vec![
+            ControlPoint::new(0.0, 0.3),
+            ControlPoint::new(1.0, 0.7),
+        ])
+        .unwrap();
+        assert!((curve.output_range() - 0.4).abs() < 1e-12);
+        assert_eq!(curve.y_min(), 0.3);
+        assert_eq!(curve.y_max(), 0.7);
+    }
+
+    #[test]
+    fn control_point_from_tuple() {
+        let p: ControlPoint = (0.25, 0.5).into();
+        assert_eq!(p.x, 0.25);
+        assert_eq!(p.y, 0.5);
+    }
+}

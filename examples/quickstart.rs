@@ -1,0 +1,54 @@
+//! Quickstart: run HEBS on one image and print what the display would do.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hebs::core::{BacklightPolicy, HebsPolicy, PipelineConfig};
+use hebs::imaging::{io, Histogram, SipiImage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Get an image. Any 8-bit grayscale image works; here we use the
+    //    synthetic stand-in for the classic "Lena" benchmark.
+    let image = SipiImage::Lena.generate(256);
+    let histogram = Histogram::of(&image);
+    println!("input image: {}x{} pixels", image.width(), image.height());
+    println!(
+        "  histogram: dynamic range {}, entropy {:.2} bits, mean level {:.1}",
+        histogram.dynamic_range(),
+        histogram.entropy(),
+        histogram.mean()
+    );
+
+    // 2. Build the HEBS policy. The closed-loop variant searches the target
+    //    dynamic range per image so the distortion bound is met exactly.
+    let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+
+    // 3. Ask for the most aggressive backlight dimming that keeps the
+    //    perceived distortion at or below 10 %.
+    let outcome = policy.optimize(&image, 0.10)?;
+
+    println!("\nHEBS result (max distortion 10%):");
+    println!("  backlight factor beta : {:.3}", outcome.beta);
+    if let Some(range) = outcome.dynamic_range {
+        println!("  target dynamic range  : {range} levels");
+    }
+    println!("  measured distortion   : {:.2} %", outcome.distortion * 100.0);
+    println!("  power saving          : {:.2} %", outcome.power_saving * 100.0);
+    println!(
+        "  power breakdown       : CCFL {:.3} + panel {:.3} + controller {:.3} = {:.3}",
+        outcome.power.ccfl,
+        outcome.power.panel,
+        outcome.power.controller,
+        outcome.power.total()
+    );
+
+    // 4. Save the original and the displayed (backlight-scaled) image so the
+    //    visual effect can be inspected with any PGM viewer.
+    let out_dir = std::env::temp_dir().join("hebs-quickstart");
+    std::fs::create_dir_all(&out_dir)?;
+    io::save_pgm(&image, out_dir.join("original.pgm"))?;
+    io::save_pgm(&outcome.displayed, out_dir.join("displayed.pgm"))?;
+    println!("\nwrote original.pgm and displayed.pgm to {}", out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Facade crate for the HEBS (Histogram Equalization for Backlight Scaling)
+//! reproduction.
+//!
+//! This crate simply re-exports the workspace members under stable module
+//! names so applications can depend on a single crate:
+//!
+//! * [`imaging`] — image containers, histograms, I/O, synthetic benchmark
+//!   suite ([`hebs_imaging`]).
+//! * [`quality`] — distortion metrics: UIQI, SSIM, PSNR, HVS model
+//!   ([`hebs_quality`]).
+//! * [`transform`] — pixel transformation functions and piecewise-linear
+//!   coarsening ([`hebs_transform`]).
+//! * [`display`] — CCFL / TFT panel power models and the programmable
+//!   reference-driver hardware simulation ([`hebs_display`]).
+//! * [`core`] — the HEBS algorithm, its baselines and the video pipeline
+//!   ([`hebs_core`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hebs::core::{BacklightPolicy, HebsPolicy, PipelineConfig};
+//! use hebs::imaging::SipiImage;
+//!
+//! let image = SipiImage::Peppers.generate(64);
+//! let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+//! let outcome = policy.optimize(&image, 0.10)?;
+//! assert!(outcome.power_saving > 0.0);
+//! # Ok::<(), hebs::core::HebsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hebs_core as core;
+pub use hebs_display as display;
+pub use hebs_imaging as imaging;
+pub use hebs_quality as quality;
+pub use hebs_transform as transform;

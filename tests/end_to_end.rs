@@ -1,0 +1,158 @@
+//! End-to-end integration tests spanning every crate of the workspace: from
+//! synthetic image generation through the HEBS policy, the reference-driver
+//! hardware model and the power accounting, checking the result *shapes* the
+//! paper reports.
+
+use hebs::core::{
+    BacklightPolicy, CbcsPolicy, DistortionCharacteristic, DlsPolicy, DlsVariant, HebsPolicy,
+    PipelineConfig, TargetRange,
+};
+use hebs::core::pipeline::evaluate_at_range;
+use hebs::imaging::{SipiImage, SipiSuite};
+use hebs::quality::{DistortionMeasure, HebsDistortion};
+
+fn small_suite() -> SipiSuite {
+    SipiSuite::with_size(64)
+}
+
+#[test]
+fn closed_loop_hebs_meets_the_budget_on_every_suite_image() {
+    let suite = small_suite();
+    let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+    for (id, image) in suite.iter() {
+        let outcome = policy.optimize(image, 0.10).expect("policy runs");
+        assert!(
+            outcome.distortion <= 0.10 + 1e-9,
+            "{id}: distortion {} exceeds the budget",
+            outcome.distortion
+        );
+        assert!(
+            outcome.power_saving >= 0.0 && outcome.power_saving < 1.0,
+            "{id}: implausible saving {}",
+            outcome.power_saving
+        );
+        assert!(outcome.lut.is_monotone(), "{id}: non-monotone hardware LUT");
+    }
+}
+
+#[test]
+fn average_savings_grow_with_the_distortion_budget() {
+    let suite = small_suite();
+    let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+    let mut previous = -1.0;
+    for budget in [0.05, 0.10, 0.20] {
+        let mean: f64 = suite
+            .iter()
+            .map(|(_, image)| {
+                policy
+                    .optimize(image, budget)
+                    .expect("policy runs")
+                    .power_saving
+            })
+            .sum::<f64>()
+            / suite.len() as f64;
+        assert!(
+            mean > previous,
+            "mean saving {mean} did not grow at budget {budget}"
+        );
+        previous = mean;
+    }
+    // At a 20% budget the suite average should be a substantial saving.
+    assert!(previous > 0.35, "20% budget only saved {previous}");
+}
+
+#[test]
+fn hebs_beats_the_baselines_on_average() {
+    let suite = small_suite();
+    let budget = 0.10;
+    let hebs = HebsPolicy::closed_loop(PipelineConfig::default());
+    let cbcs = CbcsPolicy::new();
+    let dls = DlsPolicy::new(DlsVariant::ContrastEnhancement);
+
+    let mut hebs_total = 0.0;
+    let mut cbcs_total = 0.0;
+    let mut dls_total = 0.0;
+    for (_, image) in suite.iter() {
+        hebs_total += hebs.optimize(image, budget).expect("hebs runs").power_saving;
+        cbcs_total += cbcs.optimize(image, budget).expect("cbcs runs").power_saving;
+        dls_total += dls.optimize(image, budget).expect("dls runs").power_saving;
+    }
+    assert!(
+        hebs_total > cbcs_total,
+        "HEBS total {hebs_total} not above CBCS {cbcs_total}"
+    );
+    assert!(
+        hebs_total > dls_total,
+        "HEBS total {hebs_total} not above DLS {dls_total}"
+    );
+}
+
+#[test]
+fn open_loop_flow_matches_the_paper_architecture() {
+    // Characterize on one half of the suite, deploy on the other half —
+    // the open-loop lookup must produce sensible settings for unseen images.
+    let suite = small_suite();
+    let config = PipelineConfig::default();
+    let calibration: Vec<(&str, &hebs::imaging::GrayImage)> = suite
+        .entries()
+        .iter()
+        .take(10)
+        .map(|(id, img)| (id.name(), img))
+        .collect();
+    let characteristic =
+        DistortionCharacteristic::characterize(&config, calibration, &[60, 120, 180, 240])
+            .expect("characterization runs");
+    let policy = HebsPolicy::open_loop(config, characteristic, true);
+    for (id, image) in suite.entries().iter().skip(10) {
+        let outcome = policy.optimize(image, 0.15).expect("open-loop policy runs");
+        assert!(outcome.beta > 0.1 && outcome.beta <= 1.0, "{id}: beta {}", outcome.beta);
+        assert!(outcome.power_saving >= 0.0, "{id}: negative saving");
+    }
+}
+
+#[test]
+fn distortion_grows_and_beta_falls_as_the_range_shrinks() {
+    let config = PipelineConfig::default();
+    let image = SipiImage::Peppers.generate(64);
+    let mut previous_distortion = -1.0;
+    let mut previous_beta = 2.0;
+    for range in [240u32, 180, 120, 60] {
+        let eval = evaluate_at_range(&config, &image, TargetRange::from_span(range).unwrap())
+            .expect("pipeline runs");
+        assert!(
+            eval.distortion >= previous_distortion - 0.02,
+            "distortion not (approximately) monotone at range {range}"
+        );
+        assert!(eval.beta < previous_beta, "beta not decreasing at range {range}");
+        previous_distortion = eval.distortion;
+        previous_beta = eval.beta;
+    }
+}
+
+#[test]
+fn displayed_image_is_what_the_distortion_was_measured_against() {
+    // Consistency across crates: re-measuring the distortion of the outcome's
+    // displayed image with the same measure reproduces the reported number.
+    let image = SipiImage::Girl.generate(64);
+    let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+    let outcome = policy.optimize(&image, 0.10).expect("policy runs");
+    let measure = HebsDistortion::default();
+    let recomputed = measure.distortion(&image, &outcome.displayed);
+    assert!((recomputed - outcome.distortion).abs() < 1e-9);
+}
+
+#[test]
+fn full_subsystem_power_accounting_is_internally_consistent() {
+    let image = SipiImage::Trees.generate(64);
+    let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+    let outcome = policy.optimize(&image, 0.20).expect("policy runs");
+    let lcd = hebs::display::LcdSubsystem::lp064v1();
+    let baseline = lcd.power(&image, 1.0).expect("power model runs").total();
+    let implied_saving = 1.0 - outcome.power.total() / baseline;
+    assert!((implied_saving - outcome.power_saving).abs() < 1e-9);
+    // At full backlight the CCFL dominates the subsystem; after dimming its
+    // share can only have gone down.
+    let full = lcd.power(&image, 1.0).expect("power model runs");
+    assert!(full.backlight_share() > 0.6);
+    assert!(outcome.power.backlight_share() <= full.backlight_share());
+}

@@ -1,0 +1,88 @@
+//! Property-based integration tests on the cross-crate invariants of the
+//! HEBS pipeline: monotonicity of the compiled hardware tables, bounds on
+//! distortion and power saving, and determinism of the whole flow, for
+//! randomly generated images and parameters.
+
+use proptest::prelude::*;
+
+use hebs::core::ghe::{equalize, TargetRange};
+use hebs::core::{pipeline::evaluate_at_range, PipelineConfig};
+use hebs::display::plrd::HierarchicalPlrd;
+use hebs::imaging::{GrayImage, Histogram};
+use hebs::quality::{DistortionMeasure, HebsDistortion};
+use hebs::transform::{coarsen, PixelTransform};
+
+/// Strategy: a small random image with an arbitrary pixel distribution.
+fn arbitrary_image() -> impl Strategy<Value = GrayImage> {
+    (8u32..24, 8u32..24, proptest::collection::vec(any::<u8>(), 24 * 24))
+        .prop_map(|(w, h, data)| {
+            GrayImage::from_fn(w, h, |x, y| data[(y * w + x) as usize % data.len()])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ghe_transform_is_always_monotone(image in arbitrary_image(), span in 2u32..=256) {
+        let hist = Histogram::of(&image);
+        let target = TargetRange::from_span(span).expect("valid span");
+        let solution = equalize(&hist, target).expect("equalize runs");
+        prop_assert!(solution.transform.to_lut().is_monotone());
+        // Output stays inside the requested band.
+        prop_assert!(solution.transform.evaluate(1.0) <= f64::from(target.g_max()) / 255.0 + 1e-9);
+        prop_assert!(solution.transform.evaluate(0.0) >= f64::from(target.g_min()) / 255.0 - 1e-9);
+    }
+
+    #[test]
+    fn coarsened_ghe_curves_stay_within_the_driver_budget(
+        image in arbitrary_image(),
+        span in 16u32..=256,
+        segments in 2usize..=12,
+    ) {
+        let hist = Histogram::of(&image);
+        let target = TargetRange::from_span(span).expect("valid span");
+        let solution = equalize(&hist, target).expect("equalize runs");
+        let coarse = coarsen(&solution.transform, segments).expect("coarsen runs");
+        prop_assert!(coarse.curve.segment_count() <= segments);
+        prop_assert!(coarse.squared_error >= 0.0);
+        // The coarse curve can always be programmed into a driver with
+        // enough sources.
+        let driver = HierarchicalPlrd::new(segments + 1, 10).expect("valid driver");
+        let programmed = driver
+            .program(&coarse.curve, target.backlight_factor())
+            .expect("programming succeeds");
+        prop_assert!(programmed.lut.is_monotone());
+    }
+
+    #[test]
+    fn pipeline_outputs_are_bounded_and_deterministic(
+        image in arbitrary_image(),
+        span in 32u32..=256,
+    ) {
+        let config = PipelineConfig::default();
+        let target = TargetRange::from_span(span).expect("valid span");
+        let a = evaluate_at_range(&config, &image, target).expect("pipeline runs");
+        let b = evaluate_at_range(&config, &image, target).expect("pipeline runs");
+        prop_assert!((0.0..=1.0).contains(&a.distortion));
+        prop_assert!(a.power_saving < 1.0);
+        prop_assert!(a.beta > 0.0 && a.beta <= 1.0);
+        // Determinism of the full flow.
+        prop_assert_eq!(a.distortion, b.distortion);
+        prop_assert_eq!(a.power_saving, b.power_saving);
+        prop_assert_eq!(a.lut.entries(), b.lut.entries());
+    }
+
+    #[test]
+    fn distortion_measure_is_a_premetric(image in arbitrary_image(), shift in 0u8..60) {
+        let measure = HebsDistortion::default();
+        // Identity of indiscernibles (one direction) and non-negativity.
+        prop_assert!(measure.distortion(&image, &image) < 1e-9);
+        let shifted = image.map(|v| v.saturating_add(shift));
+        let d = measure.distortion(&image, &shifted);
+        prop_assert!((0.0..=1.0).contains(&d));
+        // Symmetry of the underlying index.
+        let d_rev = measure.distortion(&shifted, &image);
+        prop_assert!((d - d_rev).abs() < 1e-9);
+    }
+}
