@@ -51,7 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Ablation study — mean saving / distortion over 6 images at a 10% budget\n");
 
     // 1. Segment budget of the reference driver.
-    let mut segments_table = TextTable::new(["driver sources k", "mean saving (%)", "mean distortion (%)"]);
+    let mut segments_table =
+        TextTable::new(["driver sources k", "mean saving (%)", "mean distortion (%)"]);
     for k in [3usize, 4, 8, 16] {
         let driver = HierarchicalPlrd::new(k, 10)?;
         let config = PipelineConfig {
@@ -91,7 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{blend_table}");
 
     // 3. Distortion measure: with and without the HVS pre-filter.
-    let mut hvs_table = TextTable::new(["distortion measure", "mean saving (%)", "mean distortion (%)"]);
+    let mut hvs_table = TextTable::new([
+        "distortion measure",
+        "mean saving (%)",
+        "mean distortion (%)",
+    ]);
     for (label, measure) in [
         ("HVS + UIQI (paper)", HebsDistortion::default()),
         ("plain UIQI", HebsDistortion::without_hvs()),

@@ -12,9 +12,7 @@ use hebs_display::CcflModel;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = CcflModel::lp064v1();
     println!("Figure 6a — CCFL illuminance (backlight factor) vs driver power");
-    println!(
-        "model: P = 1.9600*b - 0.2372 for b <= 0.8234; P = 6.9440*b - 4.3240 above\n"
-    );
+    println!("model: P = 1.9600*b - 0.2372 for b <= 0.8234; P = 6.9440*b - 4.3240 above\n");
     let mut table = TextTable::new(["backlight b", "power (norm. W)", "region"]);
     for (beta, power) in model.characteristic_curve(0.40, 1.00, 25) {
         let region = if beta <= model.saturation_knee {

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(128);
-    eprintln!("characterizing the 19-image suite at {size}x{size} over {} ranges ...", DEFAULT_RANGES.len());
+    eprintln!(
+        "characterizing the 19-image suite at {size}x{size} over {} ranges ...",
+        DEFAULT_RANGES.len()
+    );
     let suite = SipiSuite::with_size(size);
     let config = PipelineConfig::default();
     let characteristic = run_characterization(&suite, &DEFAULT_RANGES, &config)?;
@@ -47,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{fits}");
 
     println!("Inverse lookup (minimum admissible dynamic range per distortion budget):");
-    let mut inverse = TextTable::new(["budget (%)", "range (average fit)", "range (worst-case fit)"]);
+    let mut inverse = TextTable::new([
+        "budget (%)",
+        "range (average fit)",
+        "range (worst-case fit)",
+    ]);
     for budget in [0.05, 0.10, 0.20] {
         let average = characteristic
             .min_range_for(budget, false)

@@ -37,8 +37,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     io::save_pgm(image, out_dir.join("lena_original.pgm"))?;
     for range in [220u32, 100] {
         let eval = evaluate_at_range(&config, image, TargetRange::from_span(range)?)?;
-        io::save_pgm(&eval.displayed, out_dir.join(format!("lena_range{range}.pgm")))?;
+        io::save_pgm(
+            &eval.displayed,
+            out_dir.join(format!("lena_range{range}.pgm")),
+        )?;
     }
-    println!("\nwrote lena_original.pgm, lena_range220.pgm, lena_range100.pgm to {}", out_dir.display());
+    println!(
+        "\nwrote lena_original.pgm, lena_range220.pgm, lena_range100.pgm to {}",
+        out_dir.display()
+    );
     Ok(())
 }

@@ -1,0 +1,74 @@
+//! Runtime throughput bench: single thread vs. worker pool vs. worker pool
+//! plus transformation cache.
+//!
+//! ```text
+//! cargo run --release -p hebs-bench --bin runtime_throughput
+//! ```
+//!
+//! Serves the synthetic SIPI suite (with repeats) and two synthetic video
+//! sequences through `hebs_runtime::Engine` in three configurations and
+//! prints wall-clock throughput, latency and cache hit rates. Run with
+//! `--quick` for a fast smoke-test configuration.
+
+use hebs_bench::{run_runtime_throughput, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (frame_size, video_frames) = if quick { (32, 16) } else { (96, 96) };
+    let budget = 0.10;
+
+    println!(
+        "HEBS runtime throughput (distortion budget {:.0}%)",
+        budget * 100.0
+    );
+    println!(
+        "frame size {frame_size}x{frame_size}, {video_frames} video frames per sequence, \
+         pool = available parallelism\n"
+    );
+
+    let rows = run_runtime_throughput(budget, frame_size, video_frames, 0)?;
+
+    let mut table = TextTable::new([
+        "workload",
+        "configuration",
+        "workers",
+        "frames",
+        "wall [ms]",
+        "fps",
+        "mean lat [ms]",
+        "p95 lat [ms]",
+        "hit rate",
+        "saving",
+    ]);
+    for row in &rows {
+        table.push_row([
+            row.workload.clone(),
+            row.configuration.clone(),
+            row.workers.to_string(),
+            row.frames.to_string(),
+            format!("{:.1}", row.wall_time.as_secs_f64() * 1e3),
+            format!("{:.1}", row.throughput_fps),
+            format!("{:.2}", row.mean_latency.as_secs_f64() * 1e3),
+            format!("{:.2}", row.p95_latency.as_secs_f64() * 1e3),
+            format!("{:.0}%", row.cache_hit_rate * 100.0),
+            format!("{:.1}%", row.mean_power_saving * 100.0),
+        ]);
+    }
+    println!("{table}");
+
+    // Headline speedups per workload: pooled and pooled+cache vs. the
+    // single-thread baseline.
+    let mut summary = TextTable::new(["workload", "pool speedup", "pool+cache speedup"]);
+    for chunk in rows.chunks(3) {
+        let [single, pooled, cached] = chunk else {
+            continue;
+        };
+        summary.push_row([
+            single.workload.clone(),
+            format!("{:.2}x", pooled.throughput_fps / single.throughput_fps),
+            format!("{:.2}x", cached.throughput_fps / single.throughput_fps),
+        ]);
+    }
+    println!("{summary}");
+    Ok(())
+}

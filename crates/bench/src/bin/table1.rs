@@ -6,7 +6,9 @@
 //! cargo run --release -p hebs-bench --bin table1
 //! ```
 
-use hebs_bench::{run_table1, table::percent, TextTable, PAPER_TABLE1, PAPER_TABLE1_AVERAGE, TABLE1_BUDGETS};
+use hebs_bench::{
+    run_table1, table::percent, TextTable, PAPER_TABLE1, PAPER_TABLE1_AVERAGE, TABLE1_BUDGETS,
+};
 use hebs_core::PipelineConfig;
 use hebs_imaging::SipiSuite;
 

@@ -13,8 +13,8 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    run_baseline_comparison, run_characterization, run_figure8, run_table1, BaselineComparison,
-    Figure8Row, Table1Report, Table1Row,
+    run_baseline_comparison, run_characterization, run_figure8, run_runtime_throughput, run_table1,
+    BaselineComparison, Figure8Row, RuntimeThroughputRow, Table1Report, Table1Row,
 };
 pub use table::TextTable;
 
@@ -59,8 +59,7 @@ mod tests {
         // The published per-image savings should average to the published
         // averages (within rounding of the paper's table).
         for budget in 0..3 {
-            let mean: f64 =
-                PAPER_TABLE1.iter().map(|(_, row)| row[budget]).sum::<f64>() / 19.0;
+            let mean: f64 = PAPER_TABLE1.iter().map(|(_, row)| row[budget]).sum::<f64>() / 19.0;
             assert!(
                 (mean - PAPER_TABLE1_AVERAGE[budget]).abs() < 0.25,
                 "budget {budget}: recomputed {mean} vs published {}",

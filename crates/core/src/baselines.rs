@@ -191,7 +191,11 @@ impl CbcsPolicy {
         for hi in 0..256usize {
             // Pixels inside [lo, hi].
             loop {
-                let below_lo = if lo == 0 { 0 } else { cumulative.up_to((lo - 1) as u8) };
+                let below_lo = if lo == 0 {
+                    0
+                } else {
+                    cumulative.up_to((lo - 1) as u8)
+                };
                 let inside = cumulative.up_to(hi as u8) - below_lo;
                 if inside < needed {
                     break;
@@ -290,7 +294,10 @@ mod tests {
 
     #[test]
     fn dls_respects_the_distortion_bound() {
-        for variant in [DlsVariant::ContrastEnhancement, DlsVariant::BrightnessCompensation] {
+        for variant in [
+            DlsVariant::ContrastEnhancement,
+            DlsVariant::BrightnessCompensation,
+        ] {
             let policy = DlsPolicy::new(variant);
             let outcome = policy.optimize(&test_image(), 0.10).unwrap();
             assert!(

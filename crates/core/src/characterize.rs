@@ -59,8 +59,7 @@ impl DistortionCharacteristic {
             let histogram = Histogram::of(image);
             for &range in ranges {
                 let target = TargetRange::from_span(range)?;
-                let eval =
-                    evaluate_at_range_with_histogram(config, image, &histogram, target)?;
+                let eval = evaluate_at_range_with_histogram(config, image, &histogram, target)?;
                 samples.push(CharacterizationSample {
                     image: name.to_string(),
                     dynamic_range: range,

@@ -70,8 +70,8 @@ impl Polynomial {
             let mut x_pow_i = 1.0;
             for i in 0..terms {
                 let mut x_pow_ij = x_pow_i;
-                for j in 0..terms {
-                    a[i][j] += x_pow_ij;
+                for entry in a[i].iter_mut() {
+                    *entry += x_pow_ij;
                     x_pow_ij *= x;
                 }
                 b[i] += y * x_pow_i;
@@ -120,10 +120,11 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>
         a.swap(col, pivot_row);
         b.swap(col, pivot_row);
         // Eliminate below.
+        let pivot = a[col].clone();
         for row in (col + 1)..n {
-            let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let factor = a[row][col] / pivot[col];
+            for (entry, &p) in a[row][col..].iter_mut().zip(&pivot[col..]) {
+                *entry -= factor * p;
             }
             b[row] -= factor * b[col];
         }

@@ -52,6 +52,9 @@ pub use baselines::{CbcsPolicy, DlsPolicy, DlsVariant};
 pub use characterize::{CharacterizationSample, DistortionCharacteristic, DEFAULT_RANGES};
 pub use error::{HebsError, Result};
 pub use ghe::{GheSolution, TargetRange};
-pub use pipeline::{BlendMode, PipelineConfig, RangeEvaluation};
+pub use pipeline::{
+    apply_transform, compute_transform, fit_transform, BlendMode, FrameTransform, PipelineConfig,
+    RangeEvaluation,
+};
 pub use policy::{BacklightPolicy, HebsPolicy, RangeSelection, ScalingOutcome};
 pub use video::{FrameOutcome, VideoPipeline, VideoReport};

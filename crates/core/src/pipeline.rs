@@ -90,6 +90,31 @@ impl PipelineConfig {
     }
 }
 
+/// The reusable product of the HEBS fitting stage: the programmed
+/// transformation for one histogram shape and target range, detached from
+/// any particular frame.
+///
+/// Computing a [`FrameTransform`] is the expensive part of the pipeline (the
+/// GHE solve, the blend search and the piecewise-linear-coarsening dynamic
+/// program); applying it to a frame via [`apply_transform`] is a single LUT
+/// pass plus the display models. The runtime's transformation cache stores
+/// values of this type so near-identical consecutive frames skip the fit.
+/// Cloning is cheap: the LUT shares its storage and the curve is a small
+/// control-point vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTransform {
+    /// The target range the transformation maps onto.
+    pub target: TargetRange,
+    /// Backlight scaling factor `β` implied by the target range.
+    pub beta: f64,
+    /// Blend weight that was selected (1.0 = pure GHE).
+    pub blend_weight: f64,
+    /// The coarsened transformation handed to the reference driver.
+    pub curve: PiecewiseLinear,
+    /// The lookup table the driver realizes for this curve and `β`.
+    pub lut: LookupTable,
+}
+
 /// Everything the pipeline knows after evaluating one image at one target
 /// dynamic range.
 #[derive(Debug, Clone)]
@@ -115,6 +140,20 @@ pub struct RangeEvaluation {
     /// Fractional power saving versus showing the original at full
     /// backlight.
     pub power_saving: f64,
+}
+
+impl RangeEvaluation {
+    /// Extracts the reusable transformation this evaluation was produced
+    /// with, for caching and replay on other frames.
+    pub fn transform(&self) -> FrameTransform {
+        FrameTransform {
+            target: self.target,
+            beta: self.beta,
+            blend_weight: self.blend_weight,
+            curve: self.curve.clone(),
+            lut: self.lut.clone(),
+        }
+    }
 }
 
 /// Evaluates the HEBS transformation for `image` at the given target dynamic
@@ -146,32 +185,14 @@ pub fn evaluate_at_range_with_histogram(
     histogram: &Histogram,
     target: TargetRange,
 ) -> Result<RangeEvaluation> {
-    let beta = target.backlight_factor();
+    // The GHE solve and the linear band curve depend only on the histogram
+    // and target, so hoist them out of the blend-candidate loop.
     let ghe = equalize(histogram, target)?;
     let linear = linear_compression(target);
-
     let mut best: Option<RangeEvaluation> = None;
     for weight in config.blend_candidates() {
-        let requested = blend_curves(&linear, &ghe.transform, weight)?;
-        let segments = config.segments.min(config.driver.max_segments()).max(1);
-        let coarse = coarsen(&requested, segments)?;
-        let programmed = config.driver.program(&coarse.curve, beta)?;
-        let drive_image = programmed.lut.apply(image);
-        let displayed = config.subsystem.displayed_image(&drive_image, beta)?;
-        let distortion = config.measure.distortion(image, &displayed);
-        let power = config.subsystem.power(&drive_image, beta)?;
-        let power_saving = config.subsystem.power_saving(image, &drive_image, beta)?;
-        let candidate = RangeEvaluation {
-            target,
-            beta,
-            blend_weight: weight,
-            curve: coarse.curve,
-            lut: programmed.lut,
-            displayed,
-            distortion,
-            power,
-            power_saving,
-        };
+        let transform = fit_blended(config, &ghe.transform, &linear, target, weight)?;
+        let candidate = apply_transform(config, image, &transform)?;
         let better = match &best {
             None => true,
             Some(current) => candidate.distortion < current.distortion,
@@ -181,6 +202,104 @@ pub fn evaluate_at_range_with_histogram(
         }
     }
     Ok(best.expect("at least one blend candidate is always evaluated"))
+}
+
+/// Blends an already-solved GHE curve with the linear compression and fits
+/// the result into the driver (coarsening + programming).
+fn fit_blended(
+    config: &PipelineConfig,
+    ghe: &PiecewiseLinear,
+    linear: &PiecewiseLinear,
+    target: TargetRange,
+    blend_weight: f64,
+) -> Result<FrameTransform> {
+    let beta = target.backlight_factor();
+    let requested = blend_curves(linear, ghe, blend_weight)?;
+    let segments = config.segments.min(config.driver.max_segments()).max(1);
+    let coarse = coarsen(&requested, segments)?;
+    let programmed = config.driver.program(&coarse.curve, beta)?;
+    Ok(FrameTransform {
+        target,
+        beta,
+        blend_weight,
+        curve: coarse.curve,
+        lut: programmed.lut,
+    })
+}
+
+/// Fits the HEBS transformation for one histogram, target range and blend
+/// weight, running the full fitting stage: GHE solve, blend towards the
+/// linear compression, piecewise-linear coarsening to the driver's segment
+/// budget, and programming of the reference driver.
+///
+/// This is the expensive, frame-independent half of the pipeline; pair it
+/// with [`apply_transform`] to evaluate the result on a frame. Callers that
+/// serve video at scale compute it once per histogram shape and reuse the
+/// returned [`FrameTransform`] across near-identical frames.
+///
+/// # Errors
+///
+/// Propagates construction errors from the transformation and display
+/// layers.
+pub fn fit_transform(
+    config: &PipelineConfig,
+    histogram: &Histogram,
+    target: TargetRange,
+    blend_weight: f64,
+) -> Result<FrameTransform> {
+    let ghe = equalize(histogram, target)?;
+    let linear = linear_compression(target);
+    fit_blended(config, &ghe.transform, &linear, target, blend_weight)
+}
+
+/// Applies an already-fitted transformation to a frame and measures what the
+/// display would show, consume and distort — the cheap, per-frame half of
+/// the pipeline (one LUT pass plus the display models).
+///
+/// # Errors
+///
+/// Propagates errors from the display substrate.
+pub fn apply_transform(
+    config: &PipelineConfig,
+    image: &GrayImage,
+    transform: &FrameTransform,
+) -> Result<RangeEvaluation> {
+    let drive_image = transform.lut.apply(image);
+    let displayed = config
+        .subsystem
+        .displayed_image(&drive_image, transform.beta)?;
+    let distortion = config.measure.distortion(image, &displayed);
+    let power = config.subsystem.power(&drive_image, transform.beta)?;
+    let power_saving = config
+        .subsystem
+        .power_saving(image, &drive_image, transform.beta)?;
+    Ok(RangeEvaluation {
+        target: transform.target,
+        beta: transform.beta,
+        blend_weight: transform.blend_weight,
+        curve: transform.curve.clone(),
+        lut: transform.lut.clone(),
+        displayed,
+        distortion,
+        power,
+        power_saving,
+    })
+}
+
+/// Computes the best transformation for `image` at `target` (the blend
+/// candidate with the lowest measured distortion) and returns it in its
+/// reusable form.
+///
+/// # Errors
+///
+/// See [`evaluate_at_range`].
+pub fn compute_transform(
+    config: &PipelineConfig,
+    image: &GrayImage,
+    histogram: &Histogram,
+    target: TargetRange,
+) -> Result<FrameTransform> {
+    evaluate_at_range_with_histogram(config, image, histogram, target).map(|e| e.transform())
 }
 
 /// The plain linear compression of the full input range onto the target
@@ -227,7 +346,11 @@ mod tests {
         let img = synthetic::still_life(64, 64, 21);
         let eval = evaluate_at_range(&config, &img, TargetRange::from_span(256).unwrap()).unwrap();
         assert!(eval.distortion < 0.03, "distortion {}", eval.distortion);
-        assert!(eval.power_saving.abs() < 0.05, "saving {}", eval.power_saving);
+        assert!(
+            eval.power_saving.abs() < 0.05,
+            "saving {}",
+            eval.power_saving
+        );
         assert!((eval.beta - 1.0).abs() < 1e-9);
     }
 
@@ -307,6 +430,52 @@ mod tests {
         let reused = evaluate_at_range_with_histogram(&config, &img, &hist, target).unwrap();
         assert_eq!(direct.distortion, reused.distortion);
         assert_eq!(direct.power_saving, reused.power_saving);
+    }
+
+    #[test]
+    fn apply_transform_reproduces_the_evaluation_it_came_from() {
+        let config = small_config();
+        let img = synthetic::portrait(48, 48, 31);
+        let target = TargetRange::from_span(128).unwrap();
+        let eval = evaluate_at_range(&config, &img, target).unwrap();
+        let replayed = apply_transform(&config, &img, &eval.transform()).unwrap();
+        assert_eq!(replayed.distortion, eval.distortion);
+        assert_eq!(replayed.power_saving, eval.power_saving);
+        assert_eq!(replayed.lut, eval.lut);
+        assert_eq!(replayed.displayed, eval.displayed);
+    }
+
+    #[test]
+    fn compute_transform_matches_the_evaluation_path() {
+        let config = small_config();
+        let img = synthetic::landscape(48, 48, 32);
+        let hist = Histogram::of(&img);
+        let target = TargetRange::from_span(140).unwrap();
+        let transform = compute_transform(&config, &img, &hist, target).unwrap();
+        let eval = evaluate_at_range(&config, &img, target).unwrap();
+        assert_eq!(transform, eval.transform());
+    }
+
+    #[test]
+    fn fitted_transform_is_frame_independent() {
+        // The fit depends only on the histogram: two different frames with
+        // the same histogram produce the same programmed transform.
+        let config = small_config();
+        let a = synthetic::still_life(48, 48, 33);
+        let flipped = hebs_imaging::flip_horizontal(&a);
+        let target = TargetRange::from_span(110).unwrap();
+        let ta = fit_transform(&config, &Histogram::of(&a), target, 1.0).unwrap();
+        let tb = fit_transform(&config, &Histogram::of(&flipped), target, 1.0).unwrap();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn pipeline_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineConfig>();
+        assert_send_sync::<RangeEvaluation>();
+        assert_send_sync::<FrameTransform>();
+        assert_send_sync::<BlendMode>();
     }
 
     #[test]

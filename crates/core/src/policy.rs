@@ -14,7 +14,10 @@ use hebs_transform::LookupTable;
 use crate::characterize::DistortionCharacteristic;
 use crate::error::{HebsError, Result};
 use crate::ghe::TargetRange;
-use crate::pipeline::{evaluate_at_range_with_histogram, PipelineConfig, RangeEvaluation};
+use crate::pipeline::{
+    apply_transform, evaluate_at_range_with_histogram, FrameTransform, PipelineConfig,
+    RangeEvaluation,
+};
 
 /// The outcome of running a backlight scaling policy on one image.
 #[derive(Debug, Clone)]
@@ -126,7 +129,10 @@ impl HebsPolicy {
     ) -> Self {
         HebsPolicy {
             config,
-            selection: RangeSelection::Characteristic { curve, conservative },
+            selection: RangeSelection::Characteristic {
+                curve,
+                conservative,
+            },
             name: if conservative {
                 "hebs-open-worstcase".to_string()
             } else {
@@ -183,31 +189,111 @@ impl HebsPolicy {
     }
 }
 
-impl BacklightPolicy for HebsPolicy {
-    fn name(&self) -> &str {
-        &self.name
+impl HebsPolicy {
+    /// Runs the full policy and returns the chosen evaluation.
+    fn select_evaluation(&self, image: &GrayImage, max_distortion: f64) -> Result<RangeEvaluation> {
+        let histogram = Histogram::of(image);
+        self.select_evaluation_with_histogram(image, &histogram, max_distortion)
     }
 
-    fn optimize(&self, image: &GrayImage, max_distortion: f64) -> Result<ScalingOutcome> {
+    /// Runs the full policy with a precomputed histogram of `image`.
+    fn select_evaluation_with_histogram(
+        &self,
+        image: &GrayImage,
+        histogram: &Histogram,
+        max_distortion: f64,
+    ) -> Result<RangeEvaluation> {
         if !(0.0..=1.0).contains(&max_distortion) || !max_distortion.is_finite() {
             return Err(HebsError::InvalidFraction {
                 name: "max_distortion",
                 value: max_distortion,
             });
         }
-        let histogram = Histogram::of(image);
-        let evaluation = match &self.selection {
-            RangeSelection::ClosedLoop => self.search_range(image, &histogram, max_distortion)?,
-            RangeSelection::Characteristic { curve, conservative } => {
+        match &self.selection {
+            RangeSelection::ClosedLoop => self.search_range(image, histogram, max_distortion),
+            RangeSelection::Characteristic {
+                curve,
+                conservative,
+            } => {
                 // When even the full range is predicted to exceed the budget
                 // the characteristic cannot help; fall back to the widest
                 // (least distorting) range rather than refusing to display.
                 let range = curve
                     .min_range_for(max_distortion, *conservative)
                     .unwrap_or(256);
-                self.evaluate(image, &histogram, range.max(2))?
+                self.evaluate(image, histogram, range.max(2))
             }
-        };
+        }
+    }
+
+    /// Like [`BacklightPolicy::optimize`], but also returns the fitted
+    /// [`FrameTransform`] so callers can cache it and replay it on other
+    /// frames with [`HebsPolicy::apply_frame_transform`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BacklightPolicy::optimize`].
+    pub fn optimize_with_transform(
+        &self,
+        image: &GrayImage,
+        max_distortion: f64,
+    ) -> Result<(ScalingOutcome, FrameTransform)> {
+        let histogram = Histogram::of(image);
+        self.optimize_with_transform_using_histogram(image, &histogram, max_distortion)
+    }
+
+    /// Like [`HebsPolicy::optimize_with_transform`] but reuses a precomputed
+    /// histogram of `image` — the serving runtime already computes one per
+    /// frame for its cache key, and this avoids a second pass over the
+    /// pixels.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BacklightPolicy::optimize`].
+    pub fn optimize_with_transform_using_histogram(
+        &self,
+        image: &GrayImage,
+        histogram: &Histogram,
+        max_distortion: f64,
+    ) -> Result<(ScalingOutcome, FrameTransform)> {
+        let evaluation = self.select_evaluation_with_histogram(image, histogram, max_distortion)?;
+        let transform = evaluation.transform();
+        Ok((
+            ScalingOutcome::from_evaluation(&self.name, evaluation),
+            transform,
+        ))
+    }
+
+    /// Applies an already-fitted transformation to a frame, skipping the
+    /// range search and the fitting stage entirely.
+    ///
+    /// This is the cache-hit fast path of the serving runtime: the distortion
+    /// and power of the *actual* frame are still measured through the full
+    /// hardware path, only the expensive fit is reused. For the exact frame
+    /// the transform was fitted on, the outcome is bit-identical to the one
+    /// [`BacklightPolicy::optimize`] produces (the pipeline is
+    /// deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the display substrate.
+    pub fn apply_frame_transform(
+        &self,
+        image: &GrayImage,
+        transform: &FrameTransform,
+    ) -> Result<ScalingOutcome> {
+        let evaluation = apply_transform(&self.config, image, transform)?;
+        Ok(ScalingOutcome::from_evaluation(&self.name, evaluation))
+    }
+}
+
+impl BacklightPolicy for HebsPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn optimize(&self, image: &GrayImage, max_distortion: f64) -> Result<ScalingOutcome> {
+        let evaluation = self.select_evaluation(image, max_distortion)?;
         Ok(ScalingOutcome::from_evaluation(&self.name, evaluation))
     }
 }
@@ -274,7 +360,7 @@ mod tests {
     #[test]
     fn open_loop_uses_the_characteristic_curve() {
         let config = PipelineConfig::default();
-        let suite = vec![
+        let suite = [
             ("a".to_string(), synthetic::portrait(48, 48, 42)),
             ("b".to_string(), synthetic::landscape(48, 48, 43)),
             ("c".to_string(), synthetic::fine_texture(48, 48, 44)),
@@ -295,7 +381,7 @@ mod tests {
     #[test]
     fn conservative_open_loop_dims_less_aggressively() {
         let config = PipelineConfig::default();
-        let suite = vec![
+        let suite = [
             ("a".to_string(), synthetic::portrait(48, 48, 45)),
             ("b".to_string(), synthetic::low_key(48, 48, 46)),
             ("c".to_string(), synthetic::fine_texture(48, 48, 47)),
@@ -322,6 +408,35 @@ mod tests {
         assert!((outcome.power.beta - outcome.beta).abs() < 1e-12);
         assert!(outcome.lut.is_monotone());
         assert_eq!(outcome.displayed.width(), img.width());
+    }
+
+    #[test]
+    fn optimize_with_transform_matches_plain_optimize() {
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let img = test_image();
+        let plain = policy.optimize(&img, 0.10).unwrap();
+        let (outcome, transform) = policy.optimize_with_transform(&img, 0.10).unwrap();
+        assert_eq!(outcome.beta, plain.beta);
+        assert_eq!(outcome.distortion, plain.distortion);
+        assert_eq!(outcome.lut, plain.lut);
+        assert_eq!(transform.lut, plain.lut);
+
+        // Replaying the transform on the same frame is bit-identical.
+        let replayed = policy.apply_frame_transform(&img, &transform).unwrap();
+        assert_eq!(replayed.beta, plain.beta);
+        assert_eq!(replayed.distortion, plain.distortion);
+        assert_eq!(replayed.power_saving, plain.power_saving);
+        assert_eq!(replayed.displayed, plain.displayed);
+        assert_eq!(replayed.lut, plain.lut);
+    }
+
+    #[test]
+    fn policy_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HebsPolicy>();
+        assert_send_sync::<RangeSelection>();
+        assert_send_sync::<ScalingOutcome>();
+        assert_send_sync::<crate::video::VideoPipeline<HebsPolicy>>();
     }
 
     #[test]

@@ -164,7 +164,9 @@ impl<P: BacklightPolicy> VideoPipeline<P> {
             controller
                 .program(lut.clone(), beta_for_power)
                 .map_err(HebsError::Display)?;
-            let emitted = controller.submit_frame(&frame).map_err(HebsError::Display)?;
+            let emitted = controller
+                .submit_frame(&frame)
+                .map_err(HebsError::Display)?;
             let distortion = self.measure.distortion(&frame, &emitted);
             let drive = lut.apply(&frame);
             let power_saving = self
@@ -249,7 +251,10 @@ mod tests {
         let betas: Vec<f64> = report.frames.iter().map(|f| f.applied_beta).collect();
         let spread = betas.iter().cloned().fold(f64::MIN, f64::max)
             - betas.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread < 0.15, "backlight wandered by {spread} on a static scene");
+        assert!(
+            spread < 0.15,
+            "backlight wandered by {spread} on a static scene"
+        );
     }
 
     #[test]

@@ -60,7 +60,13 @@ impl CcflModel {
     ///
     /// Returns [`DisplayError::InvalidParameter`] if the knee is outside
     /// `(0, 1]`, a slope is non-positive, or any coefficient is not finite.
-    pub fn new(a_lin: f64, c_lin: f64, a_sat: f64, c_sat: f64, saturation_knee: f64) -> Result<Self> {
+    pub fn new(
+        a_lin: f64,
+        c_lin: f64,
+        a_sat: f64,
+        c_sat: f64,
+        saturation_knee: f64,
+    ) -> Result<Self> {
         for (name, value) in [
             ("a_lin", a_lin),
             ("c_lin", c_lin),

@@ -210,7 +210,9 @@ mod tests {
     fn invalid_backlight_rejected() {
         let mut controller = LcdController::new(8, 8).unwrap();
         assert!(controller.program(LookupTable::identity(), 1.2).is_err());
-        assert!(controller.program(LookupTable::identity(), f64::NAN).is_err());
+        assert!(controller
+            .program(LookupTable::identity(), f64::NAN)
+            .is_err());
     }
 
     #[test]

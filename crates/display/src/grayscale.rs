@@ -138,8 +138,8 @@ mod tests {
             assert!((ladder.grayscale_voltage(level) - expected).abs() < 1e-12);
         }
         let lut = ladder.to_lut();
-        for level in 0..=255usize {
-            assert_eq!(lut[level], level as u8);
+        for (level, &entry) in lut.iter().enumerate() {
+            assert_eq!(entry, level as u8);
         }
     }
 
@@ -188,14 +188,12 @@ mod tests {
     #[test]
     fn more_taps_realize_a_curve_more_faithfully() {
         let requested = |x: f64| x.sqrt();
-        let coarse = ReferenceLadder::from_taps(
-            (0..4).map(|i| requested(f64::from(i) / 3.0)).collect(),
-        )
-        .unwrap();
-        let fine = ReferenceLadder::from_taps(
-            (0..16).map(|i| requested(f64::from(i) / 15.0)).collect(),
-        )
-        .unwrap();
+        let coarse =
+            ReferenceLadder::from_taps((0..4).map(|i| requested(f64::from(i) / 3.0)).collect())
+                .unwrap();
+        let fine =
+            ReferenceLadder::from_taps((0..16).map(|i| requested(f64::from(i) / 15.0)).collect())
+                .unwrap();
         assert!(fine.rms_error_against(requested) < coarse.rms_error_against(requested));
     }
 }

@@ -15,8 +15,8 @@
 //!   (Figure 5a) and the hierarchical k-band circuit proposed by HEBS
 //!   (Figure 5b), both of which compile a requested transfer curve into the
 //!   quantized lookup table the hardware can actually realize.
-//! * [`LcdSubsystem`] — whole-subsystem power accounting (backlight + panel
-//!   + controller) and displayed-image simulation, the quantity every
+//! * [`LcdSubsystem`] — whole-subsystem power accounting (backlight +
+//!   panel + controller) and displayed-image simulation, the quantity every
 //!   benchmark reports.
 //! * [`controller`] — a small frame-buffer / refresh model used by the video
 //!   examples.

@@ -67,7 +67,10 @@ impl TftPanelModel {
             }
         }
         if c < 0.0 {
-            return Err(DisplayError::InvalidParameter { name: "c", value: c });
+            return Err(DisplayError::InvalidParameter {
+                name: "c",
+                value: c,
+            });
         }
         Ok(TftPanelModel { a, b, c })
     }

@@ -285,19 +285,14 @@ impl CumulativeHistogram {
         for (i, slot) in cumulative.iter_mut().enumerate() {
             *slot = if i < lo {
                 0
-            } else if i >= hi {
-                total
-            } else if hi == lo {
+            } else if i >= hi || hi == lo {
                 total
             } else {
                 let fraction = (i - lo) as f64 / (hi - lo) as f64;
                 (fraction * total as f64).round() as u64
             };
         }
-        CumulativeHistogram {
-            cumulative,
-            total,
-        }
+        CumulativeHistogram { cumulative, total }
     }
 
     /// Sum over all levels of the absolute difference with another cumulative
@@ -309,9 +304,7 @@ impl CumulativeHistogram {
     pub fn equalization_error(&self, other: &CumulativeHistogram) -> f64 {
         let n = self.total.max(other.total).max(1) as f64;
         (0..GRAY_LEVELS)
-            .map(|i| {
-                (self.cumulative[i] as f64 - other.cumulative[i] as f64).abs() / n
-            })
+            .map(|i| (self.cumulative[i] as f64 - other.cumulative[i] as f64).abs() / n)
             .sum()
     }
 }

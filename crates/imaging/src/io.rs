@@ -264,7 +264,9 @@ fn rescale(value: u64, max_val: u64) -> u8 {
     if max_val == 255 {
         value.min(255) as u8
     } else {
-        ((value as f64 / max_val as f64) * 255.0).round().clamp(0.0, 255.0) as u8
+        ((value as f64 / max_val as f64) * 255.0)
+            .round()
+            .clamp(0.0, 255.0) as u8
     }
 }
 

@@ -38,6 +38,8 @@ mod image;
 pub mod io;
 mod ops;
 mod pixel;
+pub mod rng;
+mod signature;
 mod stats;
 pub mod suite;
 pub mod synthetic;
@@ -48,6 +50,7 @@ pub use histogram::{CumulativeHistogram, Histogram, GRAY_LEVELS};
 pub use image::{GrayImage, RgbImage};
 pub use ops::{apply_lut, crop, downsample, flip_horizontal, flip_vertical};
 pub use pixel::{Rgb, MAX_LEVEL};
+pub use signature::{HistogramSignature, DEFAULT_SIGNATURE_RESOLUTION, SIGNATURE_BINS};
 pub use stats::{covariance, ImageStats};
 pub use suite::{SipiImage, SipiSuite};
 pub use video::{FrameSequence, SceneKind};

@@ -91,7 +91,9 @@ pub fn downsample(image: &GrayImage, factor: u32) -> GrayImage {
 pub fn flip_horizontal(image: &GrayImage) -> GrayImage {
     let w = image.width();
     GrayImage::from_fn(w, image.height(), |x, y| {
-        image.get(w - 1 - x, y).expect("mirrored coordinate in bounds")
+        image
+            .get(w - 1 - x, y)
+            .expect("mirrored coordinate in bounds")
     })
 }
 
@@ -99,7 +101,9 @@ pub fn flip_horizontal(image: &GrayImage) -> GrayImage {
 pub fn flip_vertical(image: &GrayImage) -> GrayImage {
     let h = image.height();
     GrayImage::from_fn(image.width(), h, |x, y| {
-        image.get(x, h - 1 - y).expect("mirrored coordinate in bounds")
+        image
+            .get(x, h - 1 - y)
+            .expect("mirrored coordinate in bounds")
     })
 }
 

@@ -1,0 +1,186 @@
+//! A small, dependency-free deterministic pseudo-random number generator.
+//!
+//! The synthetic image and video generators only need a reproducible stream
+//! of uniform samples — cryptographic quality is irrelevant, but determinism
+//! for a given seed is essential because every benchmark result must be
+//! stable run to run. This module provides a [SplitMix64]-based generator
+//! with the tiny slice of the `rand` API the workspace actually uses, so the
+//! offline build carries no external dependency.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! ```
+//! use hebs_imaging::rng::StdRng;
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! assert_eq!(a.random_range(0..100u32), b.random_range(0..100u32));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic SplitMix64 pseudo-random number generator.
+///
+/// The name mirrors `rand::rngs::StdRng` so generator code reads the same as
+/// it would with the external crate; the algorithm and stream differ.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Creates a generator whose entire stream is a function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from `range` (half-open or inclusive, see
+    /// [`SampleRange`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+/// A range that can produce uniform samples of `T` from a [`StdRng`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Uniform integer in `[0, bound)`. The modulo bias is below `2^-32` for
+/// every bound the generators use, far beneath anything the image statistics
+/// can resolve.
+fn uniform_below(rng: &mut StdRng, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample an empty range");
+    rng.next_u64() % bound
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as $wide - self.start as $wide) as u64;
+                (self.start as $wide + uniform_below(rng, span) as $wide) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample an empty range");
+                let span = (end as $wide - start as $wide) as u64 + 1;
+                (start as $wide + uniform_below(rng, span) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(
+    u8 => i64,
+    u16 => i64,
+    u32 => i64,
+    i16 => i64,
+    i32 => i64,
+    usize => i128,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other = StdRng::seed_from_u64(43);
+        assert_ne!(a[0], other.next_u64());
+    }
+
+    #[test]
+    fn float_samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn integer_samples_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            let v: u32 = rng.random_range(0..8u32);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_ranges_hit_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..500 {
+            match rng.random_range(-2..=2i16) {
+                -2 => lo = true,
+                2 => hi = true,
+                v => assert!((-2..=2).contains(&v)),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn random_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trues = (0..2000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((400..=800).contains(&trues), "got {trues}");
+        assert!(!StdRng::seed_from_u64(5).random_bool(0.0));
+        assert!(StdRng::seed_from_u64(5).random_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = StdRng::seed_from_u64(6).random_range(5..5u32);
+    }
+}

@@ -1,0 +1,160 @@
+//! Quantized histogram signatures for transform caching.
+//!
+//! Consecutive video frames are usually near-identical: their histograms
+//! differ only by sensor noise and small object motion, so the HEBS
+//! transformation computed for one frame is (to the quantization of the
+//! reference driver) also the right transformation for the next. A
+//! [`HistogramSignature`] collapses the 256-bin histogram into a small,
+//! coarsely quantized fingerprint that is equal for such near-identical
+//! frames and can be used as a hash-map key by the runtime's transformation
+//! cache.
+
+use crate::histogram::{Histogram, GRAY_LEVELS};
+
+/// Number of downsampled bins in a [`HistogramSignature`] (8 consecutive
+/// grayscale levels per bin).
+pub const SIGNATURE_BINS: usize = 32;
+
+/// Default quantization resolution: each bin's mass fraction is rounded to
+/// multiples of `1/16`, which absorbs a few levels of sensor noise while
+/// still separating visually distinct scenes.
+pub const DEFAULT_SIGNATURE_RESOLUTION: u8 = 16;
+
+/// A compact, quantized fingerprint of an image histogram.
+///
+/// Two frames whose pixel-value distributions differ by less than the
+/// quantization step map to the same signature; frames from different scenes
+/// essentially never do. The signature is `Copy`, cheap to compute (one pass
+/// over the 256 histogram bins) and implements `Hash`/`Eq`, so it can key a
+/// cache directly.
+///
+/// ```
+/// use hebs_imaging::{GrayImage, Histogram, HistogramSignature};
+///
+/// let frame = GrayImage::from_fn(32, 32, |x, y| ((x * y) % 256) as u8);
+/// let sig = HistogramSignature::of(&Histogram::of(&frame));
+/// assert_eq!(sig, HistogramSignature::of(&Histogram::of(&frame)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramSignature {
+    bins: [u8; SIGNATURE_BINS],
+}
+
+impl HistogramSignature {
+    /// Computes the signature of a histogram at the default resolution.
+    pub fn of(histogram: &Histogram) -> Self {
+        Self::with_resolution(histogram, DEFAULT_SIGNATURE_RESOLUTION)
+    }
+
+    /// Computes the signature with an explicit quantization resolution.
+    ///
+    /// Each downsampled bin's mass fraction is rounded to multiples of
+    /// `1/resolution`: higher resolutions distinguish more histograms (fewer
+    /// cache hits, smaller approximation error), lower resolutions merge
+    /// more (more hits, larger error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is 0.
+    pub fn with_resolution(histogram: &Histogram, resolution: u8) -> Self {
+        assert!(resolution > 0, "signature resolution must be nonzero");
+        let mut bins = [0u8; SIGNATURE_BINS];
+        let total = histogram.total();
+        if total == 0 {
+            return HistogramSignature { bins };
+        }
+        let levels_per_bin = GRAY_LEVELS / SIGNATURE_BINS;
+        let counts = histogram.counts();
+        for (bin, slot) in bins.iter_mut().enumerate() {
+            let start = bin * levels_per_bin;
+            let mass: u64 = counts[start..start + levels_per_bin].iter().sum();
+            let fraction = mass as f64 / total as f64;
+            *slot = (fraction * f64::from(resolution)).round() as u8;
+        }
+        HistogramSignature { bins }
+    }
+
+    /// The quantized per-bin mass values.
+    pub fn bins(&self) -> &[u8; SIGNATURE_BINS] {
+        &self.bins
+    }
+
+    /// L1 distance between two signatures, in quantization steps. Useful as
+    /// a cheap diagnostic of how different two frames' distributions are.
+    pub fn distance(&self, other: &HistogramSignature) -> u32 {
+        self.bins
+            .iter()
+            .zip(other.bins.iter())
+            .map(|(&a, &b)| u32::from(a.abs_diff(b)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::GrayImage;
+    use crate::synthetic;
+
+    #[test]
+    fn identical_images_share_a_signature() {
+        let img = synthetic::portrait(64, 64, 3);
+        let a = HistogramSignature::of(&Histogram::of(&img));
+        let b = HistogramSignature::of(&Histogram::of(&img.clone()));
+        assert_eq!(a, b);
+        assert_eq!(a.distance(&b), 0);
+    }
+
+    #[test]
+    fn sensor_noise_usually_does_not_change_the_signature() {
+        let img = synthetic::still_life(64, 64, 5);
+        let base = HistogramSignature::of(&Histogram::of(&img));
+        let mut noisy_matches = 0;
+        for seed in 0..8 {
+            let mut noisy = img.clone();
+            synthetic::add_sensor_noise(&mut noisy, 2, seed);
+            let sig = HistogramSignature::of(&Histogram::of(&noisy));
+            if sig == base {
+                noisy_matches += 1;
+            }
+            // Even on a miss the distributions are nearly identical.
+            assert!(sig.distance(&base) <= 4, "distance {}", sig.distance(&base));
+        }
+        assert!(
+            noisy_matches >= 4,
+            "only {noisy_matches}/8 noisy frames matched"
+        );
+    }
+
+    #[test]
+    fn different_scenes_have_different_signatures() {
+        let dark = HistogramSignature::of(&Histogram::of(&synthetic::low_key(64, 64, 7)));
+        let bright = HistogramSignature::of(&Histogram::of(&synthetic::high_key(64, 64, 7)));
+        assert_ne!(dark, bright);
+        assert!(dark.distance(&bright) > 4);
+    }
+
+    #[test]
+    fn signature_mass_roughly_sums_to_resolution() {
+        let img = GrayImage::from_fn(64, 64, |x, _| (x * 4) as u8);
+        let sig = HistogramSignature::of(&Histogram::of(&img));
+        let mass: u32 = sig.bins().iter().map(|&b| u32::from(b)).sum();
+        let res = u32::from(DEFAULT_SIGNATURE_RESOLUTION);
+        assert!(
+            (res.saturating_sub(SIGNATURE_BINS as u32)..=res + SIGNATURE_BINS as u32)
+                .contains(&mass)
+        );
+    }
+
+    #[test]
+    fn empty_histogram_yields_the_zero_signature() {
+        let sig = HistogramSignature::of(&Histogram::new());
+        assert!(sig.bins().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be nonzero")]
+    fn zero_resolution_rejected() {
+        let _ = HistogramSignature::with_resolution(&Histogram::new(), 0);
+    }
+}

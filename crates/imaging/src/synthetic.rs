@@ -12,10 +12,8 @@
 //! All generators are deterministic for a given seed, so benchmark results
 //! are reproducible run to run.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::image::GrayImage;
+use crate::rng::StdRng;
 
 /// Clamps a float to the 8-bit level range and rounds.
 fn to_level(value: f64) -> u8 {
@@ -116,9 +114,7 @@ pub fn add_gaussian_blob(
             let dy = f64::from(y) - centre_y;
             let g = amplitude * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp();
             let current = f64::from(image.get(x, y).expect("in bounds"));
-            image
-                .set(x, y, to_level(current + g))
-                .expect("in bounds");
+            image.set(x, y, to_level(current + g)).expect("in bounds");
         }
     }
 }
@@ -136,7 +132,11 @@ pub fn value_noise(width: u32, height: u32, scale: u32, seed: u64) -> Vec<f64> {
     assert!(scale > 0, "noise scale must be nonzero");
     let mut field = vec![0.0f64; width as usize * height as usize];
     let mut total_weight = 0.0;
-    let octaves = [(scale.max(1), 1.0), ((scale / 2).max(1), 0.5), ((scale / 4).max(1), 0.25)];
+    let octaves = [
+        (scale.max(1), 1.0),
+        ((scale / 2).max(1), 0.5),
+        ((scale / 4).max(1), 0.25),
+    ];
     for (octave_index, &(spacing, weight)) in octaves.iter().enumerate() {
         let lattice_w = width / spacing + 2;
         let lattice_h = height / spacing + 2;

@@ -6,10 +6,8 @@
 //! the temporal behaviours that stress those requirements: static scenes
 //! with sensor noise, slow pans, fades to black/white and hard scene cuts.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::image::GrayImage;
+use crate::rng::StdRng;
 use crate::synthetic;
 
 /// The kind of temporal behaviour a generated scene exhibits.
@@ -158,7 +156,9 @@ impl FrameSequence {
         let max_offset = wide_width - self.width;
         let offset = (progress * f64::from(max_offset)).round() as u32;
         GrayImage::from_fn(self.width, self.height, |x, y| {
-            background.get(x + offset, y).expect("viewport is in bounds")
+            background
+                .get(x + offset, y)
+                .expect("viewport is in bounds")
         })
     }
 

@@ -179,7 +179,11 @@ mod tests {
         let wrecked = img.map(|v| 255 - v);
         for measure in measures() {
             let d = measure.distortion(&img, &wrecked);
-            assert!((0.0..=1.0).contains(&d), "{} out of range: {d}", measure.name());
+            assert!(
+                (0.0..=1.0).contains(&d),
+                "{} out of range: {d}",
+                measure.name()
+            );
             assert!(d > 0.05, "{} should flag an inverted image", measure.name());
         }
     }
@@ -217,10 +221,7 @@ mod tests {
         let raw = HebsDistortion::with_raw_uiqi();
         assert_eq!(stabilized.name(), "hvs-ssim");
         assert_eq!(raw.name(), "hvs-uiqi");
-        assert_eq!(
-            stabilized.with_index(QualityIndex::Uiqi).name(),
-            "hvs-uiqi"
-        );
+        assert_eq!(stabilized.with_index(QualityIndex::Uiqi).name(), "hvs-uiqi");
         // On a smooth image pair the raw index saturates (flat-window
         // instability) while the stabilized index stays proportionate.
         let smooth = GrayImage::from_fn(64, 64, |x, y| (60 + x / 8 + y / 8) as u8);

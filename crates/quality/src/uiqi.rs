@@ -152,7 +152,10 @@ mod tests {
         for factor in [0.3, 0.6, 0.9, 1.0] {
             let b = a.map(|v| (f64::from(v) * factor) as u8);
             let q = universal_quality_index(&a, &b);
-            assert!(q <= 1.0 + 1e-12, "quality {q} exceeds 1 for factor {factor}");
+            assert!(
+                q <= 1.0 + 1e-12,
+                "quality {q} exceeds 1 for factor {factor}"
+            );
         }
     }
 

@@ -164,7 +164,13 @@ mod tests {
     use super::*;
     use hebs_imaging::covariance;
 
-    fn naive_moments(a: &GrayImage, b: &GrayImage, x: usize, y: usize, size: usize) -> WindowMoments {
+    fn naive_moments(
+        a: &GrayImage,
+        b: &GrayImage,
+        x: usize,
+        y: usize,
+        size: usize,
+    ) -> WindowMoments {
         let mut values_a = Vec::new();
         let mut values_b = Vec::new();
         for yy in y..(y + size).min(a.height() as usize) {

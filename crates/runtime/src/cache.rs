@@ -1,0 +1,411 @@
+//! The transformation cache: a sharded LRU keyed by frame content or by
+//! quantized histogram signature.
+//!
+//! The expensive part of serving a frame is the *fit* (GHE solve, blend
+//! search, piecewise-linear coarsening, range search); the *application* of
+//! a fitted transform is one LUT pass plus the display models. Video traffic
+//! is dominated by runs of identical or near-identical frames, so the engine
+//! caches fits and replays them:
+//!
+//! * [`CacheMode::Exact`] keys on the full frame content (plus the
+//!   distortion budget). A hit means the frame was served before, so the
+//!   whole [`ScalingOutcome`](hebs_core::ScalingOutcome) is replayed
+//!   bit-identically. This mode can never change a result.
+//! * [`CacheMode::Approximate`] keys on the frame's quantized
+//!   [`HistogramSignature`]. Near-identical frames (sensor noise, small
+//!   motion) share a fit; the cached [`FrameTransform`] is re-applied to the
+//!   actual frame, so distortion and power are still measured per frame —
+//!   only the fitted curve is approximate.
+//!
+//! The store itself is a generic sharded LRU ([`ShardedLru`]): each shard is
+//! an independent mutex around a hash map plus a recency index, so worker
+//! threads contend only when they hash to the same shard.
+
+use std::collections::hash_map::RandomState;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hebs_core::{FrameTransform, ScalingOutcome};
+use hebs_imaging::{GrayImage, Histogram, HistogramSignature, DEFAULT_SIGNATURE_RESOLUTION};
+
+/// How cache keys are derived from frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Key on the exact frame content: hits replay the full outcome
+    /// bit-identically. Wins on repeated frames (static scenes, UI, logo
+    /// cards) and is always safe.
+    Exact,
+    /// Key on the quantized histogram signature: near-identical frames
+    /// reuse the fitted transform, which is re-applied to each actual frame.
+    /// Wins on noisy/slowly-moving video at a bounded approximation error.
+    Approximate,
+}
+
+/// Configuration of the engine's transformation cache.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Total number of cached fits across all shards.
+    pub capacity: usize,
+    /// Number of independently locked shards.
+    pub shards: usize,
+    /// Key derivation mode.
+    pub mode: CacheMode,
+    /// Quantization resolution of the histogram signature (only used by
+    /// [`CacheMode::Approximate`]); see
+    /// [`HistogramSignature::with_resolution`].
+    pub signature_resolution: u8,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 512,
+            shards: 8,
+            mode: CacheMode::Exact,
+            signature_resolution: DEFAULT_SIGNATURE_RESOLUTION,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// An exact-keyed cache with the default capacity.
+    pub fn exact() -> Self {
+        CacheConfig::default()
+    }
+
+    /// A signature-keyed cache with the default capacity and resolution.
+    pub fn approximate() -> Self {
+        CacheConfig {
+            mode: CacheMode::Approximate,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Returns the configuration with a different total capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+}
+
+/// One LRU shard: the stored entries plus a recency index.
+#[derive(Debug)]
+struct Shard<K, V> {
+    map: HashMap<K, (V, u64)>,
+    recency: BTreeMap<u64, K>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            capacity,
+        }
+    }
+
+    fn touch(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (value, old_tick) = self.map.get_mut(key)?;
+        let value = value.clone();
+        self.recency.remove(old_tick);
+        *old_tick = tick;
+        self.recency.insert(tick, key.clone());
+        Some(value)
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, old_tick)) = self.map.get(&key) {
+            self.recency.remove(old_tick);
+        } else if self.map.len() >= self.capacity {
+            if let Some((_, victim)) = self.recency.pop_first() {
+                self.map.remove(&victim);
+            }
+        }
+        self.recency.insert(tick, key.clone());
+        self.map.insert(key, (value, tick));
+    }
+}
+
+/// A thread-safe LRU map split into independently locked shards.
+///
+/// Values are returned by clone, so `V` is typically an [`Arc`] or another
+/// cheaply clonable handle. Hit/miss counters are global and lock-free.
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// Creates a cache holding at most `capacity` entries split over
+    /// `shards` independent locks. The capacity is partitioned exactly:
+    /// shards whose budget does not divide evenly get one entry more or
+    /// less, but the total never exceeds `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `shards` is 0.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be nonzero");
+        assert!(shards > 0, "cache shard count must be nonzero");
+        let shards = shards.min(capacity);
+        let base = capacity / shards;
+        let remainder = capacity % shards;
+        ShardedLru {
+            shards: (0..shards)
+                .map(|i| Mutex::new(Shard::new(base + usize::from(i < remainder))))
+                .collect(),
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let index = self.hasher.hash_one(key) as usize % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Looks `key` up, refreshing its recency and counting a hit or miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let value = self.shard_for(key).lock().expect("cache lock").touch(key);
+        match &value {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        value
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently used
+    /// entry of the target shard when it is full.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard_for(&key)
+            .lock()
+            .expect("cache lock")
+            .insert(key, value);
+    }
+
+    /// Number of entries currently cached (sums all shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Exact-mode key: the full frame content plus the distortion budget.
+///
+/// The pixel buffer is shared behind an [`Arc`]; equality compares the
+/// actual bytes, so a hit is a proof that the identical frame was served
+/// before with the identical budget.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct ExactKey {
+    width: u32,
+    height: u32,
+    pixels: Arc<[u8]>,
+    budget_bits: u64,
+}
+
+impl ExactKey {
+    pub(crate) fn of(frame: &GrayImage, max_distortion: f64) -> Self {
+        ExactKey {
+            width: frame.width(),
+            height: frame.height(),
+            pixels: frame.as_raw().into(),
+            budget_bits: max_distortion.to_bits(),
+        }
+    }
+}
+
+/// Approximate-mode key: the quantized histogram signature plus frame shape
+/// and budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct SignatureKey {
+    width: u32,
+    height: u32,
+    signature: HistogramSignature,
+    budget_bits: u64,
+}
+
+impl SignatureKey {
+    pub(crate) fn of(
+        frame: &GrayImage,
+        histogram: &Histogram,
+        resolution: u8,
+        max_distortion: f64,
+    ) -> Self {
+        SignatureKey {
+            width: frame.width(),
+            height: frame.height(),
+            signature: HistogramSignature::with_resolution(histogram, resolution),
+            budget_bits: max_distortion.to_bits(),
+        }
+    }
+}
+
+/// The engine's transformation cache in one of its two keying modes.
+#[derive(Debug)]
+pub(crate) enum TransformCache {
+    Exact(ShardedLru<ExactKey, Arc<ScalingOutcome>>),
+    Approximate {
+        store: ShardedLru<SignatureKey, FrameTransform>,
+        resolution: u8,
+    },
+}
+
+impl TransformCache {
+    pub(crate) fn new(config: &CacheConfig) -> Self {
+        match config.mode {
+            CacheMode::Exact => {
+                TransformCache::Exact(ShardedLru::new(config.capacity, config.shards))
+            }
+            CacheMode::Approximate => TransformCache::Approximate {
+                store: ShardedLru::new(config.capacity, config.shards),
+                resolution: config.signature_resolution,
+            },
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            TransformCache::Exact(store) => store.len(),
+            TransformCache::Approximate { store, .. } => store.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_get_and_insert_round_trip() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(8, 2);
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(&1), None);
+        lru.insert(1, 10);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.hits(), 1);
+        assert_eq!(lru.misses(), 1);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        // One shard so the eviction order is fully observable.
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(3, 1);
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+        lru.insert(3, 3);
+        // Refresh 1 so 2 becomes the victim.
+        assert_eq!(lru.get(&1), Some(1));
+        lru.insert(4, 4);
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.get(&2), None, "LRU entry should have been evicted");
+        assert_eq!(lru.get(&1), Some(1));
+        assert_eq!(lru.get(&3), Some(3));
+        assert_eq!(lru.get(&4), Some(4));
+    }
+
+    #[test]
+    fn reinserting_updates_without_evicting() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(2, 1);
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+        lru.insert(1, 100);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&1), Some(100));
+        assert_eq!(lru.get(&2), Some(2));
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let lru: Arc<ShardedLru<u32, u32>> = Arc::new(ShardedLru::new(128, 8));
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let lru = Arc::clone(&lru);
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        let key = (t * 200 + i) % 96;
+                        lru.insert(key, key * 2);
+                        assert_eq!(lru.get(&key), Some(key * 2));
+                    }
+                });
+            }
+        });
+        assert!(lru.len() <= 128);
+        assert!(lru.hits() >= 4 * 200);
+    }
+
+    #[test]
+    fn exact_keys_compare_frame_content() {
+        let a = GrayImage::filled(8, 8, 10);
+        let b = GrayImage::filled(8, 8, 10);
+        let c = GrayImage::filled(8, 8, 11);
+        assert_eq!(ExactKey::of(&a, 0.1), ExactKey::of(&b, 0.1));
+        assert_ne!(ExactKey::of(&a, 0.1), ExactKey::of(&c, 0.1));
+        assert_ne!(ExactKey::of(&a, 0.1), ExactKey::of(&a, 0.2));
+    }
+
+    #[test]
+    fn signature_keys_tolerate_noise_but_not_shape() {
+        let a = GrayImage::filled(16, 16, 100);
+        let wide = GrayImage::filled(32, 8, 100);
+        assert_ne!(
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 0.1),
+            SignatureKey::of(&wide, &Histogram::of(&wide), 16, 0.1),
+            "frame shape is part of the key"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        let _: ShardedLru<u32, u32> = ShardedLru::new(0, 1);
+    }
+
+    #[test]
+    fn total_capacity_is_never_exceeded_when_shards_do_not_divide_it() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(10, 8);
+        for key in 0..200u32 {
+            lru.insert(key, key);
+        }
+        assert!(lru.len() <= 10, "{} entries exceed capacity 10", lru.len());
+    }
+
+    #[test]
+    fn shard_count_clamped_to_capacity() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(2, 64);
+        lru.insert(1, 1);
+        lru.insert(2, 2);
+        lru.insert(3, 3);
+        assert!(lru.len() <= 2);
+    }
+}

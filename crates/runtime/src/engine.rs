@@ -1,0 +1,855 @@
+//! The concurrent frame-serving engine.
+//!
+//! [`Engine`] wraps a [`HebsPolicy`] with a worker pool and a transformation
+//! cache and exposes two entry points:
+//!
+//! * [`Engine::process_batch`] — fan a slice of frames out across the pool
+//!   and collect per-frame results *in input order*.
+//! * [`Engine::stream`] — pull frames from an iterator through a bounded
+//!   queue (backpressure: the producer blocks when the pool falls behind)
+//!   and yield results in input order as they complete.
+//!
+//! Both paths serve each frame the same way: look the frame up in the
+//! transformation cache, replay the cached fit on a hit, run the full HEBS
+//! policy on a miss and remember its fit. Per-frame latency and cache
+//! statistics are collected on the fly.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hebs_core::{BacklightPolicy, HebsError, HebsPolicy, ScalingOutcome};
+use hebs_imaging::{GrayImage, Histogram};
+
+use crate::cache::{CacheConfig, ExactKey, SignatureKey, TransformCache};
+use crate::error::{Result, RuntimeError};
+use crate::stats::{EngineStats, StatsCollector};
+
+/// Configuration of the serving engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads; 0 selects the machine's available
+    /// parallelism.
+    pub workers: usize,
+    /// Depth of the bounded streaming queues (frames in flight between the
+    /// producer and the pool); 0 selects `2 × workers`.
+    pub queue_depth: usize,
+    /// Distortion budget handed to the policy for every frame.
+    pub max_distortion: f64,
+    /// Transformation cache configuration; `None` disables caching.
+    pub cache: Option<CacheConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            queue_depth: 0,
+            max_distortion: 0.10,
+            cache: Some(CacheConfig::default()),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A single-threaded, cache-less configuration — the reference baseline
+    /// the throughput bench compares against.
+    pub fn sequential(max_distortion: f64) -> Self {
+        EngineConfig {
+            workers: 1,
+            queue_depth: 0,
+            max_distortion,
+            cache: None,
+        }
+    }
+}
+
+/// The result of serving one frame.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// Position of the frame in the input order.
+    pub index: usize,
+    /// The policy outcome for this frame. Shared: exact-cache hits hand out
+    /// the cached allocation instead of deep-copying the displayed frame.
+    pub outcome: Arc<ScalingOutcome>,
+    /// Whether the transformation cache served this frame.
+    pub cache_hit: bool,
+    /// Wall-clock time this frame spent being served (excluding queueing).
+    pub latency: Duration,
+}
+
+/// The results of one [`Engine::process_batch`] call.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-frame results, in input order.
+    pub results: Vec<FrameResult>,
+    /// Wall-clock time for the whole batch.
+    pub wall_time: Duration,
+}
+
+impl BatchReport {
+    /// Number of frames in the batch.
+    pub fn frames(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Frames served per wall-clock second.
+    pub fn throughput_fps(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.results.len() as f64 / secs
+        }
+    }
+
+    /// Fraction of frames served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            0.0
+        } else {
+            self.results.iter().filter(|r| r.cache_hit).count() as f64 / self.results.len() as f64
+        }
+    }
+
+    /// Mean per-frame serving latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.results.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.results.iter().map(|r| r.latency).sum();
+        total / self.results.len() as u32
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) of the per-frame latencies, by the
+    /// nearest-rank method. Returns zero for an empty batch.
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        if self.results.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut latencies: Vec<Duration> = self.results.iter().map(|r| r.latency).collect();
+        latencies.sort_unstable();
+        let rank = (q.clamp(0.0, 1.0) * (latencies.len() - 1) as f64).round() as usize;
+        latencies[rank]
+    }
+
+    /// Mean fractional power saving over the batch.
+    pub fn mean_power_saving(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results
+            .iter()
+            .map(|r| r.outcome.power_saving)
+            .sum::<f64>()
+            / self.results.len() as f64
+    }
+
+    /// Mean measured distortion over the batch.
+    pub fn mean_distortion(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results
+            .iter()
+            .map(|r| r.outcome.distortion)
+            .sum::<f64>()
+            / self.results.len() as f64
+    }
+}
+
+/// Shared state behind an [`Engine`] handle.
+struct EngineInner {
+    policy: HebsPolicy,
+    cache: Option<TransformCache>,
+    max_distortion: f64,
+    workers: usize,
+    queue_depth: usize,
+    totals: StatsCollector,
+}
+
+impl EngineInner {
+    /// Serves one frame through the cache (when enabled) or the full policy.
+    fn serve(
+        &self,
+        frame: &GrayImage,
+    ) -> std::result::Result<(Arc<ScalingOutcome>, bool), HebsError> {
+        match &self.cache {
+            None => Ok((
+                Arc::new(self.policy.optimize(frame, self.max_distortion)?),
+                false,
+            )),
+            Some(TransformCache::Exact(store)) => {
+                let key = ExactKey::of(frame, self.max_distortion);
+                if let Some(outcome) = store.get(&key) {
+                    return Ok((outcome, true));
+                }
+                let outcome = Arc::new(self.policy.optimize(frame, self.max_distortion)?);
+                store.insert(key, Arc::clone(&outcome));
+                Ok((outcome, false))
+            }
+            Some(TransformCache::Approximate { store, resolution }) => {
+                let histogram = Histogram::of(frame);
+                let key = SignatureKey::of(frame, &histogram, *resolution, self.max_distortion);
+                if let Some(transform) = store.get(&key) {
+                    let outcome = self.policy.apply_frame_transform(frame, &transform)?;
+                    // The fit came from a *near*-identical frame; honour the
+                    // policy's distortion contract by only serving it when
+                    // this frame's measured distortion is within budget.
+                    // Otherwise fall through to a full fit and refresh the
+                    // entry. (A frame that is infeasible even for a full fit
+                    // keeps missing, which is correct if not cheap.)
+                    if outcome.distortion <= self.max_distortion {
+                        return Ok((Arc::new(outcome), true));
+                    }
+                }
+                let (outcome, transform) = self.policy.optimize_with_transform_using_histogram(
+                    frame,
+                    &histogram,
+                    self.max_distortion,
+                )?;
+                store.insert(key, transform);
+                Ok((Arc::new(outcome), false))
+            }
+        }
+    }
+
+    /// Serves one frame and records its latency in the cumulative stats.
+    fn serve_timed(&self, index: usize, frame: &GrayImage) -> Result<FrameResult> {
+        let start = Instant::now();
+        let served = self.serve(frame);
+        let latency = start.elapsed();
+        let cache_hit = match &served {
+            Ok((_, hit)) => Some(*hit),
+            Err(_) => None,
+        };
+        self.totals
+            .record_frame(latency, self.cache.as_ref().and(cache_hit));
+        let (outcome, hit) = served.map_err(RuntimeError::Core)?;
+        Ok(FrameResult {
+            index,
+            outcome,
+            cache_hit: hit,
+            latency,
+        })
+    }
+}
+
+/// A concurrent, cache-accelerated HEBS frame-serving engine.
+///
+/// The handle is cheap to clone and fully thread-safe; all clones share the
+/// same cache and cumulative statistics.
+///
+/// ```
+/// use hebs_core::{HebsPolicy, PipelineConfig};
+/// use hebs_imaging::{FrameSequence, SceneKind};
+/// use hebs_runtime::{Engine, EngineConfig};
+///
+/// let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+/// let engine = Engine::new(policy, EngineConfig::default())?;
+/// let frames: Vec<_> = FrameSequence::new(SceneKind::SceneCut, 32, 32, 8, 7)
+///     .frames()
+///     .collect();
+/// let report = engine.process_batch(&frames)?;
+/// assert_eq!(report.frames(), 8);
+/// // Identical repeated frames are served from the cache.
+/// assert!(report.cache_hit_rate() > 0.5);
+/// # Ok::<(), hebs_runtime::RuntimeError>(())
+/// ```
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.inner.workers)
+            .field("queue_depth", &self.inner.queue_depth)
+            .field("max_distortion", &self.inner.max_distortion)
+            .field("cached_fits", &self.inner.cache.as_ref().map(|c| c.len()))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Creates an engine around a HEBS policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] if `max_distortion` is outside
+    /// `[0, 1]` or a cache parameter is 0.
+    pub fn new(policy: HebsPolicy, config: EngineConfig) -> Result<Self> {
+        if !(0.0..=1.0).contains(&config.max_distortion) || !config.max_distortion.is_finite() {
+            return Err(RuntimeError::InvalidConfig {
+                name: "max_distortion",
+                reason: format!("{} is outside [0, 1]", config.max_distortion),
+            });
+        }
+        if let Some(cache) = &config.cache {
+            if cache.capacity == 0 {
+                return Err(RuntimeError::InvalidConfig {
+                    name: "cache.capacity",
+                    reason: "must be nonzero (disable the cache with None instead)".to_string(),
+                });
+            }
+            if cache.shards == 0 {
+                return Err(RuntimeError::InvalidConfig {
+                    name: "cache.shards",
+                    reason: "must be nonzero".to_string(),
+                });
+            }
+            if cache.signature_resolution == 0 {
+                return Err(RuntimeError::InvalidConfig {
+                    name: "cache.signature_resolution",
+                    reason: "must be nonzero".to_string(),
+                });
+            }
+        }
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        } else {
+            config.workers
+        };
+        let queue_depth = if config.queue_depth == 0 {
+            workers * 2
+        } else {
+            config.queue_depth
+        };
+        Ok(Engine {
+            inner: Arc::new(EngineInner {
+                policy,
+                cache: config.cache.as_ref().map(TransformCache::new),
+                max_distortion: config.max_distortion,
+                workers,
+                queue_depth,
+                totals: StatsCollector::default(),
+            }),
+        })
+    }
+
+    /// Number of worker threads the engine fans work out to.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// The distortion budget applied to every frame.
+    pub fn max_distortion(&self) -> f64 {
+        self.inner.max_distortion
+    }
+
+    /// Cumulative statistics over everything this engine has served.
+    pub fn stats(&self) -> EngineStats {
+        self.inner.totals.snapshot()
+    }
+
+    /// Number of fitted transforms currently cached (0 when the cache is
+    /// disabled).
+    pub fn cached_fits(&self) -> usize {
+        self.inner.cache.as_ref().map_or(0, TransformCache::len)
+    }
+
+    /// Serves a single frame synchronously on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy and display errors.
+    pub fn process_frame(&self, frame: &GrayImage) -> Result<FrameResult> {
+        self.inner.serve_timed(0, frame)
+    }
+
+    /// Serves a batch of frames across the worker pool and returns the
+    /// per-frame results in input order.
+    ///
+    /// Frames are distributed by work stealing (an atomic cursor over the
+    /// slice), so a slow frame never stalls the others; the output order is
+    /// nevertheless exactly the input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-frame error encountered (by input order).
+    pub fn process_batch(&self, frames: &[GrayImage]) -> Result<BatchReport> {
+        let start = Instant::now();
+        let worker_count = self.inner.workers.min(frames.len()).max(1);
+        let mut slots: Vec<Option<Result<FrameResult>>> = Vec::new();
+        slots.resize_with(frames.len(), || None);
+        let slots = Mutex::new(slots);
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= frames.len() {
+                        break;
+                    }
+                    let result = self.inner.serve_timed(index, &frames[index]);
+                    slots.lock().expect("batch result lock")[index] = Some(result);
+                });
+            }
+        });
+
+        let mut results = Vec::with_capacity(frames.len());
+        for slot in slots.into_inner().expect("batch result lock") {
+            results.push(slot.expect("every frame index was claimed by a worker")?);
+        }
+        Ok(BatchReport {
+            results,
+            wall_time: start.elapsed(),
+        })
+    }
+
+    /// Streams frames from an iterator through the worker pool, yielding
+    /// results in input order as they complete.
+    ///
+    /// The producer iterator is drained on a dedicated feeder thread through
+    /// a bounded queue of depth [`EngineConfig::queue_depth`], so a slow
+    /// consumer or a saturated pool exerts backpressure on the producer
+    /// instead of buffering the whole stream. Dropping the returned stream
+    /// early tears the pipeline down.
+    pub fn stream<I>(&self, frames: I) -> FrameStream
+    where
+        I: IntoIterator<Item = GrayImage>,
+        I::IntoIter: Send + 'static,
+    {
+        let (feed_tx, feed_rx) = sync_channel::<(usize, GrayImage)>(self.inner.queue_depth);
+        let (out_tx, out_rx) = sync_channel::<Sequenced>(self.inner.queue_depth);
+        let feed_rx = Arc::new(Mutex::new(feed_rx));
+        let progress = Arc::new(FeedProgress::default());
+
+        let mut handles = Vec::with_capacity(self.inner.workers + 1);
+        let iter = frames.into_iter();
+        let feed_progress = Arc::clone(&progress);
+        handles.push(std::thread::spawn(move || {
+            feed(iter, &feed_tx, &feed_progress);
+        }));
+        for _ in 0..self.inner.workers {
+            let inner = Arc::clone(&self.inner);
+            let feed_rx = Arc::clone(&feed_rx);
+            let out_tx: SyncSender<Sequenced> = out_tx.clone();
+            handles.push(std::thread::spawn(move || loop {
+                let next = feed_rx.lock().expect("stream feed lock").recv();
+                let Ok((index, frame)) = next else { break };
+                let result = inner.serve_timed(index, &frame);
+                if out_tx.send(Sequenced { index, result }).is_err() {
+                    break; // Consumer went away; stop serving.
+                }
+            }));
+        }
+
+        FrameStream {
+            results: Some(out_rx),
+            reorder: BinaryHeap::new(),
+            next_index: 0,
+            progress,
+            failure_reported: false,
+            handles,
+        }
+    }
+}
+
+/// How far the feeder got: the total frame count once the producer iterator
+/// is exhausted, and whether the producer itself panicked. Lets the consumer
+/// distinguish "stream over" from "a worker died holding the tail frames"
+/// from "the producer died mid-stream".
+#[derive(Default)]
+struct FeedProgress {
+    total: AtomicUsize,
+    exhausted: std::sync::atomic::AtomicBool,
+    produced: AtomicUsize,
+    failed: std::sync::atomic::AtomicBool,
+}
+
+/// Feeds the producer iterator into the bounded queue until it is exhausted
+/// or the pool shuts down. A panic inside the producer iterator is recorded
+/// in [`FeedProgress::failed`] so the consumer can surface it instead of
+/// ending the stream as if it completed.
+fn feed<I: Iterator<Item = GrayImage>>(
+    iter: I,
+    tx: &SyncSender<(usize, GrayImage)>,
+    progress: &FeedProgress,
+) {
+    struct PanicGuard<'a>(&'a FeedProgress);
+    impl Drop for PanicGuard<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.failed.store(true, Ordering::Release);
+            }
+        }
+    }
+    let guard = PanicGuard(progress);
+
+    let mut count = 0usize;
+    for (index, frame) in iter.enumerate() {
+        if tx.send((index, frame)).is_err() {
+            return; // Pool shut down early; the total is unknowable.
+        }
+        count = index + 1;
+        progress.produced.store(count, Ordering::Release);
+    }
+    progress.total.store(count, Ordering::Release);
+    progress.exhausted.store(true, Ordering::Release);
+    drop(guard);
+}
+
+/// A completed frame tagged with its input position, ordered by position for
+/// the reorder heap.
+struct Sequenced {
+    index: usize,
+    result: Result<FrameResult>,
+}
+
+impl PartialEq for Sequenced {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+impl Eq for Sequenced {}
+impl PartialOrd for Sequenced {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Sequenced {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.index.cmp(&other.index)
+    }
+}
+
+/// An in-order iterator over the results of [`Engine::stream`].
+///
+/// Results arrive from the pool in completion order; a small reorder heap
+/// (bounded by the number of frames in flight) restores input order.
+pub struct FrameStream {
+    results: Option<Receiver<Sequenced>>,
+    reorder: BinaryHeap<Reverse<Sequenced>>,
+    next_index: usize,
+    progress: Arc<FeedProgress>,
+    failure_reported: bool,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Iterator for FrameStream {
+    type Item = Result<FrameResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(Reverse(head)) = self.reorder.peek() {
+                if head.index == self.next_index {
+                    let Reverse(seq) = self.reorder.pop().expect("peeked entry exists");
+                    self.next_index += 1;
+                    return Some(seq.result);
+                }
+            }
+            match self.results.as_ref().and_then(|rx| rx.recv().ok()) {
+                Some(seq) => self.reorder.push(Reverse(seq)),
+                None => {
+                    // All workers are done; drain what is left in order. A
+                    // gap in the index sequence — including missing frames at
+                    // the tail, which the feeder's final count exposes —
+                    // means a worker died before delivering that frame:
+                    // surface the loss instead of silently skipping it.
+                    let next_delivered = self.reorder.peek().map(|Reverse(head)| head.index);
+                    let expected_total = self
+                        .progress
+                        .exhausted
+                        .load(Ordering::Acquire)
+                        .then(|| self.progress.total.load(Ordering::Acquire));
+                    let gap = match (next_delivered, expected_total) {
+                        (Some(delivered), _) => delivered != self.next_index,
+                        (None, Some(total)) => self.next_index < total,
+                        (None, None) => false,
+                    };
+                    if gap {
+                        let lost = self.next_index;
+                        self.next_index += 1;
+                        return Some(Err(RuntimeError::FrameLost { index: lost }));
+                    }
+                    if self.reorder.is_empty() && !self.failure_reported {
+                        if self.progress.failed.load(Ordering::Acquire) {
+                            // The producer iterator panicked: every frame it
+                            // yielded has been drained above, so report the
+                            // early end once instead of finishing silently.
+                            self.failure_reported = true;
+                            return Some(Err(RuntimeError::ProducerFailed {
+                                frames_produced: self.progress.produced.load(Ordering::Acquire),
+                            }));
+                        }
+                        if expected_total.is_none() {
+                            // The output channel closed while the producer
+                            // had neither finished nor failed: every worker
+                            // died. Surface that instead of ending the
+                            // stream as if it completed.
+                            self.failure_reported = true;
+                            return Some(Err(RuntimeError::PoolFailed {
+                                frames_served: self.next_index,
+                            }));
+                        }
+                    }
+                    // No gap and nothing left to report: a nonempty heap is
+                    // impossible here (its head would have matched at the
+                    // top of the loop or counted as a gap), so the stream
+                    // is complete.
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for FrameStream {
+    fn drop(&mut self) {
+        // Closing the result channel unblocks any worker parked on a full
+        // output queue (its send fails); workers then drop the feed receiver,
+        // which unblocks the feeder. Reap the pool so no thread outlives the
+        // stream.
+        drop(self.results.take());
+        let handles = std::mem::take(&mut self.handles);
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hebs_core::PipelineConfig;
+    use hebs_imaging::{synthetic, FrameSequence, SceneKind};
+
+    fn engine(config: EngineConfig) -> Engine {
+        Engine::new(HebsPolicy::closed_loop(PipelineConfig::default()), config).unwrap()
+    }
+
+    fn test_frames(count: usize) -> Vec<GrayImage> {
+        FrameSequence::new(SceneKind::SceneCut, 32, 32, count, 11)
+            .frames()
+            .collect()
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let bad_budget = EngineConfig {
+            max_distortion: 1.5,
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            Engine::new(policy, bad_budget),
+            Err(RuntimeError::InvalidConfig {
+                name: "max_distortion",
+                ..
+            })
+        ));
+
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let bad_cache = EngineConfig {
+            cache: Some(CacheConfig::default().with_capacity(0)),
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            Engine::new(policy, bad_cache),
+            Err(RuntimeError::InvalidConfig {
+                name: "cache.capacity",
+                ..
+            })
+        ));
+
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let bad_resolution = EngineConfig {
+            cache: Some(CacheConfig {
+                signature_resolution: 0,
+                ..CacheConfig::approximate()
+            }),
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            Engine::new(policy, bad_resolution),
+            Err(RuntimeError::InvalidConfig {
+                name: "cache.signature_resolution",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn worker_autodetection_and_overrides() {
+        let auto = engine(EngineConfig::default());
+        assert!(auto.workers() >= 1);
+        let fixed = engine(EngineConfig {
+            workers: 3,
+            ..EngineConfig::default()
+        });
+        assert_eq!(fixed.workers(), 3);
+        assert_eq!(fixed.max_distortion(), 0.10);
+    }
+
+    #[test]
+    fn batch_results_are_in_input_order() {
+        let engine = engine(EngineConfig {
+            workers: 4,
+            ..EngineConfig::default()
+        });
+        let frames = test_frames(12);
+        let report = engine.process_batch(&frames).unwrap();
+        assert_eq!(report.frames(), 12);
+        for (i, result) in report.results.iter().enumerate() {
+            assert_eq!(result.index, i);
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_policy_outcomes() {
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let frames = test_frames(6);
+        let expected: Vec<_> = frames
+            .iter()
+            .map(|f| policy.optimize(f, 0.10).unwrap())
+            .collect();
+
+        let engine = engine(EngineConfig {
+            workers: 3,
+            ..EngineConfig::default()
+        });
+        let report = engine.process_batch(&frames).unwrap();
+        for (result, want) in report.results.iter().zip(&expected) {
+            assert_eq!(result.outcome.beta, want.beta);
+            assert_eq!(result.outcome.distortion, want.distortion);
+            assert_eq!(result.outcome.lut, want.lut);
+            assert_eq!(result.outcome.displayed, want.displayed);
+        }
+    }
+
+    #[test]
+    fn exact_cache_replays_identical_frames() {
+        let engine = engine(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        });
+        let frames = test_frames(8);
+        let cold = engine.process_batch(&frames).unwrap();
+        let warm = engine.process_batch(&frames).unwrap();
+        assert_eq!(warm.cache_hit_rate(), 1.0, "second pass should be all hits");
+        for (a, b) in cold.results.iter().zip(&warm.results) {
+            assert_eq!(a.outcome.beta, b.outcome.beta);
+            assert_eq!(a.outcome.distortion, b.outcome.distortion);
+            assert_eq!(a.outcome.displayed, b.outcome.displayed);
+        }
+        assert!(engine.cached_fits() > 0);
+        let stats = engine.stats();
+        assert_eq!(stats.frames, 16);
+        assert!(stats.cache_hits >= 8);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let engine = engine(EngineConfig::default());
+        let report = engine.process_batch(&[]).unwrap();
+        assert_eq!(report.frames(), 0);
+        assert_eq!(report.cache_hit_rate(), 0.0);
+        assert_eq!(report.mean_latency(), Duration::ZERO);
+        assert_eq!(report.latency_quantile(0.95), Duration::ZERO);
+    }
+
+    #[test]
+    fn stream_yields_results_in_input_order() {
+        let engine = engine(EngineConfig {
+            workers: 4,
+            queue_depth: 2,
+            ..EngineConfig::default()
+        });
+        let frames = test_frames(16);
+        let results: Vec<_> = engine
+            .stream(frames.clone())
+            .collect::<Result<Vec<_>>>()
+            .unwrap();
+        assert_eq!(results.len(), 16);
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(result.index, i);
+        }
+
+        // And the outcomes match the batch path.
+        let report = engine.process_batch(&frames).unwrap();
+        for (s, b) in results.iter().zip(&report.results) {
+            assert_eq!(s.outcome.beta, b.outcome.beta);
+            assert_eq!(s.outcome.distortion, b.outcome.distortion);
+        }
+    }
+
+    #[test]
+    fn producer_panic_is_surfaced_as_an_error() {
+        let engine = engine(EngineConfig {
+            workers: 2,
+            queue_depth: 2,
+            cache: None,
+            ..EngineConfig::default()
+        });
+        let frames = test_frames(4);
+        let feed = frames.into_iter().enumerate().map(|(i, frame)| {
+            if i == 3 {
+                panic!("decoder died");
+            }
+            frame
+        });
+        let results: Vec<_> = engine.stream(feed).collect();
+        assert_eq!(results.len(), 4, "3 served frames plus the failure");
+        for (i, result) in results[..3].iter().enumerate() {
+            assert_eq!(result.as_ref().unwrap().index, i);
+        }
+        assert!(matches!(
+            results[3],
+            Err(RuntimeError::ProducerFailed { frames_produced: 3 })
+        ));
+    }
+
+    #[test]
+    fn dropping_a_stream_early_shuts_the_pool_down() {
+        let engine = engine(EngineConfig {
+            workers: 2,
+            queue_depth: 1,
+            ..EngineConfig::default()
+        });
+        let frames = test_frames(32);
+        let mut stream = engine.stream(frames);
+        let first = stream.next().unwrap().unwrap();
+        assert_eq!(first.index, 0);
+        drop(stream); // Must not deadlock or panic.
+    }
+
+    #[test]
+    fn single_frame_processing_works() {
+        let engine = engine(EngineConfig::default());
+        let frame = synthetic::portrait(32, 32, 3);
+        let first = engine.process_frame(&frame).unwrap();
+        assert!(!first.cache_hit);
+        let second = engine.process_frame(&frame).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(first.outcome.beta, second.outcome.beta);
+    }
+
+    #[test]
+    fn engine_handles_are_cloneable_and_share_the_cache() {
+        let a = engine(EngineConfig::default());
+        let b = a.clone();
+        let frame = synthetic::still_life(32, 32, 9);
+        a.process_frame(&frame).unwrap();
+        let result = b.process_frame(&frame).unwrap();
+        assert!(result.cache_hit, "clones share one cache");
+        assert_eq!(b.stats().frames, 2);
+    }
+
+    #[test]
+    fn engine_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<EngineConfig>();
+        assert_send_sync::<FrameResult>();
+        assert_send_sync::<BatchReport>();
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for the serving runtime.
+
+use std::fmt;
+
+use hebs_core::HebsError;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Error raised by the frame-serving engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// An engine configuration parameter was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An error from the HEBS pipeline while serving a frame.
+    Core(HebsError),
+    /// A stream worker was lost (panicked) before delivering this frame's
+    /// result; later frames are unaffected.
+    FrameLost {
+        /// Input position of the frame whose result never arrived.
+        index: usize,
+    },
+    /// The producer iterator passed to `Engine::stream` panicked, so the
+    /// stream ends early; every frame it did yield was served.
+    ProducerFailed {
+        /// Number of frames the producer yielded before failing.
+        frames_produced: usize,
+    },
+    /// Every stream worker died before the producer finished, so the
+    /// stream ends early; the frames already yielded were served normally.
+    PoolFailed {
+        /// Number of frames served before the pool was lost.
+        frames_served: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig { name, reason } => {
+                write!(f, "invalid engine configuration: {name}: {reason}")
+            }
+            RuntimeError::Core(err) => write!(f, "pipeline error: {err}"),
+            RuntimeError::FrameLost { index } => {
+                write!(f, "a worker was lost before serving frame {index}")
+            }
+            RuntimeError::ProducerFailed { frames_produced } => write!(
+                f,
+                "the frame producer failed after yielding {frames_produced} frames"
+            ),
+            RuntimeError::PoolFailed { frames_served } => write!(
+                f,
+                "the worker pool was lost after serving {frames_served} frames"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Core(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<HebsError> for RuntimeError {
+    fn from(err: HebsError) -> Self {
+        RuntimeError::Core(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_and_source() {
+        use std::error::Error;
+        let err = RuntimeError::InvalidConfig {
+            name: "queue_depth",
+            reason: "must be nonzero".to_string(),
+        };
+        assert!(err.to_string().contains("queue_depth"));
+        assert!(err.source().is_none());
+
+        let err: RuntimeError = HebsError::InvalidDynamicRange { range: 300 }.into();
+        assert!(err.to_string().contains("300"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuntimeError>();
+    }
+}

@@ -1,0 +1,62 @@
+//! A concurrent, cache-accelerated frame-serving engine for HEBS.
+//!
+//! The core crate answers "what should the display do for *this* image?";
+//! this crate answers it for *traffic*: streams and batches of frames served
+//! at maximum hardware throughput. It is built from three pieces, all
+//! dependency-free `std` Rust:
+//!
+//! * **A worker pool** — [`Engine::process_batch`] fans frames out across
+//!   threads with an atomic work-stealing cursor, and [`Engine::stream`]
+//!   pulls from a producer iterator through bounded queues so a saturated
+//!   pool exerts backpressure instead of buffering unboundedly. Results are
+//!   always yielded in input order.
+//! * **A transformation cache** — a sharded LRU ([`ShardedLru`]) keyed
+//!   either by exact frame content ([`CacheMode::Exact`], bit-identical
+//!   replay) or by a quantized histogram signature
+//!   ([`CacheMode::Approximate`]): near-identical consecutive video frames
+//!   reuse the fitted transformation (the expensive GHE + dynamic-program
+//!   stage) and only re-run the cheap per-frame application. This exploits
+//!   the same observation as hardware HE implementations: the transform
+//!   changes slowly relative to the frame rate, so the programmed LUT can be
+//!   reused across frames.
+//! * **Serving statistics** — per-frame latency, throughput and cache
+//!   hit-rate reporting via [`BatchReport`] and [`EngineStats`].
+//!
+//! # Example
+//!
+//! ```
+//! use hebs_core::{HebsPolicy, PipelineConfig};
+//! use hebs_imaging::{FrameSequence, SceneKind};
+//! use hebs_runtime::{CacheConfig, Engine, EngineConfig};
+//!
+//! let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+//! let config = EngineConfig {
+//!     workers: 2,
+//!     cache: Some(CacheConfig::approximate()),
+//!     ..EngineConfig::default()
+//! };
+//! let engine = Engine::new(policy, config)?;
+//!
+//! // Stream a noisy static scene: after the first frame, the fitted
+//! // transform is reused for every near-identical successor.
+//! let frames = FrameSequence::new(SceneKind::Static, 32, 32, 12, 3);
+//! for result in engine.stream(frames.frames().collect::<Vec<_>>()) {
+//!     let result = result?;
+//!     assert!(result.outcome.power_saving >= 0.0);
+//! }
+//! assert!(engine.stats().cache_hit_rate() > 0.0);
+//! # Ok::<(), hebs_runtime::RuntimeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod engine;
+mod error;
+mod stats;
+
+pub use cache::{CacheConfig, CacheMode, ShardedLru};
+pub use engine::{BatchReport, Engine, EngineConfig, FrameResult, FrameStream};
+pub use error::{Result, RuntimeError};
+pub use stats::EngineStats;

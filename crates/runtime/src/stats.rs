@@ -1,0 +1,101 @@
+//! Throughput, latency and cache statistics for the serving engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Cumulative counters shared by all workers of an engine.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCollector {
+    frames: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+impl StatsCollector {
+    pub(crate) fn record_frame(&self, latency: Duration, cache_hit: Option<bool>) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.busy_nanos
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        match cache_hit {
+            Some(true) => self.cache_hits.fetch_add(1, Ordering::Relaxed),
+            Some(false) => self.cache_misses.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+    }
+
+    pub(crate) fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            frames: self.frames.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time snapshot of an engine's cumulative serving statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Total frames served since the engine was created.
+    pub frames: u64,
+    /// Cache lookups that reused a fitted transform or outcome.
+    pub cache_hits: u64,
+    /// Cache lookups that had to run the full fit.
+    pub cache_misses: u64,
+    /// Total worker time spent serving frames (sums across workers, so it
+    /// can exceed wall-clock time on a pool).
+    pub busy: Duration,
+}
+
+impl EngineStats {
+    /// Fraction of cache lookups that hit, or 0 when the cache was never
+    /// consulted (for example when it is disabled).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Mean per-frame serving latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.frames == 0 {
+            Duration::ZERO
+        } else {
+            // Divide in u128 nanoseconds: the frame counter is cumulative
+            // and can exceed u32 on a long-lived engine.
+            let nanos = self.busy.as_nanos() / u128::from(self.frames);
+            Duration::from_nanos(nanos as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_accumulates_and_snapshots() {
+        let collector = StatsCollector::default();
+        collector.record_frame(Duration::from_millis(2), Some(true));
+        collector.record_frame(Duration::from_millis(4), Some(false));
+        collector.record_frame(Duration::from_millis(6), None);
+        let stats = collector.snapshot();
+        assert_eq!(stats.frames, 3);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.busy, Duration::from_millis(12));
+        assert_eq!(stats.mean_latency(), Duration::from_millis(4));
+        assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_safe_defaults() {
+        let stats = EngineStats::default();
+        assert_eq!(stats.cache_hit_rate(), 0.0);
+        assert_eq!(stats.mean_latency(), Duration::ZERO);
+    }
+}

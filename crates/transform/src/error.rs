@@ -57,13 +57,19 @@ impl fmt::Display for TransformError {
                 write!(f, "invalid band [{lower}, {upper}]")
             }
             TransformError::TooFewControlPoints { count } => {
-                write!(f, "piecewise-linear curve needs at least 2 points, got {count}")
+                write!(
+                    f,
+                    "piecewise-linear curve needs at least 2 points, got {count}"
+                )
             }
             TransformError::NotMonotone { index } => {
                 write!(f, "control points are not monotone at index {index}")
             }
             TransformError::PointOutOfRange { index } => {
-                write!(f, "control point {index} is outside of [0, 1] or not finite")
+                write!(
+                    f,
+                    "control point {index} is outside of [0, 1] or not finite"
+                )
             }
             TransformError::InvalidSegmentCount {
                 requested,

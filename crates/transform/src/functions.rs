@@ -171,10 +171,7 @@ impl SingleBandSpreading {
     /// degenerate or out of `[0, 1]`, and
     /// [`TransformError::InvalidBacklightFactor`] for an invalid `beta`.
     pub fn new(lower: f64, upper: f64, beta: f64) -> Result<Self> {
-        if !(lower.is_finite() && upper.is_finite())
-            || lower < 0.0
-            || upper > 1.0
-            || lower >= upper
+        if !(lower.is_finite() && upper.is_finite()) || lower < 0.0 || upper > 1.0 || lower >= upper
         {
             return Err(TransformError::InvalidBand { lower, upper });
         }

@@ -31,10 +31,7 @@ impl Band {
     /// Returns [`TransformError::InvalidBand`] for inverted, degenerate or
     /// out-of-range bands.
     pub fn new(lower: f64, upper: f64) -> Result<Self> {
-        if !(lower.is_finite() && upper.is_finite())
-            || lower < 0.0
-            || upper > 1.0
-            || lower >= upper
+        if !(lower.is_finite() && upper.is_finite()) || lower < 0.0 || upper > 1.0 || lower >= upper
         {
             return Err(TransformError::InvalidBand { lower, upper });
         }
@@ -95,7 +92,11 @@ impl KBandSpreading {
         if bands.is_empty() {
             return Err(TransformError::TooFewControlPoints { count: 0 });
         }
-        bands.sort_by(|a, b| a.lower.partial_cmp(&b.lower).expect("band edges are finite"));
+        bands.sort_by(|a, b| {
+            a.lower
+                .partial_cmp(&b.lower)
+                .expect("band edges are finite")
+        });
         for pair in bands.windows(2) {
             if pair[1].lower < pair[0].upper {
                 return Err(TransformError::InvalidBand {
@@ -148,9 +149,11 @@ impl KBandSpreading {
         }
         // Deduplicate abscissas that coincide (touching bands or bands that
         // start exactly at 0 / end exactly at 1).
-        points.dedup_by(|b, a| (a.x - b.x).abs() < 1e-12 && {
-            a.y = a.y.max(b.y);
-            true
+        points.dedup_by(|b, a| {
+            (a.x - b.x).abs() < 1e-12 && {
+                a.y = a.y.max(b.y);
+                true
+            }
         });
         PiecewiseLinear::new(points).expect("band construction yields a valid monotone curve")
     }

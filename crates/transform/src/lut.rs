@@ -6,9 +6,16 @@
 //! compiled form; it is what gets applied to images and what the hardware
 //! model in `hebs-display` consumes.
 
+use std::sync::Arc;
+
 use hebs_imaging::{apply_lut, GrayImage, RgbImage};
 
 /// A compiled level-to-level mapping for 8-bit pixels.
+///
+/// The table is immutable once built and stores its entries behind an
+/// [`Arc`], so cloning is a reference-count bump: the runtime's
+/// transformation cache and worker threads share one programmed table
+/// without copying it per frame.
 ///
 /// ```
 /// use hebs_transform::LookupTable;
@@ -19,7 +26,7 @@ use hebs_imaging::{apply_lut, GrayImage, RgbImage};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LookupTable {
-    entries: [u8; 256],
+    entries: Arc<[u8; 256]>,
 }
 
 impl Default for LookupTable {
@@ -31,11 +38,7 @@ impl Default for LookupTable {
 impl LookupTable {
     /// The identity mapping: every level maps to itself.
     pub fn identity() -> Self {
-        let mut entries = [0u8; 256];
-        for (i, e) in entries.iter_mut().enumerate() {
-            *e = i as u8;
-        }
-        LookupTable { entries }
+        Self::from_fn(|level| level)
     }
 
     /// Builds a table by evaluating `f` at every input level.
@@ -47,7 +50,9 @@ impl LookupTable {
         for (i, e) in entries.iter_mut().enumerate() {
             *e = f(i as u8);
         }
-        LookupTable { entries }
+        LookupTable {
+            entries: Arc::new(entries),
+        }
     }
 
     /// Builds a table from a normalized transfer function `φ: [0,1] → [0,1]`.
@@ -66,7 +71,15 @@ impl LookupTable {
 
     /// Wraps an explicit entry array.
     pub fn from_entries(entries: [u8; 256]) -> Self {
-        LookupTable { entries }
+        LookupTable {
+            entries: Arc::new(entries),
+        }
+    }
+
+    /// Whether two tables share the same underlying storage (a clone, not a
+    /// recomputation). Used by cache tests to prove reuse.
+    pub fn shares_storage_with(&self, other: &LookupTable) -> bool {
+        Arc::ptr_eq(&self.entries, &other.entries)
     }
 
     /// Maps one input level to its output level.

@@ -88,7 +88,11 @@ impl PiecewiseLinear {
         // needs to extrapolate.
         if points[0].x != 0.0 || points[points.len() - 1].x != 1.0 {
             return Err(TransformError::PointOutOfRange {
-                index: if points[0].x != 0.0 { 0 } else { points.len() - 1 },
+                index: if points[0].x != 0.0 {
+                    0
+                } else {
+                    points.len() - 1
+                },
             });
         }
         Ok(PiecewiseLinear { points })

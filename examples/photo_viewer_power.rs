@@ -39,6 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         totals[1] / n * 100.0,
         totals[2] / n * 100.0
     );
-    println!("\n(The paper reports averages of 45.9 / 56.2 / 64.4 % on the real SIPI photographs.)");
+    println!(
+        "\n(The paper reports averages of 45.9 / 56.2 / 64.4 % on the real SIPI photographs.)"
+    );
     Ok(())
 }

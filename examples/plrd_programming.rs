@@ -51,8 +51,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let conventional = ConventionalPlrd::default();
     let band = SingleBandSpreading::new(0.15, 0.15 + beta, beta)?;
     let conv = conventional.program(&band)?;
-    println!("\nconventional PLRD (CBCS hardware), single band [0.15, {:.2}]:", 0.15 + beta);
-    println!("  realization RMS error vs its own request: {:.5}", conv.realization_error);
+    println!(
+        "\nconventional PLRD (CBCS hardware), single band [0.15, {:.2}]:",
+        0.15 + beta
+    );
+    println!(
+        "  realization RMS error vs its own request: {:.5}",
+        conv.realization_error
+    );
     println!(
         "  but it cannot express the multi-slope HEBS curve at all — that is the\n  hardware argument for the hierarchical divider."
     );

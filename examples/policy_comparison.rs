@@ -5,9 +5,7 @@
 //! cargo run --release --example policy_comparison
 //! ```
 
-use hebs::core::{
-    BacklightPolicy, CbcsPolicy, DlsPolicy, DlsVariant, HebsPolicy, PipelineConfig,
-};
+use hebs::core::{BacklightPolicy, CbcsPolicy, DlsPolicy, DlsVariant, HebsPolicy, PipelineConfig};
 use hebs::imaging::{SipiImage, SipiSuite};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(DlsPolicy::new(DlsVariant::BrightnessCompensation)),
     ];
 
-    println!("Power saving (%) at a {:.0}% distortion budget", budget * 100.0);
+    println!(
+        "Power saving (%) at a {:.0}% distortion budget",
+        budget * 100.0
+    );
     print!("{:<12}", "image");
     for policy in &policies {
         print!(" {:>16}", policy.name());

@@ -33,8 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(range) = outcome.dynamic_range {
         println!("  target dynamic range  : {range} levels");
     }
-    println!("  measured distortion   : {:.2} %", outcome.distortion * 100.0);
-    println!("  power saving          : {:.2} %", outcome.power_saving * 100.0);
+    println!(
+        "  measured distortion   : {:.2} %",
+        outcome.distortion * 100.0
+    );
+    println!(
+        "  power saving          : {:.2} %",
+        outcome.power_saving * 100.0
+    );
     println!(
         "  power breakdown       : CCFL {:.3} + panel {:.3} + controller {:.3} = {:.3}",
         outcome.power.ccfl,
@@ -49,6 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all(&out_dir)?;
     io::save_pgm(&image, out_dir.join("original.pgm"))?;
     io::save_pgm(&outcome.displayed, out_dir.join("displayed.pgm"))?;
-    println!("\nwrote original.pgm and displayed.pgm to {}", out_dir.display());
+    println!(
+        "\nwrote original.pgm and displayed.pgm to {}",
+        out_dir.display()
+    );
     Ok(())
 }

@@ -1,0 +1,80 @@
+//! Streaming server simulation: serve a live video feed through the
+//! concurrent, cache-accelerated runtime engine.
+//!
+//! ```text
+//! cargo run --release --example streaming_server
+//! ```
+//!
+//! A producer generates frames (here a synthetic noisy static scene followed
+//! by a scene cut, standing in for a camera or decoder) and the engine pulls
+//! them through a bounded queue: when the worker pool falls behind, the
+//! producer blocks instead of queueing unboundedly — exactly how a real
+//! ingestion pipeline applies backpressure. Results come back in frame
+//! order with per-frame latency and cache statistics.
+
+use hebs::core::{HebsPolicy, PipelineConfig};
+use hebs::imaging::{FrameSequence, SceneKind};
+use hebs::runtime::{CacheConfig, Engine, EngineConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the engine: pooled workers, bounded queues, and the
+    //    signature-keyed cache so near-identical consecutive frames reuse
+    //    the fitted transformation.
+    let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+    let config = EngineConfig {
+        workers: 0, // auto-detect
+        queue_depth: 8,
+        max_distortion: 0.10,
+        cache: Some(CacheConfig::approximate()),
+    };
+    let engine = Engine::new(policy, config)?;
+    println!(
+        "engine up: {} workers, 10% distortion budget, approximate cache",
+        engine.workers()
+    );
+
+    // 2. The "camera": 48 noisy static frames, then a hard cut (64 frames
+    //    total). The iterator is lazy — each frame is generated on demand as
+    //    the bounded queue drains, so a saturated pool throttles the
+    //    producer itself, exactly as with a real capture device.
+    let static_scene = FrameSequence::new(SceneKind::Static, 64, 64, 48, 7);
+    let cut_scene = FrameSequence::new(SceneKind::SceneCut, 64, 64, 16, 9);
+    let feed = (0..static_scene.frame_count())
+        .map(move |i| static_scene.frame(i))
+        .chain((0..cut_scene.frame_count()).map(move |i| cut_scene.frame(i)));
+
+    // 3. Serve the stream; results arrive in input order.
+    let mut served = 0usize;
+    let mut hits = 0usize;
+    for result in engine.stream(feed) {
+        let frame = result?;
+        served += 1;
+        hits += usize::from(frame.cache_hit);
+        if frame.index % 16 == 0 {
+            println!(
+                "frame {:>3}: beta {:.3}, distortion {:>5.2}%, saving {:>5.2}%, {} ({} us)",
+                frame.index,
+                frame.outcome.beta,
+                frame.outcome.distortion * 100.0,
+                frame.outcome.power_saving * 100.0,
+                if frame.cache_hit {
+                    "cache hit "
+                } else {
+                    "full fit  "
+                },
+                frame.latency.as_micros(),
+            );
+        }
+    }
+
+    // 4. Session summary.
+    let stats = engine.stats();
+    println!("\nserved {served} frames, {hits} cache hits");
+    println!(
+        "engine totals: {} frames, hit rate {:.0}%, mean latency {:.2} ms",
+        stats.frames,
+        stats.cache_hit_rate() * 100.0,
+        stats.mean_latency().as_secs_f64() * 1e3,
+    );
+    Ok(())
+}

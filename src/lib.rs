@@ -14,6 +14,8 @@
 //!   reference-driver hardware simulation ([`hebs_display`]).
 //! * [`core`] — the HEBS algorithm, its baselines and the video pipeline
 //!   ([`hebs_core`]).
+//! * [`runtime`] — the concurrent, cache-accelerated frame-serving engine
+//!   ([`hebs_runtime`]).
 //!
 //! # Example
 //!
@@ -35,4 +37,5 @@ pub use hebs_core as core;
 pub use hebs_display as display;
 pub use hebs_imaging as imaging;
 pub use hebs_quality as quality;
+pub use hebs_runtime as runtime;
 pub use hebs_transform as transform;

@@ -3,11 +3,11 @@
 //! hardware model and the power accounting, checking the result *shapes* the
 //! paper reports.
 
+use hebs::core::pipeline::evaluate_at_range;
 use hebs::core::{
     BacklightPolicy, CbcsPolicy, DistortionCharacteristic, DlsPolicy, DlsVariant, HebsPolicy,
     PipelineConfig, TargetRange,
 };
-use hebs::core::pipeline::evaluate_at_range;
 use hebs::imaging::{SipiImage, SipiSuite};
 use hebs::quality::{DistortionMeasure, HebsDistortion};
 
@@ -73,8 +73,14 @@ fn hebs_beats_the_baselines_on_average() {
     let mut cbcs_total = 0.0;
     let mut dls_total = 0.0;
     for (_, image) in suite.iter() {
-        hebs_total += hebs.optimize(image, budget).expect("hebs runs").power_saving;
-        cbcs_total += cbcs.optimize(image, budget).expect("cbcs runs").power_saving;
+        hebs_total += hebs
+            .optimize(image, budget)
+            .expect("hebs runs")
+            .power_saving;
+        cbcs_total += cbcs
+            .optimize(image, budget)
+            .expect("cbcs runs")
+            .power_saving;
         dls_total += dls.optimize(image, budget).expect("dls runs").power_saving;
     }
     assert!(
@@ -105,7 +111,11 @@ fn open_loop_flow_matches_the_paper_architecture() {
     let policy = HebsPolicy::open_loop(config, characteristic, true);
     for (id, image) in suite.entries().iter().skip(10) {
         let outcome = policy.optimize(image, 0.15).expect("open-loop policy runs");
-        assert!(outcome.beta > 0.1 && outcome.beta <= 1.0, "{id}: beta {}", outcome.beta);
+        assert!(
+            outcome.beta > 0.1 && outcome.beta <= 1.0,
+            "{id}: beta {}",
+            outcome.beta
+        );
         assert!(outcome.power_saving >= 0.0, "{id}: negative saving");
     }
 }
@@ -123,7 +133,10 @@ fn distortion_grows_and_beta_falls_as_the_range_shrinks() {
             eval.distortion >= previous_distortion - 0.02,
             "distortion not (approximately) monotone at range {range}"
         );
-        assert!(eval.beta < previous_beta, "beta not decreasing at range {range}");
+        assert!(
+            eval.beta < previous_beta,
+            "beta not decreasing at range {range}"
+        );
         previous_distortion = eval.distortion;
         previous_beta = eval.beta;
     }

@@ -1,0 +1,220 @@
+//! Integration tests of the serving runtime against the full pipeline:
+//! cache transparency (cached results bit-identical to uncached ones),
+//! order preservation under concurrency, and cache effectiveness on
+//! synthetic video.
+
+use hebs::core::{BacklightPolicy, HebsPolicy, PipelineConfig, ScalingOutcome};
+use hebs::imaging::rng::StdRng;
+use hebs::imaging::{FrameSequence, GrayImage, SceneKind, SipiSuite};
+use hebs::runtime::{CacheConfig, CacheMode, Engine, EngineConfig};
+
+fn policy() -> HebsPolicy {
+    HebsPolicy::closed_loop(PipelineConfig::default())
+}
+
+fn assert_outcomes_bit_identical(a: &ScalingOutcome, b: &ScalingOutcome, context: &str) {
+    assert_eq!(a.beta, b.beta, "{context}: beta differs");
+    assert_eq!(a.dynamic_range, b.dynamic_range, "{context}: range differs");
+    assert_eq!(a.distortion, b.distortion, "{context}: distortion differs");
+    assert_eq!(a.power_saving, b.power_saving, "{context}: saving differs");
+    assert_eq!(a.power.total(), b.power.total(), "{context}: power differs");
+    assert_eq!(a.lut, b.lut, "{context}: LUT differs");
+    assert_eq!(
+        a.displayed, b.displayed,
+        "{context}: displayed image differs"
+    );
+}
+
+/// Property: for any frame, serving it through the exact-mode cache yields a
+/// bit-identical outcome to serving it without a cache — whether the lookup
+/// hits or misses.
+#[test]
+fn property_cached_results_are_identical_to_uncached() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let cached = Engine::new(
+        policy(),
+        EngineConfig {
+            workers: 2,
+            cache: Some(CacheConfig::exact()),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let uncached = Engine::new(
+        policy(),
+        EngineConfig {
+            workers: 2,
+            cache: None,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+
+    for case in 0..12 {
+        let width = rng.random_range(8..32u32);
+        let height = rng.random_range(8..32u32);
+        let frame = GrayImage::from_fn(width, height, |_, _| rng.random_range(0..=255u8));
+        // Serve each frame twice through the cache: the first pass misses,
+        // the second hits; both must equal the uncached result.
+        let miss = cached.process_frame(&frame).unwrap();
+        let hit = cached.process_frame(&frame).unwrap();
+        let reference = uncached.process_frame(&frame).unwrap();
+        assert!(!miss.cache_hit);
+        assert!(hit.cache_hit, "case {case}: second serve should hit");
+        assert!(!reference.cache_hit);
+        assert_outcomes_bit_identical(
+            &miss.outcome,
+            &reference.outcome,
+            &format!("case {case} (miss)"),
+        );
+        assert_outcomes_bit_identical(
+            &hit.outcome,
+            &reference.outcome,
+            &format!("case {case} (hit)"),
+        );
+    }
+}
+
+/// Property: concurrent batch output order matches input order, for batches
+/// larger than the pool and for every cache mode.
+#[test]
+fn property_concurrent_batch_preserves_input_order() {
+    let suite = SipiSuite::with_size(24);
+    let frames: Vec<GrayImage> = suite.iter().map(|(_, img)| img.clone()).collect();
+    for cache in [
+        None,
+        Some(CacheConfig::exact()),
+        Some(CacheConfig::approximate()),
+    ] {
+        let engine = Engine::new(
+            policy(),
+            EngineConfig {
+                workers: 4,
+                cache,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let report = engine.process_batch(&frames).unwrap();
+        assert_eq!(report.frames(), frames.len());
+        for (i, result) in report.results.iter().enumerate() {
+            assert_eq!(result.index, i, "batch result out of order");
+        }
+        // Each result is the outcome for *its own* frame: the displayed
+        // image has that frame's dimensions (the suite is homogeneous, so
+        // also spot-check against the sequential policy).
+        let sequential = policy().optimize(&frames[3], 0.10).unwrap();
+        assert_outcomes_bit_identical(&report.results[3].outcome, &sequential, "row 3");
+    }
+}
+
+/// Acceptance: a 64+ frame synthetic video batch across at least two worker
+/// threads shows a measurable cache hit rate, and every cache-served frame
+/// is bit-identical to the uncached evaluation of the same frame.
+#[test]
+fn video_batch_on_a_pool_has_a_measurable_hit_rate_and_identical_results() {
+    // Scene cuts repeat identical frames within each half, so the exact
+    // cache gets real hits on genuinely equal frames.
+    let frames: Vec<GrayImage> = FrameSequence::new(SceneKind::SceneCut, 48, 48, 64, 21)
+        .frames()
+        .collect();
+    assert!(frames.len() >= 64);
+
+    let engine = Engine::new(
+        policy(),
+        EngineConfig {
+            workers: 4,
+            cache: Some(CacheConfig::exact()),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(engine.workers() >= 2);
+    let report = engine.process_batch(&frames).unwrap();
+    assert!(
+        report.cache_hit_rate() > 0.5,
+        "expected a measurable hit rate on repeated frames, got {}",
+        report.cache_hit_rate()
+    );
+
+    let uncached = Engine::new(policy(), EngineConfig::sequential(0.10)).unwrap();
+    let reference = uncached.process_batch(&frames).unwrap();
+    for (cached, plain) in report.results.iter().zip(&reference.results) {
+        assert_outcomes_bit_identical(
+            &cached.outcome,
+            &plain.outcome,
+            &format!("frame {}", cached.index),
+        );
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.frames, 64);
+    assert!(stats.cache_hit_rate() > 0.5);
+}
+
+/// The approximate (signature-keyed) cache reuses fits on noisy static video
+/// and keeps the measured per-frame distortion within the smoothing slack of
+/// the budget.
+#[test]
+fn approximate_cache_reuses_fits_on_noisy_video() {
+    let frames: Vec<GrayImage> = FrameSequence::new(SceneKind::Static, 48, 48, 24, 5)
+        .frames()
+        .collect();
+    let engine = Engine::new(
+        policy(),
+        EngineConfig {
+            workers: 2,
+            max_distortion: 0.10,
+            cache: Some(CacheConfig {
+                mode: CacheMode::Approximate,
+                ..CacheConfig::default()
+            }),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let report = engine.process_batch(&frames).unwrap();
+    assert!(
+        report.cache_hit_rate() > 0.3,
+        "noisy static frames should mostly share one fit, hit rate {}",
+        report.cache_hit_rate()
+    );
+    for result in &report.results {
+        // The fit came from a near-identical frame; the measured distortion
+        // of the actual frame stays within a small slack of the budget.
+        assert!(
+            result.outcome.distortion <= 0.10 + 0.05,
+            "frame {}: distortion {} drifted too far",
+            result.index,
+            result.outcome.distortion
+        );
+    }
+}
+
+/// Streaming and batching agree on the same input.
+#[test]
+fn streaming_agrees_with_batching() {
+    let frames: Vec<GrayImage> = FrameSequence::new(SceneKind::FadeToBlack, 32, 32, 10, 9)
+        .frames()
+        .collect();
+    let engine = Engine::new(
+        policy(),
+        EngineConfig {
+            workers: 3,
+            queue_depth: 2,
+            cache: None,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let streamed: Vec<_> = engine
+        .stream(frames.clone())
+        .collect::<hebs::runtime::Result<Vec<_>>>()
+        .unwrap();
+    let batched = engine.process_batch(&frames).unwrap();
+    assert_eq!(streamed.len(), batched.frames());
+    for (s, b) in streamed.iter().zip(&batched.results) {
+        assert_eq!(s.index, b.index);
+        assert_outcomes_bit_identical(&s.outcome, &b.outcome, &format!("frame {}", s.index));
+    }
+}
