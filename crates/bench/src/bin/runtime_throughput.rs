@@ -7,13 +7,18 @@
 //!
 //! Serves the synthetic SIPI suite (with repeats) and two synthetic video
 //! sequences through `hebs_runtime::Engine` in three configurations and
-//! prints wall-clock throughput, latency and cache hit rates. Run with
-//! `--quick` for a fast smoke-test configuration.
+//! prints wall-clock throughput, latency, cache hit rates, resident cache
+//! bytes and single-flight coalescing counts. Run with `--quick` for a fast
+//! smoke-test configuration, and with `--check` to also verify the cache's
+//! contract (byte budget respected, single-flight collapses a miss storm
+//! into one fit, counters reconcile) and exit nonzero on a violation —
+//! CI runs `--quick --check` so cache regressions fail the build.
 
-use hebs_bench::{run_runtime_throughput, TextTable};
+use hebs_bench::{run_runtime_throughput, verify_cache_invariants, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
+    let check = std::env::args().any(|a| a == "--check");
     let (frame_size, video_frames) = if quick { (32, 16) } else { (96, 96) };
     let budget = 0.10;
 
@@ -38,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "mean lat [ms]",
         "p95 lat [ms]",
         "hit rate",
+        "bytes [KiB]",
+        "coalesced",
+        "rejected",
         "saving",
     ]);
     for row in &rows {
@@ -51,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.2}", row.mean_latency.as_secs_f64() * 1e3),
             format!("{:.2}", row.p95_latency.as_secs_f64() * 1e3),
             format!("{:.0}%", row.cache_hit_rate * 100.0),
+            format!("{:.1}", row.cache_bytes as f64 / 1024.0),
+            row.cache_coalesced.to_string(),
+            row.cache_rejected.to_string(),
             format!("{:.1}%", row.mean_power_saving * 100.0),
         ]);
     }
@@ -70,5 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     println!("{summary}");
+
+    if check {
+        verify_cache_invariants(frame_size)?;
+        println!("cache invariants OK");
+    }
     Ok(())
 }

@@ -14,7 +14,8 @@ pub mod table;
 
 pub use experiments::{
     run_baseline_comparison, run_characterization, run_figure8, run_runtime_throughput, run_table1,
-    BaselineComparison, Figure8Row, RuntimeThroughputRow, Table1Report, Table1Row,
+    verify_cache_invariants, BaselineComparison, Figure8Row, RuntimeThroughputRow, Table1Report,
+    Table1Row,
 };
 pub use table::TextTable;
 

@@ -1,5 +1,5 @@
-//! The transformation cache: a sharded LRU keyed by frame content or by
-//! quantized histogram signature.
+//! The transformation cache v2: a byte-budgeted, single-flight sharded LRU
+//! keyed by frame content hash or by quantized histogram signature.
 //!
 //! The expensive part of serving a frame is the *fit* (GHE solve, blend
 //! search, piecewise-linear coarsening, range search); the *application* of
@@ -7,33 +7,53 @@
 //! is dominated by runs of identical or near-identical frames, so the engine
 //! caches fits and replays them:
 //!
-//! * [`CacheMode::Exact`] keys on the full frame content (plus the
-//!   distortion budget). A hit means the frame was served before, so the
-//!   whole [`ScalingOutcome`](hebs_core::ScalingOutcome) is replayed
-//!   bit-identically. This mode can never change a result.
+//! * [`CacheMode::Exact`] keys on a 128-bit content hash of the frame (plus
+//!   its shape and the quantized budget band). The stored frame bytes are
+//!   verified on every hit, so a served hit is still a proof that the
+//!   identical frame was fitted before — but the lookup itself never copies
+//!   the pixel buffer.
 //! * [`CacheMode::Approximate`] keys on the frame's quantized
 //!   [`HistogramSignature`]. Near-identical frames (sensor noise, small
 //!   motion) share a fit; the cached [`FrameTransform`] is re-applied to the
 //!   actual frame, so distortion and power are still measured per frame —
 //!   only the fitted curve is approximate.
 //!
+//! Both modes quantize the distortion budget into *bands*
+//! ([`CacheConfig::budget_band_width`]): requests whose budgets fall into
+//! the same band share entries, and a hit is only served when the cached
+//! fit's *measured* distortion satisfies the requesting budget. A fit made
+//! for a strict budget therefore serves looser budgets in its band for
+//! free; a looser fit that fails the recheck is rejected, evicted, and
+//! replaced by the refit.
+//!
 //! The store itself is a generic sharded LRU ([`ShardedLru`]): each shard is
-//! an independent mutex around a hash map plus a recency index, so worker
-//! threads contend only when they hash to the same shard.
+//! an independent mutex around a hash map plus a recency index, bounded both
+//! in entries and in resident bytes. A per-key single-flight table
+//! ([`FlightTable`]) collapses N concurrent misses on the same key into one
+//! fit plus N−1 waiters.
 
 use std::collections::hash_map::RandomState;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use hebs_core::{FrameTransform, ScalingOutcome};
 use hebs_imaging::{GrayImage, Histogram, HistogramSignature, DEFAULT_SIGNATURE_RESOLUTION};
 
+/// Default cap on resident cache bytes (64 MiB across all shards).
+pub const DEFAULT_BYTE_BUDGET: usize = 64 << 20;
+
+/// Default width of a distortion-budget band: budgets within the same
+/// 1%-wide band share cache entries (guarded by a distortion recheck).
+pub const DEFAULT_BUDGET_BAND_WIDTH: f64 = 0.01;
+
 /// How cache keys are derived from frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheMode {
-    /// Key on the exact frame content: hits replay the full outcome
+    /// Key on a 128-bit hash of the exact frame content, verified against
+    /// the stored frame on every hit: hits replay the full outcome
     /// bit-identically. Wins on repeated frames (static scenes, UI, logo
     /// cards) and is always safe.
     Exact,
@@ -56,6 +76,17 @@ pub struct CacheConfig {
     /// [`CacheMode::Approximate`]); see
     /// [`HistogramSignature::with_resolution`].
     pub signature_resolution: u8,
+    /// Cap on resident bytes across all shards (each entry charges its
+    /// stored pixels, displayed image and LUT); `None` means unbounded.
+    /// Defaults to [`DEFAULT_BYTE_BUDGET`].
+    pub byte_budget: Option<usize>,
+    /// Width of a distortion-budget band. Requests whose budgets quantize
+    /// to the same band share cache entries; a hit is only served when the
+    /// cached fit's measured distortion satisfies the requesting budget.
+    pub budget_band_width: f64,
+    /// Optional time-to-live: entries older than this are treated as misses
+    /// and dropped on lookup. `None` (the default) disables expiry.
+    pub ttl: Option<Duration>,
 }
 
 impl Default for CacheConfig {
@@ -65,6 +96,9 @@ impl Default for CacheConfig {
             shards: 8,
             mode: CacheMode::Exact,
             signature_resolution: DEFAULT_SIGNATURE_RESOLUTION,
+            byte_budget: Some(DEFAULT_BYTE_BUDGET),
+            budget_band_width: DEFAULT_BUDGET_BAND_WIDTH,
+            ttl: None,
         }
     }
 }
@@ -88,87 +122,263 @@ impl CacheConfig {
         self.capacity = capacity;
         self
     }
+
+    /// Returns the configuration with a different byte budget
+    /// (`None` = unbounded).
+    pub fn with_byte_budget(mut self, byte_budget: Option<usize>) -> Self {
+        self.byte_budget = byte_budget;
+        self
+    }
+
+    /// Returns the configuration with a different budget-band width.
+    pub fn with_budget_band_width(mut self, width: f64) -> Self {
+        self.budget_band_width = width;
+        self
+    }
+
+    /// Returns the configuration with an entry time-to-live.
+    pub fn with_ttl(mut self, ttl: Option<Duration>) -> Self {
+        self.ttl = ttl;
+        self
+    }
 }
 
-/// One LRU shard: the stored entries plus a recency index.
+/// Quantizes a distortion budget into its band index.
+pub(crate) fn budget_band(max_distortion: f64, band_width: f64) -> u32 {
+    (max_distortion / band_width).floor() as u32
+}
+
+/// A 128-bit content hash built from two interleaved SplitMix64-style
+/// streams (the same finalizer as `hebs_imaging::rng::StdRng`), seeded per
+/// cache so key collisions cannot be precomputed. One pass, no allocation.
+pub(crate) fn content_hash128(bytes: &[u8], seed: u64) -> u128 {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut a = mix(seed ^ GOLDEN);
+    let mut b = mix(seed.wrapping_add(GOLDEN));
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        a = mix(a ^ word).wrapping_add(GOLDEN);
+        b = mix(b.rotate_left(23) ^ word);
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut padded = [0u8; 8];
+        padded[..tail.len()].copy_from_slice(tail);
+        let word = u64::from_le_bytes(padded) ^ ((tail.len() as u64) << 56);
+        a = mix(a ^ word);
+        b = mix(b ^ word.rotate_left(17));
+    }
+    a = mix(a ^ bytes.len() as u64);
+    b = mix(b.wrapping_add(bytes.len() as u64));
+    (u128::from(a) << 64) | u128::from(b)
+}
+
+/// One stored entry: the value plus its recency tick, insertion generation
+/// (see [`ShardedLru::reject`]), byte weight and insertion time (for the
+/// optional TTL).
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    tick: u64,
+    generation: u64,
+    bytes: usize,
+    inserted: Instant,
+}
+
+/// One LRU shard: the stored entries plus a recency index, bounded both in
+/// entries and in bytes.
 #[derive(Debug)]
 struct Shard<K, V> {
-    map: HashMap<K, (V, u64)>,
+    map: HashMap<K, Entry<V>>,
     recency: BTreeMap<u64, K>,
     tick: u64,
+    generations: u64,
     capacity: usize,
+    byte_capacity: usize,
+    bytes: usize,
+    ttl: Option<Duration>,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, byte_capacity: usize, ttl: Option<Duration>) -> Self {
         Shard {
             map: HashMap::new(),
             recency: BTreeMap::new(),
             tick: 0,
+            generations: 0,
             capacity,
+            byte_capacity,
+            bytes: 0,
+            ttl,
         }
     }
 
-    fn touch(&mut self, key: &K) -> Option<V> {
+    /// Looks a key up and refreshes its recency, returning the value with
+    /// its insertion generation. The recency tick only advances when the
+    /// key is present, so miss traffic cannot inflate it.
+    fn touch(&mut self, key: &K) -> Option<(V, u64)> {
+        let expired = match (self.ttl, self.map.get(key)) {
+            (_, None) => return None,
+            (Some(ttl), Some(entry)) => entry.inserted.elapsed() >= ttl,
+            (None, Some(_)) => false,
+        };
+        if expired {
+            self.remove(key);
+            return None;
+        }
         self.tick += 1;
         let tick = self.tick;
-        let (value, old_tick) = self.map.get_mut(key)?;
-        let value = value.clone();
-        self.recency.remove(old_tick);
-        *old_tick = tick;
+        let entry = self.map.get_mut(key).expect("entry checked present");
+        let value = entry.value.clone();
+        let generation = entry.generation;
+        self.recency.remove(&entry.tick);
+        entry.tick = tick;
         self.recency.insert(tick, key.clone());
-        Some(value)
+        Some((value, generation))
     }
 
-    fn insert(&mut self, key: K, value: V) {
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some((_, old_tick)) = self.map.get(&key) {
-            self.recency.remove(old_tick);
-        } else if self.map.len() >= self.capacity {
-            if let Some((_, victim)) = self.recency.pop_first() {
-                self.map.remove(&victim);
+    /// Inserts an entry weighing `bytes`, evicting least-recently-used
+    /// entries until both the entry cap and the byte cap hold. Returns
+    /// whether the entry was admitted: an entry that exceeds the shard's
+    /// whole byte budget is refused rather than thrashing the shard.
+    fn insert(&mut self, key: K, value: V, bytes: usize) -> bool {
+        // A stale entry under the same key never survives the insert, even
+        // when its replacement is refused as oversized.
+        self.remove(&key);
+        if bytes > self.byte_capacity {
+            return false;
+        }
+        while !self.map.is_empty()
+            && (self.map.len() >= self.capacity
+                || self.bytes.saturating_add(bytes) > self.byte_capacity)
+        {
+            let Some((_, victim)) = self.recency.pop_first() else {
+                break;
+            };
+            if let Some(evicted) = self.map.remove(&victim) {
+                self.bytes -= evicted.bytes;
             }
         }
+        self.tick += 1;
+        self.generations += 1;
+        let tick = self.tick;
         self.recency.insert(tick, key.clone());
-        self.map.insert(key, (value, tick));
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                tick,
+                generation: self.generations,
+                bytes,
+                inserted: Instant::now(),
+            },
+        );
+        self.bytes += bytes;
+        true
+    }
+
+    /// Removes an entry, returning whether it was present.
+    fn remove(&mut self, key: &K) -> bool {
+        if let Some(entry) = self.map.remove(key) {
+            self.recency.remove(&entry.tick);
+            self.bytes -= entry.bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes an entry only if it is still the generation the caller
+    /// looked at, so a slow verifier never evicts a concurrently inserted
+    /// fresh replacement.
+    fn remove_generation(&mut self, key: &K, generation: u64) -> bool {
+        if self
+            .map
+            .get(key)
+            .is_some_and(|e| e.generation == generation)
+        {
+            self.remove(key)
+        } else {
+            false
+        }
     }
 }
 
-/// A thread-safe LRU map split into independently locked shards.
+/// A thread-safe LRU map split into independently locked shards, bounded
+/// both in entries and in resident bytes.
 ///
 /// Values are returned by clone, so `V` is typically an [`Arc`] or another
-/// cheaply clonable handle. Hit/miss counters are global and lock-free.
+/// cheaply clonable handle. The hit/miss/rejection/coalesced counters are
+/// global, lock-free, and carry *served* semantics: [`ShardedLru::get`]
+/// counts a provisional hit or miss, which the caller corrects with
+/// [`ShardedLru::reject`] (a hit whose value failed verification) or
+/// [`ShardedLru::get_after_wait`] (a miss served by another thread's
+/// concurrent insert), so the counters always describe what was actually
+/// served rather than what the raw probes saw.
 #[derive(Debug)]
 pub struct ShardedLru<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
     hasher: RandomState,
     hits: AtomicU64,
     misses: AtomicU64,
+    rejections: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// Creates a cache holding at most `capacity` entries split over
-    /// `shards` independent locks. The capacity is partitioned exactly:
-    /// shards whose budget does not divide evenly get one entry more or
-    /// less, but the total never exceeds `capacity`.
+    /// `shards` independent locks, with no byte bound and no TTL.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` or `shards` is 0.
     pub fn new(capacity: usize, shards: usize) -> Self {
+        Self::bounded(capacity, shards, usize::MAX, None)
+    }
+
+    /// Creates a cache bounded in entries *and* bytes, with an optional
+    /// entry TTL. Both budgets are partitioned exactly across shards:
+    /// shards whose slice does not divide evenly get one unit more or less,
+    /// but the totals never exceed the budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity`, `shards` or `byte_budget` is 0.
+    pub fn bounded(
+        capacity: usize,
+        shards: usize,
+        byte_budget: usize,
+        ttl: Option<Duration>,
+    ) -> Self {
         assert!(capacity > 0, "cache capacity must be nonzero");
         assert!(shards > 0, "cache shard count must be nonzero");
+        assert!(byte_budget > 0, "cache byte budget must be nonzero");
         let shards = shards.min(capacity);
         let base = capacity / shards;
         let remainder = capacity % shards;
+        let byte_base = byte_budget / shards;
+        let byte_remainder = byte_budget % shards;
         ShardedLru {
             shards: (0..shards)
-                .map(|i| Mutex::new(Shard::new(base + usize::from(i < remainder))))
+                .map(|i| {
+                    Mutex::new(Shard::new(
+                        base + usize::from(i < remainder),
+                        byte_base + usize::from(i < byte_remainder),
+                        ttl,
+                    ))
+                })
                 .collect(),
             hasher: RandomState::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -177,8 +387,11 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         &self.shards[index]
     }
 
-    /// Looks `key` up, refreshing its recency and counting a hit or miss.
-    pub fn get(&self, key: &K) -> Option<V> {
+    /// Looks `key` up, refreshing its recency and counting a provisional
+    /// hit or miss (see the type docs for how callers correct these).
+    /// Returns the value with an opaque generation token identifying the
+    /// exact insertion the caller saw, for use with [`ShardedLru::reject`].
+    pub fn get(&self, key: &K) -> Option<(V, u64)> {
         let value = self.shard_for(key).lock().expect("cache lock").touch(key);
         match &value {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -187,13 +400,61 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         value
     }
 
-    /// Inserts (or refreshes) an entry, evicting the least recently used
-    /// entry of the target shard when it is full.
-    pub fn insert(&self, key: K, value: V) {
+    /// Re-probes `key` after waiting on another thread's in-flight insert
+    /// for the same key. On success the caller's earlier counted miss is
+    /// reclassified as a coalesced hit; on failure nothing is counted (the
+    /// earlier miss stands).
+    ///
+    /// Must only be called after a counted miss ([`ShardedLru::get`]
+    /// returned `None`, or a hit was [rejected](ShardedLru::reject)) for
+    /// the same logical lookup, otherwise the counters drift.
+    pub fn get_after_wait(&self, key: &K) -> Option<(V, u64)> {
+        let value = self.shard_for(key).lock().expect("cache lock").touch(key);
+        if value.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_sub(1, Ordering::Relaxed);
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Rejects a counted hit whose value failed the caller's verification
+    /// (stored-frame mismatch or distortion over budget): the entry is
+    /// removed so other workers stop paying for the known-bad value, and
+    /// the hit is reclassified as a miss plus a rejection.
+    ///
+    /// `generation` is the token returned by the [`ShardedLru::get`] that
+    /// produced the rejected value; the entry is only removed while it is
+    /// still that insertion, so a slow verifier never evicts a fresh
+    /// replacement another worker installed in the meantime.
+    pub fn reject(&self, key: &K, generation: u64) {
+        self.shard_for(key)
+            .lock()
+            .expect("cache lock")
+            .remove_generation(key, generation);
+        self.hits.fetch_sub(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rejects a hit obtained from [`ShardedLru::get_after_wait`]: like
+    /// [`ShardedLru::reject`], but also reverses the coalesced
+    /// reclassification the successful re-probe made, so the lookup ends
+    /// as a plain miss plus a rejection.
+    pub fn reject_after_wait(&self, key: &K, generation: u64) {
+        self.reject(key, generation);
+        self.coalesced.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Inserts (or refreshes) an entry weighing `bytes`, evicting least
+    /// recently used entries of the target shard until both the entry cap
+    /// and the byte cap hold. Returns whether the entry was admitted (an
+    /// entry larger than its shard's whole byte budget is refused).
+    pub fn insert(&self, key: K, value: V, bytes: usize) -> bool {
         self.shard_for(&key)
             .lock()
             .expect("cache lock")
-            .insert(key, value);
+            .insert(key, value, bytes)
     }
 
     /// Number of entries currently cached (sums all shards).
@@ -209,49 +470,176 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         self.len() == 0
     }
 
-    /// Number of lookups that found an entry.
+    /// Resident bytes currently charged across all shards.
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").bytes)
+            .sum()
+    }
+
+    /// Number of lookups that were served from the cache (including
+    /// coalesced hits, excluding rejected ones).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Number of lookups that found nothing.
+    /// Number of lookups that were not served from the cache (including
+    /// rejected hits, excluding coalesced misses).
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Number of hits that were rejected by the caller's verification.
+    pub fn rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Relaxed)
+    }
+
+    /// Number of misses that were served by another thread's concurrent
+    /// insert instead of a redundant computation.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
 }
 
-/// Exact-mode key: the full frame content plus the distortion budget.
+/// A per-key single-flight table: the first thread to [`FlightTable::join`]
+/// a key becomes the *leader* (and computes the value); threads joining
+/// while the leader is in flight block on the condvar and are told they
+/// waited, so they can re-probe the cache instead of recomputing.
+#[derive(Debug, Default)]
+pub(crate) struct FlightTable<K> {
+    inflight: Mutex<HashSet<K>>,
+    done: Condvar,
+}
+
+/// The outcome of joining a flight.
+pub(crate) enum Flight<'a, K: Hash + Eq + Clone> {
+    /// This thread owns the fit; the guard clears the in-flight marker and
+    /// wakes waiters when dropped (including on panic or error).
+    Leader(#[allow(dead_code)] FlightGuard<'a, K>),
+    /// Another thread ran the fit while we waited; re-probe the cache.
+    Waited,
+}
+
+/// RAII marker for flight leadership; see [`Flight::Leader`].
+pub(crate) struct FlightGuard<'a, K: Hash + Eq + Clone> {
+    table: &'a FlightTable<K>,
+    key: K,
+}
+
+impl<K: Hash + Eq + Clone> FlightTable<K> {
+    pub(crate) fn new() -> Self {
+        FlightTable {
+            inflight: Mutex::new(HashSet::new()),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Joins the flight for `key`: returns leadership if no fit is in
+    /// flight, otherwise blocks until the current leader finishes.
+    pub(crate) fn join(&self, key: &K) -> Flight<'_, K> {
+        let mut inflight: MutexGuard<'_, HashSet<K>> = self.inflight.lock().expect("flight lock");
+        if inflight.insert(key.clone()) {
+            return Flight::Leader(FlightGuard {
+                table: self,
+                key: key.clone(),
+            });
+        }
+        while inflight.contains(key) {
+            inflight = self.done.wait(inflight).expect("flight lock");
+        }
+        Flight::Waited
+    }
+}
+
+impl<K: Hash + Eq + Clone> Drop for FlightGuard<'_, K> {
+    fn drop(&mut self) {
+        let mut inflight = self
+            .table
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inflight.remove(&self.key);
+        self.table.done.notify_all();
+    }
+}
+
+/// Exact-mode key: frame shape, 128-bit content hash, and budget band.
 ///
-/// The pixel buffer is shared behind an [`Arc`]; equality compares the
-/// actual bytes, so a hit is a proof that the identical frame was served
-/// before with the identical budget.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// The hash is computed in one allocation-free pass over the pixel buffer;
+/// the stored entry keeps the frame bytes so every hit is verified against
+/// the actual content (a collision is rejected, never served).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct ExactKey {
     width: u32,
     height: u32,
-    pixels: Arc<[u8]>,
-    budget_bits: u64,
+    content_hash: u128,
+    budget_band: u32,
 }
 
 impl ExactKey {
-    pub(crate) fn of(frame: &GrayImage, max_distortion: f64) -> Self {
+    pub(crate) fn of(frame: &GrayImage, seed: u64, budget_band: u32) -> Self {
         ExactKey {
             width: frame.width(),
             height: frame.height(),
-            pixels: frame.as_raw().into(),
-            budget_bits: max_distortion.to_bits(),
+            content_hash: content_hash128(frame.as_raw(), seed),
+            budget_band,
         }
     }
 }
 
+/// Exact-mode value: the stored frame bytes (for hit verification) plus the
+/// shared outcome to replay. Cloning is two `Arc` bumps.
+#[derive(Debug, Clone)]
+pub(crate) struct ExactEntry {
+    pixels: Arc<[u8]>,
+    pub(crate) outcome: Arc<ScalingOutcome>,
+}
+
+impl ExactEntry {
+    pub(crate) fn new(frame: &GrayImage, outcome: Arc<ScalingOutcome>) -> Self {
+        ExactEntry {
+            pixels: frame.as_raw().into(),
+            outcome,
+        }
+    }
+
+    /// Whether the stored frame is byte-identical to `frame` (hash-collision
+    /// guard on the hit path; one memcmp, no allocation).
+    pub(crate) fn matches(&self, frame: &GrayImage) -> bool {
+        self.pixels[..] == *frame.as_raw()
+    }
+
+    /// Bytes this entry charges against the cache budget: stored pixels,
+    /// displayed image, LUT, and fixed struct overhead.
+    pub(crate) fn weight(&self) -> usize {
+        self.pixels.len() + outcome_bytes(&self.outcome) + std::mem::size_of::<Self>()
+    }
+}
+
+/// Bytes a cached outcome holds resident: the displayed image, the LUT, the
+/// policy name and the struct itself.
+pub(crate) fn outcome_bytes(outcome: &ScalingOutcome) -> usize {
+    outcome.displayed.pixel_count()
+        + 256
+        + outcome.policy.len()
+        + std::mem::size_of::<ScalingOutcome>()
+}
+
+/// Bytes a cached transform holds resident: its control points, the LUT and
+/// the struct itself.
+pub(crate) fn transform_bytes(transform: &FrameTransform) -> usize {
+    std::mem::size_of_val(transform.curve.points()) + 256 + std::mem::size_of::<FrameTransform>()
+}
+
 /// Approximate-mode key: the quantized histogram signature plus frame shape
-/// and budget.
+/// and budget band.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct SignatureKey {
     width: u32,
     height: u32,
     signature: HistogramSignature,
-    budget_bits: u64,
+    budget_band: u32,
 }
 
 impl SignatureKey {
@@ -259,44 +647,115 @@ impl SignatureKey {
         frame: &GrayImage,
         histogram: &Histogram,
         resolution: u8,
-        max_distortion: f64,
+        budget_band: u32,
     ) -> Self {
         SignatureKey {
             width: frame.width(),
             height: frame.height(),
             signature: HistogramSignature::with_resolution(histogram, resolution),
-            budget_bits: max_distortion.to_bits(),
+            budget_band,
         }
     }
+}
+
+/// The exact-mode cache: store, single-flight table, hash seed and band
+/// width.
+#[derive(Debug)]
+pub(crate) struct ExactCache {
+    pub(crate) store: ShardedLru<ExactKey, ExactEntry>,
+    pub(crate) flights: FlightTable<ExactKey>,
+    pub(crate) seed: u64,
+    pub(crate) band_width: f64,
+}
+
+/// The approximate-mode cache: store, single-flight table, signature
+/// resolution and band width.
+#[derive(Debug)]
+pub(crate) struct ApproximateCache {
+    pub(crate) store: ShardedLru<SignatureKey, FrameTransform>,
+    pub(crate) flights: FlightTable<SignatureKey>,
+    pub(crate) resolution: u8,
+    pub(crate) band_width: f64,
+}
+
+/// The served-lookup counters of a transformation cache's underlying
+/// [`ShardedLru`], snapshotted for reconciliation against `EngineStats`.
+///
+/// On every serving path these agree with the engine's own accounting:
+/// `hits`/`misses` match `EngineStats::cache_hits`/`cache_misses`, and
+/// `rejections`/`coalesced` match `cache_rejected`/`cache_coalesced`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups served from the cache (including coalesced hits).
+    pub hits: u64,
+    /// Lookups that ran a full fit (including rejected hits).
+    pub misses: u64,
+    /// Hits rejected by verification (content mismatch or distortion over
+    /// the requesting budget).
+    pub rejections: u64,
+    /// Misses served by another worker's concurrent fit.
+    pub coalesced: u64,
 }
 
 /// The engine's transformation cache in one of its two keying modes.
 #[derive(Debug)]
 pub(crate) enum TransformCache {
-    Exact(ShardedLru<ExactKey, Arc<ScalingOutcome>>),
-    Approximate {
-        store: ShardedLru<SignatureKey, FrameTransform>,
-        resolution: u8,
-    },
+    Exact(ExactCache),
+    Approximate(ApproximateCache),
 }
 
 impl TransformCache {
     pub(crate) fn new(config: &CacheConfig) -> Self {
+        let byte_budget = config.byte_budget.unwrap_or(usize::MAX);
         match config.mode {
-            CacheMode::Exact => {
-                TransformCache::Exact(ShardedLru::new(config.capacity, config.shards))
-            }
-            CacheMode::Approximate => TransformCache::Approximate {
-                store: ShardedLru::new(config.capacity, config.shards),
+            CacheMode::Exact => TransformCache::Exact(ExactCache {
+                store: ShardedLru::bounded(config.capacity, config.shards, byte_budget, config.ttl),
+                flights: FlightTable::new(),
+                // Random per cache so exact-key collisions cannot be
+                // precomputed by adversarial frame content.
+                seed: RandomState::new().hash_one(0x4845_4253u32),
+                band_width: config.budget_band_width,
+            }),
+            CacheMode::Approximate => TransformCache::Approximate(ApproximateCache {
+                store: ShardedLru::bounded(config.capacity, config.shards, byte_budget, config.ttl),
+                flights: FlightTable::new(),
                 resolution: config.signature_resolution,
-            },
+                band_width: config.budget_band_width,
+            }),
         }
     }
 
     pub(crate) fn len(&self) -> usize {
         match self {
-            TransformCache::Exact(store) => store.len(),
-            TransformCache::Approximate { store, .. } => store.len(),
+            TransformCache::Exact(cache) => cache.store.len(),
+            TransformCache::Approximate(cache) => cache.store.len(),
+        }
+    }
+
+    /// Resident bytes currently charged across all shards.
+    pub(crate) fn bytes(&self) -> usize {
+        match self {
+            TransformCache::Exact(cache) => cache.store.bytes(),
+            TransformCache::Approximate(cache) => cache.store.bytes(),
+        }
+    }
+
+    /// Served hit/miss/rejection/coalesced counters of the underlying
+    /// store (for reconciliation against `EngineStats`).
+    pub(crate) fn counters(&self) -> CacheCounters {
+        match self {
+            TransformCache::Exact(cache) => CacheCounters {
+                hits: cache.store.hits(),
+                misses: cache.store.misses(),
+                rejections: cache.store.rejections(),
+                coalesced: cache.store.coalesced(),
+            },
+            TransformCache::Approximate(cache) => CacheCounters {
+                hits: cache.store.hits(),
+                misses: cache.store.misses(),
+                rejections: cache.store.rejections(),
+                coalesced: cache.store.coalesced(),
+            },
         }
     }
 }
@@ -305,44 +764,202 @@ impl TransformCache {
 mod tests {
     use super::*;
 
+    /// Strips the generation token for assertions on the value alone.
+    fn value<V>(entry: Option<(V, u64)>) -> Option<V> {
+        entry.map(|(v, _)| v)
+    }
+
     #[test]
     fn lru_get_and_insert_round_trip() {
         let lru: ShardedLru<u32, u32> = ShardedLru::new(8, 2);
         assert!(lru.is_empty());
         assert_eq!(lru.get(&1), None);
-        lru.insert(1, 10);
-        assert_eq!(lru.get(&1), Some(10));
+        assert!(lru.insert(1, 10, 4));
+        assert_eq!(value(lru.get(&1)), Some(10));
         assert_eq!(lru.hits(), 1);
         assert_eq!(lru.misses(), 1);
         assert_eq!(lru.len(), 1);
+        assert_eq!(lru.bytes(), 4);
     }
 
     #[test]
     fn lru_evicts_the_least_recently_used_entry() {
         // One shard so the eviction order is fully observable.
         let lru: ShardedLru<u32, u32> = ShardedLru::new(3, 1);
-        lru.insert(1, 1);
-        lru.insert(2, 2);
-        lru.insert(3, 3);
+        lru.insert(1, 1, 1);
+        lru.insert(2, 2, 1);
+        lru.insert(3, 3, 1);
         // Refresh 1 so 2 becomes the victim.
-        assert_eq!(lru.get(&1), Some(1));
-        lru.insert(4, 4);
+        assert_eq!(value(lru.get(&1)), Some(1));
+        lru.insert(4, 4, 1);
         assert_eq!(lru.len(), 3);
         assert_eq!(lru.get(&2), None, "LRU entry should have been evicted");
-        assert_eq!(lru.get(&1), Some(1));
-        assert_eq!(lru.get(&3), Some(3));
-        assert_eq!(lru.get(&4), Some(4));
+        assert_eq!(value(lru.get(&1)), Some(1));
+        assert_eq!(value(lru.get(&3)), Some(3));
+        assert_eq!(value(lru.get(&4)), Some(4));
     }
 
     #[test]
     fn reinserting_updates_without_evicting() {
         let lru: ShardedLru<u32, u32> = ShardedLru::new(2, 1);
-        lru.insert(1, 1);
-        lru.insert(2, 2);
-        lru.insert(1, 100);
+        lru.insert(1, 1, 8);
+        lru.insert(2, 2, 8);
+        lru.insert(1, 100, 16);
         assert_eq!(lru.len(), 2);
-        assert_eq!(lru.get(&1), Some(100));
-        assert_eq!(lru.get(&2), Some(2));
+        assert_eq!(lru.bytes(), 24, "replacement recharges the new weight");
+        assert_eq!(value(lru.get(&1)), Some(100));
+        assert_eq!(value(lru.get(&2)), Some(2));
+    }
+
+    #[test]
+    fn byte_budget_evicts_before_the_entry_cap() {
+        // Entry cap 8 but only 100 bytes: three 40-byte entries cannot
+        // coexist.
+        let lru: ShardedLru<u32, u32> = ShardedLru::bounded(8, 1, 100, None);
+        lru.insert(1, 1, 40);
+        lru.insert(2, 2, 40);
+        assert_eq!(lru.len(), 2);
+        lru.insert(3, 3, 40);
+        assert_eq!(lru.len(), 2, "third 40B entry must evict the LRU");
+        assert!(lru.bytes() <= 100);
+        assert_eq!(lru.get(&1), None, "oldest entry evicted by byte pressure");
+        assert_eq!(value(lru.get(&2)), Some(2));
+        assert_eq!(value(lru.get(&3)), Some(3));
+    }
+
+    #[test]
+    fn oversized_entries_are_refused_not_thrashed() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::bounded(8, 1, 100, None);
+        lru.insert(1, 1, 30);
+        assert!(
+            !lru.insert(2, 2, 1000),
+            "an entry above the whole shard budget is refused"
+        );
+        assert_eq!(lru.len(), 1, "the resident entry survives");
+        assert_eq!(value(lru.get(&1)), Some(1));
+        assert!(lru.bytes() <= 100);
+    }
+
+    #[test]
+    fn ttl_expires_entries_on_lookup() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::bounded(8, 1, usize::MAX, Some(Duration::ZERO));
+        lru.insert(1, 1, 4);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&1), None, "zero TTL expires immediately");
+        assert_eq!(lru.len(), 0, "expired entry is dropped");
+        assert_eq!(lru.bytes(), 0);
+        assert_eq!(lru.misses(), 1);
+    }
+
+    #[test]
+    fn misses_do_not_advance_the_recency_tick() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(4, 1);
+        lru.insert(1, 1, 1);
+        let tick_before = lru.shards[0].lock().unwrap().tick;
+        for key in 100..200u32 {
+            assert_eq!(lru.get(&key), None);
+        }
+        let tick_after = lru.shards[0].lock().unwrap().tick;
+        assert_eq!(
+            tick_before, tick_after,
+            "miss traffic must not burn recency ticks"
+        );
+        assert_eq!(value(lru.get(&1)), Some(1));
+        assert_eq!(lru.shards[0].lock().unwrap().tick, tick_before + 1);
+    }
+
+    #[test]
+    fn reject_reclassifies_a_hit_and_removes_the_entry() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(4, 1);
+        lru.insert(1, 1, 4);
+        let (_, generation) = lru.get(&1).unwrap();
+        lru.reject(&1, generation);
+        assert_eq!(lru.hits(), 0, "rejected hit no longer counts as served");
+        assert_eq!(lru.misses(), 1);
+        assert_eq!(lru.rejections(), 1);
+        assert_eq!(lru.len(), 0, "rejected entry is removed");
+        assert_eq!(lru.bytes(), 0);
+    }
+
+    #[test]
+    fn stale_reject_never_evicts_a_fresh_replacement() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(4, 1);
+        lru.insert(1, 1, 4);
+        let (_, stale) = lru.get(&1).unwrap();
+        // Another worker rejects and refits while our verification is slow.
+        lru.insert(1, 2, 4);
+        lru.reject(&1, stale);
+        assert_eq!(
+            value(lru.get(&1)),
+            Some(2),
+            "the fresh replacement must survive a stale rejection"
+        );
+        assert_eq!(lru.rejections(), 1, "the rejection itself still counts");
+    }
+
+    #[test]
+    fn get_after_wait_reclassifies_a_miss_as_a_coalesced_hit() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(4, 1);
+        assert_eq!(lru.get(&1), None); // counted miss
+        lru.insert(1, 7, 4); // "another worker's" fit lands
+        assert_eq!(value(lru.get_after_wait(&1)), Some(7));
+        assert_eq!(lru.hits(), 1);
+        assert_eq!(lru.misses(), 0, "the wait converted the miss");
+        assert_eq!(lru.coalesced(), 1);
+
+        // A failed re-probe leaves the miss standing.
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get_after_wait(&2), None);
+        assert_eq!(lru.misses(), 1);
+        assert_eq!(lru.coalesced(), 1);
+    }
+
+    #[test]
+    fn reject_after_wait_reverses_the_coalesced_reclassification() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::new(4, 1);
+        assert_eq!(lru.get(&1), None); // counted miss
+        lru.insert(1, 7, 4);
+        let (_, generation) = lru.get_after_wait(&1).unwrap();
+        // The waited-for fit fails this caller's (stricter) verification.
+        lru.reject_after_wait(&1, generation);
+        assert_eq!(lru.hits(), 0);
+        assert_eq!(lru.misses(), 1, "the lookup ends as a plain miss");
+        assert_eq!(lru.coalesced(), 0, "the coalesced credit is reversed");
+        assert_eq!(lru.rejections(), 1);
+        assert_eq!(lru.len(), 0);
+    }
+
+    #[test]
+    fn flight_table_elects_exactly_one_leader_per_key() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+
+        let table: FlightTable<u32> = FlightTable::new();
+        let fits = AtomicUsize::new(0);
+        let waits = AtomicUsize::new(0);
+        let barrier = Barrier::new(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    match table.join(&42) {
+                        Flight::Leader(_guard) => {
+                            // Hold leadership long enough that the others
+                            // must wait rather than racing past the flight.
+                            std::thread::sleep(Duration::from_millis(20));
+                            fits.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Flight::Waited => {
+                            waits.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(fits.load(Ordering::SeqCst), 1, "one leader");
+        assert_eq!(waits.load(Ordering::SeqCst), 3, "everyone else waited");
+        // The table is clean afterwards: a new join leads immediately.
+        assert!(matches!(table.join(&42), Flight::Leader(_)));
     }
 
     #[test]
@@ -354,8 +971,8 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..200u32 {
                         let key = (t * 200 + i) % 96;
-                        lru.insert(key, key * 2);
-                        assert_eq!(lru.get(&key), Some(key * 2));
+                        lru.insert(key, key * 2, 8);
+                        assert_eq!(value(lru.get(&key)), Some(key * 2));
                     }
                 });
             }
@@ -365,13 +982,58 @@ mod tests {
     }
 
     #[test]
-    fn exact_keys_compare_frame_content() {
+    fn content_hash_is_deterministic_and_content_sensitive() {
+        let a = vec![7u8; 1000];
+        let mut b = a.clone();
+        b[999] = 8;
+        assert_eq!(content_hash128(&a, 1), content_hash128(&a, 1));
+        assert_ne!(content_hash128(&a, 1), content_hash128(&b, 1));
+        assert_ne!(content_hash128(&a, 1), content_hash128(&a, 2), "seeded");
+        assert_ne!(
+            content_hash128(&a[..999], 1),
+            content_hash128(&a, 1),
+            "length-sensitive"
+        );
+        assert_ne!(
+            content_hash128(&[0u8; 7], 1),
+            content_hash128(&[0u8; 8], 1),
+            "zero tails of different lengths differ"
+        );
+    }
+
+    #[test]
+    fn exact_keys_compare_frame_content_without_copying() {
         let a = GrayImage::filled(8, 8, 10);
         let b = GrayImage::filled(8, 8, 10);
         let c = GrayImage::filled(8, 8, 11);
-        assert_eq!(ExactKey::of(&a, 0.1), ExactKey::of(&b, 0.1));
-        assert_ne!(ExactKey::of(&a, 0.1), ExactKey::of(&c, 0.1));
-        assert_ne!(ExactKey::of(&a, 0.1), ExactKey::of(&a, 0.2));
+        assert_eq!(ExactKey::of(&a, 9, 1), ExactKey::of(&b, 9, 1));
+        assert_ne!(ExactKey::of(&a, 9, 1), ExactKey::of(&c, 9, 1));
+        assert_ne!(
+            ExactKey::of(&a, 9, 1),
+            ExactKey::of(&a, 9, 2),
+            "budget band is part of the key"
+        );
+    }
+
+    #[test]
+    fn exact_entries_verify_stored_content() {
+        let frame = GrayImage::filled(8, 8, 10);
+        let other = GrayImage::filled(8, 8, 11);
+        let outcome = Arc::new(dummy_outcome(&frame));
+        let entry = ExactEntry::new(&frame, outcome);
+        assert!(entry.matches(&frame));
+        assert!(!entry.matches(&other));
+        assert!(
+            entry.weight() >= 2 * frame.pixel_count() + 256,
+            "weight charges stored pixels, displayed image and LUT"
+        );
+    }
+
+    fn dummy_outcome(frame: &GrayImage) -> ScalingOutcome {
+        use hebs_core::{BacklightPolicy, HebsPolicy, PipelineConfig};
+        HebsPolicy::closed_loop(PipelineConfig::default())
+            .optimize(frame, 0.10)
+            .expect("fit succeeds")
     }
 
     #[test]
@@ -379,10 +1041,17 @@ mod tests {
         let a = GrayImage::filled(16, 16, 100);
         let wide = GrayImage::filled(32, 8, 100);
         assert_ne!(
-            SignatureKey::of(&a, &Histogram::of(&a), 16, 0.1),
-            SignatureKey::of(&wide, &Histogram::of(&wide), 16, 0.1),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1),
+            SignatureKey::of(&wide, &Histogram::of(&wide), 16, 1),
             "frame shape is part of the key"
         );
+    }
+
+    #[test]
+    fn budget_bands_quantize_budgets() {
+        assert_eq!(budget_band(0.10, 0.01), budget_band(0.105, 0.01));
+        assert_ne!(budget_band(0.10, 0.01), budget_band(0.12, 0.01));
+        assert_eq!(budget_band(0.30, 0.5), budget_band(0.01, 0.5));
     }
 
     #[test]
@@ -392,10 +1061,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "byte budget must be nonzero")]
+    fn zero_byte_budget_rejected() {
+        let _: ShardedLru<u32, u32> = ShardedLru::bounded(8, 1, 0, None);
+    }
+
+    #[test]
     fn total_capacity_is_never_exceeded_when_shards_do_not_divide_it() {
         let lru: ShardedLru<u32, u32> = ShardedLru::new(10, 8);
         for key in 0..200u32 {
-            lru.insert(key, key);
+            lru.insert(key, key, 1);
         }
         assert!(lru.len() <= 10, "{} entries exceed capacity 10", lru.len());
     }
@@ -403,9 +1078,9 @@ mod tests {
     #[test]
     fn shard_count_clamped_to_capacity() {
         let lru: ShardedLru<u32, u32> = ShardedLru::new(2, 64);
-        lru.insert(1, 1);
-        lru.insert(2, 2);
-        lru.insert(3, 3);
+        lru.insert(1, 1, 1);
+        lru.insert(2, 2, 1);
+        lru.insert(3, 3, 1);
         assert!(lru.len() <= 2);
     }
 }

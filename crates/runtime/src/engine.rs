@@ -22,12 +22,15 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hebs_core::{BacklightPolicy, HebsError, HebsPolicy, ScalingOutcome};
+use hebs_core::{BacklightPolicy, FrameTransform, HebsError, HebsPolicy, ScalingOutcome};
 use hebs_imaging::{GrayImage, Histogram};
 
-use crate::cache::{CacheConfig, ExactKey, SignatureKey, TransformCache};
+use crate::cache::{
+    budget_band, transform_bytes, ApproximateCache, CacheConfig, ExactCache, ExactEntry, ExactKey,
+    SignatureKey, TransformCache,
+};
 use crate::error::{Result, RuntimeError};
-use crate::stats::{EngineStats, StatsCollector};
+use crate::stats::{EngineStats, ServeKind, StatsCollector};
 
 /// Configuration of the serving engine.
 #[derive(Debug, Clone)]
@@ -172,68 +175,228 @@ struct EngineInner {
     totals: StatsCollector,
 }
 
+/// The result of one trip through `EngineInner::serve`: the outcome (or the
+/// pipeline error), how the cache was involved, and how many cached
+/// candidates were rejected by verification along the way.
+struct Served {
+    outcome: std::result::Result<Arc<ScalingOutcome>, HebsError>,
+    kind: ServeKind,
+    rejections: u64,
+}
+
 impl EngineInner {
     /// Serves one frame through the cache (when enabled) or the full policy.
-    fn serve(
-        &self,
-        frame: &GrayImage,
-    ) -> std::result::Result<(Arc<ScalingOutcome>, bool), HebsError> {
+    fn serve(&self, frame: &GrayImage, budget: f64) -> Served {
         match &self.cache {
-            None => Ok((
-                Arc::new(self.policy.optimize(frame, self.max_distortion)?),
-                false,
-            )),
-            Some(TransformCache::Exact(store)) => {
-                let key = ExactKey::of(frame, self.max_distortion);
-                if let Some(outcome) = store.get(&key) {
-                    return Ok((outcome, true));
-                }
-                let outcome = Arc::new(self.policy.optimize(frame, self.max_distortion)?);
-                store.insert(key, Arc::clone(&outcome));
-                Ok((outcome, false))
-            }
-            Some(TransformCache::Approximate { store, resolution }) => {
-                let histogram = Histogram::of(frame);
-                let key = SignatureKey::of(frame, &histogram, *resolution, self.max_distortion);
-                if let Some(transform) = store.get(&key) {
-                    let outcome = self.policy.apply_frame_transform(frame, &transform)?;
-                    // The fit came from a *near*-identical frame; honour the
-                    // policy's distortion contract by only serving it when
-                    // this frame's measured distortion is within budget.
-                    // Otherwise fall through to a full fit and refresh the
-                    // entry. (A frame that is infeasible even for a full fit
-                    // keeps missing, which is correct if not cheap.)
-                    if outcome.distortion <= self.max_distortion {
-                        return Ok((Arc::new(outcome), true));
-                    }
-                }
-                let (outcome, transform) = self.policy.optimize_with_transform_using_histogram(
-                    frame,
-                    &histogram,
-                    self.max_distortion,
-                )?;
-                store.insert(key, transform);
-                Ok((Arc::new(outcome), false))
+            None => Served {
+                outcome: self.policy.optimize(frame, budget).map(Arc::new),
+                kind: ServeKind::Uncached,
+                rejections: 0,
+            },
+            Some(TransformCache::Exact(cache)) => self.serve_exact(cache, frame, budget),
+            Some(TransformCache::Approximate(cache)) => {
+                self.serve_approximate(cache, frame, budget)
             }
         }
     }
 
-    /// Serves one frame and records its latency in the cumulative stats.
-    fn serve_timed(&self, index: usize, frame: &GrayImage) -> Result<FrameResult> {
-        let start = Instant::now();
-        let served = self.serve(frame);
-        let latency = start.elapsed();
-        let cache_hit = match &served {
-            Ok((_, hit)) => Some(*hit),
-            Err(_) => None,
+    /// Exact mode: probe by content hash, verify the stored frame and the
+    /// cached fit's measured distortion on a hit, and run at most one fit
+    /// per key across all concurrent workers (single flight).
+    ///
+    /// The hit path performs zero full-frame allocations: the key is a hash
+    /// computed in place, verification is one memcmp, and the returned
+    /// outcome is a shared `Arc`.
+    fn serve_exact(&self, cache: &ExactCache, frame: &GrayImage, budget: f64) -> Served {
+        let key = ExactKey::of(frame, cache.seed, budget_band(budget, cache.band_width));
+        let mut rejections = 0u64;
+        let satisfies =
+            |entry: &ExactEntry| entry.matches(frame) && entry.outcome.distortion <= budget;
+        if let Some((entry, generation)) = cache.store.get(&key) {
+            if satisfies(&entry) {
+                return Served {
+                    outcome: Ok(entry.outcome),
+                    kind: ServeKind::Hit,
+                    rejections,
+                };
+            }
+            // Hash collision or a same-band fit whose measured distortion
+            // exceeds this (stricter) budget: evict it so other workers
+            // stop paying for the known-bad entry, and refit.
+            cache.store.reject(&key, generation);
+            rejections += 1;
+        }
+        // Single flight: the first misser leads (holding the guard for the
+        // duration of its fit); concurrent missers wait. Everyone re-probes
+        // after joining — a waiter picks up the leader's freshly inserted
+        // fit, and a late leader (one whose probe raced a completing fit)
+        // avoids a redundant fit. A thread whose re-probe cannot serve it
+        // (nothing inserted, or the fit fails its stricter budget) falls
+        // through to its own fit in parallel rather than re-queueing, so an
+        // uncacheable key (e.g. an entry refused as oversized) degrades to
+        // v1's concurrent fits instead of serializing them.
+        let _flight = cache.flights.join(&key);
+        if let Some((entry, generation)) = cache.store.get_after_wait(&key) {
+            if satisfies(&entry) {
+                return Served {
+                    outcome: Ok(entry.outcome),
+                    kind: ServeKind::CoalescedHit,
+                    rejections,
+                };
+            }
+            cache.store.reject_after_wait(&key, generation);
+            rejections += 1;
+        }
+        let outcome = match self.policy.optimize(frame, budget) {
+            Ok(outcome) => Arc::new(outcome),
+            Err(err) => {
+                return Served {
+                    outcome: Err(err),
+                    kind: ServeKind::Miss,
+                    rejections,
+                }
+            }
         };
+        let entry = ExactEntry::new(frame, Arc::clone(&outcome));
+        let weight = entry.weight();
+        cache.store.insert(key, entry, weight);
+        Served {
+            outcome: Ok(outcome),
+            kind: ServeKind::Miss,
+            rejections,
+        }
+    }
+
+    /// Approximate mode: probe by quantized histogram signature, re-apply
+    /// the cached transform to the actual frame and honour the policy's
+    /// distortion contract by only serving it when this frame's measured
+    /// distortion is within the requesting budget. Misses are single-flight
+    /// like the exact mode. (A frame that is infeasible even for a full fit
+    /// keeps missing, which is correct if not cheap.)
+    fn serve_approximate(
+        &self,
+        cache: &ApproximateCache,
+        frame: &GrayImage,
+        budget: f64,
+    ) -> Served {
+        let histogram = Histogram::of(frame);
+        let key = SignatureKey::of(
+            frame,
+            &histogram,
+            cache.resolution,
+            budget_band(budget, cache.band_width),
+        );
+        let mut rejections = 0u64;
+        // Checks a cached transform against the actual frame. `Ok(Some)` is
+        // a servable outcome; `Ok(None)` means the entry was rejected (and
+        // evicted — only while it is still the generation we looked at, so
+        // a slow apply never throws away a fresh concurrent refit — so
+        // workers refit or coalesce onto our refit instead of repeatedly
+        // paying a wasted apply on the known-bad transform); `Err`
+        // propagates an apply failure.
+        let check = |transform: FrameTransform,
+                     generation: u64,
+                     after_wait: bool,
+                     rejections: &mut u64|
+         -> std::result::Result<Option<ScalingOutcome>, HebsError> {
+            match self.policy.apply_frame_transform(frame, &transform) {
+                Ok(outcome) if outcome.distortion <= budget => Ok(Some(outcome)),
+                Ok(_) => {
+                    if after_wait {
+                        cache.store.reject_after_wait(&key, generation);
+                    } else {
+                        cache.store.reject(&key, generation);
+                    }
+                    *rejections += 1;
+                    Ok(None)
+                }
+                Err(err) => {
+                    if after_wait {
+                        cache.store.reject_after_wait(&key, generation);
+                    } else {
+                        cache.store.reject(&key, generation);
+                    }
+                    *rejections += 1;
+                    Err(err)
+                }
+            }
+        };
+        if let Some((transform, generation)) = cache.store.get(&key) {
+            match check(transform, generation, false, &mut rejections) {
+                Ok(Some(outcome)) => {
+                    return Served {
+                        outcome: Ok(Arc::new(outcome)),
+                        kind: ServeKind::Hit,
+                        rejections,
+                    }
+                }
+                Ok(None) => {}
+                Err(err) => {
+                    return Served {
+                        outcome: Err(err),
+                        kind: ServeKind::Miss,
+                        rejections,
+                    }
+                }
+            }
+        }
+        // Single flight, exactly as the exact mode: lead or wait, re-probe,
+        // and fall through to a parallel fit when the re-probe cannot serve
+        // this frame's budget.
+        let _flight = cache.flights.join(&key);
+        if let Some((transform, generation)) = cache.store.get_after_wait(&key) {
+            match check(transform, generation, true, &mut rejections) {
+                Ok(Some(outcome)) => {
+                    return Served {
+                        outcome: Ok(Arc::new(outcome)),
+                        kind: ServeKind::CoalescedHit,
+                        rejections,
+                    }
+                }
+                Ok(None) => {}
+                Err(err) => {
+                    return Served {
+                        outcome: Err(err),
+                        kind: ServeKind::Miss,
+                        rejections,
+                    }
+                }
+            }
+        }
+        let (outcome, transform) = match self
+            .policy
+            .optimize_with_transform_using_histogram(frame, &histogram, budget)
+        {
+            Ok(fit) => fit,
+            Err(err) => {
+                return Served {
+                    outcome: Err(err),
+                    kind: ServeKind::Miss,
+                    rejections,
+                }
+            }
+        };
+        let weight = transform_bytes(&transform);
+        cache.store.insert(key, transform, weight);
+        Served {
+            outcome: Ok(Arc::new(outcome)),
+            kind: ServeKind::Miss,
+            rejections,
+        }
+    }
+
+    /// Serves one frame and records its latency in the cumulative stats.
+    fn serve_timed(&self, index: usize, frame: &GrayImage, budget: f64) -> Result<FrameResult> {
+        let start = Instant::now();
+        let served = self.serve(frame, budget);
+        let latency = start.elapsed();
         self.totals
-            .record_frame(latency, self.cache.as_ref().and(cache_hit));
-        let (outcome, hit) = served.map_err(RuntimeError::Core)?;
+            .record_frame(latency, served.kind, served.rejections);
+        let outcome = served.outcome.map_err(RuntimeError::Core)?;
         Ok(FrameResult {
             index,
             outcome,
-            cache_hit: hit,
+            cache_hit: served.kind.is_hit(),
             latency,
         })
     }
@@ -309,6 +472,21 @@ impl Engine {
                     reason: "must be nonzero".to_string(),
                 });
             }
+            if cache.byte_budget == Some(0) {
+                return Err(RuntimeError::InvalidConfig {
+                    name: "cache.byte_budget",
+                    reason: "must be nonzero (use None for unbounded)".to_string(),
+                });
+            }
+            if !cache.budget_band_width.is_finite()
+                || cache.budget_band_width <= 0.0
+                || cache.budget_band_width > 1.0
+            {
+                return Err(RuntimeError::InvalidConfig {
+                    name: "cache.budget_band_width",
+                    reason: format!("{} is outside (0, 1]", cache.budget_band_width),
+                });
+            }
         }
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
@@ -344,9 +522,12 @@ impl Engine {
         self.inner.max_distortion
     }
 
-    /// Cumulative statistics over everything this engine has served.
+    /// Cumulative statistics over everything this engine has served,
+    /// including the bytes currently resident in the transformation cache.
     pub fn stats(&self) -> EngineStats {
-        self.inner.totals.snapshot()
+        let mut stats = self.inner.totals.snapshot();
+        stats.cache_bytes = self.cached_bytes() as u64;
+        stats
     }
 
     /// Number of fitted transforms currently cached (0 when the cache is
@@ -355,13 +536,54 @@ impl Engine {
         self.inner.cache.as_ref().map_or(0, TransformCache::len)
     }
 
+    /// Bytes currently resident in the transformation cache (0 when the
+    /// cache is disabled). Each entry charges its stored pixels, displayed
+    /// image and LUT against the configured byte budget.
+    pub fn cached_bytes(&self) -> usize {
+        self.inner.cache.as_ref().map_or(0, TransformCache::bytes)
+    }
+
+    /// The cache's own served-lookup counters (`None` when the cache is
+    /// disabled), for reconciliation against [`Engine::stats`]: on every
+    /// serving path — hits, misses, single-flight waits and rejected hits —
+    /// these agree with the engine's accounting.
+    pub fn cache_counters(&self) -> Option<crate::CacheCounters> {
+        self.inner.cache.as_ref().map(TransformCache::counters)
+    }
+
     /// Serves a single frame synchronously on the calling thread.
     ///
     /// # Errors
     ///
     /// Propagates policy and display errors.
     pub fn process_frame(&self, frame: &GrayImage) -> Result<FrameResult> {
-        self.inner.serve_timed(0, frame)
+        self.inner.serve_timed(0, frame, self.inner.max_distortion)
+    }
+
+    /// Serves a single frame with a per-request distortion budget instead
+    /// of the engine-wide one.
+    ///
+    /// Budgets that quantize into the same band (see
+    /// [`CacheConfig::budget_band_width`]) share cache entries: a fit made
+    /// for a strict budget serves looser requests in its band directly,
+    /// and a cached fit is only replayed when its *measured* distortion
+    /// satisfies the requesting budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidBudget`] if `max_distortion` is
+    /// outside `[0, 1]`; otherwise propagates policy and display errors.
+    pub fn process_frame_with_budget(
+        &self,
+        frame: &GrayImage,
+        max_distortion: f64,
+    ) -> Result<FrameResult> {
+        if !(0.0..=1.0).contains(&max_distortion) || !max_distortion.is_finite() {
+            return Err(RuntimeError::InvalidBudget {
+                budget: max_distortion,
+            });
+        }
+        self.inner.serve_timed(0, frame, max_distortion)
     }
 
     /// Serves a batch of frames across the worker pool and returns the
@@ -389,7 +611,9 @@ impl Engine {
                     if index >= frames.len() {
                         break;
                     }
-                    let result = self.inner.serve_timed(index, &frames[index]);
+                    let result =
+                        self.inner
+                            .serve_timed(index, &frames[index], self.inner.max_distortion);
                     slots.lock().expect("batch result lock")[index] = Some(result);
                 });
             }
@@ -436,7 +660,7 @@ impl Engine {
             handles.push(std::thread::spawn(move || loop {
                 let next = feed_rx.lock().expect("stream feed lock").recv();
                 let Ok((index, frame)) = next else { break };
-                let result = inner.serve_timed(index, &frame);
+                let result = inner.serve_timed(index, &frame, inner.max_distortion);
                 if out_tx.send(Sequenced { index, result }).is_err() {
                     break; // Consumer went away; stop serving.
                 }
@@ -842,6 +1066,126 @@ mod tests {
         let result = b.process_frame(&frame).unwrap();
         assert!(result.cache_hit, "clones share one cache");
         assert_eq!(b.stats().frames, 2);
+    }
+
+    #[test]
+    fn cache_v2_configs_are_validated() {
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let bad_bytes = EngineConfig {
+            cache: Some(CacheConfig::default().with_byte_budget(Some(0))),
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            Engine::new(policy, bad_bytes),
+            Err(RuntimeError::InvalidConfig {
+                name: "cache.byte_budget",
+                ..
+            })
+        ));
+
+        let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+        let bad_band = EngineConfig {
+            cache: Some(CacheConfig::default().with_budget_band_width(0.0)),
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            Engine::new(policy, bad_band),
+            Err(RuntimeError::InvalidConfig {
+                name: "cache.budget_band_width",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn per_request_budgets_are_validated() {
+        let engine = engine(EngineConfig::default());
+        let frame = synthetic::portrait(16, 16, 1);
+        assert!(matches!(
+            engine.process_frame_with_budget(&frame, 1.5),
+            Err(RuntimeError::InvalidBudget { .. })
+        ));
+        assert!(matches!(
+            engine.process_frame_with_budget(&frame, f64::NAN),
+            Err(RuntimeError::InvalidBudget { .. })
+        ));
+    }
+
+    /// Regression: `ShardedLru` hit/miss counters must agree with
+    /// `EngineStats` on every path, including the rejected-hit path where
+    /// a cached fit fails the distortion recheck for a stricter budget.
+    #[test]
+    fn lru_counters_agree_with_engine_stats_on_exact_rejections() {
+        // One wide band so a loose-budget fit and a strict-budget request
+        // share cache entries.
+        let engine = engine(EngineConfig {
+            workers: 1,
+            max_distortion: 0.30,
+            cache: Some(CacheConfig::exact().with_budget_band_width(0.5)),
+            ..EngineConfig::default()
+        });
+        let frame = synthetic::portrait(32, 32, 3);
+
+        let loose = engine.process_frame(&frame).unwrap();
+        assert!(!loose.cache_hit);
+        assert!(loose.outcome.distortion > 0.02, "loose fit uses its budget");
+
+        // Stricter budget in the same band: the cached fit's measured
+        // distortion exceeds it, so the hit is rejected and a refit runs.
+        let strict = engine.process_frame_with_budget(&frame, 0.02).unwrap();
+        assert!(!strict.cache_hit, "rejected hit must surface as a miss");
+        assert!(strict.outcome.distortion <= 0.02);
+
+        // The strict refit replaced the entry, so a loose request is now
+        // served by the stricter fit: cross-budget sharing.
+        let shared = engine.process_frame_with_budget(&frame, 0.30).unwrap();
+        assert!(shared.cache_hit, "stricter fit serves the looser budget");
+        assert!(shared.outcome.distortion <= 0.02);
+
+        let stats = engine.stats();
+        assert_eq!(stats.frames, 3);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.cache_rejected, 1);
+        let counters = engine.cache_counters().unwrap();
+        assert_eq!(counters.hits, stats.cache_hits, "lru hits drifted");
+        assert_eq!(counters.misses, stats.cache_misses, "lru misses drifted");
+        assert_eq!(
+            counters.rejections, stats.cache_rejected,
+            "lru rejections drifted"
+        );
+        assert_eq!(
+            counters.coalesced, stats.cache_coalesced,
+            "lru coalesced drifted"
+        );
+    }
+
+    /// Same reconciliation for the approximate mode, whose rejection path
+    /// (serve-time distortion recheck) is where the v1 counters drifted.
+    #[test]
+    fn lru_counters_agree_with_engine_stats_on_approximate_rejections() {
+        let engine = engine(EngineConfig {
+            workers: 1,
+            max_distortion: 0.30,
+            cache: Some(CacheConfig::approximate().with_budget_band_width(0.5)),
+            ..EngineConfig::default()
+        });
+        let frame = synthetic::portrait(32, 32, 3);
+
+        let loose = engine.process_frame(&frame).unwrap();
+        assert!(!loose.cache_hit);
+        let strict = engine.process_frame_with_budget(&frame, 0.02).unwrap();
+        assert!(!strict.cache_hit, "over-budget replay must count as a miss");
+        assert!(strict.outcome.distortion <= 0.02);
+
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits + stats.cache_misses, stats.frames);
+        assert_eq!(stats.cache_rejected, 1);
+        let counters = engine.cache_counters().unwrap();
+        assert_eq!(counters.hits, stats.cache_hits);
+        assert_eq!(counters.misses, stats.cache_misses);
+        assert_eq!(counters.rejections, stats.cache_rejected);
+        assert_eq!(counters.coalesced, stats.cache_coalesced);
     }
 
     #[test]

@@ -18,6 +18,12 @@ pub enum RuntimeError {
         /// Why it was rejected.
         reason: String,
     },
+    /// A per-request distortion budget (see
+    /// `Engine::process_frame_with_budget`) was outside `[0, 1]`.
+    InvalidBudget {
+        /// The rejected budget.
+        budget: f64,
+    },
     /// An error from the HEBS pipeline while serving a frame.
     Core(HebsError),
     /// A stream worker was lost (panicked) before delivering this frame's
@@ -45,6 +51,9 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::InvalidConfig { name, reason } => {
                 write!(f, "invalid engine configuration: {name}: {reason}")
+            }
+            RuntimeError::InvalidBudget { budget } => {
+                write!(f, "distortion budget {budget} is outside [0, 1]")
             }
             RuntimeError::Core(err) => write!(f, "pipeline error: {err}"),
             RuntimeError::FrameLost { index } => {
@@ -94,6 +103,10 @@ mod tests {
         let err: RuntimeError = HebsError::InvalidDynamicRange { range: 300 }.into();
         assert!(err.to_string().contains("300"));
         assert!(err.source().is_some());
+
+        let err = RuntimeError::InvalidBudget { budget: 1.5 };
+        assert!(err.to_string().contains("1.5"));
+        assert!(err.source().is_none());
     }
 
     #[test]

@@ -10,17 +10,23 @@
 //!   pulls from a producer iterator through bounded queues so a saturated
 //!   pool exerts backpressure instead of buffering unboundedly. Results are
 //!   always yielded in input order.
-//! * **A transformation cache** — a sharded LRU ([`ShardedLru`]) keyed
-//!   either by exact frame content ([`CacheMode::Exact`], bit-identical
-//!   replay) or by a quantized histogram signature
-//!   ([`CacheMode::Approximate`]): near-identical consecutive video frames
-//!   reuse the fitted transformation (the expensive GHE + dynamic-program
-//!   stage) and only re-run the cheap per-frame application. This exploits
-//!   the same observation as hardware HE implementations: the transform
-//!   changes slowly relative to the frame rate, so the programmed LUT can be
-//!   reused across frames.
-//! * **Serving statistics** — per-frame latency, throughput and cache
-//!   hit-rate reporting via [`BatchReport`] and [`EngineStats`].
+//! * **A transformation cache** — a byte-budgeted sharded LRU
+//!   ([`ShardedLru`]) keyed either by a 128-bit content hash of the frame
+//!   ([`CacheMode::Exact`]; the stored frame is verified on every hit, so
+//!   replay is bit-identical and the lookup never copies the pixel buffer)
+//!   or by a quantized histogram signature ([`CacheMode::Approximate`]):
+//!   near-identical consecutive video frames reuse the fitted
+//!   transformation (the expensive GHE + dynamic-program stage) and only
+//!   re-run the cheap per-frame application. Concurrent misses on the same
+//!   key are *single-flight*: one worker fits while the others wait and
+//!   share the result. Distortion budgets are quantized into bands, so a
+//!   fit whose measured distortion satisfies a stricter budget is shared
+//!   across budgets. This exploits the same observation as hardware HE
+//!   implementations: the transform changes slowly relative to the frame
+//!   rate, so the programmed LUT can be reused across frames.
+//! * **Serving statistics** — per-frame latency, throughput, cache
+//!   hit-rate, rejected-hit, coalesced-miss and resident-byte reporting via
+//!   [`BatchReport`] and [`EngineStats`].
 //!
 //! # Example
 //!
@@ -56,7 +62,10 @@ mod engine;
 mod error;
 mod stats;
 
-pub use cache::{CacheConfig, CacheMode, ShardedLru};
+pub use cache::{
+    CacheConfig, CacheCounters, CacheMode, ShardedLru, DEFAULT_BUDGET_BAND_WIDTH,
+    DEFAULT_BYTE_BUDGET,
+};
 pub use engine::{BatchReport, Engine, EngineConfig, FrameResult, FrameStream};
 pub use error::{Result, RuntimeError};
 pub use stats::EngineStats;

@@ -3,32 +3,71 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// How one frame was served relative to the transformation cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ServeKind {
+    /// The cache is disabled; nothing to count.
+    Uncached,
+    /// Served from a cached fit found by the first probe.
+    Hit,
+    /// The first probe missed, but another worker's concurrent fit for the
+    /// same key served this frame after a single-flight wait.
+    CoalescedHit,
+    /// Served by running the full fit (including fits that failed).
+    Miss,
+}
+
+impl ServeKind {
+    /// Whether the frame was served from the cache.
+    pub(crate) fn is_hit(self) -> bool {
+        matches!(self, ServeKind::Hit | ServeKind::CoalescedHit)
+    }
+}
+
 /// Cumulative counters shared by all workers of an engine.
 #[derive(Debug, Default)]
 pub(crate) struct StatsCollector {
     frames: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_coalesced: AtomicU64,
+    cache_rejected: AtomicU64,
     busy_nanos: AtomicU64,
 }
 
 impl StatsCollector {
-    pub(crate) fn record_frame(&self, latency: Duration, cache_hit: Option<bool>) {
+    pub(crate) fn record_frame(&self, latency: Duration, kind: ServeKind, rejections: u64) {
         self.frames.fetch_add(1, Ordering::Relaxed);
         self.busy_nanos
             .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
-        match cache_hit {
-            Some(true) => self.cache_hits.fetch_add(1, Ordering::Relaxed),
-            Some(false) => self.cache_misses.fetch_add(1, Ordering::Relaxed),
-            None => 0,
-        };
+        match kind {
+            ServeKind::Uncached => {}
+            ServeKind::Hit => {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            ServeKind::CoalescedHit => {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.cache_coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+            ServeKind::Miss => {
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if rejections > 0 {
+            self.cache_rejected.fetch_add(rejections, Ordering::Relaxed);
+        }
     }
 
+    /// Snapshots the cumulative counters. `cache_bytes` is a point-in-time
+    /// quantity owned by the cache, so the engine fills it in afterwards.
     pub(crate) fn snapshot(&self) -> EngineStats {
         EngineStats {
             frames: self.frames.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_coalesced: self.cache_coalesced.load(Ordering::Relaxed),
+            cache_rejected: self.cache_rejected.load(Ordering::Relaxed),
+            cache_bytes: 0,
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
         }
     }
@@ -39,10 +78,23 @@ impl StatsCollector {
 pub struct EngineStats {
     /// Total frames served since the engine was created.
     pub frames: u64,
-    /// Cache lookups that reused a fitted transform or outcome.
+    /// Frames served from a cached fit (includes coalesced hits, excludes
+    /// rejected ones).
     pub cache_hits: u64,
-    /// Cache lookups that had to run the full fit.
+    /// Frames that ran the full fit (includes frames whose cached candidate
+    /// was rejected by verification).
     pub cache_misses: u64,
+    /// Subset of `cache_hits` that initially missed but were served by
+    /// another worker's concurrent fit for the same key (single-flight
+    /// coalescing) instead of running a redundant fit.
+    pub cache_coalesced: u64,
+    /// Cached entries rejected by verification — a stored-frame mismatch or
+    /// a measured distortion over the requesting budget. Each rejection
+    /// evicted the entry and triggered a refit (or a coalesced wait).
+    pub cache_rejected: u64,
+    /// Bytes resident in the transformation cache when the snapshot was
+    /// taken (0 when the cache is disabled).
+    pub cache_bytes: u64,
     /// Total worker time spent serving frames (sums across workers, so it
     /// can exceed wall-clock time on a pool).
     pub busy: Duration,
@@ -80,9 +132,9 @@ mod tests {
     #[test]
     fn collector_accumulates_and_snapshots() {
         let collector = StatsCollector::default();
-        collector.record_frame(Duration::from_millis(2), Some(true));
-        collector.record_frame(Duration::from_millis(4), Some(false));
-        collector.record_frame(Duration::from_millis(6), None);
+        collector.record_frame(Duration::from_millis(2), ServeKind::Hit, 0);
+        collector.record_frame(Duration::from_millis(4), ServeKind::Miss, 0);
+        collector.record_frame(Duration::from_millis(6), ServeKind::Uncached, 0);
         let stats = collector.snapshot();
         assert_eq!(stats.frames, 3);
         assert_eq!(stats.cache_hits, 1);
@@ -93,9 +145,23 @@ mod tests {
     }
 
     #[test]
+    fn coalesced_and_rejected_counters_accumulate() {
+        let collector = StatsCollector::default();
+        collector.record_frame(Duration::from_millis(1), ServeKind::CoalescedHit, 0);
+        collector.record_frame(Duration::from_millis(1), ServeKind::Miss, 1);
+        collector.record_frame(Duration::from_millis(1), ServeKind::CoalescedHit, 1);
+        let stats = collector.snapshot();
+        assert_eq!(stats.cache_hits, 2, "coalesced hits count as hits");
+        assert_eq!(stats.cache_coalesced, 2);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_rejected, 2);
+    }
+
+    #[test]
     fn empty_stats_have_safe_defaults() {
         let stats = EngineStats::default();
         assert_eq!(stats.cache_hit_rate(), 0.0);
         assert_eq!(stats.mean_latency(), Duration::ZERO);
+        assert_eq!(stats.cache_bytes, 0);
     }
 }

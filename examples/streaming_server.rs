@@ -19,17 +19,19 @@ use hebs::runtime::{CacheConfig, Engine, EngineConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build the engine: pooled workers, bounded queues, and the
     //    signature-keyed cache so near-identical consecutive frames reuse
-    //    the fitted transformation.
+    //    the fitted transformation. The cache is bounded in bytes (not just
+    //    entries) so a production deployment can size it to a memory
+    //    budget; concurrent misses on one key collapse into a single fit.
     let policy = HebsPolicy::closed_loop(PipelineConfig::default());
     let config = EngineConfig {
         workers: 0, // auto-detect
         queue_depth: 8,
         max_distortion: 0.10,
-        cache: Some(CacheConfig::approximate()),
+        cache: Some(CacheConfig::approximate().with_byte_budget(Some(8 << 20))),
     };
     let engine = Engine::new(policy, config)?;
     println!(
-        "engine up: {} workers, 10% distortion budget, approximate cache",
+        "engine up: {} workers, 10% distortion budget, approximate cache (8 MiB)",
         engine.workers()
     );
 
@@ -67,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // 4. Session summary.
+    // 4. Session summary, including the v2 cache accounting: how many
+    //    misses were coalesced onto another worker's in-flight fit, how
+    //    many cached candidates failed the serve-time distortion recheck,
+    //    and how much memory the cache holds resident.
     let stats = engine.stats();
     println!("\nserved {served} frames, {hits} cache hits");
     println!(
@@ -75,6 +80,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.frames,
         stats.cache_hit_rate() * 100.0,
         stats.mean_latency().as_secs_f64() * 1e3,
+    );
+    println!(
+        "cache: {} coalesced misses, {} rejected hits, {:.1} KiB resident",
+        stats.cache_coalesced,
+        stats.cache_rejected,
+        stats.cache_bytes as f64 / 1024.0,
     );
     Ok(())
 }
