@@ -13,7 +13,7 @@ use hebs_bench::TextTable;
 use hebs_core::{BacklightPolicy, BlendMode, HebsPolicy, PipelineConfig};
 use hebs_display::plrd::HierarchicalPlrd;
 use hebs_imaging::{SipiImage, SipiSuite};
-use hebs_quality::HebsDistortion;
+use hebs_quality::{HebsDistortion, SharedMeasure};
 
 fn mean_saving(
     config: PipelineConfig,
@@ -102,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("plain UIQI", HebsDistortion::without_hvs()),
     ] {
         let config = PipelineConfig {
-            measure,
+            measure: SharedMeasure::new(measure),
             ..PipelineConfig::default()
         };
         let (saving, distortion) = mean_saving(config, &images, budget)?;

@@ -1,0 +1,82 @@
+//! Fit latency versus frame size: the histogram-domain engine's flat curve.
+//!
+//! ```text
+//! cargo run --release -p hebs-bench --bin fit_scaling [--quick] [--json <path>]
+//! ```
+//!
+//! HEBS's fit is a function of the histogram, not the frame, so with a
+//! histogram-capable distortion measure one fit evaluation costs
+//! O(candidates × 256) *regardless of pixel count*. This harness times one
+//! blend-search fit at three target ranges on synthetic frames from 1x to
+//! 16x the base pixel count, through three paths:
+//!
+//! * `histogram` — the level-space fit (never reads a pixel): flat.
+//! * `pixel` — the *same* global-UIQI measure forced down the pixel path
+//!   (the pre-refactor behaviour): scales linearly with pixels.
+//! * `windowed` — the paper's HVS + SSIM measure, which is inherently
+//!   pixel-bound: scales linearly with a much larger constant.
+
+use hebs_bench::{fit_scaling_json, run_fit_scaling, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| {
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .cloned()
+                .ok_or("--json requires a file path argument")
+        })
+        .transpose()?;
+    let (base, repeats) = if quick { (32u32, 2usize) } else { (96, 5) };
+    let scales = [1u32, 2, 3, 4]; // 1x, 4x, 9x, 16x pixels
+
+    println!("HEBS fit latency vs. frame size (base {base}x{base}, {repeats} repeats)");
+    println!("one row per frame scale; columns are mean per-fit latency\n");
+
+    let rows = run_fit_scaling(base, &scales, repeats)?;
+
+    let mut table = TextTable::new([
+        "frame",
+        "pixels",
+        "vs 1x",
+        "histogram fit [us]",
+        "pixel fit [us]",
+        "windowed fit [us]",
+    ]);
+    let base_pixels = rows.first().map_or(1, |r| r.pixels);
+    for row in &rows {
+        table.push_row([
+            format!("{}x{}", row.width, row.width),
+            row.pixels.to_string(),
+            format!("{}x", row.pixels / base_pixels.max(1)),
+            format!("{:.1}", row.histogram_fit.as_secs_f64() * 1e6),
+            format!("{:.1}", row.pixel_fit.as_secs_f64() * 1e6),
+            format!("{:.1}", row.windowed_fit.as_secs_f64() * 1e6),
+        ]);
+    }
+    println!("{table}");
+
+    if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+        let growth = |a: std::time::Duration, b: std::time::Duration| {
+            b.as_secs_f64() / a.as_secs_f64().max(1e-12)
+        };
+        println!(
+            "1x -> {}x pixels: histogram fit grew {:.2}x (flat within noise), \
+             pixel path {:.2}x, windowed path {:.2}x",
+            last.pixels / first.pixels.max(1),
+            growth(first.histogram_fit, last.histogram_fit),
+            growth(first.pixel_fit, last.pixel_fit),
+            growth(first.windowed_fit, last.windowed_fit),
+        );
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, fit_scaling_json(base, repeats, &rows))?;
+        println!("wrote machine-readable results to {path}");
+    }
+    Ok(())
+}

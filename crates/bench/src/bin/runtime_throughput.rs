@@ -1,24 +1,39 @@
 //! Runtime throughput bench: single thread vs. worker pool vs. worker pool
-//! plus transformation cache.
+//! plus transformation cache vs. the histogram-domain fit path.
 //!
 //! ```text
 //! cargo run --release -p hebs-bench --bin runtime_throughput
 //! ```
 //!
 //! Serves the synthetic SIPI suite (with repeats) and two synthetic video
-//! sequences through `hebs_runtime::Engine` in three configurations and
-//! prints wall-clock throughput, latency, cache hit rates, resident cache
-//! bytes and single-flight coalescing counts. Run with `--quick` for a fast
-//! smoke-test configuration, and with `--check` to also verify the cache's
-//! contract (byte budget respected, single-flight collapses a miss storm
-//! into one fit, counters reconcile) and exit nonzero on a violation —
-//! CI runs `--quick --check` so cache regressions fail the build.
+//! sequences through `hebs_runtime::Engine` in four configurations and
+//! prints wall-clock throughput, latency quantiles, cache hit rates,
+//! resident cache bytes, single-flight coalescing counts and fit-evaluation
+//! counts. Run with `--quick` for a fast smoke-test configuration, with
+//! `--check` to also verify the cache's contract (byte budget respected,
+//! single-flight collapses a miss storm into one fit, counters reconcile)
+//! and exit nonzero on a violation, and with `--json <path>` to write the
+//! machine-readable results CI uploads as an artifact so the bench
+//! trajectory can be tracked across PRs.
 
-use hebs_bench::{run_runtime_throughput, verify_cache_invariants, TextTable};
+use hebs_bench::{
+    run_runtime_throughput, runtime_throughput_json, verify_cache_invariants, TextTable,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let check = std::env::args().any(|a| a == "--check");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| {
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .cloned()
+                .ok_or("--json requires a file path argument")
+        })
+        .transpose()?;
     let (frame_size, video_frames) = if quick { (32, 16) } else { (96, 96) };
     let budget = 0.10;
 
@@ -41,11 +56,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "wall [ms]",
         "fps",
         "mean lat [ms]",
+        "p50 lat [ms]",
         "p95 lat [ms]",
         "hit rate",
         "bytes [KiB]",
         "coalesced",
         "rejected",
+        "fit evals",
         "saving",
     ]);
     for row in &rows {
@@ -57,30 +74,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.1}", row.wall_time.as_secs_f64() * 1e3),
             format!("{:.1}", row.throughput_fps),
             format!("{:.2}", row.mean_latency.as_secs_f64() * 1e3),
+            format!("{:.2}", row.p50_latency.as_secs_f64() * 1e3),
             format!("{:.2}", row.p95_latency.as_secs_f64() * 1e3),
             format!("{:.0}%", row.cache_hit_rate * 100.0),
             format!("{:.1}", row.cache_bytes as f64 / 1024.0),
             row.cache_coalesced.to_string(),
             row.cache_rejected.to_string(),
+            row.fit_evaluations.to_string(),
             format!("{:.1}%", row.mean_power_saving * 100.0),
         ]);
     }
     println!("{table}");
 
-    // Headline speedups per workload: pooled and pooled+cache vs. the
+    // Headline speedups per workload: each configuration vs. the
     // single-thread baseline.
-    let mut summary = TextTable::new(["workload", "pool speedup", "pool+cache speedup"]);
-    for chunk in rows.chunks(3) {
-        let [single, pooled, cached] = chunk else {
+    let mut summary = TextTable::new([
+        "workload",
+        "pool speedup",
+        "pool+cache speedup",
+        "histogram-fit speedup",
+    ]);
+    for chunk in rows.chunks(4) {
+        let [single, pooled, cached, histogram] = chunk else {
             continue;
         };
         summary.push_row([
             single.workload.clone(),
             format!("{:.2}x", pooled.throughput_fps / single.throughput_fps),
             format!("{:.2}x", cached.throughput_fps / single.throughput_fps),
+            format!("{:.2}x", histogram.throughput_fps / single.throughput_fps),
         ]);
     }
     println!("{summary}");
+
+    if let Some(path) = json_path {
+        std::fs::write(
+            &path,
+            runtime_throughput_json(budget, frame_size, video_frames, &rows),
+        )?;
+        println!("wrote machine-readable results to {path}");
+    }
 
     if check {
         verify_cache_invariants(frame_size)?;

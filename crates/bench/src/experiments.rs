@@ -5,13 +5,17 @@
 //! it. Keeping the logic here lets the Criterion benches and the integration
 //! tests reuse exactly the same code paths.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hebs_core::{
+    pipeline::{evaluate_at_range_scratch, evaluate_range_from_histogram, FitScratch},
     BacklightPolicy, CbcsPolicy, DistortionCharacteristic, DlsPolicy, DlsVariant, HebsPolicy,
     PipelineConfig, TargetRange,
 };
-use hebs_imaging::{FrameSequence, GrayImage, SceneKind, SipiImage, SipiSuite};
+use hebs_imaging::{
+    synthetic, FrameSequence, GrayImage, Histogram, SceneKind, SipiImage, SipiSuite,
+};
+use hebs_quality::{DistortionMeasure, GlobalUiqiDistortion};
 use hebs_runtime::{CacheConfig, Engine, EngineConfig};
 
 /// One row of the Table 1 reproduction: the savings and measured distortions
@@ -220,6 +224,8 @@ pub struct RuntimeThroughputRow {
     pub throughput_fps: f64,
     /// Mean per-frame serving latency.
     pub mean_latency: Duration,
+    /// Median per-frame serving latency.
+    pub p50_latency: Duration,
     /// 95th-percentile per-frame serving latency.
     pub p95_latency: Duration,
     /// Fraction of frames served from the transformation cache.
@@ -232,6 +238,9 @@ pub struct RuntimeThroughputRow {
     /// Cached candidates rejected by verification (distortion recheck or
     /// stored-frame mismatch).
     pub cache_rejected: u64,
+    /// Candidate fits evaluated across the workload (cache replays count
+    /// zero) — the work the histogram-domain fit path makes O(levels).
+    pub fit_evaluations: u64,
     /// Mean fractional power saving over the workload.
     pub mean_power_saving: f64,
 }
@@ -299,10 +308,18 @@ pub fn run_runtime_throughput(
 ) -> hebs_runtime::Result<Vec<RuntimeThroughputRow>> {
     let mut rows = Vec::new();
     for (workload, cache_for_workload, frames) in runtime_workloads(frame_size, video_frames) {
-        let configurations: Vec<(&str, EngineConfig)> = vec![
-            ("single-thread", EngineConfig::sequential(budget)),
+        // The fourth configuration swaps in a histogram-capable distortion
+        // measure (global UIQI): the same pooled, cached engine, but every
+        // fit runs in O(levels) instead of O(pixels).
+        let configurations: Vec<(&str, PipelineConfig, EngineConfig)> = vec![
+            (
+                "single-thread",
+                PipelineConfig::default(),
+                EngineConfig::sequential(budget),
+            ),
             (
                 "pooled",
+                PipelineConfig::default(),
                 EngineConfig {
                     workers,
                     max_distortion: budget,
@@ -312,6 +329,17 @@ pub fn run_runtime_throughput(
             ),
             (
                 "pooled+cache",
+                PipelineConfig::default(),
+                EngineConfig {
+                    workers,
+                    max_distortion: budget,
+                    cache: Some(cache_for_workload.clone()),
+                    ..EngineConfig::default()
+                },
+            ),
+            (
+                "histogram-fit",
+                PipelineConfig::default().with_measure(GlobalUiqiDistortion),
                 EngineConfig {
                     workers,
                     max_distortion: budget,
@@ -320,8 +348,8 @@ pub fn run_runtime_throughput(
                 },
             ),
         ];
-        for (name, config) in configurations {
-            let engine = Engine::new(HebsPolicy::closed_loop(PipelineConfig::default()), config)?;
+        for (name, pipeline, config) in configurations {
+            let engine = Engine::new(HebsPolicy::closed_loop(pipeline), config)?;
             let report = engine.process_batch(&frames)?;
             let stats = engine.stats();
             rows.push(RuntimeThroughputRow {
@@ -332,14 +360,134 @@ pub fn run_runtime_throughput(
                 wall_time: report.wall_time,
                 throughput_fps: report.throughput_fps(),
                 mean_latency: report.mean_latency(),
+                p50_latency: report.latency_quantile(0.50),
                 p95_latency: report.latency_quantile(0.95),
                 cache_hit_rate: report.cache_hit_rate(),
                 cache_bytes: stats.cache_bytes,
                 cache_coalesced: stats.cache_coalesced,
                 cache_rejected: stats.cache_rejected,
+                fit_evaluations: stats.fit_evaluations,
                 mean_power_saving: report.mean_power_saving(),
             });
         }
+    }
+    Ok(rows)
+}
+
+/// One row of the fit-latency-versus-frame-size experiment.
+#[derive(Debug, Clone)]
+pub struct FitScalingRow {
+    /// Linear scale factor over the base frame edge (pixels scale with its
+    /// square: 1x, 4x, 9x, 16x …).
+    pub scale: u32,
+    /// Frame edge in pixels (frames are square).
+    pub width: u32,
+    /// Total pixels per frame.
+    pub pixels: usize,
+    /// Mean latency of one histogram-domain fit (level space, O(levels)).
+    pub histogram_fit: Duration,
+    /// Mean latency of the same global measure forced down the pixel path
+    /// (the pre-refactor behaviour, O(pixels)).
+    pub pixel_fit: Duration,
+    /// Mean latency of a fit under the paper's windowed HVS + SSIM measure
+    /// (inherently pixel-bound).
+    pub windowed_fit: Duration,
+}
+
+/// Global UIQI forced down the pixel path: identical numbers to
+/// [`GlobalUiqiDistortion`], but it declines the histogram-domain entry
+/// point — the "old path" comparator of the fit-scaling experiment.
+#[derive(Debug, Clone, Copy)]
+struct PixelPathUiqi;
+
+impl DistortionMeasure for PixelPathUiqi {
+    fn distortion(&self, original: &GrayImage, transformed: &GrayImage) -> f64 {
+        GlobalUiqiDistortion.distortion(original, transformed)
+    }
+
+    fn name(&self) -> &'static str {
+        "uiqi-global-pixel"
+    }
+}
+
+/// Measures fit latency against frame size: the histogram-domain path
+/// (flat — it never reads a pixel), the same measure through the pixel
+/// path, and the windowed default (both scaling with the pixel count).
+///
+/// Each row times `repeats` fits at each of three target ranges on a
+/// synthetic frame of edge `base × scale` and reports the mean per-fit
+/// latency.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn run_fit_scaling(
+    base: u32,
+    scales: &[u32],
+    repeats: usize,
+) -> hebs_core::Result<Vec<FitScalingRow>> {
+    let spans = [220u32, 160, 100];
+    let histogram_config = PipelineConfig::default().with_measure(GlobalUiqiDistortion);
+    let pixel_config = PipelineConfig::default().with_measure(PixelPathUiqi);
+    let windowed_config = PipelineConfig::default();
+    let mut rows = Vec::new();
+    for &scale in scales {
+        let width = base * scale;
+        let image = synthetic::still_life(width, width, 7);
+        let histogram = Histogram::of(&image);
+        let mut scratch = FitScratch::default();
+
+        // Warm every path once so first-touch effects are off the clock.
+        for &span in &spans {
+            let target = TargetRange::from_span(span)?;
+            evaluate_range_from_histogram(&histogram_config, &histogram, target)?
+                .expect("global UIQI is histogram-capable");
+            evaluate_at_range_scratch(&pixel_config, &image, &histogram, target, &mut scratch)?;
+            evaluate_at_range_scratch(&windowed_config, &image, &histogram, target, &mut scratch)?;
+        }
+
+        let fits = (repeats.max(1) * spans.len()) as u32;
+        let started = Instant::now();
+        for _ in 0..repeats.max(1) {
+            for &span in &spans {
+                let target = TargetRange::from_span(span)?;
+                evaluate_range_from_histogram(&histogram_config, &histogram, target)?;
+            }
+        }
+        let histogram_fit = started.elapsed() / fits;
+
+        let started = Instant::now();
+        for _ in 0..repeats.max(1) {
+            for &span in &spans {
+                let target = TargetRange::from_span(span)?;
+                evaluate_at_range_scratch(&pixel_config, &image, &histogram, target, &mut scratch)?;
+            }
+        }
+        let pixel_fit = started.elapsed() / fits;
+
+        let started = Instant::now();
+        for _ in 0..repeats.max(1) {
+            for &span in &spans {
+                let target = TargetRange::from_span(span)?;
+                evaluate_at_range_scratch(
+                    &windowed_config,
+                    &image,
+                    &histogram,
+                    target,
+                    &mut scratch,
+                )?;
+            }
+        }
+        let windowed_fit = started.elapsed() / fits;
+
+        rows.push(FitScalingRow {
+            scale,
+            width,
+            pixels: width as usize * width as usize,
+            histogram_fit,
+            pixel_fit,
+            windowed_fit,
+        });
     }
     Ok(rows)
 }
@@ -511,12 +659,19 @@ mod tests {
     #[test]
     fn runtime_throughput_covers_all_workloads_and_configurations() {
         let rows = run_runtime_throughput(0.10, 24, 8, 2).unwrap();
-        // 3 workloads x 3 configurations.
-        assert_eq!(rows.len(), 9);
+        // 3 workloads x 4 configurations.
+        assert_eq!(rows.len(), 12);
         for row in &rows {
             assert!(row.frames > 0);
             assert!(row.throughput_fps > 0.0);
             assert!(row.mean_power_saving > 0.0);
+            assert!(row.p50_latency <= row.p95_latency);
+            assert!(
+                row.fit_evaluations > 0,
+                "{} {}: every workload runs at least one fit",
+                row.workload,
+                row.configuration
+            );
             match row.configuration.as_str() {
                 "single-thread" => assert_eq!(row.workers, 1),
                 _ => assert_eq!(row.workers, 2),
@@ -540,8 +695,25 @@ mod tests {
             );
         }
         // Uncached configurations never report hits.
-        for row in rows.iter().filter(|r| r.configuration != "pooled+cache") {
+        for row in rows
+            .iter()
+            .filter(|r| r.configuration == "single-thread" || r.configuration == "pooled")
+        {
             assert_eq!(row.cache_hit_rate, 0.0);
+        }
+    }
+
+    #[test]
+    fn fit_scaling_rows_cover_the_requested_scales() {
+        let rows = run_fit_scaling(16, &[1, 2], 1).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].width, 16);
+        assert_eq!(rows[1].width, 32);
+        assert_eq!(rows[1].pixels, 1024);
+        for row in &rows {
+            assert!(row.histogram_fit > Duration::ZERO);
+            assert!(row.pixel_fit > Duration::ZERO);
+            assert!(row.windowed_fit > Duration::ZERO);
         }
     }
 

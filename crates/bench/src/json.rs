@@ -1,0 +1,205 @@
+//! Minimal JSON serialization for the bench harnesses.
+//!
+//! The workspace builds without a registry, so there is no `serde`; the
+//! handful of flat report shapes the benches emit are serialized by hand.
+//! `runtime_throughput --json <path>` uses this to produce the
+//! machine-readable artifact CI uploads, so throughput, hit rates and fit
+//! evaluations can be tracked across PRs.
+
+use crate::experiments::{FitScalingRow, RuntimeThroughputRow};
+
+/// Escapes a string for embedding in a JSON document.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` so the output is valid JSON (no `NaN`/`inf` tokens).
+fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes the runtime throughput comparison, with enough run metadata
+/// (budget, frame size) to make artifacts from different PRs comparable.
+pub fn runtime_throughput_json(
+    budget: f64,
+    frame_size: u32,
+    video_frames: usize,
+    rows: &[RuntimeThroughputRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"budget\": {},\n", number(budget)));
+    out.push_str(&format!("  \"frame_size\": {frame_size},\n"));
+    out.push_str(&format!("  \"video_frames\": {video_frames},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"workload\": \"{}\", ", escape(&row.workload)));
+        out.push_str(&format!(
+            "\"configuration\": \"{}\", ",
+            escape(&row.configuration)
+        ));
+        out.push_str(&format!("\"workers\": {}, ", row.workers));
+        out.push_str(&format!("\"frames\": {}, ", row.frames));
+        out.push_str(&format!(
+            "\"wall_ms\": {}, ",
+            number(row.wall_time.as_secs_f64() * 1e3)
+        ));
+        out.push_str(&format!(
+            "\"throughput_fps\": {}, ",
+            number(row.throughput_fps)
+        ));
+        out.push_str(&format!(
+            "\"mean_latency_ms\": {}, ",
+            number(row.mean_latency.as_secs_f64() * 1e3)
+        ));
+        out.push_str(&format!(
+            "\"p50_latency_ms\": {}, ",
+            number(row.p50_latency.as_secs_f64() * 1e3)
+        ));
+        out.push_str(&format!(
+            "\"p95_latency_ms\": {}, ",
+            number(row.p95_latency.as_secs_f64() * 1e3)
+        ));
+        out.push_str(&format!(
+            "\"cache_hit_rate\": {}, ",
+            number(row.cache_hit_rate)
+        ));
+        out.push_str(&format!("\"cache_bytes\": {}, ", row.cache_bytes));
+        out.push_str(&format!("\"cache_coalesced\": {}, ", row.cache_coalesced));
+        out.push_str(&format!("\"cache_rejected\": {}, ", row.cache_rejected));
+        out.push_str(&format!("\"fit_evaluations\": {}, ", row.fit_evaluations));
+        out.push_str(&format!(
+            "\"mean_power_saving\": {}",
+            number(row.mean_power_saving)
+        ));
+        out.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Serializes the fit-latency-versus-frame-size experiment.
+pub fn fit_scaling_json(base: u32, repeats: usize, rows: &[FitScalingRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"base\": {base},\n"));
+    out.push_str(&format!("  \"repeats\": {repeats},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"scale\": {}, ", row.scale));
+        out.push_str(&format!("\"width\": {}, ", row.width));
+        out.push_str(&format!("\"pixels\": {}, ", row.pixels));
+        out.push_str(&format!(
+            "\"histogram_fit_us\": {}, ",
+            number(row.histogram_fit.as_secs_f64() * 1e6)
+        ));
+        out.push_str(&format!(
+            "\"pixel_fit_us\": {}, ",
+            number(row.pixel_fit.as_secs_f64() * 1e6)
+        ));
+        out.push_str(&format!(
+            "\"windowed_fit_us\": {}",
+            number(row.windowed_fit.as_secs_f64() * 1e6)
+        ));
+        out.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn escaping_covers_quotes_and_control_characters() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\t"), "line\\nbreak\\t");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn throughput_json_is_well_formed() {
+        let rows = vec![RuntimeThroughputRow {
+            workload: "suite \"x2\"".to_string(),
+            configuration: "pooled+cache".to_string(),
+            workers: 4,
+            frames: 38,
+            wall_time: Duration::from_millis(120),
+            throughput_fps: 316.7,
+            mean_latency: Duration::from_micros(2500),
+            p50_latency: Duration::from_micros(1900),
+            p95_latency: Duration::from_micros(9000),
+            cache_hit_rate: 0.5,
+            cache_bytes: 4096,
+            cache_coalesced: 2,
+            cache_rejected: 1,
+            fit_evaluations: 77,
+            mean_power_saving: 0.41,
+        }];
+        let json = runtime_throughput_json(0.10, 32, 16, &rows);
+        assert!(json.contains("\"fit_evaluations\": 77"));
+        assert!(json.contains("\"workload\": \"suite \\\"x2\\\"\""));
+        assert!(json.contains("\"p50_latency_ms\": 1.9"));
+        // Braces and brackets balance (a cheap well-formedness check given
+        // no JSON parser in the workspace).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn fit_scaling_json_lists_all_rows() {
+        let rows = vec![
+            FitScalingRow {
+                scale: 1,
+                width: 96,
+                pixels: 9216,
+                histogram_fit: Duration::from_micros(90),
+                pixel_fit: Duration::from_micros(160),
+                windowed_fit: Duration::from_micros(900),
+            },
+            FitScalingRow {
+                scale: 4,
+                width: 384,
+                pixels: 147456,
+                histogram_fit: Duration::from_micros(91),
+                pixel_fit: Duration::from_micros(1800),
+                windowed_fit: Duration::from_micros(14000),
+            },
+        ];
+        let json = fit_scaling_json(96, 3, &rows);
+        assert_eq!(json.matches("\"scale\":").count(), 2);
+        assert!(json.contains("\"histogram_fit_us\": 91"));
+    }
+}

@@ -10,13 +10,15 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
 pub use experiments::{
-    run_baseline_comparison, run_characterization, run_figure8, run_runtime_throughput, run_table1,
-    verify_cache_invariants, BaselineComparison, Figure8Row, RuntimeThroughputRow, Table1Report,
-    Table1Row,
+    run_baseline_comparison, run_characterization, run_figure8, run_fit_scaling,
+    run_runtime_throughput, run_table1, verify_cache_invariants, BaselineComparison, Figure8Row,
+    FitScalingRow, RuntimeThroughputRow, Table1Report, Table1Row,
 };
+pub use json::{fit_scaling_json, runtime_throughput_json};
 pub use table::TextTable;
 
 /// The per-image power savings (%) the paper reports in Table 1, in suite

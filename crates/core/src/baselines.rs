@@ -103,6 +103,7 @@ impl DlsPolicy {
             power_saving,
             lut,
             displayed,
+            fit_evaluations: 1,
         })
     }
 }
@@ -117,18 +118,27 @@ impl BacklightPolicy for DlsPolicy {
         // Distortion grows as β shrinks; walk the grid from dim to bright and
         // return the dimmest feasible setting.
         let mut best: Option<ScalingOutcome> = None;
+        let mut evaluations = 0u32;
         for step in 1..=self.beta_steps {
             let beta = step as f64 / self.beta_steps as f64;
             let outcome = self.evaluate(image, beta)?;
+            evaluations += 1;
             if outcome.distortion <= max_distortion {
                 best = Some(outcome);
                 break;
             }
         }
         match best {
-            Some(outcome) => Ok(outcome),
+            Some(mut outcome) => {
+                outcome.fit_evaluations = evaluations;
+                Ok(outcome)
+            }
             // Nothing feasible: fall back to full backlight (zero saving).
-            None => self.evaluate(image, 1.0),
+            None => {
+                let mut outcome = self.evaluate(image, 1.0)?;
+                outcome.fit_evaluations = evaluations + 1;
+                Ok(outcome)
+            }
         }
     }
 }
@@ -238,6 +248,7 @@ impl CbcsPolicy {
             power_saving,
             lut: programmed.lut,
             displayed,
+            fit_evaluations: 1,
         })
     }
 }
@@ -251,9 +262,11 @@ impl BacklightPolicy for CbcsPolicy {
         check_budget(max_distortion)?;
         let histogram = Histogram::of(image);
         let mut best: Option<ScalingOutcome> = None;
+        let mut evaluations = 0u32;
         for &clip in &self.clip_fractions {
             let band = Self::shortest_band(&histogram, clip);
             let outcome = self.evaluate(image, band)?;
+            evaluations += 1;
             if outcome.distortion > max_distortion {
                 continue;
             }
@@ -266,9 +279,16 @@ impl BacklightPolicy for CbcsPolicy {
             }
         }
         match best {
-            Some(outcome) => Ok(outcome),
+            Some(mut outcome) => {
+                outcome.fit_evaluations = evaluations;
+                Ok(outcome)
+            }
             // Nothing feasible: keep the full range at full backlight.
-            None => self.evaluate(image, (0, 255)),
+            None => {
+                let mut outcome = self.evaluate(image, (0, 255))?;
+                outcome.fit_evaluations = evaluations + 1;
+                Ok(outcome)
+            }
         }
     }
 }

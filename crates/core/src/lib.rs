@@ -53,8 +53,9 @@ pub use characterize::{CharacterizationSample, DistortionCharacteristic, DEFAULT
 pub use error::{HebsError, Result};
 pub use ghe::{GheSolution, TargetRange};
 pub use pipeline::{
-    apply_transform, compute_transform, fit_transform, BlendMode, FrameTransform, PipelineConfig,
-    RangeEvaluation,
+    apply_transform, apply_transform_with_histogram, compute_transform,
+    evaluate_range_from_histogram, evaluate_transform_from_histogram, fit_transform, BlendMode,
+    Evaluation, FitScratch, FrameTransform, PipelineConfig, RangeEvaluation,
 };
 pub use policy::{BacklightPolicy, HebsPolicy, RangeSelection, ScalingOutcome};
 pub use video::{FrameOutcome, VideoPipeline, VideoReport};

@@ -5,20 +5,46 @@
 //! Everything in this module goes through the *hardware path*: the requested
 //! transformation is coarsened to the segment budget of the hierarchical
 //! reference driver, programmed into it (which applies the `1/β` contrast
-//! spreading of Eq. 10 and the DAC quantization), applied to the image, and
-//! the resulting drive values are pushed through the panel and backlight
-//! models. The distortion is then measured between the original image and
-//! the luminance image the panel actually emits — so quantization and
-//! clamping effects of the real circuit are part of every number the
-//! benchmarks report.
+//! spreading of Eq. 10 and the DAC quantization), and the resulting drive
+//! levels are pushed through the panel and backlight models. The distortion
+//! is then measured between the original image and the luminance the panel
+//! actually emits — so quantization and clamping effects of the real
+//! circuit are part of every number the benchmarks report.
+//!
+//! # Histogram-domain evaluation
+//!
+//! The displayed level is a deterministic per-level function of the source
+//! level (the fused [`DisplayResponse`] of `hebs-display`), so every
+//! *global* statistic of the displayed image — mean, variance, covariance,
+//! MSE, power — is exactly computable from the source histogram alone.
+//! When the configured [`DistortionMeasure`] supports the histogram-domain
+//! entry point (`distortion_from_levels`), fitting runs entirely in level
+//! space: a full blend search costs O(candidates × 256) **regardless of
+//! frame size**, and pixels are touched exactly once, at apply time, via a
+//! single fused LUT pass. Windowed measures (the paper's HVS + SSIM
+//! default) fall back to the pixel path, which evaluates candidates into a
+//! caller-provided [`FitScratch`] instead of allocating per candidate.
 
-use hebs_display::{plrd::HierarchicalPlrd, LcdSubsystem, PowerBreakdown};
+use std::sync::Arc;
+
+use hebs_display::{plrd::HierarchicalPlrd, DisplayResponse, LcdSubsystem, PowerBreakdown};
 use hebs_imaging::{GrayImage, Histogram};
-use hebs_quality::{DistortionMeasure, HebsDistortion};
+use hebs_quality::SharedMeasure;
 use hebs_transform::{coarsen, ControlPoint, LookupTable, PiecewiseLinear};
 
 use crate::error::Result;
 use crate::ghe::{equalize, TargetRange};
+
+/// The identity source → drive map, the baseline for power accounting.
+const IDENTITY_LEVELS: [u8; 256] = {
+    let mut map = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        map[i] = i as u8;
+        i += 1;
+    }
+    map
+};
 
 /// How the pipeline chooses between pure histogram equalization and plain
 /// linear range compression when building the transformation for a target
@@ -41,6 +67,21 @@ pub enum BlendMode {
     Adaptive,
 }
 
+/// The blend weights the pipeline examines for one fit, stored inline (no
+/// per-evaluation allocation).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BlendCandidates {
+    values: [f64; 3],
+    len: usize,
+}
+
+impl BlendCandidates {
+    /// The candidate weights as a slice.
+    pub(crate) fn as_slice(&self) -> &[f64] {
+        &self.values[..self.len]
+    }
+}
+
 /// Configuration of the HEBS pipeline: hardware models, segment budget and
 /// distortion measure.
 #[derive(Debug, Clone)]
@@ -52,8 +93,10 @@ pub struct PipelineConfig {
     pub segments: usize,
     /// The display whose power is being optimized.
     pub subsystem: LcdSubsystem,
-    /// The distortion measure used for every comparison.
-    pub measure: HebsDistortion,
+    /// The distortion measure used for every comparison. Measures that
+    /// implement the histogram-domain entry point make the whole fit
+    /// frame-size independent; windowed measures keep the pixel path.
+    pub measure: SharedMeasure,
     /// Equalization / linear-compression blending policy.
     pub blend: BlendMode,
 }
@@ -65,7 +108,7 @@ impl Default for PipelineConfig {
             segments: driver.max_segments(),
             driver,
             subsystem: LcdSubsystem::lp064v1(),
-            measure: HebsDistortion::default(),
+            measure: SharedMeasure::default(),
             blend: BlendMode::Adaptive,
         }
     }
@@ -81,11 +124,23 @@ impl PipelineConfig {
         }
     }
 
+    /// Returns the configuration with a different distortion measure.
+    pub fn with_measure(mut self, measure: impl hebs_quality::DistortionMeasure + 'static) -> Self {
+        self.measure = SharedMeasure::new(measure);
+        self
+    }
+
     /// Blend weights examined by the [`BlendMode::Adaptive`] policy.
-    pub(crate) fn blend_candidates(&self) -> Vec<f64> {
+    pub(crate) fn blend_candidates(&self) -> BlendCandidates {
         match self.blend {
-            BlendMode::Fixed(w) => vec![w.clamp(0.0, 1.0)],
-            BlendMode::Adaptive => vec![0.0, 0.5, 1.0],
+            BlendMode::Fixed(w) => BlendCandidates {
+                values: [w.clamp(0.0, 1.0), 0.0, 0.0],
+                len: 1,
+            },
+            BlendMode::Adaptive => BlendCandidates {
+                values: [0.0, 0.5, 1.0],
+                len: 3,
+            },
         }
     }
 }
@@ -96,11 +151,10 @@ impl PipelineConfig {
 ///
 /// Computing a [`FrameTransform`] is the expensive part of the pipeline (the
 /// GHE solve, the blend search and the piecewise-linear-coarsening dynamic
-/// program); applying it to a frame via [`apply_transform`] is a single LUT
-/// pass plus the display models. The runtime's transformation cache stores
-/// values of this type so near-identical consecutive frames skip the fit.
-/// Cloning is cheap: the LUT shares its storage and the curve is a small
-/// control-point vector.
+/// program); applying it to a frame is a single fused LUT pass through
+/// [`FrameTransform::response`]. The runtime's transformation cache stores
+/// values of this type behind an [`Arc`] so near-identical consecutive
+/// frames skip the fit without deep-copying the curve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FrameTransform {
     /// The target range the transformation maps onto.
@@ -111,26 +165,88 @@ pub struct FrameTransform {
     pub blend_weight: f64,
     /// The coarsened transformation handed to the reference driver.
     pub curve: PiecewiseLinear,
-    /// The lookup table the driver realizes for this curve and `β`.
+    /// The lookup table the driver realizes for this curve and `β` (the
+    /// drive levels, including the `1/β` spreading and DAC quantization).
     pub lut: LookupTable,
+    /// The fused `driver LUT ∘ panel ∘ backlight` per-level response:
+    /// `response.map(p)` is the level the panel emits for source level `p`.
+    pub response: DisplayResponse,
+}
+
+/// Reusable pixel scratch for the pipeline's pixel paths: candidate
+/// displayed images are written here instead of being allocated per
+/// evaluation, so a steady-state engine worker performs no intermediate
+/// per-frame allocations. One scratch per worker thread; see
+/// [`evaluate_at_range_scratch`].
+#[derive(Debug, Clone)]
+pub struct FitScratch {
+    displayed: GrayImage,
+}
+
+impl Default for FitScratch {
+    fn default() -> Self {
+        FitScratch {
+            displayed: GrayImage::filled(1, 1, 0),
+        }
+    }
+}
+
+impl FitScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The frame-independent half of an evaluation: everything the pipeline
+/// knows about a fitted transform from the histogram alone — distortion,
+/// power, saving — without ever materializing a displayed image.
+///
+/// Produced by the histogram-domain fit path ([`evaluate_range_from_histogram`])
+/// and upgraded to a [`RangeEvaluation`] with [`Evaluation::materialize`]
+/// once (and only once) a displayed frame is actually needed.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The fitted transform; cloning bumps a refcount.
+    pub transform: Arc<FrameTransform>,
+    /// Distortion of displaying the evaluated histogram through the
+    /// transform, exactly as the pixel path would measure it.
+    pub distortion: f64,
+    /// Power breakdown of the scaled configuration.
+    pub power: PowerBreakdown,
+    /// Fractional power saving versus full backlight.
+    pub power_saving: f64,
+    /// Number of candidate fits evaluated to produce this value.
+    pub fit_evaluations: u32,
+}
+
+impl Evaluation {
+    /// Produces the displayed image for `image` via one fused LUT pass and
+    /// upgrades this histogram-domain evaluation into a full
+    /// [`RangeEvaluation`].
+    ///
+    /// `image` must be the frame whose histogram this evaluation was
+    /// computed from, otherwise the recorded distortion does not describe
+    /// the produced image.
+    pub fn materialize(self, image: &GrayImage) -> RangeEvaluation {
+        RangeEvaluation {
+            displayed: self.transform.response.apply(image),
+            transform: self.transform,
+            distortion: self.distortion,
+            power: self.power,
+            power_saving: self.power_saving,
+            fit_evaluations: self.fit_evaluations,
+        }
+    }
 }
 
 /// Everything the pipeline knows after evaluating one image at one target
 /// dynamic range.
 #[derive(Debug, Clone)]
 pub struct RangeEvaluation {
-    /// The target range that was evaluated.
-    pub target: TargetRange,
-    /// Backlight scaling factor used (`g_max / 255`).
-    pub beta: f64,
-    /// Blend weight that was ultimately used (1.0 = pure GHE).
-    pub blend_weight: f64,
-    /// The coarsened transformation `Λ` handed to the reference driver
-    /// (before the hardware's `1/β` spreading).
-    pub curve: PiecewiseLinear,
-    /// The lookup table the driver realizes (drive values, including the
-    /// `1/β` spreading and DAC quantization).
-    pub lut: LookupTable,
+    /// The fitted transform that produced this evaluation (shared; cloning
+    /// bumps a refcount instead of copying the curve).
+    pub transform: Arc<FrameTransform>,
     /// The luminance image the panel emits (range-compressed to the target).
     pub displayed: GrayImage,
     /// Measured distortion between the original and the displayed image.
@@ -140,19 +256,41 @@ pub struct RangeEvaluation {
     /// Fractional power saving versus showing the original at full
     /// backlight.
     pub power_saving: f64,
+    /// Number of candidate fits evaluated to produce this evaluation (0 for
+    /// a pure replay of an existing transform).
+    pub fit_evaluations: u32,
 }
 
 impl RangeEvaluation {
-    /// Extracts the reusable transformation this evaluation was produced
-    /// with, for caching and replay on other frames.
-    pub fn transform(&self) -> FrameTransform {
-        FrameTransform {
-            target: self.target,
-            beta: self.beta,
-            blend_weight: self.blend_weight,
-            curve: self.curve.clone(),
-            lut: self.lut.clone(),
-        }
+    /// The target range that was evaluated.
+    pub fn target(&self) -> TargetRange {
+        self.transform.target
+    }
+
+    /// Backlight scaling factor used (`g_max / 255`).
+    pub fn beta(&self) -> f64 {
+        self.transform.beta
+    }
+
+    /// Blend weight that was ultimately used (1.0 = pure GHE).
+    pub fn blend_weight(&self) -> f64 {
+        self.transform.blend_weight
+    }
+
+    /// The coarsened transformation `Λ` handed to the reference driver.
+    pub fn curve(&self) -> &PiecewiseLinear {
+        &self.transform.curve
+    }
+
+    /// The lookup table the driver realizes.
+    pub fn lut(&self) -> &LookupTable {
+        &self.transform.lut
+    }
+
+    /// A shared handle to the reusable transformation this evaluation was
+    /// produced with, for caching and replay on other frames.
+    pub fn shared_transform(&self) -> Arc<FrameTransform> {
+        Arc::clone(&self.transform)
     }
 }
 
@@ -185,52 +323,209 @@ pub fn evaluate_at_range_with_histogram(
     histogram: &Histogram,
     target: TargetRange,
 ) -> Result<RangeEvaluation> {
+    let mut scratch = FitScratch::default();
+    evaluate_at_range_scratch(config, image, histogram, target, &mut scratch)
+}
+
+/// Same as [`evaluate_at_range_with_histogram`] but writes intermediate
+/// candidate images into a caller-provided scratch, so repeated fits (a
+/// serving engine's steady state) perform no intermediate per-frame
+/// allocations. With a histogram-capable measure the scratch is never
+/// touched at all — candidates are arbitrated purely in level space.
+///
+/// # Errors
+///
+/// See [`evaluate_at_range`].
+pub fn evaluate_at_range_scratch(
+    config: &PipelineConfig,
+    image: &GrayImage,
+    histogram: &Histogram,
+    target: TargetRange,
+    scratch: &mut FitScratch,
+) -> Result<RangeEvaluation> {
+    let (transform, distortion, evaluations) =
+        fit_range(config, histogram, target, Some((image, scratch)))?
+            .expect("the pixel fallback was supplied");
+    let (power, power_saving) = power_from_histogram(config, histogram, &transform)?;
+    Ok(RangeEvaluation {
+        displayed: transform.response.apply(image),
+        transform,
+        distortion,
+        power,
+        power_saving,
+        fit_evaluations: evaluations,
+    })
+}
+
+/// Evaluates the best blend candidate for one histogram and target range
+/// entirely in the histogram domain: O(candidates × 256), no pixels.
+///
+/// Returns `None` when the configured measure is windowed and needs the
+/// pixel path (use [`evaluate_at_range_scratch`] instead). This is the
+/// entry point the closed-loop policy bisects through — a full range search
+/// never touches a frame buffer until the final apply.
+///
+/// # Errors
+///
+/// Propagates construction errors from the transformation and display
+/// layers.
+pub fn evaluate_range_from_histogram(
+    config: &PipelineConfig,
+    histogram: &Histogram,
+    target: TargetRange,
+) -> Result<Option<Evaluation>> {
+    let Some((transform, distortion, evaluations)) = fit_range(config, histogram, target, None)?
+    else {
+        return Ok(None);
+    };
+    let (power, power_saving) = power_from_histogram(config, histogram, &transform)?;
+    Ok(Some(Evaluation {
+        transform,
+        distortion,
+        power,
+        power_saving,
+        fit_evaluations: evaluations,
+    }))
+}
+
+/// Evaluates one already-fitted transform against a histogram in the
+/// histogram domain. Returns `None` for windowed measures.
+///
+/// This is the allocation-free validation primitive the serving runtime
+/// uses to recheck cached fits against per-frame distortion budgets before
+/// spending any pixel work on them.
+///
+/// # Errors
+///
+/// Propagates errors from the display substrate.
+pub fn evaluate_transform_from_histogram(
+    config: &PipelineConfig,
+    histogram: &Histogram,
+    transform: &Arc<FrameTransform>,
+) -> Result<Option<Evaluation>> {
+    let Some(distortion) = config
+        .measure
+        .distortion_from_levels(histogram, transform.response.levels())
+    else {
+        return Ok(None);
+    };
+    let (power, power_saving) = power_from_histogram(config, histogram, transform)?;
+    Ok(Some(Evaluation {
+        transform: Arc::clone(transform),
+        distortion,
+        power,
+        power_saving,
+        fit_evaluations: 0,
+    }))
+}
+
+/// Fits every blend candidate for `(histogram, target)` and returns the
+/// winner `(transform, distortion, candidates evaluated)`.
+///
+/// Distortion is measured in the histogram domain when the configured
+/// measure supports it; otherwise each candidate's displayed image is
+/// produced into the supplied scratch (one fused pass, no allocation) and
+/// measured in the pixel domain. Returns `Ok(None)` when the measure needs
+/// pixels but no pixel fallback was supplied.
+fn fit_range(
+    config: &PipelineConfig,
+    histogram: &Histogram,
+    target: TargetRange,
+    mut pixels: Option<(&GrayImage, &mut FitScratch)>,
+) -> Result<Option<(Arc<FrameTransform>, f64, u32)>> {
+    // Probe measure capability before paying for any candidate fit: a
+    // windowed measure with no pixel fallback declines immediately.
+    if pixels.is_none()
+        && config
+            .measure
+            .distortion_from_levels(histogram, &IDENTITY_LEVELS)
+            .is_none()
+    {
+        return Ok(None);
+    }
     // The GHE solve and the linear band curve depend only on the histogram
     // and target, so hoist them out of the blend-candidate loop.
     let ghe = equalize(histogram, target)?;
     let linear = linear_compression(target);
-    let mut best: Option<RangeEvaluation> = None;
-    for weight in config.blend_candidates() {
+    let mut best: Option<(Arc<FrameTransform>, f64)> = None;
+    let mut evaluations = 0u32;
+    for &weight in config.blend_candidates().as_slice() {
         let transform = fit_blended(config, &ghe.transform, &linear, target, weight)?;
-        let candidate = apply_transform(config, image, &transform)?;
+        let distortion = match config
+            .measure
+            .distortion_from_levels(histogram, transform.response.levels())
+        {
+            Some(distortion) => distortion,
+            None => match pixels.as_mut() {
+                Some((image, scratch)) => {
+                    transform.response.apply_into(image, &mut scratch.displayed);
+                    config.measure.distortion(image, &scratch.displayed)
+                }
+                None => return Ok(None),
+            },
+        };
+        evaluations += 1;
         let better = match &best {
             None => true,
-            Some(current) => candidate.distortion < current.distortion,
+            Some((_, current)) => distortion < *current,
         };
         if better {
-            best = Some(candidate);
+            best = Some((transform, distortion));
         }
     }
-    Ok(best.expect("at least one blend candidate is always evaluated"))
+    let (transform, distortion) = best.expect("at least one blend candidate is always evaluated");
+    Ok(Some((transform, distortion, evaluations)))
+}
+
+/// Histogram-domain power accounting for one fitted transform: the scaled
+/// breakdown and the fractional saving versus full backlight.
+fn power_from_histogram(
+    config: &PipelineConfig,
+    histogram: &Histogram,
+    transform: &FrameTransform,
+) -> Result<(PowerBreakdown, f64)> {
+    let power = config.subsystem.power_from_histogram(
+        histogram,
+        transform.lut.entries(),
+        transform.beta,
+    )?;
+    let baseline = config
+        .subsystem
+        .power_from_histogram(histogram, &IDENTITY_LEVELS, 1.0)?;
+    let saving = (1.0 - power.total() / baseline.total()).max(0.0);
+    Ok((power, saving))
 }
 
 /// Blends an already-solved GHE curve with the linear compression and fits
-/// the result into the driver (coarsening + programming).
+/// the result into the driver (coarsening + programming + response fusion).
 fn fit_blended(
     config: &PipelineConfig,
     ghe: &PiecewiseLinear,
     linear: &PiecewiseLinear,
     target: TargetRange,
     blend_weight: f64,
-) -> Result<FrameTransform> {
+) -> Result<Arc<FrameTransform>> {
     let beta = target.backlight_factor();
     let requested = blend_curves(linear, ghe, blend_weight)?;
     let segments = config.segments.min(config.driver.max_segments()).max(1);
     let coarse = coarsen(&requested, segments)?;
     let programmed = config.driver.program(&coarse.curve, beta)?;
-    Ok(FrameTransform {
+    let response = config.subsystem.response(&programmed.lut, beta)?;
+    Ok(Arc::new(FrameTransform {
         target,
         beta,
         blend_weight,
         curve: coarse.curve,
         lut: programmed.lut,
-    })
+        response,
+    }))
 }
 
 /// Fits the HEBS transformation for one histogram, target range and blend
 /// weight, running the full fitting stage: GHE solve, blend towards the
 /// linear compression, piecewise-linear coarsening to the driver's segment
-/// budget, and programming of the reference driver.
+/// budget, programming of the reference driver, and fusion of the display
+/// response.
 ///
 /// This is the expensive, frame-independent half of the pipeline; pair it
 /// with [`apply_transform`] to evaluate the result on a frame. Callers that
@@ -246,7 +541,7 @@ pub fn fit_transform(
     histogram: &Histogram,
     target: TargetRange,
     blend_weight: f64,
-) -> Result<FrameTransform> {
+) -> Result<Arc<FrameTransform>> {
     let ghe = equalize(histogram, target)?;
     let linear = linear_compression(target);
     fit_blended(config, &ghe.transform, &linear, target, blend_weight)
@@ -254,7 +549,7 @@ pub fn fit_transform(
 
 /// Applies an already-fitted transformation to a frame and measures what the
 /// display would show, consume and distort — the cheap, per-frame half of
-/// the pipeline (one LUT pass plus the display models).
+/// the pipeline: one histogram pass plus one fused LUT pass.
 ///
 /// # Errors
 ///
@@ -262,33 +557,50 @@ pub fn fit_transform(
 pub fn apply_transform(
     config: &PipelineConfig,
     image: &GrayImage,
-    transform: &FrameTransform,
+    transform: &Arc<FrameTransform>,
 ) -> Result<RangeEvaluation> {
-    let drive_image = transform.lut.apply(image);
-    let displayed = config
-        .subsystem
-        .displayed_image(&drive_image, transform.beta)?;
-    let distortion = config.measure.distortion(image, &displayed);
-    let power = config.subsystem.power(&drive_image, transform.beta)?;
-    let power_saving = config
-        .subsystem
-        .power_saving(image, &drive_image, transform.beta)?;
+    let histogram = Histogram::of(image);
+    apply_transform_with_histogram(config, image, &histogram, transform)
+}
+
+/// Same as [`apply_transform`] but reuses a precomputed histogram of
+/// `image` (the serving runtime already has one for its cache key).
+///
+/// Distortion and power are measured in the histogram domain when the
+/// measure supports it — for the exact frame a transform was fitted on,
+/// the result is bit-identical to the fit-time evaluation.
+///
+/// # Errors
+///
+/// Propagates errors from the display substrate.
+pub fn apply_transform_with_histogram(
+    config: &PipelineConfig,
+    image: &GrayImage,
+    histogram: &Histogram,
+    transform: &Arc<FrameTransform>,
+) -> Result<RangeEvaluation> {
+    let displayed = transform.response.apply(image);
+    let distortion = match config
+        .measure
+        .distortion_from_levels(histogram, transform.response.levels())
+    {
+        Some(distortion) => distortion,
+        None => config.measure.distortion(image, &displayed),
+    };
+    let (power, power_saving) = power_from_histogram(config, histogram, transform)?;
     Ok(RangeEvaluation {
-        target: transform.target,
-        beta: transform.beta,
-        blend_weight: transform.blend_weight,
-        curve: transform.curve.clone(),
-        lut: transform.lut.clone(),
+        transform: Arc::clone(transform),
         displayed,
         distortion,
         power,
         power_saving,
+        fit_evaluations: 0,
     })
 }
 
 /// Computes the best transformation for `image` at `target` (the blend
 /// candidate with the lowest measured distortion) and returns it in its
-/// reusable form.
+/// reusable, shared form.
 ///
 /// # Errors
 ///
@@ -298,8 +610,8 @@ pub fn compute_transform(
     image: &GrayImage,
     histogram: &Histogram,
     target: TargetRange,
-) -> Result<FrameTransform> {
-    evaluate_at_range_with_histogram(config, image, histogram, target).map(|e| e.transform())
+) -> Result<Arc<FrameTransform>> {
+    evaluate_at_range_with_histogram(config, image, histogram, target).map(|e| e.transform)
 }
 
 /// The plain linear compression of the full input range onto the target
@@ -335,9 +647,14 @@ fn blend_curves(
 mod tests {
     use super::*;
     use hebs_imaging::synthetic;
+    use hebs_quality::GlobalUiqiDistortion;
 
     fn small_config() -> PipelineConfig {
         PipelineConfig::default()
+    }
+
+    fn histogram_config() -> PipelineConfig {
+        PipelineConfig::default().with_measure(GlobalUiqiDistortion)
     }
 
     #[test]
@@ -351,7 +668,7 @@ mod tests {
             "saving {}",
             eval.power_saving
         );
-        assert!((eval.beta - 1.0).abs() < 1e-9);
+        assert!((eval.beta() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -369,7 +686,8 @@ mod tests {
         let config = PipelineConfig::paper();
         let img = synthetic::landscape(48, 48, 23);
         let eval = evaluate_at_range(&config, &img, TargetRange::from_span(128).unwrap()).unwrap();
-        assert_eq!(eval.blend_weight, 1.0);
+        assert_eq!(eval.blend_weight(), 1.0);
+        assert_eq!(eval.fit_evaluations, 1, "fixed blend tries one candidate");
     }
 
     #[test]
@@ -387,6 +705,7 @@ mod tests {
                 a.distortion,
                 p.distortion
             );
+            assert_eq!(a.fit_evaluations, 3, "adaptive tries three candidates");
         }
     }
 
@@ -406,8 +725,8 @@ mod tests {
         let config = small_config();
         let img = synthetic::portrait(48, 48, 26);
         let eval = evaluate_at_range(&config, &img, TargetRange::from_span(100).unwrap()).unwrap();
-        assert!(eval.curve.segment_count() <= config.driver.max_segments());
-        assert!(eval.lut.is_monotone());
+        assert!(eval.curve().segment_count() <= config.driver.max_segments());
+        assert!(eval.lut().is_monotone());
     }
 
     #[test]
@@ -438,11 +757,12 @@ mod tests {
         let img = synthetic::portrait(48, 48, 31);
         let target = TargetRange::from_span(128).unwrap();
         let eval = evaluate_at_range(&config, &img, target).unwrap();
-        let replayed = apply_transform(&config, &img, &eval.transform()).unwrap();
+        let replayed = apply_transform(&config, &img, &eval.transform).unwrap();
         assert_eq!(replayed.distortion, eval.distortion);
         assert_eq!(replayed.power_saving, eval.power_saving);
-        assert_eq!(replayed.lut, eval.lut);
+        assert_eq!(replayed.lut(), eval.lut());
         assert_eq!(replayed.displayed, eval.displayed);
+        assert_eq!(replayed.fit_evaluations, 0, "a replay runs no fits");
     }
 
     #[test]
@@ -453,7 +773,7 @@ mod tests {
         let target = TargetRange::from_span(140).unwrap();
         let transform = compute_transform(&config, &img, &hist, target).unwrap();
         let eval = evaluate_at_range(&config, &img, target).unwrap();
-        assert_eq!(transform, eval.transform());
+        assert_eq!(*transform, *eval.transform);
     }
 
     #[test]
@@ -466,7 +786,87 @@ mod tests {
         let target = TargetRange::from_span(110).unwrap();
         let ta = fit_transform(&config, &Histogram::of(&a), target, 1.0).unwrap();
         let tb = fit_transform(&config, &Histogram::of(&flipped), target, 1.0).unwrap();
-        assert_eq!(ta, tb);
+        assert_eq!(*ta, *tb);
+    }
+
+    #[test]
+    fn histogram_domain_fit_agrees_with_the_pixel_path() {
+        // The tentpole invariant: with a histogram-capable measure, the
+        // level-space fit must agree with a full pixel-path evaluation to
+        // within float summation order.
+        let config = histogram_config();
+        for (seed, img) in [
+            synthetic::still_life(64, 64, 41),
+            synthetic::portrait(64, 64, 42),
+            synthetic::low_key(64, 64, 43),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let hist = Histogram::of(&img);
+            for span in [240u32, 160, 90] {
+                let target = TargetRange::from_span(span).unwrap();
+                let level_space = evaluate_range_from_histogram(&config, &hist, target)
+                    .unwrap()
+                    .expect("global UIQI is histogram-capable");
+                // Reference: measure the materialized image the slow way.
+                let displayed = level_space.transform.response.apply(&img);
+                let pixel = config.measure.distortion(&img, &displayed);
+                assert!(
+                    (level_space.distortion - pixel).abs() <= 1e-9,
+                    "seed {seed} span {span}: hist {} vs pixel {pixel}",
+                    level_space.distortion
+                );
+                // And the materializing entry point returns the same numbers.
+                let full = evaluate_at_range_with_histogram(&config, &img, &hist, target).unwrap();
+                assert_eq!(full.distortion, level_space.distortion);
+                assert_eq!(full.power_saving, level_space.power_saving);
+                assert_eq!(full.displayed, displayed);
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_measures_decline_the_histogram_fit() {
+        let config = small_config(); // default HVS + SSIM is windowed
+        let img = synthetic::portrait(32, 32, 44);
+        let hist = Histogram::of(&img);
+        let target = TargetRange::from_span(128).unwrap();
+        assert!(evaluate_range_from_histogram(&config, &hist, target)
+            .unwrap()
+            .is_none());
+        // The pixel fallback still works through the scratch entry point.
+        let mut scratch = FitScratch::new();
+        let eval = evaluate_at_range_scratch(&config, &img, &hist, target, &mut scratch).unwrap();
+        assert!(eval.distortion > 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_deterministic() {
+        let config = small_config();
+        let img = synthetic::landscape(48, 48, 45);
+        let hist = Histogram::of(&img);
+        let mut scratch = FitScratch::new();
+        let target = TargetRange::from_span(150).unwrap();
+        let first = evaluate_at_range_scratch(&config, &img, &hist, target, &mut scratch).unwrap();
+        let second = evaluate_at_range_scratch(&config, &img, &hist, target, &mut scratch).unwrap();
+        assert_eq!(first.distortion, second.distortion);
+        assert_eq!(first.displayed, second.displayed);
+    }
+
+    #[test]
+    fn evaluate_transform_from_histogram_matches_apply() {
+        let config = histogram_config();
+        let img = synthetic::still_life(48, 48, 46);
+        let hist = Histogram::of(&img);
+        let target = TargetRange::from_span(120).unwrap();
+        let transform = fit_transform(&config, &hist, target, 1.0).unwrap();
+        let level_space = evaluate_transform_from_histogram(&config, &hist, &transform)
+            .unwrap()
+            .expect("histogram-capable measure");
+        let applied = apply_transform_with_histogram(&config, &img, &hist, &transform).unwrap();
+        assert_eq!(level_space.distortion, applied.distortion);
+        assert_eq!(level_space.power_saving, applied.power_saving);
     }
 
     #[test]
@@ -474,8 +874,10 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<PipelineConfig>();
         assert_send_sync::<RangeEvaluation>();
+        assert_send_sync::<Evaluation>();
         assert_send_sync::<FrameTransform>();
         assert_send_sync::<BlendMode>();
+        assert_send_sync::<FitScratch>();
     }
 
     #[test]
@@ -487,5 +889,16 @@ mod tests {
         assert_eq!(zero, linear);
         let one = blend_curves(&linear, &ghe_curve, 1.0).unwrap();
         assert_eq!(one, ghe_curve);
+    }
+
+    #[test]
+    fn blend_candidates_are_allocation_free_and_clamped() {
+        let adaptive = PipelineConfig::default();
+        assert_eq!(adaptive.blend_candidates().as_slice(), &[0.0, 0.5, 1.0]);
+        let fixed = PipelineConfig {
+            blend: BlendMode::Fixed(1.7),
+            ..PipelineConfig::default()
+        };
+        assert_eq!(fixed.blend_candidates().as_slice(), &[1.0]);
     }
 }

@@ -6,6 +6,15 @@
 //! [`BacklightPolicy`] is implemented by HEBS (this module) and by the
 //! prior-work baselines in [`crate::baselines`], so the comparison harness
 //! can treat them uniformly.
+//!
+//! The closed-loop HEBS search bisects over target ranges. When the
+//! configured distortion measure supports the histogram-domain entry point,
+//! the whole bisection runs in level space — O(evaluations × 256)
+//! regardless of frame size — and the frame is touched exactly once, by
+//! the final fused apply. Windowed measures fall back to the pixel path,
+//! whose intermediate candidate images go into a reusable [`FitScratch`].
+
+use std::sync::Arc;
 
 use hebs_display::PowerBreakdown;
 use hebs_imaging::{GrayImage, Histogram};
@@ -15,7 +24,8 @@ use crate::characterize::DistortionCharacteristic;
 use crate::error::{HebsError, Result};
 use crate::ghe::TargetRange;
 use crate::pipeline::{
-    apply_transform, evaluate_at_range_with_histogram, FrameTransform, PipelineConfig,
+    apply_transform_with_histogram, evaluate_at_range_scratch, evaluate_range_from_histogram,
+    evaluate_transform_from_histogram, Evaluation, FitScratch, FrameTransform, PipelineConfig,
     RangeEvaluation,
 };
 
@@ -39,6 +49,9 @@ pub struct ScalingOutcome {
     pub lut: LookupTable,
     /// The luminance image the display emits.
     pub displayed: GrayImage,
+    /// Number of candidate fits the policy evaluated to produce this
+    /// outcome (0 when a cached transform was replayed).
+    pub fit_evaluations: u32,
 }
 
 impl ScalingOutcome {
@@ -46,12 +59,13 @@ impl ScalingOutcome {
     pub(crate) fn from_evaluation(policy: &str, eval: RangeEvaluation) -> Self {
         ScalingOutcome {
             policy: policy.to_string(),
-            beta: eval.beta,
-            dynamic_range: Some(eval.target.span()),
+            beta: eval.beta(),
+            dynamic_range: Some(eval.target().span()),
             distortion: eval.distortion,
             power: eval.power,
             power_saving: eval.power_saving,
-            lut: eval.lut,
+            lut: eval.lut().clone(),
+            fit_evaluations: eval.fit_evaluations,
             displayed: eval.displayed,
         }
     }
@@ -151,33 +165,69 @@ impl HebsPolicy {
         image: &GrayImage,
         histogram: &Histogram,
         range: u32,
+        scratch: &mut FitScratch,
     ) -> Result<RangeEvaluation> {
         let target = TargetRange::from_span(range)?;
-        evaluate_at_range_with_histogram(&self.config, image, histogram, target)
+        evaluate_at_range_scratch(&self.config, image, histogram, target, scratch)
     }
 
     /// Closed-loop search: the smallest range whose measured distortion is
     /// within the budget. Distortion is monotone non-increasing in the range
-    /// to a good approximation, so a bisection over `[2, 256]` suffices; the
-    /// final evaluation is returned.
+    /// to a good approximation, so a bisection over `[2, 256]` suffices.
+    ///
+    /// With a histogram-capable measure the entire bisection runs in level
+    /// space and only the winning fit is materialized; otherwise every step
+    /// measures through the pixel path (candidates into `scratch`).
     fn search_range(
         &self,
         image: &GrayImage,
         histogram: &Histogram,
         max_distortion: f64,
+        scratch: &mut FitScratch,
     ) -> Result<RangeEvaluation> {
-        let full = self.evaluate(image, histogram, 256)?;
+        let full_target = TargetRange::from_span(256).expect("256 is a valid span");
+        if let Some(full) = evaluate_range_from_histogram(&self.config, histogram, full_target)? {
+            if let Some(found) =
+                self.search_range_level_space(image, histogram, max_distortion, full)?
+            {
+                return Ok(found);
+            }
+        }
+        self.search_range_pixel_space(image, histogram, max_distortion, scratch)
+    }
+
+    /// The O(levels) bisection: every step is a histogram-domain fit; the
+    /// frame is only touched by the final materializing apply.
+    ///
+    /// Returns `Ok(None)` when a step unexpectedly declines the histogram
+    /// path (a measure violating the capability-stability contract); the
+    /// caller then restarts through the pixel path instead of panicking a
+    /// serving worker.
+    fn search_range_level_space(
+        &self,
+        image: &GrayImage,
+        histogram: &Histogram,
+        max_distortion: f64,
+        full: Evaluation,
+    ) -> Result<Option<RangeEvaluation>> {
+        let mut total_evaluations = full.fit_evaluations;
         if full.distortion > max_distortion {
             // Even the widest range misses the budget: fall back to it (it is
             // the least-distorting configuration HEBS can produce).
-            return Ok(full);
+            let mut best = full;
+            best.fit_evaluations = total_evaluations;
+            return Ok(Some(best.materialize(image)));
         }
         let mut lo = 2u32;
         let mut hi = 256u32;
         let mut best = full;
         while lo < hi {
             let mid = (lo + hi) / 2;
-            let eval = self.evaluate(image, histogram, mid)?;
+            let target = TargetRange::from_span(mid)?;
+            let Some(eval) = evaluate_range_from_histogram(&self.config, histogram, target)? else {
+                return Ok(None);
+            };
+            total_evaluations += eval.fit_evaluations;
             if eval.distortion <= max_distortion {
                 hi = mid;
                 best = eval;
@@ -185,23 +235,51 @@ impl HebsPolicy {
                 lo = mid + 1;
             }
         }
+        best.fit_evaluations = total_evaluations;
+        Ok(Some(best.materialize(image)))
+    }
+
+    /// The pixel-path bisection for windowed measures: candidate images go
+    /// into the scratch, one full evaluation per step.
+    fn search_range_pixel_space(
+        &self,
+        image: &GrayImage,
+        histogram: &Histogram,
+        max_distortion: f64,
+        scratch: &mut FitScratch,
+    ) -> Result<RangeEvaluation> {
+        let full = self.evaluate(image, histogram, 256, scratch)?;
+        let mut total_evaluations = full.fit_evaluations;
+        if full.distortion > max_distortion {
+            return Ok(full);
+        }
+        let mut lo = 2u32;
+        let mut hi = 256u32;
+        let mut best = full;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let eval = self.evaluate(image, histogram, mid, scratch)?;
+            total_evaluations += eval.fit_evaluations;
+            if eval.distortion <= max_distortion {
+                hi = mid;
+                best = eval;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        best.fit_evaluations = total_evaluations;
         Ok(best)
     }
 }
 
 impl HebsPolicy {
-    /// Runs the full policy and returns the chosen evaluation.
-    fn select_evaluation(&self, image: &GrayImage, max_distortion: f64) -> Result<RangeEvaluation> {
-        let histogram = Histogram::of(image);
-        self.select_evaluation_with_histogram(image, &histogram, max_distortion)
-    }
-
     /// Runs the full policy with a precomputed histogram of `image`.
     fn select_evaluation_with_histogram(
         &self,
         image: &GrayImage,
         histogram: &Histogram,
         max_distortion: f64,
+        scratch: &mut FitScratch,
     ) -> Result<RangeEvaluation> {
         if !(0.0..=1.0).contains(&max_distortion) || !max_distortion.is_finite() {
             return Err(HebsError::InvalidFraction {
@@ -210,7 +288,9 @@ impl HebsPolicy {
             });
         }
         match &self.selection {
-            RangeSelection::ClosedLoop => self.search_range(image, histogram, max_distortion),
+            RangeSelection::ClosedLoop => {
+                self.search_range(image, histogram, max_distortion, scratch)
+            }
             RangeSelection::Characteristic {
                 curve,
                 conservative,
@@ -221,9 +301,29 @@ impl HebsPolicy {
                 let range = curve
                     .min_range_for(max_distortion, *conservative)
                     .unwrap_or(256);
-                self.evaluate(image, histogram, range.max(2))
+                self.evaluate(image, histogram, range.max(2), scratch)
             }
         }
+    }
+
+    /// Like [`BacklightPolicy::optimize`], but writes intermediate pixel
+    /// work into a caller-provided scratch — the serving runtime gives each
+    /// worker one, so steady-state fits perform no intermediate per-frame
+    /// allocations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BacklightPolicy::optimize`].
+    pub fn optimize_with_scratch(
+        &self,
+        image: &GrayImage,
+        max_distortion: f64,
+        scratch: &mut FitScratch,
+    ) -> Result<ScalingOutcome> {
+        let histogram = Histogram::of(image);
+        let evaluation =
+            self.select_evaluation_with_histogram(image, &histogram, max_distortion, scratch)?;
+        Ok(ScalingOutcome::from_evaluation(&self.name, evaluation))
     }
 
     /// Like [`BacklightPolicy::optimize`], but also returns the fitted
@@ -237,15 +337,21 @@ impl HebsPolicy {
         &self,
         image: &GrayImage,
         max_distortion: f64,
-    ) -> Result<(ScalingOutcome, FrameTransform)> {
+    ) -> Result<(ScalingOutcome, Arc<FrameTransform>)> {
         let histogram = Histogram::of(image);
-        self.optimize_with_transform_using_histogram(image, &histogram, max_distortion)
+        let mut scratch = FitScratch::default();
+        self.optimize_with_transform_using_histogram(
+            image,
+            &histogram,
+            max_distortion,
+            &mut scratch,
+        )
     }
 
     /// Like [`HebsPolicy::optimize_with_transform`] but reuses a precomputed
-    /// histogram of `image` — the serving runtime already computes one per
-    /// frame for its cache key, and this avoids a second pass over the
-    /// pixels.
+    /// histogram of `image` and a caller-provided scratch — the serving
+    /// runtime already computes a histogram per frame for its cache key, and
+    /// this avoids a second pass over the pixels.
     ///
     /// # Errors
     ///
@@ -255,9 +361,11 @@ impl HebsPolicy {
         image: &GrayImage,
         histogram: &Histogram,
         max_distortion: f64,
-    ) -> Result<(ScalingOutcome, FrameTransform)> {
-        let evaluation = self.select_evaluation_with_histogram(image, histogram, max_distortion)?;
-        let transform = evaluation.transform();
+        scratch: &mut FitScratch,
+    ) -> Result<(ScalingOutcome, Arc<FrameTransform>)> {
+        let evaluation =
+            self.select_evaluation_with_histogram(image, histogram, max_distortion, scratch)?;
+        let transform = evaluation.shared_transform();
         Ok((
             ScalingOutcome::from_evaluation(&self.name, evaluation),
             transform,
@@ -268,9 +376,10 @@ impl HebsPolicy {
     /// range search and the fitting stage entirely.
     ///
     /// This is the cache-hit fast path of the serving runtime: the distortion
-    /// and power of the *actual* frame are still measured through the full
-    /// hardware path, only the expensive fit is reused. For the exact frame
-    /// the transform was fitted on, the outcome is bit-identical to the one
+    /// and power of the *actual* frame are still measured (in the histogram
+    /// domain when the measure allows, else through the pixel path), only
+    /// the expensive fit is reused. For the exact frame the transform was
+    /// fitted on, the outcome is bit-identical to the one
     /// [`BacklightPolicy::optimize`] produces (the pipeline is
     /// deterministic).
     ///
@@ -280,10 +389,65 @@ impl HebsPolicy {
     pub fn apply_frame_transform(
         &self,
         image: &GrayImage,
-        transform: &FrameTransform,
+        transform: &Arc<FrameTransform>,
     ) -> Result<ScalingOutcome> {
-        let evaluation = apply_transform(&self.config, image, transform)?;
+        let histogram = Histogram::of(image);
+        self.apply_frame_transform_with_histogram(image, &histogram, transform)
+    }
+
+    /// Like [`HebsPolicy::apply_frame_transform`] with a precomputed
+    /// histogram of `image`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the display substrate.
+    pub fn apply_frame_transform_with_histogram(
+        &self,
+        image: &GrayImage,
+        histogram: &Histogram,
+        transform: &Arc<FrameTransform>,
+    ) -> Result<ScalingOutcome> {
+        let evaluation = apply_transform_with_histogram(&self.config, image, histogram, transform)?;
         Ok(ScalingOutcome::from_evaluation(&self.name, evaluation))
+    }
+
+    /// Replays a cached transform on a frame *only if* its measured
+    /// distortion satisfies `max_distortion`; returns `Ok(None)` otherwise.
+    ///
+    /// With a histogram-capable measure the budget check costs O(levels)
+    /// and a rejected replay never touches a pixel — the serving runtime
+    /// uses this to validate approximate-cache hits before spending any
+    /// frame-buffer work on them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the display substrate.
+    pub fn replay_frame_transform(
+        &self,
+        image: &GrayImage,
+        histogram: &Histogram,
+        transform: &Arc<FrameTransform>,
+        max_distortion: f64,
+    ) -> Result<Option<ScalingOutcome>> {
+        if let Some(evaluation) =
+            evaluate_transform_from_histogram(&self.config, histogram, transform)?
+        {
+            // Histogram-capable: decide before materializing anything.
+            if evaluation.distortion > max_distortion {
+                return Ok(None);
+            }
+            return Ok(Some(ScalingOutcome::from_evaluation(
+                &self.name,
+                evaluation.materialize(image),
+            )));
+        }
+        // Windowed measure: the displayed image is needed to measure; it
+        // doubles as the outcome on acceptance.
+        let outcome = self.apply_frame_transform_with_histogram(image, histogram, transform)?;
+        if outcome.distortion > max_distortion {
+            return Ok(None);
+        }
+        Ok(Some(outcome))
     }
 }
 
@@ -293,8 +457,8 @@ impl BacklightPolicy for HebsPolicy {
     }
 
     fn optimize(&self, image: &GrayImage, max_distortion: f64) -> Result<ScalingOutcome> {
-        let evaluation = self.select_evaluation(image, max_distortion)?;
-        Ok(ScalingOutcome::from_evaluation(&self.name, evaluation))
+        let mut scratch = FitScratch::default();
+        self.optimize_with_scratch(image, max_distortion, &mut scratch)
     }
 }
 
@@ -303,6 +467,7 @@ mod tests {
     use super::*;
     use crate::characterize::DistortionCharacteristic;
     use hebs_imaging::synthetic;
+    use hebs_quality::GlobalUiqiDistortion;
 
     fn test_image() -> GrayImage {
         synthetic::still_life(64, 64, 41)
@@ -321,7 +486,54 @@ mod tests {
             );
             assert!(outcome.power_saving >= 0.0);
             assert_eq!(outcome.policy, "hebs");
+            assert!(
+                outcome.fit_evaluations > 0,
+                "a search must report its fit evaluations"
+            );
         }
+    }
+
+    #[test]
+    fn histogram_capable_measure_respects_the_bound_too() {
+        let config = PipelineConfig::default().with_measure(GlobalUiqiDistortion);
+        let policy = HebsPolicy::closed_loop(config);
+        let img = test_image();
+        for bound in [0.05, 0.15] {
+            let outcome = policy.optimize(&img, bound).unwrap();
+            assert!(
+                outcome.distortion <= bound + 1e-9,
+                "distortion {} exceeds bound {bound}",
+                outcome.distortion
+            );
+            assert!(outcome.fit_evaluations > 0);
+        }
+    }
+
+    #[test]
+    fn level_space_and_pixel_space_searches_agree() {
+        // Forcing the same global measure down the pixel path must pick the
+        // same configuration as the level-space search.
+        #[derive(Debug, Clone, Copy)]
+        struct PixelOnly;
+        impl hebs_quality::DistortionMeasure for PixelOnly {
+            fn distortion(&self, a: &GrayImage, b: &GrayImage) -> f64 {
+                GlobalUiqiDistortion.distortion(a, b)
+            }
+            fn name(&self) -> &'static str {
+                "uiqi-global-pixel-test"
+            }
+        }
+
+        let img = test_image();
+        let level =
+            HebsPolicy::closed_loop(PipelineConfig::default().with_measure(GlobalUiqiDistortion));
+        let pixel = HebsPolicy::closed_loop(PipelineConfig::default().with_measure(PixelOnly));
+        let a = level.optimize(&img, 0.10).unwrap();
+        let b = pixel.optimize(&img, 0.10).unwrap();
+        assert_eq!(a.beta, b.beta, "both searches must pick the same range");
+        assert_eq!(a.lut, b.lut);
+        assert!((a.distortion - b.distortion).abs() <= 1e-9);
+        assert_eq!(a.displayed, b.displayed);
     }
 
     #[test]
@@ -428,6 +640,29 @@ mod tests {
         assert_eq!(replayed.power_saving, plain.power_saving);
         assert_eq!(replayed.displayed, plain.displayed);
         assert_eq!(replayed.lut, plain.lut);
+        assert_eq!(replayed.fit_evaluations, 0, "a replay runs no fits");
+    }
+
+    #[test]
+    fn replay_rejects_over_budget_transforms_cheaply() {
+        let config = PipelineConfig::default().with_measure(GlobalUiqiDistortion);
+        let policy = HebsPolicy::closed_loop(config);
+        let img = test_image();
+        let (loose, transform) = policy.optimize_with_transform(&img, 0.20).unwrap();
+        assert!(loose.distortion > 0.01, "loose fit uses its budget");
+        let hist = Histogram::of(&img);
+        // A much stricter budget must reject the cached fit...
+        let rejected = policy
+            .replay_frame_transform(&img, &hist, &transform, 0.001)
+            .unwrap();
+        assert!(rejected.is_none());
+        // ...while the original budget accepts it bit-identically.
+        let accepted = policy
+            .replay_frame_transform(&img, &hist, &transform, 0.20)
+            .unwrap()
+            .expect("fit satisfies its own budget");
+        assert_eq!(accepted.distortion, loose.distortion);
+        assert_eq!(accepted.displayed, loose.displayed);
     }
 
     #[test]

@@ -17,7 +17,13 @@
 //!   quantized lookup table the hardware can actually realize.
 //! * [`LcdSubsystem`] — whole-subsystem power accounting (backlight +
 //!   panel + controller) and displayed-image simulation, the quantity every
-//!   benchmark reports.
+//!   benchmark reports. Power is computable either from pixels or, in
+//!   O(levels), from a source histogram plus the programmed drive map.
+//! * [`DisplayResponse`] — the fused `driver LUT ∘ transmittance ∘
+//!   backlight` per-level table: one lookup answers "what does the panel
+//!   emit for source level p", one pass applies a fitted transformation to
+//!   a frame, and the same table feeds the histogram-domain evaluation
+//!   engine.
 //! * [`controller`] — a small frame-buffer / refresh model used by the video
 //!   examples.
 //!
@@ -44,9 +50,11 @@ mod error;
 pub mod grayscale;
 mod panel;
 pub mod plrd;
+mod response;
 mod subsystem;
 
 pub use ccfl::CcflModel;
 pub use error::{DisplayError, Result};
 pub use panel::TftPanelModel;
+pub use response::DisplayResponse;
 pub use subsystem::{LcdSubsystem, PowerBreakdown};

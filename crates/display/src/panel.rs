@@ -17,7 +17,7 @@
 //! which the paper takes to be linear from `[0, 255]` to `[0, 1]`.
 
 use crate::error::{DisplayError, Result};
-use hebs_imaging::GrayImage;
+use hebs_imaging::{GrayImage, Histogram};
 
 /// Quadratic panel power model and linear transmittance mapping (Eq. 12).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,6 +103,26 @@ impl TftPanelModel {
             / n
     }
 
+    /// Mean panel power computed from a *source-level* histogram and the
+    /// per-level drive map the driver applies: exactly [`Self::image_power`]
+    /// of the drive image, but in O(levels) instead of O(pixels).
+    ///
+    /// An empty histogram reports the constant term, like an empty image.
+    pub fn histogram_power(&self, histogram: &Histogram, drive_map: &[u8; 256]) -> f64 {
+        let total = histogram.total();
+        if total == 0 {
+            return self.c;
+        }
+        let mut sum = 0.0;
+        for (level, &count) in histogram.counts().iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            sum += count as f64 * self.pixel_power(self.transmittance(drive_map[level]));
+        }
+        sum / total as f64
+    }
+
     /// Samples the transmittance-versus-power curve of Figure 6b: `(t, P(t))`
     /// pairs for `samples` evenly spaced transmittance values over
     /// `[lo, hi] ⊆ [0, 1]`.
@@ -135,6 +155,15 @@ impl TftPanelModel {
         Ok(beta * self.transmittance(level))
     }
 
+    /// The 8-bit level an observer records for one *drive* level at
+    /// backlight factor `beta`, quantized against the full-backlight white
+    /// point. `beta` is assumed already validated (see
+    /// [`Self::displayed_image`] for the checked entry point).
+    pub fn displayed_level(&self, level: u8, beta: f64) -> u8 {
+        let luminance = beta * self.transmittance(level);
+        (luminance * 255.0).round().clamp(0.0, 255.0) as u8
+    }
+
     /// The displayed luminance image (normalized to `[0, 1]`) of `image`
     /// shown at backlight factor `beta`, quantized back to 8 bits against
     /// the *full-backlight* white point.
@@ -151,10 +180,7 @@ impl TftPanelModel {
         if !(beta.is_finite() && (0.0..=1.0).contains(&beta)) {
             return Err(DisplayError::InvalidBacklightFactor { beta });
         }
-        Ok(image.map(|level| {
-            let luminance = beta * self.transmittance(level);
-            (luminance * 255.0).round().clamp(0.0, 255.0) as u8
-        }))
+        Ok(image.map(|level| self.displayed_level(level, beta)))
     }
 }
 
@@ -210,6 +236,23 @@ mod tests {
         let ramp = GrayImage::from_fn(256, 1, |x, _| x as u8);
         let p = panel.image_power(&ramp);
         assert!(p > 0.993 && p < 1.06733);
+    }
+
+    #[test]
+    fn histogram_power_matches_image_power_of_the_drive_image() {
+        let panel = TftPanelModel::lp064v1();
+        let img = GrayImage::from_fn(32, 32, |x, y| ((x * 7 + y * 13) % 256) as u8);
+        let mut drive_map = [0u8; 256];
+        for (i, e) in drive_map.iter_mut().enumerate() {
+            *e = ((i * 3) / 4) as u8;
+        }
+        let hist = Histogram::of(&img);
+        let drive = img.map(|v| drive_map[v as usize]);
+        let from_pixels = panel.image_power(&drive);
+        let from_histogram = panel.histogram_power(&hist, &drive_map);
+        assert!((from_pixels - from_histogram).abs() < 1e-9);
+        // Empty histogram degenerates to the constant term.
+        assert_eq!(panel.histogram_power(&Histogram::new(), &drive_map), 0.993);
     }
 
     #[test]

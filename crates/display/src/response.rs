@@ -1,0 +1,129 @@
+//! The precomposed per-level display response.
+//!
+//! Everything between a source pixel and the luminance the panel emits is a
+//! deterministic per-level function: the programmed driver LUT (which
+//! already contains the `1/β` contrast spreading of Eq. 10 and the DAC
+//! quantization), the linear grayscale → transmittance mapping and the
+//! backlight factor. [`DisplayResponse`] precomposes that chain into one
+//! 256-entry table, so
+//!
+//! * "what does the panel show for source level `p`?" is a single lookup,
+//! * applying a fitted transformation to a frame is one fused LUT pass (no
+//!   intermediate drive image), and
+//! * every *global* distortion and power statistic becomes computable from
+//!   the source histogram alone — the basis of the histogram-domain
+//!   evaluation engine in `hebs-core`.
+
+use hebs_imaging::GrayImage;
+use hebs_transform::LookupTable;
+
+use crate::error::{DisplayError, Result};
+use crate::panel::TftPanelModel;
+
+/// A precomposed `source level → displayed level` table for one programmed
+/// LUT, panel model and backlight factor.
+///
+/// The entries are exactly what [`TftPanelModel::displayed_image`] would
+/// produce for each drive level, so applying the response to a frame is
+/// bit-identical to the two-stage path (LUT apply, then displayed-image
+/// simulation) while touching every pixel only once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisplayResponse {
+    levels: [u8; 256],
+}
+
+impl DisplayResponse {
+    /// Composes driver LUT ∘ transmittance ∘ backlight into one table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidBacklightFactor`] unless
+    /// `beta ∈ [0, 1]`.
+    pub fn compose(lut: &LookupTable, panel: &TftPanelModel, beta: f64) -> Result<Self> {
+        if !(beta.is_finite() && (0.0..=1.0).contains(&beta)) {
+            return Err(DisplayError::InvalidBacklightFactor { beta });
+        }
+        let mut levels = [0u8; 256];
+        for (source, slot) in levels.iter_mut().enumerate() {
+            *slot = panel.displayed_level(lut.map(source as u8), beta);
+        }
+        Ok(DisplayResponse { levels })
+    }
+
+    /// The displayed level for one source level.
+    pub fn map(&self, level: u8) -> u8 {
+        self.levels[level as usize]
+    }
+
+    /// Borrow of the raw 256-entry `source → displayed` table, the level
+    /// map consumed by histogram-domain distortion measures.
+    pub fn levels(&self) -> &[u8; 256] {
+        &self.levels
+    }
+
+    /// Applies the fused response to a frame, producing the displayed
+    /// luminance image in one pass.
+    pub fn apply(&self, image: &GrayImage) -> GrayImage {
+        image.map(|level| self.levels[level as usize])
+    }
+
+    /// Applies the fused response into a caller-provided scratch image,
+    /// reshaping it to the source dimensions. Performs no allocation once
+    /// the scratch has grown to the frame size.
+    pub fn apply_into(&self, image: &GrayImage, out: &mut GrayImage) {
+        out.reshape(image.width(), image.height());
+        for (dst, src) in out.as_raw_mut().iter_mut().zip(image.as_raw()) {
+            *dst = self.levels[*src as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composed_response_matches_the_two_stage_path() {
+        let panel = TftPanelModel::lp064v1();
+        let lut = LookupTable::from_fn(|v| v.saturating_add(40));
+        for beta in [1.0, 0.73, 0.5, 0.12] {
+            let response = DisplayResponse::compose(&lut, &panel, beta).unwrap();
+            let img = GrayImage::from_fn(16, 16, |x, y| (x * 16 + y) as u8);
+            let two_stage = panel.displayed_image(&lut.apply(&img), beta).unwrap();
+            assert_eq!(response.apply(&img), two_stage, "beta {beta}");
+        }
+    }
+
+    #[test]
+    fn apply_into_reuses_the_scratch() {
+        let panel = TftPanelModel::lp064v1();
+        let response = DisplayResponse::compose(&LookupTable::identity(), &panel, 0.5).unwrap();
+        let img = GrayImage::from_fn(8, 4, |x, _| (x * 30) as u8);
+        let mut scratch = GrayImage::filled(1, 1, 0);
+        response.apply_into(&img, &mut scratch);
+        assert_eq!(scratch, response.apply(&img));
+        // A second apply of the same shape must not grow the buffer.
+        let other = GrayImage::filled(8, 4, 200);
+        response.apply_into(&other, &mut scratch);
+        assert_eq!(scratch.get(0, 0), Some(100));
+    }
+
+    #[test]
+    fn invalid_beta_is_rejected() {
+        let panel = TftPanelModel::lp064v1();
+        let lut = LookupTable::identity();
+        assert!(DisplayResponse::compose(&lut, &panel, 1.5).is_err());
+        assert!(DisplayResponse::compose(&lut, &panel, -0.1).is_err());
+        assert!(DisplayResponse::compose(&lut, &panel, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn identity_at_full_backlight_is_identity() {
+        let panel = TftPanelModel::lp064v1();
+        let response = DisplayResponse::compose(&LookupTable::identity(), &panel, 1.0).unwrap();
+        for level in [0u8, 1, 127, 254, 255] {
+            assert_eq!(response.map(level), level);
+        }
+        assert_eq!(response.levels()[200], 200);
+    }
+}

@@ -15,11 +15,13 @@
 //! numbers: dimming to β ≈ 0.39 (dynamic range 100) saves ≈ 55 % of the
 //! subsystem total, and β ≈ 0.86 (range 220) saves ≈ 26 %.
 
-use hebs_imaging::GrayImage;
+use hebs_imaging::{GrayImage, Histogram};
+use hebs_transform::LookupTable;
 
 use crate::ccfl::CcflModel;
 use crate::error::{DisplayError, Result};
 use crate::panel::TftPanelModel;
+use crate::response::DisplayResponse;
 
 /// Per-component power figures for displaying one image.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -164,6 +166,42 @@ impl LcdSubsystem {
     pub fn displayed_image(&self, image: &GrayImage, beta: f64) -> Result<GrayImage> {
         self.panel.displayed_image(image, beta)
     }
+
+    /// Precomposes a programmed driver LUT with this subsystem's panel and
+    /// backlight into a fused per-level [`DisplayResponse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidBacklightFactor`] unless
+    /// `beta ∈ [0, 1]`.
+    pub fn response(&self, lut: &LookupTable, beta: f64) -> Result<DisplayResponse> {
+        DisplayResponse::compose(lut, &self.panel, beta)
+    }
+
+    /// Power breakdown computed from a *source-level* histogram and the
+    /// per-level drive map: exactly [`Self::power`] of the drive image, in
+    /// O(levels) instead of O(pixels). Pass the identity map with
+    /// `beta = 1.0` for the undimmed baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisplayError::InvalidBacklightFactor`] unless
+    /// `beta ∈ [0, 1]`.
+    pub fn power_from_histogram(
+        &self,
+        histogram: &Histogram,
+        drive_map: &[u8; 256],
+        beta: f64,
+    ) -> Result<PowerBreakdown> {
+        let ccfl = self.ccfl.power(beta)?;
+        let panel = self.panel.histogram_power(histogram, drive_map);
+        Ok(PowerBreakdown {
+            ccfl,
+            panel,
+            controller: self.controller_power,
+            beta,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +285,35 @@ mod tests {
         let img = GrayImage::filled(4, 4, 200);
         let shown = lcd.displayed_image(&img, 0.5).unwrap();
         assert_eq!(shown.get(0, 0), Some(100));
+    }
+
+    #[test]
+    fn histogram_power_matches_pixel_power_of_the_drive_image() {
+        let lcd = LcdSubsystem::lp064v1();
+        let img = synthetic::portrait(48, 48, 6);
+        let lut = LookupTable::from_fn(|v| v / 2 + 30);
+        let drive = lut.apply(&img);
+        let hist = Histogram::of(&img);
+        for beta in [1.0, 0.6, 0.3] {
+            let from_pixels = lcd.power(&drive, beta).unwrap();
+            let from_hist = lcd
+                .power_from_histogram(&hist, lut.entries(), beta)
+                .unwrap();
+            assert!((from_pixels.total() - from_hist.total()).abs() < 1e-9);
+            assert_eq!(from_pixels.ccfl, from_hist.ccfl);
+            assert_eq!(from_pixels.beta, from_hist.beta);
+        }
+        assert!(lcd.power_from_histogram(&hist, lut.entries(), 1.2).is_err());
+    }
+
+    #[test]
+    fn subsystem_response_matches_displayed_image() {
+        let lcd = LcdSubsystem::lp064v1();
+        let lut = LookupTable::from_fn(|v| v.saturating_add(15));
+        let img = synthetic::landscape(24, 24, 7);
+        let response = lcd.response(&lut, 0.7).unwrap();
+        let expected = lcd.displayed_image(&lut.apply(&img), 0.7).unwrap();
+        assert_eq!(response.apply(&img), expected);
     }
 
     #[test]

@@ -123,6 +123,27 @@ impl GrayImage {
         &self.data
     }
 
+    /// Mutable borrow of the raw row-major pixel buffer.
+    pub fn as_raw_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Reshapes the image in place to the given dimensions, reusing the
+    /// existing allocation whenever its capacity suffices. The pixel
+    /// contents after a reshape are unspecified; callers are expected to
+    /// overwrite every pixel. This is the primitive behind the pipeline's
+    /// reusable frame-buffer scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is 0.
+    pub fn reshape(&mut self, width: u32, height: u32) {
+        assert!(width > 0 && height > 0, "image dimensions must be nonzero");
+        self.width = width;
+        self.height = height;
+        self.data.resize(width as usize * height as usize, 0);
+    }
+
     /// Consumes the image and returns the raw row-major pixel buffer.
     pub fn into_raw(self) -> Vec<u8> {
         self.data
@@ -438,6 +459,26 @@ mod tests {
         let mut in_place = img.clone();
         in_place.map_in_place(|v| v.saturating_add(5));
         assert_eq!(mapped, in_place);
+    }
+
+    #[test]
+    fn reshape_reuses_capacity_and_sets_dimensions() {
+        let mut img = GrayImage::filled(8, 8, 3);
+        let capacity_before = img.data.capacity();
+        img.reshape(4, 4);
+        assert_eq!((img.width(), img.height()), (4, 4));
+        assert_eq!(img.pixel_count(), 16);
+        assert_eq!(img.data.capacity(), capacity_before, "shrink keeps buffer");
+        img.as_raw_mut().fill(9);
+        assert!(img.pixels().all(|v| v == 9));
+        img.reshape(16, 2);
+        assert_eq!(img.pixel_count(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be nonzero")]
+    fn reshape_rejects_zero_dimensions() {
+        GrayImage::filled(2, 2, 0).reshape(0, 2);
     }
 
     #[test]

@@ -82,6 +82,36 @@ pub fn contrast_distortion(histogram: &Histogram, lut: &[u8; 256]) -> f64 {
     1.0 - contrast_fidelity(histogram, lut)
 }
 
+/// Reconstructs the per-level map a deterministic transformation applied to
+/// `original` by reading it off the image pair: wherever the original holds
+/// level `p`, the map records the transformed level at the same position.
+/// Levels absent from `original` keep an identity entry (they carry no
+/// population, so histogram-weighted measures ignore them).
+///
+/// This is the pixel-domain adapter for measures that are natively defined
+/// on `(histogram, level map)` pairs, like [`contrast_distortion`]. The
+/// transformation is assumed to be per-level (as everything the HEBS driver
+/// realizes is); for a non-deterministic pair the last occurrence wins.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn level_map_of_pair(original: &GrayImage, transformed: &GrayImage) -> [u8; 256] {
+    assert_eq!(
+        (original.width(), original.height()),
+        (transformed.width(), transformed.height()),
+        "images must have identical dimensions"
+    );
+    let mut map = [0u8; 256];
+    for (i, e) in map.iter_mut().enumerate() {
+        *e = i as u8;
+    }
+    for (before, after) in original.pixels().zip(transformed.pixels()) {
+        map[before as usize] = after;
+    }
+    map
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +183,28 @@ mod tests {
         assert_eq!(contrast_fidelity(&empty, &identity_lut()), 1.0);
         let single = Histogram::of(&GrayImage::filled(4, 4, 77));
         assert_eq!(contrast_fidelity(&single, &identity_lut()), 1.0);
+    }
+
+    #[test]
+    fn level_map_recovered_from_a_pair_round_trips() {
+        let img = synthetic::landscape(32, 32, 5);
+        let mut lut = identity_lut();
+        for (i, e) in lut.iter_mut().enumerate() {
+            *e = ((i * 2) / 3 + 10) as u8;
+        }
+        let transformed = img.map(|v| lut[v as usize]);
+        let recovered = level_map_of_pair(&img, &transformed);
+        let hist = Histogram::of(&img);
+        for level in 0..256usize {
+            if hist.count(level as u8) > 0 {
+                assert_eq!(recovered[level], lut[level], "level {level}");
+            }
+        }
+        assert_eq!(
+            contrast_distortion(&hist, &recovered),
+            contrast_distortion(&hist, &lut),
+            "unoccupied levels must not change the measure"
+        );
     }
 
     #[test]

@@ -4,19 +4,22 @@
 //! distortion measure so that the paper's choice (HVS-filtered UIQI) can be
 //! compared against plain UIQI, SSIM and RMSE in the ablation experiments.
 
-use hebs_imaging::GrayImage;
+use std::sync::Arc;
 
+use hebs_imaging::{GrayImage, Histogram};
+
+use crate::contrast::{contrast_distortion, level_map_of_pair};
 use crate::hvs::HvsModel;
-use crate::mse::root_mean_squared_error;
+use crate::mse::{mean_squared_error_from_levels, root_mean_squared_error};
 use crate::ssim::structural_similarity;
-use crate::uiqi::universal_quality_index;
+use crate::uiqi::{global_quality_from_levels, global_quality_index, universal_quality_index};
 
 /// A measure of the distortion between an original and a transformed image.
 ///
 /// Implementations return a value in `[0, 1]`, where 0 means "visually
 /// identical" and larger values mean stronger degradation. The HEBS flow
 /// compares this value against the user's tolerable distortion `D_max`.
-pub trait DistortionMeasure {
+pub trait DistortionMeasure: std::fmt::Debug + Send + Sync {
     /// Computes the distortion between `original` and `transformed`.
     ///
     /// # Panics
@@ -24,8 +27,69 @@ pub trait DistortionMeasure {
     /// Implementations panic if the images have different dimensions.
     fn distortion(&self, original: &GrayImage, transformed: &GrayImage) -> f64;
 
+    /// Histogram-domain entry point: the exact distortion of displaying an
+    /// image with the given histogram through the per-level map
+    /// `level_map` (source level → displayed level).
+    ///
+    /// Every *global* statistic (mean, variance, covariance, MSE, contrast
+    /// fidelity) is exactly computable from the 256-bin histogram because
+    /// the displayed level is a deterministic function of the source level
+    /// — the HEBS pipeline exploits this to fit in O(levels) instead of
+    /// O(pixels). Windowed metrics (SSIM, sliding-window UIQI, anything
+    /// behind a spatial HVS filter) cannot be evaluated this way and keep
+    /// the default, which returns `None` to request the pixel path.
+    ///
+    /// Implementations must agree with [`DistortionMeasure::distortion`]
+    /// applied to `(img, level_map(img))` to within float summation order
+    /// (≤ 1e-9 on realistic frames). The capability decision must depend
+    /// only on the measure itself — a given measure must return `Some` for
+    /// every input or `None` for every input, never data-dependently: the
+    /// pipeline probes capability once per fit and assumes stability (an
+    /// unstable measure degrades the search to the pixel path, it does not
+    /// break it).
+    fn distortion_from_levels(&self, histogram: &Histogram, level_map: &[u8; 256]) -> Option<f64> {
+        let _ = (histogram, level_map);
+        None
+    }
+
     /// Short human-readable name used in benchmark reports.
     fn name(&self) -> &'static str;
+}
+
+/// A shared, dynamically typed [`DistortionMeasure`] handle.
+///
+/// The pipeline configuration is parameterized over the measure; this
+/// wrapper keeps the configuration cloneable (`Arc` bump) while allowing
+/// any measure implementation — the paper's windowed HVS metric or one of
+/// the histogram-capable global measures — to be plugged in.
+#[derive(Clone)]
+pub struct SharedMeasure(Arc<dyn DistortionMeasure>);
+
+impl SharedMeasure {
+    /// Wraps a measure.
+    pub fn new<M: DistortionMeasure + 'static>(measure: M) -> Self {
+        SharedMeasure(Arc::new(measure))
+    }
+}
+
+impl std::fmt::Debug for SharedMeasure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::ops::Deref for SharedMeasure {
+    type Target = dyn DistortionMeasure;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl Default for SharedMeasure {
+    fn default() -> Self {
+        SharedMeasure::new(HebsDistortion::default())
+    }
 }
 
 /// Which windowed quality index the [`HebsDistortion`] measure compares the
@@ -136,6 +200,9 @@ impl DistortionMeasure for StructuralDistortion {
 
 /// Naïve pixel-difference distortion: RMSE normalized by the full level
 /// range. Included as the "what the paper argues against" reference point.
+///
+/// Exactly computable in the histogram domain, so fits against this
+/// measure run in O(levels).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PixelDistortion;
 
@@ -144,8 +211,63 @@ impl DistortionMeasure for PixelDistortion {
         (root_mean_squared_error(original, transformed) / 255.0).clamp(0.0, 1.0)
     }
 
+    fn distortion_from_levels(&self, histogram: &Histogram, level_map: &[u8; 256]) -> Option<f64> {
+        let rmse = mean_squared_error_from_levels(histogram, level_map).sqrt();
+        Some((rmse / 255.0).clamp(0.0, 1.0))
+    }
+
     fn name(&self) -> &'static str {
         "rmse"
+    }
+}
+
+/// Global (single-window) UIQI distortion `1 − Q` over whole-image moments.
+///
+/// Because the index only consumes whole-image means, variances and the
+/// covariance, it is exactly computable from the source histogram plus the
+/// per-level display map — the flagship measure of the histogram-domain
+/// fit path: a fit against it costs O(levels) regardless of frame size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GlobalUiqiDistortion;
+
+impl DistortionMeasure for GlobalUiqiDistortion {
+    fn distortion(&self, original: &GrayImage, transformed: &GrayImage) -> f64 {
+        (1.0 - global_quality_index(original, transformed)).clamp(0.0, 1.0)
+    }
+
+    fn distortion_from_levels(&self, histogram: &Histogram, level_map: &[u8; 256]) -> Option<f64> {
+        Some((1.0 - global_quality_from_levels(histogram, level_map)).clamp(0.0, 1.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "uiqi-global"
+    }
+}
+
+/// The CBCS contrast-fidelity distortion (paper reference [5]) as a
+/// [`DistortionMeasure`]: the population-weighted fraction of adjacent
+/// occupied level pairs the transformation collapses.
+///
+/// Natively a `(histogram, level map)` measure, so the histogram path is
+/// its home ground; the pixel path reconstructs the level map from the
+/// image pair (valid for the per-level transformations the HEBS driver
+/// realizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContrastMeasure;
+
+impl DistortionMeasure for ContrastMeasure {
+    fn distortion(&self, original: &GrayImage, transformed: &GrayImage) -> f64 {
+        let histogram = Histogram::of(original);
+        let map = level_map_of_pair(original, transformed);
+        contrast_distortion(&histogram, &map).clamp(0.0, 1.0)
+    }
+
+    fn distortion_from_levels(&self, histogram: &Histogram, level_map: &[u8; 256]) -> Option<f64> {
+        Some(contrast_distortion(histogram, level_map).clamp(0.0, 1.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "contrast"
     }
 }
 
@@ -161,7 +283,89 @@ mod tests {
             Box::new(HebsDistortion::with_raw_uiqi()),
             Box::new(StructuralDistortion),
             Box::new(PixelDistortion),
+            Box::new(GlobalUiqiDistortion),
+            Box::new(ContrastMeasure),
         ]
+    }
+
+    /// The measures whose histogram-domain path must agree exactly with the
+    /// pixel path.
+    fn histogram_capable() -> Vec<Box<dyn DistortionMeasure>> {
+        vec![
+            Box::new(PixelDistortion),
+            Box::new(GlobalUiqiDistortion),
+            Box::new(ContrastMeasure),
+        ]
+    }
+
+    /// Representative display-style level maps: range compression towards
+    /// black composed with backlight dimming and quantization.
+    fn display_level_maps() -> Vec<[u8; 256]> {
+        let mut maps = Vec::new();
+        for (span, beta) in [(256u32, 1.0f64), (220, 0.86), (128, 0.50), (60, 0.23)] {
+            let mut map = [0u8; 256];
+            for (p, e) in map.iter_mut().enumerate() {
+                let compressed = (p as f64 / 255.0 * (span - 1) as f64).round();
+                *e = (beta * compressed).round().clamp(0.0, 255.0) as u8;
+            }
+            maps.push(map);
+        }
+        // A collapsing staircase (the contrast measure's worst case).
+        let mut stairs = [0u8; 256];
+        for (p, e) in stairs.iter_mut().enumerate() {
+            *e = ((p / 4) * 4) as u8;
+        }
+        maps.push(stairs);
+        maps
+    }
+
+    #[test]
+    fn histogram_and_pixel_paths_agree_on_the_synthetic_suite() {
+        let suite = hebs_imaging::SipiSuite::with_size(48);
+        for measure in histogram_capable() {
+            for map in display_level_maps() {
+                for (id, image) in suite.iter() {
+                    let transformed = image.map(|v| map[v as usize]);
+                    let pixel = measure.distortion(image, &transformed);
+                    let hist = measure
+                        .distortion_from_levels(&Histogram::of(image), &map)
+                        .expect("measure is histogram-capable");
+                    assert!(
+                        (pixel - hist).abs() <= 1e-9,
+                        "{} on {}: pixel {pixel} vs histogram {hist}",
+                        measure.name(),
+                        id.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_measures_decline_the_histogram_path() {
+        let hist = Histogram::of(&synthetic::portrait(16, 16, 1));
+        let identity: [u8; 256] = std::array::from_fn(|i| i as u8);
+        assert!(HebsDistortion::default()
+            .distortion_from_levels(&hist, &identity)
+            .is_none());
+        assert!(StructuralDistortion
+            .distortion_from_levels(&hist, &identity)
+            .is_none());
+    }
+
+    #[test]
+    fn shared_measure_delegates_and_clones_cheaply() {
+        let shared = SharedMeasure::new(GlobalUiqiDistortion);
+        let clone = shared.clone();
+        let img = synthetic::still_life(32, 32, 14);
+        let transformed = img.map(|v| v / 2);
+        assert_eq!(
+            shared.distortion(&img, &transformed),
+            clone.distortion(&img, &transformed)
+        );
+        assert_eq!(shared.name(), "uiqi-global");
+        assert_eq!(SharedMeasure::default().name(), "hvs-ssim");
+        assert!(format!("{shared:?}").contains("GlobalUiqiDistortion"));
     }
 
     #[test]

@@ -18,7 +18,14 @@
 //! * [`contrast`] — the contrast-fidelity and pixel-saturation measures used
 //!   by the DLS and CBCS baselines (paper references [4] and [5]).
 //! * [`DistortionMeasure`] — a trait unifying all of the above so the HEBS
-//!   pipeline can be run with any of them.
+//!   pipeline can be run with any of them. Measures whose statistics are
+//!   *global* (RMSE, global UIQI, contrast fidelity) additionally implement
+//!   the histogram-domain entry point
+//!   [`DistortionMeasure::distortion_from_levels`], which evaluates the
+//!   exact distortion from a 256-bin histogram plus a per-level display map
+//!   in O(levels) — the foundation of the core crate's frame-size
+//!   independent fit path. Windowed metrics (SSIM, sliding-window UIQI,
+//!   spatial HVS filtering) decline it and keep the pixel path.
 //!
 //! # Example
 //!
@@ -44,7 +51,8 @@ pub mod uiqi;
 mod window;
 
 pub use distortion::{
-    DistortionMeasure, HebsDistortion, PixelDistortion, QualityIndex, StructuralDistortion,
+    ContrastMeasure, DistortionMeasure, GlobalUiqiDistortion, HebsDistortion, PixelDistortion,
+    QualityIndex, SharedMeasure, StructuralDistortion,
 };
 pub use hvs::HvsModel;
 pub use window::WindowStats;

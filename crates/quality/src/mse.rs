@@ -5,7 +5,7 @@
 //! as ground-truth diagnostics and for the ablation study comparing
 //! distortion measures.
 
-use hebs_imaging::GrayImage;
+use hebs_imaging::{GrayImage, Histogram};
 
 /// Asserts that two images can be compared pixel by pixel.
 fn check_dimensions(a: &GrayImage, b: &GrayImage) {
@@ -56,6 +56,29 @@ pub fn mean_absolute_error(a: &GrayImage, b: &GrayImage) -> f64 {
         .map(|(x, y)| (f64::from(x) - f64::from(y)).abs())
         .sum::<f64>()
         / n
+}
+
+/// Mean squared error computed in the histogram domain: the transformed
+/// image is `level_map[p]` wherever the original is `p`, so the MSE over
+/// the pixels collapses to a sum over the 256 levels.
+///
+/// Exactly equal (up to float summation order) to
+/// [`mean_squared_error`]`(original, level_map(original))`, in O(levels)
+/// instead of O(pixels). An empty histogram reports 0.
+pub fn mean_squared_error_from_levels(histogram: &Histogram, level_map: &[u8; 256]) -> f64 {
+    let total = histogram.total();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (level, &count) in histogram.counts().iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let d = level as f64 - f64::from(level_map[level]);
+        sum += count as f64 * d * d;
+    }
+    sum / total as f64
 }
 
 /// Peak signal-to-noise ratio in decibels (peak level 255).
@@ -124,6 +147,23 @@ mod tests {
         assert_eq!(mean_squared_error(&black, &white), 255.0 * 255.0);
         assert_eq!(mean_absolute_error(&black, &white), 255.0);
         assert_eq!(peak_signal_to_noise_ratio(&black, &white), 0.0);
+    }
+
+    #[test]
+    fn histogram_mse_matches_pixel_mse() {
+        let img = test_image();
+        let mut level_map = [0u8; 256];
+        for (i, e) in level_map.iter_mut().enumerate() {
+            *e = ((i * 2) / 3) as u8;
+        }
+        let transformed = img.map(|v| level_map[v as usize]);
+        let pixel = mean_squared_error(&img, &transformed);
+        let hist = mean_squared_error_from_levels(&Histogram::of(&img), &level_map);
+        assert!((pixel - hist).abs() < 1e-9);
+        assert_eq!(
+            mean_squared_error_from_levels(&Histogram::new(), &level_map),
+            0.0
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! The whole-image index is the mean of the window indices over a sliding
 //! window (8×8 in the original paper).
 
-use hebs_imaging::GrayImage;
+use hebs_imaging::{GrayImage, Histogram};
 
 use crate::window::WindowStats;
 
@@ -60,6 +60,87 @@ pub fn universal_quality_index_windowed(
     } else {
         sum / count as f64
     }
+}
+
+/// Computes the *global* UIQI: the quality index of the whole image treated
+/// as one window (first and second moments over every pixel).
+///
+/// Unlike the windowed index, the global index depends only on whole-image
+/// means, variances and the covariance — statistics that are exactly
+/// computable from the source histogram when the transformation is a
+/// per-level map (see [`global_quality_from_levels`]). This makes it the
+/// natural measure for the histogram-domain fit path.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+pub fn global_quality_index(a: &GrayImage, b: &GrayImage) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "images must have identical dimensions"
+    );
+    let n = a.pixel_count() as f64;
+    if n == 0.0 {
+        return 1.0;
+    }
+    let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for (va, vb) in a.pixels().zip(b.pixels()) {
+        let va = f64::from(va);
+        let vb = f64::from(vb);
+        sa += va;
+        sb += vb;
+        saa += va * va;
+        sbb += vb * vb;
+        sab += va * vb;
+    }
+    let mean_a = sa / n;
+    let mean_b = sb / n;
+    window_quality(
+        mean_a,
+        mean_b,
+        (saa / n - mean_a * mean_a).max(0.0),
+        (sbb / n - mean_b * mean_b).max(0.0),
+        sab / n - mean_a * mean_b,
+    )
+}
+
+/// Computes the global UIQI between an image and its per-level transform
+/// entirely from the histogram: pixels with source level `p` display as
+/// `level_map[p]`, so every whole-image moment is a sum over 256 levels.
+///
+/// Agrees with [`global_quality_index`]`(img, level_map(img))` to within
+/// float summation order, in O(levels) instead of O(pixels). An empty
+/// histogram reports 1 (nothing differs).
+pub fn global_quality_from_levels(histogram: &Histogram, level_map: &[u8; 256]) -> f64 {
+    let total = histogram.total();
+    if total == 0 {
+        return 1.0;
+    }
+    let n = total as f64;
+    let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for (level, &count) in histogram.counts().iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let c = count as f64;
+        let va = level as f64;
+        let vb = f64::from(level_map[level]);
+        sa += c * va;
+        sb += c * vb;
+        saa += c * va * va;
+        sbb += c * vb * vb;
+        sab += c * va * vb;
+    }
+    let mean_a = sa / n;
+    let mean_b = sb / n;
+    window_quality(
+        mean_a,
+        mean_b,
+        (saa / n - mean_a * mean_a).max(0.0),
+        (sbb / n - mean_b * mean_b).max(0.0),
+        sab / n - mean_a * mean_b,
+    )
 }
 
 /// The UIQI of a single window given its moments.
@@ -195,6 +276,35 @@ mod tests {
         let sparse = universal_quality_index_windowed(&a, &b, 8, 8);
         let dense = universal_quality_index_windowed(&a, &b, 8, 2);
         assert!((sparse - dense).abs() < 0.1);
+    }
+
+    #[test]
+    fn global_quality_pixel_and_level_paths_agree() {
+        let img = structured_image();
+        let mut level_map = [0u8; 256];
+        for (i, e) in level_map.iter_mut().enumerate() {
+            *e = ((i * 3) / 4) as u8;
+        }
+        let transformed = img.map(|v| level_map[v as usize]);
+        let pixel = global_quality_index(&img, &transformed);
+        let hist = global_quality_from_levels(&Histogram::of(&img), &level_map);
+        assert!((pixel - hist).abs() < 1e-9, "pixel {pixel} vs hist {hist}");
+        assert!((global_quality_index(&img, &img) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_quality_degenerate_inputs() {
+        let mut identity = [0u8; 256];
+        for (i, e) in identity.iter_mut().enumerate() {
+            *e = i as u8;
+        }
+        assert_eq!(
+            global_quality_from_levels(&Histogram::new(), &identity),
+            1.0
+        );
+        let flat = GrayImage::filled(8, 8, 70);
+        let hist = Histogram::of(&flat);
+        assert!((global_quality_from_levels(&hist, &identity) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -502,14 +502,26 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     }
 }
 
-/// A per-key single-flight table: the first thread to [`FlightTable::join`]
-/// a key becomes the *leader* (and computes the value); threads joining
-/// while the leader is in flight block on the condvar and are told they
-/// waited, so they can re-probe the cache instead of recomputing.
-#[derive(Debug, Default)]
-pub(crate) struct FlightTable<K> {
+/// One independently locked slice of a [`FlightTable`]: the keys currently
+/// in flight plus the condvar their waiters park on.
+#[derive(Debug)]
+struct FlightShard<K> {
     inflight: Mutex<HashSet<K>>,
     done: Condvar,
+}
+
+/// A per-key single-flight table: the first thread to [`FlightTable::join`]
+/// a key becomes the *leader* (and computes the value); threads joining
+/// while the leader is in flight block on the shard's condvar and are told
+/// they waited, so they can re-probe the cache instead of recomputing.
+///
+/// The table is sharded like the store it guards: misses on unrelated keys
+/// hash to different shards and never contend on a common lock, so the
+/// miss path has no global serialization point left.
+#[derive(Debug)]
+pub(crate) struct FlightTable<K> {
+    shards: Vec<FlightShard<K>>,
+    hasher: RandomState,
 }
 
 /// The outcome of joining a flight.
@@ -523,30 +535,37 @@ pub(crate) enum Flight<'a, K: Hash + Eq + Clone> {
 
 /// RAII marker for flight leadership; see [`Flight::Leader`].
 pub(crate) struct FlightGuard<'a, K: Hash + Eq + Clone> {
-    table: &'a FlightTable<K>,
+    shard: &'a FlightShard<K>,
     key: K,
 }
 
 impl<K: Hash + Eq + Clone> FlightTable<K> {
-    pub(crate) fn new() -> Self {
+    /// Creates a table with `shards` independent locks (clamped to ≥ 1).
+    pub(crate) fn new(shards: usize) -> Self {
         FlightTable {
-            inflight: Mutex::new(HashSet::new()),
-            done: Condvar::new(),
+            shards: (0..shards.max(1))
+                .map(|_| FlightShard {
+                    inflight: Mutex::new(HashSet::new()),
+                    done: Condvar::new(),
+                })
+                .collect(),
+            hasher: RandomState::new(),
         }
     }
 
     /// Joins the flight for `key`: returns leadership if no fit is in
     /// flight, otherwise blocks until the current leader finishes.
     pub(crate) fn join(&self, key: &K) -> Flight<'_, K> {
-        let mut inflight: MutexGuard<'_, HashSet<K>> = self.inflight.lock().expect("flight lock");
+        let shard = &self.shards[self.hasher.hash_one(key) as usize % self.shards.len()];
+        let mut inflight: MutexGuard<'_, HashSet<K>> = shard.inflight.lock().expect("flight lock");
         if inflight.insert(key.clone()) {
             return Flight::Leader(FlightGuard {
-                table: self,
+                shard,
                 key: key.clone(),
             });
         }
         while inflight.contains(key) {
-            inflight = self.done.wait(inflight).expect("flight lock");
+            inflight = shard.done.wait(inflight).expect("flight lock");
         }
         Flight::Waited
     }
@@ -555,12 +574,12 @@ impl<K: Hash + Eq + Clone> FlightTable<K> {
 impl<K: Hash + Eq + Clone> Drop for FlightGuard<'_, K> {
     fn drop(&mut self) {
         let mut inflight = self
-            .table
+            .shard
             .inflight
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         inflight.remove(&self.key);
-        self.table.done.notify_all();
+        self.shard.done.notify_all();
     }
 }
 
@@ -626,8 +645,8 @@ pub(crate) fn outcome_bytes(outcome: &ScalingOutcome) -> usize {
         + std::mem::size_of::<ScalingOutcome>()
 }
 
-/// Bytes a cached transform holds resident: its control points, the LUT and
-/// the struct itself.
+/// Bytes a cached transform holds resident: its control points, the LUT
+/// and the struct itself (whose fused display response is stored inline).
 pub(crate) fn transform_bytes(transform: &FrameTransform) -> usize {
     std::mem::size_of_val(transform.curve.points()) + 256 + std::mem::size_of::<FrameTransform>()
 }
@@ -672,7 +691,7 @@ pub(crate) struct ExactCache {
 /// resolution and band width.
 #[derive(Debug)]
 pub(crate) struct ApproximateCache {
-    pub(crate) store: ShardedLru<SignatureKey, FrameTransform>,
+    pub(crate) store: ShardedLru<SignatureKey, Arc<FrameTransform>>,
     pub(crate) flights: FlightTable<SignatureKey>,
     pub(crate) resolution: u8,
     pub(crate) band_width: f64,
@@ -710,7 +729,7 @@ impl TransformCache {
         match config.mode {
             CacheMode::Exact => TransformCache::Exact(ExactCache {
                 store: ShardedLru::bounded(config.capacity, config.shards, byte_budget, config.ttl),
-                flights: FlightTable::new(),
+                flights: FlightTable::new(config.shards),
                 // Random per cache so exact-key collisions cannot be
                 // precomputed by adversarial frame content.
                 seed: RandomState::new().hash_one(0x4845_4253u32),
@@ -718,7 +737,7 @@ impl TransformCache {
             }),
             CacheMode::Approximate => TransformCache::Approximate(ApproximateCache {
                 store: ShardedLru::bounded(config.capacity, config.shards, byte_budget, config.ttl),
-                flights: FlightTable::new(),
+                flights: FlightTable::new(config.shards),
                 resolution: config.signature_resolution,
                 band_width: config.budget_band_width,
             }),
@@ -934,7 +953,7 @@ mod tests {
         use std::sync::atomic::AtomicUsize;
         use std::sync::Barrier;
 
-        let table: FlightTable<u32> = FlightTable::new();
+        let table: FlightTable<u32> = FlightTable::new(4);
         let fits = AtomicUsize::new(0);
         let waits = AtomicUsize::new(0);
         let barrier = Barrier::new(4);
@@ -960,6 +979,30 @@ mod tests {
         assert_eq!(waits.load(Ordering::SeqCst), 3, "everyone else waited");
         // The table is clean afterwards: a new join leads immediately.
         assert!(matches!(table.join(&42), Flight::Leader(_)));
+    }
+
+    #[test]
+    fn flight_shards_do_not_block_unrelated_keys() {
+        // Hold leadership on many keys at once: joining a different key
+        // must lead immediately instead of waiting on another key's flight
+        // (if it waited, this single-threaded test would deadlock).
+        let table: FlightTable<u32> = FlightTable::new(8);
+        let guards: Vec<_> = (0..32u32)
+            .map(|k| match table.join(&k) {
+                Flight::Leader(guard) => guard,
+                Flight::Waited => panic!("distinct keys must not wait on each other"),
+            })
+            .collect();
+        drop(guards);
+        assert!(matches!(table.join(&0), Flight::Leader(_)));
+
+        // A degenerate single-shard table behaves the same way.
+        let single: FlightTable<u32> = FlightTable::new(1);
+        let _a = match single.join(&1) {
+            Flight::Leader(guard) => guard,
+            Flight::Waited => panic!("first join must lead"),
+        };
+        assert!(matches!(single.join(&2), Flight::Leader(_)));
     }
 
     #[test]

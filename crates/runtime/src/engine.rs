@@ -22,7 +22,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hebs_core::{BacklightPolicy, FrameTransform, HebsError, HebsPolicy, ScalingOutcome};
+use hebs_core::{FitScratch, FrameTransform, HebsError, HebsPolicy, ScalingOutcome};
 use hebs_imaging::{GrayImage, Histogram};
 
 use crate::cache::{
@@ -176,26 +176,34 @@ struct EngineInner {
 }
 
 /// The result of one trip through `EngineInner::serve`: the outcome (or the
-/// pipeline error), how the cache was involved, and how many cached
-/// candidates were rejected by verification along the way.
+/// pipeline error), how the cache was involved, how many cached candidates
+/// were rejected by verification along the way, and how many candidate fits
+/// were evaluated (0 on a replay).
 struct Served {
     outcome: std::result::Result<Arc<ScalingOutcome>, HebsError>,
     kind: ServeKind,
     rejections: u64,
+    fit_evaluations: u64,
 }
 
 impl EngineInner {
     /// Serves one frame through the cache (when enabled) or the full policy.
-    fn serve(&self, frame: &GrayImage, budget: f64) -> Served {
+    /// `scratch` is the worker's reusable frame buffer: steady-state fits
+    /// write intermediate candidate images into it instead of allocating.
+    fn serve(&self, frame: &GrayImage, budget: f64, scratch: &mut FitScratch) -> Served {
         match &self.cache {
-            None => Served {
-                outcome: self.policy.optimize(frame, budget).map(Arc::new),
-                kind: ServeKind::Uncached,
-                rejections: 0,
-            },
-            Some(TransformCache::Exact(cache)) => self.serve_exact(cache, frame, budget),
+            None => {
+                let outcome = self.policy.optimize_with_scratch(frame, budget, scratch);
+                Served {
+                    fit_evaluations: outcome.as_ref().map_or(0, |o| u64::from(o.fit_evaluations)),
+                    outcome: outcome.map(Arc::new),
+                    kind: ServeKind::Uncached,
+                    rejections: 0,
+                }
+            }
+            Some(TransformCache::Exact(cache)) => self.serve_exact(cache, frame, budget, scratch),
             Some(TransformCache::Approximate(cache)) => {
-                self.serve_approximate(cache, frame, budget)
+                self.serve_approximate(cache, frame, budget, scratch)
             }
         }
     }
@@ -207,7 +215,13 @@ impl EngineInner {
     /// The hit path performs zero full-frame allocations: the key is a hash
     /// computed in place, verification is one memcmp, and the returned
     /// outcome is a shared `Arc`.
-    fn serve_exact(&self, cache: &ExactCache, frame: &GrayImage, budget: f64) -> Served {
+    fn serve_exact(
+        &self,
+        cache: &ExactCache,
+        frame: &GrayImage,
+        budget: f64,
+        scratch: &mut FitScratch,
+    ) -> Served {
         let key = ExactKey::of(frame, cache.seed, budget_band(budget, cache.band_width));
         let mut rejections = 0u64;
         let satisfies =
@@ -218,6 +232,7 @@ impl EngineInner {
                     outcome: Ok(entry.outcome),
                     kind: ServeKind::Hit,
                     rejections,
+                    fit_evaluations: 0,
                 };
             }
             // Hash collision or a same-band fit whose measured distortion
@@ -242,21 +257,24 @@ impl EngineInner {
                     outcome: Ok(entry.outcome),
                     kind: ServeKind::CoalescedHit,
                     rejections,
+                    fit_evaluations: 0,
                 };
             }
             cache.store.reject_after_wait(&key, generation);
             rejections += 1;
         }
-        let outcome = match self.policy.optimize(frame, budget) {
+        let outcome = match self.policy.optimize_with_scratch(frame, budget, scratch) {
             Ok(outcome) => Arc::new(outcome),
             Err(err) => {
                 return Served {
                     outcome: Err(err),
                     kind: ServeKind::Miss,
                     rejections,
+                    fit_evaluations: 0,
                 }
             }
         };
+        let fit_evaluations = u64::from(outcome.fit_evaluations);
         let entry = ExactEntry::new(frame, Arc::clone(&outcome));
         let weight = entry.weight();
         cache.store.insert(key, entry, weight);
@@ -264,20 +282,24 @@ impl EngineInner {
             outcome: Ok(outcome),
             kind: ServeKind::Miss,
             rejections,
+            fit_evaluations,
         }
     }
 
-    /// Approximate mode: probe by quantized histogram signature, re-apply
-    /// the cached transform to the actual frame and honour the policy's
-    /// distortion contract by only serving it when this frame's measured
-    /// distortion is within the requesting budget. Misses are single-flight
-    /// like the exact mode. (A frame that is infeasible even for a full fit
-    /// keeps missing, which is correct if not cheap.)
+    /// Approximate mode: probe by quantized histogram signature, revalidate
+    /// the cached transform against the actual frame's distortion budget
+    /// (in the histogram domain when the measure allows — a rejected
+    /// candidate then never touches a pixel), and honour the policy's
+    /// distortion contract by only serving outcomes within the requesting
+    /// budget. Misses are single-flight like the exact mode. (A frame that
+    /// is infeasible even for a full fit keeps missing, which is correct if
+    /// not cheap.)
     fn serve_approximate(
         &self,
         cache: &ApproximateCache,
         frame: &GrayImage,
         budget: f64,
+        scratch: &mut FitScratch,
     ) -> Served {
         let histogram = Histogram::of(frame);
         let key = SignatureKey::of(
@@ -287,21 +309,24 @@ impl EngineInner {
             budget_band(budget, cache.band_width),
         );
         let mut rejections = 0u64;
-        // Checks a cached transform against the actual frame. `Ok(Some)` is
+        // Replays a cached transform against the actual frame. `Ok(Some)` is
         // a servable outcome; `Ok(None)` means the entry was rejected (and
         // evicted — only while it is still the generation we looked at, so
-        // a slow apply never throws away a fresh concurrent refit — so
+        // a slow recheck never throws away a fresh concurrent refit — so
         // workers refit or coalesce onto our refit instead of repeatedly
-        // paying a wasted apply on the known-bad transform); `Err`
+        // paying a wasted recheck on the known-bad transform); `Err`
         // propagates an apply failure.
-        let check = |transform: FrameTransform,
+        let check = |transform: Arc<FrameTransform>,
                      generation: u64,
                      after_wait: bool,
                      rejections: &mut u64|
          -> std::result::Result<Option<ScalingOutcome>, HebsError> {
-            match self.policy.apply_frame_transform(frame, &transform) {
-                Ok(outcome) if outcome.distortion <= budget => Ok(Some(outcome)),
-                Ok(_) => {
+            match self
+                .policy
+                .replay_frame_transform(frame, &histogram, &transform, budget)
+            {
+                Ok(Some(outcome)) => Ok(Some(outcome)),
+                Ok(None) => {
                     if after_wait {
                         cache.store.reject_after_wait(&key, generation);
                     } else {
@@ -328,6 +353,7 @@ impl EngineInner {
                         outcome: Ok(Arc::new(outcome)),
                         kind: ServeKind::Hit,
                         rejections,
+                        fit_evaluations: 0,
                     }
                 }
                 Ok(None) => {}
@@ -336,6 +362,7 @@ impl EngineInner {
                         outcome: Err(err),
                         kind: ServeKind::Miss,
                         rejections,
+                        fit_evaluations: 0,
                     }
                 }
             }
@@ -351,6 +378,7 @@ impl EngineInner {
                         outcome: Ok(Arc::new(outcome)),
                         kind: ServeKind::CoalescedHit,
                         rejections,
+                        fit_evaluations: 0,
                     }
                 }
                 Ok(None) => {}
@@ -359,13 +387,14 @@ impl EngineInner {
                         outcome: Err(err),
                         kind: ServeKind::Miss,
                         rejections,
+                        fit_evaluations: 0,
                     }
                 }
             }
         }
         let (outcome, transform) = match self
             .policy
-            .optimize_with_transform_using_histogram(frame, &histogram, budget)
+            .optimize_with_transform_using_histogram(frame, &histogram, budget, scratch)
         {
             Ok(fit) => fit,
             Err(err) => {
@@ -373,25 +402,38 @@ impl EngineInner {
                     outcome: Err(err),
                     kind: ServeKind::Miss,
                     rejections,
+                    fit_evaluations: 0,
                 }
             }
         };
+        let fit_evaluations = u64::from(outcome.fit_evaluations);
         let weight = transform_bytes(&transform);
         cache.store.insert(key, transform, weight);
         Served {
             outcome: Ok(Arc::new(outcome)),
             kind: ServeKind::Miss,
             rejections,
+            fit_evaluations,
         }
     }
 
     /// Serves one frame and records its latency in the cumulative stats.
-    fn serve_timed(&self, index: usize, frame: &GrayImage, budget: f64) -> Result<FrameResult> {
+    fn serve_timed(
+        &self,
+        index: usize,
+        frame: &GrayImage,
+        budget: f64,
+        scratch: &mut FitScratch,
+    ) -> Result<FrameResult> {
         let start = Instant::now();
-        let served = self.serve(frame, budget);
+        let served = self.serve(frame, budget, scratch);
         let latency = start.elapsed();
-        self.totals
-            .record_frame(latency, served.kind, served.rejections);
+        self.totals.record_frame(
+            latency,
+            served.kind,
+            served.rejections,
+            served.fit_evaluations,
+        );
         let outcome = served.outcome.map_err(RuntimeError::Core)?;
         Ok(FrameResult {
             index,
@@ -557,7 +599,9 @@ impl Engine {
     ///
     /// Propagates policy and display errors.
     pub fn process_frame(&self, frame: &GrayImage) -> Result<FrameResult> {
-        self.inner.serve_timed(0, frame, self.inner.max_distortion)
+        let mut scratch = FitScratch::default();
+        self.inner
+            .serve_timed(0, frame, self.inner.max_distortion, &mut scratch)
     }
 
     /// Serves a single frame with a per-request distortion budget instead
@@ -583,7 +627,9 @@ impl Engine {
                 budget: max_distortion,
             });
         }
-        self.inner.serve_timed(0, frame, max_distortion)
+        let mut scratch = FitScratch::default();
+        self.inner
+            .serve_timed(0, frame, max_distortion, &mut scratch)
     }
 
     /// Serves a batch of frames across the worker pool and returns the
@@ -606,15 +652,24 @@ impl Engine {
 
         std::thread::scope(|scope| {
             for _ in 0..worker_count {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= frames.len() {
-                        break;
+                scope.spawn(|| {
+                    // One reusable frame-buffer scratch per worker: the
+                    // steady-state fit path performs no intermediate
+                    // per-frame allocations.
+                    let mut scratch = FitScratch::default();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= frames.len() {
+                            break;
+                        }
+                        let result = self.inner.serve_timed(
+                            index,
+                            &frames[index],
+                            self.inner.max_distortion,
+                            &mut scratch,
+                        );
+                        slots.lock().expect("batch result lock")[index] = Some(result);
                     }
-                    let result =
-                        self.inner
-                            .serve_timed(index, &frames[index], self.inner.max_distortion);
-                    slots.lock().expect("batch result lock")[index] = Some(result);
                 });
             }
         });
@@ -657,12 +712,16 @@ impl Engine {
             let inner = Arc::clone(&self.inner);
             let feed_rx = Arc::clone(&feed_rx);
             let out_tx: SyncSender<Sequenced> = out_tx.clone();
-            handles.push(std::thread::spawn(move || loop {
-                let next = feed_rx.lock().expect("stream feed lock").recv();
-                let Ok((index, frame)) = next else { break };
-                let result = inner.serve_timed(index, &frame, inner.max_distortion);
-                if out_tx.send(Sequenced { index, result }).is_err() {
-                    break; // Consumer went away; stop serving.
+            handles.push(std::thread::spawn(move || {
+                let mut scratch = FitScratch::default();
+                loop {
+                    let next = feed_rx.lock().expect("stream feed lock").recv();
+                    let Ok((index, frame)) = next else { break };
+                    let result =
+                        inner.serve_timed(index, &frame, inner.max_distortion, &mut scratch);
+                    if out_tx.send(Sequenced { index, result }).is_err() {
+                        break; // Consumer went away; stop serving.
+                    }
                 }
             }));
         }
@@ -844,7 +903,7 @@ impl Drop for FrameStream {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hebs_core::PipelineConfig;
+    use hebs_core::{BacklightPolicy, PipelineConfig};
     use hebs_imaging::{synthetic, FrameSequence, SceneKind};
 
     fn engine(config: EngineConfig) -> Engine {
@@ -1186,6 +1245,27 @@ mod tests {
         assert_eq!(counters.misses, stats.cache_misses);
         assert_eq!(counters.rejections, stats.cache_rejected);
         assert_eq!(counters.coalesced, stats.cache_coalesced);
+    }
+
+    #[test]
+    fn fit_evaluations_are_surfaced_and_zero_on_replays() {
+        let engine = engine(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let frame = synthetic::portrait(32, 32, 5);
+        engine.process_frame(&frame).unwrap();
+        let after_miss = engine.stats().fit_evaluations;
+        assert!(
+            after_miss > 0,
+            "a closed-loop miss must report its candidate evaluations"
+        );
+        engine.process_frame(&frame).unwrap(); // exact-cache replay
+        assert_eq!(
+            engine.stats().fit_evaluations,
+            after_miss,
+            "replays run no fits"
+        );
     }
 
     #[test]

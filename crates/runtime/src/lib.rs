@@ -19,14 +19,21 @@
 //!   transformation (the expensive GHE + dynamic-program stage) and only
 //!   re-run the cheap per-frame application. Concurrent misses on the same
 //!   key are *single-flight*: one worker fits while the others wait and
-//!   share the result. Distortion budgets are quantized into bands, so a
-//!   fit whose measured distortion satisfies a stricter budget is shared
-//!   across budgets. This exploits the same observation as hardware HE
-//!   implementations: the transform changes slowly relative to the frame
-//!   rate, so the programmed LUT can be reused across frames.
+//!   share the result — and the in-flight table is sharded like the
+//!   store, so misses on unrelated keys never contend on a common lock.
+//!   Distortion budgets are quantized into bands, so a fit whose measured
+//!   distortion satisfies a stricter budget is shared across budgets, and
+//!   with a histogram-capable measure the budget recheck on a cached fit
+//!   costs O(levels) — a rejected candidate never touches a pixel. This
+//!   exploits the same observation as hardware HE implementations: the
+//!   transform changes slowly relative to the frame rate, so the
+//!   programmed LUT can be reused across frames.
 //! * **Serving statistics** — per-frame latency, throughput, cache
-//!   hit-rate, rejected-hit, coalesced-miss and resident-byte reporting via
-//!   [`BatchReport`] and [`EngineStats`].
+//!   hit-rate, rejected-hit, coalesced-miss, resident-byte and
+//!   fit-evaluation reporting via [`BatchReport`] and [`EngineStats`].
+//!   Each worker owns a reusable [`hebs_core::FitScratch`] frame buffer,
+//!   so steady-state serving performs no intermediate per-frame
+//!   allocations.
 //!
 //! # Example
 //!

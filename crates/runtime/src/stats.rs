@@ -32,14 +32,25 @@ pub(crate) struct StatsCollector {
     cache_misses: AtomicU64,
     cache_coalesced: AtomicU64,
     cache_rejected: AtomicU64,
+    fit_evaluations: AtomicU64,
     busy_nanos: AtomicU64,
 }
 
 impl StatsCollector {
-    pub(crate) fn record_frame(&self, latency: Duration, kind: ServeKind, rejections: u64) {
+    pub(crate) fn record_frame(
+        &self,
+        latency: Duration,
+        kind: ServeKind,
+        rejections: u64,
+        fit_evaluations: u64,
+    ) {
         self.frames.fetch_add(1, Ordering::Relaxed);
         self.busy_nanos
             .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        if fit_evaluations > 0 {
+            self.fit_evaluations
+                .fetch_add(fit_evaluations, Ordering::Relaxed);
+        }
         match kind {
             ServeKind::Uncached => {}
             ServeKind::Hit => {
@@ -68,6 +79,7 @@ impl StatsCollector {
             cache_coalesced: self.cache_coalesced.load(Ordering::Relaxed),
             cache_rejected: self.cache_rejected.load(Ordering::Relaxed),
             cache_bytes: 0,
+            fit_evaluations: self.fit_evaluations.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
         }
     }
@@ -95,6 +107,12 @@ pub struct EngineStats {
     /// Bytes resident in the transformation cache when the snapshot was
     /// taken (0 when the cache is disabled).
     pub cache_bytes: u64,
+    /// Candidate fits evaluated across all served frames: each blend
+    /// candidate scored during a range search counts once; cache replays
+    /// count zero. The histogram-domain fit path makes each of these
+    /// O(levels) instead of O(pixels) — this counter is what the throughput
+    /// bench tracks across PRs to keep that honest.
+    pub fit_evaluations: u64,
     /// Total worker time spent serving frames (sums across workers, so it
     /// can exceed wall-clock time on a pool).
     pub busy: Duration,
@@ -132,9 +150,9 @@ mod tests {
     #[test]
     fn collector_accumulates_and_snapshots() {
         let collector = StatsCollector::default();
-        collector.record_frame(Duration::from_millis(2), ServeKind::Hit, 0);
-        collector.record_frame(Duration::from_millis(4), ServeKind::Miss, 0);
-        collector.record_frame(Duration::from_millis(6), ServeKind::Uncached, 0);
+        collector.record_frame(Duration::from_millis(2), ServeKind::Hit, 0, 0);
+        collector.record_frame(Duration::from_millis(4), ServeKind::Miss, 0, 11);
+        collector.record_frame(Duration::from_millis(6), ServeKind::Uncached, 0, 24);
         let stats = collector.snapshot();
         assert_eq!(stats.frames, 3);
         assert_eq!(stats.cache_hits, 1);
@@ -142,14 +160,15 @@ mod tests {
         assert_eq!(stats.busy, Duration::from_millis(12));
         assert_eq!(stats.mean_latency(), Duration::from_millis(4));
         assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.fit_evaluations, 35, "fit evaluations accumulate");
     }
 
     #[test]
     fn coalesced_and_rejected_counters_accumulate() {
         let collector = StatsCollector::default();
-        collector.record_frame(Duration::from_millis(1), ServeKind::CoalescedHit, 0);
-        collector.record_frame(Duration::from_millis(1), ServeKind::Miss, 1);
-        collector.record_frame(Duration::from_millis(1), ServeKind::CoalescedHit, 1);
+        collector.record_frame(Duration::from_millis(1), ServeKind::CoalescedHit, 0, 0);
+        collector.record_frame(Duration::from_millis(1), ServeKind::Miss, 1, 3);
+        collector.record_frame(Duration::from_millis(1), ServeKind::CoalescedHit, 1, 0);
         let stats = collector.snapshot();
         assert_eq!(stats.cache_hits, 2, "coalesced hits count as hits");
         assert_eq!(stats.cache_coalesced, 2);
@@ -163,5 +182,6 @@ mod tests {
         assert_eq!(stats.cache_hit_rate(), 0.0);
         assert_eq!(stats.mean_latency(), Duration::ZERO);
         assert_eq!(stats.cache_bytes, 0);
+        assert_eq!(stats.fit_evaluations, 0);
     }
 }

@@ -187,6 +187,39 @@ mod tests {
     }
 
     #[test]
+    fn apply_rgb_is_channel_independent_and_shape_preserving() {
+        let lut = LookupTable::from_fn(|v| v / 2 + 40);
+        let rgb = RgbImage::from_fn(5, 3, |x, y| {
+            hebs_imaging::Rgb::new((x * 50) as u8, (y * 80) as u8, (x * y * 20) as u8)
+        });
+        let mapped = lut.apply_rgb(&rgb);
+        assert_eq!((mapped.width(), mapped.height()), (5, 3));
+        for (before, after) in rgb.pixels().zip(mapped.pixels()) {
+            assert_eq!(after.r, lut.map(before.r));
+            assert_eq!(after.g, lut.map(before.g));
+            assert_eq!(after.b, lut.map(before.b));
+        }
+        // The identity table is a no-op on color images too.
+        assert_eq!(LookupTable::identity().apply_rgb(&rgb), rgb);
+    }
+
+    #[test]
+    fn apply_rgb_on_gray_pixels_matches_the_grayscale_path() {
+        // A gray RGB image pushed through the LUT per channel must agree
+        // with converting to luminance first and applying the LUT there:
+        // the luminance round-trip the color pipeline relies on.
+        let lut = LookupTable::from_fn(|v| v.saturating_add(25));
+        let rgb = RgbImage::from_fn(8, 8, |x, y| hebs_imaging::Rgb::gray((x * 31 + y * 3) as u8));
+        let gray_then_lut = lut.apply(&rgb.to_luminance());
+        let lut_then_gray = lut.apply_rgb(&rgb).to_luminance();
+        assert_eq!(gray_then_lut, lut_then_gray);
+        // Rec. 601 luma of a gray pixel is the gray level itself.
+        for level in [0u8, 1, 100, 254, 255] {
+            assert_eq!(hebs_imaging::Rgb::gray(level).luminance(), level);
+        }
+    }
+
+    #[test]
     fn output_range_of_compressive_table() {
         let lut = LookupTable::from_fn(|v| 100 + v / 4);
         assert_eq!(lut.min_output(), 100);

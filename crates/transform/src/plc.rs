@@ -145,25 +145,78 @@ pub fn coarsen(curve: &PiecewiseLinear, max_segments: usize) -> Result<Coarsenin
 
 /// Precomputes, for every pair `i < j`, the squared error of replacing the
 /// original points strictly between `i` and `j` with the chord `i → j`.
+///
+/// Runs in O(n²) (the complexity the DP above assumes): the deviation of an
+/// interior point from the chord is `Δy − s·Δx` with `Δx`, `Δy` measured
+/// from the chord start and `s` the chord slope, so its square expands into
+/// `Δy² − 2s·ΔxΔy + s²Δx²`. For a fixed start the three sums over interior
+/// points grow by one term as the chord end advances, making each pair O(1)
+/// instead of O(n).
 fn chord_errors(points: &[ControlPoint]) -> Vec<Vec<f64>> {
     let n = points.len();
     let mut errors = vec![vec![0.0f64; n]; n];
     for i in 0..n {
-        for j in (i + 1)..n {
-            let a = points[i];
+        let a = points[i];
+        let (mut sum_dy2, mut sum_dxdy, mut sum_dx2) = (0.0f64, 0.0f64, 0.0f64);
+        for j in (i + 2)..n {
+            // Point j−1 was the previous chord end and is now interior.
+            let p = points[j - 1];
+            let dx = p.x - a.x;
+            let dy = p.y - a.y;
+            sum_dy2 += dy * dy;
+            sum_dxdy += dx * dy;
+            sum_dx2 += dx * dx;
             let b = points[j];
-            let dx = b.x - a.x;
-            let mut sum = 0.0;
-            for p in &points[i + 1..j] {
-                let t = (p.x - a.x) / dx;
-                let chord_y = a.y + t * (b.y - a.y);
-                let d = p.y - chord_y;
-                sum += d * d;
-            }
-            errors[i][j] = sum;
+            let slope = (b.y - a.y) / (b.x - a.x);
+            errors[i][j] = (sum_dy2 - 2.0 * slope * sum_dxdy + slope * slope * sum_dx2).max(0.0);
         }
     }
     errors
+}
+
+#[cfg(test)]
+mod tests_chord_errors {
+    use super::*;
+
+    /// The O(n³) reference the fast precomputation must agree with.
+    fn naive_chord_errors(points: &[ControlPoint]) -> Vec<Vec<f64>> {
+        let n = points.len();
+        let mut errors = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let a = points[i];
+                let b = points[j];
+                let dx = b.x - a.x;
+                let mut sum = 0.0;
+                for p in &points[i + 1..j] {
+                    let t = (p.x - a.x) / dx;
+                    let chord_y = a.y + t * (b.y - a.y);
+                    let d = p.y - chord_y;
+                    sum += d * d;
+                }
+                errors[i][j] = sum;
+            }
+        }
+        errors
+    }
+
+    #[test]
+    fn incremental_chord_errors_match_the_naive_sum() {
+        let curve = PiecewiseLinear::from_samples(48, |x| (x * 2.2).sin().abs() * 0.5 + x * 0.4);
+        let points = curve.points();
+        let fast = chord_errors(points);
+        let slow = naive_chord_errors(points);
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                assert!(
+                    (fast[i][j] - slow[i][j]).abs() < 1e-9,
+                    "chord ({i}, {j}): fast {} vs naive {}",
+                    fast[i][j],
+                    slow[i][j]
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -134,11 +134,11 @@ fn distortion_grows_and_beta_falls_as_the_range_shrinks() {
             "distortion not (approximately) monotone at range {range}"
         );
         assert!(
-            eval.beta < previous_beta,
+            eval.beta() < previous_beta,
             "beta not decreasing at range {range}"
         );
         previous_distortion = eval.distortion;
-        previous_beta = eval.beta;
+        previous_beta = eval.beta();
     }
 }
 

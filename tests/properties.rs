@@ -9,11 +9,14 @@
 //! the fixed seeds below.
 
 use hebs::core::ghe::{equalize, TargetRange};
-use hebs::core::{pipeline::evaluate_at_range, PipelineConfig};
+use hebs::core::pipeline::{evaluate_at_range, evaluate_range_from_histogram, fit_transform};
+use hebs::core::PipelineConfig;
 use hebs::display::plrd::HierarchicalPlrd;
 use hebs::imaging::rng::StdRng;
 use hebs::imaging::{GrayImage, Histogram};
-use hebs::quality::{DistortionMeasure, HebsDistortion};
+use hebs::quality::{
+    ContrastMeasure, DistortionMeasure, GlobalUiqiDistortion, HebsDistortion, PixelDistortion,
+};
 use hebs::transform::{coarsen, PixelTransform};
 
 const CASES: usize = 32;
@@ -91,11 +94,11 @@ fn pipeline_outputs_are_bounded_and_deterministic() {
         let b = evaluate_at_range(&config, &image, target).expect("pipeline runs");
         assert!((0.0..=1.0).contains(&a.distortion), "case {case}");
         assert!(a.power_saving < 1.0, "case {case}");
-        assert!(a.beta > 0.0 && a.beta <= 1.0, "case {case}");
+        assert!(a.beta() > 0.0 && a.beta() <= 1.0, "case {case}");
         // Determinism of the full flow.
         assert_eq!(a.distortion, b.distortion, "case {case}");
         assert_eq!(a.power_saving, b.power_saving, "case {case}");
-        assert_eq!(a.lut.entries(), b.lut.entries(), "case {case}");
+        assert_eq!(a.lut().entries(), b.lut().entries(), "case {case}");
     }
 }
 
@@ -114,5 +117,64 @@ fn distortion_measure_is_a_premetric() {
         // Symmetry of the underlying index.
         let d_rev = measure.distortion(&shifted, &image);
         assert!((d - d_rev).abs() < 1e-9, "case {case}");
+    }
+}
+
+#[test]
+fn histogram_and_pixel_distortion_agree_on_random_frames() {
+    // The tentpole parity property: for every histogram-capable measure,
+    // evaluating a real fitted transform in the histogram domain must match
+    // measuring the materialized displayed image, across random frames and
+    // target ranges.
+    let mut rng = StdRng::seed_from_u64(0x415C0);
+    let config = PipelineConfig::default();
+    let measures: Vec<Box<dyn DistortionMeasure>> = vec![
+        Box::new(PixelDistortion),
+        Box::new(GlobalUiqiDistortion),
+        Box::new(ContrastMeasure),
+    ];
+    for case in 0..CASES / 2 {
+        let image = arbitrary_image(&mut rng);
+        let span = rng.random_range(16..=256u32);
+        let weight = f64::from(rng.random_range(0..=4u8)) / 4.0;
+        let hist = Histogram::of(&image);
+        let target = TargetRange::from_span(span).expect("valid span");
+        let transform = fit_transform(&config, &hist, target, weight).expect("fit runs");
+        let displayed = transform.response.apply(&image);
+        for measure in &measures {
+            let pixel = measure.distortion(&image, &displayed);
+            let level = measure
+                .distortion_from_levels(&hist, transform.response.levels())
+                .expect("measure is histogram-capable");
+            assert!(
+                (pixel - level).abs() <= 1e-9,
+                "case {case} span {span} weight {weight} {}: pixel {pixel} vs level {level}",
+                measure.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn level_space_search_matches_pixel_space_search() {
+    // With a histogram-capable measure the level-space fit entry point must
+    // agree with the full materializing evaluation on every random frame.
+    let mut rng = StdRng::seed_from_u64(0xFA57);
+    let config = PipelineConfig::default().with_measure(GlobalUiqiDistortion);
+    for case in 0..CASES / 4 {
+        let image = arbitrary_image(&mut rng);
+        let span = rng.random_range(16..=256u32);
+        let target = TargetRange::from_span(span).expect("valid span");
+        let level = evaluate_range_from_histogram(&config, &Histogram::of(&image), target)
+            .expect("pipeline runs")
+            .expect("global UIQI is histogram-capable");
+        let full = evaluate_at_range(&config, &image, target).expect("pipeline runs");
+        assert_eq!(level.distortion, full.distortion, "case {case}");
+        assert_eq!(level.power_saving, full.power_saving, "case {case}");
+        assert_eq!(
+            level.transform.lut.entries(),
+            full.lut().entries(),
+            "case {case}"
+        );
     }
 }
