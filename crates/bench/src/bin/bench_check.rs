@@ -1,0 +1,154 @@
+//! CI bench-regression gate: compares fresh bench artifacts against the
+//! baselines committed under `bench/baselines/` and exits nonzero on a
+//! regression.
+//!
+//! ```text
+//! cargo run --release -p hebs-bench --bin bench_check -- \
+//!     [--baselines bench/baselines] \
+//!     [--throughput runtime_throughput.json] \
+//!     [--fit-scaling fit_scaling.json] \
+//!     [--latency-tolerance 0.25] [--throughput-tolerance 0.25] \
+//!     [--evals-tolerance 0.05] \
+//!     [--write-baselines]
+//! ```
+//!
+//! Every gated quantity is machine-independent (see
+//! [`hebs_bench::regression`]), so a slower runner or background load
+//! cannot fail CI: fit evaluations per cache miss (fail on any increase
+//! beyond a 5% scheduler-noise guard band — the counter that keeps the
+//! open-loop ≤ 1-per-miss economics honest), p50 latency and throughput
+//! as ratios against the same run's single-thread row (fail at >25%
+//! relative regression), and the fit-scaling *shape* ratios (the
+//! histogram fit's flatness across frame sizes, the pixel paths' cost
+//! relative to it).
+//!
+//! `--write-baselines` refreshes the committed baselines from the current
+//! artifacts instead of checking (used when a PR intentionally moves the
+//! numbers — commit the result).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hebs_bench::regression::{
+    check_fit_scaling, check_throughput, render_report, CheckConfig, CheckReport,
+};
+
+struct Args {
+    baselines: PathBuf,
+    throughput: PathBuf,
+    fit_scaling: PathBuf,
+    config: CheckConfig,
+    write_baselines: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baselines: PathBuf::from("bench/baselines"),
+        throughput: PathBuf::from("runtime_throughput.json"),
+        fit_scaling: PathBuf::from("fit_scaling.json"),
+        config: CheckConfig::default(),
+        write_baselines: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--baselines" => args.baselines = PathBuf::from(value("--baselines")?),
+            "--throughput" => args.throughput = PathBuf::from(value("--throughput")?),
+            "--fit-scaling" => args.fit_scaling = PathBuf::from(value("--fit-scaling")?),
+            "--latency-tolerance" => {
+                args.config.latency_tolerance = value("--latency-tolerance")?
+                    .parse()
+                    .map_err(|e| format!("invalid --latency-tolerance: {e}"))?;
+            }
+            "--throughput-tolerance" => {
+                args.config.throughput_tolerance = value("--throughput-tolerance")?
+                    .parse()
+                    .map_err(|e| format!("invalid --throughput-tolerance: {e}"))?;
+            }
+            "--evals-tolerance" => {
+                args.config.evaluations_tolerance = value("--evals-tolerance")?
+                    .parse()
+                    .map_err(|e| format!("invalid --evals-tolerance: {e}"))?;
+            }
+            "--write-baselines" => args.write_baselines = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+/// Checks one artifact against its baseline (sharing the artifact's file
+/// name), or copies it into the baseline directory in write mode.
+fn gate(
+    name: &str,
+    current_path: &Path,
+    baseline_dir: &Path,
+    write: bool,
+    check: impl Fn(&str, &str) -> Result<CheckReport, String>,
+) -> Result<bool, String> {
+    let baseline_path = baseline_dir.join(
+        current_path
+            .file_name()
+            .ok_or_else(|| format!("{} has no file name", current_path.display()))?,
+    );
+    let current = read(current_path)?;
+    if write {
+        std::fs::create_dir_all(baseline_dir)
+            .map_err(|e| format!("cannot create {}: {e}", baseline_dir.display()))?;
+        std::fs::write(&baseline_path, &current)
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!("refreshed baseline {}", baseline_path.display());
+        return Ok(true);
+    }
+    let baseline = read(&baseline_path)?;
+    let report = check(&baseline, &current)?;
+    print!("{}", render_report(name, &report));
+    Ok(report.passed())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("bench_check: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = args.config;
+    let throughput_ok = gate(
+        "runtime_throughput",
+        &args.throughput,
+        &args.baselines,
+        args.write_baselines,
+        |baseline, current| check_throughput(baseline, current, config),
+    );
+    let fit_scaling_ok = gate(
+        "fit_scaling",
+        &args.fit_scaling,
+        &args.baselines,
+        args.write_baselines,
+        |baseline, current| check_fit_scaling(baseline, current, config),
+    );
+    match (throughput_ok, fit_scaling_ok) {
+        (Ok(true), Ok(true)) => {
+            println!("bench_check: OK");
+            ExitCode::SUCCESS
+        }
+        (Ok(_), Ok(_)) => {
+            eprintln!("bench_check: regression detected (see FAIL lines above)");
+            ExitCode::FAILURE
+        }
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("bench_check: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

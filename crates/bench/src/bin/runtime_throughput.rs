@@ -63,6 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "coalesced",
         "rejected",
         "fit evals",
+        "evals/miss",
+        "fallbacks",
+        "rechar",
         "saving",
     ]);
     for row in &rows {
@@ -81,21 +84,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row.cache_coalesced.to_string(),
             row.cache_rejected.to_string(),
             row.fit_evaluations.to_string(),
+            format!("{:.2}", row.fit_evaluations_per_miss()),
+            row.open_loop_fallbacks.to_string(),
+            row.recharacterizations.to_string(),
             format!("{:.1}%", row.mean_power_saving * 100.0),
         ]);
     }
     println!("{table}");
 
     // Headline speedups per workload: each configuration vs. the
-    // single-thread baseline.
+    // single-thread baseline, plus the open-loop fit economics.
     let mut summary = TextTable::new([
         "workload",
         "pool speedup",
         "pool+cache speedup",
         "histogram-fit speedup",
+        "open-loop speedup",
+        "evals/miss closed->open",
     ]);
-    for chunk in rows.chunks(4) {
-        let [single, pooled, cached, histogram] = chunk else {
+    for chunk in rows.chunks(5) {
+        let [single, pooled, cached, histogram, open_loop] = chunk else {
             continue;
         };
         summary.push_row([
@@ -103,6 +111,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.2}x", pooled.throughput_fps / single.throughput_fps),
             format!("{:.2}x", cached.throughput_fps / single.throughput_fps),
             format!("{:.2}x", histogram.throughput_fps / single.throughput_fps),
+            format!("{:.2}x", open_loop.throughput_fps / single.throughput_fps),
+            format!(
+                "{:.1} -> {:.2}",
+                histogram.fit_evaluations_per_miss(),
+                open_loop.fit_evaluations_per_miss()
+            ),
         ]);
     }
     println!("{summary}");

@@ -10,13 +10,13 @@ use std::time::{Duration, Instant};
 use hebs_core::{
     pipeline::{evaluate_at_range_scratch, evaluate_range_from_histogram, FitScratch},
     BacklightPolicy, CbcsPolicy, DistortionCharacteristic, DlsPolicy, DlsVariant, HebsPolicy,
-    PipelineConfig, TargetRange,
+    PipelineConfig, TargetRange, DEFAULT_RANGES,
 };
 use hebs_imaging::{
     synthetic, FrameSequence, GrayImage, Histogram, SceneKind, SipiImage, SipiSuite,
 };
 use hebs_quality::{DistortionMeasure, GlobalUiqiDistortion};
-use hebs_runtime::{CacheConfig, Engine, EngineConfig};
+use hebs_runtime::{CacheConfig, Engine, EngineConfig, RecharacterizePolicy, ServingMode};
 
 /// One row of the Table 1 reproduction: the savings and measured distortions
 /// for a single image at each distortion budget.
@@ -238,11 +238,42 @@ pub struct RuntimeThroughputRow {
     /// Cached candidates rejected by verification (distortion recheck or
     /// stored-frame mismatch).
     pub cache_rejected: u64,
-    /// Candidate fits evaluated across the workload (cache replays count
-    /// zero) — the work the histogram-domain fit path makes O(levels).
+    /// Frames that ran a full fit (cache misses, including rejected hits).
+    /// `fit_evaluations / cache_misses` is the per-miss fit cost the CI
+    /// regression gate enforces (~8 closed-loop, ≤ 1 open-loop).
+    pub cache_misses: u64,
+    /// Target-range fit evaluations across the workload (cache replays
+    /// count zero) — the work the histogram-domain fit path makes
+    /// O(levels) and the open-loop mode cuts to one per miss.
     pub fit_evaluations: u64,
+    /// Open-loop fits whose measured distortion exceeded the budget and
+    /// were re-served through the closed-loop search (0 outside open-loop
+    /// mode).
+    pub open_loop_fallbacks: u64,
+    /// Distortion characteristic rebuilds performed from the rolling
+    /// traffic sketch (0 outside open-loop mode).
+    pub recharacterizations: u64,
     /// Mean fractional power saving over the workload.
     pub mean_power_saving: f64,
+}
+
+impl RuntimeThroughputRow {
+    /// Fit evaluations per fitted frame: per cache miss for cached
+    /// configurations, per frame for uncached ones (where every frame runs
+    /// a fit but no miss is counted). ~8 for the closed-loop search, ≤ 1
+    /// for open-loop serving — the ratio the CI regression gate enforces.
+    pub fn fit_evaluations_per_miss(&self) -> f64 {
+        let denominator = if self.cache_misses > 0 {
+            self.cache_misses
+        } else {
+            self.frames as u64
+        };
+        if denominator == 0 {
+            0.0
+        } else {
+            self.fit_evaluations as f64 / denominator as f64
+        }
+    }
 }
 
 /// The workloads of the runtime throughput experiment, each paired with the
@@ -289,13 +320,45 @@ fn runtime_workloads(
     ]
 }
 
+/// The pipeline configuration the open-loop rows serve with: the
+/// histogram-capable global UIQI measure, so fits, drift rechecks and
+/// re-characterization all run in O(levels).
+fn open_loop_pipeline() -> PipelineConfig {
+    PipelineConfig::default().with_measure(GlobalUiqiDistortion)
+}
+
+/// Characterizes a workload offline (every `stride`-th frame's histogram,
+/// swept over the paper's default ranges) — the seed curve an open-loop
+/// deployment installs before taking traffic.
+///
+/// # Errors
+///
+/// Propagates characterization errors (the measure must be
+/// histogram-capable).
+pub fn characterize_workload(
+    config: &PipelineConfig,
+    frames: &[GrayImage],
+    stride: usize,
+) -> hebs_core::Result<DistortionCharacteristic> {
+    let histograms: Vec<Histogram> = frames
+        .iter()
+        .step_by(stride.max(1))
+        .map(Histogram::of)
+        .collect();
+    DistortionCharacteristic::characterize_from_histograms(config, &histograms, &DEFAULT_RANGES)
+}
+
 /// Runs the runtime throughput comparison: single thread vs. a worker pool
-/// vs. a worker pool with the transformation cache, over an image-suite
-/// workload and two synthetic video workloads.
+/// vs. a worker pool with the transformation cache vs. the histogram-domain
+/// fit path vs. open-loop serving, over an image-suite workload and two
+/// synthetic video workloads.
 ///
 /// `workers = 0` selects the machine's available parallelism. Video
 /// workloads use the approximate (signature-keyed) cache, the image suite
-/// the exact one, mirroring how a deployment would configure them.
+/// the exact one, mirroring how a deployment would configure them. The
+/// open-loop engine is seeded with a characteristic of every fourth
+/// workload frame, the way a deployment characterizes offline, and keeps
+/// the drift-triggered background re-characterization armed.
 ///
 /// # Errors
 ///
@@ -308,9 +371,19 @@ pub fn run_runtime_throughput(
 ) -> hebs_runtime::Result<Vec<RuntimeThroughputRow>> {
     let mut rows = Vec::new();
     for (workload, cache_for_workload, frames) in runtime_workloads(frame_size, video_frames) {
+        // Warm-up: a few frames through a throwaway engine take the
+        // first-touch costs (page faults, lazy init, CPU ramp-up) off the
+        // first timed row, which is what the CI regression gate compares.
+        let warmup = Engine::new(
+            HebsPolicy::closed_loop(PipelineConfig::default()),
+            EngineConfig::sequential(budget),
+        )?;
+        warmup.process_batch(&frames[..frames.len().min(4)])?;
+
         // The fourth configuration swaps in a histogram-capable distortion
         // measure (global UIQI): the same pooled, cached engine, but every
-        // fit runs in O(levels) instead of O(pixels).
+        // fit runs in O(levels) instead of O(pixels). The fifth serves
+        // open-loop: one fit evaluation per miss instead of a bisection.
         let configurations: Vec<(&str, PipelineConfig, EngineConfig)> = vec![
             (
                 "single-thread",
@@ -339,7 +412,7 @@ pub fn run_runtime_throughput(
             ),
             (
                 "histogram-fit",
-                PipelineConfig::default().with_measure(GlobalUiqiDistortion),
+                open_loop_pipeline(),
                 EngineConfig {
                     workers,
                     max_distortion: budget,
@@ -347,9 +420,32 @@ pub fn run_runtime_throughput(
                     ..EngineConfig::default()
                 },
             ),
+            (
+                "open-loop",
+                open_loop_pipeline(),
+                EngineConfig {
+                    workers,
+                    max_distortion: budget,
+                    cache: Some(cache_for_workload.clone()),
+                    mode: ServingMode::OpenLoop {
+                        recharacterize: RecharacterizePolicy {
+                            interval: None,
+                            drift_limit: Some(8),
+                            ..RecharacterizePolicy::default()
+                        },
+                    },
+                    ..EngineConfig::default()
+                },
+            ),
         ];
         for (name, pipeline, config) in configurations {
+            let open_loop = matches!(config.mode, ServingMode::OpenLoop { .. });
             let engine = Engine::new(HebsPolicy::closed_loop(pipeline), config)?;
+            if open_loop {
+                let seed = characterize_workload(&open_loop_pipeline(), &frames, 4)
+                    .map_err(hebs_runtime::RuntimeError::Core)?;
+                engine.install_characteristic(seed)?;
+            }
             let report = engine.process_batch(&frames)?;
             let stats = engine.stats();
             rows.push(RuntimeThroughputRow {
@@ -366,7 +462,10 @@ pub fn run_runtime_throughput(
                 cache_bytes: stats.cache_bytes,
                 cache_coalesced: stats.cache_coalesced,
                 cache_rejected: stats.cache_rejected,
+                cache_misses: stats.cache_misses,
                 fit_evaluations: stats.fit_evaluations,
+                open_loop_fallbacks: stats.open_loop_fallbacks,
+                recharacterizations: stats.recharacterizations,
                 mean_power_saving: report.mean_power_saving(),
             });
         }
@@ -501,7 +600,11 @@ pub fn run_fit_scaling(
 /// * resident bytes stay within the configured byte budget (and are
 ///   nonzero once fits are cached);
 /// * a concurrent same-key miss storm runs exactly one fit (single
-///   flight).
+///   flight);
+/// * open-loop serving with a seeded characteristic averages ≤ 1 fit
+///   evaluation per cache miss (the closed-loop bisection takes ~8),
+///   honours the distortion budget, and invalidates cached fits when the
+///   characteristic generation changes.
 ///
 /// # Errors
 ///
@@ -594,6 +697,61 @@ pub fn verify_cache_invariants(frame_size: u32) -> Result<(), String> {
     {
         return fail("single flight: ShardedLru counters drifted from EngineStats");
     }
+
+    // Open-loop serving: with a seeded characteristic, every miss must
+    // average at most one fit evaluation, the budget must still hold, and
+    // a characteristic swap must invalidate previously cached fits.
+    let budget = 0.10;
+    let engine = Engine::new(
+        HebsPolicy::closed_loop(open_loop_pipeline()),
+        EngineConfig {
+            workers: 1,
+            max_distortion: budget,
+            cache: Some(CacheConfig::exact()),
+            mode: ServingMode::OpenLoop {
+                recharacterize: RecharacterizePolicy::default(),
+            },
+            ..EngineConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let seed = characterize_workload(&open_loop_pipeline(), &frames, 1)
+        .map_err(|e| format!("open loop: seed characterization failed: {e}"))?;
+    engine
+        .install_characteristic(seed)
+        .map_err(|e| e.to_string())?;
+    for frame in &frames {
+        let result = engine.process_frame(frame).map_err(|e| e.to_string())?;
+        if result.outcome.distortion > budget + 1e-9 {
+            return Err(format!(
+                "open loop: distortion {} exceeds the {budget} budget",
+                result.outcome.distortion
+            ));
+        }
+    }
+    let stats = engine.stats();
+    if stats.cache_misses == 0 {
+        return fail("open loop: a cold pass must miss");
+    }
+    if stats.fit_evaluations > stats.cache_misses {
+        return Err(format!(
+            "open loop: {} fit evaluations for {} misses (must average ≤ 1 per miss)",
+            stats.fit_evaluations, stats.cache_misses
+        ));
+    }
+    // Swap in a freshly characterized curve: the generation tag must turn
+    // previously cached fits into misses instead of replaying stale fits.
+    let reseed =
+        characterize_workload(&open_loop_pipeline(), &frames, 1).map_err(|e| e.to_string())?;
+    engine
+        .install_characteristic(reseed)
+        .map_err(|e| e.to_string())?;
+    let after_swap = engine
+        .process_frame(&frames[0])
+        .map_err(|e| e.to_string())?;
+    if after_swap.cache_hit {
+        return fail("open loop: a characteristic swap must invalidate cached fits");
+    }
     Ok(())
 }
 
@@ -659,12 +817,19 @@ mod tests {
     #[test]
     fn runtime_throughput_covers_all_workloads_and_configurations() {
         let rows = run_runtime_throughput(0.10, 24, 8, 2).unwrap();
-        // 3 workloads x 4 configurations.
-        assert_eq!(rows.len(), 12);
+        // 3 workloads x 5 configurations.
+        assert_eq!(rows.len(), 15);
         for row in &rows {
             assert!(row.frames > 0);
             assert!(row.throughput_fps > 0.0);
-            assert!(row.mean_power_saving > 0.0);
+            if row.configuration == "open-loop" {
+                // The conservative worst-case curve may refuse to dim at
+                // all on heterogeneous traffic (it promises the bound for
+                // every characterized image) — saving 0 is legitimate.
+                assert!(row.mean_power_saving >= 0.0);
+            } else {
+                assert!(row.mean_power_saving > 0.0);
+            }
             assert!(row.p50_latency <= row.p95_latency);
             assert!(
                 row.fit_evaluations > 0,
@@ -676,6 +841,31 @@ mod tests {
                 "single-thread" => assert_eq!(row.workers, 1),
                 _ => assert_eq!(row.workers, 2),
             }
+        }
+        // The headline of the open-loop mode: at most one fit evaluation
+        // per cache miss (the drift fallback would push it above 1, and a
+        // seeded conservative curve must not drift on its own traffic);
+        // the closed-loop rows bisect through several.
+        for row in rows.iter().filter(|r| r.configuration == "open-loop") {
+            assert!(
+                row.cache_misses > 0,
+                "{}: cold pass must miss",
+                row.workload
+            );
+            assert!(
+                row.fit_evaluations_per_miss() <= 1.0,
+                "{}: open-loop averaged {} evaluations per miss",
+                row.workload,
+                row.fit_evaluations_per_miss()
+            );
+        }
+        for row in rows.iter().filter(|r| r.configuration == "histogram-fit") {
+            assert!(
+                row.fit_evaluations_per_miss() > 1.5,
+                "{}: the closed-loop search should bisect (got {} per miss)",
+                row.workload,
+                row.fit_evaluations_per_miss()
+            );
         }
         // The cached pool sees hits on the workloads with exact repeats
         // (the suite is served twice; the scene cut repeats frames). The

@@ -84,7 +84,20 @@ pub fn runtime_throughput_json(
         out.push_str(&format!("\"cache_bytes\": {}, ", row.cache_bytes));
         out.push_str(&format!("\"cache_coalesced\": {}, ", row.cache_coalesced));
         out.push_str(&format!("\"cache_rejected\": {}, ", row.cache_rejected));
+        out.push_str(&format!("\"cache_misses\": {}, ", row.cache_misses));
         out.push_str(&format!("\"fit_evaluations\": {}, ", row.fit_evaluations));
+        out.push_str(&format!(
+            "\"fit_evaluations_per_miss\": {}, ",
+            number(row.fit_evaluations_per_miss())
+        ));
+        out.push_str(&format!(
+            "\"open_loop_fallbacks\": {}, ",
+            row.open_loop_fallbacks
+        ));
+        out.push_str(&format!(
+            "\"recharacterizations\": {}, ",
+            row.recharacterizations
+        ));
         out.push_str(&format!(
             "\"mean_power_saving\": {}",
             number(row.mean_power_saving)
@@ -161,11 +174,17 @@ mod tests {
             cache_bytes: 4096,
             cache_coalesced: 2,
             cache_rejected: 1,
+            cache_misses: 19,
             fit_evaluations: 77,
+            open_loop_fallbacks: 3,
+            recharacterizations: 1,
             mean_power_saving: 0.41,
         }];
         let json = runtime_throughput_json(0.10, 32, 16, &rows);
         assert!(json.contains("\"fit_evaluations\": 77"));
+        assert!(json.contains("\"cache_misses\": 19"));
+        assert!(json.contains("\"open_loop_fallbacks\": 3"));
+        assert!(json.contains("\"recharacterizations\": 1"));
         assert!(json.contains("\"workload\": \"suite \\\"x2\\\"\""));
         assert!(json.contains("\"p50_latency_ms\": 1.9"));
         // Braces and brackets balance (a cheap well-formedness check given

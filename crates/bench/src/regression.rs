@@ -1,0 +1,911 @@
+//! The CI bench-regression gate.
+//!
+//! `bench_check` compares the machine-readable bench artifacts
+//! (`runtime_throughput.json`, `fit_scaling.json`) against baselines
+//! committed under `bench/baselines/`, so a PR that slows the hot path or
+//! reintroduces per-miss bisections fails CI instead of silently shipping.
+//!
+//! The workspace builds without a registry (no `serde`), so this module
+//! carries a minimal recursive-descent JSON parser for the flat shapes the
+//! benches emit, plus the comparison rules. Every gated quantity is chosen
+//! to be **machine-independent**, so a slower CI runner or background load
+//! cannot fail the gate — only a change to the code's relative economics
+//! can:
+//!
+//! * **fit evaluations per miss** — fail on any increase beyond a small
+//!   scheduler-noise guard band (default +5%): the counter that keeps the
+//!   open-loop (1 per miss) vs. closed-loop (~8 per miss) economics honest.
+//! * **p50 latency and throughput** — gated as ratios against the *same
+//!   run's* single-thread row per workload (default ±25%): machine speed
+//!   cancels, so a failure means the cache, the pool or the open-loop path
+//!   got slower *relative to* the plain pipeline. Rows lacking a
+//!   single-thread reference fall back to absolute comparison (which then
+//!   assumes comparable hardware).
+//! * **fit-scaling latencies** — gated as shape ratios: each metric's
+//!   growth from its own smallest-scale value (the histogram fit must stay
+//!   flat) and the pixel paths' cost relative to the histogram fit.
+//!
+//! The trade-off: a regression that slows *every* configuration uniformly
+//! (e.g. the shared apply path) cancels out of the ratios too — absolute
+//! numbers for such auditing are still in the uploaded artifacts, they are
+//! just not CI-gated. Refresh baselines with `bench_check
+//! --write-baselines` when a PR intentionally moves the gated ratios.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (only what the bench artifacts need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also produced for non-finite numbers by the serializer).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, kept as `f64` (the artifacts stay well within the
+    /// exactly-representable integer range).
+    Number(f64),
+    /// A string with escapes resolved.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, insertion-ordered.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a position-annotated description of the first syntax error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_whitespace(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_whitespace(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            byte as char,
+            *pos,
+            bytes.get(*pos).map(|b| *b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_whitespace(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("invalid escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy a full UTF-8 scalar, not just one byte.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_whitespace(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            other => return Err(format!("expected ',' or ']' in array, found {other:?}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_whitespace(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_whitespace(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_whitespace(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            other => return Err(format!("expected ',' or '}}' in object, found {other:?}")),
+        }
+    }
+}
+
+/// Tolerances of the regression gate.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Maximum tolerated relative p50-latency (and fit-latency) increase
+    /// before a row fails (0.25 = +25%).
+    pub latency_tolerance: f64,
+    /// Maximum tolerated relative throughput decrease before a row fails
+    /// (0.25 = −25%).
+    pub throughput_tolerance: f64,
+    /// Guard band on the fit-evaluations-per-miss ratio: any increase
+    /// beyond it fails (kept small — the ratio is machine-independent, the
+    /// band only absorbs single-flight scheduler noise).
+    pub evaluations_tolerance: f64,
+    /// Additive slack on every latency comparison, in milliseconds: a
+    /// regression within `baseline × (1 + tolerance) + floor` passes.
+    /// Keeps tiny baselines (a cache-hit p50 of a few µs) from turning
+    /// scheduler jitter into a 25% "regression".
+    pub latency_floor: f64,
+    /// Throughput and p50 gates are skipped (reported as informational)
+    /// for rows whose *baseline* wall time is below this many ms — there
+    /// is not enough signal in a sub-jitter run to gate on. The
+    /// fit-evaluations-per-miss gate still applies to such rows.
+    pub min_gated_wall_ms: f64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            latency_tolerance: 0.25,
+            throughput_tolerance: 0.25,
+            evaluations_tolerance: 0.05,
+            latency_floor: 0.5,
+            min_gated_wall_ms: 20.0,
+        }
+    }
+}
+
+/// The outcome of one artifact comparison: human-readable per-row lines
+/// plus the violations that should fail CI.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// One line per compared metric (also covers passing rows, so the CI
+    /// log shows what was gated).
+    pub comparisons: Vec<String>,
+    /// The failed comparisons.
+    pub violations: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether the artifact passed the gate.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn compare_latency(
+        &mut self,
+        label: &str,
+        baseline: f64,
+        current: f64,
+        tolerance: f64,
+        floor: f64,
+    ) {
+        let limit = baseline * (1.0 + tolerance) + floor;
+        let line = format!("{label}: {current:.3} vs baseline {baseline:.3} (limit {limit:.3})");
+        if current > limit {
+            self.violations.push(line.clone());
+        }
+        self.comparisons.push(line);
+    }
+
+    fn compare_throughput(&mut self, label: &str, baseline: f64, current: f64, tolerance: f64) {
+        let limit = baseline * (1.0 - tolerance);
+        let line = format!("{label}: {current:.1} vs baseline {baseline:.1} (limit {limit:.1})");
+        if current < limit {
+            self.violations.push(line.clone());
+        }
+        self.comparisons.push(line);
+    }
+}
+
+/// Pulls a named number out of a row object, tolerating `null`.
+fn field(row: &JsonValue, name: &str) -> Option<f64> {
+    row.get(name).and_then(JsonValue::as_number)
+}
+
+/// Indexes a throughput artifact's rows by `(workload, configuration)`.
+fn throughput_rows(doc: &JsonValue) -> Result<HashMap<(String, String), JsonValue>, String> {
+    let rows = doc
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or("throughput artifact has no \"rows\" array")?;
+    let mut index = HashMap::new();
+    for row in rows {
+        let workload = row
+            .get("workload")
+            .and_then(JsonValue::as_str)
+            .ok_or("row missing \"workload\"")?;
+        let configuration = row
+            .get("configuration")
+            .and_then(JsonValue::as_str)
+            .ok_or("row missing \"configuration\"")?;
+        index.insert(
+            (workload.to_string(), configuration.to_string()),
+            row.clone(),
+        );
+    }
+    Ok(index)
+}
+
+/// The fit-evaluations-per-miss ratio for one row. Prefers the serialized
+/// ratio; falls back to recomputing from the raw counters for baselines
+/// produced by an older serializer.
+fn evaluations_per_miss(row: &JsonValue) -> Option<f64> {
+    if let Some(ratio) = field(row, "fit_evaluations_per_miss") {
+        return Some(ratio);
+    }
+    let evaluations = field(row, "fit_evaluations")?;
+    let misses = field(row, "cache_misses")
+        .filter(|m| *m > 0.0)
+        .or_else(|| field(row, "frames").filter(|f| *f > 0.0))?;
+    Some(evaluations / misses)
+}
+
+/// The configuration each workload's timing gates are normalized against.
+const REFERENCE_CONFIGURATION: &str = "single-thread";
+
+/// Gates a `runtime_throughput.json` artifact against its baseline, per
+/// `(workload, configuration)` row:
+///
+/// * **fit evaluations per miss** — always gated (machine-independent);
+/// * **p50 latency and throughput** — gated *relative to the same run's
+///   single-thread row for the workload* when both artifacts have one:
+///   machine speed and background load cancel out of the ratio, so only a
+///   *differential* regression (the cache, the pool, or the open-loop
+///   policy getting slower relative to the plain pipeline) fails. Rows
+///   with no reference fall back to absolute comparison; reference rows
+///   themselves measure machine speed and are reported but not gated.
+///
+/// A row present in the baseline but missing from the current artifact is
+/// a violation (configurations must not silently disappear); new rows pass
+/// with a note.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed artifact.
+pub fn check_throughput(
+    baseline: &str,
+    current: &str,
+    config: CheckConfig,
+) -> Result<CheckReport, String> {
+    let baseline = throughput_rows(&JsonValue::parse(baseline)?)?;
+    let current = throughput_rows(&JsonValue::parse(current)?)?;
+    let mut report = CheckReport::default();
+
+    let mut keys: Vec<_> = baseline.keys().collect();
+    keys.sort();
+    for key in keys {
+        let (workload, configuration) = key;
+        let base_row = &baseline[key];
+        let Some(cur_row) = current.get(key) else {
+            report.violations.push(format!(
+                "{workload}/{configuration}: present in baseline but missing from current run"
+            ));
+            continue;
+        };
+        // Rows whose baseline run was faster than the jitter floor carry
+        // no usable timing signal: skip their latency/throughput gates
+        // (the machine-independent evals/miss gate below still applies).
+        let gate_timing =
+            field(base_row, "wall_ms").map_or(true, |w| w >= config.min_gated_wall_ms);
+        if !gate_timing {
+            report.comparisons.push(format!(
+                "{workload}/{configuration}: timing gates skipped (baseline wall below \
+                 {:.0} ms)",
+                config.min_gated_wall_ms
+            ));
+        }
+        // The same-run reference this workload's timing is normalized by.
+        let reference_key = (workload.clone(), REFERENCE_CONFIGURATION.to_string());
+        let reference = if configuration == REFERENCE_CONFIGURATION {
+            None
+        } else {
+            baseline
+                .get(&reference_key)
+                .zip(current.get(&reference_key))
+        };
+        if gate_timing && configuration == REFERENCE_CONFIGURATION {
+            report.comparisons.push(format!(
+                "{workload}/{configuration}: reference row (absolute speed reflects the \
+                 machine, not the code — not gated)"
+            ));
+        }
+        if let (true, Some((base_ref, cur_ref))) = (gate_timing, reference) {
+            // Normalized p50: row / same-run single-thread.
+            if let (Some(base), Some(cur), Some(base_ref_p50), Some(cur_ref_p50)) = (
+                field(base_row, "p50_latency_ms"),
+                field(cur_row, "p50_latency_ms"),
+                field(base_ref, "p50_latency_ms").filter(|v| *v > 0.0),
+                field(cur_ref, "p50_latency_ms").filter(|v| *v > 0.0),
+            ) {
+                report.compare_latency(
+                    &format!(
+                        "{workload}/{configuration} p50 vs single-thread \
+                         (abs {cur:.3} ms)"
+                    ),
+                    base / base_ref_p50,
+                    cur / cur_ref_p50,
+                    config.latency_tolerance,
+                    config.latency_floor / base_ref_p50,
+                );
+            }
+            // Normalized throughput: row speedup over same-run single-thread.
+            if let (Some(base), Some(cur), Some(base_ref_fps), Some(cur_ref_fps)) = (
+                field(base_row, "throughput_fps"),
+                field(cur_row, "throughput_fps"),
+                field(base_ref, "throughput_fps").filter(|v| *v > 0.0),
+                field(cur_ref, "throughput_fps").filter(|v| *v > 0.0),
+            ) {
+                report.compare_throughput(
+                    &format!(
+                        "{workload}/{configuration} speedup vs single-thread \
+                         (abs {cur:.1} fps)"
+                    ),
+                    base / base_ref_fps,
+                    cur / cur_ref_fps,
+                    config.throughput_tolerance,
+                );
+            }
+        } else if gate_timing && configuration != REFERENCE_CONFIGURATION {
+            // No same-run reference available: fall back to absolute
+            // comparison (only meaningful on comparable hardware).
+            if let (Some(base), Some(cur)) = (
+                field(base_row, "p50_latency_ms"),
+                field(cur_row, "p50_latency_ms"),
+            ) {
+                report.compare_latency(
+                    &format!("{workload}/{configuration} p50 [ms]"),
+                    base,
+                    cur,
+                    config.latency_tolerance,
+                    config.latency_floor,
+                );
+            }
+            if let (Some(base), Some(cur)) = (
+                field(base_row, "throughput_fps"),
+                field(cur_row, "throughput_fps"),
+            ) {
+                report.compare_throughput(
+                    &format!("{workload}/{configuration} throughput [fps]"),
+                    base,
+                    cur,
+                    config.throughput_tolerance,
+                );
+            }
+        }
+        if let (Some(base), Some(cur)) = (
+            evaluations_per_miss(base_row),
+            evaluations_per_miss(cur_row),
+        ) {
+            let limit = base * (1.0 + config.evaluations_tolerance) + 1e-9;
+            let line = format!(
+                "{workload}/{configuration} fit evals/miss: {cur:.3} vs baseline {base:.3} (limit {limit:.3})"
+            );
+            if cur > limit {
+                report.violations.push(line.clone());
+            }
+            report.comparisons.push(line);
+        }
+    }
+    for key in current.keys().filter(|k| !baseline.contains_key(*k)) {
+        report.comparisons.push(format!(
+            "{}/{}: new configuration (no baseline yet)",
+            key.0, key.1
+        ));
+    }
+    Ok(report)
+}
+
+/// Gates a `fit_scaling.json` artifact against its baseline via
+/// machine-independent *shape* ratios:
+///
+/// * at the smallest scale, the cross-metric ratios `pixel/histogram` and
+///   `windowed/histogram` (how much the pixel paths cost relative to the
+///   level-space fit);
+/// * at every larger scale, each metric's growth relative to its own
+///   smallest-scale value — the experiment's headline is that the
+///   histogram fit stays *flat* while the pixel paths grow linearly, and
+///   this is exactly what a regression there moves.
+///
+/// A uniform machine slowdown cancels out of every gated ratio; absolute
+/// per-fit latencies are never compared across runs.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed artifact.
+pub fn check_fit_scaling(
+    baseline: &str,
+    current: &str,
+    config: CheckConfig,
+) -> Result<CheckReport, String> {
+    const METRICS: [&str; 3] = ["histogram_fit_us", "pixel_fit_us", "windowed_fit_us"];
+    /// Additive slack on the gated shape ratios: both operands of a ratio
+    /// jitter, so pure relative tolerance on a ratio near 1.0 would double
+    /// the effective noise sensitivity.
+    const RATIO_SLACK: f64 = 0.25;
+    let index = |doc: &JsonValue| -> Result<HashMap<u64, JsonValue>, String> {
+        let rows = doc
+            .get("rows")
+            .and_then(JsonValue::as_array)
+            .ok_or("fit-scaling artifact has no \"rows\" array")?;
+        let mut map = HashMap::new();
+        for row in rows {
+            let scale = field(row, "scale").ok_or("row missing \"scale\"")? as u64;
+            map.insert(scale, row.clone());
+        }
+        Ok(map)
+    };
+    let baseline = index(&JsonValue::parse(baseline)?)?;
+    let current = index(&JsonValue::parse(current)?)?;
+    let mut report = CheckReport::default();
+    let mut scales: Vec<_> = baseline.keys().copied().collect();
+    scales.sort_unstable();
+    let Some(&reference_scale) = scales.first() else {
+        return Ok(report);
+    };
+    for &scale in &scales {
+        let base_row = &baseline[&scale];
+        let Some(cur_row) = current.get(&scale) else {
+            report
+                .violations
+                .push(format!("scale {scale}x: missing from current run"));
+            continue;
+        };
+        if scale == reference_scale {
+            // Cross-metric shape at the reference scale: the pixel paths'
+            // cost relative to the histogram-domain fit.
+            for metric in ["pixel_fit_us", "windowed_fit_us"] {
+                if let (Some(base), Some(cur), Some(base_hist), Some(cur_hist)) = (
+                    field(base_row, metric),
+                    field(cur_row, metric),
+                    field(base_row, "histogram_fit_us").filter(|v| *v > 0.0),
+                    field(cur_row, "histogram_fit_us").filter(|v| *v > 0.0),
+                ) {
+                    report.compare_latency(
+                        &format!("scale {scale}x {metric} / histogram_fit_us"),
+                        base / base_hist,
+                        cur / cur_hist,
+                        config.latency_tolerance,
+                        RATIO_SLACK,
+                    );
+                }
+            }
+            continue;
+        }
+        // Growth relative to the metric's own reference-scale value: the
+        // histogram fit must stay flat, the pixel paths must not steepen.
+        let base_ref = &baseline[&reference_scale];
+        let Some(cur_ref) = current.get(&reference_scale) else {
+            continue; // already reported missing above
+        };
+        for metric in METRICS {
+            if let (Some(base), Some(cur), Some(base_at_ref), Some(cur_at_ref)) = (
+                field(base_row, metric),
+                field(cur_row, metric),
+                field(base_ref, metric).filter(|v| *v > 0.0),
+                field(cur_ref, metric).filter(|v| *v > 0.0),
+            ) {
+                report.compare_latency(
+                    &format!("scale {scale}x {metric} growth vs {reference_scale}x"),
+                    base / base_at_ref,
+                    cur / cur_at_ref,
+                    config.latency_tolerance,
+                    RATIO_SLACK,
+                );
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Renders a report section for the CI log.
+pub fn render_report(name: &str, report: &CheckReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {name} ==");
+    for line in &report.comparisons {
+        let status = if report.violations.contains(line) {
+            "FAIL"
+        } else {
+            "ok  "
+        };
+        let _ = writeln!(out, "  {status} {line}");
+    }
+    for violation in report
+        .violations
+        .iter()
+        .filter(|v| !report.comparisons.contains(v))
+    {
+        let _ = writeln!(out, "  FAIL {violation}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn throughput_doc_with_wall(wall: f64, p50: f64, fps: f64, evals: u64, misses: u64) -> String {
+        format!(
+            r#"{{"budget": 0.1, "frame_size": 32, "video_frames": 16, "rows": [
+                {{"workload": "suite x2", "configuration": "open-loop", "workers": 4,
+                  "frames": 38, "wall_ms": {wall}, "p50_latency_ms": {p50},
+                  "throughput_fps": {fps},
+                  "cache_misses": {misses}, "fit_evaluations": {evals}}}
+            ]}}"#
+        )
+    }
+
+    fn throughput_doc(p50: f64, fps: f64, evals: u64, misses: u64) -> String {
+        throughput_doc_with_wall(600.0, p50, fps, evals, misses)
+    }
+
+    #[test]
+    fn parser_round_trips_the_bench_shapes() {
+        let doc = JsonValue::parse(&throughput_doc(1.5, 300.0, 19, 19)).unwrap();
+        assert_eq!(
+            doc.get("frame_size").and_then(JsonValue::as_number),
+            Some(32.0)
+        );
+        let rows = doc.get("rows").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].get("configuration").and_then(JsonValue::as_str),
+            Some("open-loop")
+        );
+    }
+
+    #[test]
+    fn parser_handles_escapes_null_and_nesting() {
+        let doc = JsonValue::parse(
+            r#"{"s": "a\"b\\c\nd A", "n": null, "b": [true, false], "x": -1.5e2}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("s").and_then(JsonValue::as_str),
+            Some("a\"b\\c\nd A")
+        );
+        assert_eq!(doc.get("n"), Some(&JsonValue::Null));
+        assert_eq!(doc.get("x").and_then(JsonValue::as_number), Some(-150.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1, 2,]").is_err());
+        assert!(JsonValue::parse("{\"a\": 1} trailing").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let doc = throughput_doc(2.0, 300.0, 19, 19);
+        let report = check_throughput(&doc, &doc, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(!report.comparisons.is_empty());
+    }
+
+    #[test]
+    fn latency_and_throughput_regressions_fail() {
+        let base = throughput_doc(2.0, 300.0, 19, 19);
+        // +60%: beyond both the 25% tolerance and the 0.5 ms floor.
+        let slow = throughput_doc(3.2, 300.0, 19, 19);
+        let report = check_throughput(&base, &slow, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("p50"));
+
+        let sluggish = throughput_doc(2.0, 200.0, 19, 19); // -33% fps
+        let report = check_throughput(&base, &sluggish, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("throughput"));
+
+        // Within tolerance passes.
+        let ok = throughput_doc(2.4, 250.0, 19, 19);
+        assert!(check_throughput(&base, &ok, CheckConfig::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn tiny_latencies_are_cushioned_by_the_floor() {
+        // A 5 µs cache-hit p50 doubling to 10 µs is scheduler jitter, not a
+        // regression: the additive 0.5 ms floor absorbs it.
+        let base = throughput_doc(0.005, 300.0, 19, 19);
+        let jitter = throughput_doc(0.010, 300.0, 19, 19);
+        assert!(check_throughput(&base, &jitter, CheckConfig::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn sub_jitter_walls_skip_timing_gates_but_not_the_evals_gate() {
+        // Baseline wall 3 ms (< 20 ms): latency/throughput swings pass...
+        let base = throughput_doc_with_wall(3.0, 0.003, 6000.0, 2, 2);
+        let noisy = throughput_doc_with_wall(5.0, 0.030, 2000.0, 2, 2);
+        let report = check_throughput(&base, &noisy, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.contains("timing gates skipped")));
+
+        // ...but the machine-independent evals/miss gate still fires.
+        let bisecting = throughput_doc_with_wall(3.0, 0.003, 6000.0, 16, 2);
+        let report = check_throughput(&base, &bisecting, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("fit evals/miss"));
+    }
+
+    #[test]
+    fn fit_evaluation_per_miss_increases_fail() {
+        let base = throughput_doc(2.0, 300.0, 40, 40); // 1.0 per miss
+        let bisecting = throughput_doc(2.0, 300.0, 320, 40); // 8.0 per miss
+        let report = check_throughput(&base, &bisecting, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("fit evals/miss"));
+
+        // Scheduler noise inside the 5% guard band passes (+2.5% here).
+        let noisy = throughput_doc(2.0, 300.0, 41, 40);
+        assert!(check_throughput(&base, &noisy, CheckConfig::default())
+            .unwrap()
+            .passed());
+    }
+
+    /// Baseline+current docs with a single-thread reference row and an
+    /// open-loop row for one workload.
+    fn throughput_pair_doc(ref_p50: f64, ref_fps: f64, ol_p50: f64, ol_fps: f64) -> String {
+        format!(
+            r#"{{"budget": 0.1, "rows": [
+                {{"workload": "suite x2", "configuration": "single-thread",
+                  "frames": 38, "wall_ms": 600.0, "p50_latency_ms": {ref_p50},
+                  "throughput_fps": {ref_fps}, "cache_misses": 0,
+                  "fit_evaluations": 342}},
+                {{"workload": "suite x2", "configuration": "open-loop",
+                  "frames": 38, "wall_ms": 30.0, "p50_latency_ms": {ol_p50},
+                  "throughput_fps": {ol_fps}, "cache_misses": 19,
+                  "fit_evaluations": 19}}
+            ]}}"#
+        )
+    }
+
+    #[test]
+    fn uniform_machine_slowdown_passes_the_normalized_gates() {
+        let base = throughput_pair_doc(16.0, 62.0, 1.1, 1600.0);
+        // Everything 2x slower — a loaded or weaker machine, not a code
+        // regression: all gated ratios are unchanged.
+        let loaded = throughput_pair_doc(32.0, 31.0, 2.2, 800.0);
+        let report = check_throughput(&base, &loaded, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.contains("reference row")));
+    }
+
+    #[test]
+    fn differential_regressions_fail_the_normalized_gates() {
+        let base = throughput_pair_doc(16.0, 62.0, 1.1, 1600.0);
+        // The open-loop row alone slows 3x while the reference is steady:
+        // a real regression in the gated path.
+        let regressed = throughput_pair_doc(16.0, 62.0, 3.3, 530.0);
+        let report = check_throughput(&base, &regressed, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("vs single-thread")));
+    }
+
+    #[test]
+    fn missing_configurations_fail_and_new_ones_pass() {
+        let base = throughput_doc(2.0, 300.0, 19, 19);
+        let empty = r#"{"rows": []}"#;
+        let report = check_throughput(&base, empty, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("missing"));
+
+        let report = check_throughput(empty, &base, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "new configurations are not violations");
+        assert!(report.comparisons[0].contains("new configuration"));
+    }
+
+    /// Two-scale fit-scaling artifact: `(histogram, pixel, windowed)` per
+    /// scale.
+    fn fit_scaling_doc(s1: (f64, f64, f64), s4: (f64, f64, f64)) -> String {
+        format!(
+            r#"{{"base": 32, "repeats": 2, "rows": [
+                {{"scale": 1, "width": 32, "pixels": 1024,
+                  "histogram_fit_us": {}, "pixel_fit_us": {},
+                  "windowed_fit_us": {}}},
+                {{"scale": 4, "width": 128, "pixels": 16384,
+                  "histogram_fit_us": {}, "pixel_fit_us": {},
+                  "windowed_fit_us": {}}}
+            ]}}"#,
+            s1.0, s1.1, s1.2, s4.0, s4.1, s4.2
+        )
+    }
+
+    #[test]
+    fn fit_scaling_gates_shape_not_machine_speed() {
+        // Flat histogram fit, linear pixel/windowed growth.
+        let base = fit_scaling_doc((1400.0, 1500.0, 2000.0), (1400.0, 6000.0, 32000.0));
+
+        // A uniformly 2x slower machine changes no gated ratio: passes.
+        let slow_machine = fit_scaling_doc((2800.0, 3000.0, 4000.0), (2800.0, 12000.0, 64000.0));
+        let report = check_fit_scaling(&base, &slow_machine, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+
+        // The histogram fit losing its flatness (growing 2.5x with pixels)
+        // is a shape regression: fails even at identical absolute speed
+        // elsewhere.
+        let steepened = fit_scaling_doc((1400.0, 1500.0, 2000.0), (3500.0, 6000.0, 32000.0));
+        let report = check_fit_scaling(&base, &steepened, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("histogram_fit_us growth"));
+
+        // The pixel path getting disproportionately expensive relative to
+        // the histogram fit at the reference scale also fails.
+        let heavier_pixels = fit_scaling_doc((1400.0, 4000.0, 2000.0), (1400.0, 6000.0, 32000.0));
+        let report = check_fit_scaling(&base, &heavier_pixels, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("pixel_fit_us / histogram_fit_us"));
+
+        // A missing scale is a violation.
+        let only_one = r#"{"rows": [{"scale": 1, "histogram_fit_us": 1400.0,
+            "pixel_fit_us": 1500.0, "windowed_fit_us": 2000.0}]}"#;
+        let report = check_fit_scaling(&base, only_one, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("missing"));
+    }
+
+    #[test]
+    fn report_rendering_marks_failures() {
+        let base = throughput_doc(2.0, 300.0, 19, 19);
+        let slow = throughput_doc(4.0, 300.0, 19, 19);
+        let report = check_throughput(&base, &slow, CheckConfig::default()).unwrap();
+        let rendered = render_report("runtime_throughput", &report);
+        assert!(rendered.contains("FAIL"));
+        assert!(rendered.contains("ok  "));
+    }
+}

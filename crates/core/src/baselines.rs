@@ -2,12 +2,12 @@
 //!
 //! The paper compares HEBS against two earlier backlight-scaling approaches:
 //!
-//! * **DLS** (Chang, Choi, Shim — reference [4]): dim the backlight and
+//! * **DLS** (Chang, Choi, Shim — reference \[4\]): dim the backlight and
 //!   compensate every pixel with either the *brightness compensation*
 //!   `Φ(x,β) = min(1, x + 1 − β)` or the *contrast enhancement*
 //!   `Φ(x,β) = min(1, x/β)` function; distortion comes from the pixels that
 //!   saturate.
-//! * **CBCS** (Cheng, Pedram — reference [5]): pick one band `[g_l, g_u]` of
+//! * **CBCS** (Cheng, Pedram — reference \[5\]): pick one band `[g_l, g_u]` of
 //!   the histogram, clamp everything outside it and spread the band over the
 //!   full grayscale range with the conventional reference driver; the
 //!   backlight is dimmed to the band width.
@@ -53,7 +53,7 @@ impl DlsVariant {
     }
 }
 
-/// The DLS baseline policy of reference [4].
+/// The DLS baseline policy of reference \[4\].
 #[derive(Debug, Clone)]
 pub struct DlsPolicy {
     variant: DlsVariant,
@@ -144,7 +144,7 @@ impl BacklightPolicy for DlsPolicy {
 }
 
 /// The CBCS (concurrent brightness/contrast scaling) baseline policy of
-/// reference [5].
+/// reference \[5\].
 #[derive(Debug, Clone)]
 pub struct CbcsPolicy {
     subsystem: LcdSubsystem,

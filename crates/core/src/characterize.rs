@@ -13,7 +13,9 @@ use hebs_imaging::{GrayImage, Histogram};
 use crate::error::{HebsError, Result};
 use crate::fit::{fit_upper_envelope, Polynomial};
 use crate::ghe::TargetRange;
-use crate::pipeline::{evaluate_at_range_with_histogram, PipelineConfig};
+use crate::pipeline::{
+    evaluate_at_range_with_histogram, evaluate_range_from_histogram, PipelineConfig,
+};
 
 /// One measured `(dynamic range, distortion)` sample, tagged with the image
 /// it came from.
@@ -62,6 +64,49 @@ impl DistortionCharacteristic {
                 let eval = evaluate_at_range_with_histogram(config, image, &histogram, target)?;
                 samples.push(CharacterizationSample {
                     image: name.to_string(),
+                    dynamic_range: range,
+                    distortion: eval.distortion,
+                    power_saving: eval.power_saving,
+                });
+            }
+        }
+        Self::from_samples(samples)
+    }
+
+    /// Rebuilds the characteristic from bare histograms, entirely in the
+    /// histogram domain — no frames required.
+    ///
+    /// This is what makes the curve *rebuildable at serving time*: a runtime
+    /// that keeps a rolling sketch of recent traffic histograms can
+    /// re-characterize in O(histograms × ranges × levels) without retaining
+    /// a single frame. Requires a histogram-capable distortion measure (the
+    /// windowed paper default needs pixels and declines).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HebsError::HistogramIncapableMeasure`] when the configured
+    /// measure declines the histogram-domain evaluation path,
+    /// [`HebsError::InsufficientData`] when fewer than three samples could
+    /// be produced, plus any error from the underlying pipeline.
+    pub fn characterize_from_histograms<'a, I>(
+        config: &PipelineConfig,
+        histograms: I,
+        ranges: &[u32],
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = &'a Histogram>,
+    {
+        let mut samples = Vec::new();
+        for (index, histogram) in histograms.into_iter().enumerate() {
+            for &range in ranges {
+                let target = TargetRange::from_span(range)?;
+                let Some(eval) = evaluate_range_from_histogram(config, histogram, target)? else {
+                    return Err(HebsError::HistogramIncapableMeasure {
+                        measure: config.measure.name().to_string(),
+                    });
+                };
+                samples.push(CharacterizationSample {
+                    image: format!("sketch-{index}"),
                     dynamic_range: range,
                     distortion: eval.distortion,
                     power_saving: eval.power_saving,
@@ -167,6 +212,39 @@ impl DistortionCharacteristic {
             best_achievable: predict(256),
         })
     }
+
+    /// How far a measured distortion drifted *past* what the curve promised
+    /// at this dynamic range: `measured − predicted_worst_case(range)`.
+    ///
+    /// A diagnostic for open-loop deployments: a positive value means the
+    /// characterized traffic no longer describes the current traffic (the
+    /// lookup under-provisioned the range). Note the serving runtime's own
+    /// drift *fallback* triggers on the budget, not on this quantity —
+    /// this method quantifies how stale a curve is, e.g. for monitoring or
+    /// for tuning `RecharacterizePolicy` thresholds.
+    pub fn drift(&self, dynamic_range: u32, measured: f64) -> f64 {
+        measured - self.predicted_worst_case(dynamic_range)
+    }
+
+    /// The largest absolute difference between this curve's predictions and
+    /// `other`'s (average and worst-case fits) over the given ranges.
+    ///
+    /// The serving runtime uses this to decide whether a freshly rebuilt
+    /// curve is different enough to be worth *swapping in*: installing a
+    /// statistically identical curve would only invalidate every
+    /// generation-tagged cache entry for nothing.
+    pub fn max_prediction_delta(&self, other: &Self, ranges: &[u32]) -> f64 {
+        ranges
+            .iter()
+            .map(|&range| {
+                let average =
+                    (self.predicted_distortion(range) - other.predicted_distortion(range)).abs();
+                let worst =
+                    (self.predicted_worst_case(range) - other.predicted_worst_case(range)).abs();
+                average.max(worst)
+            })
+            .fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +325,75 @@ mod tests {
         assert!(characteristic.min_range_for(-0.1, false).is_err());
         assert!(characteristic.min_range_for(1.5, false).is_err());
         assert!(characteristic.min_range_for(f64::NAN, false).is_err());
+    }
+
+    #[test]
+    fn histogram_characterization_matches_the_pixel_path() {
+        use hebs_quality::GlobalUiqiDistortion;
+        // With a histogram-capable measure, rebuilding the curve from bare
+        // histograms must produce the same samples as characterizing from
+        // the frames they came from.
+        let config = PipelineConfig::default().with_measure(GlobalUiqiDistortion);
+        let suite = tiny_suite();
+        let ranges = [60u32, 120, 180, 240];
+        let from_frames = DistortionCharacteristic::characterize(
+            &config,
+            suite.iter().map(|(n, i)| (n.as_str(), i)),
+            &ranges,
+        )
+        .unwrap();
+        let histograms: Vec<Histogram> = suite.iter().map(|(_, i)| Histogram::of(i)).collect();
+        let from_histograms =
+            DistortionCharacteristic::characterize_from_histograms(&config, &histograms, &ranges)
+                .unwrap();
+        assert_eq!(from_frames.samples().len(), from_histograms.samples().len());
+        for (a, b) in from_frames.samples().iter().zip(from_histograms.samples()) {
+            assert_eq!(a.dynamic_range, b.dynamic_range);
+            assert!((a.distortion - b.distortion).abs() <= 1e-12);
+            assert!((a.power_saving - b.power_saving).abs() <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn windowed_measures_decline_histogram_characterization() {
+        // The paper's default HVS + SSIM measure needs pixels.
+        let config = PipelineConfig::default();
+        let histograms = vec![Histogram::of(&synthetic::portrait(32, 32, 3))];
+        assert!(matches!(
+            DistortionCharacteristic::characterize_from_histograms(
+                &config,
+                &histograms,
+                &[120, 200]
+            ),
+            Err(HebsError::HistogramIncapableMeasure { .. })
+        ));
+    }
+
+    #[test]
+    fn prediction_delta_is_zero_against_self_and_large_against_a_liar() {
+        let characteristic = tiny_characteristic();
+        let ranges = [60u32, 120, 180, 240];
+        assert!(characteristic.max_prediction_delta(&characteristic, &ranges) <= 1e-12);
+
+        let lying: Vec<CharacterizationSample> = (1..=5)
+            .map(|i| CharacterizationSample {
+                image: format!("lie{i}"),
+                dynamic_range: 40 * i,
+                distortion: 0.0,
+                power_saving: 0.9,
+            })
+            .collect();
+        let liar = DistortionCharacteristic::from_samples(lying).unwrap();
+        assert!(characteristic.max_prediction_delta(&liar, &ranges) > 0.01);
+    }
+
+    #[test]
+    fn drift_is_positive_past_the_worst_case_prediction() {
+        let characteristic = tiny_characteristic();
+        let promised = characteristic.predicted_worst_case(120);
+        assert!(characteristic.drift(120, promised + 0.05) > 0.04);
+        assert!(characteristic.drift(120, promised) <= 1e-12);
+        assert!(characteristic.drift(120, 0.0) <= 0.0);
     }
 
     #[test]

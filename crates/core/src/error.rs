@@ -32,6 +32,12 @@ pub enum HebsError {
         /// Number of samples required.
         required: usize,
     },
+    /// The configured distortion measure does not support the requested
+    /// histogram-domain operation (windowed measures need pixels).
+    HistogramIncapableMeasure {
+        /// Name of the measure that declined the histogram path.
+        measure: String,
+    },
     /// No backlight setting satisfies the requested distortion bound.
     Infeasible {
         /// The distortion bound that could not be met.
@@ -57,6 +63,10 @@ impl fmt::Display for HebsError {
             HebsError::InsufficientData { samples, required } => write!(
                 f,
                 "need at least {required} characterization samples, got {samples}"
+            ),
+            HebsError::HistogramIncapableMeasure { measure } => write!(
+                f,
+                "distortion measure {measure} cannot be evaluated in the histogram domain"
             ),
             HebsError::Infeasible {
                 max_distortion,

@@ -49,8 +49,9 @@ pub struct ScalingOutcome {
     pub lut: LookupTable,
     /// The luminance image the display emits.
     pub displayed: GrayImage,
-    /// Number of candidate fits the policy evaluated to produce this
-    /// outcome (0 when a cached transform was replayed).
+    /// Number of target-range fit evaluations the policy performed to
+    /// produce this outcome: ~8 for a closed-loop search, 1 for an
+    /// open-loop lookup, 0 when a cached transform was replayed.
     pub fit_evaluations: u32,
 }
 
@@ -97,8 +98,10 @@ pub enum RangeSelection {
     /// (the paper's flow — a single table lookup at run time). The boolean
     /// selects the conservative (worst-case) fit.
     Characteristic {
-        /// The fitted curve to look ranges up on.
-        curve: DistortionCharacteristic,
+        /// The fitted curve to look ranges up on. Shared so a serving
+        /// runtime can hold the same curve in its re-characterization slot
+        /// without cloning the sample scatter per policy rebuild.
+        curve: Arc<DistortionCharacteristic>,
         /// Use the worst-case fit instead of the average fit.
         conservative: bool,
     },
@@ -141,6 +144,17 @@ impl HebsPolicy {
         curve: DistortionCharacteristic,
         conservative: bool,
     ) -> Self {
+        Self::open_loop_shared(config, Arc::new(curve), conservative)
+    }
+
+    /// Like [`HebsPolicy::open_loop`] but shares an existing characteristic
+    /// instead of taking ownership — the serving runtime swaps rebuilt
+    /// curves into fresh policies without copying the sample scatter.
+    pub fn open_loop_shared(
+        config: PipelineConfig,
+        curve: Arc<DistortionCharacteristic>,
+        conservative: bool,
+    ) -> Self {
         HebsPolicy {
             config,
             selection: RangeSelection::Characteristic {
@@ -158,6 +172,15 @@ impl HebsPolicy {
     /// The pipeline configuration this policy runs with.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
+    }
+
+    /// The characteristic curve an open-loop policy looks ranges up on
+    /// (`None` for closed-loop policies).
+    pub fn characteristic(&self) -> Option<&Arc<DistortionCharacteristic>> {
+        match &self.selection {
+            RangeSelection::Characteristic { curve, .. } => Some(curve),
+            RangeSelection::ClosedLoop => None,
+        }
     }
 
     fn evaluate(

@@ -9,7 +9,7 @@
 //!
 //! * **Bus activity** — the number of bit transitions on the video interface
 //!   per refresh, the quantity targeted by the encoding techniques of the
-//!   paper's references [2] and [3]. It is reported so users can see that
+//!   paper's references \[2\] and \[3\]. It is reported so users can see that
 //!   HEBS (which changes pixel values) does not blow up interface power.
 //! * **Backlight transitions** — how often and by how much the backlight
 //!   setting changes between frames, which the temporal-smoothing policy in

@@ -1,9 +1,9 @@
 //! Distortion measures used by the prior-work baselines.
 //!
-//! * Reference [4] of the paper (DLS, Chang et al.) evaluates distortion as
+//! * Reference \[4\] of the paper (DLS, Chang et al.) evaluates distortion as
 //!   the **fraction of saturated pixels** — pixels pushed outside the
 //!   representable range by the compensation and clipped.
-//! * Reference [5] (CBCS, Cheng & Pedram) uses **contrast fidelity**: the
+//! * Reference \[5\] (CBCS, Cheng & Pedram) uses **contrast fidelity**: the
 //!   fraction of pixel-value levels whose contrast (level-to-level distance)
 //!   is preserved by the transformation.
 //!

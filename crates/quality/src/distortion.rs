@@ -95,11 +95,11 @@ impl Default for SharedMeasure {
 /// Which windowed quality index the [`HebsDistortion`] measure compares the
 /// HVS-filtered images with.
 ///
-/// The paper's text names the Universal Image Quality Index (reference [8]),
+/// The paper's text names the Universal Image Quality Index (reference \[8\]),
 /// but the raw UIQI is numerically unstable on near-flat windows (its
 /// denominator vanishes), which makes it useless on images smoother than the
 /// noisy photographs the authors used. Its stabilized successor — SSIM, the
-/// paper's reference [6], identical to UIQI apart from the two stabilization
+/// paper's reference \[6\], identical to UIQI apart from the two stabilization
 /// constants — is therefore the reproduction's default; the ablation
 /// benchmark quantifies the difference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -244,7 +244,7 @@ impl DistortionMeasure for GlobalUiqiDistortion {
     }
 }
 
-/// The CBCS contrast-fidelity distortion (paper reference [5]) as a
+/// The CBCS contrast-fidelity distortion (paper reference \[5\]) as a
 /// [`DistortionMeasure`]: the population-weighted fraction of adjacent
 /// occupied level pairs the transformation collapses.
 ///

@@ -1,11 +1,11 @@
 //! Human-visual-system (HVS) pre-filter.
 //!
-//! Section 2 of the HEBS paper (following its reference [6]) recommends
+//! Section 2 of the HEBS paper (following its reference \[6\]) recommends
 //! transforming both the original and the backlight-scaled image "according
 //! to a human visual system model" before comparing them quantitatively.
 //! This module implements a light-weight version of the classical two-stage
 //! model described in Pratt's *Digital Image Processing* (paper reference
-//! [9]):
+//! \[9\]):
 //!
 //! 1. **Luminance adaptation** — perceived brightness is a compressive,
 //!    roughly cube-root function of luminance (Weber–Fechner / CIE L*

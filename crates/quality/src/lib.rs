@@ -8,15 +8,15 @@
 //!
 //! * [`mse`] — reference point-wise metrics (MSE, RMSE, PSNR, MAE).
 //! * [`uiqi`] — the Universal Image Quality Index of Wang & Bovik (paper
-//!   reference [8]), the measure HEBS adopts for its distortion
+//!   reference \[8\]), the measure HEBS adopts for its distortion
 //!   characteristic curve.
-//! * [`ssim`] — the Structural Similarity index (paper reference [6]), used
+//! * [`ssim`] — the Structural Similarity index (paper reference \[6\]), used
 //!   as an alternative measure for ablations.
 //! * [`hvs`] — a human-visual-system pre-filter (luminance adaptation +
 //!   local contrast sensitivity) applied before quantitative comparison, as
 //!   proposed in the paper's Section 2.
 //! * [`contrast`] — the contrast-fidelity and pixel-saturation measures used
-//!   by the DLS and CBCS baselines (paper references [4] and [5]).
+//!   by the DLS and CBCS baselines (paper references \[4\] and \[5\]).
 //! * [`DistortionMeasure`] — a trait unifying all of the above so the HEBS
 //!   pipeline can be run with any of them. Measures whose statistics are
 //!   *global* (RMSE, global UIQI, contrast fidelity) additionally implement

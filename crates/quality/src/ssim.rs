@@ -1,7 +1,7 @@
 //! Structural Similarity index (Wang, Bovik, Sheikh, Simoncelli 2004).
 //!
 //! SSIM is the stabilized successor of the Universal Image Quality Index
-//! (paper reference [6]). The HEBS paper lists it among the "future work"
+//! (paper reference \[6\]). The HEBS paper lists it among the "future work"
 //! distortion measures; the reproduction ships it so the ablation benchmark
 //! can compare the two.
 

@@ -1,7 +1,7 @@
 //! Universal Image Quality Index (Wang & Bovik, IEEE SPL 2002).
 //!
 //! This is the distortion measure the HEBS paper adopts for its distortion
-//! characteristic curve (Section 5.1c, reference [8]). For an image pair
+//! characteristic curve (Section 5.1c, reference \[8\]). For an image pair
 //! `(x, y)` the index over one window is
 //!
 //! ```text

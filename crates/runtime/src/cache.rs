@@ -583,26 +583,32 @@ impl<K: Hash + Eq + Clone> Drop for FlightGuard<'_, K> {
     }
 }
 
-/// Exact-mode key: frame shape, 128-bit content hash, and budget band.
+/// Exact-mode key: frame shape, 128-bit content hash, budget band and the
+/// characteristic generation the fit was made under.
 ///
 /// The hash is computed in one allocation-free pass over the pixel buffer;
 /// the stored entry keeps the frame bytes so every hit is verified against
-/// the actual content (a collision is rejected, never served).
+/// the actual content (a collision is rejected, never served). The
+/// generation tag (0 in closed-loop mode) makes every open-loop
+/// re-characterization an implicit invalidation: fits made under a stale
+/// curve are never probed again and age out of the LRU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct ExactKey {
     width: u32,
     height: u32,
     content_hash: u128,
     budget_band: u32,
+    generation: u64,
 }
 
 impl ExactKey {
-    pub(crate) fn of(frame: &GrayImage, seed: u64, budget_band: u32) -> Self {
+    pub(crate) fn of(frame: &GrayImage, seed: u64, budget_band: u32, generation: u64) -> Self {
         ExactKey {
             width: frame.width(),
             height: frame.height(),
             content_hash: content_hash128(frame.as_raw(), seed),
             budget_band,
+            generation,
         }
     }
 }
@@ -651,14 +657,15 @@ pub(crate) fn transform_bytes(transform: &FrameTransform) -> usize {
     std::mem::size_of_val(transform.curve.points()) + 256 + std::mem::size_of::<FrameTransform>()
 }
 
-/// Approximate-mode key: the quantized histogram signature plus frame shape
-/// and budget band.
+/// Approximate-mode key: the quantized histogram signature plus frame
+/// shape, budget band and characteristic generation (see [`ExactKey`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct SignatureKey {
     width: u32,
     height: u32,
     signature: HistogramSignature,
     budget_band: u32,
+    generation: u64,
 }
 
 impl SignatureKey {
@@ -667,12 +674,14 @@ impl SignatureKey {
         histogram: &Histogram,
         resolution: u8,
         budget_band: u32,
+        generation: u64,
     ) -> Self {
         SignatureKey {
             width: frame.width(),
             height: frame.height(),
             signature: HistogramSignature::with_resolution(histogram, resolution),
             budget_band,
+            generation,
         }
     }
 }
@@ -1049,12 +1058,17 @@ mod tests {
         let a = GrayImage::filled(8, 8, 10);
         let b = GrayImage::filled(8, 8, 10);
         let c = GrayImage::filled(8, 8, 11);
-        assert_eq!(ExactKey::of(&a, 9, 1), ExactKey::of(&b, 9, 1));
-        assert_ne!(ExactKey::of(&a, 9, 1), ExactKey::of(&c, 9, 1));
+        assert_eq!(ExactKey::of(&a, 9, 1, 0), ExactKey::of(&b, 9, 1, 0));
+        assert_ne!(ExactKey::of(&a, 9, 1, 0), ExactKey::of(&c, 9, 1, 0));
         assert_ne!(
-            ExactKey::of(&a, 9, 1),
-            ExactKey::of(&a, 9, 2),
+            ExactKey::of(&a, 9, 1, 0),
+            ExactKey::of(&a, 9, 2, 0),
             "budget band is part of the key"
+        );
+        assert_ne!(
+            ExactKey::of(&a, 9, 1, 0),
+            ExactKey::of(&a, 9, 1, 1),
+            "characteristic generation is part of the key"
         );
     }
 
@@ -1084,9 +1098,14 @@ mod tests {
         let a = GrayImage::filled(16, 16, 100);
         let wide = GrayImage::filled(32, 8, 100);
         assert_ne!(
-            SignatureKey::of(&a, &Histogram::of(&a), 16, 1),
-            SignatureKey::of(&wide, &Histogram::of(&wide), 16, 1),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0),
+            SignatureKey::of(&wide, &Histogram::of(&wide), 16, 1, 0),
             "frame shape is part of the key"
+        );
+        assert_ne!(
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 2),
+            "characteristic generation is part of the key"
         );
     }
 

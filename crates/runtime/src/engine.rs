@@ -22,7 +22,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hebs_core::{FitScratch, FrameTransform, HebsError, HebsPolicy, ScalingOutcome};
+use hebs_core::{
+    evaluate_range_from_histogram, DistortionCharacteristic, FitScratch, FrameTransform, HebsError,
+    HebsPolicy, ScalingOutcome, TargetRange,
+};
 use hebs_imaging::{GrayImage, Histogram};
 
 use crate::cache::{
@@ -30,6 +33,7 @@ use crate::cache::{
     SignatureKey, TransformCache,
 };
 use crate::error::{Result, RuntimeError};
+use crate::serving::{CurveState, OpenLoopState, ServingMode};
 use crate::stats::{EngineStats, ServeKind, StatsCollector};
 
 /// Configuration of the serving engine.
@@ -45,6 +49,10 @@ pub struct EngineConfig {
     pub max_distortion: f64,
     /// Transformation cache configuration; `None` disables caching.
     pub cache: Option<CacheConfig>,
+    /// How cache misses are fitted: the closed-loop range search (default)
+    /// or the open-loop characteristic lookup with background
+    /// re-characterization (see [`ServingMode`]).
+    pub mode: ServingMode,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +62,7 @@ impl Default for EngineConfig {
             queue_depth: 0,
             max_distortion: 0.10,
             cache: Some(CacheConfig::default()),
+            mode: ServingMode::ClosedLoop,
         }
     }
 }
@@ -67,6 +76,7 @@ impl EngineConfig {
             queue_depth: 0,
             max_distortion,
             cache: None,
+            mode: ServingMode::ClosedLoop,
         }
     }
 }
@@ -172,38 +182,140 @@ struct EngineInner {
     max_distortion: f64,
     workers: usize,
     queue_depth: usize,
+    serving: Option<OpenLoopState>,
     totals: StatsCollector,
 }
 
 /// The result of one trip through `EngineInner::serve`: the outcome (or the
 /// pipeline error), how the cache was involved, how many cached candidates
-/// were rejected by verification along the way, and how many candidate fits
-/// were evaluated (0 on a replay).
+/// were rejected by verification along the way, how many candidate fits
+/// were evaluated (0 on a replay), and whether the open-loop drift check
+/// fell back to the closed-loop search.
 struct Served {
     outcome: std::result::Result<Arc<ScalingOutcome>, HebsError>,
     kind: ServeKind,
     rejections: u64,
     fit_evaluations: u64,
+    open_loop_fallback: bool,
+    /// The frame's histogram when the serve path computed one anyway
+    /// (approximate keys, any fit) — reused by the open-loop traffic
+    /// sketch so sampling never re-reads the pixels. `None` only on
+    /// exact-mode hit paths, which never touch a histogram.
+    histogram: Option<Histogram>,
+}
+
+/// One completed fit: the outcome, its reusable transform, and whether it
+/// came from the open-loop drift fallback.
+struct Fitted {
+    outcome: ScalingOutcome,
+    transform: Arc<FrameTransform>,
+    open_loop_fallback: bool,
 }
 
 impl EngineInner {
+    /// The generation stamped into cache keys: the installed characteristic
+    /// curve's generation in open-loop mode, 0 in closed-loop mode. A
+    /// re-characterization swap bumps it, so fits made under a stale curve
+    /// are never probed again.
+    fn policy_generation(&self) -> u64 {
+        self.serving.as_ref().map_or(0, OpenLoopState::generation)
+    }
+
+    /// Fits one frame according to the serving mode.
+    ///
+    /// Closed-loop (or open-loop before any curve is installed): the full
+    /// range search. Open-loop with an installed curve: a single evaluation
+    /// at the curve's predicted range, followed by the *drift check* — a
+    /// fit whose measured distortion exceeds the budget is re-served
+    /// through the closed-loop search (its evaluations are charged on top
+    /// of the open-loop one) and counted as a fallback, so the distortion
+    /// contract holds in either mode.
+    ///
+    /// `curve` is the serve's snapshot of the installed curve — taken once
+    /// per serve, together with the generation its cache key carries, so
+    /// an install landing mid-serve can never pair an old-generation key
+    /// with a new-curve fit (which would strand the entry under a key no
+    /// future lookup probes).
+    fn fit(
+        &self,
+        frame: &GrayImage,
+        histogram: &Histogram,
+        budget: f64,
+        curve: Option<&Arc<CurveState>>,
+        scratch: &mut FitScratch,
+    ) -> std::result::Result<Fitted, HebsError> {
+        if let Some(curve) = curve {
+            let (outcome, transform) = curve
+                .policy
+                .optimize_with_transform_using_histogram(frame, histogram, budget, scratch)?;
+            if outcome.distortion <= budget {
+                return Ok(Fitted {
+                    outcome,
+                    transform,
+                    open_loop_fallback: false,
+                });
+            }
+            // Drift: the curve under-provisioned the range for this frame.
+            // Honour the budget through the closed-loop search and let the
+            // caller feed the drift trigger.
+            let open_evaluations = outcome.fit_evaluations;
+            let (mut outcome, transform) = self
+                .policy
+                .optimize_with_transform_using_histogram(frame, histogram, budget, scratch)?;
+            outcome.fit_evaluations += open_evaluations;
+            return Ok(Fitted {
+                outcome,
+                transform,
+                open_loop_fallback: true,
+            });
+        }
+        let (outcome, transform) = self
+            .policy
+            .optimize_with_transform_using_histogram(frame, histogram, budget, scratch)?;
+        Ok(Fitted {
+            outcome,
+            transform,
+            open_loop_fallback: false,
+        })
+    }
+
     /// Serves one frame through the cache (when enabled) or the full policy.
     /// `scratch` is the worker's reusable frame buffer: steady-state fits
     /// write intermediate candidate images into it instead of allocating.
     fn serve(&self, frame: &GrayImage, budget: f64, scratch: &mut FitScratch) -> Served {
+        // One coherent snapshot of the open-loop curve per serve: the
+        // cache key's generation and the fitting curve always agree, even
+        // when an install lands while this frame is in flight.
+        let curve = self.serving.as_ref().and_then(OpenLoopState::current);
+        let generation = curve.as_ref().map_or(0, |c| c.generation);
+        let curve = curve.as_ref();
         match &self.cache {
             None => {
-                let outcome = self.policy.optimize_with_scratch(frame, budget, scratch);
-                Served {
-                    fit_evaluations: outcome.as_ref().map_or(0, |o| u64::from(o.fit_evaluations)),
-                    outcome: outcome.map(Arc::new),
-                    kind: ServeKind::Uncached,
-                    rejections: 0,
+                let histogram = Histogram::of(frame);
+                match self.fit(frame, &histogram, budget, curve, scratch) {
+                    Ok(fitted) => Served {
+                        fit_evaluations: u64::from(fitted.outcome.fit_evaluations),
+                        outcome: Ok(Arc::new(fitted.outcome)),
+                        kind: ServeKind::Uncached,
+                        rejections: 0,
+                        open_loop_fallback: fitted.open_loop_fallback,
+                        histogram: Some(histogram),
+                    },
+                    Err(err) => Served {
+                        outcome: Err(err),
+                        kind: ServeKind::Uncached,
+                        rejections: 0,
+                        fit_evaluations: 0,
+                        open_loop_fallback: false,
+                        histogram: Some(histogram),
+                    },
                 }
             }
-            Some(TransformCache::Exact(cache)) => self.serve_exact(cache, frame, budget, scratch),
+            Some(TransformCache::Exact(cache)) => {
+                self.serve_exact(cache, frame, budget, curve, generation, scratch)
+            }
             Some(TransformCache::Approximate(cache)) => {
-                self.serve_approximate(cache, frame, budget, scratch)
+                self.serve_approximate(cache, frame, budget, curve, generation, scratch)
             }
         }
     }
@@ -220,9 +332,16 @@ impl EngineInner {
         cache: &ExactCache,
         frame: &GrayImage,
         budget: f64,
+        curve: Option<&Arc<CurveState>>,
+        generation: u64,
         scratch: &mut FitScratch,
     ) -> Served {
-        let key = ExactKey::of(frame, cache.seed, budget_band(budget, cache.band_width));
+        let key = ExactKey::of(
+            frame,
+            cache.seed,
+            budget_band(budget, cache.band_width),
+            generation,
+        );
         let mut rejections = 0u64;
         let satisfies =
             |entry: &ExactEntry| entry.matches(frame) && entry.outcome.distortion <= budget;
@@ -233,6 +352,8 @@ impl EngineInner {
                     kind: ServeKind::Hit,
                     rejections,
                     fit_evaluations: 0,
+                    open_loop_fallback: false,
+                    histogram: None,
                 };
             }
             // Hash collision or a same-band fit whose measured distortion
@@ -258,23 +379,29 @@ impl EngineInner {
                     kind: ServeKind::CoalescedHit,
                     rejections,
                     fit_evaluations: 0,
+                    open_loop_fallback: false,
+                    histogram: None,
                 };
             }
             cache.store.reject_after_wait(&key, generation);
             rejections += 1;
         }
-        let outcome = match self.policy.optimize_with_scratch(frame, budget, scratch) {
-            Ok(outcome) => Arc::new(outcome),
+        let histogram = Histogram::of(frame);
+        let fitted = match self.fit(frame, &histogram, budget, curve, scratch) {
+            Ok(fitted) => fitted,
             Err(err) => {
                 return Served {
                     outcome: Err(err),
                     kind: ServeKind::Miss,
                     rejections,
                     fit_evaluations: 0,
+                    open_loop_fallback: false,
+                    histogram: Some(histogram),
                 }
             }
         };
-        let fit_evaluations = u64::from(outcome.fit_evaluations);
+        let fit_evaluations = u64::from(fitted.outcome.fit_evaluations);
+        let outcome = Arc::new(fitted.outcome);
         let entry = ExactEntry::new(frame, Arc::clone(&outcome));
         let weight = entry.weight();
         cache.store.insert(key, entry, weight);
@@ -283,6 +410,8 @@ impl EngineInner {
             kind: ServeKind::Miss,
             rejections,
             fit_evaluations,
+            open_loop_fallback: fitted.open_loop_fallback,
+            histogram: Some(histogram),
         }
     }
 
@@ -299,6 +428,8 @@ impl EngineInner {
         cache: &ApproximateCache,
         frame: &GrayImage,
         budget: f64,
+        curve: Option<&Arc<CurveState>>,
+        generation: u64,
         scratch: &mut FitScratch,
     ) -> Served {
         let histogram = Histogram::of(frame);
@@ -307,6 +438,7 @@ impl EngineInner {
             &histogram,
             cache.resolution,
             budget_band(budget, cache.band_width),
+            generation,
         );
         let mut rejections = 0u64;
         // Replays a cached transform against the actual frame. `Ok(Some)` is
@@ -316,14 +448,15 @@ impl EngineInner {
         // workers refit or coalesce onto our refit instead of repeatedly
         // paying a wasted recheck on the known-bad transform); `Err`
         // propagates an apply failure.
-        let check = |transform: Arc<FrameTransform>,
+        let check = |histogram: &Histogram,
+                     transform: Arc<FrameTransform>,
                      generation: u64,
                      after_wait: bool,
                      rejections: &mut u64|
          -> std::result::Result<Option<ScalingOutcome>, HebsError> {
             match self
                 .policy
-                .replay_frame_transform(frame, &histogram, &transform, budget)
+                .replay_frame_transform(frame, histogram, &transform, budget)
             {
                 Ok(Some(outcome)) => Ok(Some(outcome)),
                 Ok(None) => {
@@ -347,13 +480,15 @@ impl EngineInner {
             }
         };
         if let Some((transform, generation)) = cache.store.get(&key) {
-            match check(transform, generation, false, &mut rejections) {
+            match check(&histogram, transform, generation, false, &mut rejections) {
                 Ok(Some(outcome)) => {
                     return Served {
                         outcome: Ok(Arc::new(outcome)),
                         kind: ServeKind::Hit,
                         rejections,
                         fit_evaluations: 0,
+                        open_loop_fallback: false,
+                        histogram: Some(histogram),
                     }
                 }
                 Ok(None) => {}
@@ -363,6 +498,8 @@ impl EngineInner {
                         kind: ServeKind::Miss,
                         rejections,
                         fit_evaluations: 0,
+                        open_loop_fallback: false,
+                        histogram: Some(histogram),
                     }
                 }
             }
@@ -372,13 +509,15 @@ impl EngineInner {
         // this frame's budget.
         let _flight = cache.flights.join(&key);
         if let Some((transform, generation)) = cache.store.get_after_wait(&key) {
-            match check(transform, generation, true, &mut rejections) {
+            match check(&histogram, transform, generation, true, &mut rejections) {
                 Ok(Some(outcome)) => {
                     return Served {
                         outcome: Ok(Arc::new(outcome)),
                         kind: ServeKind::CoalescedHit,
                         rejections,
                         fit_evaluations: 0,
+                        open_loop_fallback: false,
+                        histogram: Some(histogram),
                     }
                 }
                 Ok(None) => {}
@@ -388,36 +527,42 @@ impl EngineInner {
                         kind: ServeKind::Miss,
                         rejections,
                         fit_evaluations: 0,
+                        open_loop_fallback: false,
+                        histogram: Some(histogram),
                     }
                 }
             }
         }
-        let (outcome, transform) = match self
-            .policy
-            .optimize_with_transform_using_histogram(frame, &histogram, budget, scratch)
-        {
-            Ok(fit) => fit,
+        let fitted = match self.fit(frame, &histogram, budget, curve, scratch) {
+            Ok(fitted) => fitted,
             Err(err) => {
                 return Served {
                     outcome: Err(err),
                     kind: ServeKind::Miss,
                     rejections,
                     fit_evaluations: 0,
+                    open_loop_fallback: false,
+                    histogram: Some(histogram),
                 }
             }
         };
-        let fit_evaluations = u64::from(outcome.fit_evaluations);
-        let weight = transform_bytes(&transform);
-        cache.store.insert(key, transform, weight);
+        let fit_evaluations = u64::from(fitted.outcome.fit_evaluations);
+        let weight = transform_bytes(&fitted.transform);
+        cache.store.insert(key, fitted.transform, weight);
         Served {
-            outcome: Ok(Arc::new(outcome)),
+            outcome: Ok(Arc::new(fitted.outcome)),
             kind: ServeKind::Miss,
             rejections,
             fit_evaluations,
+            open_loop_fallback: fitted.open_loop_fallback,
+            histogram: Some(histogram),
         }
     }
 
     /// Serves one frame and records its latency in the cumulative stats.
+    /// In open-loop mode, also feeds the traffic sketch and the rebuild
+    /// triggers, and performs a due re-characterization on this worker
+    /// (single-flight: concurrent workers keep serving off the old curve).
     fn serve_timed(
         &self,
         index: usize,
@@ -433,7 +578,12 @@ impl EngineInner {
             served.kind,
             served.rejections,
             served.fit_evaluations,
+            served.open_loop_fallback,
         );
+        if let Some(state) = &self.serving {
+            state.record_serve(frame, served.histogram.as_ref(), served.open_loop_fallback);
+            self.maybe_recharacterize(state);
+        }
         let outcome = served.outcome.map_err(RuntimeError::Core)?;
         Ok(FrameResult {
             index,
@@ -441,6 +591,48 @@ impl EngineInner {
             cache_hit: served.kind.is_hit(),
             latency,
         })
+    }
+
+    /// Rebuilds the distortion characteristic from the traffic sketch when
+    /// a trigger is due, and swaps it into the curve slot. At most one
+    /// worker rebuilds at a time; the losers (and every other worker)
+    /// continue serving with the current curve, so a rebuild never blocks
+    /// the serve path.
+    fn maybe_recharacterize(&self, state: &OpenLoopState) {
+        if !state.rebuild_due() || !state.begin_rebuild() {
+            return;
+        }
+        let histograms = state.sketch_snapshot();
+        match DistortionCharacteristic::characterize_from_histograms(
+            self.policy.config(),
+            &histograms,
+            &state.recharacterize.ranges,
+        ) {
+            Ok(curve) => {
+                // Swapping bumps the key generation and thereby discards
+                // every cached fit — only worth it when the rebuilt curve
+                // actually predicts differently. Drift triggers firing on
+                // stationary but heterogeneous traffic otherwise wipe the
+                // cache every `drift_limit` fallbacks for nothing.
+                let unchanged = state.current().is_some_and(|installed| {
+                    installed
+                        .characteristic
+                        .max_prediction_delta(&curve, &state.recharacterize.ranges)
+                        <= state.recharacterize.min_swap_delta
+                });
+                if unchanged {
+                    state.reset_triggers();
+                } else {
+                    state.install(self.policy.config().clone(), Arc::new(curve));
+                    self.totals.record_recharacterization();
+                }
+            }
+            // Characterization failed (e.g. too few samples): keep the
+            // current curve and clear the triggers so the next attempt
+            // waits for a full interval instead of retrying every frame.
+            Err(_) => state.reset_triggers(),
+        }
+        state.end_rebuild();
     }
 }
 
@@ -530,6 +722,74 @@ impl Engine {
                 });
             }
         }
+        let serving = match config.mode {
+            ServingMode::ClosedLoop => None,
+            ServingMode::OpenLoop { recharacterize } => {
+                // The engine supplies the open-loop lookup itself; the
+                // wrapped policy is the drift *fallback* and must really be
+                // closed-loop, or an over-budget open-loop fit would "fall
+                // back" to the identical characteristic lookup and the
+                // distortion contract would silently break.
+                if policy.characteristic().is_some() {
+                    return Err(RuntimeError::InvalidConfig {
+                        name: "mode",
+                        reason: "ServingMode::OpenLoop requires a closed-loop base policy \
+                                 (the engine performs the characteristic lookup itself; \
+                                 install curves via Engine::install_characteristic)"
+                            .to_string(),
+                    });
+                }
+                if recharacterize.sample_period == 0 {
+                    return Err(RuntimeError::InvalidConfig {
+                        name: "mode.recharacterize.sample_period",
+                        reason: "must be nonzero".to_string(),
+                    });
+                }
+                if recharacterize.sample_capacity == 0 {
+                    return Err(RuntimeError::InvalidConfig {
+                        name: "mode.recharacterize.sample_capacity",
+                        reason: "must be nonzero".to_string(),
+                    });
+                }
+                if recharacterize.ranges.is_empty() {
+                    return Err(RuntimeError::InvalidConfig {
+                        name: "mode.recharacterize.ranges",
+                        reason: "must name at least one dynamic range".to_string(),
+                    });
+                }
+                if let Some(range) = recharacterize
+                    .ranges
+                    .iter()
+                    .find(|r| !(2..=256).contains(*r))
+                {
+                    return Err(RuntimeError::InvalidConfig {
+                        name: "mode.recharacterize.ranges",
+                        reason: format!("range {range} is outside [2, 256]"),
+                    });
+                }
+                if !recharacterize.min_swap_delta.is_finite() || recharacterize.min_swap_delta < 0.0
+                {
+                    return Err(RuntimeError::InvalidConfig {
+                        name: "mode.recharacterize.min_swap_delta",
+                        reason: format!(
+                            "{} is not a nonnegative finite distortion delta",
+                            recharacterize.min_swap_delta
+                        ),
+                    });
+                }
+                // Probe whether the configured measure supports the
+                // histogram-domain evaluation the sketch rebuild needs.
+                // Windowed measures still serve open-loop off an installed
+                // curve; they just never rebuild it from the sketch.
+                let probe = Histogram::of(&GrayImage::filled(4, 4, 128));
+                let full = TargetRange::from_span(256).map_err(RuntimeError::Core)?;
+                let histogram_capable =
+                    evaluate_range_from_histogram(policy.config(), &probe, full)
+                        .map_err(RuntimeError::Core)?
+                        .is_some();
+                Some(OpenLoopState::new(recharacterize, histogram_capable))
+            }
+        };
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -549,6 +809,7 @@ impl Engine {
                 max_distortion: config.max_distortion,
                 workers,
                 queue_depth,
+                serving,
                 totals: StatsCollector::default(),
             }),
         })
@@ -591,6 +852,52 @@ impl Engine {
     /// these agree with the engine's accounting.
     pub fn cache_counters(&self) -> Option<crate::CacheCounters> {
         self.inner.cache.as_ref().map(TransformCache::counters)
+    }
+
+    /// Installs (or replaces) the open-loop distortion characteristic
+    /// curve, as a deployment would with an offline-characterized seed. The
+    /// swap is atomic — concurrent workers finish their current frame on
+    /// the old curve — and bumps the characteristic generation, so cached
+    /// fits made under the old curve are never replayed. Returns the new
+    /// generation.
+    ///
+    /// The engine re-characterizes on its own from live traffic (see
+    /// [`RecharacterizePolicy`](crate::RecharacterizePolicy)); seeding is
+    /// only needed to skip the closed-loop bootstrap phase or when the
+    /// configured measure cannot characterize from histograms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] when the engine is in
+    /// closed-loop mode.
+    pub fn install_characteristic(&self, characteristic: DistortionCharacteristic) -> Result<u64> {
+        let state = self
+            .inner
+            .serving
+            .as_ref()
+            .ok_or_else(|| RuntimeError::InvalidConfig {
+                name: "mode",
+                reason: "a closed-loop engine has no characteristic slot".to_string(),
+            })?;
+        Ok(state.install(self.inner.policy.config().clone(), Arc::new(characteristic)))
+    }
+
+    /// The currently installed open-loop characteristic curve (`None` in
+    /// closed-loop mode or before the first install/bootstrap).
+    pub fn characteristic(&self) -> Option<Arc<DistortionCharacteristic>> {
+        self.inner
+            .serving
+            .as_ref()
+            .and_then(OpenLoopState::current)
+            .map(|curve| Arc::clone(&curve.characteristic))
+    }
+
+    /// Generation of the installed characteristic curve: 0 in closed-loop
+    /// mode (and in open-loop mode before any curve exists), bumped by
+    /// every install and background re-characterization. Cache keys carry
+    /// this tag, so a bump invalidates all previously cached fits.
+    pub fn characteristic_generation(&self) -> u64 {
+        self.inner.policy_generation()
     }
 
     /// Serves a single frame synchronously on the calling thread.
@@ -805,10 +1112,39 @@ impl Ord for Sequenced {
     }
 }
 
+/// The outcome of a non-blocking poll of a [`FrameStream`]
+/// ([`FrameStream::try_next`] / [`FrameStream::next_timeout`]).
+#[derive(Debug)]
+pub enum StreamPoll {
+    /// The next in-order frame result (or per-frame error) is ready.
+    Ready(Result<FrameResult>),
+    /// No result is ready yet — the producer or the pool is still working
+    /// (or, for [`FrameStream::next_timeout`], the timeout elapsed first).
+    /// Poll again later; the stream is still live.
+    Pending,
+    /// The stream is complete; no further results will arrive.
+    Finished,
+}
+
+/// What one receive attempt against the result channel produced.
+enum Received {
+    /// A completed frame arrived.
+    Got(Sequenced),
+    /// Nothing available right now, but workers may still deliver.
+    Empty,
+    /// The channel is closed: every worker has exited.
+    Closed,
+}
+
 /// An in-order iterator over the results of [`Engine::stream`].
 ///
 /// Results arrive from the pool in completion order; a small reorder heap
 /// (bounded by the number of frames in flight) restores input order.
+///
+/// Besides the blocking [`Iterator`] interface, the stream can be *polled*
+/// with [`FrameStream::try_next`] (never blocks) or
+/// [`FrameStream::next_timeout`] (blocks at most a deadline), so an event
+/// loop multiplexing other work never parks forever on a stalled producer.
 pub struct FrameStream {
     results: Option<Receiver<Sequenced>>,
     reorder: BinaryHeap<Reverse<Sequenced>>,
@@ -818,21 +1154,58 @@ pub struct FrameStream {
     handles: Vec<JoinHandle<()>>,
 }
 
-impl Iterator for FrameStream {
-    type Item = Result<FrameResult>;
+impl FrameStream {
+    /// Polls for the next in-order result without blocking.
+    ///
+    /// Returns [`StreamPoll::Pending`] when the next result has not been
+    /// produced yet — for example because the producer iterator is stalled
+    /// waiting on I/O — instead of parking the caller on the channel the
+    /// way the [`Iterator`] interface does.
+    pub fn try_next(&mut self) -> StreamPoll {
+        self.poll_with(|rx| match rx.try_recv() {
+            Ok(seq) => Received::Got(seq),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Received::Empty,
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Received::Closed,
+        })
+    }
 
-    fn next(&mut self) -> Option<Self::Item> {
+    /// Polls for the next in-order result, blocking at most `timeout`.
+    ///
+    /// The timeout is one deadline for the whole call (not per internal
+    /// receive), so a trickle of out-of-order completions cannot extend it.
+    pub fn next_timeout(&mut self, timeout: Duration) -> StreamPoll {
+        let deadline = Instant::now() + timeout;
+        self.poll_with(|rx| {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(seq) => Received::Got(seq),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Received::Empty,
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Received::Closed,
+            }
+        })
+    }
+
+    /// The shared poll loop: drain the reorder heap, receive via `recv`
+    /// until the next in-order result is available, and translate the
+    /// closed channel into the end-of-stream accounting (lost frames,
+    /// producer/pool failures, completion).
+    fn poll_with(&mut self, mut recv: impl FnMut(&Receiver<Sequenced>) -> Received) -> StreamPoll {
         loop {
             if let Some(Reverse(head)) = self.reorder.peek() {
                 if head.index == self.next_index {
                     let Reverse(seq) = self.reorder.pop().expect("peeked entry exists");
                     self.next_index += 1;
-                    return Some(seq.result);
+                    return StreamPoll::Ready(seq.result);
                 }
             }
-            match self.results.as_ref().and_then(|rx| rx.recv().ok()) {
-                Some(seq) => self.reorder.push(Reverse(seq)),
-                None => {
+            let received = match self.results.as_ref() {
+                Some(rx) => recv(rx),
+                None => Received::Closed,
+            };
+            match received {
+                Received::Got(seq) => self.reorder.push(Reverse(seq)),
+                Received::Empty => return StreamPoll::Pending,
+                Received::Closed => {
                     // All workers are done; drain what is left in order. A
                     // gap in the index sequence — including missing frames at
                     // the tail, which the feeder's final count exposes —
@@ -852,7 +1225,7 @@ impl Iterator for FrameStream {
                     if gap {
                         let lost = self.next_index;
                         self.next_index += 1;
-                        return Some(Err(RuntimeError::FrameLost { index: lost }));
+                        return StreamPoll::Ready(Err(RuntimeError::FrameLost { index: lost }));
                     }
                     if self.reorder.is_empty() && !self.failure_reported {
                         if self.progress.failed.load(Ordering::Acquire) {
@@ -860,7 +1233,7 @@ impl Iterator for FrameStream {
                             // yielded has been drained above, so report the
                             // early end once instead of finishing silently.
                             self.failure_reported = true;
-                            return Some(Err(RuntimeError::ProducerFailed {
+                            return StreamPoll::Ready(Err(RuntimeError::ProducerFailed {
                                 frames_produced: self.progress.produced.load(Ordering::Acquire),
                             }));
                         }
@@ -870,7 +1243,7 @@ impl Iterator for FrameStream {
                             // died. Surface that instead of ending the
                             // stream as if it completed.
                             self.failure_reported = true;
-                            return Some(Err(RuntimeError::PoolFailed {
+                            return StreamPoll::Ready(Err(RuntimeError::PoolFailed {
                                 frames_served: self.next_index,
                             }));
                         }
@@ -879,9 +1252,26 @@ impl Iterator for FrameStream {
                     // impossible here (its head would have matched at the
                     // top of the loop or counted as a gap), so the stream
                     // is complete.
-                    return None;
+                    return StreamPoll::Finished;
                 }
             }
+        }
+    }
+}
+
+impl Iterator for FrameStream {
+    type Item = Result<FrameResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Blocking receive: `Received::Empty` is unreachable, so the poll
+        // only ever ends Ready or Finished.
+        match self.poll_with(|rx| match rx.recv() {
+            Ok(seq) => Received::Got(seq),
+            Err(_) => Received::Closed,
+        }) {
+            StreamPoll::Ready(item) => Some(item),
+            StreamPoll::Pending => unreachable!("a blocking receive never reports Pending"),
+            StreamPoll::Finished => None,
         }
     }
 }
@@ -1275,5 +1665,153 @@ mod tests {
         assert_send_sync::<EngineConfig>();
         assert_send_sync::<FrameResult>();
         assert_send_sync::<BatchReport>();
+        assert_send_sync::<crate::ServingMode>();
+    }
+
+    #[test]
+    fn try_next_reports_pending_on_a_stalled_producer_instead_of_blocking() {
+        use std::sync::mpsc::channel;
+
+        let engine = engine(EngineConfig {
+            workers: 2,
+            queue_depth: 2,
+            cache: None,
+            ..EngineConfig::default()
+        });
+        // A producer driven from outside the stream: nothing is yielded
+        // until `feed` sends, which models a decoder stalled on I/O.
+        let (feed, gate) = channel::<GrayImage>();
+        let mut stream = engine.stream(std::iter::from_fn(move || gate.recv().ok()));
+
+        // Nothing produced yet: the blocking iterator would park forever
+        // here; the poll interface reports Pending immediately.
+        assert!(matches!(stream.try_next(), StreamPoll::Pending));
+        assert!(matches!(
+            stream.next_timeout(Duration::from_millis(10)),
+            StreamPoll::Pending
+        ));
+
+        // Unstall the producer: the result arrives within the deadline.
+        feed.send(synthetic::portrait(24, 24, 7)).unwrap();
+        let polled = loop {
+            match stream.next_timeout(Duration::from_secs(10)) {
+                StreamPoll::Pending => continue,
+                other => break other,
+            }
+        };
+        match polled {
+            StreamPoll::Ready(result) => assert_eq!(result.unwrap().index, 0),
+            other => panic!("expected a ready frame, got {other:?}"),
+        }
+
+        // Ending the producer finishes the stream through the poll API too.
+        drop(feed);
+        let finished = loop {
+            match stream.next_timeout(Duration::from_secs(10)) {
+                StreamPoll::Pending => continue,
+                other => break other,
+            }
+        };
+        assert!(matches!(finished, StreamPoll::Finished));
+        assert!(matches!(stream.try_next(), StreamPoll::Finished));
+    }
+
+    #[test]
+    fn open_loop_configs_are_validated() {
+        use crate::{RecharacterizePolicy, ServingMode};
+
+        let cases = [
+            (
+                "mode.recharacterize.sample_period",
+                RecharacterizePolicy {
+                    sample_period: 0,
+                    ..RecharacterizePolicy::default()
+                },
+            ),
+            (
+                "mode.recharacterize.sample_capacity",
+                RecharacterizePolicy {
+                    sample_capacity: 0,
+                    ..RecharacterizePolicy::default()
+                },
+            ),
+            (
+                "mode.recharacterize.ranges",
+                RecharacterizePolicy {
+                    ranges: vec![],
+                    ..RecharacterizePolicy::default()
+                },
+            ),
+            (
+                "mode.recharacterize.ranges",
+                RecharacterizePolicy {
+                    ranges: vec![100, 300],
+                    ..RecharacterizePolicy::default()
+                },
+            ),
+        ];
+        for (name, recharacterize) in cases {
+            let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+            let result = Engine::new(
+                policy,
+                EngineConfig {
+                    mode: ServingMode::OpenLoop { recharacterize },
+                    ..EngineConfig::default()
+                },
+            );
+            match result {
+                Err(RuntimeError::InvalidConfig { name: got, .. }) => assert_eq!(got, name),
+                other => panic!("expected InvalidConfig({name}), got {:?}", other.is_ok()),
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_mode_requires_a_closed_loop_base_policy() {
+        use crate::{RecharacterizePolicy, ServingMode};
+        // An open-loop base policy would make the drift fallback repeat the
+        // same characteristic lookup, breaking the distortion contract.
+        let samples: Vec<hebs_core::CharacterizationSample> = (1..=5)
+            .map(|i| hebs_core::CharacterizationSample {
+                image: format!("s{i}"),
+                dynamic_range: 50 * i,
+                distortion: 0.3 - 0.05 * f64::from(i),
+                power_saving: 0.4,
+            })
+            .collect();
+        let curve = DistortionCharacteristic::from_samples(samples).unwrap();
+        let policy = HebsPolicy::open_loop(PipelineConfig::default(), curve, false);
+        assert!(matches!(
+            Engine::new(
+                policy,
+                EngineConfig {
+                    mode: ServingMode::OpenLoop {
+                        recharacterize: RecharacterizePolicy::default(),
+                    },
+                    ..EngineConfig::default()
+                },
+            ),
+            Err(RuntimeError::InvalidConfig { name: "mode", .. })
+        ));
+    }
+
+    #[test]
+    fn closed_loop_engines_refuse_characteristic_installs() {
+        let engine = engine(EngineConfig::default());
+        let samples: Vec<hebs_core::CharacterizationSample> = (1..=5)
+            .map(|i| hebs_core::CharacterizationSample {
+                image: format!("s{i}"),
+                dynamic_range: 50 * i,
+                distortion: 0.3 - 0.05 * f64::from(i),
+                power_saving: 0.4,
+            })
+            .collect();
+        let curve = DistortionCharacteristic::from_samples(samples).unwrap();
+        assert!(matches!(
+            engine.install_characteristic(curve),
+            Err(RuntimeError::InvalidConfig { name: "mode", .. })
+        ));
+        assert_eq!(engine.characteristic_generation(), 0);
+        assert!(engine.characteristic().is_none());
     }
 }

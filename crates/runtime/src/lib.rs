@@ -67,12 +67,14 @@
 mod cache;
 mod engine;
 mod error;
+mod serving;
 mod stats;
 
 pub use cache::{
     CacheConfig, CacheCounters, CacheMode, ShardedLru, DEFAULT_BUDGET_BAND_WIDTH,
     DEFAULT_BYTE_BUDGET,
 };
-pub use engine::{BatchReport, Engine, EngineConfig, FrameResult, FrameStream};
+pub use engine::{BatchReport, Engine, EngineConfig, FrameResult, FrameStream, StreamPoll};
 pub use error::{Result, RuntimeError};
+pub use serving::{RecharacterizePolicy, ServingMode};
 pub use stats::EngineStats;

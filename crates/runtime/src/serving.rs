@@ -1,0 +1,442 @@
+//! Serving modes: closed-loop search vs. the paper's open-loop table lookup,
+//! with background re-characterization.
+//!
+//! The HEBS hardware flow is *open-loop*: an offline-fitted distortion
+//! characteristic curve maps the distortion budget straight to a dynamic
+//! range, so serving a frame costs **one** fit evaluation instead of the
+//! closed-loop bisection's ~8. The catch is that the curve describes the
+//! traffic it was characterized on; when traffic drifts, the promised
+//! distortion bound stops holding.
+//!
+//! [`ServingMode::OpenLoop`] closes that gap at serving scale:
+//!
+//! * every cache miss fits through the open-loop policy (one evaluation);
+//! * a per-serve *drift check* compares the measured distortion against the
+//!   requesting budget — an over-budget frame falls back to the closed-loop
+//!   search for that frame only, so the distortion contract always holds;
+//! * a rolling [`TrafficSketch`] of recent frame histograms feeds a
+//!   background re-characterization: every N frames and/or after enough
+//!   drift fallbacks, one worker rebuilds the
+//!   [`DistortionCharacteristic`] from the sketch (entirely in the
+//!   histogram domain) and atomically swaps it into the engine's curve
+//!   slot while the other workers keep serving;
+//! * each swap bumps a *characteristic generation* that is part of every
+//!   cache key, so fits made under a stale curve are never replayed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hebs_core::{DistortionCharacteristic, HebsPolicy, PipelineConfig, DEFAULT_RANGES};
+use hebs_imaging::{GrayImage, Histogram};
+
+/// How the engine turns a distortion budget into a fitted transform on a
+/// cache miss.
+#[derive(Debug, Clone, Default)]
+pub enum ServingMode {
+    /// Bisect over target ranges per miss so the distortion bound is met
+    /// exactly (~8 fit evaluations per miss). The default.
+    #[default]
+    ClosedLoop,
+    /// Look the range up on a distortion characteristic curve (one fit
+    /// evaluation per miss), fall back to the closed-loop search for frames
+    /// whose measured distortion drifts over the budget, and periodically
+    /// re-characterize the curve from recent traffic.
+    OpenLoop {
+        /// When and from what the curve is rebuilt.
+        recharacterize: RecharacterizePolicy,
+    },
+}
+
+/// When and from what an open-loop engine rebuilds its distortion
+/// characteristic curve.
+#[derive(Debug, Clone)]
+pub struct RecharacterizePolicy {
+    /// Rebuild after this many served frames since the last rebuild;
+    /// `None` disables the periodic trigger.
+    pub interval: Option<u64>,
+    /// Rebuild after this many drift fallbacks since the last rebuild;
+    /// `None` disables the drift trigger.
+    pub drift_limit: Option<u64>,
+    /// Sample every Nth served frame's histogram into the traffic sketch
+    /// (must be nonzero).
+    pub sample_period: u64,
+    /// How many sampled histograms the rolling sketch retains (must be
+    /// nonzero); older samples are overwritten ring-buffer style.
+    pub sample_capacity: usize,
+    /// Target dynamic ranges evaluated per sketched histogram when
+    /// rebuilding the curve (each must be in `[2, 256]`).
+    pub ranges: Vec<u32>,
+    /// Look ranges up on the worst-case (upper envelope) fit instead of
+    /// the average fit. Conservative lookups dim less aggressively but
+    /// drift less often.
+    pub conservative: bool,
+    /// A rebuilt curve is only swapped in when its predictions differ from
+    /// the installed curve's by more than this (largest absolute
+    /// distortion delta over `ranges`, average or worst-case fit).
+    /// Swapping bumps the cache-key generation and thereby invalidates
+    /// every cached fit, so statistically identical rebuilds — e.g. drift
+    /// triggers firing on stationary but heterogeneous traffic — are
+    /// discarded instead of wiping the cache. 0 swaps unconditionally.
+    pub min_swap_delta: f64,
+}
+
+impl Default for RecharacterizePolicy {
+    fn default() -> Self {
+        RecharacterizePolicy {
+            interval: Some(512),
+            drift_limit: Some(32),
+            sample_period: 8,
+            sample_capacity: 16,
+            ranges: DEFAULT_RANGES.to_vec(),
+            conservative: true,
+            min_swap_delta: 0.002,
+        }
+    }
+}
+
+/// A bounded ring buffer of recent traffic histograms — what the background
+/// re-characterization rebuilds the curve from. A histogram is 256 counters,
+/// so the whole sketch stays a few KiB regardless of frame size.
+#[derive(Debug)]
+pub(crate) struct TrafficSketch {
+    ring: Vec<Histogram>,
+    capacity: usize,
+    next: usize,
+}
+
+impl TrafficSketch {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TrafficSketch {
+            ring: Vec::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            next: 0,
+        }
+    }
+
+    /// Records a histogram, overwriting the oldest sample once full.
+    pub(crate) fn push(&mut self, histogram: Histogram) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(histogram);
+        } else {
+            self.ring[self.next] = histogram;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// A point-in-time copy of the sketched histograms (order is
+    /// irrelevant to the curve fit).
+    pub(crate) fn snapshot(&self) -> Vec<Histogram> {
+        self.ring.clone()
+    }
+}
+
+/// The currently installed curve: the open-loop policy built around it, the
+/// shared characteristic itself, and the generation stamped into cache keys
+/// while it is current. Generation and curve travel together so a serve
+/// that snapshots this state keys and fits coherently even when an install
+/// lands mid-serve.
+#[derive(Debug)]
+pub(crate) struct CurveState {
+    /// The open-loop HEBS policy (characteristic lookup + one evaluation).
+    pub(crate) policy: HebsPolicy,
+    /// The curve the policy looks ranges up on.
+    pub(crate) characteristic: Arc<DistortionCharacteristic>,
+    /// The cache-key generation of fits made under this curve.
+    pub(crate) generation: u64,
+}
+
+/// Shared open-loop serving state: the swappable curve slot, the traffic
+/// sketch, and the rebuild triggers. All methods are safe to call from any
+/// worker; the slot swap is the only write the serve path ever waits on,
+/// and it is a single `Arc` store.
+#[derive(Debug)]
+pub(crate) struct OpenLoopState {
+    pub(crate) recharacterize: RecharacterizePolicy,
+    /// ArcSwap-style slot: load = clone under a short lock, store =
+    /// replace. Workers serve off their loaded `Arc` while a rebuild swaps.
+    slot: Mutex<Option<Arc<CurveState>>>,
+    /// Allocator for curve generations (the *installed* generation lives
+    /// inside the slot's [`CurveState`] so curve and generation are read
+    /// coherently; this counter only hands out the next one).
+    generation: AtomicU64,
+    sketch: Mutex<TrafficSketch>,
+    /// Frames served since the last (re)characterization.
+    frames_since: AtomicU64,
+    /// Drift fallbacks since the last (re)characterization.
+    drift_since: AtomicU64,
+    /// Single-flight marker for rebuilds: one worker rebuilds, the others
+    /// keep serving.
+    rebuilding: AtomicBool,
+    /// Rebuild attempts claimed so far. Gates the bootstrap trigger: once
+    /// a first characterization has been attempted (successful or not),
+    /// only the interval/drift triggers schedule further rebuilds, so a
+    /// failing bootstrap cannot retry on every serve.
+    attempts: AtomicU64,
+    /// Whether the configured measure supports histogram-domain
+    /// characterization (windowed measures decline; the sketch is then
+    /// never rebuilt and only installed curves are used).
+    pub(crate) histogram_capable: bool,
+}
+
+impl OpenLoopState {
+    pub(crate) fn new(recharacterize: RecharacterizePolicy, histogram_capable: bool) -> Self {
+        let sketch = TrafficSketch::new(recharacterize.sample_capacity);
+        OpenLoopState {
+            recharacterize,
+            slot: Mutex::new(None),
+            generation: AtomicU64::new(0),
+            sketch: Mutex::new(sketch),
+            frames_since: AtomicU64::new(0),
+            drift_since: AtomicU64::new(0),
+            rebuilding: AtomicBool::new(false),
+            attempts: AtomicU64::new(0),
+            histogram_capable,
+        }
+    }
+
+    /// The currently installed curve (with its generation), if any.
+    pub(crate) fn current(&self) -> Option<Arc<CurveState>> {
+        self.slot.lock().expect("curve slot lock").clone()
+    }
+
+    /// Generation of the installed curve (0 before the first install).
+    pub(crate) fn generation(&self) -> u64 {
+        self.current().map_or(0, |curve| curve.generation)
+    }
+
+    /// Installs a curve: builds the open-loop policy around it, stamps it
+    /// with the next key generation and resets the rebuild triggers.
+    /// Returns the new generation.
+    pub(crate) fn install(
+        &self,
+        config: PipelineConfig,
+        characteristic: Arc<DistortionCharacteristic>,
+    ) -> u64 {
+        let policy = HebsPolicy::open_loop_shared(
+            config,
+            Arc::clone(&characteristic),
+            self.recharacterize.conservative,
+        );
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        let state = Arc::new(CurveState {
+            policy,
+            characteristic,
+            generation,
+        });
+        *self.slot.lock().expect("curve slot lock") = Some(state);
+        self.reset_triggers();
+        generation
+    }
+
+    /// Clears the rebuild trigger counters (after a rebuild, successful or
+    /// abandoned, so a failed characterization does not retry every frame).
+    pub(crate) fn reset_triggers(&self) {
+        self.frames_since.store(0, Ordering::Relaxed);
+        self.drift_since.store(0, Ordering::Relaxed);
+    }
+
+    /// Records one served frame: advances the rebuild triggers, counts a
+    /// drift fallback, and samples the frame's histogram into the sketch
+    /// every `sample_period` frames. `histogram` is the serve path's
+    /// already-computed histogram of `frame` when it has one — sampling
+    /// then clones 256 counters instead of re-reading the pixels.
+    pub(crate) fn record_serve(
+        &self,
+        frame: &GrayImage,
+        histogram: Option<&Histogram>,
+        fallback: bool,
+    ) {
+        let frames = self.frames_since.fetch_add(1, Ordering::Relaxed) + 1;
+        if fallback {
+            self.drift_since.fetch_add(1, Ordering::Relaxed);
+        }
+        if frames % self.recharacterize.sample_period == 0 {
+            let sample = match histogram {
+                Some(histogram) => histogram.clone(),
+                None => Histogram::of(frame),
+            };
+            self.sketch
+                .lock()
+                .expect("traffic sketch lock")
+                .push(sample);
+        }
+    }
+
+    /// Whether a sketch-based rebuild should be attempted now: the measure
+    /// must be histogram-capable, the sketch non-empty, and a trigger due —
+    /// the frame interval, the drift limit, or bootstrap (no curve yet and
+    /// no attempt made; after a failed first attempt only the interval and
+    /// drift triggers reschedule, so a failing characterization cannot
+    /// retry on every serve).
+    pub(crate) fn rebuild_due(&self) -> bool {
+        if !self.histogram_capable {
+            return false;
+        }
+        let frames = self.frames_since.load(Ordering::Relaxed);
+        let interval_due = self.recharacterize.interval.is_some_and(|n| frames >= n);
+        let drift_due = self
+            .recharacterize
+            .drift_limit
+            .is_some_and(|n| self.drift_since.load(Ordering::Relaxed) >= n);
+        let bootstrap_due = self.generation() == 0 && self.attempts.load(Ordering::Relaxed) == 0;
+        if !(interval_due || drift_due || bootstrap_due) {
+            return false;
+        }
+        !self.sketch.lock().expect("traffic sketch lock").is_empty()
+    }
+
+    /// Claims the single-flight rebuild marker (counting the attempt).
+    /// Returns `false` when another worker is already rebuilding.
+    pub(crate) fn begin_rebuild(&self) -> bool {
+        let claimed = self
+            .rebuilding
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok();
+        if claimed {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+        }
+        claimed
+    }
+
+    /// Releases the rebuild marker.
+    pub(crate) fn end_rebuild(&self) {
+        self.rebuilding.store(false, Ordering::Release);
+    }
+
+    /// A point-in-time copy of the traffic sketch.
+    pub(crate) fn sketch_snapshot(&self) -> Vec<Histogram> {
+        self.sketch.lock().expect("traffic sketch lock").snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram_of_level(level: u8) -> Histogram {
+        Histogram::of(&GrayImage::filled(4, 4, level))
+    }
+
+    #[test]
+    fn sketch_is_a_bounded_ring() {
+        let mut sketch = TrafficSketch::new(3);
+        assert!(sketch.is_empty());
+        for level in 0..5u8 {
+            sketch.push(histogram_of_level(level));
+        }
+        let snapshot = sketch.snapshot();
+        assert_eq!(snapshot.len(), 3, "capacity bounds the sketch");
+        // The oldest samples (levels 0, 1) were overwritten by 3 and 4.
+        assert!(snapshot.iter().any(|h| h.count(4) > 0));
+        assert!(snapshot.iter().any(|h| h.count(2) > 0));
+        assert!(snapshot.iter().all(|h| h.count(0) == 0 && h.count(1) == 0));
+    }
+
+    #[test]
+    fn triggers_fire_on_interval_drift_and_bootstrap() {
+        let policy = RecharacterizePolicy {
+            interval: Some(4),
+            drift_limit: Some(2),
+            sample_period: 1,
+            sample_capacity: 4,
+            ..RecharacterizePolicy::default()
+        };
+        let state = OpenLoopState::new(policy, true);
+        assert!(!state.rebuild_due(), "an empty sketch never rebuilds");
+        let frame = GrayImage::filled(4, 4, 100);
+
+        // Bootstrap: one sampled frame and no curve yet.
+        state.record_serve(&frame, None, false);
+        assert!(state.rebuild_due(), "bootstrap fires once the sketch fills");
+        state.reset_triggers();
+        // Simulate the bootstrap attempt having happened (it gates the
+        // bootstrap trigger off; the interval/drift triggers remain).
+        assert!(state.begin_rebuild());
+        state.end_rebuild();
+
+        // Sketch retains its samples across a reset, so only the counters
+        // gate the next rebuild.
+        for _ in 0..3 {
+            state.record_serve(&frame, None, false);
+            assert!(!state.rebuild_due());
+        }
+        state.record_serve(&frame, None, false);
+        assert!(state.rebuild_due(), "interval of 4 frames reached");
+        state.reset_triggers();
+
+        let hist = Histogram::of(&frame);
+        state.record_serve(&frame, Some(&hist), true);
+        assert!(!state.rebuild_due());
+        state.record_serve(&frame, None, true);
+        assert!(state.rebuild_due(), "drift limit of 2 fallbacks reached");
+    }
+
+    #[test]
+    fn failed_bootstrap_does_not_retry_every_serve() {
+        // interval/drift disabled: after the one bootstrap attempt fails,
+        // nothing may reschedule a rebuild per serve.
+        let policy = RecharacterizePolicy {
+            interval: None,
+            drift_limit: None,
+            sample_period: 1,
+            ..RecharacterizePolicy::default()
+        };
+        let state = OpenLoopState::new(policy, true);
+        let frame = GrayImage::filled(4, 4, 50);
+        state.record_serve(&frame, None, false);
+        assert!(state.rebuild_due(), "bootstrap is due once");
+        assert!(state.begin_rebuild());
+        // The rebuild "fails": no install, triggers reset, marker released.
+        state.reset_triggers();
+        state.end_rebuild();
+        for _ in 0..10 {
+            state.record_serve(&frame, None, false);
+            assert!(
+                !state.rebuild_due(),
+                "a failed bootstrap must not retry on every serve"
+            );
+        }
+    }
+
+    #[test]
+    fn incapable_measures_never_rebuild_from_the_sketch() {
+        let policy = RecharacterizePolicy {
+            sample_period: 1,
+            ..RecharacterizePolicy::default()
+        };
+        let state = OpenLoopState::new(policy, false);
+        state.record_serve(&GrayImage::filled(4, 4, 9), None, true);
+        assert!(!state.rebuild_due());
+    }
+
+    #[test]
+    fn rebuild_marker_is_single_flight() {
+        let state = OpenLoopState::new(RecharacterizePolicy::default(), true);
+        assert!(state.begin_rebuild());
+        assert!(!state.begin_rebuild(), "second claim must fail");
+        state.end_rebuild();
+        assert!(state.begin_rebuild(), "marker is reusable after release");
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let policy = RecharacterizePolicy::default();
+        assert!(policy.sample_period > 0);
+        assert!(policy.sample_capacity > 0);
+        assert!(!policy.ranges.is_empty());
+        assert!(policy.ranges.iter().all(|r| (2..=256).contains(r)));
+        assert!(matches!(ServingMode::default(), ServingMode::ClosedLoop));
+    }
+
+    #[test]
+    fn serving_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServingMode>();
+        assert_send_sync::<RecharacterizePolicy>();
+        assert_send_sync::<OpenLoopState>();
+    }
+}

@@ -33,6 +33,8 @@ pub(crate) struct StatsCollector {
     cache_coalesced: AtomicU64,
     cache_rejected: AtomicU64,
     fit_evaluations: AtomicU64,
+    open_loop_fallbacks: AtomicU64,
+    recharacterizations: AtomicU64,
     busy_nanos: AtomicU64,
 }
 
@@ -43,6 +45,7 @@ impl StatsCollector {
         kind: ServeKind,
         rejections: u64,
         fit_evaluations: u64,
+        open_loop_fallback: bool,
     ) {
         self.frames.fetch_add(1, Ordering::Relaxed);
         self.busy_nanos
@@ -50,6 +53,9 @@ impl StatsCollector {
         if fit_evaluations > 0 {
             self.fit_evaluations
                 .fetch_add(fit_evaluations, Ordering::Relaxed);
+        }
+        if open_loop_fallback {
+            self.open_loop_fallbacks.fetch_add(1, Ordering::Relaxed);
         }
         match kind {
             ServeKind::Uncached => {}
@@ -69,6 +75,12 @@ impl StatsCollector {
         }
     }
 
+    /// Records one background re-characterization (an open-loop curve
+    /// rebuild that was swapped in).
+    pub(crate) fn record_recharacterization(&self) {
+        self.recharacterizations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshots the cumulative counters. `cache_bytes` is a point-in-time
     /// quantity owned by the cache, so the engine fills it in afterwards.
     pub(crate) fn snapshot(&self) -> EngineStats {
@@ -80,6 +92,8 @@ impl StatsCollector {
             cache_rejected: self.cache_rejected.load(Ordering::Relaxed),
             cache_bytes: 0,
             fit_evaluations: self.fit_evaluations.load(Ordering::Relaxed),
+            open_loop_fallbacks: self.open_loop_fallbacks.load(Ordering::Relaxed),
+            recharacterizations: self.recharacterizations.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
         }
     }
@@ -107,12 +121,25 @@ pub struct EngineStats {
     /// Bytes resident in the transformation cache when the snapshot was
     /// taken (0 when the cache is disabled).
     pub cache_bytes: u64,
-    /// Candidate fits evaluated across all served frames: each blend
-    /// candidate scored during a range search counts once; cache replays
-    /// count zero. The histogram-domain fit path makes each of these
-    /// O(levels) instead of O(pixels) — this counter is what the throughput
-    /// bench tracks across PRs to keep that honest.
+    /// Target-range fit evaluations across all served frames: each range
+    /// fitted during a search counts once (the blend candidates it
+    /// arbitrates internally are part of that one evaluation); cache
+    /// replays count zero. A closed-loop miss bisects through ~8 of these,
+    /// an open-loop miss performs exactly 1 (plus a closed-loop search when
+    /// the drift check falls back) — this counter is what the throughput
+    /// bench gates on across PRs to keep both honest.
     pub fit_evaluations: u64,
+    /// Frames whose open-loop fit exceeded the distortion budget and were
+    /// re-served through the closed-loop search (the per-serve drift
+    /// check). Always 0 in closed-loop mode.
+    pub open_loop_fallbacks: u64,
+    /// Background re-characterizations performed: distortion characteristic
+    /// curves rebuilt from the rolling traffic sketch *and swapped into the
+    /// serving slot* (a rebuild whose predictions match the installed curve
+    /// is discarded rather than swapped — see
+    /// `RecharacterizePolicy::min_swap_delta` — and does not count).
+    /// Always 0 in closed-loop mode.
+    pub recharacterizations: u64,
     /// Total worker time spent serving frames (sums across workers, so it
     /// can exceed wall-clock time on a pool).
     pub busy: Duration,
@@ -150,9 +177,9 @@ mod tests {
     #[test]
     fn collector_accumulates_and_snapshots() {
         let collector = StatsCollector::default();
-        collector.record_frame(Duration::from_millis(2), ServeKind::Hit, 0, 0);
-        collector.record_frame(Duration::from_millis(4), ServeKind::Miss, 0, 11);
-        collector.record_frame(Duration::from_millis(6), ServeKind::Uncached, 0, 24);
+        collector.record_frame(Duration::from_millis(2), ServeKind::Hit, 0, 0, false);
+        collector.record_frame(Duration::from_millis(4), ServeKind::Miss, 0, 11, false);
+        collector.record_frame(Duration::from_millis(6), ServeKind::Uncached, 0, 24, false);
         let stats = collector.snapshot();
         assert_eq!(stats.frames, 3);
         assert_eq!(stats.cache_hits, 1);
@@ -166,14 +193,38 @@ mod tests {
     #[test]
     fn coalesced_and_rejected_counters_accumulate() {
         let collector = StatsCollector::default();
-        collector.record_frame(Duration::from_millis(1), ServeKind::CoalescedHit, 0, 0);
-        collector.record_frame(Duration::from_millis(1), ServeKind::Miss, 1, 3);
-        collector.record_frame(Duration::from_millis(1), ServeKind::CoalescedHit, 1, 0);
+        collector.record_frame(
+            Duration::from_millis(1),
+            ServeKind::CoalescedHit,
+            0,
+            0,
+            false,
+        );
+        collector.record_frame(Duration::from_millis(1), ServeKind::Miss, 1, 3, false);
+        collector.record_frame(
+            Duration::from_millis(1),
+            ServeKind::CoalescedHit,
+            1,
+            0,
+            false,
+        );
         let stats = collector.snapshot();
         assert_eq!(stats.cache_hits, 2, "coalesced hits count as hits");
         assert_eq!(stats.cache_coalesced, 2);
         assert_eq!(stats.cache_misses, 1);
         assert_eq!(stats.cache_rejected, 2);
+    }
+
+    #[test]
+    fn open_loop_counters_accumulate() {
+        let collector = StatsCollector::default();
+        collector.record_frame(Duration::from_millis(1), ServeKind::Miss, 0, 1, false);
+        collector.record_frame(Duration::from_millis(1), ServeKind::Miss, 0, 9, true);
+        collector.record_recharacterization();
+        let stats = collector.snapshot();
+        assert_eq!(stats.open_loop_fallbacks, 1);
+        assert_eq!(stats.recharacterizations, 1);
+        assert_eq!(stats.fit_evaluations, 10);
     }
 
     #[test]

@@ -57,7 +57,7 @@ impl PixelTransform for Identity {
 }
 
 /// Backlight luminance dimming with *brightness compensation* (Figure 2b):
-/// `Φ(x, β) = min(1, x + 1 − β)`, from reference [4] of the paper (DLS).
+/// `Φ(x, β) = min(1, x + 1 − β)`, from reference \[4\] of the paper (DLS).
 ///
 /// Every pixel is shifted up by the amount of backlight lost; bright pixels
 /// saturate.
@@ -102,7 +102,7 @@ impl PixelTransform for BrightnessCompensation {
 }
 
 /// Backlight luminance dimming with *contrast enhancement* (Figure 2c):
-/// `Φ(x, β) = min(1, x / β)`, from reference [4] of the paper (DLS).
+/// `Φ(x, β) = min(1, x / β)`, from reference \[4\] of the paper (DLS).
 ///
 /// The transmissivity of every pixel is scaled up by `1/β`, which preserves
 /// the luminance `β · t(x/β) ≈ t(x)` exactly for all non-saturating pixels.
@@ -150,7 +150,7 @@ impl PixelTransform for ContrastEnhancement {
 /// `Φ(x, β) = c·x + d` clamped to `[0, 1]`, which truncates the histogram at
 /// `g_l` (mapped to 0) and `g_u` (mapped to 1) and stretches the band in
 /// between. This is the transformation family of the CBCS baseline
-/// (Cheng & Pedram, reference [5]).
+/// (Cheng & Pedram, reference \[5\]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SingleBandSpreading {
     lower: f64,

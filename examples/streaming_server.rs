@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         queue_depth: 8,
         max_distortion: 0.10,
         cache: Some(CacheConfig::approximate().with_byte_budget(Some(8 << 20))),
+        ..EngineConfig::default()
     };
     let engine = Engine::new(policy, config)?;
     println!(

@@ -3,13 +3,43 @@
 //! order preservation under concurrency, and cache effectiveness on
 //! synthetic video.
 
-use hebs::core::{BacklightPolicy, HebsPolicy, PipelineConfig, ScalingOutcome};
+use hebs::core::{
+    BacklightPolicy, CharacterizationSample, DistortionCharacteristic, HebsPolicy, PipelineConfig,
+    ScalingOutcome, DEFAULT_RANGES,
+};
 use hebs::imaging::rng::StdRng;
-use hebs::imaging::{FrameSequence, GrayImage, SceneKind, SipiSuite};
-use hebs::runtime::{CacheConfig, CacheMode, Engine, EngineConfig};
+use hebs::imaging::{FrameSequence, GrayImage, Histogram, SceneKind, SipiSuite};
+use hebs::quality::GlobalUiqiDistortion;
+use hebs::runtime::{
+    CacheConfig, CacheMode, Engine, EngineConfig, RecharacterizePolicy, ServingMode,
+};
 
 fn policy() -> HebsPolicy {
     HebsPolicy::closed_loop(PipelineConfig::default())
+}
+
+/// The pipeline configuration open-loop serving is designed around: the
+/// histogram-capable global UIQI measure, so fits, drift rechecks and
+/// re-characterization all run in O(levels). One open-loop miss is exactly
+/// one `fit_evaluations` tick regardless of the blend mode.
+fn open_loop_pipeline() -> PipelineConfig {
+    PipelineConfig::default().with_measure(GlobalUiqiDistortion)
+}
+
+fn histogram_policy() -> HebsPolicy {
+    HebsPolicy::closed_loop(open_loop_pipeline())
+}
+
+/// Characterizes the given frames offline, the way a deployment seeds an
+/// open-loop engine.
+fn characterize(frames: &[GrayImage]) -> DistortionCharacteristic {
+    let histograms: Vec<Histogram> = frames.iter().map(Histogram::of).collect();
+    DistortionCharacteristic::characterize_from_histograms(
+        &open_loop_pipeline(),
+        &histograms,
+        &DEFAULT_RANGES,
+    )
+    .unwrap()
 }
 
 fn assert_outcomes_bit_identical(a: &ScalingOutcome, b: &ScalingOutcome, context: &str) {
@@ -351,6 +381,307 @@ fn fits_are_shared_across_budgets_within_a_band() {
     let stats = engine.stats();
     assert_eq!(stats.cache_rejected, 1);
     assert_eq!(stats.cache_hits + stats.cache_misses, stats.frames);
+}
+
+/// Regression for the open-loop miss path: with a seeded characteristic,
+/// every cache miss costs at most **one** fit evaluation (the closed-loop
+/// bisection costs ~8), no drift fallback fires on the traffic the curve
+/// was characterized on, and the distortion contract still holds.
+#[test]
+fn open_loop_misses_cost_at_most_one_fit_evaluation() {
+    let frames: Vec<GrayImage> = SipiSuite::with_size(32)
+        .iter()
+        .map(|(_, img)| img.clone())
+        .collect();
+    let engine = Engine::new(
+        histogram_policy(),
+        EngineConfig {
+            workers: 1,
+            max_distortion: 0.10,
+            cache: Some(CacheConfig::exact()),
+            mode: ServingMode::OpenLoop {
+                recharacterize: RecharacterizePolicy::default(),
+            },
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    engine
+        .install_characteristic(characterize(&frames))
+        .unwrap();
+
+    for frame in &frames {
+        let result = engine.process_frame(frame).unwrap();
+        assert!(
+            result.outcome.distortion <= 0.10 + 1e-9,
+            "open-loop serving must still honour the budget, got {}",
+            result.outcome.distortion
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.frames, frames.len() as u64);
+    assert!(stats.cache_misses > 0);
+    assert_eq!(
+        stats.open_loop_fallbacks, 0,
+        "characterized traffic must not drift"
+    );
+    assert!(
+        stats.fit_evaluations <= stats.cache_misses,
+        "{} evaluations for {} misses: open-loop misses must average ≤ 1",
+        stats.fit_evaluations,
+        stats.cache_misses
+    );
+
+    // A second pass is pure cache replay: no further evaluations at all.
+    let evaluations_after_cold = stats.fit_evaluations;
+    for frame in &frames {
+        assert!(engine.process_frame(frame).unwrap().cache_hit);
+    }
+    assert_eq!(engine.stats().fit_evaluations, evaluations_after_cold);
+}
+
+/// Drift injection: a bogus characteristic that promises zero distortion at
+/// tiny ranges forces every open-loop fit over budget. The per-serve drift
+/// check must fall back to the closed-loop search (contract intact), the
+/// drift trigger must re-characterize from the traffic sketch, and the
+/// rebuilt curve must stop the fallbacks.
+#[test]
+fn drift_injection_triggers_fallback_and_recharacterization() {
+    // A curve claiming distortion ≈ 0 everywhere: min_range_for(0.10)
+    // returns the smallest range, so every fit lands wildly over budget.
+    let lying_samples: Vec<CharacterizationSample> = (0..6)
+        .map(|i| CharacterizationSample {
+            image: format!("lie{i}"),
+            dynamic_range: 40 * (i + 1),
+            distortion: 0.0,
+            power_saving: 0.9,
+        })
+        .collect();
+    let lying_curve = DistortionCharacteristic::from_samples(lying_samples).unwrap();
+
+    let engine = Engine::new(
+        histogram_policy(),
+        EngineConfig {
+            workers: 1,
+            max_distortion: 0.10,
+            cache: Some(CacheConfig::exact()),
+            mode: ServingMode::OpenLoop {
+                recharacterize: RecharacterizePolicy {
+                    interval: None,
+                    drift_limit: Some(2),
+                    sample_period: 1,
+                    sample_capacity: 8,
+                    ..RecharacterizePolicy::default()
+                },
+            },
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let lying_generation = engine.install_characteristic(lying_curve).unwrap();
+
+    let frames: Vec<GrayImage> = SipiSuite::with_size(32)
+        .iter()
+        .take(8)
+        .map(|(_, img)| img.clone())
+        .collect();
+    for frame in &frames {
+        let result = engine.process_frame(frame).unwrap();
+        assert!(
+            result.outcome.distortion <= 0.10 + 1e-9,
+            "the fallback must keep the contract under a lying curve"
+        );
+    }
+
+    let stats = engine.stats();
+    assert!(
+        stats.open_loop_fallbacks >= 2,
+        "the lying curve must trip the drift check, got {}",
+        stats.open_loop_fallbacks
+    );
+    assert!(
+        stats.recharacterizations >= 1,
+        "the drift limit must trigger a background re-characterization"
+    );
+    assert!(
+        engine.characteristic_generation() > lying_generation,
+        "the rebuilt curve must supersede the lying one"
+    );
+
+    // The rebuilt curve was characterized on exactly this traffic: serving
+    // fresh (uncached) copies of it must no longer fall back.
+    let fallbacks_after_rebuild = stats.open_loop_fallbacks;
+    let misses_before = stats.cache_misses;
+    let evaluations_before = stats.fit_evaluations;
+    for frame in &frames {
+        engine.process_frame(frame).unwrap();
+    }
+    let healed = engine.stats();
+    let new_misses = healed.cache_misses - misses_before;
+    assert!(new_misses > 0, "generation bump forces refits");
+    assert_eq!(
+        healed.open_loop_fallbacks, fallbacks_after_rebuild,
+        "re-characterized traffic must not drift"
+    );
+    assert!(
+        healed.fit_evaluations - evaluations_before <= new_misses,
+        "healed misses are back to one evaluation each"
+    );
+}
+
+/// The characteristic generation is part of every cache key: swapping a new
+/// curve in must invalidate fits made under the old one instead of replaying
+/// them.
+#[test]
+fn characteristic_swap_invalidates_stale_cached_fits() {
+    let frames: Vec<GrayImage> = SipiSuite::with_size(32)
+        .iter()
+        .take(4)
+        .map(|(_, img)| img.clone())
+        .collect();
+    for cache in [CacheConfig::exact(), CacheConfig::approximate()] {
+        let engine = Engine::new(
+            histogram_policy(),
+            EngineConfig {
+                workers: 1,
+                max_distortion: 0.10,
+                cache: Some(cache),
+                mode: ServingMode::OpenLoop {
+                    recharacterize: RecharacterizePolicy::default(),
+                },
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        engine
+            .install_characteristic(characterize(&frames))
+            .unwrap();
+
+        let first = engine.process_frame(&frames[0]).unwrap();
+        assert!(!first.cache_hit);
+        assert!(engine.process_frame(&frames[0]).unwrap().cache_hit);
+
+        // Same curve content, new install: the generation alone must
+        // invalidate.
+        let generation = engine
+            .install_characteristic(characterize(&frames))
+            .unwrap();
+        assert_eq!(generation, engine.characteristic_generation());
+        let after_swap = engine.process_frame(&frames[0]).unwrap();
+        assert!(
+            !after_swap.cache_hit,
+            "a fit made under the old curve must not be replayed"
+        );
+        assert!(engine.process_frame(&frames[0]).unwrap().cache_hit);
+    }
+}
+
+/// A background rebuild whose curve matches the installed one must NOT be
+/// swapped in: swapping bumps the key generation and would wipe the cache,
+/// so stationary traffic has to keep its cached fits across interval
+/// rebuilds (`RecharacterizePolicy::min_swap_delta`).
+#[test]
+fn stationary_rebuilds_do_not_wipe_the_cache() {
+    let frame: GrayImage = SipiSuite::with_size(32)
+        .iter()
+        .next()
+        .map(|(_, img)| img.clone())
+        .unwrap();
+    let engine = Engine::new(
+        histogram_policy(),
+        EngineConfig {
+            workers: 1,
+            max_distortion: 0.10,
+            cache: Some(CacheConfig::exact()),
+            mode: ServingMode::OpenLoop {
+                recharacterize: RecharacterizePolicy {
+                    interval: Some(2), // rebuild every 2 frames
+                    drift_limit: None,
+                    sample_period: 1,
+                    ..RecharacterizePolicy::default()
+                },
+            },
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let seeded = engine
+        .install_characteristic(characterize(std::slice::from_ref(&frame)))
+        .unwrap();
+
+    assert!(!engine.process_frame(&frame).unwrap().cache_hit);
+    for _ in 0..6 {
+        // Interval rebuilds fire during this run, each characterizing the
+        // same traffic: the rebuilt curve matches, so no swap happens and
+        // the cached fit keeps serving.
+        assert!(
+            engine.process_frame(&frame).unwrap().cache_hit,
+            "a no-op rebuild must not invalidate the cache"
+        );
+    }
+    assert_eq!(
+        engine.characteristic_generation(),
+        seeded,
+        "matching rebuilds must not bump the generation"
+    );
+    assert_eq!(engine.stats().recharacterizations, 0);
+}
+
+/// Open-loop serving with the paper's windowed (histogram-incapable)
+/// measure still works off an installed curve — it just cannot rebuild the
+/// curve from the sketch, and the drift fallback keeps the contract.
+#[test]
+fn open_loop_serves_windowed_measures_from_an_installed_curve() {
+    let frames: Vec<GrayImage> = SipiSuite::with_size(24)
+        .iter()
+        .take(6)
+        .map(|(_, img)| img.clone())
+        .collect();
+    // Characterize through the pixel path (frames, not histograms).
+    let config = PipelineConfig::default();
+    let named: Vec<(String, &GrayImage)> = frames
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (format!("f{i}"), f))
+        .collect();
+    let curve = DistortionCharacteristic::characterize(
+        &config,
+        named.iter().map(|(n, f)| (n.as_str(), *f)),
+        &DEFAULT_RANGES,
+    )
+    .unwrap();
+
+    let engine = Engine::new(
+        policy(), // windowed default measure
+        EngineConfig {
+            workers: 1,
+            max_distortion: 0.10,
+            cache: Some(CacheConfig::exact()),
+            mode: ServingMode::OpenLoop {
+                recharacterize: RecharacterizePolicy {
+                    sample_period: 1,
+                    drift_limit: Some(1),
+                    ..RecharacterizePolicy::default()
+                },
+            },
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    engine.install_characteristic(curve).unwrap();
+    for frame in &frames {
+        let result = engine.process_frame(frame).unwrap();
+        assert!(result.outcome.distortion <= 0.10 + 1e-9);
+    }
+    let stats = engine.stats();
+    assert_eq!(
+        stats.recharacterizations, 0,
+        "a windowed measure cannot rebuild from the histogram sketch"
+    );
+    assert!(
+        stats.fit_evaluations < stats.cache_misses * 4,
+        "most misses should take the one-evaluation open-loop path"
+    );
 }
 
 /// Streaming and batching agree on the same input.
