@@ -17,8 +17,12 @@
 //! trajectory can be tracked across PRs.
 
 use hebs_bench::{
-    run_runtime_throughput, runtime_throughput_json, verify_cache_invariants, TextTable,
+    run_mixed_suite, run_runtime_throughput, runtime_throughput_json, verify_cache_invariants,
+    TextTable,
 };
+
+/// Content classes the mixed-suite comparison clusters the suite into.
+const MIXED_SUITE_CLASSES: usize = 6;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -121,10 +125,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{summary}");
 
+    // The mixed-suite savings comparison: what each open-loop strategy
+    // recovers on heterogeneous traffic. Deterministic, so bench_check
+    // gates these numbers directly.
+    let mixed = run_mixed_suite(budget, frame_size, MIXED_SUITE_CLASSES)?;
+    let mut savings = TextTable::new([
+        "mixed suite",
+        "closed-loop",
+        "worst-case",
+        "envelope",
+        "per-class",
+        "recovery",
+        "classes",
+        "evals/miss",
+    ]);
+    savings.push_row([
+        format!("{} frames", mixed.frames),
+        format!("{:.1}%", mixed.closed_loop_saving * 100.0),
+        format!("{:.1}%", mixed.worst_case_saving * 100.0),
+        format!("{:.1}%", mixed.envelope_saving * 100.0),
+        format!("{:.1}%", mixed.per_class_saving * 100.0),
+        format!("{:.0}%", mixed.per_class_recovery() * 100.0),
+        mixed.classes.to_string(),
+        format!("{:.2}", mixed.per_class_evals_per_miss),
+    ]);
+    println!("{savings}");
+
     if let Some(path) = json_path {
         std::fs::write(
             &path,
-            runtime_throughput_json(budget, frame_size, video_frames, &rows),
+            runtime_throughput_json(budget, frame_size, video_frames, &rows, Some(&mixed)),
         )?;
         println!("wrote machine-readable results to {path}");
     }

@@ -9,8 +9,8 @@ use std::time::{Duration, Instant};
 
 use hebs_core::{
     pipeline::{evaluate_at_range_scratch, evaluate_range_from_histogram, FitScratch},
-    BacklightPolicy, CbcsPolicy, DistortionCharacteristic, DlsPolicy, DlsVariant, HebsPolicy,
-    PipelineConfig, TargetRange, DEFAULT_RANGES,
+    BacklightPolicy, CbcsPolicy, CharacteristicBank, CurveFit, DistortionCharacteristic, DlsPolicy,
+    DlsVariant, HebsPolicy, PipelineConfig, TargetRange, DEFAULT_RANGES,
 };
 use hebs_imaging::{
     synthetic, FrameSequence, GrayImage, Histogram, SceneKind, SipiImage, SipiSuite,
@@ -473,6 +473,153 @@ pub fn run_runtime_throughput(
     Ok(rows)
 }
 
+/// The mixed-suite open-loop savings comparison: how much backlight each
+/// open-loop strategy recovers on heterogeneous traffic, against the
+/// closed-loop (per-frame search) reference.
+///
+/// Every quantity is deterministic (synthetic suite, single worker, no
+/// background rebuilds), so the savings — unlike latencies — are
+/// machine-independent and CI-gateable.
+#[derive(Debug, Clone)]
+pub struct MixedSuiteReport {
+    /// Distortion budget every engine served with.
+    pub budget: f64,
+    /// Frames in the mixed workload.
+    pub frames: usize,
+    /// Content classes the characteristic bank actually built (clustering
+    /// may collapse duplicates below the requested count).
+    pub classes: usize,
+    /// Mean fractional saving of the closed-loop search — the ceiling.
+    pub closed_loop_saving: f64,
+    /// Mean saving of the classic single worst-case curve (refuses to dim
+    /// on mixed traffic — the motivating ~0%).
+    pub worst_case_saving: f64,
+    /// Mean saving of the single p95 envelope curve — the cheap half-step.
+    pub envelope_saving: f64,
+    /// Mean saving of the per-class bank (p95 envelope fit per class — the
+    /// two mechanisms compose: clustering removes the cross-shape veto, the
+    /// envelope removes the within-class outlier veto).
+    pub per_class_saving: f64,
+    /// Drift fallbacks the per-class engine needed to hold the contract.
+    pub per_class_fallbacks: u64,
+    /// Fit evaluations per cache miss of the per-class engine (the ≤ 1
+    /// open-loop economics, fallback searches included).
+    pub per_class_evals_per_miss: f64,
+}
+
+impl MixedSuiteReport {
+    /// Fraction of the closed-loop saving the per-class bank recovers
+    /// (0 when the closed loop itself saves nothing).
+    pub fn per_class_recovery(&self) -> f64 {
+        if self.closed_loop_saving <= 0.0 {
+            0.0
+        } else {
+            self.per_class_saving / self.closed_loop_saving
+        }
+    }
+}
+
+/// Runs the mixed-suite savings comparison: the full (heterogeneous)
+/// synthetic SIPI suite served closed-loop, open-loop off a single
+/// worst-case curve, off a single p95-envelope curve, and off a
+/// signature-clustered per-class bank of up to `classes` worst-case curves.
+///
+/// All engines run one worker with background re-characterization disabled,
+/// so the comparison is a pure function of the curves (the per-serve drift
+/// fallback stays armed — the distortion contract holds in every row).
+///
+/// # Errors
+///
+/// Propagates engine construction, characterization and serving errors.
+pub fn run_mixed_suite(
+    budget: f64,
+    frame_size: u32,
+    classes: usize,
+) -> hebs_runtime::Result<MixedSuiteReport> {
+    let pipeline = open_loop_pipeline();
+    let suite = SipiSuite::with_size(frame_size);
+    let frames: Vec<GrayImage> = suite.iter().map(|(_, img)| img.clone()).collect();
+    let histograms: Vec<Histogram> = frames.iter().map(Histogram::of).collect();
+
+    let closed = Engine::new(
+        HebsPolicy::closed_loop(pipeline.clone()),
+        EngineConfig {
+            workers: 1,
+            max_distortion: budget,
+            cache: Some(CacheConfig::exact()),
+            ..EngineConfig::default()
+        },
+    )?;
+    let closed_loop_saving = closed.process_batch(&frames)?.mean_power_saving();
+
+    // One pooled characterization serves both single-curve rows: a
+    // DistortionCharacteristic carries all three fits, only the lookup
+    // selection differs.
+    let pooled = DistortionCharacteristic::characterize_from_histograms(
+        &pipeline,
+        &histograms,
+        &DEFAULT_RANGES,
+    )
+    .map_err(hebs_runtime::RuntimeError::Core)?;
+
+    let serve_open = |fit: CurveFit,
+                      bank: Option<CharacteristicBank>|
+     -> hebs_runtime::Result<(f64, hebs_runtime::EngineStats)> {
+        let engine = Engine::new(
+            HebsPolicy::closed_loop(pipeline.clone()),
+            EngineConfig {
+                workers: 1,
+                max_distortion: budget,
+                cache: Some(CacheConfig::exact()),
+                mode: ServingMode::OpenLoop {
+                    recharacterize: RecharacterizePolicy {
+                        interval: None,
+                        drift_limit: None,
+                        fit,
+                        classes: bank.as_ref().map_or(1, CharacteristicBank::len),
+                        ..RecharacterizePolicy::default()
+                    },
+                },
+                ..EngineConfig::default()
+            },
+        )?;
+        match bank {
+            Some(bank) => {
+                engine.install_bank(bank)?;
+            }
+            None => {
+                engine.install_characteristic(pooled.clone())?;
+            }
+        }
+        let report = engine.process_batch(&frames)?;
+        Ok((report.mean_power_saving(), engine.stats()))
+    };
+
+    let (worst_case_saving, _) = serve_open(CurveFit::WorstCase, None)?;
+    let (envelope_saving, _) = serve_open(CurveFit::Envelope, None)?;
+    let bank = CharacteristicBank::build(&pipeline, &histograms, &DEFAULT_RANGES, classes)
+        .map_err(hebs_runtime::RuntimeError::Core)?;
+    let built_classes = bank.len();
+    let (per_class_saving, per_class_stats) = serve_open(CurveFit::Envelope, Some(bank))?;
+    let per_class_evals_per_miss = if per_class_stats.cache_misses == 0 {
+        0.0
+    } else {
+        per_class_stats.fit_evaluations as f64 / per_class_stats.cache_misses as f64
+    };
+
+    Ok(MixedSuiteReport {
+        budget,
+        frames: frames.len(),
+        classes: built_classes,
+        closed_loop_saving,
+        worst_case_saving,
+        envelope_saving,
+        per_class_saving,
+        per_class_fallbacks: per_class_stats.open_loop_fallbacks,
+        per_class_evals_per_miss,
+    })
+}
+
 /// One row of the fit-latency-versus-frame-size experiment.
 #[derive(Debug, Clone)]
 pub struct FitScalingRow {
@@ -752,6 +899,61 @@ pub fn verify_cache_invariants(frame_size: u32) -> Result<(), String> {
     if after_swap.cache_hit {
         return fail("open loop: a characteristic swap must invalidate cached fits");
     }
+
+    // Per-class open-loop serving: with a signature-clustered bank built on
+    // the suite's own traffic, the ≤ 1 evaluation/miss economics and the
+    // distortion contract must both hold — and the bank must recover
+    // dimming the single worst-case curve refuses (its saving on this
+    // heterogeneous suite is ~0).
+    let classes = 6;
+    let engine = Engine::new(
+        HebsPolicy::closed_loop(open_loop_pipeline()),
+        EngineConfig {
+            workers: 1,
+            max_distortion: budget,
+            cache: Some(CacheConfig::exact()),
+            mode: ServingMode::OpenLoop {
+                recharacterize: RecharacterizePolicy {
+                    classes,
+                    fit: hebs_core::CurveFit::Envelope,
+                    ..RecharacterizePolicy::default()
+                },
+            },
+            ..EngineConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let histograms: Vec<Histogram> = frames.iter().map(Histogram::of).collect();
+    let bank = hebs_core::CharacteristicBank::build(
+        &open_loop_pipeline(),
+        &histograms,
+        &hebs_core::DEFAULT_RANGES,
+        classes,
+    )
+    .map_err(|e| format!("per-class bank: characterization failed: {e}"))?;
+    engine.install_bank(bank).map_err(|e| e.to_string())?;
+    let report = engine.process_batch(&frames).map_err(|e| e.to_string())?;
+    for result in &report.results {
+        if result.outcome.distortion > budget + 1e-9 {
+            return Err(format!(
+                "per-class bank: distortion {} exceeds the {budget} budget",
+                result.outcome.distortion
+            ));
+        }
+    }
+    let stats = engine.stats();
+    if stats.cache_misses == 0 {
+        return fail("per-class bank: a cold pass must miss");
+    }
+    if stats.fit_evaluations > stats.cache_misses {
+        return Err(format!(
+            "per-class bank: {} fit evaluations for {} misses (must average ≤ 1 per miss)",
+            stats.fit_evaluations, stats.cache_misses
+        ));
+    }
+    if report.mean_power_saving() <= 0.0 {
+        return fail("per-class bank: mixed traffic must recover a nonzero saving");
+    }
     Ok(())
 }
 
@@ -891,6 +1093,37 @@ mod tests {
         {
             assert_eq!(row.cache_hit_rate, 0.0);
         }
+    }
+
+    #[test]
+    fn mixed_suite_per_class_recovers_what_the_worst_case_refuses() {
+        let report = run_mixed_suite(0.10, 24, 6).unwrap();
+        assert_eq!(report.frames, 19);
+        assert!(report.classes >= 2, "the suite clusters into classes");
+        assert!(report.closed_loop_saving > 0.2, "closed loop dims");
+        // The motivating failure: the single worst-case curve saves almost
+        // nothing on heterogeneous traffic...
+        assert!(
+            report.worst_case_saving < 0.05,
+            "worst-case saving {} should be ~0 on mixed traffic",
+            report.worst_case_saving
+        );
+        // ...the single envelope is the half-step above it...
+        assert!(report.envelope_saving > report.worst_case_saving);
+        // ...and the per-class bank beats both, recovering a real fraction
+        // of the closed-loop ceiling at open-loop cost.
+        assert!(
+            report.per_class_saving > report.envelope_saving,
+            "per-class ({}) must beat the single envelope ({})",
+            report.per_class_saving,
+            report.envelope_saving
+        );
+        assert!(
+            report.per_class_recovery() > 0.4,
+            "recovery {} too small",
+            report.per_class_recovery()
+        );
+        assert!(report.per_class_saving <= report.closed_loop_saving + 1e-9);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! machine-readable artifact CI uploads, so throughput, hit rates and fit
 //! evaluations can be tracked across PRs.
 
-use crate::experiments::{FitScalingRow, RuntimeThroughputRow};
+use crate::experiments::{FitScalingRow, MixedSuiteReport, RuntimeThroughputRow};
 
 /// Escapes a string for embedding in a JSON document.
 fn escape(s: &str) -> String {
@@ -36,17 +36,56 @@ fn number(value: f64) -> String {
 
 /// Serializes the runtime throughput comparison, with enough run metadata
 /// (budget, frame size) to make artifacts from different PRs comparable.
+/// The optional mixed-suite savings comparison rides along as a
+/// `mixed_suite` object — its savings are deterministic, so `bench_check`
+/// gates them directly (unlike the timing fields).
 pub fn runtime_throughput_json(
     budget: f64,
     frame_size: u32,
     video_frames: usize,
     rows: &[RuntimeThroughputRow],
+    mixed: Option<&MixedSuiteReport>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"budget\": {},\n", number(budget)));
     out.push_str(&format!("  \"frame_size\": {frame_size},\n"));
     out.push_str(&format!("  \"video_frames\": {video_frames},\n"));
+    if let Some(mixed) = mixed {
+        out.push_str("  \"mixed_suite\": {");
+        out.push_str(&format!("\"budget\": {}, ", number(mixed.budget)));
+        out.push_str(&format!("\"frames\": {}, ", mixed.frames));
+        out.push_str(&format!("\"classes\": {}, ", mixed.classes));
+        out.push_str(&format!(
+            "\"closed_loop_saving\": {}, ",
+            number(mixed.closed_loop_saving)
+        ));
+        out.push_str(&format!(
+            "\"worst_case_saving\": {}, ",
+            number(mixed.worst_case_saving)
+        ));
+        out.push_str(&format!(
+            "\"envelope_saving\": {}, ",
+            number(mixed.envelope_saving)
+        ));
+        out.push_str(&format!(
+            "\"per_class_saving\": {}, ",
+            number(mixed.per_class_saving)
+        ));
+        out.push_str(&format!(
+            "\"per_class_recovery\": {}, ",
+            number(mixed.per_class_recovery())
+        ));
+        out.push_str(&format!(
+            "\"per_class_fallbacks\": {}, ",
+            mixed.per_class_fallbacks
+        ));
+        out.push_str(&format!(
+            "\"per_class_evals_per_miss\": {}",
+            number(mixed.per_class_evals_per_miss)
+        ));
+        out.push_str("},\n");
+    }
     out.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str("    {");
@@ -180,13 +219,31 @@ mod tests {
             recharacterizations: 1,
             mean_power_saving: 0.41,
         }];
-        let json = runtime_throughput_json(0.10, 32, 16, &rows);
+        let mixed = MixedSuiteReport {
+            budget: 0.10,
+            frames: 19,
+            classes: 6,
+            closed_loop_saving: 0.41,
+            worst_case_saving: 0.0,
+            envelope_saving: 0.10,
+            per_class_saving: 0.24,
+            per_class_fallbacks: 0,
+            per_class_evals_per_miss: 1.0,
+        };
+        let json = runtime_throughput_json(0.10, 32, 16, &rows, Some(&mixed));
         assert!(json.contains("\"fit_evaluations\": 77"));
         assert!(json.contains("\"cache_misses\": 19"));
         assert!(json.contains("\"open_loop_fallbacks\": 3"));
         assert!(json.contains("\"recharacterizations\": 1"));
         assert!(json.contains("\"workload\": \"suite \\\"x2\\\"\""));
         assert!(json.contains("\"p50_latency_ms\": 1.9"));
+        assert!(json.contains("\"mixed_suite\": {"));
+        assert!(json.contains("\"per_class_saving\": 0.24"));
+        assert!(json.contains("\"per_class_recovery\": 0.585"));
+        // Without the mixed section the document stays well-formed too.
+        let bare = runtime_throughput_json(0.10, 32, 16, &rows, None);
+        assert!(!bare.contains("mixed_suite"));
+        assert_eq!(bare.matches('{').count(), bare.matches('}').count());
         // Braces and brackets balance (a cheap well-formedness check given
         // no JSON parser in the workspace).
         assert_eq!(

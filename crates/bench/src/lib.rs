@@ -16,8 +16,9 @@ pub mod table;
 
 pub use experiments::{
     characterize_workload, run_baseline_comparison, run_characterization, run_figure8,
-    run_fit_scaling, run_runtime_throughput, run_table1, verify_cache_invariants,
-    BaselineComparison, Figure8Row, FitScalingRow, RuntimeThroughputRow, Table1Report, Table1Row,
+    run_fit_scaling, run_mixed_suite, run_runtime_throughput, run_table1, verify_cache_invariants,
+    BaselineComparison, Figure8Row, FitScalingRow, MixedSuiteReport, RuntimeThroughputRow,
+    Table1Report, Table1Row,
 };
 pub use json::{fit_scaling_json, runtime_throughput_json};
 pub use regression::{check_fit_scaling, check_throughput, CheckConfig, CheckReport, JsonValue};

@@ -283,6 +283,12 @@ pub struct CheckConfig {
     /// is not enough signal in a sub-jitter run to gate on. The
     /// fit-evaluations-per-miss gate still applies to such rows.
     pub min_gated_wall_ms: f64,
+    /// Maximum tolerated relative decrease of the mixed-suite per-class
+    /// savings-recovery ratio before the gate fails (0.10 = −10%). The
+    /// savings are deterministic functions of the synthetic suite, so the
+    /// band only absorbs intentional curve-fitting tweaks, not machine
+    /// noise.
+    pub savings_tolerance: f64,
 }
 
 impl Default for CheckConfig {
@@ -293,6 +299,7 @@ impl Default for CheckConfig {
             evaluations_tolerance: 0.05,
             latency_floor: 0.5,
             min_gated_wall_ms: 20.0,
+            savings_tolerance: 0.10,
         }
     }
 }
@@ -386,6 +393,81 @@ fn evaluations_per_miss(row: &JsonValue) -> Option<f64> {
 /// The configuration each workload's timing gates are normalized against.
 const REFERENCE_CONFIGURATION: &str = "single-thread";
 
+/// Gates the artifact's `mixed_suite` savings comparison, when present.
+/// Savings are deterministic functions of the synthetic suite (single
+/// worker, no background rebuilds), so unlike timings they are gated
+/// directly:
+///
+/// * the per-class bank must save **strictly more** backlight than the
+///   single worst-case curve (the whole point of the bank — losing this
+///   means mixed traffic stopped dimming again);
+/// * the per-class recovery ratio (per-class saving / closed-loop saving)
+///   must not drop more than `savings_tolerance` below the baseline's;
+/// * the per-class engine must hold the open-loop economics: at most one
+///   fit evaluation per miss on its own characterized traffic.
+///
+/// A baseline with a `mixed_suite` section and a current run without one is
+/// a violation (the comparison must not silently disappear); the reverse
+/// passes with a note.
+fn check_mixed_suite(
+    baseline: &JsonValue,
+    current: &JsonValue,
+    config: CheckConfig,
+    report: &mut CheckReport,
+) {
+    let (base, cur) = match (baseline.get("mixed_suite"), current.get("mixed_suite")) {
+        (None, None) => return,
+        (Some(_), None) => {
+            report
+                .violations
+                .push("mixed_suite: present in baseline but missing from current run".to_string());
+            return;
+        }
+        (None, Some(_)) => {
+            report
+                .comparisons
+                .push("mixed_suite: new section (no baseline yet)".to_string());
+            return;
+        }
+        (Some(base), Some(cur)) => (base, cur),
+    };
+    if let (Some(per_class), Some(worst)) = (
+        field(cur, "per_class_saving"),
+        field(cur, "worst_case_saving"),
+    ) {
+        let line = format!(
+            "mixed_suite per-class saving {per_class:.4} vs worst-case {worst:.4} \
+             (must be strictly above)"
+        );
+        if per_class <= worst + 1e-9 {
+            report.violations.push(line.clone());
+        }
+        report.comparisons.push(line);
+    }
+    if let (Some(base_recovery), Some(cur_recovery)) = (
+        field(base, "per_class_recovery"),
+        field(cur, "per_class_recovery"),
+    ) {
+        let limit = base_recovery * (1.0 - config.savings_tolerance);
+        let line = format!(
+            "mixed_suite per-class recovery: {cur_recovery:.3} vs baseline \
+             {base_recovery:.3} (limit {limit:.3})"
+        );
+        if cur_recovery < limit {
+            report.violations.push(line.clone());
+        }
+        report.comparisons.push(line);
+    }
+    if let Some(evals) = field(cur, "per_class_evals_per_miss") {
+        let line =
+            format!("mixed_suite per-class fit evals/miss: {evals:.3} (limit 1.000 + noise)");
+        if evals > 1.0 + config.evaluations_tolerance {
+            report.violations.push(line.clone());
+        }
+        report.comparisons.push(line);
+    }
+}
+
 /// Gates a `runtime_throughput.json` artifact against its baseline, per
 /// `(workload, configuration)` row:
 ///
@@ -410,9 +492,12 @@ pub fn check_throughput(
     current: &str,
     config: CheckConfig,
 ) -> Result<CheckReport, String> {
-    let baseline = throughput_rows(&JsonValue::parse(baseline)?)?;
-    let current = throughput_rows(&JsonValue::parse(current)?)?;
+    let baseline_doc = JsonValue::parse(baseline)?;
+    let current_doc = JsonValue::parse(current)?;
+    let baseline = throughput_rows(&baseline_doc)?;
+    let current = throughput_rows(&current_doc)?;
     let mut report = CheckReport::default();
+    check_mixed_suite(&baseline_doc, &current_doc, config, &mut report);
 
     let mut keys: Vec<_> = baseline.keys().collect();
     keys.sort();
@@ -835,6 +920,64 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("vs single-thread")));
+    }
+
+    /// Throughput doc with a mixed-suite savings section.
+    fn mixed_doc(worst: f64, per_class: f64, recovery: f64, evals: f64) -> String {
+        format!(
+            r#"{{"budget": 0.1, "mixed_suite": {{"budget": 0.1, "frames": 19,
+                "classes": 6, "closed_loop_saving": 0.41,
+                "worst_case_saving": {worst}, "envelope_saving": 0.10,
+                "per_class_saving": {per_class}, "per_class_recovery": {recovery},
+                "per_class_fallbacks": 0, "per_class_evals_per_miss": {evals}}},
+                "rows": []}}"#
+        )
+    }
+
+    #[test]
+    fn mixed_suite_savings_are_gated() {
+        let base = mixed_doc(0.0, 0.24, 0.585, 1.0);
+        // Identical savings pass.
+        let report = check_throughput(&base, &base, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.contains("per-class recovery")));
+
+        // Per-class dropping to the worst-case's level fails the strict
+        // ordering even before the ratio check.
+        let collapsed = mixed_doc(0.0, 0.0, 0.0, 1.0);
+        let report = check_throughput(&base, &collapsed, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("strictly above")));
+
+        // A >10% recovery regression fails; a smaller one passes.
+        let regressed = mixed_doc(0.0, 0.20, 0.48, 1.0);
+        let report = check_throughput(&base, &regressed, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations.iter().any(|v| v.contains("recovery")));
+        let wobble = mixed_doc(0.0, 0.23, 0.56, 1.0);
+        assert!(check_throughput(&base, &wobble, CheckConfig::default())
+            .unwrap()
+            .passed());
+
+        // Losing the ≤1 eval/miss economics fails.
+        let bisecting = mixed_doc(0.0, 0.24, 0.585, 4.2);
+        let report = check_throughput(&base, &bisecting, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations.iter().any(|v| v.contains("evals/miss")));
+
+        // Section disappearing fails; appearing fresh passes with a note.
+        let bare = r#"{"rows": []}"#;
+        let report = check_throughput(&base, bare, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        let report = check_throughput(bare, &base, CheckConfig::default()).unwrap();
+        assert!(report.passed());
+        assert!(report.comparisons[0].contains("new section"));
     }
 
     #[test]

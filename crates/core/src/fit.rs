@@ -149,13 +149,36 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>
 ///
 /// Propagates the errors of [`Polynomial::fit`].
 pub fn fit_upper_envelope(samples: &[(f64, f64)], degree: usize) -> Result<Polynomial> {
+    fit_quantile_envelope(samples, degree, 1.0)
+}
+
+/// Fits a *quantile envelope* polynomial: the least-squares fit shifted
+/// upward by the `quantile`-rank residual (nearest rank), so it lies at or
+/// above that fraction of the samples. `quantile = 1.0` reproduces
+/// [`fit_upper_envelope`]; intermediate quantiles (e.g. a p95 envelope) sit
+/// between the average fit and the worst-case fit — they cover almost every
+/// sample without letting a single outlier image dictate the whole curve.
+///
+/// The shift is clamped to `[0, max shortfall]`, so the result always
+/// dominates the base least-squares fit and never exceeds the upper
+/// envelope.
+///
+/// # Errors
+///
+/// Propagates the errors of [`Polynomial::fit`].
+pub fn fit_quantile_envelope(
+    samples: &[(f64, f64)],
+    degree: usize,
+    quantile: f64,
+) -> Result<Polynomial> {
     let base = Polynomial::fit(samples, degree)?;
-    let max_shortfall = samples
-        .iter()
-        .map(|&(x, y)| y - base.evaluate(x))
-        .fold(0.0f64, f64::max);
+    let mut shortfalls: Vec<f64> = samples.iter().map(|&(x, y)| y - base.evaluate(x)).collect();
+    shortfalls.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+    let rank = (quantile.clamp(0.0, 1.0) * (shortfalls.len() - 1) as f64).round() as usize;
+    let max_shortfall = shortfalls.last().copied().unwrap_or(0.0).max(0.0);
+    let shift = shortfalls[rank].clamp(0.0, max_shortfall);
     let mut coefficients = base.coefficients.clone();
-    coefficients[0] += max_shortfall;
+    coefficients[0] += shift;
     Ok(Polynomial::new(coefficients))
 }
 
@@ -229,6 +252,45 @@ mod tests {
     #[should_panic(expected = "polynomial needs coefficients")]
     fn empty_polynomial_panics() {
         let _ = Polynomial::new(vec![]);
+    }
+
+    #[test]
+    fn quantile_envelope_sits_between_average_and_worst_case() {
+        // A decreasing line with one extreme outlier at i == 7 and mild
+        // alternating noise elsewhere: the p95 envelope must cover the bulk
+        // of the samples without being dragged all the way up to the
+        // outlier the way the upper envelope is.
+        let samples: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = f64::from(i) * 10.0;
+                let bump = if i == 7 {
+                    5.0
+                } else if i % 2 == 0 {
+                    0.2
+                } else {
+                    -0.2
+                };
+                (x, 30.0 - 0.1 * x + bump)
+            })
+            .collect();
+        let base = Polynomial::fit(&samples, 1).unwrap();
+        let p95 = fit_quantile_envelope(&samples, 1, 0.95).unwrap();
+        let worst = fit_upper_envelope(&samples, 1).unwrap();
+        for x in [0.0, 50.0, 100.0, 150.0] {
+            assert!(p95.evaluate(x) >= base.evaluate(x) - 1e-9);
+            assert!(p95.evaluate(x) <= worst.evaluate(x) + 1e-9);
+        }
+        // The envelope covers at least 95% of the samples...
+        let covered = samples
+            .iter()
+            .filter(|&&(x, y)| p95.evaluate(x) >= y - 1e-9)
+            .count();
+        assert!(covered >= 19, "only {covered}/20 samples covered");
+        // ...but is strictly below the outlier-dominated worst case.
+        assert!(p95.evaluate(70.0) < worst.evaluate(70.0) - 1.0);
+        // Quantile 1.0 reproduces the upper envelope exactly.
+        let q1 = fit_quantile_envelope(&samples, 1, 1.0).unwrap();
+        assert_eq!(q1.coefficients(), worst.coefficients());
     }
 
     #[test]

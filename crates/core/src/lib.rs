@@ -49,7 +49,10 @@ pub mod policy;
 pub mod video;
 
 pub use baselines::{CbcsPolicy, DlsPolicy, DlsVariant};
-pub use characterize::{CharacterizationSample, DistortionCharacteristic, DEFAULT_RANGES};
+pub use characterize::{
+    nearest_centroid, BankClass, CharacteristicBank, CharacterizationSample, CurveFit,
+    DistortionCharacteristic, DEFAULT_RANGES, ENVELOPE_QUANTILE,
+};
 pub use error::{HebsError, Result};
 pub use ghe::{GheSolution, TargetRange};
 pub use pipeline::{

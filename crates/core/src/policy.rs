@@ -20,7 +20,7 @@ use hebs_display::PowerBreakdown;
 use hebs_imaging::{GrayImage, Histogram};
 use hebs_transform::LookupTable;
 
-use crate::characterize::DistortionCharacteristic;
+use crate::characterize::{CurveFit, DistortionCharacteristic};
 use crate::error::{HebsError, Result};
 use crate::ghe::TargetRange;
 use crate::pipeline::{
@@ -102,8 +102,9 @@ pub enum RangeSelection {
         /// runtime can hold the same curve in its re-characterization slot
         /// without cloning the sample scatter per policy rebuild.
         curve: Arc<DistortionCharacteristic>,
-        /// Use the worst-case fit instead of the average fit.
-        conservative: bool,
+        /// Which of the curve's fits (average, p95 envelope, worst case)
+        /// the lookup runs on.
+        fit: CurveFit,
     },
     /// Search the range per image using the actual measured distortion
     /// (closed loop): slower, but the bound is honoured exactly.
@@ -155,16 +156,29 @@ impl HebsPolicy {
         curve: Arc<DistortionCharacteristic>,
         conservative: bool,
     ) -> Self {
+        let fit = if conservative {
+            CurveFit::WorstCase
+        } else {
+            CurveFit::Average
+        };
+        Self::open_loop_with_fit(config, curve, fit)
+    }
+
+    /// Like [`HebsPolicy::open_loop_shared`] with an explicit [`CurveFit`]
+    /// selection — in particular the p95 envelope, which dims heterogeneous
+    /// traffic the worst-case fit refuses to.
+    pub fn open_loop_with_fit(
+        config: PipelineConfig,
+        curve: Arc<DistortionCharacteristic>,
+        fit: CurveFit,
+    ) -> Self {
         HebsPolicy {
             config,
-            selection: RangeSelection::Characteristic {
-                curve,
-                conservative,
-            },
-            name: if conservative {
-                "hebs-open-worstcase".to_string()
-            } else {
-                "hebs-open".to_string()
+            selection: RangeSelection::Characteristic { curve, fit },
+            name: match fit {
+                CurveFit::Average => "hebs-open".to_string(),
+                CurveFit::Envelope => "hebs-open-envelope".to_string(),
+                CurveFit::WorstCase => "hebs-open-worstcase".to_string(),
             },
         }
     }
@@ -314,16 +328,11 @@ impl HebsPolicy {
             RangeSelection::ClosedLoop => {
                 self.search_range(image, histogram, max_distortion, scratch)
             }
-            RangeSelection::Characteristic {
-                curve,
-                conservative,
-            } => {
+            RangeSelection::Characteristic { curve, fit } => {
                 // When even the full range is predicted to exceed the budget
                 // the characteristic cannot help; fall back to the widest
                 // (least distorting) range rather than refusing to display.
-                let range = curve
-                    .min_range_for(max_distortion, *conservative)
-                    .unwrap_or(256);
+                let range = curve.min_range_for_fit(max_distortion, *fit).unwrap_or(256);
                 self.evaluate(image, histogram, range.max(2), scratch)
             }
         }

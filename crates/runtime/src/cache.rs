@@ -254,6 +254,16 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         if bytes > self.byte_capacity {
             return false;
         }
+        // Under pressure, reclaim TTL-expired residents before evicting
+        // live LRU victims: a cold expired entry is otherwise only dropped
+        // when its own key happens to be probed again, and until then it
+        // keeps charging the byte budget and pushing live fits out.
+        if self.ttl.is_some()
+            && (self.map.len() >= self.capacity
+                || self.bytes.saturating_add(bytes) > self.byte_capacity)
+        {
+            self.reclaim_expired();
+        }
         while !self.map.is_empty()
             && (self.map.len() >= self.capacity
                 || self.bytes.saturating_add(bytes) > self.byte_capacity)
@@ -281,6 +291,21 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         );
         self.bytes += bytes;
         true
+    }
+
+    /// Removes every resident entry whose TTL has lapsed (a full-shard
+    /// sweep, only run from `insert` when eviction is otherwise needed).
+    fn reclaim_expired(&mut self) {
+        let Some(ttl) = self.ttl else { return };
+        let expired: Vec<K> = self
+            .map
+            .iter()
+            .filter(|(_, entry)| entry.inserted.elapsed() >= ttl)
+            .map(|(key, _)| key.clone())
+            .collect();
+        for key in &expired {
+            self.remove(key);
+        }
     }
 
     /// Removes an entry, returning whether it was present.
@@ -583,31 +608,41 @@ impl<K: Hash + Eq + Clone> Drop for FlightGuard<'_, K> {
     }
 }
 
-/// Exact-mode key: frame shape, 128-bit content hash, budget band and the
-/// characteristic generation the fit was made under.
+/// Exact-mode key: frame shape, 128-bit content hash, budget band, the
+/// content class the frame routed to and the class's characteristic
+/// generation the fit was made under.
 ///
 /// The hash is computed in one allocation-free pass over the pixel buffer;
 /// the stored entry keeps the frame bytes so every hit is verified against
 /// the actual content (a collision is rejected, never served). The
-/// generation tag (0 in closed-loop mode) makes every open-loop
-/// re-characterization an implicit invalidation: fits made under a stale
-/// curve are never probed again and age out of the LRU.
+/// `(class, generation)` pair (both 0 in closed-loop mode) makes every
+/// open-loop re-characterization an implicit invalidation *scoped to its
+/// class*: a rebuilt class's fits are never probed again and age out of the
+/// LRU, while every other class's fits keep serving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct ExactKey {
     width: u32,
     height: u32,
     content_hash: u128,
     budget_band: u32,
+    class: u16,
     generation: u64,
 }
 
 impl ExactKey {
-    pub(crate) fn of(frame: &GrayImage, seed: u64, budget_band: u32, generation: u64) -> Self {
+    pub(crate) fn of(
+        frame: &GrayImage,
+        seed: u64,
+        budget_band: u32,
+        class: u16,
+        generation: u64,
+    ) -> Self {
         ExactKey {
             width: frame.width(),
             height: frame.height(),
             content_hash: content_hash128(frame.as_raw(), seed),
             budget_band,
+            class,
             generation,
         }
     }
@@ -658,13 +693,15 @@ pub(crate) fn transform_bytes(transform: &FrameTransform) -> usize {
 }
 
 /// Approximate-mode key: the quantized histogram signature plus frame
-/// shape, budget band and characteristic generation (see [`ExactKey`]).
+/// shape, budget band, content class and the class's characteristic
+/// generation (see [`ExactKey`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct SignatureKey {
     width: u32,
     height: u32,
     signature: HistogramSignature,
     budget_band: u32,
+    class: u16,
     generation: u64,
 }
 
@@ -674,6 +711,7 @@ impl SignatureKey {
         histogram: &Histogram,
         resolution: u8,
         budget_band: u32,
+        class: u16,
         generation: u64,
     ) -> Self {
         SignatureKey {
@@ -681,6 +719,7 @@ impl SignatureKey {
             height: frame.height(),
             signature: HistogramSignature::with_resolution(histogram, resolution),
             budget_band,
+            class,
             generation,
         }
     }
@@ -879,6 +918,31 @@ mod tests {
         assert_eq!(lru.misses(), 1);
     }
 
+    /// Regression: a TTL-expired entry that is *not* the LRU victim used to
+    /// keep charging the byte budget (it was only reclaimed when its own
+    /// key was probed), evicting live fits under byte pressure. Insert-time
+    /// eviction must reclaim expired residents before touching live LRU
+    /// victims.
+    #[test]
+    fn insert_reclaims_expired_residents_before_evicting_live_ones() {
+        let ttl = Duration::from_millis(60);
+        let lru: ShardedLru<u32, u32> = ShardedLru::bounded(8, 1, 100, Some(ttl));
+        lru.insert(1, 1, 40); // will expire first
+        std::thread::sleep(Duration::from_millis(40));
+        lru.insert(2, 2, 40); // still live when 1 expires
+                              // Refresh 1's recency so the *live* entry 2 is the LRU victim.
+        assert!(lru.get(&1).is_some());
+        std::thread::sleep(Duration::from_millis(30));
+        // Entry 1 is now expired (70 ms old), entry 2 live (30 ms old) but
+        // least recently used. Inserting 40 more bytes needs room: the
+        // expired resident must be reclaimed, not the live victim.
+        lru.insert(3, 3, 40);
+        assert_eq!(value(lru.get(&2)), Some(2), "live entry survives");
+        assert_eq!(value(lru.get(&3)), Some(3));
+        assert_eq!(lru.get(&1), None, "expired entry was reclaimed");
+        assert!(lru.bytes() <= 100);
+    }
+
     #[test]
     fn misses_do_not_advance_the_recency_tick() {
         let lru: ShardedLru<u32, u32> = ShardedLru::new(4, 1);
@@ -1058,17 +1122,22 @@ mod tests {
         let a = GrayImage::filled(8, 8, 10);
         let b = GrayImage::filled(8, 8, 10);
         let c = GrayImage::filled(8, 8, 11);
-        assert_eq!(ExactKey::of(&a, 9, 1, 0), ExactKey::of(&b, 9, 1, 0));
-        assert_ne!(ExactKey::of(&a, 9, 1, 0), ExactKey::of(&c, 9, 1, 0));
+        assert_eq!(ExactKey::of(&a, 9, 1, 0, 0), ExactKey::of(&b, 9, 1, 0, 0));
+        assert_ne!(ExactKey::of(&a, 9, 1, 0, 0), ExactKey::of(&c, 9, 1, 0, 0));
         assert_ne!(
-            ExactKey::of(&a, 9, 1, 0),
-            ExactKey::of(&a, 9, 2, 0),
+            ExactKey::of(&a, 9, 1, 0, 0),
+            ExactKey::of(&a, 9, 2, 0, 0),
             "budget band is part of the key"
         );
         assert_ne!(
-            ExactKey::of(&a, 9, 1, 0),
-            ExactKey::of(&a, 9, 1, 1),
+            ExactKey::of(&a, 9, 1, 0, 0),
+            ExactKey::of(&a, 9, 1, 0, 1),
             "characteristic generation is part of the key"
+        );
+        assert_ne!(
+            ExactKey::of(&a, 9, 1, 0, 0),
+            ExactKey::of(&a, 9, 1, 1, 0),
+            "content class is part of the key"
         );
     }
 
@@ -1098,14 +1167,19 @@ mod tests {
         let a = GrayImage::filled(16, 16, 100);
         let wide = GrayImage::filled(32, 8, 100);
         assert_ne!(
-            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0),
-            SignatureKey::of(&wide, &Histogram::of(&wide), 16, 1, 0),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 0),
+            SignatureKey::of(&wide, &Histogram::of(&wide), 16, 1, 0, 0),
             "frame shape is part of the key"
         );
         assert_ne!(
-            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0),
-            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 2),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 0),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 2),
             "characteristic generation is part of the key"
+        );
+        assert_ne!(
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 0),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 3, 0),
+            "content class is part of the key"
         );
     }
 

@@ -23,18 +23,23 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use hebs_core::{
-    evaluate_range_from_histogram, DistortionCharacteristic, FitScratch, FrameTransform, HebsError,
-    HebsPolicy, ScalingOutcome, TargetRange,
+    evaluate_range_from_histogram, CharacteristicBank, DistortionCharacteristic, FitScratch,
+    FrameTransform, HebsError, HebsPolicy, ScalingOutcome, TargetRange,
 };
-use hebs_imaging::{GrayImage, Histogram};
+use hebs_imaging::{GrayImage, Histogram, HistogramSignature};
 
 use crate::cache::{
     budget_band, transform_bytes, ApproximateCache, CacheConfig, ExactCache, ExactEntry, ExactKey,
     SignatureKey, TransformCache,
 };
 use crate::error::{Result, RuntimeError};
-use crate::serving::{CurveState, OpenLoopState, ServingMode};
+use crate::serving::{CurveState, OpenLoopState, RebuildPlan, ServingMode};
 use crate::stats::{EngineStats, ServeKind, StatsCollector};
+
+/// Upper bound on configurable content classes (the class id is a `u16` in
+/// every cache key; 256 is far beyond any useful clustering of 32-bin
+/// signatures).
+const MAX_CLASSES: usize = 256;
 
 /// Configuration of the serving engine.
 #[derive(Debug, Clone)]
@@ -197,10 +202,14 @@ struct Served {
     rejections: u64,
     fit_evaluations: u64,
     open_loop_fallback: bool,
+    /// The content class the frame routed to (0 outside multi-class
+    /// open-loop serving) — the per-class sketch and triggers it feeds.
+    class: u16,
     /// The frame's histogram when the serve path computed one anyway
-    /// (approximate keys, any fit) — reused by the open-loop traffic
-    /// sketch so sampling never re-reads the pixels. `None` only on
-    /// exact-mode hit paths, which never touch a histogram.
+    /// (approximate keys, class routing, any fit) — reused by the
+    /// open-loop traffic sketch so sampling never re-reads the pixels.
+    /// `None` only on single-class exact-mode hit paths, which never touch
+    /// a histogram.
     histogram: Option<Histogram>,
 }
 
@@ -283,15 +292,29 @@ impl EngineInner {
     /// `scratch` is the worker's reusable frame buffer: steady-state fits
     /// write intermediate candidate images into it instead of allocating.
     fn serve(&self, frame: &GrayImage, budget: f64, scratch: &mut FitScratch) -> Served {
-        // One coherent snapshot of the open-loop curve per serve: the
-        // cache key's generation and the fitting curve always agree, even
-        // when an install lands while this frame is in flight.
-        let curve = self.serving.as_ref().and_then(OpenLoopState::current);
-        let generation = curve.as_ref().map_or(0, |c| c.generation);
-        let curve = curve.as_ref();
+        // One coherent snapshot of the open-loop bank per serve: the cache
+        // key's (class, generation) pair and the fitting curve always
+        // agree, even when an install lands while this frame is in flight.
+        // A multi-class bank routes the frame by histogram signature, so
+        // the histogram is computed up front and reused by every later
+        // stage (key, fit, sketch sampling).
+        let bank = self.serving.as_ref().and_then(OpenLoopState::current);
+        let (curve, class, generation, histogram) = match &bank {
+            None => (None, 0u16, 0u64, None),
+            Some(bank) if bank.is_single() => {
+                let state = &bank.classes[0];
+                (Some(state), 0, state.generation, None)
+            }
+            Some(bank) => {
+                let histogram = Histogram::of(frame);
+                let class = bank.classify(&HistogramSignature::of(&histogram));
+                let state = &bank.classes[class];
+                (Some(state), class as u16, state.generation, Some(histogram))
+            }
+        };
         match &self.cache {
             None => {
-                let histogram = Histogram::of(frame);
+                let histogram = histogram.unwrap_or_else(|| Histogram::of(frame));
                 match self.fit(frame, &histogram, budget, curve, scratch) {
                     Ok(fitted) => Served {
                         fit_evaluations: u64::from(fitted.outcome.fit_evaluations),
@@ -299,6 +322,7 @@ impl EngineInner {
                         kind: ServeKind::Uncached,
                         rejections: 0,
                         open_loop_fallback: fitted.open_loop_fallback,
+                        class,
                         histogram: Some(histogram),
                     },
                     Err(err) => Served {
@@ -307,16 +331,17 @@ impl EngineInner {
                         rejections: 0,
                         fit_evaluations: 0,
                         open_loop_fallback: false,
+                        class,
                         histogram: Some(histogram),
                     },
                 }
             }
-            Some(TransformCache::Exact(cache)) => {
-                self.serve_exact(cache, frame, budget, curve, generation, scratch)
-            }
-            Some(TransformCache::Approximate(cache)) => {
-                self.serve_approximate(cache, frame, budget, curve, generation, scratch)
-            }
+            Some(TransformCache::Exact(cache)) => self.serve_exact(
+                cache, frame, budget, curve, class, generation, histogram, scratch,
+            ),
+            Some(TransformCache::Approximate(cache)) => self.serve_approximate(
+                cache, frame, budget, curve, class, generation, histogram, scratch,
+            ),
         }
     }
 
@@ -324,22 +349,27 @@ impl EngineInner {
     /// cached fit's measured distortion on a hit, and run at most one fit
     /// per key across all concurrent workers (single flight).
     ///
-    /// The hit path performs zero full-frame allocations: the key is a hash
-    /// computed in place, verification is one memcmp, and the returned
-    /// outcome is a shared `Arc`.
+    /// The hit path performs zero full-frame allocations (one histogram
+    /// pass when multi-class routing is active): the key is a hash computed
+    /// in place, verification is one memcmp, and the returned outcome is a
+    /// shared `Arc`.
+    #[allow(clippy::too_many_arguments)]
     fn serve_exact(
         &self,
         cache: &ExactCache,
         frame: &GrayImage,
         budget: f64,
         curve: Option<&Arc<CurveState>>,
+        class: u16,
         generation: u64,
+        histogram: Option<Histogram>,
         scratch: &mut FitScratch,
     ) -> Served {
         let key = ExactKey::of(
             frame,
             cache.seed,
             budget_band(budget, cache.band_width),
+            class,
             generation,
         );
         let mut rejections = 0u64;
@@ -353,7 +383,8 @@ impl EngineInner {
                     rejections,
                     fit_evaluations: 0,
                     open_loop_fallback: false,
-                    histogram: None,
+                    class,
+                    histogram,
                 };
             }
             // Hash collision or a same-band fit whose measured distortion
@@ -380,13 +411,14 @@ impl EngineInner {
                     rejections,
                     fit_evaluations: 0,
                     open_loop_fallback: false,
-                    histogram: None,
+                    class,
+                    histogram,
                 };
             }
             cache.store.reject_after_wait(&key, generation);
             rejections += 1;
         }
-        let histogram = Histogram::of(frame);
+        let histogram = histogram.unwrap_or_else(|| Histogram::of(frame));
         let fitted = match self.fit(frame, &histogram, budget, curve, scratch) {
             Ok(fitted) => fitted,
             Err(err) => {
@@ -396,6 +428,7 @@ impl EngineInner {
                     rejections,
                     fit_evaluations: 0,
                     open_loop_fallback: false,
+                    class,
                     histogram: Some(histogram),
                 }
             }
@@ -411,6 +444,7 @@ impl EngineInner {
             rejections,
             fit_evaluations,
             open_loop_fallback: fitted.open_loop_fallback,
+            class,
             histogram: Some(histogram),
         }
     }
@@ -423,21 +457,25 @@ impl EngineInner {
     /// budget. Misses are single-flight like the exact mode. (A frame that
     /// is infeasible even for a full fit keeps missing, which is correct if
     /// not cheap.)
+    #[allow(clippy::too_many_arguments)]
     fn serve_approximate(
         &self,
         cache: &ApproximateCache,
         frame: &GrayImage,
         budget: f64,
         curve: Option<&Arc<CurveState>>,
+        class: u16,
         generation: u64,
+        histogram: Option<Histogram>,
         scratch: &mut FitScratch,
     ) -> Served {
-        let histogram = Histogram::of(frame);
+        let histogram = histogram.unwrap_or_else(|| Histogram::of(frame));
         let key = SignatureKey::of(
             frame,
             &histogram,
             cache.resolution,
             budget_band(budget, cache.band_width),
+            class,
             generation,
         );
         let mut rejections = 0u64;
@@ -488,6 +526,7 @@ impl EngineInner {
                         rejections,
                         fit_evaluations: 0,
                         open_loop_fallback: false,
+                        class,
                         histogram: Some(histogram),
                     }
                 }
@@ -499,6 +538,7 @@ impl EngineInner {
                         rejections,
                         fit_evaluations: 0,
                         open_loop_fallback: false,
+                        class,
                         histogram: Some(histogram),
                     }
                 }
@@ -517,6 +557,7 @@ impl EngineInner {
                         rejections,
                         fit_evaluations: 0,
                         open_loop_fallback: false,
+                        class,
                         histogram: Some(histogram),
                     }
                 }
@@ -528,6 +569,7 @@ impl EngineInner {
                         rejections,
                         fit_evaluations: 0,
                         open_loop_fallback: false,
+                        class,
                         histogram: Some(histogram),
                     }
                 }
@@ -542,6 +584,7 @@ impl EngineInner {
                     rejections,
                     fit_evaluations: 0,
                     open_loop_fallback: false,
+                    class,
                     histogram: Some(histogram),
                 }
             }
@@ -555,6 +598,7 @@ impl EngineInner {
             rejections,
             fit_evaluations,
             open_loop_fallback: fitted.open_loop_fallback,
+            class,
             histogram: Some(histogram),
         }
     }
@@ -581,7 +625,12 @@ impl EngineInner {
             served.open_loop_fallback,
         );
         if let Some(state) = &self.serving {
-            state.record_serve(frame, served.histogram.as_ref(), served.open_loop_fallback);
+            state.record_serve(
+                served.class as usize,
+                frame,
+                served.histogram.as_ref(),
+                served.open_loop_fallback,
+            );
             self.maybe_recharacterize(state);
         }
         let outcome = served.outcome.map_err(RuntimeError::Core)?;
@@ -593,46 +642,107 @@ impl EngineInner {
         })
     }
 
-    /// Rebuilds the distortion characteristic from the traffic sketch when
-    /// a trigger is due, and swaps it into the curve slot. At most one
-    /// worker rebuilds at a time; the losers (and every other worker)
-    /// continue serving with the current curve, so a rebuild never blocks
-    /// the serve path.
+    /// Rebuilds a distortion characteristic from a traffic sketch when a
+    /// trigger is due, and swaps it into the bank slot. At most one worker
+    /// rebuilds at a time; the losers (and every other worker) continue
+    /// serving with the current bank, so a rebuild never blocks the serve
+    /// path.
+    ///
+    /// With no bank installed the bootstrap clusters the pre-bank sketch
+    /// into up to `classes` content classes; afterwards each class rebuilds
+    /// *only itself* from its own sketch, bumping only its own cache-key
+    /// generation. Trigger counters are consumed by the amount observed at
+    /// rebuild time (never stored to zero), so fallbacks recorded by
+    /// concurrent workers while the rebuild runs still count toward the
+    /// next drift trigger.
     fn maybe_recharacterize(&self, state: &OpenLoopState) {
-        if !state.rebuild_due() || !state.begin_rebuild() {
+        if state.rebuild_plan().is_none() || !state.begin_rebuild() {
             return;
         }
-        let histograms = state.sketch_snapshot();
-        match DistortionCharacteristic::characterize_from_histograms(
+        // Re-derive the plan under the single-flight claim (another worker
+        // may have completed a rebuild between the probe and the claim).
+        if let Some(plan) = state.rebuild_plan() {
+            match plan {
+                RebuildPlan::Bootstrap => self.bootstrap_bank(state),
+                RebuildPlan::Class(class) => self.recharacterize_class(state, class),
+            }
+        }
+        state.end_rebuild();
+    }
+
+    /// The first characterization of an open-loop engine that was never
+    /// seeded: clusters the pre-bank sketch into a fresh bank (a single
+    /// class when `classes` is 1 — the classic flow).
+    fn bootstrap_bank(&self, state: &OpenLoopState) {
+        let (frames, drifts) = state.observed_triggers(0);
+        let histograms = state.sketch_snapshot(0);
+        let config = self.policy.config();
+        let installed = if state.recharacterize.classes > 1 {
+            CharacteristicBank::build(
+                config,
+                &histograms,
+                &state.recharacterize.ranges,
+                state.recharacterize.classes,
+            )
+            .map(|bank| state.install_bank(config, &bank))
+            .is_ok()
+        } else {
+            DistortionCharacteristic::characterize_from_histograms(
+                config,
+                &histograms,
+                &state.recharacterize.ranges,
+            )
+            .map(|curve| state.install(config.clone(), Arc::new(curve)))
+            .is_ok()
+        };
+        if installed {
+            self.totals.record_recharacterization();
+        } else {
+            // Characterization failed (e.g. incapable measure slipping
+            // through, too few samples): consume the observed counts so the
+            // next attempt waits for a full interval instead of retrying
+            // every frame.
+            state.consume_triggers(0, frames, drifts);
+        }
+    }
+
+    /// Rebuilds one class's curve from its own sketch and swaps it into the
+    /// bank — invalidating (via the class's key generation) only that
+    /// class's cached fits.
+    fn recharacterize_class(&self, state: &OpenLoopState, class: usize) {
+        let (frames, drifts) = state.observed_triggers(class);
+        let histograms = state.sketch_snapshot(class);
+        // On characterization failure (e.g. too few samples) the current
+        // curve simply stays installed.
+        if let Ok(curve) = DistortionCharacteristic::characterize_from_histograms(
             self.policy.config(),
             &histograms,
             &state.recharacterize.ranges,
         ) {
-            Ok(curve) => {
-                // Swapping bumps the key generation and thereby discards
-                // every cached fit — only worth it when the rebuilt curve
-                // actually predicts differently. Drift triggers firing on
-                // stationary but heterogeneous traffic otherwise wipe the
-                // cache every `drift_limit` fallbacks for nothing.
-                let unchanged = state.current().is_some_and(|installed| {
+            // Swapping bumps the class's key generation and thereby
+            // discards its cached fits — only worth it when the rebuilt
+            // curve actually predicts differently. Drift triggers firing
+            // on stationary but heterogeneous traffic otherwise wipe the
+            // class every `drift_limit` fallbacks for nothing.
+            let unchanged = state.current().is_some_and(|bank| {
+                bank.classes.get(class).is_some_and(|installed| {
                     installed
                         .characteristic
                         .max_prediction_delta(&curve, &state.recharacterize.ranges)
                         <= state.recharacterize.min_swap_delta
-                });
-                if unchanged {
-                    state.reset_triggers();
-                } else {
-                    state.install(self.policy.config().clone(), Arc::new(curve));
-                    self.totals.record_recharacterization();
-                }
+                })
+            });
+            if !unchanged
+                && state
+                    .install_class(class, self.policy.config().clone(), Arc::new(curve))
+                    .is_some()
+            {
+                self.totals.record_recharacterization();
             }
-            // Characterization failed (e.g. too few samples): keep the
-            // current curve and clear the triggers so the next attempt
-            // waits for a full interval instead of retrying every frame.
-            Err(_) => state.reset_triggers(),
         }
-        state.end_rebuild();
+        // Consume what this rebuild observed — anything recorded while it
+        // ran keeps counting toward the class's next trigger.
+        state.consume_triggers(class, frames, drifts);
     }
 }
 
@@ -749,6 +859,21 @@ impl Engine {
                     return Err(RuntimeError::InvalidConfig {
                         name: "mode.recharacterize.sample_capacity",
                         reason: "must be nonzero".to_string(),
+                    });
+                }
+                if recharacterize.classes == 0 {
+                    return Err(RuntimeError::InvalidConfig {
+                        name: "mode.recharacterize.classes",
+                        reason: "must be nonzero (1 reproduces the single-curve flow)".to_string(),
+                    });
+                }
+                if recharacterize.classes > MAX_CLASSES {
+                    return Err(RuntimeError::InvalidConfig {
+                        name: "mode.recharacterize.classes",
+                        reason: format!(
+                            "{} exceeds the maximum of {MAX_CLASSES} content classes",
+                            recharacterize.classes
+                        ),
                     });
                 }
                 if recharacterize.ranges.is_empty() {
@@ -871,31 +996,78 @@ impl Engine {
     /// Returns [`RuntimeError::InvalidConfig`] when the engine is in
     /// closed-loop mode.
     pub fn install_characteristic(&self, characteristic: DistortionCharacteristic) -> Result<u64> {
-        let state = self
-            .inner
+        let state = self.serving_state()?;
+        Ok(state.install(self.inner.policy.config().clone(), Arc::new(characteristic)))
+    }
+
+    /// Installs (or replaces) a per-class characteristic **bank**: frames
+    /// are routed by histogram-signature cluster to the class whose curve
+    /// was fitted on traffic shaped like them, which recovers most of the
+    /// closed-loop saving on heterogeneous traffic where a single
+    /// worst-case curve refuses to dim. Each class gets a fresh cache-key
+    /// generation, and later per-class rebuilds invalidate only their own
+    /// class's fits. Returns the largest new generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] when the engine is in
+    /// closed-loop mode or the bank holds more classes than
+    /// [`RecharacterizePolicy::classes`](crate::RecharacterizePolicy)
+    /// provisioned (the per-class sketches and rebuild triggers are sized
+    /// at engine construction).
+    pub fn install_bank(&self, bank: CharacteristicBank) -> Result<u64> {
+        let state = self.serving_state()?;
+        if bank.len() > state.class_count() {
+            return Err(RuntimeError::InvalidConfig {
+                name: "bank",
+                reason: format!(
+                    "{} classes exceed the engine's {} configured classes \
+                     (raise RecharacterizePolicy::classes)",
+                    bank.len(),
+                    state.class_count()
+                ),
+            });
+        }
+        Ok(state.install_bank(self.inner.policy.config(), &bank))
+    }
+
+    fn serving_state(&self) -> Result<&OpenLoopState> {
+        self.inner
             .serving
             .as_ref()
             .ok_or_else(|| RuntimeError::InvalidConfig {
                 name: "mode",
                 reason: "a closed-loop engine has no characteristic slot".to_string(),
-            })?;
-        Ok(state.install(self.inner.policy.config().clone(), Arc::new(characteristic)))
+            })
     }
 
-    /// The currently installed open-loop characteristic curve (`None` in
-    /// closed-loop mode or before the first install/bootstrap).
+    /// The currently installed open-loop characteristic curve of the first
+    /// content class (`None` in closed-loop mode or before the first
+    /// install/bootstrap). Multi-class banks expose their size via
+    /// [`Engine::characteristic_classes`].
     pub fn characteristic(&self) -> Option<Arc<DistortionCharacteristic>> {
         self.inner
             .serving
             .as_ref()
             .and_then(OpenLoopState::current)
-            .map(|curve| Arc::clone(&curve.characteristic))
+            .map(|bank| Arc::clone(&bank.classes[0].characteristic))
     }
 
-    /// Generation of the installed characteristic curve: 0 in closed-loop
-    /// mode (and in open-loop mode before any curve exists), bumped by
-    /// every install and background re-characterization. Cache keys carry
-    /// this tag, so a bump invalidates all previously cached fits.
+    /// Number of content classes in the installed characteristic bank (0 in
+    /// closed-loop mode or before the first install/bootstrap).
+    pub fn characteristic_classes(&self) -> usize {
+        self.inner
+            .serving
+            .as_ref()
+            .and_then(OpenLoopState::current)
+            .map_or(0, |bank| bank.classes.len())
+    }
+
+    /// Largest generation of the installed characteristic bank: 0 in
+    /// closed-loop mode (and in open-loop mode before any curve exists),
+    /// bumped by every install and background re-characterization. Cache
+    /// keys carry a per-class generation tag, so a bump invalidates the
+    /// rebuilt class's previously cached fits (and only those).
     pub fn characteristic_generation(&self) -> u64 {
         self.inner.policy_generation()
     }
@@ -1795,6 +1967,104 @@ mod tests {
         ));
     }
 
+    fn synthetic_curve(offset: f64) -> DistortionCharacteristic {
+        let samples: Vec<hebs_core::CharacterizationSample> = (1..=5)
+            .map(|i| hebs_core::CharacterizationSample {
+                image: format!("s{i}"),
+                dynamic_range: 50 * i,
+                distortion: (0.3 - 0.05 * f64::from(i) + offset).max(0.0),
+                power_saving: 0.4,
+            })
+            .collect();
+        DistortionCharacteristic::from_samples(samples).unwrap()
+    }
+
+    fn two_class_bank() -> hebs_core::CharacteristicBank {
+        hebs_core::CharacteristicBank::from_classes(vec![
+            hebs_core::BankClass {
+                centroid: [0.0; hebs_imaging::SIGNATURE_BINS],
+                characteristic: Arc::new(synthetic_curve(0.0)),
+                members: 1,
+            },
+            hebs_core::BankClass {
+                centroid: [4.0; hebs_imaging::SIGNATURE_BINS],
+                characteristic: Arc::new(synthetic_curve(0.1)),
+                members: 1,
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_and_oversized_class_counts_are_rejected() {
+        use crate::{RecharacterizePolicy, ServingMode};
+        for classes in [0usize, 10_000] {
+            let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+            let result = Engine::new(
+                policy,
+                EngineConfig {
+                    mode: ServingMode::OpenLoop {
+                        recharacterize: RecharacterizePolicy {
+                            classes,
+                            ..RecharacterizePolicy::default()
+                        },
+                    },
+                    ..EngineConfig::default()
+                },
+            );
+            assert!(matches!(
+                result,
+                Err(RuntimeError::InvalidConfig {
+                    name: "mode.recharacterize.classes",
+                    ..
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn bank_installs_respect_the_provisioned_class_count() {
+        use crate::{RecharacterizePolicy, ServingMode};
+        let engine_with_classes = |classes: usize| {
+            Engine::new(
+                HebsPolicy::closed_loop(PipelineConfig::default()),
+                EngineConfig {
+                    mode: ServingMode::OpenLoop {
+                        recharacterize: RecharacterizePolicy {
+                            classes,
+                            ..RecharacterizePolicy::default()
+                        },
+                    },
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap()
+        };
+
+        // A 2-class bank does not fit an engine provisioned for 1 class...
+        let narrow = engine_with_classes(1);
+        assert!(matches!(
+            narrow.install_bank(two_class_bank()),
+            Err(RuntimeError::InvalidConfig { name: "bank", .. })
+        ));
+        assert_eq!(narrow.characteristic_classes(), 0);
+
+        // ...and installs cleanly when provisioned, with one generation per
+        // class.
+        let wide = engine_with_classes(2);
+        let generation = wide.install_bank(two_class_bank()).unwrap();
+        assert_eq!(wide.characteristic_classes(), 2);
+        assert_eq!(wide.characteristic_generation(), generation);
+        assert!(generation >= 2, "each class gets its own generation");
+        assert!(wide.characteristic().is_some());
+
+        // A single-curve install still works on a multi-class engine (a
+        // one-class bank, the classic flow).
+        let single_generation = wide.install_characteristic(synthetic_curve(0.0)).unwrap();
+        assert!(single_generation > generation);
+        assert_eq!(wide.characteristic_classes(), 1);
+    }
+
     #[test]
     fn closed_loop_engines_refuse_characteristic_installs() {
         let engine = engine(EngineConfig::default());
@@ -1811,7 +2081,12 @@ mod tests {
             engine.install_characteristic(curve),
             Err(RuntimeError::InvalidConfig { name: "mode", .. })
         ));
+        assert!(matches!(
+            engine.install_bank(two_class_bank()),
+            Err(RuntimeError::InvalidConfig { name: "mode", .. })
+        ));
         assert_eq!(engine.characteristic_generation(), 0);
+        assert_eq!(engine.characteristic_classes(), 0);
         assert!(engine.characteristic().is_none());
     }
 }

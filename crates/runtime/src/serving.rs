@@ -1,33 +1,45 @@
 //! Serving modes: closed-loop search vs. the paper's open-loop table lookup,
-//! with background re-characterization.
+//! with per-class curves and background re-characterization.
 //!
 //! The HEBS hardware flow is *open-loop*: an offline-fitted distortion
 //! characteristic curve maps the distortion budget straight to a dynamic
 //! range, so serving a frame costs **one** fit evaluation instead of the
 //! closed-loop bisection's ~8. The catch is that the curve describes the
 //! traffic it was characterized on; when traffic drifts, the promised
-//! distortion bound stops holding.
+//! distortion bound stops holding — and when the traffic is *heterogeneous*,
+//! a single worst-case curve refuses to dim at all (the outlier image vetoes
+//! everyone's backlight).
 //!
-//! [`ServingMode::OpenLoop`] closes that gap at serving scale:
+//! [`ServingMode::OpenLoop`] closes both gaps at serving scale:
 //!
 //! * every cache miss fits through the open-loop policy (one evaluation);
+//! * the curve slot holds a **bank** of characteristics keyed by content
+//!   class ([`RecharacterizePolicy::classes`]): frames are routed by
+//!   histogram-signature cluster to the curve of traffic that looks like
+//!   them, which recovers most of the closed-loop saving on mixed traffic
+//!   (a single-curve bank reproduces the classic flow, and
+//!   [`hebs_core::CurveFit::Envelope`] is the cheap half-step in between);
 //! * a per-serve *drift check* compares the measured distortion against the
 //!   requesting budget — an over-budget frame falls back to the closed-loop
 //!   search for that frame only, so the distortion contract always holds;
-//! * a rolling [`TrafficSketch`] of recent frame histograms feeds a
-//!   background re-characterization: every N frames and/or after enough
-//!   drift fallbacks, one worker rebuilds the
-//!   [`DistortionCharacteristic`] from the sketch (entirely in the
-//!   histogram domain) and atomically swaps it into the engine's curve
-//!   slot while the other workers keep serving;
-//! * each swap bumps a *characteristic generation* that is part of every
-//!   cache key, so fits made under a stale curve are never replayed.
+//! * each class keeps its own rolling [`TrafficSketch`] of recent frame
+//!   histograms and its own rebuild triggers: every N frames and/or after
+//!   enough drift fallbacks *in that class*, one worker rebuilds that
+//!   class's [`DistortionCharacteristic`] from its sketch (entirely in the
+//!   histogram domain) and swaps a new bank into the engine's slot while
+//!   the other workers keep serving;
+//! * every class carries its own *characteristic generation* that is part
+//!   of every cache key (alongside the class id), so a rebuild invalidates
+//!   only the affected class's cached fits.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use hebs_core::{DistortionCharacteristic, HebsPolicy, PipelineConfig, DEFAULT_RANGES};
-use hebs_imaging::{GrayImage, Histogram};
+use hebs_core::{
+    CharacteristicBank, CurveFit, DistortionCharacteristic, HebsPolicy, PipelineConfig,
+    DEFAULT_RANGES,
+};
+use hebs_imaging::{GrayImage, Histogram, HistogramSignature, SIGNATURE_BINS};
 
 /// How the engine turns a distortion budget into a fitted transform on a
 /// cache miss.
@@ -37,46 +49,58 @@ pub enum ServingMode {
     /// exactly (~8 fit evaluations per miss). The default.
     #[default]
     ClosedLoop,
-    /// Look the range up on a distortion characteristic curve (one fit
-    /// evaluation per miss), fall back to the closed-loop search for frames
-    /// whose measured distortion drifts over the budget, and periodically
-    /// re-characterize the curve from recent traffic.
+    /// Look the range up on a (per-class) distortion characteristic curve
+    /// (one fit evaluation per miss), fall back to the closed-loop search
+    /// for frames whose measured distortion drifts over the budget, and
+    /// periodically re-characterize each class's curve from its recent
+    /// traffic.
     OpenLoop {
-        /// When and from what the curve is rebuilt.
+        /// When and from what the curves are rebuilt, and how many content
+        /// classes the bank holds.
         recharacterize: RecharacterizePolicy,
     },
 }
 
 /// When and from what an open-loop engine rebuilds its distortion
-/// characteristic curve.
+/// characteristic curves. The `interval`/`drift_limit` triggers and the
+/// sketch are **per content class**: a drifting class rebuilds (and
+/// invalidates) only itself.
 #[derive(Debug, Clone)]
 pub struct RecharacterizePolicy {
-    /// Rebuild after this many served frames since the last rebuild;
-    /// `None` disables the periodic trigger.
+    /// Rebuild a class after this many frames served in it since its last
+    /// rebuild; `None` disables the periodic trigger.
     pub interval: Option<u64>,
-    /// Rebuild after this many drift fallbacks since the last rebuild;
-    /// `None` disables the drift trigger.
+    /// Rebuild a class after this many drift fallbacks in it since its last
+    /// rebuild; `None` disables the drift trigger.
     pub drift_limit: Option<u64>,
-    /// Sample every Nth served frame's histogram into the traffic sketch
-    /// (must be nonzero).
+    /// Sample every Nth served frame's histogram into its class's traffic
+    /// sketch (must be nonzero; the counter is per class).
     pub sample_period: u64,
-    /// How many sampled histograms the rolling sketch retains (must be
-    /// nonzero); older samples are overwritten ring-buffer style.
+    /// How many sampled histograms each class's rolling sketch retains
+    /// (must be nonzero); older samples are overwritten ring-buffer style.
     pub sample_capacity: usize,
     /// Target dynamic ranges evaluated per sketched histogram when
-    /// rebuilding the curve (each must be in `[2, 256]`).
+    /// rebuilding a curve (each must be in `[2, 256]`).
     pub ranges: Vec<u32>,
-    /// Look ranges up on the worst-case (upper envelope) fit instead of
-    /// the average fit. Conservative lookups dim less aggressively but
-    /// drift less often.
-    pub conservative: bool,
+    /// Which fit ranges are looked up on: the worst-case envelope (default;
+    /// never drifts on characterized traffic but refuses to dim when a
+    /// class is still heterogeneous), the p95 envelope (the half-step), or
+    /// the average fit (dims hardest, drifts most).
+    pub fit: CurveFit,
+    /// Number of content classes the characteristic bank holds (must be
+    /// nonzero). 1 reproduces the classic single-curve flow; a handful of
+    /// classes lets heterogeneous traffic dim per histogram-shape cluster.
+    /// The bootstrap re-characterization clusters the sketch into at most
+    /// this many classes; [`Engine::install_bank`](crate::Engine) seeds
+    /// them offline.
+    pub classes: usize,
     /// A rebuilt curve is only swapped in when its predictions differ from
-    /// the installed curve's by more than this (largest absolute
-    /// distortion delta over `ranges`, average or worst-case fit).
-    /// Swapping bumps the cache-key generation and thereby invalidates
-    /// every cached fit, so statistically identical rebuilds — e.g. drift
-    /// triggers firing on stationary but heterogeneous traffic — are
-    /// discarded instead of wiping the cache. 0 swaps unconditionally.
+    /// the installed class's curve by more than this (largest absolute
+    /// distortion delta over `ranges`, any fit). Swapping bumps that
+    /// class's cache-key generation and thereby invalidates its cached
+    /// fits, so statistically identical rebuilds — e.g. drift triggers
+    /// firing on stationary but heterogeneous traffic — are discarded
+    /// instead of wiping the class. 0 swaps unconditionally.
     pub min_swap_delta: f64,
 }
 
@@ -88,15 +112,31 @@ impl Default for RecharacterizePolicy {
             sample_period: 8,
             sample_capacity: 16,
             ranges: DEFAULT_RANGES.to_vec(),
-            conservative: true,
+            fit: CurveFit::WorstCase,
+            classes: 1,
             min_swap_delta: 0.002,
         }
     }
 }
 
+impl RecharacterizePolicy {
+    /// Returns the policy with a different class count.
+    pub fn with_classes(mut self, classes: usize) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Returns the policy with a different lookup fit.
+    pub fn with_fit(mut self, fit: CurveFit) -> Self {
+        self.fit = fit;
+        self
+    }
+}
+
 /// A bounded ring buffer of recent traffic histograms — what the background
-/// re-characterization rebuilds the curve from. A histogram is 256 counters,
-/// so the whole sketch stays a few KiB regardless of frame size.
+/// re-characterization rebuilds a class's curve from. A histogram is 256
+/// counters, so a whole per-class sketch stays a few KiB regardless of
+/// frame size.
 #[derive(Debug)]
 pub(crate) struct TrafficSketch {
     ring: Vec<Histogram>,
@@ -134,7 +174,7 @@ impl TrafficSketch {
     }
 }
 
-/// The currently installed curve: the open-loop policy built around it, the
+/// One class's installed curve: the open-loop policy built around it, the
 /// shared characteristic itself, and the generation stamped into cache keys
 /// while it is current. Generation and curve travel together so a serve
 /// that snapshots this state keys and fits coherently even when an install
@@ -149,25 +189,79 @@ pub(crate) struct CurveState {
     pub(crate) generation: u64,
 }
 
-/// Shared open-loop serving state: the swappable curve slot, the traffic
-/// sketch, and the rebuild triggers. All methods are safe to call from any
-/// worker; the slot swap is the only write the serve path ever waits on,
-/// and it is a single `Arc` store.
+/// The installed characteristic bank: one [`CurveState`] per content class
+/// plus the cluster centroids frames are routed by. A single-class bank has
+/// no centroids and skips classification entirely (the classic flow).
+#[derive(Debug)]
+pub(crate) struct CurveBank {
+    /// Per-class curve states, indexed by class id.
+    pub(crate) classes: Vec<Arc<CurveState>>,
+    /// Cluster centroids in signature-bin space; empty for a single class.
+    centroids: Vec<[f64; SIGNATURE_BINS]>,
+}
+
+impl CurveBank {
+    /// Whether the bank needs no classification (exactly one class).
+    pub(crate) fn is_single(&self) -> bool {
+        self.classes.len() == 1
+    }
+
+    /// The class a histogram signature routes to — the same
+    /// nearest-centroid metric the bank was clustered with
+    /// ([`hebs_core::nearest_centroid`]), so a frame always lands on the
+    /// class whose curve was fitted on traffic shaped like it.
+    pub(crate) fn classify(&self, signature: &HistogramSignature) -> usize {
+        if self.is_single() {
+            return 0;
+        }
+        hebs_core::nearest_centroid(signature, self.centroids.iter())
+    }
+
+    /// The largest class generation in the bank (what
+    /// `Engine::characteristic_generation` reports).
+    pub(crate) fn max_generation(&self) -> u64 {
+        self.classes.iter().map(|c| c.generation).max().unwrap_or(0)
+    }
+}
+
+/// Per-class rebuild trigger counters.
+#[derive(Debug, Default)]
+struct ClassTriggers {
+    /// Frames served in this class since its last (re)characterization.
+    frames_since: AtomicU64,
+    /// Drift fallbacks in this class since its last (re)characterization.
+    drift_since: AtomicU64,
+}
+
+/// What kind of rebuild is due (see [`OpenLoopState::rebuild_plan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RebuildPlan {
+    /// No bank installed yet: cluster the pre-bank sketch into a fresh bank.
+    Bootstrap,
+    /// Rebuild one class's curve from its own sketch.
+    Class(usize),
+}
+
+/// Shared open-loop serving state: the swappable bank slot, the per-class
+/// traffic sketches, and the per-class rebuild triggers. All methods are
+/// safe to call from any worker; the slot swap is the only write the serve
+/// path ever waits on, and it is a single `Arc` store.
 #[derive(Debug)]
 pub(crate) struct OpenLoopState {
     pub(crate) recharacterize: RecharacterizePolicy,
     /// ArcSwap-style slot: load = clone under a short lock, store =
     /// replace. Workers serve off their loaded `Arc` while a rebuild swaps.
-    slot: Mutex<Option<Arc<CurveState>>>,
-    /// Allocator for curve generations (the *installed* generation lives
-    /// inside the slot's [`CurveState`] so curve and generation are read
+    slot: Mutex<Option<Arc<CurveBank>>>,
+    /// Allocator for curve generations (the *installed* generations live
+    /// inside the bank's [`CurveState`]s so curve and generation are read
     /// coherently; this counter only hands out the next one).
     generation: AtomicU64,
-    sketch: Mutex<TrafficSketch>,
-    /// Frames served since the last (re)characterization.
-    frames_since: AtomicU64,
-    /// Drift fallbacks since the last (re)characterization.
-    drift_since: AtomicU64,
+    /// One rolling sketch per configured class. Before a bank exists every
+    /// frame classifies to class 0, so the bootstrap clustering reads
+    /// sketch 0.
+    sketches: Vec<Mutex<TrafficSketch>>,
+    /// Per-class rebuild trigger counters.
+    triggers: Vec<ClassTriggers>,
     /// Single-flight marker for rebuilds: one worker rebuilds, the others
     /// keep serving.
     rebuilding: AtomicBool,
@@ -177,116 +271,262 @@ pub(crate) struct OpenLoopState {
     /// failing bootstrap cannot retry on every serve.
     attempts: AtomicU64,
     /// Whether the configured measure supports histogram-domain
-    /// characterization (windowed measures decline; the sketch is then
+    /// characterization (windowed measures decline; the sketches are then
     /// never rebuilt and only installed curves are used).
     pub(crate) histogram_capable: bool,
 }
 
 impl OpenLoopState {
     pub(crate) fn new(recharacterize: RecharacterizePolicy, histogram_capable: bool) -> Self {
-        let sketch = TrafficSketch::new(recharacterize.sample_capacity);
+        let classes = recharacterize.classes.max(1);
+        let capacity = recharacterize.sample_capacity;
         OpenLoopState {
             recharacterize,
             slot: Mutex::new(None),
             generation: AtomicU64::new(0),
-            sketch: Mutex::new(sketch),
-            frames_since: AtomicU64::new(0),
-            drift_since: AtomicU64::new(0),
+            sketches: (0..classes)
+                .map(|_| Mutex::new(TrafficSketch::new(capacity)))
+                .collect(),
+            triggers: (0..classes).map(|_| ClassTriggers::default()).collect(),
             rebuilding: AtomicBool::new(false),
             attempts: AtomicU64::new(0),
             histogram_capable,
         }
     }
 
-    /// The currently installed curve (with its generation), if any.
-    pub(crate) fn current(&self) -> Option<Arc<CurveState>> {
+    /// Number of content classes the state is provisioned for.
+    pub(crate) fn class_count(&self) -> usize {
+        self.triggers.len()
+    }
+
+    /// The currently installed bank, if any.
+    pub(crate) fn current(&self) -> Option<Arc<CurveBank>> {
         self.slot.lock().expect("curve slot lock").clone()
     }
 
-    /// Generation of the installed curve (0 before the first install).
+    /// Largest generation of the installed bank (0 before the first
+    /// install).
     pub(crate) fn generation(&self) -> u64 {
-        self.current().map_or(0, |curve| curve.generation)
+        self.current().map_or(0, |bank| bank.max_generation())
     }
 
-    /// Installs a curve: builds the open-loop policy around it, stamps it
-    /// with the next key generation and resets the rebuild triggers.
-    /// Returns the new generation.
+    /// Builds a [`CurveState`] for a curve under the configured fit,
+    /// stamped with the next key generation.
+    fn curve_state(
+        &self,
+        config: PipelineConfig,
+        characteristic: Arc<DistortionCharacteristic>,
+    ) -> Arc<CurveState> {
+        let policy = HebsPolicy::open_loop_with_fit(
+            config,
+            Arc::clone(&characteristic),
+            self.recharacterize.fit,
+        );
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        Arc::new(CurveState {
+            policy,
+            characteristic,
+            generation,
+        })
+    }
+
+    /// Installs a single-curve bank (the classic flow): builds the
+    /// open-loop policy around it, stamps it with the next key generation
+    /// and resets every class's rebuild triggers and sketches. Returns the
+    /// new generation.
     pub(crate) fn install(
         &self,
         config: PipelineConfig,
         characteristic: Arc<DistortionCharacteristic>,
     ) -> u64 {
-        let policy = HebsPolicy::open_loop_shared(
-            config,
-            Arc::clone(&characteristic),
-            self.recharacterize.conservative,
-        );
-        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
-        let state = Arc::new(CurveState {
-            policy,
-            characteristic,
-            generation,
+        let state = self.curve_state(config, characteristic);
+        let generation = state.generation;
+        let bank = Arc::new(CurveBank {
+            classes: vec![state],
+            centroids: Vec::new(),
         });
-        *self.slot.lock().expect("curve slot lock") = Some(state);
-        self.reset_triggers();
+        *self.slot.lock().expect("curve slot lock") = Some(bank);
+        self.reset_after_install();
         generation
     }
 
-    /// Clears the rebuild trigger counters (after a rebuild, successful or
-    /// abandoned, so a failed characterization does not retry every frame).
-    pub(crate) fn reset_triggers(&self) {
-        self.frames_since.store(0, Ordering::Relaxed);
-        self.drift_since.store(0, Ordering::Relaxed);
+    /// Installs a full bank: one curve state (and fresh generation) per
+    /// class, centroids taken from the bank's clustering. Returns the
+    /// largest new generation.
+    pub(crate) fn install_bank(&self, config: &PipelineConfig, bank: &CharacteristicBank) -> u64 {
+        let classes: Vec<Arc<CurveState>> = bank
+            .classes()
+            .iter()
+            .map(|class| self.curve_state(config.clone(), Arc::clone(&class.characteristic)))
+            .collect();
+        let centroids = if classes.len() > 1 {
+            bank.classes().iter().map(|c| c.centroid).collect()
+        } else {
+            Vec::new()
+        };
+        let bank = Arc::new(CurveBank { classes, centroids });
+        let generation = bank.max_generation();
+        *self.slot.lock().expect("curve slot lock") = Some(bank);
+        self.reset_after_install();
+        generation
     }
 
-    /// Records one served frame: advances the rebuild triggers, counts a
-    /// drift fallback, and samples the frame's histogram into the sketch
-    /// every `sample_period` frames. `histogram` is the serve path's
-    /// already-computed histogram of `frame` when it has one — sampling
-    /// then clones 256 counters instead of re-reading the pixels.
+    /// Replaces one class's curve in the installed bank (keeping every
+    /// other class's state and generation), used by the per-class
+    /// background rebuild. Returns the class's new generation, or `None`
+    /// when no bank is installed or the class is out of range.
+    pub(crate) fn install_class(
+        &self,
+        class: usize,
+        config: PipelineConfig,
+        characteristic: Arc<DistortionCharacteristic>,
+    ) -> Option<u64> {
+        let state = self.curve_state(config, characteristic);
+        let generation = state.generation;
+        let mut slot = self.slot.lock().expect("curve slot lock");
+        let bank = slot.as_ref()?;
+        if class >= bank.classes.len() {
+            return None;
+        }
+        let mut classes = bank.classes.clone();
+        classes[class] = state;
+        *slot = Some(Arc::new(CurveBank {
+            classes,
+            centroids: bank.centroids.clone(),
+        }));
+        Some(generation)
+    }
+
+    /// Clears every class's rebuild trigger counters **and traffic
+    /// sketches** after a bank install: the previous counts described
+    /// curves that no longer exist, and the sketched histograms were routed
+    /// under the previous clustering (pre-bank traffic all sat in class 0).
+    /// A later per-class rebuild refitting from another clustering's
+    /// histograms would re-create exactly the pooled-curve veto the bank
+    /// exists to remove. Per-class rebuilds ([`OpenLoopState::
+    /// install_class`]) keep their sketches — routing is unchanged there.
+    fn reset_after_install(&self) {
+        for trigger in &self.triggers {
+            trigger.frames_since.store(0, Ordering::Relaxed);
+            trigger.drift_since.store(0, Ordering::Relaxed);
+        }
+        for sketch in &self.sketches {
+            *sketch.lock().expect("traffic sketch lock") =
+                TrafficSketch::new(self.recharacterize.sample_capacity);
+        }
+    }
+
+    /// A point-in-time read of one class's trigger counters
+    /// `(frames_since, drift_since)` — what a rebuild observed when it was
+    /// triggered, and therefore what [`OpenLoopState::consume_triggers`]
+    /// subtracts when it completes.
+    pub(crate) fn observed_triggers(&self, class: usize) -> (u64, u64) {
+        let trigger = &self.triggers[class];
+        (
+            trigger.frames_since.load(Ordering::Relaxed),
+            trigger.drift_since.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Consumes the trigger counts a completed rebuild *observed*, leaving
+    /// anything recorded while the rebuild ran. Subtracting (rather than
+    /// storing zero) keeps concurrent workers' fallbacks from being
+    /// silently dropped — a dropped fallback would delay the next
+    /// drift-triggered rebuild.
+    pub(crate) fn consume_triggers(&self, class: usize, frames: u64, drifts: u64) {
+        let trigger = &self.triggers[class];
+        let _ = trigger
+            .frames_since
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(frames))
+            });
+        let _ = trigger
+            .drift_since
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(drifts))
+            });
+    }
+
+    /// Records one served frame in its class: advances the class's rebuild
+    /// triggers, counts a drift fallback, and samples the frame's histogram
+    /// into the class's sketch every `sample_period` frames. `histogram` is
+    /// the serve path's already-computed histogram of `frame` when it has
+    /// one — sampling then clones 256 counters instead of re-reading the
+    /// pixels.
     pub(crate) fn record_serve(
         &self,
+        class: usize,
         frame: &GrayImage,
         histogram: Option<&Histogram>,
         fallback: bool,
     ) {
-        let frames = self.frames_since.fetch_add(1, Ordering::Relaxed) + 1;
+        let trigger = &self.triggers[class];
+        let frames = trigger.frames_since.fetch_add(1, Ordering::Relaxed) + 1;
         if fallback {
-            self.drift_since.fetch_add(1, Ordering::Relaxed);
+            trigger.drift_since.fetch_add(1, Ordering::Relaxed);
         }
         if frames % self.recharacterize.sample_period == 0 {
             let sample = match histogram {
                 Some(histogram) => histogram.clone(),
                 None => Histogram::of(frame),
             };
-            self.sketch
+            self.sketches[class]
                 .lock()
                 .expect("traffic sketch lock")
                 .push(sample);
         }
     }
 
-    /// Whether a sketch-based rebuild should be attempted now: the measure
-    /// must be histogram-capable, the sketch non-empty, and a trigger due —
-    /// the frame interval, the drift limit, or bootstrap (no curve yet and
-    /// no attempt made; after a failed first attempt only the interval and
-    /// drift triggers reschedule, so a failing characterization cannot
-    /// retry on every serve).
-    pub(crate) fn rebuild_due(&self) -> bool {
-        if !self.histogram_capable {
-            return false;
-        }
-        let frames = self.frames_since.load(Ordering::Relaxed);
+    /// Whether one class's interval/drift triggers are due.
+    fn class_due(&self, class: usize) -> bool {
+        let trigger = &self.triggers[class];
+        let frames = trigger.frames_since.load(Ordering::Relaxed);
         let interval_due = self.recharacterize.interval.is_some_and(|n| frames >= n);
         let drift_due = self
             .recharacterize
             .drift_limit
-            .is_some_and(|n| self.drift_since.load(Ordering::Relaxed) >= n);
-        let bootstrap_due = self.generation() == 0 && self.attempts.load(Ordering::Relaxed) == 0;
-        if !(interval_due || drift_due || bootstrap_due) {
-            return false;
+            .is_some_and(|n| trigger.drift_since.load(Ordering::Relaxed) >= n);
+        interval_due || drift_due
+    }
+
+    /// What rebuild (if any) should be attempted now: the measure must be
+    /// histogram-capable and the relevant sketch non-empty. With no bank
+    /// installed, the bootstrap fires once (and the class-0 interval/drift
+    /// triggers reschedule after a failed first attempt, so a failing
+    /// characterization cannot retry on every serve); with a bank, the
+    /// first class whose own triggers are due is rebuilt.
+    pub(crate) fn rebuild_plan(&self) -> Option<RebuildPlan> {
+        if !self.histogram_capable {
+            return None;
         }
-        !self.sketch.lock().expect("traffic sketch lock").is_empty()
+        let Some(bank) = self.current() else {
+            let bootstrap_due = self.attempts.load(Ordering::Relaxed) == 0;
+            if !(bootstrap_due || self.class_due(0)) {
+                return None;
+            }
+            let ready = !self.sketches[0]
+                .lock()
+                .expect("traffic sketch lock")
+                .is_empty();
+            return ready.then_some(RebuildPlan::Bootstrap);
+        };
+        for class in 0..bank.classes.len().min(self.class_count()) {
+            if self.class_due(class)
+                && !self.sketches[class]
+                    .lock()
+                    .expect("traffic sketch lock")
+                    .is_empty()
+            {
+                return Some(RebuildPlan::Class(class));
+            }
+        }
+        None
+    }
+
+    /// Backwards-compatible probe: whether any rebuild is due.
+    #[cfg(test)]
+    pub(crate) fn rebuild_due(&self) -> bool {
+        self.rebuild_plan().is_some()
     }
 
     /// Claims the single-flight rebuild marker (counting the attempt).
@@ -307,9 +547,12 @@ impl OpenLoopState {
         self.rebuilding.store(false, Ordering::Release);
     }
 
-    /// A point-in-time copy of the traffic sketch.
-    pub(crate) fn sketch_snapshot(&self) -> Vec<Histogram> {
-        self.sketch.lock().expect("traffic sketch lock").snapshot()
+    /// A point-in-time copy of one class's traffic sketch.
+    pub(crate) fn sketch_snapshot(&self, class: usize) -> Vec<Histogram> {
+        self.sketches[class]
+            .lock()
+            .expect("traffic sketch lock")
+            .snapshot()
     }
 }
 
@@ -319,6 +562,28 @@ mod tests {
 
     fn histogram_of_level(level: u8) -> Histogram {
         Histogram::of(&GrayImage::filled(4, 4, level))
+    }
+
+    fn state_with(policy: RecharacterizePolicy) -> OpenLoopState {
+        OpenLoopState::new(policy, true)
+    }
+
+    /// Installs a throwaway single-class bank so per-class triggers (rather
+    /// than the bootstrap) drive `rebuild_plan`.
+    fn dummy_samples() -> Vec<hebs_core::CharacterizationSample> {
+        (1..=5)
+            .map(|i| hebs_core::CharacterizationSample {
+                image: format!("s{i}"),
+                dynamic_range: 50 * i,
+                distortion: 0.3 - 0.05 * f64::from(i),
+                power_saving: 0.4,
+            })
+            .collect()
+    }
+
+    fn install_dummy_curve(state: &OpenLoopState) {
+        let curve = DistortionCharacteristic::from_samples(dummy_samples()).unwrap();
+        state.install(PipelineConfig::default(), Arc::new(curve));
     }
 
     #[test]
@@ -345,34 +610,85 @@ mod tests {
             sample_capacity: 4,
             ..RecharacterizePolicy::default()
         };
-        let state = OpenLoopState::new(policy, true);
+        let state = state_with(policy);
         assert!(!state.rebuild_due(), "an empty sketch never rebuilds");
         let frame = GrayImage::filled(4, 4, 100);
 
-        // Bootstrap: one sampled frame and no curve yet.
-        state.record_serve(&frame, None, false);
-        assert!(state.rebuild_due(), "bootstrap fires once the sketch fills");
-        state.reset_triggers();
-        // Simulate the bootstrap attempt having happened (it gates the
-        // bootstrap trigger off; the interval/drift triggers remain).
+        // Bootstrap: one sampled frame and no bank yet.
+        state.record_serve(0, &frame, None, false);
+        assert_eq!(state.rebuild_plan(), Some(RebuildPlan::Bootstrap));
+        // Simulate the bootstrap attempt succeeding: a bank installs and
+        // resets the triggers; from here the per-class triggers gate.
         assert!(state.begin_rebuild());
+        install_dummy_curve(&state);
         state.end_rebuild();
 
-        // Sketch retains its samples across a reset, so only the counters
-        // gate the next rebuild.
+        // The install cleared the sketch (its samples were routed under
+        // the pre-bank clustering); sample_period 1 refills it while the
+        // interval counter climbs toward the next rebuild.
         for _ in 0..3 {
-            state.record_serve(&frame, None, false);
+            state.record_serve(0, &frame, None, false);
             assert!(!state.rebuild_due());
         }
-        state.record_serve(&frame, None, false);
-        assert!(state.rebuild_due(), "interval of 4 frames reached");
-        state.reset_triggers();
+        state.record_serve(0, &frame, None, false);
+        assert_eq!(
+            state.rebuild_plan(),
+            Some(RebuildPlan::Class(0)),
+            "interval of 4 frames reached"
+        );
+        let (frames, drifts) = state.observed_triggers(0);
+        state.consume_triggers(0, frames, drifts);
 
         let hist = Histogram::of(&frame);
-        state.record_serve(&frame, Some(&hist), true);
+        state.record_serve(0, &frame, Some(&hist), true);
         assert!(!state.rebuild_due());
-        state.record_serve(&frame, None, true);
-        assert!(state.rebuild_due(), "drift limit of 2 fallbacks reached");
+        state.record_serve(0, &frame, None, true);
+        assert_eq!(
+            state.rebuild_plan(),
+            Some(RebuildPlan::Class(0)),
+            "drift limit of 2 fallbacks reached"
+        );
+    }
+
+    /// Regression for the dropped-fallback bug: fallbacks recorded while a
+    /// rebuild is in flight must survive the rebuild's trigger consumption
+    /// (the old code stored 0, silently discarding them and delaying the
+    /// next drift-triggered rebuild).
+    #[test]
+    fn fallbacks_recorded_during_a_rebuild_are_not_dropped() {
+        let policy = RecharacterizePolicy {
+            interval: None,
+            drift_limit: Some(2),
+            sample_period: 1,
+            ..RecharacterizePolicy::default()
+        };
+        let state = state_with(policy);
+        install_dummy_curve(&state);
+        let frame = GrayImage::filled(4, 4, 80);
+
+        // Two fallbacks trip the drift trigger.
+        state.record_serve(0, &frame, None, true);
+        state.record_serve(0, &frame, None, true);
+        assert_eq!(state.rebuild_plan(), Some(RebuildPlan::Class(0)));
+        assert!(state.begin_rebuild());
+        let (frames, drifts) = state.observed_triggers(0);
+        assert_eq!(drifts, 2);
+
+        // While the rebuild runs, concurrent workers record two more
+        // fallbacks.
+        state.record_serve(0, &frame, None, true);
+        state.record_serve(0, &frame, None, true);
+
+        // The rebuild finishes and consumes only what it observed.
+        state.consume_triggers(0, frames, drifts);
+        state.end_rebuild();
+        let (_, remaining) = state.observed_triggers(0);
+        assert_eq!(remaining, 2, "in-flight fallbacks must survive");
+        assert_eq!(
+            state.rebuild_plan(),
+            Some(RebuildPlan::Class(0)),
+            "the surviving fallbacks re-arm the drift trigger"
+        );
     }
 
     #[test]
@@ -385,16 +701,15 @@ mod tests {
             sample_period: 1,
             ..RecharacterizePolicy::default()
         };
-        let state = OpenLoopState::new(policy, true);
+        let state = state_with(policy);
         let frame = GrayImage::filled(4, 4, 50);
-        state.record_serve(&frame, None, false);
+        state.record_serve(0, &frame, None, false);
         assert!(state.rebuild_due(), "bootstrap is due once");
         assert!(state.begin_rebuild());
-        // The rebuild "fails": no install, triggers reset, marker released.
-        state.reset_triggers();
+        // The rebuild "fails": no install, marker released.
         state.end_rebuild();
         for _ in 0..10 {
-            state.record_serve(&frame, None, false);
+            state.record_serve(0, &frame, None, false);
             assert!(
                 !state.rebuild_due(),
                 "a failed bootstrap must not retry on every serve"
@@ -409,13 +724,52 @@ mod tests {
             ..RecharacterizePolicy::default()
         };
         let state = OpenLoopState::new(policy, false);
-        state.record_serve(&GrayImage::filled(4, 4, 9), None, true);
+        state.record_serve(0, &GrayImage::filled(4, 4, 9), None, true);
         assert!(!state.rebuild_due());
+    }
+
+    /// Regression: a bank install must clear every class's sketch — the
+    /// sketched histograms were routed under the previous clustering (all
+    /// pre-bank traffic sits in class 0), and a later per-class rebuild
+    /// refitting from that mixed pool would re-create the pooled-curve
+    /// veto the bank exists to remove.
+    #[test]
+    fn installs_clear_stale_sketches_but_class_rebuilds_keep_theirs() {
+        let policy = RecharacterizePolicy {
+            sample_period: 1,
+            classes: 2,
+            ..RecharacterizePolicy::default()
+        };
+        let state = state_with(policy);
+        // Pre-bank traffic of two different shapes lands pooled in class 0.
+        state.record_serve(0, &GrayImage::filled(4, 4, 10), None, false);
+        state.record_serve(0, &GrayImage::filled(4, 4, 200), None, false);
+        assert_eq!(state.sketch_snapshot(0).len(), 2);
+
+        install_dummy_curve(&state);
+        assert!(
+            state.sketch_snapshot(0).is_empty(),
+            "an install must clear the stale pooled sketch"
+        );
+
+        // Post-install samples are class-routed; a per-class curve swap
+        // keeps them (routing did not change).
+        state.record_serve(1, &GrayImage::filled(4, 4, 10), None, false);
+        state.install_class(
+            0,
+            PipelineConfig::default(),
+            Arc::new(DistortionCharacteristic::from_samples(dummy_samples()).unwrap()),
+        );
+        assert_eq!(
+            state.sketch_snapshot(1).len(),
+            1,
+            "a class rebuild must not wipe other classes' sketches"
+        );
     }
 
     #[test]
     fn rebuild_marker_is_single_flight() {
-        let state = OpenLoopState::new(RecharacterizePolicy::default(), true);
+        let state = state_with(RecharacterizePolicy::default());
         assert!(state.begin_rebuild());
         assert!(!state.begin_rebuild(), "second claim must fail");
         state.end_rebuild();
@@ -423,10 +777,91 @@ mod tests {
     }
 
     #[test]
+    fn classes_keep_independent_sketches_and_triggers() {
+        let policy = RecharacterizePolicy {
+            interval: None,
+            drift_limit: Some(2),
+            sample_period: 1,
+            classes: 2,
+            ..RecharacterizePolicy::default()
+        };
+        let state = state_with(policy);
+        assert_eq!(state.class_count(), 2);
+        install_dummy_curve(&state); // single-class bank: only class 0 rebuilds
+        let frame = GrayImage::filled(4, 4, 30);
+
+        // Fallbacks recorded in class 1 never trip class 0's trigger.
+        state.record_serve(1, &frame, None, true);
+        state.record_serve(1, &frame, None, true);
+        assert_eq!(
+            state.rebuild_plan(),
+            None,
+            "a single-class bank only consults class 0"
+        );
+        let (_, class1_drifts) = state.observed_triggers(1);
+        assert_eq!(class1_drifts, 2);
+        assert_eq!(state.observed_triggers(0).1, 0);
+        assert_eq!(state.sketch_snapshot(1).len(), 2);
+        assert!(state.sketch_snapshot(0).is_empty());
+    }
+
+    #[test]
+    fn install_class_replaces_one_generation_only() {
+        let state = state_with(RecharacterizePolicy {
+            classes: 2,
+            ..RecharacterizePolicy::default()
+        });
+        let samples = |offset: f64| -> Vec<hebs_core::CharacterizationSample> {
+            (1..=5)
+                .map(|i| hebs_core::CharacterizationSample {
+                    image: format!("s{i}"),
+                    dynamic_range: 50 * i,
+                    distortion: (0.4 - 0.05 * f64::from(i) + offset).max(0.0),
+                    power_saving: 0.4,
+                })
+                .collect()
+        };
+        let curve =
+            |offset| Arc::new(DistortionCharacteristic::from_samples(samples(offset)).unwrap());
+        let bank = CharacteristicBank::from_classes(vec![
+            hebs_core::BankClass {
+                centroid: [0.0; SIGNATURE_BINS],
+                characteristic: curve(0.0),
+                members: 1,
+            },
+            hebs_core::BankClass {
+                centroid: [4.0; SIGNATURE_BINS],
+                characteristic: curve(0.1),
+                members: 1,
+            },
+        ])
+        .unwrap();
+        state.install_bank(&PipelineConfig::default(), &bank);
+        let installed = state.current().unwrap();
+        let class0_generation = installed.classes[0].generation;
+        let class1_generation = installed.classes[1].generation;
+        assert_ne!(class0_generation, class1_generation);
+
+        let new_generation = state
+            .install_class(1, PipelineConfig::default(), curve(0.2))
+            .unwrap();
+        let after = state.current().unwrap();
+        assert_eq!(
+            after.classes[0].generation, class0_generation,
+            "an untouched class keeps its generation"
+        );
+        assert_eq!(after.classes[1].generation, new_generation);
+        assert!(new_generation > class1_generation);
+        assert_eq!(state.generation(), new_generation);
+    }
+
+    #[test]
     fn defaults_are_sane() {
         let policy = RecharacterizePolicy::default();
         assert!(policy.sample_period > 0);
         assert!(policy.sample_capacity > 0);
+        assert!(policy.classes >= 1);
+        assert_eq!(policy.fit, CurveFit::WorstCase);
         assert!(!policy.ranges.is_empty());
         assert!(policy.ranges.iter().all(|r| (2..=256).contains(r)));
         assert!(matches!(ServingMode::default(), ServingMode::ClosedLoop));
@@ -438,5 +873,6 @@ mod tests {
         assert_send_sync::<ServingMode>();
         assert_send_sync::<RecharacterizePolicy>();
         assert_send_sync::<OpenLoopState>();
+        assert_send_sync::<CurveBank>();
     }
 }

@@ -4,8 +4,8 @@
 //! synthetic video.
 
 use hebs::core::{
-    BacklightPolicy, CharacterizationSample, DistortionCharacteristic, HebsPolicy, PipelineConfig,
-    ScalingOutcome, DEFAULT_RANGES,
+    BacklightPolicy, BankClass, CharacteristicBank, CharacterizationSample, CurveFit,
+    DistortionCharacteristic, HebsPolicy, PipelineConfig, ScalingOutcome, DEFAULT_RANGES,
 };
 use hebs::imaging::rng::StdRng;
 use hebs::imaging::{FrameSequence, GrayImage, Histogram, SceneKind, SipiSuite};
@@ -681,6 +681,260 @@ fn open_loop_serves_windowed_measures_from_an_installed_curve() {
     assert!(
         stats.fit_evaluations < stats.cache_misses * 4,
         "most misses should take the one-evaluation open-loop path"
+    );
+}
+
+/// The tentpole regression for mixed traffic: on heterogeneous traffic
+/// (three distinct histogram shapes) the single worst-case curve refuses to
+/// dim (~0% saving), while the signature-clustered per-class bank recovers
+/// at least half of the closed-loop saving — at open-loop fit cost and with
+/// the distortion contract intact.
+#[test]
+fn per_class_bank_recovers_dimming_the_worst_case_curve_refuses() {
+    use hebs::imaging::synthetic;
+    let budget = 0.10;
+    // Three content classes, three near-identical members each.
+    let mut frames: Vec<GrayImage> = Vec::new();
+    for seed in 0..3 {
+        frames.push(synthetic::low_key(32, 32, seed));
+    }
+    for seed in 0..3 {
+        frames.push(synthetic::high_key(32, 32, seed));
+    }
+    for seed in 0..3 {
+        frames.push(synthetic::fine_texture(32, 32, seed));
+    }
+    let histograms: Vec<Histogram> = frames.iter().map(Histogram::of).collect();
+
+    // Closed-loop reference: the per-frame search is the ceiling.
+    let closed = Engine::new(
+        histogram_policy(),
+        EngineConfig {
+            workers: 1,
+            max_distortion: budget,
+            cache: Some(CacheConfig::exact()),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let closed_saving = closed.process_batch(&frames).unwrap().mean_power_saving();
+    assert!(closed_saving > 0.2, "closed loop dims, got {closed_saving}");
+
+    let open_engine = |classes: usize| {
+        Engine::new(
+            histogram_policy(),
+            EngineConfig {
+                workers: 1,
+                max_distortion: budget,
+                cache: Some(CacheConfig::exact()),
+                mode: ServingMode::OpenLoop {
+                    recharacterize: RecharacterizePolicy {
+                        interval: None,
+                        drift_limit: None,
+                        classes,
+                        ..RecharacterizePolicy::default()
+                    },
+                },
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap()
+    };
+
+    // The single worst-case curve over all three shapes refuses to dim.
+    let single = open_engine(1);
+    single
+        .install_characteristic(
+            DistortionCharacteristic::characterize_from_histograms(
+                &open_loop_pipeline(),
+                &histograms,
+                &DEFAULT_RANGES,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let single_report = single.process_batch(&frames).unwrap();
+    let single_saving = single_report.mean_power_saving();
+    assert!(
+        single_saving < 0.05,
+        "the pooled worst-case curve should refuse to dim, saved {single_saving}"
+    );
+
+    // The per-class bank routes each shape to its own curve.
+    let bank =
+        CharacteristicBank::build(&open_loop_pipeline(), &histograms, &DEFAULT_RANGES, 3).unwrap();
+    assert_eq!(bank.len(), 3, "three shapes make three classes");
+    let banked = open_engine(3);
+    banked.install_bank(bank).unwrap();
+    let banked_report = banked.process_batch(&frames).unwrap();
+    let banked_saving = banked_report.mean_power_saving();
+    assert!(
+        banked_saving >= closed_saving / 2.0,
+        "per-class saving {banked_saving} recovers less than half of the \
+         closed-loop {closed_saving}"
+    );
+    for result in &banked_report.results {
+        assert!(
+            result.outcome.distortion <= budget + 1e-9,
+            "frame {}: the contract must hold, distortion {}",
+            result.index,
+            result.outcome.distortion
+        );
+    }
+    let stats = banked.stats();
+    assert!(stats.cache_misses > 0);
+    assert!(
+        stats.fit_evaluations <= stats.cache_misses,
+        "{} evaluations for {} misses: the bank must keep open-loop economics",
+        stats.fit_evaluations,
+        stats.cache_misses
+    );
+}
+
+/// Class-scoped invalidation, for both cache key modes: a drift-triggered
+/// rebuild of one class bumps only that class's generation — its cached
+/// fits are invalidated while the other class's fits keep replaying.
+#[test]
+fn class_rebuild_invalidates_only_its_own_class() {
+    use hebs::imaging::synthetic;
+    let budget = 0.10;
+    let dark = synthetic::low_key(32, 32, 5);
+    let bright = synthetic::high_key(32, 32, 6);
+    let dark_signature = hebs::imaging::HistogramSignature::of(&Histogram::of(&dark));
+    let bright_signature = hebs::imaging::HistogramSignature::of(&Histogram::of(&bright));
+
+    // A lying curve for the dark class (promises zero distortion at every
+    // range, so every open-loop fit lands over budget) and an accurate one
+    // for the bright class.
+    let lying: Vec<CharacterizationSample> = (0..6)
+        .map(|i| CharacterizationSample {
+            image: format!("lie{i}"),
+            dynamic_range: 40 * (i + 1),
+            distortion: 0.0,
+            power_saving: 0.9,
+        })
+        .collect();
+    let accurate = DistortionCharacteristic::characterize_from_histograms(
+        &open_loop_pipeline(),
+        std::slice::from_ref(&Histogram::of(&bright)),
+        &DEFAULT_RANGES,
+    )
+    .unwrap();
+
+    for cache in [CacheConfig::exact(), CacheConfig::approximate()] {
+        let engine = Engine::new(
+            histogram_policy(),
+            EngineConfig {
+                workers: 1,
+                max_distortion: budget,
+                cache: Some(cache),
+                mode: ServingMode::OpenLoop {
+                    recharacterize: RecharacterizePolicy {
+                        interval: None,
+                        drift_limit: Some(1),
+                        sample_period: 1,
+                        classes: 2,
+                        ..RecharacterizePolicy::default()
+                    },
+                },
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let bank = CharacteristicBank::from_classes(vec![
+            BankClass::centered_on(
+                &dark_signature,
+                std::sync::Arc::new(DistortionCharacteristic::from_samples(lying.clone()).unwrap()),
+            ),
+            BankClass::centered_on(&bright_signature, std::sync::Arc::new(accurate.clone())),
+        ])
+        .unwrap();
+        engine.install_bank(bank).unwrap();
+        let generation_before = engine.characteristic_generation();
+
+        // Warm the bright class.
+        assert!(!engine.process_frame(&bright).unwrap().cache_hit);
+        assert!(engine.process_frame(&bright).unwrap().cache_hit);
+
+        // One dark serve: the lying curve drifts (fallback keeps the
+        // contract), trips the class's drift limit, and the rebuild from
+        // the class's own sketch replaces only the dark class's curve.
+        let drifted = engine.process_frame(&dark).unwrap();
+        assert!(drifted.outcome.distortion <= budget + 1e-9);
+        let stats = engine.stats();
+        assert_eq!(stats.open_loop_fallbacks, 1, "the lying curve must drift");
+        assert_eq!(
+            stats.recharacterizations, 1,
+            "the drift limit must rebuild the class"
+        );
+        assert!(engine.characteristic_generation() > generation_before);
+
+        // The bright class's cached fit survives the dark rebuild...
+        assert!(
+            engine.process_frame(&bright).unwrap().cache_hit,
+            "an untouched class's fits must keep replaying"
+        );
+        // ...while the dark class's fit (made under the lying curve's
+        // generation) is invalidated and refit under the healed curve.
+        let healed = engine.process_frame(&dark).unwrap();
+        assert!(
+            !healed.cache_hit,
+            "the rebuilt class's stale fit must not replay"
+        );
+        assert!(engine.process_frame(&dark).unwrap().cache_hit);
+        let final_stats = engine.stats();
+        assert_eq!(
+            final_stats.open_loop_fallbacks, 1,
+            "the healed curve must not drift again"
+        );
+    }
+}
+
+/// The lookup fit is selectable: on heterogeneous traffic the p95 envelope
+/// dims where the worst case refuses, without giving up the contract.
+#[test]
+fn envelope_fit_dims_heterogeneous_traffic_within_the_contract() {
+    let frames: Vec<GrayImage> = SipiSuite::with_size(32)
+        .iter()
+        .map(|(_, img)| img.clone())
+        .collect();
+    let curve = characterize(&frames);
+    let budget = 0.10;
+    let serve = |fit: CurveFit| {
+        let engine = Engine::new(
+            histogram_policy(),
+            EngineConfig {
+                workers: 1,
+                max_distortion: budget,
+                cache: Some(CacheConfig::exact()),
+                mode: ServingMode::OpenLoop {
+                    recharacterize: RecharacterizePolicy {
+                        interval: None,
+                        drift_limit: None,
+                        fit,
+                        ..RecharacterizePolicy::default()
+                    },
+                },
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        engine.install_characteristic(curve.clone()).unwrap();
+        let report = engine.process_batch(&frames).unwrap();
+        for result in &report.results {
+            assert!(
+                result.outcome.distortion <= budget + 1e-9,
+                "{fit:?}: contract broken at frame {}",
+                result.index
+            );
+        }
+        report.mean_power_saving()
+    };
+    let worst_case = serve(CurveFit::WorstCase);
+    let envelope = serve(CurveFit::Envelope);
+    assert!(
+        envelope > worst_case,
+        "envelope ({envelope}) should dim more than worst case ({worst_case})"
     );
 }
 
