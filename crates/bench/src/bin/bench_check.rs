@@ -7,6 +7,7 @@
 //!     [--baselines bench/baselines] \
 //!     [--throughput runtime_throughput.json] \
 //!     [--fit-scaling fit_scaling.json] \
+//!     [--multi-tenant multi_tenant.json] \
 //!     [--latency-tolerance 0.25] [--throughput-tolerance 0.25] \
 //!     [--evals-tolerance 0.05] \
 //!     [--write-baselines]
@@ -18,9 +19,12 @@
 //! beyond a 5% scheduler-noise guard band — the counter that keeps the
 //! open-loop ≤ 1-per-miss economics honest), p50 latency and throughput
 //! as ratios against the same run's single-thread row (fail at >25%
-//! relative regression), and the fit-scaling *shape* ratios (the
+//! relative regression), the fit-scaling *shape* ratios (the
 //! histogram fit's flatness across frame sizes, the pixel paths' cost
-//! relative to it).
+//! relative to it), and the multi-tenant load-generator contract (shed
+//! and deadline-degrade counts matching the schedules' structural
+//! expectations, counter reconciliation, savings ordering, overload
+//! retention, and the p999/p50 tail shape within a wide band).
 //!
 //! `--write-baselines` refreshes the committed baselines from the current
 //! artifacts instead of checking (used when a PR intentionally moves the
@@ -30,13 +34,15 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use hebs_bench::regression::{
-    check_fit_scaling, check_throughput, render_report, CheckConfig, CheckReport,
+    check_fit_scaling, check_multi_tenant, check_throughput, render_report, CheckConfig,
+    CheckReport,
 };
 
 struct Args {
     baselines: PathBuf,
     throughput: PathBuf,
     fit_scaling: PathBuf,
+    multi_tenant: PathBuf,
     config: CheckConfig,
     write_baselines: bool,
 }
@@ -46,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         baselines: PathBuf::from("bench/baselines"),
         throughput: PathBuf::from("runtime_throughput.json"),
         fit_scaling: PathBuf::from("fit_scaling.json"),
+        multi_tenant: PathBuf::from("multi_tenant.json"),
         config: CheckConfig::default(),
         write_baselines: false,
     };
@@ -59,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
             "--baselines" => args.baselines = PathBuf::from(value("--baselines")?),
             "--throughput" => args.throughput = PathBuf::from(value("--throughput")?),
             "--fit-scaling" => args.fit_scaling = PathBuf::from(value("--fit-scaling")?),
+            "--multi-tenant" => args.multi_tenant = PathBuf::from(value("--multi-tenant")?),
             "--latency-tolerance" => {
                 args.config.latency_tolerance = value("--latency-tolerance")?
                     .parse()
@@ -137,16 +145,23 @@ fn main() -> ExitCode {
         args.write_baselines,
         |baseline, current| check_fit_scaling(baseline, current, config),
     );
-    match (throughput_ok, fit_scaling_ok) {
-        (Ok(true), Ok(true)) => {
+    let multi_tenant_ok = gate(
+        "multi_tenant",
+        &args.multi_tenant,
+        &args.baselines,
+        args.write_baselines,
+        |baseline, current| check_multi_tenant(baseline, current, config),
+    );
+    match (throughput_ok, fit_scaling_ok, multi_tenant_ok) {
+        (Ok(true), Ok(true), Ok(true)) => {
             println!("bench_check: OK");
             ExitCode::SUCCESS
         }
-        (Ok(_), Ok(_)) => {
+        (Ok(_), Ok(_), Ok(_)) => {
             eprintln!("bench_check: regression detected (see FAIL lines above)");
             ExitCode::FAILURE
         }
-        (Err(err), _) | (_, Err(err)) => {
+        (Err(err), _, _) | (_, Err(err), _) | (_, _, Err(err)) => {
             eprintln!("bench_check: {err}");
             ExitCode::FAILURE
         }

@@ -16,7 +16,10 @@ use hebs_imaging::{
     synthetic, FrameSequence, GrayImage, Histogram, SceneKind, SipiImage, SipiSuite,
 };
 use hebs_quality::{DistortionMeasure, GlobalUiqiDistortion};
-use hebs_runtime::{CacheConfig, Engine, EngineConfig, RecharacterizePolicy, ServingMode};
+use hebs_runtime::{
+    CacheConfig, Engine, EngineConfig, RecharacterizePolicy, ServeOptions, ServingMode,
+    TenantRegistry, TenantSpec,
+};
 
 /// One row of the Table 1 reproduction: the savings and measured distortions
 /// for a single image at each distortion budget.
@@ -751,7 +754,11 @@ pub fn run_fit_scaling(
 /// * open-loop serving with a seeded characteristic averages ≤ 1 fit
 ///   evaluation per cache miss (the closed-loop bisection takes ~8),
 ///   honours the distortion budget, and invalidates cached fits when the
-///   characteristic generation changes.
+///   characteristic generation changes;
+/// * tenants sharing one cache stay partitioned: tenant-tagged keys are
+///   never replayed across tenants, a flooding tenant's residency stays
+///   within its weighted byte slice, and a quiet tenant's entries survive
+///   the neighbour's flood.
 ///
 /// # Errors
 ///
@@ -953,6 +960,74 @@ pub fn verify_cache_invariants(frame_size: u32) -> Result<(), String> {
     }
     if report.mean_power_saving() <= 0.0 {
         return fail("per-class bank: mixed traffic must recover a nonzero saving");
+    }
+
+    // Tenant partition: two tenants sharing one cache must never replay
+    // each other's fits, a flooding tenant must stay within its weighted
+    // byte slice, and a quiet tenant's cached entries must survive the
+    // neighbour's flood.
+    let tenant_budget = 64 << 10;
+    let registry = TenantRegistry::builder()
+        .with_cache(CacheConfig {
+            shards: 1,
+            ..CacheConfig::exact().with_byte_budget(Some(tenant_budget))
+        })
+        .tenant(
+            HebsPolicy::closed_loop(PipelineConfig::default()),
+            TenantSpec::named("quiet"),
+        )
+        .tenant(
+            HebsPolicy::closed_loop(PipelineConfig::default()),
+            TenantSpec::named("noisy"),
+        )
+        .build()
+        .map_err(|e| e.to_string())?;
+    let ids: Vec<_> = registry.ids().collect();
+    let (quiet, noisy) = (ids[0], ids[1]);
+    let options = ServeOptions::default();
+    // The quiet tenant caches one fit; the noisy tenant serving the same
+    // frame must miss (tenant-tagged keys — no cross-tenant replay).
+    registry
+        .serve(quiet, &frames[0], &options)
+        .map_err(|e| e.to_string())?;
+    let replayed = registry
+        .serve(noisy, &frames[0], &options)
+        .map_err(|e| e.to_string())?;
+    if replayed.cache_hit {
+        return fail("tenant partition: a tenant replayed another tenant's cached fit");
+    }
+    let quiet_bytes_before = registry
+        .stats(quiet)
+        .map_err(|e| e.to_string())?
+        .cache_bytes;
+    // Flood the noisy tenant with distinct frames: its slice of the byte
+    // budget (half, at equal weights) caps its residency.
+    for seed in 0..256 {
+        let frame = synthetic::noise_texture(frame_size, frame_size, 1, 0, 255, 9000 + seed);
+        registry
+            .serve(noisy, &frame, &options)
+            .map_err(|e| e.to_string())?;
+    }
+    let noisy_bytes = registry
+        .stats(noisy)
+        .map_err(|e| e.to_string())?
+        .cache_bytes;
+    if noisy_bytes > (tenant_budget / 2) as u64 {
+        return Err(format!(
+            "tenant partition: flooding tenant holds {noisy_bytes} bytes, beyond its \
+             {}-byte slice",
+            tenant_budget / 2
+        ));
+    }
+    let quiet_stats = registry.stats(quiet).map_err(|e| e.to_string())?;
+    if quiet_stats.cache_bytes != quiet_bytes_before {
+        return fail("tenant partition: a neighbour's flood changed the quiet tenant's bytes");
+    }
+    let warm = registry
+        .serve(quiet, &frames[0], &options)
+        .map_err(|e| e.to_string())?;
+    if !warm.cache_hit {
+        return fail("tenant partition: the quiet tenant's entry did not survive the flood");
     }
     Ok(())
 }

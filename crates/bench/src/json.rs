@@ -7,6 +7,7 @@
 //! evaluations can be tracked across PRs.
 
 use crate::experiments::{FitScalingRow, MixedSuiteReport, RuntimeThroughputRow};
+use crate::loadgen::{IsolationReport, ScenarioReport};
 
 /// Escapes a string for embedding in a JSON document.
 fn escape(s: &str) -> String {
@@ -177,9 +178,114 @@ pub fn fit_scaling_json(base: u32, repeats: usize, rows: &[FitScalingRow]) -> St
     out
 }
 
+/// Serializes the multi-tenant load-generator report. Each tenant row
+/// carries its structural gate expectations (`expect_sheds`,
+/// `expect_degraded`, `savings_rank`) alongside the measured counters, so
+/// `bench_check` can verify the schedule-determined properties from the
+/// current artifact and reserve the committed baseline for the
+/// machine-dependent shape ratios (p999/p50).
+pub fn multi_tenant_json(
+    quick: bool,
+    scenarios: &[ScenarioReport],
+    isolation: Option<&IsolationReport>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    if let Some(iso) = isolation {
+        out.push_str("  \"isolation\": {");
+        out.push_str(&format!("\"isolated_served\": {}, ", iso.isolated_served));
+        out.push_str(&format!("\"isolated_fps\": {}, ", number(iso.isolated_fps)));
+        out.push_str(&format!("\"contended_served\": {}, ", iso.contended_served));
+        out.push_str(&format!(
+            "\"contended_fps\": {}, ",
+            number(iso.contended_fps)
+        ));
+        out.push_str(&format!(
+            "\"contended_p999_ms\": {}, ",
+            number(iso.contended_p999.as_secs_f64() * 1e3)
+        ));
+        out.push_str(&format!("\"protected_sheds\": {}, ", iso.protected_sheds));
+        out.push_str(&format!("\"flood_sheds\": {}, ", iso.flood_sheds));
+        out.push_str(&format!("\"retention\": {}", number(iso.retention())));
+        out.push_str("},\n");
+    }
+    out.push_str("  \"scenarios\": [\n");
+    for (i, scenario) in scenarios.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"scenario\": \"{}\",\n",
+            escape(&scenario.scenario)
+        ));
+        out.push_str(&format!(
+            "      \"wall_ms\": {},\n",
+            number(scenario.wall.as_secs_f64() * 1e3)
+        ));
+        out.push_str("      \"tenants\": [\n");
+        for (j, tenant) in scenario.tenants.iter().enumerate() {
+            out.push_str("        {");
+            out.push_str(&format!("\"tenant\": \"{}\", ", escape(&tenant.tenant)));
+            out.push_str(&format!("\"arrivals\": {}, ", tenant.arrivals));
+            out.push_str(&format!("\"served\": {}, ", tenant.served));
+            out.push_str(&format!("\"sheds\": {}, ", tenant.sheds));
+            out.push_str(&format!(
+                "\"deadline_degraded\": {}, ",
+                tenant.deadline_degraded
+            ));
+            out.push_str(&format!(
+                "\"p50_ms\": {}, ",
+                number(tenant.p50.as_secs_f64() * 1e3)
+            ));
+            out.push_str(&format!(
+                "\"p99_ms\": {}, ",
+                number(tenant.p99.as_secs_f64() * 1e3)
+            ));
+            out.push_str(&format!(
+                "\"p999_ms\": {}, ",
+                number(tenant.p999.as_secs_f64() * 1e3)
+            ));
+            out.push_str(&format!(
+                "\"mean_power_saving\": {}, ",
+                number(tenant.mean_power_saving)
+            ));
+            out.push_str(&format!(
+                "\"throughput_fps\": {}, ",
+                number(tenant.throughput_fps)
+            ));
+            out.push_str(&format!("\"cache_bytes\": {}, ", tenant.cache_bytes));
+            out.push_str(&format!(
+                "\"expect_sheds\": \"{}\", ",
+                tenant.expect_sheds.as_str()
+            ));
+            out.push_str(&format!(
+                "\"expect_degraded\": \"{}\", ",
+                tenant.expect_degraded.as_str()
+            ));
+            match tenant.savings_rank {
+                Some(rank) => out.push_str(&format!("\"savings_rank\": {rank}")),
+                None => out.push_str("\"savings_rank\": null"),
+            }
+            out.push_str(if j + 1 < scenario.tenants.len() {
+                "},\n"
+            } else {
+                "}\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < scenarios.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::loadgen::{CountExpectation, TenantLoadReport};
     use std::time::Duration;
 
     #[test]
@@ -277,5 +383,54 @@ mod tests {
         let json = fit_scaling_json(96, 3, &rows);
         assert_eq!(json.matches("\"scale\":").count(), 2);
         assert!(json.contains("\"histogram_fit_us\": 91"));
+    }
+
+    #[test]
+    fn multi_tenant_json_embeds_expectations_and_balances() {
+        let tenant = |name: &str, sheds: u64, expect: CountExpectation| TenantLoadReport {
+            tenant: name.to_string(),
+            arrivals: 96,
+            served: 96 - sheds,
+            sheds,
+            deadline_degraded: 0,
+            p50: Duration::from_micros(400),
+            p99: Duration::from_micros(2100),
+            p999: Duration::from_micros(4800),
+            mean_power_saving: 0.37,
+            throughput_fps: 1800.0,
+            cache_bytes: 2048,
+            expect_sheds: expect,
+            expect_degraded: CountExpectation::Zero,
+            savings_rank: Some(0),
+        };
+        let scenarios = vec![ScenarioReport {
+            scenario: "bursty".to_string(),
+            wall: Duration::from_millis(60),
+            tenants: vec![
+                tenant("interactive", 0, CountExpectation::Zero),
+                tenant("batch", 12, CountExpectation::Some),
+            ],
+        }];
+        let isolation = IsolationReport {
+            isolated_served: 128,
+            isolated_fps: 2400.0,
+            contended_served: 128,
+            contended_fps: 2200.0,
+            contended_p999: Duration::from_micros(5100),
+            protected_sheds: 0,
+            flood_sheds: 77,
+        };
+        let json = multi_tenant_json(true, &scenarios, Some(&isolation));
+        assert!(json.contains("\"scenario\": \"bursty\""));
+        assert!(json.contains("\"expect_sheds\": \"some\""));
+        assert!(json.contains("\"savings_rank\": 0"));
+        assert!(json.contains("\"retention\": 1"));
+        assert!(json.contains("\"flood_sheds\": 77"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Without the isolation section the document stays well-formed.
+        let bare = multi_tenant_json(false, &scenarios, None);
+        assert!(!bare.contains("isolation"));
+        assert_eq!(bare.matches('{').count(), bare.matches('}').count());
     }
 }

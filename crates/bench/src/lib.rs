@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod json;
+pub mod loadgen;
 pub mod regression;
 pub mod table;
 
@@ -20,8 +21,14 @@ pub use experiments::{
     BaselineComparison, Figure8Row, FitScalingRow, MixedSuiteReport, RuntimeThroughputRow,
     Table1Report, Table1Row,
 };
-pub use json::{fit_scaling_json, runtime_throughput_json};
-pub use regression::{check_fit_scaling, check_throughput, CheckConfig, CheckReport, JsonValue};
+pub use json::{fit_scaling_json, multi_tenant_json, runtime_throughput_json};
+pub use loadgen::{
+    bursty_scenario, diurnal_scenario, run_overload_isolation, run_scenario, CountExpectation,
+    IsolationReport, LoadScenario, ScenarioReport, TenantLoad, TenantLoadReport,
+};
+pub use regression::{
+    check_fit_scaling, check_multi_tenant, check_throughput, CheckConfig, CheckReport, JsonValue,
+};
 pub use table::TextTable;
 
 /// The per-image power savings (%) the paper reports in Table 1, in suite

@@ -1,0 +1,716 @@
+//! Open-loop multi-tenant load generator.
+//!
+//! Drives a [`TenantRegistry`] with a **fixed arrival schedule**: every
+//! frame has a scheduled arrival instant decided before the run starts,
+//! the dispatcher admits it at that instant regardless of how the previous
+//! frames are doing, and a frame's latency is measured from its *scheduled
+//! arrival* to its completion. A slow serve therefore inflates the latency
+//! of every frame queued behind it — the generator never commits
+//! *coordinated omission* (the closed-loop mistake of pausing the arrival
+//! process while the system struggles, which hides exactly the tail the
+//! p999 is supposed to expose).
+//!
+//! The scenarios are deterministic where it matters for CI: every gated
+//! count (sheds, deadline degradations, savings ordering) is a structural
+//! property of the schedule and the admission bounds, not of machine
+//! speed; only the latency percentiles reflect the machine, and
+//! `bench_check` gates those purely as p999/p50 shape ratios.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use hebs_core::{CharacterizationSample, DistortionCharacteristic, HebsPolicy, PipelineConfig};
+use hebs_imaging::{synthetic, GrayImage};
+use hebs_quality::GlobalUiqiDistortion;
+use hebs_runtime::{
+    CacheConfig, RecharacterizePolicy, ServeOptions, ServingMode, ShedPolicy, TenantRegistry,
+    TenantSpec,
+};
+
+/// What the regression gate should expect of a counter in a scenario — the
+/// expectation is decided by the schedule's structure (e.g. a tenant whose
+/// admission bound equals its arrival count can never shed), so it ships
+/// inside the artifact and holds on any machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountExpectation {
+    /// The counter must be exactly zero.
+    Zero,
+    /// The counter must be strictly positive.
+    Some,
+    /// The counter is informational; any value passes.
+    Any,
+}
+
+impl CountExpectation {
+    /// The token serialized into the bench artifact.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CountExpectation::Zero => "zero",
+            CountExpectation::Some => "some",
+            CountExpectation::Any => "any",
+        }
+    }
+}
+
+/// One tenant's offered load within a scenario.
+pub struct TenantLoad {
+    /// Tenant name (also the registry name).
+    pub name: &'static str,
+    /// The tenant's distortion budget.
+    pub max_distortion: f64,
+    /// Weight in the shared cache partition and fair-share computation.
+    pub cache_weight: u32,
+    /// Admission bound (admitted-but-unfinished frames).
+    pub queue_limit: usize,
+    /// Serving mode for the tenant's engine.
+    pub mode: ServingMode,
+    /// Characteristic to install before taking traffic (open-loop tenants).
+    pub seed: Option<DistortionCharacteristic>,
+    /// Per-frame deadline relative to the scheduled arrival; past-due
+    /// frames degrade to the installed curve instead of re-checking drift.
+    pub deadline: Option<Duration>,
+    /// Scheduled arrival offsets from the scenario start, ascending.
+    pub arrivals: Vec<Duration>,
+    /// Frames served round-robin across the arrivals.
+    pub frames: Vec<GrayImage>,
+    /// What the gate should expect of the tenant's shed count.
+    pub expect_sheds: CountExpectation,
+    /// What the gate should expect of the tenant's degraded-serve count.
+    pub expect_degraded: CountExpectation,
+    /// Rank of this tenant in the scenario's savings ordering (gated:
+    /// higher rank must save strictly more backlight), or `None` to keep
+    /// the tenant out of the ordering.
+    pub savings_rank: Option<u32>,
+}
+
+/// A named multi-tenant load scenario.
+pub struct LoadScenario {
+    /// Scenario name (the artifact key).
+    pub name: &'static str,
+    /// Shed policy of the registry under test.
+    pub shed: ShedPolicy,
+    /// Worker threads draining each tenant's admitted queue.
+    pub workers_per_tenant: usize,
+    /// The tenants and their offered load.
+    pub tenants: Vec<TenantLoad>,
+}
+
+/// Measured outcome for one tenant of a scenario run.
+#[derive(Debug, Clone)]
+pub struct TenantLoadReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// Scheduled arrivals offered.
+    pub arrivals: usize,
+    /// Frames admitted and served.
+    pub served: u64,
+    /// Arrivals refused by admission control.
+    pub sheds: u64,
+    /// Serves degraded to the installed curve by a passed deadline.
+    pub deadline_degraded: u64,
+    /// Median arrival-to-completion latency.
+    pub p50: Duration,
+    /// 99th-percentile arrival-to-completion latency.
+    pub p99: Duration,
+    /// 99.9th-percentile arrival-to-completion latency.
+    pub p999: Duration,
+    /// Mean fractional power saving over the served frames.
+    pub mean_power_saving: f64,
+    /// Served frames per wall-clock second.
+    pub throughput_fps: f64,
+    /// Bytes charged to the tenant in the shared cache after the run.
+    pub cache_bytes: u64,
+    /// Expectation the gate applies to `sheds`.
+    pub expect_sheds: CountExpectation,
+    /// Expectation the gate applies to `deadline_degraded`.
+    pub expect_degraded: CountExpectation,
+    /// Savings-ordering rank, if the tenant participates.
+    pub savings_rank: Option<u32>,
+}
+
+/// Measured outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Wall-clock time from the first scheduled arrival to full drain.
+    pub wall: Duration,
+    /// Per-tenant reports, in registration order.
+    pub tenants: Vec<TenantLoadReport>,
+}
+
+/// The overload-isolation experiment: the protected tenant's throughput
+/// with and without a flooding neighbour at twice its arrival rate.
+#[derive(Debug, Clone)]
+pub struct IsolationReport {
+    /// Frames the protected tenant served running alone.
+    pub isolated_served: u64,
+    /// Its throughput running alone (frames per second).
+    pub isolated_fps: f64,
+    /// Frames it served with the flood tenant sharing the registry.
+    pub contended_served: u64,
+    /// Its throughput under contention.
+    pub contended_fps: f64,
+    /// Its p999 under contention.
+    pub contended_p999: Duration,
+    /// Sheds of the protected tenant under contention (must be 0: its
+    /// weighted fair share covers its entire offered load).
+    pub protected_sheds: u64,
+    /// Sheds of the flooding tenant (must be positive: the fair share
+    /// clamps it).
+    pub flood_sheds: u64,
+}
+
+impl IsolationReport {
+    /// Fraction of the isolated served-frame count retained under
+    /// contention. Admission is structural (the protected tenant's fair
+    /// share covers its whole schedule), so this is 1.0 unless isolation
+    /// is broken.
+    pub fn retention(&self) -> f64 {
+        if self.isolated_served == 0 {
+            0.0
+        } else {
+            self.contended_served as f64 / self.isolated_served as f64
+        }
+    }
+}
+
+/// The latency percentile at quantile `q` of an unsorted sample set.
+fn percentile(latencies: &mut [Duration], q: f64) -> Duration {
+    if latencies.is_empty() {
+        return Duration::ZERO;
+    }
+    latencies.sort_unstable();
+    let rank = (q * latencies.len() as f64).ceil() as usize;
+    latencies[rank.clamp(1, latencies.len()) - 1]
+}
+
+/// The pipeline every load tenant serves with: the histogram-capable
+/// global UIQI measure, so fits cost O(levels).
+fn load_pipeline() -> PipelineConfig {
+    PipelineConfig::default().with_measure(GlobalUiqiDistortion)
+}
+
+/// A cycle of `count` distinct frames of one content family.
+fn frame_cycle(count: usize, size: u32, dark: bool, seed: u64) -> Vec<GrayImage> {
+    (0..count as u64)
+        .map(|i| {
+            if dark {
+                synthetic::low_key(size, size, seed + i)
+            } else {
+                synthetic::high_key(size, size, seed + i)
+            }
+        })
+        .collect()
+}
+
+/// Steady arrivals: `count` frames, one every `period`.
+fn steady(count: usize, period: Duration) -> Vec<Duration> {
+    (0..count as u32).map(|i| period * i).collect()
+}
+
+/// Bursty arrivals: `bursts` bursts of `burst_size` back-to-back frames,
+/// one burst every `gap`.
+fn bursts(bursts: usize, burst_size: usize, gap: Duration) -> Vec<Duration> {
+    let mut arrivals = Vec::with_capacity(bursts * burst_size);
+    for burst in 0..bursts as u32 {
+        for _ in 0..burst_size {
+            arrivals.push(gap * burst);
+        }
+    }
+    arrivals
+}
+
+/// Diurnal arrivals: the interarrival period sweeps a triangle wave
+/// between `min_period` and `max_period` over `cycle` frames — a
+/// compressed day with a rush hour and a lull.
+fn diurnal(
+    count: usize,
+    min_period: Duration,
+    max_period: Duration,
+    cycle: usize,
+) -> Vec<Duration> {
+    let cycle = cycle.max(2);
+    let half = cycle / 2;
+    let spread = max_period.saturating_sub(min_period);
+    let mut offset = Duration::ZERO;
+    let mut arrivals = Vec::with_capacity(count);
+    for i in 0..count {
+        arrivals.push(offset);
+        let phase = i % cycle;
+        let tri = if phase < half { phase } else { cycle - phase };
+        offset += min_period + spread * tri as u32 / half.max(1) as u32;
+    }
+    arrivals
+}
+
+/// Runs one scenario: builds the registry, replays the merged arrival
+/// schedule open-loop, drains the per-tenant worker pools and collects the
+/// per-tenant reports.
+///
+/// # Errors
+///
+/// Propagates registry construction and serving errors (sheds are counted,
+/// not propagated).
+pub fn run_scenario(scenario: &LoadScenario) -> hebs_runtime::Result<ScenarioReport> {
+    let mut builder = TenantRegistry::builder()
+        .with_cache(CacheConfig::exact().with_byte_budget(Some(16 << 20)))
+        .with_shed_policy(scenario.shed);
+    for tenant in &scenario.tenants {
+        builder = builder.tenant(
+            HebsPolicy::closed_loop(load_pipeline()),
+            TenantSpec::named(tenant.name)
+                .with_budget(tenant.max_distortion)
+                .with_mode(tenant.mode.clone())
+                .with_cache_weight(tenant.cache_weight)
+                .with_queue_limit(tenant.queue_limit),
+        );
+    }
+    let registry = builder.build()?;
+    for (index, tenant) in scenario.tenants.iter().enumerate() {
+        if let Some(seed) = &tenant.seed {
+            let id = registry
+                .id_of(tenant.name)
+                .expect("registered tenant resolves");
+            registry.engine(id)?.install_characteristic(seed.clone())?;
+        }
+        debug_assert_eq!(registry.ids().nth(index), registry.id_of(tenant.name));
+    }
+
+    // The merged open-loop schedule: (offset, tenant index, arrival index),
+    // sorted by scheduled arrival. Ties keep tenant order (stable sort).
+    let mut schedule: Vec<(Duration, usize, usize)> = Vec::new();
+    for (tenant_index, tenant) in scenario.tenants.iter().enumerate() {
+        for (arrival_index, &offset) in tenant.arrivals.iter().enumerate() {
+            schedule.push((offset, tenant_index, arrival_index));
+        }
+    }
+    schedule.sort_by_key(|&(offset, _, _)| offset);
+
+    struct Job<'a> {
+        permit: hebs_runtime::AdmissionPermit,
+        frame: &'a GrayImage,
+        scheduled: Instant,
+        deadline: Option<Instant>,
+    }
+
+    let workers = scenario.workers_per_tenant.max(1);
+    let mut measured: Vec<(Vec<Duration>, f64)>;
+    let wall;
+    {
+        // One queue per tenant, drained by that tenant's own workers:
+        // another tenant's backlog never steals this tenant's serving
+        // threads (the cache and admission state are the shared parts
+        // under test).
+        let mut senders: Vec<mpsc::Sender<Job<'_>>> = Vec::new();
+        let mut receivers: Vec<mpsc::Receiver<Job<'_>>> = Vec::new();
+        for _ in &scenario.tenants {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let results_store =
+            std::sync::Mutex::new(vec![(Vec::new(), 0.0f64); scenario.tenants.len()]);
+        let registry = &registry;
+        let results = &results_store;
+
+        let start = Instant::now();
+        std::thread::scope(|scope| -> hebs_runtime::Result<()> {
+            for (tenant_index, receiver) in receivers.into_iter().enumerate() {
+                // `workers_per_tenant` > 1 would need a shared receiver; the
+                // scenarios here use one worker per tenant so queueing delay
+                // is visible in the percentiles.
+                let _ = workers;
+                scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let mut saving_sum = 0.0f64;
+                    while let Ok(job) = receiver.recv() {
+                        let mut options = ServeOptions::default();
+                        if let Some(deadline) = job.deadline {
+                            options = options.with_deadline(deadline);
+                        }
+                        let result = registry
+                            .serve_with_permit(&job.permit, job.frame, &options)
+                            .expect("load serve succeeds");
+                        latencies.push(job.scheduled.elapsed());
+                        saving_sum += result.outcome.power_saving;
+                        drop(job.permit);
+                    }
+                    let mut slots = results.lock().expect("results lock");
+                    slots[tenant_index] = (latencies, saving_sum);
+                });
+            }
+
+            // The dispatcher: admit each frame at its scheduled instant.
+            // Running behind schedule dispatches immediately (never pauses
+            // the arrival process — no coordinated omission).
+            for &(offset, tenant_index, arrival_index) in &schedule {
+                let scheduled = start + offset;
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                let tenant = &scenario.tenants[tenant_index];
+                let id = registry
+                    .id_of(tenant.name)
+                    .expect("registered tenant resolves");
+                match registry.admit(id) {
+                    Ok(permit) => {
+                        let job = Job {
+                            permit,
+                            frame: &tenant.frames[arrival_index % tenant.frames.len()],
+                            scheduled,
+                            deadline: tenant.deadline.map(|d| scheduled + d),
+                        };
+                        senders[tenant_index]
+                            .send(job)
+                            .expect("worker outlives the dispatcher");
+                    }
+                    Err(hebs_runtime::RuntimeError::Shed { .. }) => {}
+                    Err(other) => return Err(other),
+                }
+            }
+            drop(senders); // close the queues; workers drain and exit
+            Ok(())
+        })?;
+        wall = start.elapsed();
+        measured = results_store.into_inner().expect("results lock");
+    }
+
+    let mut tenants = Vec::with_capacity(scenario.tenants.len());
+    for (index, tenant) in scenario.tenants.iter().enumerate() {
+        let id = registry
+            .id_of(tenant.name)
+            .expect("registered tenant resolves");
+        let stats = registry.stats(id)?;
+        let (latencies, saving_sum) = &mut measured[index];
+        let served = stats.frames;
+        tenants.push(TenantLoadReport {
+            tenant: tenant.name.to_string(),
+            arrivals: tenant.arrivals.len(),
+            served,
+            sheds: stats.sheds,
+            deadline_degraded: stats.deadline_degraded,
+            p50: percentile(latencies, 0.50),
+            p99: percentile(latencies, 0.99),
+            p999: percentile(latencies, 0.999),
+            mean_power_saving: if served == 0 {
+                0.0
+            } else {
+                *saving_sum / served as f64
+            },
+            throughput_fps: if wall.is_zero() {
+                0.0
+            } else {
+                served as f64 / wall.as_secs_f64()
+            },
+            cache_bytes: stats.cache_bytes,
+            expect_sheds: tenant.expect_sheds,
+            expect_degraded: tenant.expect_degraded,
+            savings_rank: tenant.savings_rank,
+        });
+    }
+    Ok(ScenarioReport {
+        scenario: scenario.name.to_string(),
+        wall,
+        tenants,
+    })
+}
+
+/// The bursty two-tenant mix: a steady interactive tenant with a strict
+/// budget, and a batch tenant whose bursts overrun its admission bound.
+///
+/// Structural gates: the interactive tenant's bound equals its arrival
+/// count, so it can never shed; each batch burst (64 back-to-back
+/// arrivals) exceeds the batch bound (4) by far more than a worker can
+/// drain within the admit loop, so the batch tenant always sheds; and the
+/// batch tenant's 4x looser budget dims the same content further, so it
+/// saves strictly more power.
+pub fn bursty_scenario(quick: bool) -> LoadScenario {
+    let (steady_count, burst_count) = if quick { (96, 2) } else { (256, 4) };
+    let size = 32;
+    LoadScenario {
+        name: "bursty",
+        shed: ShedPolicy::RejectNewest,
+        workers_per_tenant: 1,
+        tenants: vec![
+            TenantLoad {
+                name: "interactive",
+                max_distortion: 0.05,
+                cache_weight: 3,
+                queue_limit: steady_count,
+                mode: ServingMode::ClosedLoop,
+                seed: None,
+                deadline: None,
+                arrivals: steady(steady_count, Duration::from_micros(500)),
+                frames: frame_cycle(8, size, false, 100),
+                expect_sheds: CountExpectation::Zero,
+                expect_degraded: CountExpectation::Zero,
+                savings_rank: Some(0),
+            },
+            TenantLoad {
+                name: "batch",
+                max_distortion: 0.20,
+                cache_weight: 1,
+                queue_limit: 4,
+                mode: ServingMode::ClosedLoop,
+                seed: None,
+                deadline: None,
+                arrivals: bursts(burst_count, 64, Duration::from_millis(12)),
+                frames: frame_cycle(8, size, false, 100),
+                expect_sheds: CountExpectation::Some,
+                expect_degraded: CountExpectation::Zero,
+                savings_rank: Some(1),
+            },
+        ],
+    }
+}
+
+/// The diurnal two-tenant mix: a realtime open-loop tenant serving a
+/// stale curve under a zero-slack deadline, and an unhurried archive
+/// tenant.
+///
+/// The realtime tenant's installed curve underestimates distortion
+/// (claiming ≈ 0 at every range, the limit case of a characterization the
+/// traffic has drifted away from), so every open-loop lookup lands over
+/// budget at the drift decision point — and, already past its zero-slack
+/// deadline, is served degraded off the installed curve instead of
+/// falling back to the closed-loop search. Degraded fits are never
+/// cached, so every arrival re-degrades: the count equals the tenant's
+/// arrivals and is structural. The archive tenant has no deadline, so its
+/// degraded count must be zero.
+///
+/// # Errors
+///
+/// Propagates curve-construction errors.
+pub fn diurnal_scenario(quick: bool) -> hebs_runtime::Result<LoadScenario> {
+    let count = if quick { 96 } else { 240 };
+    let size = 32;
+    // The stale seed: distortion ≈ 0 everywhere, so the lookup always
+    // picks the dimmest range and the measured recheck always drifts.
+    let samples: Vec<CharacterizationSample> = (0..6)
+        .map(|i| CharacterizationSample {
+            image: format!("stale{i}"),
+            dynamic_range: 40 * (i + 1),
+            distortion: 0.0,
+            power_saving: 0.9,
+        })
+        .collect();
+    let seed = DistortionCharacteristic::from_samples(samples)
+        .map_err(hebs_runtime::RuntimeError::Core)?;
+    Ok(LoadScenario {
+        name: "diurnal",
+        shed: ShedPolicy::RejectNewest,
+        workers_per_tenant: 1,
+        tenants: vec![
+            TenantLoad {
+                name: "realtime",
+                max_distortion: 0.10,
+                cache_weight: 2,
+                queue_limit: count,
+                mode: ServingMode::OpenLoop {
+                    recharacterize: RecharacterizePolicy {
+                        interval: None,
+                        drift_limit: None,
+                        ..RecharacterizePolicy::default()
+                    },
+                },
+                seed: Some(seed),
+                deadline: Some(Duration::ZERO),
+                arrivals: diurnal(
+                    count,
+                    Duration::from_micros(300),
+                    Duration::from_micros(1500),
+                    count / 2,
+                ),
+                frames: frame_cycle(8, size, false, 300),
+                expect_sheds: CountExpectation::Zero,
+                expect_degraded: CountExpectation::Some,
+                savings_rank: None,
+            },
+            TenantLoad {
+                name: "archive",
+                max_distortion: 0.20,
+                cache_weight: 1,
+                queue_limit: count,
+                mode: ServingMode::ClosedLoop,
+                seed: None,
+                deadline: None,
+                arrivals: diurnal(
+                    count,
+                    Duration::from_micros(600),
+                    Duration::from_micros(3000),
+                    count / 2,
+                ),
+                frames: frame_cycle(8, size, false, 300),
+                expect_sheds: CountExpectation::Zero,
+                expect_degraded: CountExpectation::Zero,
+                savings_rank: None,
+            },
+        ],
+    })
+}
+
+/// Runs the overload-isolation experiment: the protected tenant's steady
+/// schedule alone, then the same schedule with a flood tenant offering
+/// twice its load, under a weighted-fair shed policy whose shares make
+/// both outcomes structural:
+///
+/// * the protected tenant (weight 15 of 16 over a shared capacity of
+///   `count * 9 / 8`) gets a fair share of `count * 135 / 128` — at least
+///   its entire offered load, so it can never shed no matter what the
+///   flood does;
+/// * the flood's fair share *and* queue bound are `capacity / 16`, so its
+///   back-to-back bursts of 64 arrivals structurally overrun the clamp.
+///
+/// Any retention below 1.0 — let alone the gated 0.9 — therefore means
+/// tenant isolation itself broke, not that the machine was slow.
+///
+/// # Errors
+///
+/// Propagates registry construction and serving errors.
+pub fn run_overload_isolation(quick: bool) -> hebs_runtime::Result<IsolationReport> {
+    let count = if quick { 128 } else { 384 };
+    let size = 32;
+    let period = Duration::from_micros(400);
+    let shared_capacity = count * 9 / 8;
+    let flood_bound = shared_capacity / 16;
+    let shed = ShedPolicy::WeightedFair { shared_capacity };
+    let protected = || TenantLoad {
+        name: "protected",
+        max_distortion: 0.10,
+        cache_weight: 15,
+        queue_limit: count,
+        mode: ServingMode::ClosedLoop,
+        seed: None,
+        deadline: None,
+        arrivals: steady(count, period),
+        frames: frame_cycle(8, size, false, 500),
+        expect_sheds: CountExpectation::Zero,
+        expect_degraded: CountExpectation::Zero,
+        savings_rank: None,
+    };
+    // Twice the protected tenant's offered load, delivered as bursts of 64
+    // back-to-back arrivals (mean rate 2x) — far beyond the flood's fair
+    // share, so the clamp must engage.
+    let flood = TenantLoad {
+        name: "flood",
+        max_distortion: 0.10,
+        cache_weight: 1,
+        queue_limit: flood_bound,
+        mode: ServingMode::ClosedLoop,
+        seed: None,
+        deadline: None,
+        arrivals: bursts(count * 2 / 64, 64, period * 32),
+        frames: frame_cycle(8, size, true, 600),
+        expect_sheds: CountExpectation::Some,
+        expect_degraded: CountExpectation::Zero,
+        savings_rank: None,
+    };
+
+    let isolated = run_scenario(&LoadScenario {
+        name: "isolation-baseline",
+        shed,
+        workers_per_tenant: 1,
+        tenants: vec![protected()],
+    })?;
+    let contended = run_scenario(&LoadScenario {
+        name: "isolation-contended",
+        shed,
+        workers_per_tenant: 1,
+        tenants: vec![protected(), flood],
+    })?;
+
+    let isolated_row = &isolated.tenants[0];
+    let contended_row = &contended.tenants[0];
+    let flood_row = &contended.tenants[1];
+    Ok(IsolationReport {
+        isolated_served: isolated_row.served,
+        isolated_fps: isolated_row.throughput_fps,
+        contended_served: contended_row.served,
+        contended_fps: contended_row.throughput_fps,
+        contended_p999: contended_row.p999,
+        protected_sheds: contended_row.sheds,
+        flood_sheds: flood_row.sheds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_the_expected_ranks() {
+        let mut latencies: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&mut latencies, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile(&mut latencies, 0.99), Duration::from_millis(99));
+        assert_eq!(
+            percentile(&mut latencies, 0.999),
+            Duration::from_millis(100)
+        );
+        assert_eq!(percentile(&mut [], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn schedules_are_sorted_and_sized() {
+        let s = steady(10, Duration::from_millis(1));
+        assert_eq!(s.len(), 10);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        let b = bursts(3, 4, Duration::from_millis(5));
+        assert_eq!(b.len(), 12);
+        assert_eq!(b[0], b[3]);
+        assert!(b[4] > b[3]);
+        let d = diurnal(
+            20,
+            Duration::from_micros(100),
+            Duration::from_micros(500),
+            10,
+        );
+        assert_eq!(d.len(), 20);
+        assert!(d.windows(2).all(|w| w[0] < w[1]), "offsets strictly grow");
+    }
+
+    #[test]
+    fn bursty_scenario_sheds_only_the_bursting_tenant() {
+        let report = run_scenario(&bursty_scenario(true)).unwrap();
+        assert_eq!(report.tenants.len(), 2);
+        let interactive = &report.tenants[0];
+        let batch = &report.tenants[1];
+        assert_eq!(interactive.sheds, 0, "the bounded tenant never sheds");
+        assert_eq!(interactive.served, interactive.arrivals as u64);
+        assert!(batch.sheds > 0, "bursts beyond the bound must shed");
+        assert_eq!(batch.served + batch.sheds, batch.arrivals as u64);
+        assert!(
+            batch.mean_power_saving > interactive.mean_power_saving,
+            "the looser budget must dim further ({} vs {})",
+            batch.mean_power_saving,
+            interactive.mean_power_saving
+        );
+        assert!(interactive.p50 <= interactive.p999);
+    }
+
+    #[test]
+    fn diurnal_scenario_degrades_only_the_deadline_tenant() {
+        let report = run_scenario(&diurnal_scenario(true).unwrap()).unwrap();
+        let realtime = &report.tenants[0];
+        let archive = &report.tenants[1];
+        assert!(
+            realtime.deadline_degraded > 0,
+            "drifted past-due serves must degrade to the installed curve"
+        );
+        assert_eq!(archive.deadline_degraded, 0);
+        assert_eq!(realtime.sheds + archive.sheds, 0);
+    }
+
+    #[test]
+    fn overload_isolation_protects_the_weighted_tenant() {
+        let report = run_overload_isolation(true).unwrap();
+        assert_eq!(report.protected_sheds, 0);
+        assert!(report.flood_sheds > 0, "the flood must be clamped");
+        assert!(
+            report.retention() >= 0.9,
+            "protected tenant retained only {}",
+            report.retention()
+        );
+    }
+}

@@ -725,6 +725,253 @@ pub fn check_fit_scaling(
     Ok(report)
 }
 
+/// Indexes a multi-tenant artifact as scenario name → tenant name → row.
+#[allow(clippy::type_complexity)]
+fn multi_tenant_rows(doc: &JsonValue) -> Result<Vec<(String, Vec<(String, JsonValue)>)>, String> {
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .ok_or("multi-tenant artifact has no \"scenarios\" array")?;
+    let mut index = Vec::new();
+    for scenario in scenarios {
+        let name = scenario
+            .get("scenario")
+            .and_then(JsonValue::as_str)
+            .ok_or("scenario missing \"scenario\"")?;
+        let tenants = scenario
+            .get("tenants")
+            .and_then(JsonValue::as_array)
+            .ok_or("scenario missing \"tenants\" array")?;
+        let mut rows = Vec::new();
+        for tenant in tenants {
+            let tenant_name = tenant
+                .get("tenant")
+                .and_then(JsonValue::as_str)
+                .ok_or("tenant row missing \"tenant\"")?;
+            rows.push((tenant_name.to_string(), tenant.clone()));
+        }
+        index.push((name.to_string(), rows));
+    }
+    Ok(index)
+}
+
+/// Gates a `multi_tenant.json` load-generator artifact.
+///
+/// Almost everything gated here is **machine-independent by construction**
+/// — the load generator's schedules make the interesting counters
+/// structural properties of the admission bounds, and the expectations
+/// ship *inside the current artifact* (`expect_sheds`, `expect_degraded`,
+/// `savings_rank`), so they hold on any machine:
+///
+/// * **counter reconciliation** — every tenant's `served + sheds` must
+///   equal its offered `arrivals`: a frame is either admitted and served
+///   or shed, never lost;
+/// * **shed and degrade expectations** — a tenant whose admission bound
+///   covers its whole schedule must shed zero; a tenant whose bursts
+///   structurally overrun its bound must shed some; same for
+///   deadline-degraded serves;
+/// * **percentile ordering** — p50 ≤ p99 ≤ p999 within every tenant;
+/// * **savings ordering** — tenants carrying a `savings_rank` must save
+///   strictly more backlight at each higher rank (same content, looser
+///   budget);
+/// * **overload isolation** — the protected tenant's retention under a 2×
+///   flood must stay ≥ 0.9 with zero sheds, while the flood is clamped.
+///
+/// The only cross-run comparison is the **p999/p50 tail shape ratio** per
+/// tenant, gated against the committed baseline with a deliberately wide
+/// band (4× + slack): machine speed cancels out of the ratio, and the band
+/// only catches an order-of-magnitude tail collapse — e.g. the serve path
+/// acquiring a lock that serializes the queue — not scheduler noise.
+///
+/// A scenario or tenant present in the baseline but missing from the
+/// current artifact is a violation; new ones pass with a note.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed artifact.
+pub fn check_multi_tenant(
+    baseline: &str,
+    current: &str,
+    _config: CheckConfig,
+) -> Result<CheckReport, String> {
+    /// Relative band on the p999/p50 tail ratio (4× the baseline ratio).
+    const TAIL_TOLERANCE: f64 = 3.0;
+    /// Additive slack on the tail ratio (both operands jitter).
+    const TAIL_SLACK: f64 = 2.0;
+    /// Minimum retention of the protected tenant's isolated throughput.
+    const MIN_RETENTION: f64 = 0.9;
+
+    let baseline_doc = JsonValue::parse(baseline)?;
+    let current_doc = JsonValue::parse(current)?;
+    let baseline = multi_tenant_rows(&baseline_doc)?;
+    let current = multi_tenant_rows(&current_doc)?;
+    let mut report = CheckReport::default();
+
+    // Structural gates, evaluated on the current artifact alone.
+    for (scenario, tenants) in &current {
+        let mut ranked: Vec<(u64, &str, f64)> = Vec::new();
+        for (tenant, row) in tenants {
+            let label = format!("{scenario}/{tenant}");
+            if let (Some(arrivals), Some(served), Some(sheds)) = (
+                field(row, "arrivals"),
+                field(row, "served"),
+                field(row, "sheds"),
+            ) {
+                let line = format!(
+                    "{label} reconciliation: served {served} + sheds {sheds} vs \
+                     arrivals {arrivals}"
+                );
+                if served + sheds != arrivals {
+                    report.violations.push(line.clone());
+                }
+                report.comparisons.push(line);
+            }
+            for (counter, expectation_key) in [
+                ("sheds", "expect_sheds"),
+                ("deadline_degraded", "expect_degraded"),
+            ] {
+                let Some(expectation) = row.get(expectation_key).and_then(JsonValue::as_str) else {
+                    continue;
+                };
+                let Some(value) = field(row, counter) else {
+                    continue;
+                };
+                let ok = match expectation {
+                    "zero" => value == 0.0,
+                    "some" => value > 0.0,
+                    _ => true,
+                };
+                let line = format!("{label} {counter}: {value} (expected {expectation})");
+                if !ok {
+                    report.violations.push(line.clone());
+                }
+                report.comparisons.push(line);
+            }
+            if let (Some(p50), Some(p99), Some(p999)) = (
+                field(row, "p50_ms"),
+                field(row, "p99_ms"),
+                field(row, "p999_ms"),
+            ) {
+                let line = format!(
+                    "{label} percentile ordering: p50 {p50:.3} <= p99 {p99:.3} <= \
+                     p999 {p999:.3} ms"
+                );
+                if !(p50 <= p99 && p99 <= p999) {
+                    report.violations.push(line.clone());
+                }
+                report.comparisons.push(line);
+            }
+            if let (Some(rank), Some(saving)) =
+                (field(row, "savings_rank"), field(row, "mean_power_saving"))
+            {
+                ranked.push((rank as u64, tenant, saving));
+            }
+        }
+        // Each higher savings rank must dim strictly further: the ranked
+        // tenants serve the same content cycle at ever looser budgets.
+        ranked.sort_by_key(|&(rank, _, _)| rank);
+        for pair in ranked.windows(2) {
+            let (_, looser, more) = pair[1];
+            let (_, tighter, less) = pair[0];
+            let line = format!(
+                "{scenario} savings ordering: {looser} {more:.4} vs {tighter} {less:.4} \
+                 (must be strictly above)"
+            );
+            if more <= less {
+                report.violations.push(line.clone());
+            }
+            report.comparisons.push(line);
+        }
+    }
+
+    // Tail shape vs the committed baseline (the only cross-run gate).
+    for (scenario, tenants) in &baseline {
+        let Some((_, cur_tenants)) = current.iter().find(|(name, _)| name == scenario) else {
+            report.violations.push(format!(
+                "{scenario}: present in baseline but missing from current run"
+            ));
+            continue;
+        };
+        for (tenant, base_row) in tenants {
+            let Some((_, cur_row)) = cur_tenants.iter().find(|(name, _)| name == tenant) else {
+                report.violations.push(format!(
+                    "{scenario}/{tenant}: present in baseline but missing from current run"
+                ));
+                continue;
+            };
+            if let (Some(base_p50), Some(base_p999), Some(cur_p50), Some(cur_p999)) = (
+                field(base_row, "p50_ms").filter(|v| *v > 0.0),
+                field(base_row, "p999_ms"),
+                field(cur_row, "p50_ms").filter(|v| *v > 0.0),
+                field(cur_row, "p999_ms"),
+            ) {
+                report.compare_latency(
+                    &format!("{scenario}/{tenant} p999/p50 tail ratio"),
+                    base_p999 / base_p50,
+                    cur_p999 / cur_p50,
+                    TAIL_TOLERANCE,
+                    TAIL_SLACK,
+                );
+            }
+        }
+    }
+    for (scenario, tenants) in &current {
+        match baseline.iter().find(|(name, _)| name == scenario) {
+            None => report
+                .comparisons
+                .push(format!("{scenario}: new scenario (no baseline yet)")),
+            Some((_, base_tenants)) => {
+                for (tenant, _) in tenants {
+                    if !base_tenants.iter().any(|(name, _)| name == tenant) {
+                        report
+                            .comparisons
+                            .push(format!("{scenario}/{tenant}: new tenant (no baseline yet)"));
+                    }
+                }
+            }
+        }
+    }
+
+    // The overload-isolation section: fully structural, gated from the
+    // current run (the protected tenant's fair share covers its schedule,
+    // so retention below 1.0 — let alone 0.9 — means isolation broke).
+    match (baseline_doc.get("isolation"), current_doc.get("isolation")) {
+        (Some(_), None) => report
+            .violations
+            .push("isolation: present in baseline but missing from current run".to_string()),
+        (None, Some(_)) => report
+            .comparisons
+            .push("isolation: new section (no baseline yet)".to_string()),
+        _ => {}
+    }
+    if let Some(iso) = current_doc.get("isolation") {
+        if let Some(retention) = field(iso, "retention") {
+            let line = format!(
+                "isolation retention under 2x flood: {retention:.3} (limit {MIN_RETENTION})"
+            );
+            if retention < MIN_RETENTION {
+                report.violations.push(line.clone());
+            }
+            report.comparisons.push(line);
+        }
+        if let Some(sheds) = field(iso, "protected_sheds") {
+            let line = format!("isolation protected sheds: {sheds} (expected zero)");
+            if sheds != 0.0 {
+                report.violations.push(line.clone());
+            }
+            report.comparisons.push(line);
+        }
+        if let Some(sheds) = field(iso, "flood_sheds") {
+            let line = format!("isolation flood sheds: {sheds} (expected some — the clamp)");
+            if sheds == 0.0 {
+                report.violations.push(line.clone());
+            }
+            report.comparisons.push(line);
+        }
+    }
+    Ok(report)
+}
+
 /// Renders a report section for the CI log.
 pub fn render_report(name: &str, report: &CheckReport) -> String {
     let mut out = String::new();
@@ -1040,6 +1287,166 @@ mod tests {
         let report = check_fit_scaling(&base, only_one, CheckConfig::default()).unwrap();
         assert!(!report.passed());
         assert!(report.violations[0].contains("missing"));
+    }
+
+    /// Multi-tenant artifact with a bursty scenario and an isolation
+    /// section; the interesting knobs are parameterized.
+    #[allow(clippy::too_many_arguments)]
+    fn multi_tenant_doc(
+        batch_served: u64,
+        batch_sheds: u64,
+        interactive_saving: f64,
+        batch_saving: f64,
+        batch_p999: f64,
+        retention: f64,
+        protected_sheds: u64,
+        flood_sheds: u64,
+    ) -> String {
+        format!(
+            r#"{{"quick": true,
+            "isolation": {{"isolated_served": 128, "isolated_fps": 2400.0,
+                "contended_served": 128, "contended_fps": 2200.0,
+                "contended_p999_ms": 5.1, "protected_sheds": {protected_sheds},
+                "flood_sheds": {flood_sheds}, "retention": {retention}}},
+            "scenarios": [
+                {{"scenario": "bursty", "wall_ms": 60.0, "tenants": [
+                    {{"tenant": "interactive", "arrivals": 96, "served": 96,
+                      "sheds": 0, "deadline_degraded": 0, "p50_ms": 0.4,
+                      "p99_ms": 2.1, "p999_ms": 4.8,
+                      "mean_power_saving": {interactive_saving},
+                      "throughput_fps": 1800.0, "cache_bytes": 2048,
+                      "expect_sheds": "zero", "expect_degraded": "zero",
+                      "savings_rank": 0}},
+                    {{"tenant": "batch", "arrivals": 128, "served": {batch_served},
+                      "sheds": {batch_sheds}, "deadline_degraded": 0,
+                      "p50_ms": 0.6, "p99_ms": 3.0, "p999_ms": {batch_p999},
+                      "mean_power_saving": {batch_saving},
+                      "throughput_fps": 1500.0, "cache_bytes": 1024,
+                      "expect_sheds": "some", "expect_degraded": "zero",
+                      "savings_rank": 1}}
+                ]}}
+            ]}}"#
+        )
+    }
+
+    fn healthy_multi_tenant_doc() -> String {
+        multi_tenant_doc(100, 28, 0.30, 0.45, 6.0, 1.0, 0, 77)
+    }
+
+    #[test]
+    fn multi_tenant_identical_artifacts_pass() {
+        let doc = healthy_multi_tenant_doc();
+        let report = check_multi_tenant(&doc, &doc, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.comparisons.iter().any(|c| c.contains("tail ratio")));
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.contains("savings ordering")));
+    }
+
+    #[test]
+    fn multi_tenant_structural_gates_fire_on_the_current_artifact() {
+        let base = healthy_multi_tenant_doc();
+
+        // Lost frames: served + sheds no longer covers the arrivals.
+        let leaky = multi_tenant_doc(90, 28, 0.30, 0.45, 6.0, 1.0, 0, 77);
+        let report = check_multi_tenant(&base, &leaky, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("reconciliation"));
+
+        // A tenant expected to shed that did not (admission broke).
+        let unshed = multi_tenant_doc(128, 0, 0.30, 0.45, 6.0, 1.0, 0, 77);
+        let report = check_multi_tenant(&base, &unshed, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("expected some")));
+
+        // The looser-budget tenant no longer saving strictly more.
+        let inverted = multi_tenant_doc(100, 28, 0.45, 0.30, 6.0, 1.0, 0, 77);
+        let report = check_multi_tenant(&base, &inverted, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("savings ordering")));
+
+        // Percentiles out of order (a broken percentile computation).
+        let scrambled = multi_tenant_doc(100, 28, 0.30, 0.45, 1.0, 1.0, 0, 77);
+        let report = check_multi_tenant(&base, &scrambled, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("percentile ordering")));
+    }
+
+    #[test]
+    fn multi_tenant_tail_ratio_has_a_wide_machine_band() {
+        let base = healthy_multi_tenant_doc();
+        // The batch tail tripling (p999 6 → 18 ms at steady p50) stays
+        // inside the deliberately wide 4x+slack band: not gated noise.
+        let noisy = multi_tenant_doc(100, 28, 0.30, 0.45, 18.0, 1.0, 0, 77);
+        let report = check_multi_tenant(&base, &noisy, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+
+        // An order-of-magnitude collapse (6 → 80 ms) fails.
+        let collapsed = multi_tenant_doc(100, 28, 0.30, 0.45, 80.0, 1.0, 0, 77);
+        let report = check_multi_tenant(&base, &collapsed, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations.iter().any(|v| v.contains("tail ratio")));
+    }
+
+    #[test]
+    fn multi_tenant_isolation_gates_retention_and_the_clamp() {
+        let base = healthy_multi_tenant_doc();
+
+        let starved = multi_tenant_doc(100, 28, 0.30, 0.45, 6.0, 0.6, 0, 77);
+        let report = check_multi_tenant(&base, &starved, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations.iter().any(|v| v.contains("retention")));
+
+        let leaking = multi_tenant_doc(100, 28, 0.30, 0.45, 6.0, 1.0, 5, 77);
+        let report = check_multi_tenant(&base, &leaking, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("protected sheds")));
+
+        let unclamped = multi_tenant_doc(100, 28, 0.30, 0.45, 6.0, 1.0, 0, 0);
+        let report = check_multi_tenant(&base, &unclamped, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations.iter().any(|v| v.contains("flood sheds")));
+    }
+
+    #[test]
+    fn multi_tenant_missing_rows_fail_and_new_rows_pass() {
+        let base = healthy_multi_tenant_doc();
+        let empty = r#"{"scenarios": []}"#;
+        let report = check_multi_tenant(&base, empty, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("bursty: present in baseline")));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("isolation: present in baseline")));
+
+        let report = check_multi_tenant(empty, &base, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.contains("new scenario")));
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.contains("isolation: new section")));
     }
 
     #[test]

@@ -180,19 +180,20 @@ pub(crate) fn content_hash128(bytes: &[u8], seed: u64) -> u128 {
 }
 
 /// One stored entry: the value plus its recency tick, insertion generation
-/// (see [`ShardedLru::reject`]), byte weight and insertion time (for the
-/// optional TTL).
+/// (see [`ShardedLru::reject`]), byte weight, owning tenant and insertion
+/// time (for the optional TTL).
 #[derive(Debug)]
 struct Entry<V> {
     value: V,
     tick: u64,
     generation: u64,
     bytes: usize,
+    tenant: u16,
     inserted: Instant,
 }
 
 /// One LRU shard: the stored entries plus a recency index, bounded both in
-/// entries and in bytes.
+/// entries and in bytes (globally and per tenant).
 #[derive(Debug)]
 struct Shard<K, V> {
     map: HashMap<K, Entry<V>>,
@@ -202,6 +203,12 @@ struct Shard<K, V> {
     capacity: usize,
     byte_capacity: usize,
     bytes: usize,
+    /// Resident bytes charged per tenant (tenants with nothing resident
+    /// are absent).
+    tenant_bytes: HashMap<u16, usize>,
+    /// This shard's slice of each tenant's byte partition; tenants without
+    /// an entry are unbounded (subject only to the global caps).
+    tenant_limits: HashMap<u16, usize>,
     ttl: Option<Duration>,
 }
 
@@ -215,8 +222,15 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
             capacity,
             byte_capacity,
             bytes: 0,
+            tenant_bytes: HashMap::new(),
+            tenant_limits: HashMap::new(),
             ttl,
         }
+    }
+
+    /// Resident bytes currently charged to `tenant` in this shard.
+    fn tenant_charge(&self, tenant: u16) -> usize {
+        self.tenant_bytes.get(&tenant).copied().unwrap_or(0)
     }
 
     /// Looks a key up and refreshes its recency, returning the value with
@@ -243,15 +257,23 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         Some((value, generation))
     }
 
-    /// Inserts an entry weighing `bytes`, evicting least-recently-used
-    /// entries until both the entry cap and the byte cap hold. Returns
+    /// Inserts an entry weighing `bytes` charged to `tenant`, evicting
+    /// least-recently-used entries until the entry cap, the byte cap and
+    /// the tenant's partition (when one is set) all hold. Eviction under a
+    /// tenant's partition removes only *that tenant's* LRU entries, so one
+    /// tenant's pressure never pushes another tenant's fits out. Returns
     /// whether the entry was admitted: an entry that exceeds the shard's
-    /// whole byte budget is refused rather than thrashing the shard.
-    fn insert(&mut self, key: K, value: V, bytes: usize) -> bool {
+    /// whole byte budget (or the tenant's whole slice of it) is refused
+    /// rather than thrashing the shard.
+    fn insert(&mut self, key: K, value: V, bytes: usize, tenant: u16) -> bool {
         // A stale entry under the same key never survives the insert, even
         // when its replacement is refused as oversized.
         self.remove(&key);
         if bytes > self.byte_capacity {
+            return false;
+        }
+        let tenant_limit = self.tenant_limits.get(&tenant).copied();
+        if tenant_limit.is_some_and(|limit| bytes > limit) {
             return false;
         }
         // Under pressure, reclaim TTL-expired residents before evicting
@@ -264,6 +286,19 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         {
             self.reclaim_expired();
         }
+        // Tenant partition: walk the recency index oldest-first, skipping
+        // other tenants' entries, until this tenant's charge fits.
+        if let Some(limit) = tenant_limit {
+            while self.tenant_charge(tenant).saturating_add(bytes) > limit {
+                let victim = self
+                    .recency
+                    .values()
+                    .find(|key| self.map.get(*key).is_some_and(|e| e.tenant == tenant))
+                    .cloned();
+                let Some(victim) = victim else { break };
+                self.remove(&victim);
+            }
+        }
         while !self.map.is_empty()
             && (self.map.len() >= self.capacity
                 || self.bytes.saturating_add(bytes) > self.byte_capacity)
@@ -273,6 +308,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
             };
             if let Some(evicted) = self.map.remove(&victim) {
                 self.bytes -= evicted.bytes;
+                self.discharge_tenant(evicted.tenant, evicted.bytes);
             }
         }
         self.tick += 1;
@@ -286,11 +322,23 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
                 tick,
                 generation: self.generations,
                 bytes,
+                tenant,
                 inserted: Instant::now(),
             },
         );
         self.bytes += bytes;
+        *self.tenant_bytes.entry(tenant).or_insert(0) += bytes;
         true
+    }
+
+    /// Releases `bytes` from `tenant`'s resident charge.
+    fn discharge_tenant(&mut self, tenant: u16, bytes: usize) {
+        if let Some(charge) = self.tenant_bytes.get_mut(&tenant) {
+            *charge = charge.saturating_sub(bytes);
+            if *charge == 0 {
+                self.tenant_bytes.remove(&tenant);
+            }
+        }
     }
 
     /// Removes every resident entry whose TTL has lapsed (a full-shard
@@ -313,6 +361,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         if let Some(entry) = self.map.remove(key) {
             self.recency.remove(&entry.tick);
             self.bytes -= entry.bytes;
+            self.discharge_tenant(entry.tenant, entry.bytes);
             true
         } else {
             false
@@ -475,11 +524,55 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// recently used entries of the target shard until both the entry cap
     /// and the byte cap hold. Returns whether the entry was admitted (an
     /// entry larger than its shard's whole byte budget is refused).
+    ///
+    /// The entry is charged to tenant 0, which is unbounded unless a limit
+    /// was set with [`ShardedLru::set_tenant_limit`] — single-tenant use
+    /// behaves exactly as before tenant accounting existed.
     pub fn insert(&self, key: K, value: V, bytes: usize) -> bool {
+        self.insert_for(0, key, value, bytes)
+    }
+
+    /// Inserts (or refreshes) an entry weighing `bytes` *charged to
+    /// `tenant`*: like [`ShardedLru::insert`], but the entry additionally
+    /// counts against the tenant's byte partition (see
+    /// [`ShardedLru::set_tenant_limit`]). When the tenant is over its
+    /// partition, only that tenant's least-recently-used entries are
+    /// evicted to make room — other tenants' entries are untouched.
+    pub fn insert_for(&self, tenant: u16, key: K, value: V, bytes: usize) -> bool {
         self.shard_for(&key)
             .lock()
             .expect("cache lock")
-            .insert(key, value, bytes)
+            .insert(key, value, bytes, tenant)
+    }
+
+    /// Sets (or replaces) `tenant`'s byte partition, split exactly across
+    /// shards like the global byte budget (shards whose slice does not
+    /// divide evenly get one byte more or less). The cap applies from the
+    /// next [`ShardedLru::insert_for`]; already-resident entries are not
+    /// evicted retroactively. Tenants without a partition are unbounded.
+    ///
+    /// A partition much smaller than the shard count leaves some shards
+    /// with a zero slice, whose inserts for this tenant are then refused —
+    /// give every tenant at least a few KiB per shard.
+    pub fn set_tenant_limit(&self, tenant: u16, byte_limit: usize) {
+        let shards = self.shards.len();
+        let base = byte_limit / shards;
+        let remainder = byte_limit % shards;
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard
+                .lock()
+                .expect("cache lock")
+                .tenant_limits
+                .insert(tenant, base + usize::from(i < remainder));
+        }
+    }
+
+    /// Resident bytes currently charged to `tenant` across all shards.
+    pub fn tenant_bytes(&self, tenant: u16) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").tenant_charge(tenant))
+            .sum()
     }
 
     /// Number of entries currently cached (sums all shards).
@@ -609,8 +702,8 @@ impl<K: Hash + Eq + Clone> Drop for FlightGuard<'_, K> {
 }
 
 /// Exact-mode key: frame shape, 128-bit content hash, budget band, the
-/// content class the frame routed to and the class's characteristic
-/// generation the fit was made under.
+/// owning tenant, the content class the frame routed to and the class's
+/// characteristic generation the fit was made under.
 ///
 /// The hash is computed in one allocation-free pass over the pixel buffer;
 /// the stored entry keeps the frame bytes so every hit is verified against
@@ -618,13 +711,17 @@ impl<K: Hash + Eq + Clone> Drop for FlightGuard<'_, K> {
 /// `(class, generation)` pair (both 0 in closed-loop mode) makes every
 /// open-loop re-characterization an implicit invalidation *scoped to its
 /// class*: a rebuilt class's fits are never probed again and age out of the
-/// LRU, while every other class's fits keep serving.
+/// LRU, while every other class's fits keep serving. The tenant id (0
+/// outside multi-tenant serving) keeps tenants' fits disjoint even when
+/// their generation counters collide, so no cross-tenant replay is
+/// possible on a shared cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct ExactKey {
     width: u32,
     height: u32,
     content_hash: u128,
     budget_band: u32,
+    tenant: u16,
     class: u16,
     generation: u64,
 }
@@ -634,6 +731,7 @@ impl ExactKey {
         frame: &GrayImage,
         seed: u64,
         budget_band: u32,
+        tenant: u16,
         class: u16,
         generation: u64,
     ) -> Self {
@@ -642,6 +740,7 @@ impl ExactKey {
             height: frame.height(),
             content_hash: content_hash128(frame.as_raw(), seed),
             budget_band,
+            tenant,
             class,
             generation,
         }
@@ -693,14 +792,15 @@ pub(crate) fn transform_bytes(transform: &FrameTransform) -> usize {
 }
 
 /// Approximate-mode key: the quantized histogram signature plus frame
-/// shape, budget band, content class and the class's characteristic
-/// generation (see [`ExactKey`]).
+/// shape, budget band, owning tenant, content class and the class's
+/// characteristic generation (see [`ExactKey`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct SignatureKey {
     width: u32,
     height: u32,
     signature: HistogramSignature,
     budget_band: u32,
+    tenant: u16,
     class: u16,
     generation: u64,
 }
@@ -711,6 +811,7 @@ impl SignatureKey {
         histogram: &Histogram,
         resolution: u8,
         budget_band: u32,
+        tenant: u16,
         class: u16,
         generation: u64,
     ) -> Self {
@@ -719,6 +820,7 @@ impl SignatureKey {
             height: frame.height(),
             signature: HistogramSignature::with_resolution(histogram, resolution),
             budget_band,
+            tenant,
             class,
             generation,
         }
@@ -804,6 +906,23 @@ impl TransformCache {
         match self {
             TransformCache::Exact(cache) => cache.store.bytes(),
             TransformCache::Approximate(cache) => cache.store.bytes(),
+        }
+    }
+
+    /// Sets (or replaces) one tenant's byte partition (see
+    /// [`ShardedLru::set_tenant_limit`]).
+    pub(crate) fn set_tenant_limit(&self, tenant: u16, byte_limit: usize) {
+        match self {
+            TransformCache::Exact(cache) => cache.store.set_tenant_limit(tenant, byte_limit),
+            TransformCache::Approximate(cache) => cache.store.set_tenant_limit(tenant, byte_limit),
+        }
+    }
+
+    /// Resident bytes currently charged to `tenant` across all shards.
+    pub(crate) fn tenant_bytes(&self, tenant: u16) -> usize {
+        match self {
+            TransformCache::Exact(cache) => cache.store.tenant_bytes(tenant),
+            TransformCache::Approximate(cache) => cache.store.tenant_bytes(tenant),
         }
     }
 
@@ -1122,22 +1241,33 @@ mod tests {
         let a = GrayImage::filled(8, 8, 10);
         let b = GrayImage::filled(8, 8, 10);
         let c = GrayImage::filled(8, 8, 11);
-        assert_eq!(ExactKey::of(&a, 9, 1, 0, 0), ExactKey::of(&b, 9, 1, 0, 0));
-        assert_ne!(ExactKey::of(&a, 9, 1, 0, 0), ExactKey::of(&c, 9, 1, 0, 0));
+        assert_eq!(
+            ExactKey::of(&a, 9, 1, 0, 0, 0),
+            ExactKey::of(&b, 9, 1, 0, 0, 0)
+        );
         assert_ne!(
-            ExactKey::of(&a, 9, 1, 0, 0),
-            ExactKey::of(&a, 9, 2, 0, 0),
+            ExactKey::of(&a, 9, 1, 0, 0, 0),
+            ExactKey::of(&c, 9, 1, 0, 0, 0)
+        );
+        assert_ne!(
+            ExactKey::of(&a, 9, 1, 0, 0, 0),
+            ExactKey::of(&a, 9, 2, 0, 0, 0),
             "budget band is part of the key"
         );
         assert_ne!(
-            ExactKey::of(&a, 9, 1, 0, 0),
-            ExactKey::of(&a, 9, 1, 0, 1),
+            ExactKey::of(&a, 9, 1, 0, 0, 0),
+            ExactKey::of(&a, 9, 1, 0, 0, 1),
             "characteristic generation is part of the key"
         );
         assert_ne!(
-            ExactKey::of(&a, 9, 1, 0, 0),
-            ExactKey::of(&a, 9, 1, 1, 0),
+            ExactKey::of(&a, 9, 1, 0, 0, 0),
+            ExactKey::of(&a, 9, 1, 0, 1, 0),
             "content class is part of the key"
+        );
+        assert_ne!(
+            ExactKey::of(&a, 9, 1, 0, 0, 0),
+            ExactKey::of(&a, 9, 1, 1, 0, 0),
+            "tenant is part of the key"
         );
     }
 
@@ -1167,19 +1297,24 @@ mod tests {
         let a = GrayImage::filled(16, 16, 100);
         let wide = GrayImage::filled(32, 8, 100);
         assert_ne!(
-            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 0),
-            SignatureKey::of(&wide, &Histogram::of(&wide), 16, 1, 0, 0),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 0, 0),
+            SignatureKey::of(&wide, &Histogram::of(&wide), 16, 1, 0, 0, 0),
             "frame shape is part of the key"
         );
         assert_ne!(
-            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 0),
-            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 2),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 0, 0),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 0, 2),
             "characteristic generation is part of the key"
         );
         assert_ne!(
-            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 0),
-            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 3, 0),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 0, 0),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 3, 0),
             "content class is part of the key"
+        );
+        assert_ne!(
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 0, 0, 0),
+            SignatureKey::of(&a, &Histogram::of(&a), 16, 1, 7, 0, 0),
+            "tenant is part of the key"
         );
     }
 
@@ -1218,5 +1353,67 @@ mod tests {
         lru.insert(2, 2, 1);
         lru.insert(3, 3, 1);
         assert!(lru.len() <= 2);
+    }
+
+    #[test]
+    fn tenant_partition_evicts_only_the_over_budget_tenant() {
+        // One shard so eviction is fully observable. Tenant 1 gets 80
+        // bytes; tenant 2 is unbounded within the shard's 1000.
+        let lru: ShardedLru<u32, u32> = ShardedLru::bounded(16, 1, 1000, None);
+        lru.set_tenant_limit(1, 80);
+        assert!(lru.insert_for(1, 10, 10, 40));
+        assert!(lru.insert_for(2, 20, 20, 40));
+        assert!(lru.insert_for(1, 11, 11, 40));
+        assert_eq!(lru.tenant_bytes(1), 80);
+        // A third tenant-1 entry must evict tenant 1's own LRU entry (key
+        // 10), never tenant 2's older entry.
+        assert!(lru.insert_for(1, 12, 12, 40));
+        assert_eq!(lru.tenant_bytes(1), 80, "partition holds");
+        assert_eq!(lru.get(&10), None, "tenant 1's LRU entry was evicted");
+        assert_eq!(value(lru.get(&20)), Some(20), "tenant 2 is untouched");
+        assert_eq!(value(lru.get(&11)), Some(11));
+        assert_eq!(value(lru.get(&12)), Some(12));
+        assert_eq!(lru.tenant_bytes(2), 40);
+    }
+
+    #[test]
+    fn tenant_partition_refuses_entries_larger_than_the_slice() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::bounded(16, 1, 1000, None);
+        lru.set_tenant_limit(1, 50);
+        assert!(
+            !lru.insert_for(1, 1, 1, 60),
+            "over the tenant's whole slice"
+        );
+        assert!(lru.insert_for(1, 1, 1, 50), "exactly the slice fits");
+        assert_eq!(lru.tenant_bytes(1), 50);
+    }
+
+    #[test]
+    fn unlimited_tenants_share_the_global_budget_as_before() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::bounded(8, 1, 100, None);
+        // No tenant limits set: tenant-charged inserts still respect the
+        // global byte cap (and plain inserts are tenant 0).
+        assert!(lru.insert(1, 1, 40));
+        assert!(lru.insert_for(3, 2, 2, 40));
+        assert!(lru.insert_for(3, 3, 3, 40));
+        assert!(lru.bytes() <= 100);
+        assert_eq!(lru.get(&1), None, "global pressure evicts the LRU entry");
+        assert_eq!(lru.tenant_bytes(0), 0, "tenant 0's entry was evicted");
+        assert_eq!(lru.tenant_bytes(3), 80);
+    }
+
+    #[test]
+    fn global_eviction_and_removal_discharge_tenant_bytes() {
+        let lru: ShardedLru<u32, u32> = ShardedLru::bounded(8, 1, 1000, None);
+        lru.set_tenant_limit(5, 100);
+        lru.insert_for(5, 1, 1, 60);
+        let (_, generation) = lru.get(&1).unwrap();
+        lru.reject(&1, generation);
+        assert_eq!(lru.tenant_bytes(5), 0, "a rejected entry is discharged");
+        // Replacement under the same key recharges the new weight once.
+        lru.insert_for(5, 2, 2, 30);
+        lru.insert_for(5, 2, 2, 50);
+        assert_eq!(lru.tenant_bytes(5), 50);
+        assert_eq!(lru.bytes(), 50);
     }
 }

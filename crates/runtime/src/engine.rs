@@ -19,7 +19,7 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::thread::{JoinHandle, Scope, ScopedJoinHandle};
 use std::time::{Duration, Instant};
 
 use hebs_core::{
@@ -180,14 +180,53 @@ impl BatchReport {
     }
 }
 
+/// Per-request serving options for [`Engine::process_frame_with_options`]
+/// (and, through a [`TenantRegistry`](crate::TenantRegistry), for
+/// multi-tenant serves).
+///
+/// The default (`ServeOptions::default()`) reproduces
+/// [`Engine::process_frame`]: the engine-wide budget and no deadline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Per-request distortion budget; `None` uses the engine-wide
+    /// [`EngineConfig::max_distortion`].
+    pub max_distortion: Option<f64>,
+    /// Serve-by deadline. A frame whose open-loop fit drifts over budget
+    /// *past this instant* skips the closed-loop drift recheck and serves
+    /// the installed per-class curve's fit directly — trading the per-frame
+    /// distortion contract for bounded latency — and is counted in
+    /// [`EngineStats::deadline_degraded`](crate::EngineStats). Before the
+    /// deadline (or with no installed curve to degrade to) serving is
+    /// unchanged.
+    pub deadline: Option<Instant>,
+}
+
+impl ServeOptions {
+    /// Sets a per-request distortion budget.
+    pub fn with_budget(mut self, max_distortion: f64) -> Self {
+        self.max_distortion = Some(max_distortion);
+        self
+    }
+
+    /// Sets the serve-by deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
 /// Shared state behind an [`Engine`] handle.
 struct EngineInner {
     policy: HebsPolicy,
-    cache: Option<TransformCache>,
+    cache: Option<Arc<TransformCache>>,
     max_distortion: f64,
     workers: usize,
     queue_depth: usize,
     serving: Option<OpenLoopState>,
+    /// The tenant id stamped into this engine's cache keys and charged for
+    /// its cache bytes — 0 for a standalone engine, the registry-assigned
+    /// id for a tenant engine sharing its cache.
+    tenant: u16,
     totals: StatsCollector,
 }
 
@@ -202,6 +241,9 @@ struct Served {
     rejections: u64,
     fit_evaluations: u64,
     open_loop_fallback: bool,
+    /// The serve ran past its deadline and served the installed curve's
+    /// over-budget fit instead of the closed-loop drift recheck.
+    deadline_degraded: bool,
     /// The content class the frame routed to (0 outside multi-class
     /// open-loop serving) — the per-class sketch and triggers it feeds.
     class: u16,
@@ -214,11 +256,13 @@ struct Served {
 }
 
 /// One completed fit: the outcome, its reusable transform, and whether it
-/// came from the open-loop drift fallback.
+/// came from the open-loop drift fallback (or skipped that fallback because
+/// the serve was past its deadline).
 struct Fitted {
     outcome: ScalingOutcome,
     transform: Arc<FrameTransform>,
     open_loop_fallback: bool,
+    deadline_degraded: bool,
 }
 
 impl EngineInner {
@@ -245,12 +289,19 @@ impl EngineInner {
     /// an install landing mid-serve can never pair an old-generation key
     /// with a new-curve fit (which would strand the entry under a key no
     /// future lookup probes).
+    ///
+    /// `deadline` is the serve's deadline, consulted only when the
+    /// open-loop fit drifts over budget: past the deadline the closed-loop
+    /// recheck is skipped and the curve's fit served as-is, marked
+    /// `deadline_degraded` (the check costs one clock read, and only on
+    /// drift).
     fn fit(
         &self,
         frame: &GrayImage,
         histogram: &Histogram,
         budget: f64,
         curve: Option<&Arc<CurveState>>,
+        deadline: Option<Instant>,
         scratch: &mut FitScratch,
     ) -> std::result::Result<Fitted, HebsError> {
         if let Some(curve) = curve {
@@ -262,6 +313,19 @@ impl EngineInner {
                     outcome,
                     transform,
                     open_loop_fallback: false,
+                    deadline_degraded: false,
+                });
+            }
+            if deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+                // Past the deadline: a closed-loop recheck would make the
+                // frame later still. Serve the curve's fit as-is and let
+                // the caller count the degradation (and feed the drift
+                // trigger so the curve is rebuilt).
+                return Ok(Fitted {
+                    outcome,
+                    transform,
+                    open_loop_fallback: false,
+                    deadline_degraded: true,
                 });
             }
             // Drift: the curve under-provisioned the range for this frame.
@@ -276,6 +340,7 @@ impl EngineInner {
                 outcome,
                 transform,
                 open_loop_fallback: true,
+                deadline_degraded: false,
             });
         }
         let (outcome, transform) = self
@@ -285,13 +350,20 @@ impl EngineInner {
             outcome,
             transform,
             open_loop_fallback: false,
+            deadline_degraded: false,
         })
     }
 
     /// Serves one frame through the cache (when enabled) or the full policy.
     /// `scratch` is the worker's reusable frame buffer: steady-state fits
     /// write intermediate candidate images into it instead of allocating.
-    fn serve(&self, frame: &GrayImage, budget: f64, scratch: &mut FitScratch) -> Served {
+    fn serve(
+        &self,
+        frame: &GrayImage,
+        budget: f64,
+        deadline: Option<Instant>,
+        scratch: &mut FitScratch,
+    ) -> Served {
         // One coherent snapshot of the open-loop bank per serve: the cache
         // key's (class, generation) pair and the fitting curve always
         // agree, even when an install lands while this frame is in flight.
@@ -312,16 +384,17 @@ impl EngineInner {
                 (Some(state), class as u16, state.generation, Some(histogram))
             }
         };
-        match &self.cache {
+        match self.cache.as_deref() {
             None => {
                 let histogram = histogram.unwrap_or_else(|| Histogram::of(frame));
-                match self.fit(frame, &histogram, budget, curve, scratch) {
+                match self.fit(frame, &histogram, budget, curve, deadline, scratch) {
                     Ok(fitted) => Served {
                         fit_evaluations: u64::from(fitted.outcome.fit_evaluations),
                         outcome: Ok(Arc::new(fitted.outcome)),
                         kind: ServeKind::Uncached,
                         rejections: 0,
                         open_loop_fallback: fitted.open_loop_fallback,
+                        deadline_degraded: fitted.deadline_degraded,
                         class,
                         histogram: Some(histogram),
                     },
@@ -331,16 +404,17 @@ impl EngineInner {
                         rejections: 0,
                         fit_evaluations: 0,
                         open_loop_fallback: false,
+                        deadline_degraded: false,
                         class,
                         histogram: Some(histogram),
                     },
                 }
             }
             Some(TransformCache::Exact(cache)) => self.serve_exact(
-                cache, frame, budget, curve, class, generation, histogram, scratch,
+                cache, frame, budget, curve, deadline, class, generation, histogram, scratch,
             ),
             Some(TransformCache::Approximate(cache)) => self.serve_approximate(
-                cache, frame, budget, curve, class, generation, histogram, scratch,
+                cache, frame, budget, curve, deadline, class, generation, histogram, scratch,
             ),
         }
     }
@@ -360,6 +434,7 @@ impl EngineInner {
         frame: &GrayImage,
         budget: f64,
         curve: Option<&Arc<CurveState>>,
+        deadline: Option<Instant>,
         class: u16,
         generation: u64,
         histogram: Option<Histogram>,
@@ -369,6 +444,7 @@ impl EngineInner {
             frame,
             cache.seed,
             budget_band(budget, cache.band_width),
+            self.tenant,
             class,
             generation,
         );
@@ -383,6 +459,7 @@ impl EngineInner {
                     rejections,
                     fit_evaluations: 0,
                     open_loop_fallback: false,
+                    deadline_degraded: false,
                     class,
                     histogram,
                 };
@@ -411,6 +488,7 @@ impl EngineInner {
                     rejections,
                     fit_evaluations: 0,
                     open_loop_fallback: false,
+                    deadline_degraded: false,
                     class,
                     histogram,
                 };
@@ -419,7 +497,7 @@ impl EngineInner {
             rejections += 1;
         }
         let histogram = histogram.unwrap_or_else(|| Histogram::of(frame));
-        let fitted = match self.fit(frame, &histogram, budget, curve, scratch) {
+        let fitted = match self.fit(frame, &histogram, budget, curve, deadline, scratch) {
             Ok(fitted) => fitted,
             Err(err) => {
                 return Served {
@@ -428,6 +506,7 @@ impl EngineInner {
                     rejections,
                     fit_evaluations: 0,
                     open_loop_fallback: false,
+                    deadline_degraded: false,
                     class,
                     histogram: Some(histogram),
                 }
@@ -435,15 +514,21 @@ impl EngineInner {
         };
         let fit_evaluations = u64::from(fitted.outcome.fit_evaluations);
         let outcome = Arc::new(fitted.outcome);
-        let entry = ExactEntry::new(frame, Arc::clone(&outcome));
-        let weight = entry.weight();
-        cache.store.insert(key, entry, weight);
+        // A deadline-degraded fit is over budget for its band: caching it
+        // would poison the key for every on-time request, so it serves this
+        // frame only.
+        if !fitted.deadline_degraded {
+            let entry = ExactEntry::new(frame, Arc::clone(&outcome));
+            let weight = entry.weight();
+            cache.store.insert_for(self.tenant, key, entry, weight);
+        }
         Served {
             outcome: Ok(outcome),
             kind: ServeKind::Miss,
             rejections,
             fit_evaluations,
             open_loop_fallback: fitted.open_loop_fallback,
+            deadline_degraded: fitted.deadline_degraded,
             class,
             histogram: Some(histogram),
         }
@@ -464,6 +549,7 @@ impl EngineInner {
         frame: &GrayImage,
         budget: f64,
         curve: Option<&Arc<CurveState>>,
+        deadline: Option<Instant>,
         class: u16,
         generation: u64,
         histogram: Option<Histogram>,
@@ -475,6 +561,7 @@ impl EngineInner {
             &histogram,
             cache.resolution,
             budget_band(budget, cache.band_width),
+            self.tenant,
             class,
             generation,
         );
@@ -526,6 +613,7 @@ impl EngineInner {
                         rejections,
                         fit_evaluations: 0,
                         open_loop_fallback: false,
+                        deadline_degraded: false,
                         class,
                         histogram: Some(histogram),
                     }
@@ -538,6 +626,7 @@ impl EngineInner {
                         rejections,
                         fit_evaluations: 0,
                         open_loop_fallback: false,
+                        deadline_degraded: false,
                         class,
                         histogram: Some(histogram),
                     }
@@ -557,6 +646,7 @@ impl EngineInner {
                         rejections,
                         fit_evaluations: 0,
                         open_loop_fallback: false,
+                        deadline_degraded: false,
                         class,
                         histogram: Some(histogram),
                     }
@@ -569,13 +659,14 @@ impl EngineInner {
                         rejections,
                         fit_evaluations: 0,
                         open_loop_fallback: false,
+                        deadline_degraded: false,
                         class,
                         histogram: Some(histogram),
                     }
                 }
             }
         }
-        let fitted = match self.fit(frame, &histogram, budget, curve, scratch) {
+        let fitted = match self.fit(frame, &histogram, budget, curve, deadline, scratch) {
             Ok(fitted) => fitted,
             Err(err) => {
                 return Served {
@@ -584,20 +675,28 @@ impl EngineInner {
                     rejections,
                     fit_evaluations: 0,
                     open_loop_fallback: false,
+                    deadline_degraded: false,
                     class,
                     histogram: Some(histogram),
                 }
             }
         };
         let fit_evaluations = u64::from(fitted.outcome.fit_evaluations);
-        let weight = transform_bytes(&fitted.transform);
-        cache.store.insert(key, fitted.transform, weight);
+        // As in the exact mode, a deadline-degraded transform is over
+        // budget for its band and must not be cached.
+        if !fitted.deadline_degraded {
+            let weight = transform_bytes(&fitted.transform);
+            cache
+                .store
+                .insert_for(self.tenant, key, fitted.transform, weight);
+        }
         Served {
             outcome: Ok(Arc::new(fitted.outcome)),
             kind: ServeKind::Miss,
             rejections,
             fit_evaluations,
             open_loop_fallback: fitted.open_loop_fallback,
+            deadline_degraded: fitted.deadline_degraded,
             class,
             histogram: Some(histogram),
         }
@@ -612,10 +711,11 @@ impl EngineInner {
         index: usize,
         frame: &GrayImage,
         budget: f64,
+        deadline: Option<Instant>,
         scratch: &mut FitScratch,
     ) -> Result<FrameResult> {
         let start = Instant::now();
-        let served = self.serve(frame, budget, scratch);
+        let served = self.serve(frame, budget, deadline, scratch);
         let latency = start.elapsed();
         self.totals.record_frame(
             latency,
@@ -623,13 +723,17 @@ impl EngineInner {
             served.rejections,
             served.fit_evaluations,
             served.open_loop_fallback,
+            served.deadline_degraded,
         );
         if let Some(state) = &self.serving {
+            // A deadline-degraded serve also drifted (its open-loop fit was
+            // over budget), so it feeds the drift trigger like a fallback:
+            // sustained degradation rebuilds the curve.
             state.record_serve(
                 served.class as usize,
                 frame,
                 served.histogram.as_ref(),
-                served.open_loop_fallback,
+                served.open_loop_fallback || served.deadline_degraded,
             );
             self.maybe_recharacterize(state);
         }
@@ -667,6 +771,11 @@ impl EngineInner {
                 RebuildPlan::Class(class) => self.recharacterize_class(state, class),
             }
         }
+        // Piggy-back on the rebuild cadence (and its single-flight claim)
+        // to re-partition the sketch budget by each class's observed
+        // traffic share, so skewed traffic doesn't starve rare classes'
+        // rebuilds.
+        state.rebalance_sketch_capacities();
         state.end_rebuild();
     }
 
@@ -791,6 +900,28 @@ impl Engine {
     /// Returns [`RuntimeError::InvalidConfig`] if `max_distortion` is outside
     /// `[0, 1]` or a cache parameter is 0.
     pub fn new(policy: HebsPolicy, config: EngineConfig) -> Result<Self> {
+        Self::build(policy, config, None)
+    }
+
+    /// Builds a tenant engine that shares a registry's transformation
+    /// cache: the engine stamps `tenant` into every cache key (so no
+    /// cross-tenant replay is possible) and charges its entries to that
+    /// tenant's byte partition. `config.cache` is ignored in favour of the
+    /// shared cache.
+    pub(crate) fn with_shared_cache(
+        policy: HebsPolicy,
+        config: EngineConfig,
+        cache: Arc<TransformCache>,
+        tenant: u16,
+    ) -> Result<Self> {
+        Self::build(policy, config, Some((cache, tenant)))
+    }
+
+    fn build(
+        policy: HebsPolicy,
+        config: EngineConfig,
+        shared: Option<(Arc<TransformCache>, u16)>,
+    ) -> Result<Self> {
         if !(0.0..=1.0).contains(&config.max_distortion) || !config.max_distortion.is_finite() {
             return Err(RuntimeError::InvalidConfig {
                 name: "max_distortion",
@@ -798,39 +929,7 @@ impl Engine {
             });
         }
         if let Some(cache) = &config.cache {
-            if cache.capacity == 0 {
-                return Err(RuntimeError::InvalidConfig {
-                    name: "cache.capacity",
-                    reason: "must be nonzero (disable the cache with None instead)".to_string(),
-                });
-            }
-            if cache.shards == 0 {
-                return Err(RuntimeError::InvalidConfig {
-                    name: "cache.shards",
-                    reason: "must be nonzero".to_string(),
-                });
-            }
-            if cache.signature_resolution == 0 {
-                return Err(RuntimeError::InvalidConfig {
-                    name: "cache.signature_resolution",
-                    reason: "must be nonzero".to_string(),
-                });
-            }
-            if cache.byte_budget == Some(0) {
-                return Err(RuntimeError::InvalidConfig {
-                    name: "cache.byte_budget",
-                    reason: "must be nonzero (use None for unbounded)".to_string(),
-                });
-            }
-            if !cache.budget_band_width.is_finite()
-                || cache.budget_band_width <= 0.0
-                || cache.budget_band_width > 1.0
-            {
-                return Err(RuntimeError::InvalidConfig {
-                    name: "cache.budget_band_width",
-                    reason: format!("{} is outside (0, 1]", cache.budget_band_width),
-                });
-            }
+            validate_cache_config(cache)?;
         }
         let serving = match config.mode {
             ServingMode::ClosedLoop => None,
@@ -927,14 +1026,25 @@ impl Engine {
         } else {
             config.queue_depth
         };
+        let (cache, tenant) = match shared {
+            Some((cache, tenant)) => (Some(cache), tenant),
+            None => (
+                config
+                    .cache
+                    .as_ref()
+                    .map(|config| Arc::new(TransformCache::new(config))),
+                0,
+            ),
+        };
         Ok(Engine {
             inner: Arc::new(EngineInner {
                 policy,
-                cache: config.cache.as_ref().map(TransformCache::new),
+                cache,
                 max_distortion: config.max_distortion,
                 workers,
                 queue_depth,
                 serving,
+                tenant,
                 totals: StatsCollector::default(),
             }),
         })
@@ -961,14 +1071,14 @@ impl Engine {
     /// Number of fitted transforms currently cached (0 when the cache is
     /// disabled).
     pub fn cached_fits(&self) -> usize {
-        self.inner.cache.as_ref().map_or(0, TransformCache::len)
+        self.inner.cache.as_ref().map_or(0, |cache| cache.len())
     }
 
     /// Bytes currently resident in the transformation cache (0 when the
     /// cache is disabled). Each entry charges its stored pixels, displayed
     /// image and LUT against the configured byte budget.
     pub fn cached_bytes(&self) -> usize {
-        self.inner.cache.as_ref().map_or(0, TransformCache::bytes)
+        self.inner.cache.as_ref().map_or(0, |cache| cache.bytes())
     }
 
     /// The cache's own served-lookup counters (`None` when the cache is
@@ -976,7 +1086,7 @@ impl Engine {
     /// serving path — hits, misses, single-flight waits and rejected hits —
     /// these agree with the engine's accounting.
     pub fn cache_counters(&self) -> Option<crate::CacheCounters> {
-        self.inner.cache.as_ref().map(TransformCache::counters)
+        self.inner.cache.as_ref().map(|cache| cache.counters())
     }
 
     /// Installs (or replaces) the open-loop distortion characteristic
@@ -1080,7 +1190,38 @@ impl Engine {
     pub fn process_frame(&self, frame: &GrayImage) -> Result<FrameResult> {
         let mut scratch = FitScratch::default();
         self.inner
-            .serve_timed(0, frame, self.inner.max_distortion, &mut scratch)
+            .serve_timed(0, frame, self.inner.max_distortion, None, &mut scratch)
+    }
+
+    /// Serves a single frame with per-request [`ServeOptions`]: an optional
+    /// per-request distortion budget and an optional serve-by deadline (a
+    /// late frame degrades to the installed open-loop curve instead of
+    /// paying the closed-loop drift recheck — see
+    /// [`ServeOptions::deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidBudget`] if the requested budget is
+    /// outside `[0, 1]`; otherwise propagates policy and display errors.
+    pub fn process_frame_with_options(
+        &self,
+        frame: &GrayImage,
+        options: &ServeOptions,
+    ) -> Result<FrameResult> {
+        let budget = options.max_distortion.unwrap_or(self.inner.max_distortion);
+        if !(0.0..=1.0).contains(&budget) || !budget.is_finite() {
+            return Err(RuntimeError::InvalidBudget { budget });
+        }
+        let mut scratch = FitScratch::default();
+        self.inner
+            .serve_timed(0, frame, budget, options.deadline, &mut scratch)
+    }
+
+    /// Records one shed arrival against this engine's cumulative stats
+    /// (used by the admission controller; shed frames never reach the
+    /// serve path).
+    pub(crate) fn record_shed(&self) {
+        self.inner.totals.record_shed();
     }
 
     /// Serves a single frame with a per-request distortion budget instead
@@ -1108,7 +1249,7 @@ impl Engine {
         }
         let mut scratch = FitScratch::default();
         self.inner
-            .serve_timed(0, frame, max_distortion, &mut scratch)
+            .serve_timed(0, frame, max_distortion, None, &mut scratch)
     }
 
     /// Serves a batch of frames across the worker pool and returns the
@@ -1145,6 +1286,7 @@ impl Engine {
                             index,
                             &frames[index],
                             self.inner.max_distortion,
+                            None,
                             &mut scratch,
                         );
                         slots.lock().expect("batch result lock")[index] = Some(result);
@@ -1176,44 +1318,144 @@ impl Engine {
         I: IntoIterator<Item = GrayImage>,
         I::IntoIter: Send + 'static,
     {
-        let (feed_tx, feed_rx) = sync_channel::<(usize, GrayImage)>(self.inner.queue_depth);
-        let (out_tx, out_rx) = sync_channel::<Sequenced>(self.inner.queue_depth);
-        let feed_rx = Arc::new(Mutex::new(feed_rx));
-        let progress = Arc::new(FeedProgress::default());
+        let (core, handles) = stream_pipeline(&self.inner, frames.into_iter(), |task| {
+            std::thread::spawn(task)
+        });
+        FrameStream { core, handles }
+    }
 
-        let mut handles = Vec::with_capacity(self.inner.workers + 1);
-        let iter = frames.into_iter();
-        let feed_progress = Arc::clone(&progress);
-        handles.push(std::thread::spawn(move || {
-            feed(iter, &feed_tx, &feed_progress);
-        }));
-        for _ in 0..self.inner.workers {
-            let inner = Arc::clone(&self.inner);
-            let feed_rx = Arc::clone(&feed_rx);
-            let out_tx: SyncSender<Sequenced> = out_tx.clone();
-            handles.push(std::thread::spawn(move || {
-                let mut scratch = FitScratch::default();
-                loop {
-                    let next = feed_rx.lock().expect("stream feed lock").recv();
-                    let Ok((index, frame)) = next else { break };
-                    let result =
-                        inner.serve_timed(index, &frame, inner.max_distortion, &mut scratch);
-                    if out_tx.send(Sequenced { index, result }).is_err() {
-                        break; // Consumer went away; stop serving.
-                    }
+    /// Streams frames from a *borrowing* producer iterator through the
+    /// worker pool, inside a [`std::thread::scope`]. Identical semantics to
+    /// [`Engine::stream`] — bounded queues, input-order results, the same
+    /// failure accounting — but the producer only needs to live for the
+    /// scope, so it can borrow from the caller's stack (a frame buffer, a
+    /// decoder) instead of satisfying a `'static` bound.
+    ///
+    /// The returned stream must be consumed (or dropped) inside the scope;
+    /// the pipeline threads are joined when the stream drops, and at the
+    /// latest when the scope ends.
+    ///
+    /// ```
+    /// use hebs_core::{HebsPolicy, PipelineConfig};
+    /// use hebs_imaging::{FrameSequence, SceneKind};
+    /// use hebs_runtime::{Engine, EngineConfig};
+    ///
+    /// let policy = HebsPolicy::closed_loop(PipelineConfig::default());
+    /// let engine = Engine::new(policy, EngineConfig::default())?;
+    /// let frames: Vec<_> = FrameSequence::new(SceneKind::Static, 24, 24, 4, 3)
+    ///     .frames()
+    ///     .collect();
+    /// let served = std::thread::scope(|scope| {
+    ///     // The producer borrows `frames` — no cloning, no 'static.
+    ///     let stream = engine.stream_scoped(scope, frames.iter().cloned());
+    ///     stream.count()
+    /// });
+    /// assert_eq!(served, 4);
+    /// # Ok::<(), hebs_runtime::RuntimeError>(())
+    /// ```
+    pub fn stream_scoped<'scope, I>(
+        &self,
+        scope: &'scope Scope<'scope, '_>,
+        frames: I,
+    ) -> ScopedFrameStream<'scope>
+    where
+        I: IntoIterator<Item = GrayImage>,
+        I::IntoIter: Send + 'scope,
+    {
+        let (core, handles) =
+            stream_pipeline(&self.inner, frames.into_iter(), |task| scope.spawn(task));
+        ScopedFrameStream { core, handles }
+    }
+}
+
+/// Validates a cache configuration, shared between [`Engine::new`] and the
+/// [`TenantRegistry`](crate::TenantRegistry) builder (which constructs the
+/// shared cache itself).
+pub(crate) fn validate_cache_config(cache: &CacheConfig) -> Result<()> {
+    if cache.capacity == 0 {
+        return Err(RuntimeError::InvalidConfig {
+            name: "cache.capacity",
+            reason: "must be nonzero (disable the cache with None instead)".to_string(),
+        });
+    }
+    if cache.shards == 0 {
+        return Err(RuntimeError::InvalidConfig {
+            name: "cache.shards",
+            reason: "must be nonzero".to_string(),
+        });
+    }
+    if cache.signature_resolution == 0 {
+        return Err(RuntimeError::InvalidConfig {
+            name: "cache.signature_resolution",
+            reason: "must be nonzero".to_string(),
+        });
+    }
+    if cache.byte_budget == Some(0) {
+        return Err(RuntimeError::InvalidConfig {
+            name: "cache.byte_budget",
+            reason: "must be nonzero (use None for unbounded)".to_string(),
+        });
+    }
+    if !cache.budget_band_width.is_finite()
+        || cache.budget_band_width <= 0.0
+        || cache.budget_band_width > 1.0
+    {
+        return Err(RuntimeError::InvalidConfig {
+            name: "cache.budget_band_width",
+            reason: format!("{} is outside (0, 1]", cache.budget_band_width),
+        });
+    }
+    Ok(())
+}
+
+/// Builds the streaming pipeline — feeder thread, worker pool, bounded
+/// channels — spawning each thread through `spawn`, which is
+/// `std::thread::spawn` for [`Engine::stream`] and a scoped spawn for
+/// [`Engine::stream_scoped`]. The producer's lifetime `'a` is `'static` in
+/// the former case and the scope's lifetime in the latter.
+fn stream_pipeline<'a, H>(
+    inner: &Arc<EngineInner>,
+    iter: impl Iterator<Item = GrayImage> + Send + 'a,
+    mut spawn: impl FnMut(Box<dyn FnOnce() + Send + 'a>) -> H,
+) -> (StreamCore, Vec<H>) {
+    let (feed_tx, feed_rx) = sync_channel::<(usize, GrayImage)>(inner.queue_depth);
+    let (out_tx, out_rx) = sync_channel::<Sequenced>(inner.queue_depth);
+    let feed_rx = Arc::new(Mutex::new(feed_rx));
+    let progress = Arc::new(FeedProgress::default());
+
+    let mut handles = Vec::with_capacity(inner.workers + 1);
+    let feed_progress = Arc::clone(&progress);
+    handles.push(spawn(Box::new(move || {
+        feed(iter, &feed_tx, &feed_progress);
+    })));
+    for _ in 0..inner.workers {
+        let inner = Arc::clone(inner);
+        let feed_rx = Arc::clone(&feed_rx);
+        let out_tx: SyncSender<Sequenced> = out_tx.clone();
+        handles.push(spawn(Box::new(move || {
+            let mut scratch = FitScratch::default();
+            loop {
+                let next = feed_rx.lock().expect("stream feed lock").recv();
+                let Ok((index, frame)) = next else { break };
+                let result =
+                    inner.serve_timed(index, &frame, inner.max_distortion, None, &mut scratch);
+                if out_tx.send(Sequenced { index, result }).is_err() {
+                    break; // Consumer went away; stop serving.
                 }
-            }));
-        }
+            }
+        })));
+    }
 
-        FrameStream {
+    (
+        StreamCore {
             results: Some(out_rx),
             reorder: BinaryHeap::new(),
             next_index: 0,
             progress,
             failure_reported: false,
-            handles,
-        }
-    }
+        },
+        handles,
+    )
 }
 
 /// How far the feeder got: the total frame count once the producer iterator
@@ -1308,32 +1550,20 @@ enum Received {
     Closed,
 }
 
-/// An in-order iterator over the results of [`Engine::stream`].
-///
-/// Results arrive from the pool in completion order; a small reorder heap
-/// (bounded by the number of frames in flight) restores input order.
-///
-/// Besides the blocking [`Iterator`] interface, the stream can be *polled*
-/// with [`FrameStream::try_next`] (never blocks) or
-/// [`FrameStream::next_timeout`] (blocks at most a deadline), so an event
-/// loop multiplexing other work never parks forever on a stalled producer.
-pub struct FrameStream {
+/// The reordering/accounting state shared by [`FrameStream`] and
+/// [`ScopedFrameStream`]: the result channel, the reorder heap and the
+/// feeder progress. The two stream types differ only in how their pipeline
+/// threads are owned (plain vs. scoped join handles).
+struct StreamCore {
     results: Option<Receiver<Sequenced>>,
     reorder: BinaryHeap<Reverse<Sequenced>>,
     next_index: usize,
     progress: Arc<FeedProgress>,
     failure_reported: bool,
-    handles: Vec<JoinHandle<()>>,
 }
 
-impl FrameStream {
-    /// Polls for the next in-order result without blocking.
-    ///
-    /// Returns [`StreamPoll::Pending`] when the next result has not been
-    /// produced yet — for example because the producer iterator is stalled
-    /// waiting on I/O — instead of parking the caller on the channel the
-    /// way the [`Iterator`] interface does.
-    pub fn try_next(&mut self) -> StreamPoll {
+impl StreamCore {
+    fn try_next(&mut self) -> StreamPoll {
         self.poll_with(|rx| match rx.try_recv() {
             Ok(seq) => Received::Got(seq),
             Err(std::sync::mpsc::TryRecvError::Empty) => Received::Empty,
@@ -1341,11 +1571,7 @@ impl FrameStream {
         })
     }
 
-    /// Polls for the next in-order result, blocking at most `timeout`.
-    ///
-    /// The timeout is one deadline for the whole call (not per internal
-    /// receive), so a trickle of out-of-order completions cannot extend it.
-    pub fn next_timeout(&mut self, timeout: Duration) -> StreamPoll {
+    fn next_timeout(&mut self, timeout: Duration) -> StreamPoll {
         let deadline = Instant::now() + timeout;
         self.poll_with(|rx| {
             let remaining = deadline.saturating_duration_since(Instant::now());
@@ -1355,6 +1581,20 @@ impl FrameStream {
                 Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Received::Closed,
             }
         })
+    }
+
+    /// The blocking receive behind the [`Iterator`] interface:
+    /// `Received::Empty` is unreachable, so the poll only ever ends Ready
+    /// or Finished.
+    fn next_blocking(&mut self) -> Option<Result<FrameResult>> {
+        match self.poll_with(|rx| match rx.recv() {
+            Ok(seq) => Received::Got(seq),
+            Err(_) => Received::Closed,
+        }) {
+            StreamPoll::Ready(item) => Some(item),
+            StreamPoll::Pending => unreachable!("a blocking receive never reports Pending"),
+            StreamPoll::Finished => None,
+        }
     }
 
     /// The shared poll loop: drain the reorder heap, receive via `recv`
@@ -1431,20 +1671,45 @@ impl FrameStream {
     }
 }
 
+/// An in-order iterator over the results of [`Engine::stream`].
+///
+/// Results arrive from the pool in completion order; a small reorder heap
+/// (bounded by the number of frames in flight) restores input order.
+///
+/// Besides the blocking [`Iterator`] interface, the stream can be *polled*
+/// with [`FrameStream::try_next`] (never blocks) or
+/// [`FrameStream::next_timeout`] (blocks at most a deadline), so an event
+/// loop multiplexing other work never parks forever on a stalled producer.
+pub struct FrameStream {
+    core: StreamCore,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl FrameStream {
+    /// Polls for the next in-order result without blocking.
+    ///
+    /// Returns [`StreamPoll::Pending`] when the next result has not been
+    /// produced yet — for example because the producer iterator is stalled
+    /// waiting on I/O — instead of parking the caller on the channel the
+    /// way the [`Iterator`] interface does.
+    pub fn try_next(&mut self) -> StreamPoll {
+        self.core.try_next()
+    }
+
+    /// Polls for the next in-order result, blocking at most `timeout`.
+    ///
+    /// The timeout is one deadline for the whole call (not per internal
+    /// receive), so a trickle of out-of-order completions cannot extend it.
+    pub fn next_timeout(&mut self, timeout: Duration) -> StreamPoll {
+        self.core.next_timeout(timeout)
+    }
+}
+
 impl Iterator for FrameStream {
     type Item = Result<FrameResult>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        // Blocking receive: `Received::Empty` is unreachable, so the poll
-        // only ever ends Ready or Finished.
-        match self.poll_with(|rx| match rx.recv() {
-            Ok(seq) => Received::Got(seq),
-            Err(_) => Received::Closed,
-        }) {
-            StreamPoll::Ready(item) => Some(item),
-            StreamPoll::Pending => unreachable!("a blocking receive never reports Pending"),
-            StreamPoll::Finished => None,
-        }
+        self.core.next_blocking()
     }
 }
 
@@ -1454,7 +1719,51 @@ impl Drop for FrameStream {
         // output queue (its send fails); workers then drop the feed receiver,
         // which unblocks the feeder. Reap the pool so no thread outlives the
         // stream.
-        drop(self.results.take());
+        drop(self.core.results.take());
+        let handles = std::mem::take(&mut self.handles);
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The scoped counterpart of [`FrameStream`], returned by
+/// [`Engine::stream_scoped`]: the same in-order iterator and polling
+/// interface, with the pipeline threads owned by a [`std::thread::scope`]
+/// so the producer may borrow from the caller's stack.
+pub struct ScopedFrameStream<'scope> {
+    core: StreamCore,
+    handles: Vec<ScopedJoinHandle<'scope, ()>>,
+}
+
+impl ScopedFrameStream<'_> {
+    /// Polls for the next in-order result without blocking; see
+    /// [`FrameStream::try_next`].
+    pub fn try_next(&mut self) -> StreamPoll {
+        self.core.try_next()
+    }
+
+    /// Polls for the next in-order result, blocking at most `timeout`; see
+    /// [`FrameStream::next_timeout`].
+    pub fn next_timeout(&mut self, timeout: Duration) -> StreamPoll {
+        self.core.next_timeout(timeout)
+    }
+}
+
+impl Iterator for ScopedFrameStream<'_> {
+    type Item = Result<FrameResult>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.core.next_blocking()
+    }
+}
+
+impl Drop for ScopedFrameStream<'_> {
+    fn drop(&mut self) {
+        // Same teardown as FrameStream; the scope would join the threads at
+        // its end anyway, but joining here keeps drop-early semantics (and
+        // backpressure release) identical between the two stream types.
+        drop(self.core.results.take());
         let handles = std::mem::take(&mut self.handles);
         for handle in handles {
             let _ = handle.join();

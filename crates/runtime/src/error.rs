@@ -44,6 +44,22 @@ pub enum RuntimeError {
         /// Number of frames served before the pool was lost.
         frames_served: usize,
     },
+    /// An arrival was refused by a tenant's admission control (see
+    /// [`ShedPolicy`](crate::ShedPolicy)): the tenant's queue was at its
+    /// bound (or over its fair share under overload), so the frame was
+    /// shed instead of queued. Retry later or drop the frame.
+    Shed {
+        /// Numeric id of the tenant whose arrival was shed.
+        tenant: u16,
+        /// The tenant's admitted-but-unfinished frame count at shed time.
+        queue_depth: usize,
+    },
+    /// A tenant id that was never registered with the
+    /// [`TenantRegistry`](crate::TenantRegistry).
+    UnknownTenant {
+        /// The unknown numeric tenant id.
+        tenant: u16,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -67,6 +83,16 @@ impl fmt::Display for RuntimeError {
                 f,
                 "the worker pool was lost after serving {frames_served} frames"
             ),
+            RuntimeError::Shed {
+                tenant,
+                queue_depth,
+            } => write!(
+                f,
+                "tenant {tenant} shed an arrival at queue depth {queue_depth}"
+            ),
+            RuntimeError::UnknownTenant { tenant } => {
+                write!(f, "tenant {tenant} is not registered")
+            }
         }
     }
 }
@@ -107,6 +133,16 @@ mod tests {
         let err = RuntimeError::InvalidBudget { budget: 1.5 };
         assert!(err.to_string().contains("1.5"));
         assert!(err.source().is_none());
+
+        let err = RuntimeError::Shed {
+            tenant: 3,
+            queue_depth: 8,
+        };
+        assert!(err.to_string().contains("tenant 3"));
+        assert!(err.to_string().contains("depth 8"));
+
+        let err = RuntimeError::UnknownTenant { tenant: 9 };
+        assert!(err.to_string().contains("tenant 9"));
     }
 
     #[test]

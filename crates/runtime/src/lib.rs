@@ -69,12 +69,17 @@ mod engine;
 mod error;
 mod serving;
 mod stats;
+mod tenant;
 
 pub use cache::{
     CacheConfig, CacheCounters, CacheMode, ShardedLru, DEFAULT_BUDGET_BAND_WIDTH,
     DEFAULT_BYTE_BUDGET,
 };
-pub use engine::{BatchReport, Engine, EngineConfig, FrameResult, FrameStream, StreamPoll};
+pub use engine::{
+    BatchReport, Engine, EngineConfig, FrameResult, FrameStream, ScopedFrameStream, ServeOptions,
+    StreamPoll,
+};
 pub use error::{Result, RuntimeError};
 pub use serving::{RecharacterizePolicy, ServingMode};
 pub use stats::EngineStats;
+pub use tenant::{AdmissionPermit, ShedPolicy, TenantId, TenantRegistry, TenantSpec};

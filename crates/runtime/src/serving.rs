@@ -78,6 +78,11 @@ pub struct RecharacterizePolicy {
     pub sample_period: u64,
     /// How many sampled histograms each class's rolling sketch retains
     /// (must be nonzero); older samples are overwritten ring-buffer style.
+    /// With multiple classes this sets the pooled budget (`classes ×
+    /// sample_capacity`): after each rebuild the pool is re-partitioned in
+    /// proportion to each class's observed traffic share (with a small
+    /// per-class floor), so a hot class keeps a deeper history while rare
+    /// classes still fill fast enough to rebuild.
     pub sample_capacity: usize,
     /// Target dynamic ranges evaluated per sketched histogram when
     /// rebuilding a curve (each must be in `[2, 256]`).
@@ -163,6 +168,41 @@ impl TrafficSketch {
         self.next = (self.next + 1) % self.capacity;
     }
 
+    /// Current sample capacity.
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resizes the ring, keeping the **most recent** samples when
+    /// shrinking (used by the traffic-share rebalancing — see
+    /// [`OpenLoopState::rebalance_sketch_capacities`]).
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        let capacity = capacity.max(1);
+        if capacity == self.capacity {
+            return;
+        }
+        // Reconstruct chronological order (oldest first), keep the newest
+        // `capacity` samples, and restart the ring from them.
+        let mut chronological: Vec<Histogram> = if self.ring.len() == self.capacity {
+            let mut newest_first = self.ring.split_off(self.next);
+            newest_first.append(&mut self.ring);
+            newest_first
+        } else {
+            std::mem::take(&mut self.ring)
+        };
+        if chronological.len() > capacity {
+            chronological.drain(..chronological.len() - capacity);
+        }
+        self.next = if chronological.len() < capacity {
+            chronological.len()
+        } else {
+            0
+        };
+        self.ring = chronological;
+        self.capacity = capacity;
+    }
+
     pub(crate) fn is_empty(&self) -> bool {
         self.ring.is_empty()
     }
@@ -231,6 +271,10 @@ struct ClassTriggers {
     frames_since: AtomicU64,
     /// Drift fallbacks in this class since its last (re)characterization.
     drift_since: AtomicU64,
+    /// Frames ever served in this class — never reset (unlike the trigger
+    /// counters above), so the traffic-share sketch rebalancing sees the
+    /// long-run class mix rather than the slice since the last rebuild.
+    served_total: AtomicU64,
 }
 
 /// What kind of rebuild is due (see [`OpenLoopState::rebuild_plan`]).
@@ -462,6 +506,7 @@ impl OpenLoopState {
     ) {
         let trigger = &self.triggers[class];
         let frames = trigger.frames_since.fetch_add(1, Ordering::Relaxed) + 1;
+        trigger.served_total.fetch_add(1, Ordering::Relaxed);
         if fallback {
             trigger.drift_since.fetch_add(1, Ordering::Relaxed);
         }
@@ -553,6 +598,63 @@ impl OpenLoopState {
             .lock()
             .expect("traffic sketch lock")
             .snapshot()
+    }
+
+    /// Current sample capacity of one class's sketch.
+    #[cfg(test)]
+    pub(crate) fn sketch_capacity(&self, class: usize) -> usize {
+        self.sketches[class]
+            .lock()
+            .expect("traffic sketch lock")
+            .capacity()
+    }
+
+    /// Re-partitions the pooled sketch budget (`classes ×
+    /// sample_capacity`) across classes in proportion to each class's
+    /// observed share of served traffic, on top of a small per-class floor.
+    ///
+    /// With uniform per-class capacities, skewed traffic starves rare
+    /// classes: a class seeing 1% of frames takes 100× longer to fill the
+    /// same ring, so its rebuilds fit on stale (or too few) samples while
+    /// the hot class's ring overwrites fresh samples it has no use for.
+    /// Weighting capacity by served share gives the hot class a deeper
+    /// history (better rebuild fidelity where it matters) while the floor
+    /// keeps every rare class able to rebuild at all. Resizing keeps each
+    /// ring's most recent samples. Single-class states are left alone.
+    pub(crate) fn rebalance_sketch_capacities(&self) {
+        let classes = self.sketches.len();
+        if classes <= 1 {
+            return;
+        }
+        let served: Vec<u64> = self
+            .triggers
+            .iter()
+            .map(|trigger| trigger.served_total.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = served.iter().sum();
+        if total == 0 {
+            return;
+        }
+        let per_class = self.recharacterize.sample_capacity;
+        let budget = per_class * classes;
+        let floor = per_class.min(4);
+        let spread = budget - floor * classes;
+        let mut shares: Vec<usize> = served
+            .iter()
+            .map(|&count| (spread as u128 * u128::from(count) / u128::from(total)) as usize)
+            .collect();
+        // Integer division under-assigns; hand the leftover to the hottest
+        // class so the pooled budget is preserved exactly.
+        let leftover = spread - shares.iter().sum::<usize>();
+        if let Some((hottest, _)) = served.iter().enumerate().max_by_key(|&(_, &count)| count) {
+            shares[hottest] += leftover;
+        }
+        for (class, sketch) in self.sketches.iter().enumerate() {
+            sketch
+                .lock()
+                .expect("traffic sketch lock")
+                .set_capacity(floor + shares[class]);
+        }
     }
 }
 
@@ -853,6 +955,98 @@ mod tests {
         assert_eq!(after.classes[1].generation, new_generation);
         assert!(new_generation > class1_generation);
         assert_eq!(state.generation(), new_generation);
+    }
+
+    #[test]
+    fn set_capacity_keeps_the_most_recent_samples() {
+        let mut sketch = TrafficSketch::new(4);
+        for level in 0..6u8 {
+            sketch.push(histogram_of_level(level));
+        }
+        // Ring holds levels 2..=5; shrinking to 2 must keep 4 and 5.
+        sketch.set_capacity(2);
+        assert_eq!(sketch.capacity(), 2);
+        let snapshot = sketch.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        assert!(snapshot.iter().any(|h| h.count(4) > 0));
+        assert!(snapshot.iter().any(|h| h.count(5) > 0));
+
+        // Growing keeps everything and accepts new samples up to the new
+        // capacity before overwriting the oldest again.
+        sketch.set_capacity(3);
+        sketch.push(histogram_of_level(6));
+        let snapshot = sketch.snapshot();
+        assert_eq!(snapshot.len(), 3);
+        assert!(snapshot.iter().any(|h| h.count(4) > 0));
+        assert!(snapshot.iter().any(|h| h.count(6) > 0));
+        sketch.push(histogram_of_level(7));
+        let snapshot = sketch.snapshot();
+        assert_eq!(snapshot.len(), 3, "capacity still bounds the ring");
+        assert!(
+            snapshot.iter().all(|h| h.count(4) == 0),
+            "the oldest kept sample is overwritten first"
+        );
+    }
+
+    #[test]
+    fn sketch_capacities_follow_the_observed_traffic_share() {
+        let policy = RecharacterizePolicy {
+            sample_period: 1,
+            sample_capacity: 16,
+            classes: 2,
+            ..RecharacterizePolicy::default()
+        };
+        let state = state_with(policy);
+        install_dummy_curve(&state);
+        let frame = GrayImage::filled(4, 4, 60);
+
+        // 90% of traffic lands in class 0.
+        for _ in 0..90 {
+            state.record_serve(0, &frame, None, false);
+        }
+        for _ in 0..10 {
+            state.record_serve(1, &frame, None, false);
+        }
+        state.rebalance_sketch_capacities();
+
+        let hot = state.sketch_capacity(0);
+        let rare = state.sketch_capacity(1);
+        assert_eq!(
+            hot + rare,
+            2 * 16,
+            "rebalancing preserves the pooled budget"
+        );
+        assert!(hot > rare, "the hot class gets the deeper sketch");
+        assert!(rare >= 4, "the rare class keeps the rebuild floor");
+        // 90/10 split over a spread of 32 - 8 = 24: shares 21 and 2, the
+        // rounding leftover (1) goes to the hot class.
+        assert_eq!(hot, 26);
+        assert_eq!(rare, 6);
+    }
+
+    #[test]
+    fn rebalancing_is_a_noop_for_single_class_or_idle_states() {
+        let single = state_with(RecharacterizePolicy {
+            sample_capacity: 8,
+            ..RecharacterizePolicy::default()
+        });
+        single.record_serve(0, &GrayImage::filled(4, 4, 10), None, false);
+        single.rebalance_sketch_capacities();
+        assert_eq!(single.sketch_capacity(0), 8, "single class is untouched");
+
+        let idle = state_with(RecharacterizePolicy {
+            sample_capacity: 8,
+            classes: 3,
+            ..RecharacterizePolicy::default()
+        });
+        idle.rebalance_sketch_capacities();
+        for class in 0..3 {
+            assert_eq!(
+                idle.sketch_capacity(class),
+                8,
+                "no traffic observed: capacities stay uniform"
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,8 @@ pub(crate) struct StatsCollector {
     fit_evaluations: AtomicU64,
     open_loop_fallbacks: AtomicU64,
     recharacterizations: AtomicU64,
+    deadline_degraded: AtomicU64,
+    sheds: AtomicU64,
     busy_nanos: AtomicU64,
 }
 
@@ -46,6 +48,7 @@ impl StatsCollector {
         rejections: u64,
         fit_evaluations: u64,
         open_loop_fallback: bool,
+        deadline_degraded: bool,
     ) {
         self.frames.fetch_add(1, Ordering::Relaxed);
         self.busy_nanos
@@ -56,6 +59,9 @@ impl StatsCollector {
         }
         if open_loop_fallback {
             self.open_loop_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        if deadline_degraded {
+            self.deadline_degraded.fetch_add(1, Ordering::Relaxed);
         }
         match kind {
             ServeKind::Uncached => {}
@@ -81,8 +87,15 @@ impl StatsCollector {
         self.recharacterizations.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshots the cumulative counters. `cache_bytes` is a point-in-time
-    /// quantity owned by the cache, so the engine fills it in afterwards.
+    /// Records one shed arrival: a frame the admission control refused
+    /// before it reached the serve path (it is *not* counted in `frames`).
+    pub(crate) fn record_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots the cumulative counters. `cache_bytes` and `queue_depth`
+    /// are point-in-time quantities owned by the cache and the admission
+    /// controller, so the engine (or registry) fills them in afterwards.
     pub(crate) fn snapshot(&self) -> EngineStats {
         EngineStats {
             frames: self.frames.load(Ordering::Relaxed),
@@ -94,6 +107,9 @@ impl StatsCollector {
             fit_evaluations: self.fit_evaluations.load(Ordering::Relaxed),
             open_loop_fallbacks: self.open_loop_fallbacks.load(Ordering::Relaxed),
             recharacterizations: self.recharacterizations.load(Ordering::Relaxed),
+            deadline_degraded: self.deadline_degraded.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            queue_depth: 0,
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
         }
     }
@@ -140,6 +156,20 @@ pub struct EngineStats {
     /// `RecharacterizePolicy::min_swap_delta` — and does not count).
     /// Always 0 in closed-loop mode.
     pub recharacterizations: u64,
+    /// Frames served past their [`ServeOptions`](crate::ServeOptions)
+    /// deadline: the open-loop drift recheck was skipped and the installed
+    /// per-class curve served directly, trading the per-frame distortion
+    /// contract for bounded latency. Always 0 when no deadline is passed
+    /// (or the engine has no installed curve to degrade to).
+    pub deadline_degraded: u64,
+    /// Arrivals refused by admission control before reaching the serve
+    /// path (see [`ShedPolicy`](crate::ShedPolicy)); shed frames are not
+    /// counted in `frames`. Always 0 outside multi-tenant serving.
+    pub sheds: u64,
+    /// Admitted frames currently queued or in service when the snapshot
+    /// was taken (0 outside multi-tenant serving, where nothing bounds
+    /// admission).
+    pub queue_depth: u64,
     /// Total worker time spent serving frames (sums across workers, so it
     /// can exceed wall-clock time on a pool).
     pub busy: Duration,
@@ -177,9 +207,23 @@ mod tests {
     #[test]
     fn collector_accumulates_and_snapshots() {
         let collector = StatsCollector::default();
-        collector.record_frame(Duration::from_millis(2), ServeKind::Hit, 0, 0, false);
-        collector.record_frame(Duration::from_millis(4), ServeKind::Miss, 0, 11, false);
-        collector.record_frame(Duration::from_millis(6), ServeKind::Uncached, 0, 24, false);
+        collector.record_frame(Duration::from_millis(2), ServeKind::Hit, 0, 0, false, false);
+        collector.record_frame(
+            Duration::from_millis(4),
+            ServeKind::Miss,
+            0,
+            11,
+            false,
+            false,
+        );
+        collector.record_frame(
+            Duration::from_millis(6),
+            ServeKind::Uncached,
+            0,
+            24,
+            false,
+            false,
+        );
         let stats = collector.snapshot();
         assert_eq!(stats.frames, 3);
         assert_eq!(stats.cache_hits, 1);
@@ -199,13 +243,22 @@ mod tests {
             0,
             0,
             false,
+            false,
         );
-        collector.record_frame(Duration::from_millis(1), ServeKind::Miss, 1, 3, false);
+        collector.record_frame(
+            Duration::from_millis(1),
+            ServeKind::Miss,
+            1,
+            3,
+            false,
+            false,
+        );
         collector.record_frame(
             Duration::from_millis(1),
             ServeKind::CoalescedHit,
             1,
             0,
+            false,
             false,
         );
         let stats = collector.snapshot();
@@ -218,13 +271,34 @@ mod tests {
     #[test]
     fn open_loop_counters_accumulate() {
         let collector = StatsCollector::default();
-        collector.record_frame(Duration::from_millis(1), ServeKind::Miss, 0, 1, false);
-        collector.record_frame(Duration::from_millis(1), ServeKind::Miss, 0, 9, true);
+        collector.record_frame(
+            Duration::from_millis(1),
+            ServeKind::Miss,
+            0,
+            1,
+            false,
+            false,
+        );
+        collector.record_frame(Duration::from_millis(1), ServeKind::Miss, 0, 9, true, false);
         collector.record_recharacterization();
         let stats = collector.snapshot();
         assert_eq!(stats.open_loop_fallbacks, 1);
         assert_eq!(stats.recharacterizations, 1);
         assert_eq!(stats.fit_evaluations, 10);
+    }
+
+    #[test]
+    fn deadline_and_shed_counters_accumulate() {
+        let collector = StatsCollector::default();
+        collector.record_frame(Duration::from_millis(1), ServeKind::Miss, 0, 1, false, true);
+        collector.record_frame(Duration::from_millis(1), ServeKind::Hit, 0, 0, false, false);
+        collector.record_shed();
+        collector.record_shed();
+        let stats = collector.snapshot();
+        assert_eq!(stats.deadline_degraded, 1);
+        assert_eq!(stats.sheds, 2);
+        assert_eq!(stats.frames, 2, "shed arrivals are not served frames");
+        assert_eq!(stats.queue_depth, 0, "point-in-time field defaults to 0");
     }
 
     #[test]
@@ -234,5 +308,8 @@ mod tests {
         assert_eq!(stats.mean_latency(), Duration::ZERO);
         assert_eq!(stats.cache_bytes, 0);
         assert_eq!(stats.fit_evaluations, 0);
+        assert_eq!(stats.deadline_degraded, 0);
+        assert_eq!(stats.sheds, 0);
+        assert_eq!(stats.queue_depth, 0);
     }
 }

@@ -1,0 +1,788 @@
+//! Multi-tenant serving: tenant routing, weighted cache partitioning and
+//! admission control.
+//!
+//! A serving deployment multiplexes many (display profile × distortion
+//! budget) *tenants* over shared hardware. [`TenantRegistry`] gives each
+//! tenant its own [`Engine`] — its own `PipelineConfig` budget, curve bank,
+//! traffic sketches and characteristic generations — while all tenants
+//! share **one** transformation cache whose byte budget is partitioned by
+//! [`TenantSpec::cache_weight`]. Every cache key carries the tenant id, so
+//! no cross-tenant replay is possible, and each tenant's entries are
+//! charged against its own slice: a hot tenant evicts *its own* entries
+//! under pressure, never a neighbour's.
+//!
+//! On top of routing the registry bounds behavior under overload:
+//!
+//! * **Admission control** — [`TenantRegistry::admit`] hands out an RAII
+//!   [`AdmissionPermit`] per in-flight frame; arrivals beyond a tenant's
+//!   bound are refused with a typed [`RuntimeError::Shed`] and counted in
+//!   [`EngineStats::sheds`]. The [`ShedPolicy`] is reject-newest per tenant
+//!   by default, or weighted-fair across tenants: under shared overload a
+//!   tenant is only clamped down to its weighted fair share, so a bursting
+//!   neighbour cannot starve a well-behaved tenant.
+//! * **Deadline-aware serving** — serves accept [`ServeOptions`] with a
+//!   deadline; late frames degrade to the installed open-loop curve
+//!   instead of paying the closed-loop drift recheck (see
+//!   [`ServeOptions::deadline`]).
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use hebs_core::HebsPolicy;
+use hebs_imaging::GrayImage;
+
+use crate::cache::{CacheConfig, TransformCache};
+use crate::engine::{validate_cache_config, Engine, EngineConfig, FrameResult, ServeOptions};
+use crate::error::{Result, RuntimeError};
+use crate::serving::ServingMode;
+use crate::stats::EngineStats;
+
+/// Identifies one tenant of a [`TenantRegistry`]. Ids are assigned by the
+/// builder in registration order (0, 1, …) and stamped into every cache
+/// key the tenant's engine writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(u16);
+
+impl TenantId {
+    /// The id as a registry index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    pub(crate) fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// How arrivals beyond the admission bounds are shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Per-tenant bound only: an arrival is shed when its tenant already
+    /// has [`TenantSpec::queue_limit`] frames admitted. Tenants are fully
+    /// independent — one tenant's overload never affects another's
+    /// admission. The default.
+    #[default]
+    RejectNewest,
+    /// A shared bound on top of the per-tenant one: while the registry's
+    /// total admitted count is below `shared_capacity`, tenants may burst
+    /// up to their own `queue_limit`; at or beyond it, each tenant is
+    /// clamped to its *weighted fair share* of the shared capacity
+    /// (proportional to [`TenantSpec::cache_weight`], minimum 1). A
+    /// bursting neighbour can therefore use idle capacity but can never
+    /// push a well-behaved tenant below its share.
+    WeightedFair {
+        /// Total admitted frames across all tenants before fair-share
+        /// clamping kicks in (must be nonzero).
+        shared_capacity: usize,
+    },
+}
+
+/// Configuration of one tenant: its identity, serving parameters and its
+/// weight in the shared resources.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Human-readable tenant name (looked up via
+    /// [`TenantRegistry::id_of`]).
+    pub name: String,
+    /// The tenant's distortion budget, applied to every frame it serves
+    /// (unless a serve overrides it via [`ServeOptions`]).
+    pub max_distortion: f64,
+    /// The tenant's serving mode (closed-loop or open-loop with its own
+    /// re-characterization policy and curve bank).
+    pub mode: ServingMode,
+    /// The tenant's weight in shared partitions: its slice of the shared
+    /// cache byte budget, and its fair share under
+    /// [`ShedPolicy::WeightedFair`], are proportional to this (must be
+    /// nonzero).
+    pub cache_weight: u32,
+    /// Maximum admitted-but-unfinished frames before arrivals are shed
+    /// (must be nonzero).
+    pub queue_limit: usize,
+    /// Worker threads for the tenant engine's batch/stream paths (serves
+    /// routed through the registry run on the calling thread).
+    pub workers: usize,
+}
+
+impl Default for TenantSpec {
+    fn default() -> Self {
+        TenantSpec {
+            name: String::new(),
+            max_distortion: 0.10,
+            mode: ServingMode::ClosedLoop,
+            cache_weight: 1,
+            queue_limit: 64,
+            workers: 1,
+        }
+    }
+}
+
+impl TenantSpec {
+    /// A default spec with a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            ..TenantSpec::default()
+        }
+    }
+
+    /// Sets the tenant's distortion budget.
+    pub fn with_budget(mut self, max_distortion: f64) -> Self {
+        self.max_distortion = max_distortion;
+        self
+    }
+
+    /// Sets the tenant's serving mode.
+    pub fn with_mode(mut self, mode: ServingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the tenant's shared-resource weight.
+    pub fn with_cache_weight(mut self, cache_weight: u32) -> Self {
+        self.cache_weight = cache_weight;
+        self
+    }
+
+    /// Sets the tenant's admission bound.
+    pub fn with_queue_limit(mut self, queue_limit: usize) -> Self {
+        self.queue_limit = queue_limit;
+        self
+    }
+}
+
+/// One registered tenant's runtime state.
+struct TenantState {
+    name: String,
+    engine: Engine,
+    queue_limit: usize,
+    /// The tenant's clamp under [`ShedPolicy::WeightedFair`]:
+    /// `max(1, shared_capacity × weight ∕ Σweights)`. Unused (0) under
+    /// [`ShedPolicy::RejectNewest`].
+    fair_share: usize,
+    /// Admitted-but-unfinished frames (what [`EngineStats::queue_depth`]
+    /// reports).
+    outstanding: Arc<AtomicUsize>,
+}
+
+/// An RAII admission slot: holding one means the frame is admitted and
+/// counted against its tenant's (and the registry's) in-flight bound;
+/// dropping it releases the slot. Obtain one from
+/// [`TenantRegistry::admit`], serve through
+/// [`TenantRegistry::serve_with_permit`], and drop it when the frame's
+/// result has been delivered.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    tenant: TenantId,
+    outstanding: Arc<AtomicUsize>,
+    total: Arc<AtomicUsize>,
+}
+
+impl AdmissionPermit {
+    /// The tenant this permit admits a frame for.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
+        self.total.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Builder for a [`TenantRegistry`]; see [`TenantRegistry::builder`].
+#[derive(Default)]
+pub struct TenantRegistryBuilder {
+    cache: Option<CacheConfig>,
+    shed: ShedPolicy,
+    tenants: Vec<(HebsPolicy, TenantSpec)>,
+}
+
+impl TenantRegistryBuilder {
+    /// Configures the shared transformation cache. Its byte budget is
+    /// partitioned across tenants by [`TenantSpec::cache_weight`]; with no
+    /// cache configured, tenants serve uncached.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Sets the shed policy (default: [`ShedPolicy::RejectNewest`]).
+    pub fn with_shed_policy(mut self, shed: ShedPolicy) -> Self {
+        self.shed = shed;
+        self
+    }
+
+    /// Registers a tenant: its HEBS policy (the closed-loop pipeline its
+    /// budget is enforced with) and its spec. Ids are assigned in
+    /// registration order.
+    pub fn tenant(mut self, policy: HebsPolicy, spec: TenantSpec) -> Self {
+        self.tenants.push((policy, spec));
+        self
+    }
+
+    /// Builds the registry: creates the shared cache, partitions its byte
+    /// budget by weight, and constructs one engine per tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] when no tenant is
+    /// registered, a spec's weight or queue bound is zero, the shed
+    /// policy's shared capacity is zero, or a tenant's engine
+    /// configuration is invalid.
+    pub fn build(self) -> Result<TenantRegistry> {
+        if self.tenants.is_empty() {
+            return Err(RuntimeError::InvalidConfig {
+                name: "tenants",
+                reason: "a registry needs at least one tenant".to_string(),
+            });
+        }
+        if self.tenants.len() > usize::from(u16::MAX) {
+            return Err(RuntimeError::InvalidConfig {
+                name: "tenants",
+                reason: format!("{} tenants exceed the u16 id space", self.tenants.len()),
+            });
+        }
+        if let ShedPolicy::WeightedFair { shared_capacity } = self.shed {
+            if shared_capacity == 0 {
+                return Err(RuntimeError::InvalidConfig {
+                    name: "shed.shared_capacity",
+                    reason: "must be nonzero".to_string(),
+                });
+            }
+        }
+        let mut total_weight: u64 = 0;
+        for (_, spec) in &self.tenants {
+            if spec.cache_weight == 0 {
+                return Err(RuntimeError::InvalidConfig {
+                    name: "tenant.cache_weight",
+                    reason: format!("tenant {:?} has weight 0", spec.name),
+                });
+            }
+            if spec.queue_limit == 0 {
+                return Err(RuntimeError::InvalidConfig {
+                    name: "tenant.queue_limit",
+                    reason: format!("tenant {:?} has queue limit 0", spec.name),
+                });
+            }
+            total_weight += u64::from(spec.cache_weight);
+        }
+
+        let cache = match &self.cache {
+            Some(config) => {
+                validate_cache_config(config)?;
+                Some(Arc::new(TransformCache::new(config)))
+            }
+            None => None,
+        };
+        // Partition the shared byte budget by weight. An unbounded cache
+        // (byte_budget None) leaves every tenant unlimited: nothing to
+        // partition.
+        if let (Some(cache), Some(byte_budget)) =
+            (&cache, self.cache.as_ref().and_then(|c| c.byte_budget))
+        {
+            for (id, (_, spec)) in self.tenants.iter().enumerate() {
+                let slice = (byte_budget as u128 * u128::from(spec.cache_weight)
+                    / u128::from(total_weight)) as usize;
+                cache.set_tenant_limit(id as u16, slice);
+            }
+        }
+
+        let mut tenants = Vec::with_capacity(self.tenants.len());
+        for (id, (policy, spec)) in self.tenants.into_iter().enumerate() {
+            let fair_share = match self.shed {
+                ShedPolicy::RejectNewest => 0,
+                ShedPolicy::WeightedFair { shared_capacity } => (shared_capacity as u128
+                    * u128::from(spec.cache_weight)
+                    / u128::from(total_weight))
+                .max(1) as usize,
+            };
+            let config = EngineConfig {
+                workers: spec.workers,
+                queue_depth: 0,
+                max_distortion: spec.max_distortion,
+                cache: None,
+                mode: spec.mode,
+            };
+            let engine = match &cache {
+                Some(cache) => {
+                    Engine::with_shared_cache(policy, config, Arc::clone(cache), id as u16)?
+                }
+                None => Engine::new(policy, config)?,
+            };
+            tenants.push(TenantState {
+                name: spec.name,
+                engine,
+                queue_limit: spec.queue_limit,
+                fair_share,
+                outstanding: Arc::new(AtomicUsize::new(0)),
+            });
+        }
+        Ok(TenantRegistry {
+            cache,
+            shed: self.shed,
+            tenants,
+            total_outstanding: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+}
+
+/// A registry of tenant engines sharing one transformation cache, with
+/// admission control in front.
+///
+/// ```
+/// use hebs_core::{HebsPolicy, PipelineConfig};
+/// use hebs_imaging::synthetic;
+/// use hebs_runtime::{CacheConfig, ServeOptions, TenantRegistry, TenantSpec};
+///
+/// let registry = TenantRegistry::builder()
+///     .with_cache(CacheConfig::exact())
+///     .tenant(
+///         HebsPolicy::closed_loop(PipelineConfig::default()),
+///         TenantSpec::named("mobile").with_budget(0.05),
+///     )
+///     .tenant(
+///         HebsPolicy::closed_loop(PipelineConfig::default()),
+///         TenantSpec::named("desktop").with_budget(0.15).with_cache_weight(3),
+///     )
+///     .build()?;
+/// let mobile = registry.id_of("mobile").unwrap();
+/// let frame = synthetic::portrait(32, 32, 1);
+/// let result = registry.serve(mobile, &frame, &ServeOptions::default())?;
+/// assert!(result.outcome.distortion <= 0.05);
+/// # Ok::<(), hebs_runtime::RuntimeError>(())
+/// ```
+pub struct TenantRegistry {
+    cache: Option<Arc<TransformCache>>,
+    shed: ShedPolicy,
+    tenants: Vec<TenantState>,
+    total_outstanding: Arc<AtomicUsize>,
+}
+
+impl fmt::Debug for TenantRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TenantRegistry")
+            .field("tenants", &self.tenants.len())
+            .field("shed", &self.shed)
+            .field("cached", &self.cache.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TenantRegistry {
+    /// Starts building a registry.
+    pub fn builder() -> TenantRegistryBuilder {
+        TenantRegistryBuilder::default()
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The registered tenant ids, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = TenantId> + '_ {
+        (0..self.tenants.len()).map(|id| TenantId(id as u16))
+    }
+
+    /// Looks a tenant up by name (the first registration wins on
+    /// duplicates).
+    pub fn id_of(&self, name: &str) -> Option<TenantId> {
+        self.tenants
+            .iter()
+            .position(|t| t.name == name)
+            .map(|id| TenantId(id as u16))
+    }
+
+    /// A tenant's name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownTenant`] for an unregistered id.
+    pub fn name(&self, tenant: TenantId) -> Result<&str> {
+        Ok(&self.state(tenant)?.name)
+    }
+
+    /// A tenant's engine, for direct access to batch/stream serving,
+    /// characteristic installs and raw statistics. Serves through the
+    /// engine bypass admission control; route load through
+    /// [`TenantRegistry::admit`] + [`TenantRegistry::serve_with_permit`]
+    /// (or [`TenantRegistry::serve`]) to bound it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownTenant`] for an unregistered id.
+    pub fn engine(&self, tenant: TenantId) -> Result<&Engine> {
+        Ok(&self.state(tenant)?.engine)
+    }
+
+    /// Admits one frame for `tenant`, or sheds it.
+    ///
+    /// The returned [`AdmissionPermit`] counts against the tenant's
+    /// in-flight bound until dropped; drop it when the frame's result has
+    /// been delivered (not merely computed), so the bound covers the whole
+    /// queue, not just the serving pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Shed`] when the tenant is at its bound (see
+    /// [`ShedPolicy`]) — the shed is also counted in the tenant's
+    /// [`EngineStats::sheds`] — and [`RuntimeError::UnknownTenant`] for an
+    /// unregistered id.
+    pub fn admit(&self, tenant: TenantId) -> Result<AdmissionPermit> {
+        let state = self.state(tenant)?;
+        // Optimistically claim the slot, then roll back on refusal: two
+        // racing arrivals can briefly overshoot the bound, but never both
+        // hold permits beyond it.
+        let outstanding = state.outstanding.fetch_add(1, Ordering::AcqRel) + 1;
+        let total = self.total_outstanding.fetch_add(1, Ordering::AcqRel) + 1;
+        let admitted = match self.shed {
+            ShedPolicy::RejectNewest => outstanding <= state.queue_limit,
+            ShedPolicy::WeightedFair { shared_capacity } => {
+                outstanding <= state.fair_share
+                    || (total <= shared_capacity && outstanding <= state.queue_limit)
+            }
+        };
+        if !admitted {
+            state.outstanding.fetch_sub(1, Ordering::AcqRel);
+            self.total_outstanding.fetch_sub(1, Ordering::AcqRel);
+            state.engine.record_shed();
+            return Err(RuntimeError::Shed {
+                tenant: tenant.raw(),
+                queue_depth: outstanding - 1,
+            });
+        }
+        Ok(AdmissionPermit {
+            tenant,
+            outstanding: Arc::clone(&state.outstanding),
+            total: Arc::clone(&self.total_outstanding),
+        })
+    }
+
+    /// Serves one admitted frame on the calling thread, with the permit's
+    /// tenant's engine. The permit stays held (the caller drops it once
+    /// the result is delivered).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the tenant engine's serving errors.
+    pub fn serve_with_permit(
+        &self,
+        permit: &AdmissionPermit,
+        frame: &GrayImage,
+        options: &ServeOptions,
+    ) -> Result<FrameResult> {
+        let state = self.state(permit.tenant())?;
+        state.engine.process_frame_with_options(frame, options)
+    }
+
+    /// Admit-and-serve in one call: the permit is held for the duration of
+    /// the serve and released when it returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Shed`] when admission refuses the frame;
+    /// otherwise propagates the tenant engine's serving errors.
+    pub fn serve(
+        &self,
+        tenant: TenantId,
+        frame: &GrayImage,
+        options: &ServeOptions,
+    ) -> Result<FrameResult> {
+        let permit = self.admit(tenant)?;
+        self.serve_with_permit(&permit, frame, options)
+    }
+
+    /// A tenant's cumulative statistics, with the shared-cache fields
+    /// scoped to the tenant: `cache_bytes` is the tenant's own resident
+    /// bytes (its partition charge, not the whole shared cache) and
+    /// `queue_depth` its currently admitted frame count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownTenant`] for an unregistered id.
+    pub fn stats(&self, tenant: TenantId) -> Result<EngineStats> {
+        let state = self.state(tenant)?;
+        let mut stats = state.engine.stats();
+        if let Some(cache) = &self.cache {
+            stats.cache_bytes = cache.tenant_bytes(tenant.raw()) as u64;
+        }
+        stats.queue_depth = state.outstanding.load(Ordering::Acquire) as u64;
+        Ok(stats)
+    }
+
+    /// Bytes currently charged to a tenant in the shared cache (0 with no
+    /// cache configured).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownTenant`] for an unregistered id.
+    pub fn tenant_bytes(&self, tenant: TenantId) -> Result<usize> {
+        let _ = self.state(tenant)?;
+        Ok(self
+            .cache
+            .as_ref()
+            .map_or(0, |cache| cache.tenant_bytes(tenant.raw())))
+    }
+
+    fn state(&self, tenant: TenantId) -> Result<&TenantState> {
+        self.tenants
+            .get(tenant.index())
+            .ok_or(RuntimeError::UnknownTenant {
+                tenant: tenant.raw(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hebs_core::PipelineConfig;
+    use hebs_imaging::synthetic;
+
+    fn closed_loop() -> HebsPolicy {
+        HebsPolicy::closed_loop(PipelineConfig::default())
+    }
+
+    fn two_tenant_registry(shed: ShedPolicy) -> TenantRegistry {
+        TenantRegistry::builder()
+            .with_cache(CacheConfig::exact())
+            .with_shed_policy(shed)
+            .tenant(
+                closed_loop(),
+                TenantSpec::named("a")
+                    .with_queue_limit(2)
+                    .with_cache_weight(3),
+            )
+            .tenant(closed_loop(), TenantSpec::named("b").with_queue_limit(2))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_invalid_registries() {
+        assert!(matches!(
+            TenantRegistry::builder().build(),
+            Err(RuntimeError::InvalidConfig {
+                name: "tenants",
+                ..
+            })
+        ));
+        assert!(matches!(
+            TenantRegistry::builder()
+                .tenant(closed_loop(), TenantSpec::default().with_cache_weight(0))
+                .build(),
+            Err(RuntimeError::InvalidConfig {
+                name: "tenant.cache_weight",
+                ..
+            })
+        ));
+        assert!(matches!(
+            TenantRegistry::builder()
+                .tenant(closed_loop(), TenantSpec::default().with_queue_limit(0))
+                .build(),
+            Err(RuntimeError::InvalidConfig {
+                name: "tenant.queue_limit",
+                ..
+            })
+        ));
+        assert!(matches!(
+            TenantRegistry::builder()
+                .with_shed_policy(ShedPolicy::WeightedFair { shared_capacity: 0 })
+                .tenant(closed_loop(), TenantSpec::default())
+                .build(),
+            Err(RuntimeError::InvalidConfig {
+                name: "shed.shared_capacity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            TenantRegistry::builder()
+                .with_cache(CacheConfig::exact().with_capacity(0))
+                .tenant(closed_loop(), TenantSpec::default())
+                .build(),
+            Err(RuntimeError::InvalidConfig {
+                name: "cache.capacity",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn ids_names_and_unknown_tenants() {
+        let registry = two_tenant_registry(ShedPolicy::RejectNewest);
+        assert_eq!(registry.tenant_count(), 2);
+        let ids: Vec<TenantId> = registry.ids().collect();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(registry.name(ids[0]).unwrap(), "a");
+        assert_eq!(registry.id_of("b"), Some(ids[1]));
+        assert_eq!(registry.id_of("nope"), None);
+        let bogus = TenantId(7);
+        assert!(matches!(
+            registry.name(bogus),
+            Err(RuntimeError::UnknownTenant { tenant: 7 })
+        ));
+        assert!(matches!(
+            registry.admit(bogus),
+            Err(RuntimeError::UnknownTenant { .. })
+        ));
+        assert_eq!(format!("{}", ids[1]), "tenant#1");
+    }
+
+    #[test]
+    fn reject_newest_sheds_at_the_tenant_bound_and_recovers() {
+        let registry = two_tenant_registry(ShedPolicy::RejectNewest);
+        let a = registry.id_of("a").unwrap();
+        let b = registry.id_of("b").unwrap();
+
+        let p1 = registry.admit(a).unwrap();
+        let p2 = registry.admit(a).unwrap();
+        let shed = registry.admit(a);
+        assert!(matches!(
+            shed,
+            Err(RuntimeError::Shed {
+                tenant: 0,
+                queue_depth: 2
+            })
+        ));
+        // The other tenant is unaffected.
+        let pb = registry.admit(b).unwrap();
+        assert_eq!(pb.tenant(), b);
+
+        // Shed accounting: counted per tenant, queue depth is live.
+        let stats = registry.stats(a).unwrap();
+        assert_eq!(stats.sheds, 1);
+        assert_eq!(stats.queue_depth, 2);
+        assert_eq!(registry.stats(b).unwrap().sheds, 0);
+
+        // Releasing a permit re-opens the bound.
+        drop(p1);
+        let p3 = registry.admit(a).unwrap();
+        drop(p2);
+        drop(p3);
+        assert_eq!(registry.stats(a).unwrap().queue_depth, 0);
+    }
+
+    #[test]
+    fn weighted_fair_clamps_to_the_share_only_under_shared_overload() {
+        let registry = TenantRegistry::builder()
+            .with_shed_policy(ShedPolicy::WeightedFair { shared_capacity: 4 })
+            .tenant(
+                closed_loop(),
+                TenantSpec::named("protected")
+                    .with_cache_weight(3)
+                    .with_queue_limit(8),
+            )
+            .tenant(
+                closed_loop(),
+                TenantSpec::named("bursty")
+                    .with_cache_weight(1)
+                    .with_queue_limit(8),
+            )
+            .build()
+            .unwrap();
+        let protected = registry.id_of("protected").unwrap();
+        let bursty = registry.id_of("bursty").unwrap();
+        // Fair shares of capacity 4 at weights 3:1 → 3 and 1.
+
+        // Idle registry: the bursty tenant may exceed its fair share (up
+        // to its own queue_limit) while shared capacity remains.
+        let burst: Vec<AdmissionPermit> = (0..3).map(|_| registry.admit(bursty).unwrap()).collect();
+        assert_eq!(burst.len(), 3, "bursting into idle capacity is allowed");
+
+        // Shared capacity is now 3/4 used; the 4th admit fills it. Beyond
+        // that the bursty tenant is clamped to its fair share (1) and
+        // sheds...
+        let fill = registry.admit(bursty).unwrap();
+        assert!(matches!(
+            registry.admit(bursty),
+            Err(RuntimeError::Shed { tenant: 1, .. })
+        ));
+        // ...while the protected tenant can still claim up to its share.
+        let pa = registry.admit(protected).unwrap();
+        let pb = registry.admit(protected).unwrap();
+        let pc = registry.admit(protected).unwrap();
+        assert!(
+            matches!(registry.admit(protected), Err(RuntimeError::Shed { .. })),
+            "beyond its fair share the protected tenant sheds too"
+        );
+        drop((burst, fill, pa, pb, pc));
+        assert_eq!(registry.stats(protected).unwrap().queue_depth, 0);
+        assert_eq!(registry.stats(bursty).unwrap().queue_depth, 0);
+    }
+
+    #[test]
+    fn serves_route_to_the_tenants_own_budget_and_cache_slice() {
+        let registry = TenantRegistry::builder()
+            .with_cache(CacheConfig::exact())
+            .tenant(closed_loop(), TenantSpec::named("strict").with_budget(0.02))
+            .tenant(closed_loop(), TenantSpec::named("loose").with_budget(0.30))
+            .build()
+            .unwrap();
+        let strict = registry.id_of("strict").unwrap();
+        let loose = registry.id_of("loose").unwrap();
+        let frame = synthetic::portrait(32, 32, 3);
+
+        let s = registry
+            .serve(strict, &frame, &ServeOptions::default())
+            .unwrap();
+        assert!(s.outcome.distortion <= 0.02);
+        let l = registry
+            .serve(loose, &frame, &ServeOptions::default())
+            .unwrap();
+        assert!(l.outcome.distortion <= 0.30);
+        assert!(
+            !l.cache_hit,
+            "the identical frame must not replay across tenants"
+        );
+
+        // Each tenant's bytes are charged to its own partition.
+        assert!(registry.tenant_bytes(strict).unwrap() > 0);
+        assert!(registry.tenant_bytes(loose).unwrap() > 0);
+        let strict_stats = registry.stats(strict).unwrap();
+        assert_eq!(
+            strict_stats.cache_bytes as usize,
+            registry.tenant_bytes(strict).unwrap(),
+            "stats scope cache_bytes to the tenant"
+        );
+
+        // A repeat within a tenant replays from its own slice.
+        let again = registry
+            .serve(strict, &frame, &ServeOptions::default())
+            .unwrap();
+        assert!(again.cache_hit);
+    }
+
+    #[test]
+    fn permits_are_tenant_tagged_and_serve_with_permit_routes_by_them() {
+        let registry = two_tenant_registry(ShedPolicy::RejectNewest);
+        let a = registry.id_of("a").unwrap();
+        let frame = synthetic::still_life(24, 24, 5);
+        let permit = registry.admit(a).unwrap();
+        assert_eq!(permit.tenant(), a);
+        let result = registry
+            .serve_with_permit(&permit, &frame, &ServeOptions::default())
+            .unwrap();
+        assert!(result.outcome.power_saving >= 0.0);
+        drop(permit);
+        assert_eq!(registry.stats(a).unwrap().frames, 1);
+    }
+
+    #[test]
+    fn registry_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TenantRegistry>();
+        assert_send_sync::<AdmissionPermit>();
+        assert_send_sync::<ShedPolicy>();
+        assert_send_sync::<TenantSpec>();
+        assert_send_sync::<TenantId>();
+    }
+}

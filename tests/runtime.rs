@@ -11,7 +11,8 @@ use hebs::imaging::rng::StdRng;
 use hebs::imaging::{FrameSequence, GrayImage, Histogram, SceneKind, SipiSuite};
 use hebs::quality::GlobalUiqiDistortion;
 use hebs::runtime::{
-    CacheConfig, CacheMode, Engine, EngineConfig, RecharacterizePolicy, ServingMode,
+    CacheConfig, CacheMode, Engine, EngineConfig, RecharacterizePolicy, RuntimeError, ServeOptions,
+    ServingMode, TenantRegistry, TenantSpec,
 };
 
 fn policy() -> HebsPolicy {
@@ -936,6 +937,298 @@ fn envelope_fit_dims_heterogeneous_traffic_within_the_contract() {
         envelope > worst_case,
         "envelope ({envelope}) should dim more than worst case ({worst_case})"
     );
+}
+
+/// Tenant isolation, for both cache key modes: two tenants sharing one
+/// cache never replay each other's fits (the tenant id is a key
+/// dimension), and one tenant's characteristic swap (generation bump)
+/// invalidates only its own entries.
+#[test]
+fn tenants_share_a_cache_without_cross_tenant_replay_or_invalidation() {
+    let frames: Vec<GrayImage> = SipiSuite::with_size(32)
+        .iter()
+        .take(3)
+        .map(|(_, img)| img.clone())
+        .collect();
+    let open_loop = || ServingMode::OpenLoop {
+        recharacterize: RecharacterizePolicy {
+            interval: None,
+            drift_limit: None,
+            ..RecharacterizePolicy::default()
+        },
+    };
+    for cache in [CacheConfig::exact(), CacheConfig::approximate()] {
+        let registry = TenantRegistry::builder()
+            .with_cache(cache)
+            .tenant(
+                histogram_policy(),
+                TenantSpec::named("a")
+                    .with_budget(0.10)
+                    .with_mode(open_loop()),
+            )
+            .tenant(
+                histogram_policy(),
+                TenantSpec::named("b")
+                    .with_budget(0.10)
+                    .with_mode(open_loop()),
+            )
+            .build()
+            .unwrap();
+        let a = registry.id_of("a").unwrap();
+        let b = registry.id_of("b").unwrap();
+        let curve = characterize(&frames);
+        registry
+            .engine(a)
+            .unwrap()
+            .install_characteristic(curve.clone())
+            .unwrap();
+        registry
+            .engine(b)
+            .unwrap()
+            .install_characteristic(curve.clone())
+            .unwrap();
+        let options = ServeOptions::default();
+
+        // Same frame, same budget band, same curve content: tenant B must
+        // still miss where tenant A would hit.
+        let frame = &frames[0];
+        assert!(!registry.serve(a, frame, &options).unwrap().cache_hit);
+        assert!(registry.serve(a, frame, &options).unwrap().cache_hit);
+        assert!(
+            !registry.serve(b, frame, &options).unwrap().cache_hit,
+            "a fit made for one tenant must never replay for another"
+        );
+        assert!(registry.serve(b, frame, &options).unwrap().cache_hit);
+
+        // A characteristic swap on tenant A bumps only A's generation:
+        // A's fit is invalidated, B's keeps replaying.
+        registry
+            .engine(a)
+            .unwrap()
+            .install_characteristic(curve.clone())
+            .unwrap();
+        assert!(
+            !registry.serve(a, frame, &options).unwrap().cache_hit,
+            "the swapping tenant's stale fit must not replay"
+        );
+        assert!(
+            registry.serve(b, frame, &options).unwrap().cache_hit,
+            "another tenant's swap must not invalidate this tenant's fits"
+        );
+    }
+}
+
+/// One tenant flooding the shared cache evicts only its *own* entries: the
+/// byte budget is partitioned by weight, and each tenant's charge stays
+/// within its slice while the quiet tenant's entry keeps replaying.
+#[test]
+fn tenant_evictions_stay_within_the_weighted_partition() {
+    let frames: Vec<GrayImage> = SipiSuite::with_size(64)
+        .iter()
+        .take(6)
+        .map(|(_, img)| img.clone())
+        .collect();
+    // ~8.5 KiB per 64x64 exact entry; a 40 KiB budget split 1:1 gives each
+    // tenant a ~20 KiB slice (about two entries).
+    let budget = 40 * 1024;
+    let registry = TenantRegistry::builder()
+        .with_cache(CacheConfig {
+            shards: 1,
+            byte_budget: Some(budget),
+            ..CacheConfig::exact()
+        })
+        .tenant(policy(), TenantSpec::named("quiet"))
+        .tenant(policy(), TenantSpec::named("flood"))
+        .build()
+        .unwrap();
+    let quiet = registry.id_of("quiet").unwrap();
+    let flood = registry.id_of("flood").unwrap();
+    let options = ServeOptions::default();
+
+    // The quiet tenant caches one frame.
+    assert!(
+        !registry
+            .serve(quiet, &frames[0], &options)
+            .unwrap()
+            .cache_hit
+    );
+    let quiet_bytes = registry.tenant_bytes(quiet).unwrap();
+    assert!(quiet_bytes > 0);
+
+    // The flooding tenant serves far more than its slice holds.
+    for frame in &frames {
+        registry.serve(flood, frame, &options).unwrap();
+        assert!(
+            registry.tenant_bytes(flood).unwrap() <= budget / 2,
+            "a tenant's resident bytes must stay within its slice"
+        );
+    }
+    assert_eq!(
+        registry.tenant_bytes(quiet).unwrap(),
+        quiet_bytes,
+        "the flood must charge (and evict) only its own partition"
+    );
+    assert!(
+        registry
+            .serve(quiet, &frames[0], &options)
+            .unwrap()
+            .cache_hit,
+        "the quiet tenant's entry must survive a neighbour's flood"
+    );
+}
+
+/// Shed and queue accounting reconcile with `EngineStats`: refused
+/// arrivals count as sheds (not frames), released permits reopen the
+/// bound, and per-tenant counters are independent.
+#[test]
+fn shed_counters_reconcile_with_engine_stats() {
+    let registry = TenantRegistry::builder()
+        .tenant(policy(), TenantSpec::named("tight").with_queue_limit(1))
+        .tenant(policy(), TenantSpec::named("roomy"))
+        .build()
+        .unwrap();
+    let tight = registry.id_of("tight").unwrap();
+    let roomy = registry.id_of("roomy").unwrap();
+    let frame = SipiSuite::with_size(24)
+        .iter()
+        .next()
+        .map(|(_, img)| img.clone())
+        .unwrap();
+    let options = ServeOptions::default();
+
+    let permit = registry.admit(tight).unwrap();
+    for _ in 0..3 {
+        assert!(matches!(
+            registry.admit(tight),
+            Err(RuntimeError::Shed { tenant: 0, .. })
+        ));
+    }
+    registry
+        .serve_with_permit(&permit, &frame, &options)
+        .unwrap();
+    drop(permit);
+    registry.serve(tight, &frame, &options).unwrap();
+    registry.serve(roomy, &frame, &options).unwrap();
+
+    let tight_stats = registry.stats(tight).unwrap();
+    assert_eq!(tight_stats.frames, 2, "sheds must not count as frames");
+    assert_eq!(tight_stats.sheds, 3);
+    assert_eq!(tight_stats.queue_depth, 0, "permits were all released");
+    let roomy_stats = registry.stats(roomy).unwrap();
+    assert_eq!(roomy_stats.frames, 1);
+    assert_eq!(roomy_stats.sheds, 0);
+}
+
+/// Deadline-aware serving: a frame already past its deadline skips the
+/// closed-loop drift recheck and serves the installed curve directly
+/// (counted in `deadline_degraded`); the degraded fit is *not* cached, so
+/// a later unhurried serve of the same frame re-fits under the contract.
+#[test]
+fn past_due_serves_degrade_to_the_installed_curve_without_poisoning_the_cache() {
+    use std::time::{Duration, Instant};
+    // A lying curve (promises zero distortion everywhere) makes every
+    // open-loop fit land over budget, forcing the drift decision point.
+    let lying: Vec<CharacterizationSample> = (0..6)
+        .map(|i| CharacterizationSample {
+            image: format!("lie{i}"),
+            dynamic_range: 40 * (i + 1),
+            distortion: 0.0,
+            power_saving: 0.9,
+        })
+        .collect();
+    let engine = Engine::new(
+        histogram_policy(),
+        EngineConfig {
+            workers: 1,
+            max_distortion: 0.10,
+            cache: Some(CacheConfig::exact()),
+            mode: ServingMode::OpenLoop {
+                recharacterize: RecharacterizePolicy {
+                    interval: None,
+                    drift_limit: None,
+                    ..RecharacterizePolicy::default()
+                },
+            },
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    engine
+        .install_characteristic(DistortionCharacteristic::from_samples(lying).unwrap())
+        .unwrap();
+    let frame = SipiSuite::with_size(32)
+        .iter()
+        .next()
+        .map(|(_, img)| img.clone())
+        .unwrap();
+
+    // Past-due: the over-budget open-loop fit is served as-is.
+    let late = ServeOptions::default().with_deadline(Instant::now() - Duration::from_secs(1));
+    let degraded = engine.process_frame_with_options(&frame, &late).unwrap();
+    assert!(!degraded.cache_hit);
+    let stats = engine.stats();
+    assert_eq!(stats.deadline_degraded, 1);
+    assert_eq!(
+        stats.open_loop_fallbacks, 0,
+        "a degraded serve skips the closed-loop fallback"
+    );
+    assert_eq!(
+        stats.fit_evaluations, 1,
+        "the degraded path costs exactly the one open-loop evaluation"
+    );
+
+    // The degraded fit must not have been cached: an unhurried serve of
+    // the same frame misses, falls back closed-loop, and honours the
+    // budget.
+    let relaxed = ServeOptions::default().with_deadline(Instant::now() + Duration::from_secs(60));
+    let honoured = engine.process_frame_with_options(&frame, &relaxed).unwrap();
+    assert!(
+        !honoured.cache_hit,
+        "an over-budget degraded fit must never be cached"
+    );
+    assert!(honoured.outcome.distortion <= 0.10 + 1e-9);
+    let stats = engine.stats();
+    assert_eq!(
+        stats.deadline_degraded, 1,
+        "an unexpired deadline is a no-op"
+    );
+    assert_eq!(stats.open_loop_fallbacks, 1);
+
+    // The honoured fit *was* cached and replays.
+    assert!(engine.process_frame(&frame).unwrap().cache_hit);
+}
+
+/// `Engine::stream_scoped` accepts a producer borrowing from the caller's
+/// stack (no `'static` bound) and agrees with batching.
+#[test]
+fn scoped_streaming_serves_borrowed_producers() {
+    let frames: Vec<GrayImage> = FrameSequence::new(SceneKind::Static, 24, 24, 8, 11)
+        .frames()
+        .collect();
+    let engine = Engine::new(
+        policy(),
+        EngineConfig {
+            workers: 2,
+            queue_depth: 2,
+            cache: None,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let streamed: Vec<_> = std::thread::scope(|scope| {
+        // `frames.iter().cloned()` borrows `frames`: this does not compile
+        // against the `'static` bound of `Engine::stream`.
+        engine
+            .stream_scoped(scope, frames.iter().cloned())
+            .collect::<hebs::runtime::Result<Vec<_>>>()
+    })
+    .unwrap();
+    let batched = engine.process_batch(&frames).unwrap();
+    assert_eq!(streamed.len(), batched.frames());
+    for (s, b) in streamed.iter().zip(&batched.results) {
+        assert_eq!(s.index, b.index);
+        assert_outcomes_bit_identical(&s.outcome, &b.outcome, &format!("frame {}", s.index));
+    }
 }
 
 /// Streaming and batching agree on the same input.
