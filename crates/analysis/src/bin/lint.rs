@@ -1,0 +1,75 @@
+//! The serve-path lint binary: `cargo run -p hebs-analysis --bin lint`.
+//!
+//! With no arguments, scans the whole workspace (every `.rs` under
+//! `crates/*/src` and the facade's `src/`) and exits nonzero if any rule
+//! fires. With `--fixture <file>` (repeatable), scans each file as a lint
+//! self-test fixture — every rule armed — which is how the fixture tests
+//! drive the binary.
+
+use hebs_analysis::lint;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fixtures: Vec<PathBuf> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fixture" => match iter.next() {
+                Some(path) => fixtures.push(PathBuf::from(path)),
+                None => {
+                    eprintln!("lint: --fixture requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("lint: unknown argument `{other}`");
+                eprintln!("usage: lint [--fixture <file>]...");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let result = if fixtures.is_empty() {
+        // The binary lives at crates/analysis; the workspace root is two
+        // directories up, independent of the invocation directory.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map(Path::to_path_buf);
+        match root {
+            Some(root) => lint::scan_workspace(&root).map(|(scanned, findings)| {
+                println!("lint: scanned {scanned} files under {}", root.display());
+                findings
+            }),
+            None => {
+                eprintln!("lint: cannot locate the workspace root");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        fixtures.iter().try_fold(Vec::new(), |mut all, path| {
+            all.extend(lint::scan_fixture(path)?);
+            Ok(all)
+        })
+    };
+
+    match result {
+        Ok(findings) if findings.is_empty() => {
+            println!("lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!("lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(error) => {
+            eprintln!("lint: {error}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Deterministic interleaving stress: seeded yield-injection points.
+//!
+//! The runtime compiles [`point`] calls into its race-prone seams — the
+//! single-flight wait/notify handshake, the cache insert-evict path, the
+//! generation-swap CAS and tenant admission. With a schedule seed
+//! installed ([`set_seed`], or the `HEBS_INTERLEAVE_SEED` environment
+//! variable) each point hashes `(seed, point id, visit index)` and decides
+//! whether to yield the thread — perturbing the interleaving the OS
+//! scheduler would otherwise produce. Replaying the same seed over the
+//! same workload walks threads through the same yield decisions, so a
+//! harness can re-run invariant tests under N *distinct, reproducible*
+//! schedules instead of the one schedule the runner happens to produce.
+//!
+//! The points are compiled out entirely in release builds (no
+//! `debug_assertions` and no `lockdep` feature): [`point`] is an empty
+//! `#[inline(always)]` function, keeping the serve path zero-cost.
+
+#[cfg(any(debug_assertions, feature = "lockdep"))]
+mod imp {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Once;
+
+    /// The mixed schedule seed; 0 means disabled.
+    static STATE: AtomicU64 = AtomicU64::new(0);
+    /// Global visit counter: makes successive visits to one point take
+    /// different decisions while staying a pure function of the seed and
+    /// the visit order.
+    static TICK: AtomicU64 = AtomicU64::new(0);
+    static ENV_INIT: Once = Once::new();
+
+    /// SplitMix64 finalizer — a cheap, well-distributed bit mixer.
+    fn mix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    fn hash_id(id: &str) -> u64 {
+        // FNV-1a: stable across runs, unlike `RandomState`.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in id.bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Installs (or, with `None`, removes) the schedule seed and resets
+    /// the visit counter so replays of the same workload see the same
+    /// decision sequence.
+    pub fn set_seed(seed: Option<u64>) {
+        TICK.store(0, Ordering::Relaxed); // ordering: best-effort reset; exact replay needs a quiesced process anyway
+        let state = match seed {
+            // `max(1)` keeps an explicit seed of 0 distinct from "off".
+            Some(seed) => mix(seed).max(1),
+            None => 0,
+        };
+        STATE.store(state, Ordering::Relaxed); // ordering: points only need to eventually observe the new seed
+    }
+
+    /// Whether a schedule seed is currently installed.
+    pub fn is_enabled() -> bool {
+        ENV_INIT.call_once(init_from_env);
+        STATE.load(Ordering::Relaxed) != 0 // ordering: advisory read for logging/tests
+    }
+
+    fn init_from_env() {
+        if let Some(seed) = std::env::var("HEBS_INTERLEAVE_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            set_seed(Some(seed));
+        }
+    }
+
+    /// A named interleaving point. No-op unless a seed is installed.
+    #[inline]
+    pub fn point(id: &str) {
+        ENV_INIT.call_once(init_from_env);
+        let seed = STATE.load(Ordering::Relaxed); // ordering: a stale read just delays the perturbation by a visit
+        if seed != 0 {
+            perturb(seed, id);
+        }
+    }
+
+    #[cold]
+    fn perturb(seed: u64, id: &str) {
+        let tick = TICK.fetch_add(1, Ordering::Relaxed); // ordering: the counter only feeds the hash
+        let decision = mix(seed ^ hash_id(id) ^ mix(tick));
+        // Yield on ~3/8 of visits, occasionally twice: enough to shuffle
+        // wait/notify and CAS races without serializing the test.
+        if decision % 8 < 3 {
+            std::thread::yield_now();
+            if decision % 16 >= 8 {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(not(any(debug_assertions, feature = "lockdep")))]
+mod imp {
+    /// Release build: interleaving points compile to nothing.
+    #[inline(always)]
+    pub fn point(_id: &str) {}
+
+    /// Release build: there is no schedule to install.
+    #[inline(always)]
+    pub fn set_seed(_seed: Option<u64>) {}
+
+    /// Release build: never enabled.
+    #[inline(always)]
+    pub fn is_enabled() -> bool {
+        false
+    }
+}
+
+pub use imp::{is_enabled, point, set_seed};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_inert_until_seeded() {
+        // Inert by default (no env var in the test environment) and cheap
+        // to call either way.
+        for _ in 0..1000 {
+            point("test.noop");
+        }
+        set_seed(Some(42));
+        assert!(is_enabled());
+        for _ in 0..1000 {
+            point("test.seeded");
+        }
+        set_seed(None);
+        assert!(!is_enabled());
+    }
+}

@@ -1,0 +1,39 @@
+//! Concurrency correctness tooling for the HEBS serving runtime.
+//!
+//! The runtime is built entirely on hand-rolled `std::sync` primitives —
+//! sharded mutexes, a condvar-based single-flight table, and ~70 atomics —
+//! and the paper's bounded-distortion contract is only as good as the
+//! absence of deadlocks and torn counters under load. With no registry
+//! access (no `loom`, no sanitizer crates), this crate supplies a std-only
+//! analysis layer with three legs:
+//!
+//! * [`lockdep`] — [`OrderedMutex`]/[`OrderedRwLock`]/[`OrderedCondvar`]
+//!   wrappers that carry a declared [`LockClass`] rank. Under
+//!   `debug_assertions` (or the `lockdep` cargo feature) every acquisition
+//!   is checked against the thread's held-lock set and a global lock-order
+//!   graph; rank inversions, reentrant acquisitions and order cycles panic
+//!   naming both acquisition sites. In release builds the wrappers are
+//!   plain `std::sync` types with zero overhead.
+//! * [`interleave`] — seeded yield-injection points
+//!   ([`interleave::point`]) compiled into the runtime's race-prone seams
+//!   (single-flight wait/notify, cache insert-evict, generation-swap CAS,
+//!   tenant admission). A seeded schedule perturbs thread interleavings
+//!   deterministically enough to re-run invariant tests under many
+//!   distinct schedules; in release builds the points are empty inline
+//!   functions.
+//! * [`lint`] — the source-scanning rules behind the `lint` binary
+//!   (`cargo run -p hebs-analysis --bin lint`): no `.unwrap()`/`.expect(`
+//!   in runtime library code (poison recovery goes through
+//!   [`lock_healthy`]), `#![forbid(unsafe_code)]` in every crate root,
+//!   justified `Relaxed`/`SeqCst` atomics, no `thread::sleep` in library
+//!   code, and no raw `std::sync::Mutex`/`Condvar` outside this crate.
+
+#![forbid(unsafe_code)]
+
+pub mod interleave;
+pub mod lint;
+pub mod lockdep;
+
+pub use lockdep::{
+    lock_healthy, LockClass, OrderedCondvar, OrderedMutex, OrderedMutexGuard, OrderedRwLock,
+};

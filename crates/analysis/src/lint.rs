@@ -1,0 +1,470 @@
+//! The serve-path lint pass: source-scanning rules for the workspace.
+//!
+//! Clippy cannot see project policy — that poisoned-lock recovery must go
+//! through [`lock_healthy`](crate::lock_healthy), that every `Relaxed`
+//! atomic must state *why* relaxed is enough, that raw `std::sync::Mutex`
+//! is banned outside this crate now that the runtime carries lock ranks.
+//! These rules are plain text scans (std-only, no syn/proc-macro) over
+//! non-test library code, with two escape hatches: a compiled-in per-rule
+//! path [`ALLOWLIST`] and an inline `// lint: allow(<rule>)` waiver on
+//! the offending line.
+//!
+//! Rules:
+//!
+//! * `no-unwrap` — no `.unwrap()` / `.expect(` in runtime library code
+//!   (`crates/runtime/src`). Lock recovery goes through `lock_healthy`;
+//!   everything else returns `RuntimeError`.
+//! * `forbid-unsafe` — every crate root must carry
+//!   `#![forbid(unsafe_code)]`.
+//! * `atomic-ordering` — a line using `Ordering::Relaxed` or
+//!   `Ordering::SeqCst` must carry a trailing `// ordering:` comment
+//!   justifying the choice.
+//! * `no-sleep` — no `thread::sleep` in library code (benches excepted
+//!   via the allowlist: an open-loop load generator paces by sleeping).
+//! * `raw-mutex` — no raw `std::sync::Mutex`/`MutexGuard`/`Condvar`
+//!   outside `crates/analysis`; the runtime uses the ordered wrappers.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+// Patterns are assembled with `concat!` so this file's own scan of the
+// workspace never matches the rule definitions themselves.
+const PAT_UNWRAP: &str = concat!(".", "unwrap()");
+const PAT_EXPECT: &str = concat!(".", "expect(");
+const PAT_RELAXED: &str = concat!("Ordering::", "Relaxed");
+const PAT_SEQCST: &str = concat!("Ordering::", "SeqCst");
+const PAT_ORDERING_COMMENT: &str = concat!("// ordering", ":");
+const PAT_SLEEP: &str = concat!("thread::", "sleep");
+const PAT_FORBID_UNSAFE: &str = concat!("#![forbid(", "unsafe_code)]");
+const PAT_CFG_TEST: &str = concat!("#[cfg(", "test)]");
+const PAT_CFG_ALL_TEST: &str = concat!("#[cfg(all(", "test");
+const RAW_SYNC_TOKENS: [&str; 3] = ["Mutex", "MutexGuard", "Condvar"];
+/// Marker a fixture uses to opt into the crate-root rule.
+pub const CRATE_ROOT_MARKER: &str = concat!("// lint-scope", ": crate-root");
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    /// 1-based line number (line 1 for whole-file findings).
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A compiled-in waiver: `rule` is not applied to paths containing
+/// `path_contains`. Every entry carries its justification.
+pub struct Allow {
+    pub rule: &'static str,
+    pub path_contains: &'static str,
+    pub reason: &'static str,
+}
+
+/// The per-rule path allowlist.
+pub const ALLOWLIST: &[Allow] = &[Allow {
+    rule: "no-sleep",
+    path_contains: "crates/bench/",
+    reason:
+        "the open-loop load generator paces scheduled arrivals by sleeping until each send time",
+}];
+
+fn allowed(rule: &str, path: &str) -> bool {
+    ALLOWLIST
+        .iter()
+        .any(|a| a.rule == rule && path.contains(a.path_contains))
+}
+
+/// Which rule set a file gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A crate root (`src/lib.rs`): library rules plus `forbid-unsafe`.
+    CrateRoot,
+    /// Ordinary library source.
+    Library,
+    /// A lint self-test fixture: treated as runtime library code so every
+    /// rule can fire; the crate-root rule applies only when the fixture
+    /// carries the [`CRATE_ROOT_MARKER`].
+    Fixture,
+}
+
+/// Strips a trailing `//` line comment, returning `(code, full_line)`.
+/// Heuristic: the first `//` outside obvious char/string context starts
+/// the comment; good enough for this workspace's style.
+fn code_portion(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Does `code` contain `token` as a standalone identifier?
+fn has_token(code: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let at = start + pos;
+        let before_ok = code[..at]
+            .chars()
+            .next_back()
+            .map_or(true, |c| !is_ident_char(c));
+        let after_ok = code[at + token.len()..]
+            .chars()
+            .next()
+            .map_or(true, |c| !is_ident_char(c));
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + token.len();
+    }
+    false
+}
+
+/// Marks each line that belongs to `#[cfg(test)]`-gated code: the
+/// attribute itself, any stacked attributes, and the braced item (or the
+/// single `;`-terminated item) it gates.
+fn test_region_map(lines: &[&str]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut depth: i32 = 0;
+    let mut pending = false;
+    for (i, line) in lines.iter().enumerate() {
+        let code = code_portion(line);
+        if depth > 0 {
+            in_test[i] = true;
+            depth += braces_delta(code);
+            if depth <= 0 {
+                depth = 0;
+            }
+            continue;
+        }
+        if pending {
+            in_test[i] = true;
+            let delta = braces_delta(code);
+            if delta > 0 {
+                depth = delta;
+                pending = false;
+            } else if code.contains(';') {
+                // A gated single-line item (e.g. a `use` declaration).
+                pending = false;
+            }
+            continue;
+        }
+        if code.contains(PAT_CFG_TEST) || code.contains(PAT_CFG_ALL_TEST) {
+            in_test[i] = true;
+            pending = true;
+            // The item may open on the same line as the attribute.
+            let delta = braces_delta(code);
+            if delta > 0 {
+                depth = delta;
+                pending = false;
+            }
+        }
+    }
+    in_test
+}
+
+fn braces_delta(code: &str) -> i32 {
+    let mut delta = 0;
+    for c in code.chars() {
+        match c {
+            '{' => delta += 1,
+            '}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+/// Scans one file's contents. `path` is the workspace-relative path used
+/// for rule scoping, allowlists and reporting.
+pub fn scan_source(path: &str, kind: FileKind, contents: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lines: Vec<&str> = contents.lines().collect();
+    let in_test = test_region_map(&lines);
+
+    let fixture = kind == FileKind::Fixture;
+    let crate_root =
+        kind == FileKind::CrateRoot || (fixture && contents.contains(CRATE_ROOT_MARKER));
+    let unwrap_scope = fixture || path.starts_with("crates/runtime/src");
+    let raw_mutex_scope = !path.starts_with("crates/analysis");
+
+    if crate_root && !contents.contains(PAT_FORBID_UNSAFE) {
+        findings.push(Finding {
+            rule: "forbid-unsafe",
+            path: path.to_string(),
+            line: 1,
+            message: format!("crate root is missing `{PAT_FORBID_UNSAFE}`"),
+        });
+    }
+
+    for (i, line) in lines.iter().enumerate() {
+        let number = i + 1;
+        let code = code_portion(line);
+        let waived =
+            |rule: &str| line.contains(&format!("lint: allow({rule})")) || allowed(rule, path);
+        let mut push = |rule: &'static str, message: String| {
+            if !waived(rule) {
+                findings.push(Finding {
+                    rule,
+                    path: path.to_string(),
+                    line: number,
+                    message,
+                });
+            }
+        };
+
+        if raw_mutex_scope {
+            for token in RAW_SYNC_TOKENS {
+                if has_token(code, token) {
+                    push(
+                        "raw-mutex",
+                        format!(
+                            "raw `std::sync::{token}` outside crates/analysis; use the \
+                             Ordered{} wrapper so the lock carries a rank",
+                            if token == "Condvar" {
+                                "Condvar"
+                            } else {
+                                "Mutex"
+                            }
+                        ),
+                    );
+                }
+            }
+        }
+
+        if in_test[i] {
+            continue;
+        }
+
+        if unwrap_scope {
+            if code.contains(PAT_UNWRAP) {
+                push(
+                    "no-unwrap",
+                    format!(
+                        "`{PAT_UNWRAP}` in runtime library code; recover poisoned locks \
+                         via `lock_healthy` or surface a RuntimeError"
+                    ),
+                );
+            }
+            if code.contains(PAT_EXPECT) {
+                push(
+                    "no-unwrap",
+                    format!(
+                        "`{PAT_EXPECT}...)` in runtime library code; recover poisoned \
+                         locks via `lock_healthy` or surface a RuntimeError"
+                    ),
+                );
+            }
+        }
+
+        for pattern in [PAT_RELAXED, PAT_SEQCST] {
+            if code.contains(pattern) && !line.contains(PAT_ORDERING_COMMENT) {
+                push(
+                    "atomic-ordering",
+                    format!(
+                        "`{pattern}` without a trailing `{PAT_ORDERING_COMMENT}` \
+                         justification comment"
+                    ),
+                );
+            }
+        }
+
+        if code.contains(PAT_SLEEP) {
+            push(
+                "no-sleep",
+                format!("`{PAT_SLEEP}` in library code; blocking the pool hides backpressure"),
+            );
+        }
+    }
+    findings
+}
+
+/// Scans a fixture file from disk with every rule armed.
+pub fn scan_fixture(path: &Path) -> io::Result<Vec<Finding>> {
+    let contents = fs::read_to_string(path)?;
+    Ok(scan_source(
+        &path.display().to_string(),
+        FileKind::Fixture,
+        &contents,
+    ))
+}
+
+/// Scans the workspace rooted at `root`: every `.rs` file under
+/// `crates/*/src` and the facade's `src/`.
+pub fn scan_workspace(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut files)?;
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+
+    let mut findings = Vec::new();
+    let scanned = files.len();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let kind = if rel.ends_with("src/lib.rs") {
+            FileKind::CrateRoot
+        } else {
+            FileKind::Library
+        };
+        let contents = fs::read_to_string(&file)?;
+        findings.extend(scan_source(&rel, kind, &contents));
+    }
+    Ok((scanned, findings))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_flag_in_runtime_library_code() {
+        let source = "fn serve() {\n    let g = lock.lock().unwrap();\n    let h = other.lock().expect(\"x\");\n}\n";
+        let findings = scan_source("crates/runtime/src/engine.rs", FileKind::Library, source);
+        assert_eq!(rules(&findings), vec!["no-unwrap", "no-unwrap"]);
+        assert_eq!(findings[0].line, 2);
+        // The same text outside the runtime crate is not in scope.
+        assert!(scan_source("crates/core/src/policy.rs", FileKind::Library, source).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_library_rules() {
+        let source = "fn serve() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        x.lock().unwrap();\n        std::thread::sleep(d);\n        c.load(Ordering::SeqCst);\n    }\n}\n";
+        let findings = scan_source("crates/runtime/src/engine.rs", FileKind::Library, source);
+        assert!(findings.is_empty(), "unexpected: {findings:?}");
+    }
+
+    #[test]
+    fn unjustified_relaxed_flags_and_justified_passes() {
+        let bad = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let good =
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); } // ordering: monotonic counter\n";
+        assert_eq!(
+            rules(&scan_source("crates/core/src/a.rs", FileKind::Library, bad)),
+            vec!["atomic-ordering"]
+        );
+        assert!(scan_source("crates/core/src/a.rs", FileKind::Library, good).is_empty());
+    }
+
+    #[test]
+    fn raw_sync_primitives_flag_but_ordered_wrappers_pass() {
+        let raw = "use std::sync::{Mutex, Condvar};\n";
+        let findings = scan_source("crates/runtime/src/cache.rs", FileKind::Library, raw);
+        assert_eq!(rules(&findings), vec!["raw-mutex", "raw-mutex"]);
+        let wrapped = "use hebs_analysis::{OrderedMutex, OrderedCondvar, OrderedMutexGuard};\n";
+        assert!(scan_source("crates/runtime/src/cache.rs", FileKind::Library, wrapped).is_empty());
+        // crates/analysis itself wraps the raw primitives.
+        assert!(scan_source("crates/analysis/src/lockdep.rs", FileKind::Library, raw).is_empty());
+    }
+
+    #[test]
+    fn sleep_flags_in_library_code_but_bench_is_allowlisted() {
+        let source = "fn pace() { std::thread::sleep(d); }\n";
+        assert_eq!(
+            rules(&scan_source(
+                "crates/runtime/src/serving.rs",
+                FileKind::Library,
+                source
+            )),
+            vec!["no-sleep"]
+        );
+        assert!(
+            scan_source("crates/bench/src/loadgen.rs", FileKind::Library, source).is_empty(),
+            "bench pacing is allowlisted"
+        );
+    }
+
+    #[test]
+    fn crate_root_requires_forbid_unsafe() {
+        let bare = "pub mod engine;\n";
+        assert_eq!(
+            rules(&scan_source(
+                "crates/runtime/src/lib.rs",
+                FileKind::CrateRoot,
+                bare
+            )),
+            vec!["forbid-unsafe"]
+        );
+        let sealed = format!("{PAT_FORBID_UNSAFE}\npub mod engine;\n");
+        assert!(scan_source("crates/runtime/src/lib.rs", FileKind::CrateRoot, &sealed).is_empty());
+    }
+
+    #[test]
+    fn inline_waiver_suppresses_a_single_rule() {
+        let source =
+            "fn f() { x.lock().unwrap(); } // lint: allow(no-unwrap) invariant: set above\n";
+        assert!(scan_source("crates/runtime/src/engine.rs", FileKind::Library, source).is_empty());
+        // The waiver names one rule; others still fire.
+        let sleepy = "fn f() { std::thread::sleep(d); } // lint: allow(no-unwrap)\n";
+        assert_eq!(
+            rules(&scan_source(
+                "crates/runtime/src/engine.rs",
+                FileKind::Library,
+                sleepy
+            )),
+            vec!["no-sleep"]
+        );
+    }
+
+    #[test]
+    fn fixture_mode_arms_every_rule() {
+        let source = "fn f() { x.lock().unwrap(); }\n";
+        assert_eq!(
+            rules(&scan_source("anything.rs", FileKind::Fixture, source)),
+            vec!["no-unwrap"]
+        );
+        let marked = format!("{CRATE_ROOT_MARKER}\npub fn f() {{}}\n");
+        assert_eq!(
+            rules(&scan_source("anything.rs", FileKind::Fixture, &marked)),
+            vec!["forbid-unsafe"]
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Self-test for the lint binary: every fixture under
+//! `tests/lint_fixtures/bad/` must make the binary exit nonzero, every
+//! fixture under `tests/lint_fixtures/good/` must pass it clean.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixtures(kind: &str) -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint_fixtures")
+        .join(kind);
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing fixture dir {}: {e}", dir.display()))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no fixtures in {}", dir.display());
+    files
+}
+
+fn run_lint(fixture: &PathBuf) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lint"))
+        .arg("--fixture")
+        .arg(fixture)
+        .output()
+        .expect("failed to run the lint binary")
+}
+
+#[test]
+fn every_bad_fixture_fails_the_lint() {
+    for fixture in fixtures("bad") {
+        let output = run_lint(&fixture);
+        assert!(
+            !output.status.success(),
+            "{} should have been flagged; stdout: {}",
+            fixture.display(),
+            String::from_utf8_lossy(&output.stdout)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains("finding"),
+            "{}: expected a findings report, got: {stdout}",
+            fixture.display()
+        );
+    }
+}
+
+#[test]
+fn every_good_fixture_passes_the_lint() {
+    for fixture in fixtures("good") {
+        let output = run_lint(&fixture);
+        assert!(
+            output.status.success(),
+            "{} should have passed; stdout: {}",
+            fixture.display(),
+            String::from_utf8_lossy(&output.stdout)
+        );
+    }
+}
+
+/// The migrated tree itself stays clean — the same invocation CI runs.
+#[test]
+fn workspace_scan_is_clean() {
+    let output = Command::new(env!("CARGO_BIN_EXE_lint"))
+        .output()
+        .expect("failed to run the lint binary");
+    assert!(
+        output.status.success(),
+        "workspace lint failed:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+}

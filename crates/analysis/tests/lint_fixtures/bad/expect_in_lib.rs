@@ -1,0 +1,4 @@
+// `.expect` is the same cascade with a nicer epitaph.
+pub fn head(values: &[u32]) -> u32 {
+    *values.first().expect("values must not be empty")
+}

@@ -1,0 +1,5 @@
+// lint-scope: crate-root
+// A crate root without the unsafe seal.
+#![allow(dead_code)]
+
+pub mod engine;

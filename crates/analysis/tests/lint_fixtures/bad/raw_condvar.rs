@@ -1,0 +1,4 @@
+// A raw condvar bypasses the ordered wait/reacquire bookkeeping.
+pub struct FlightShard {
+    done: std::sync::Condvar,
+}

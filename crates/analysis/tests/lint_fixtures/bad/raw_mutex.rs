@@ -1,0 +1,6 @@
+// A raw mutex carries no rank: lockdep cannot order it.
+use std::sync::Mutex;
+
+pub struct Table {
+    slots: Mutex<Vec<u64>>,
+}

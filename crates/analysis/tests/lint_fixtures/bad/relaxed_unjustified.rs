@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// A relaxed read gating a control decision, with no stated reasoning.
+pub fn should_shed(depth: &AtomicU64, limit: u64) -> bool {
+    depth.load(Ordering::Relaxed) >= limit
+}

@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// SeqCst as a talisman: if the global order matters, say why.
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::SeqCst)
+}

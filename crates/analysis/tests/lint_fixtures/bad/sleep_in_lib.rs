@@ -1,0 +1,4 @@
+// Sleeping on the serve path hides backpressure instead of surfacing it.
+pub fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}

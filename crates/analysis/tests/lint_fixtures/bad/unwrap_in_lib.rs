@@ -1,0 +1,5 @@
+// A poisoned-lock unwrap in library code: one panicked worker cascades
+// through every thread that touches the lock afterwards.
+pub fn drain(queue: &std::collections::VecDeque<u32>) -> u32 {
+    queue.front().copied().unwrap()
+}

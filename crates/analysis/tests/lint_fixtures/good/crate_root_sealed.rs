@@ -1,0 +1,5 @@
+// lint-scope: crate-root
+//! A crate root carrying the unsafe seal.
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

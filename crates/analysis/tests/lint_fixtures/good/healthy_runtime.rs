@@ -1,0 +1,35 @@
+// Idiomatic post-migration runtime code: ordered locks, healthy
+// recovery, justified orderings, and test-only unwraps.
+use hebs_analysis::{lock_healthy, LockClass, OrderedMutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Shard {
+    entries: OrderedMutex<Vec<u64>>,
+    poison_recoveries: AtomicU64,
+}
+
+impl Shard {
+    pub fn push(&self, value: u64) {
+        let mut entries = lock_healthy(self.entries.lock(), || {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed); // ordering: monotonic counter, read only in snapshots
+        });
+        entries.push(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_here() {
+        let shard = super::Shard {
+            entries: hebs_analysis::OrderedMutex::new(
+                hebs_analysis::LockClass::CacheShard,
+                Vec::new(),
+            ),
+            poison_recoveries: std::sync::atomic::AtomicU64::new(0),
+        };
+        shard.push(1);
+        assert_eq!(shard.entries.lock().unwrap().len(), 1);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,5 @@
+// An inline waiver names the rule and leaves the justification on the
+// offending line itself.
+pub fn first_checked(values: &[u32]) -> u32 {
+    *values.first().unwrap() // lint: allow(no-unwrap) caller guarantees non-empty via admission check
+}

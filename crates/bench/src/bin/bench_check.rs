@@ -117,6 +117,11 @@ fn gate(
         return Ok(true);
     }
     let baseline = read(&baseline_path)?;
+    println!(
+        "{name}: comparing {} against baseline {}",
+        current_path.display(),
+        baseline_path.display()
+    );
     let report = check(&baseline, &current)?;
     print!("{}", render_report(name, &report));
     Ok(report.passed())

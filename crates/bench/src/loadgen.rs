@@ -309,8 +309,10 @@ pub fn run_scenario(scenario: &LoadScenario) -> hebs_runtime::Result<ScenarioRep
             senders.push(tx);
             receivers.push(rx);
         }
-        let results_store =
-            std::sync::Mutex::new(vec![(Vec::new(), 0.0f64); scenario.tenants.len()]);
+        let results_store = hebs_analysis::OrderedMutex::new(
+            hebs_analysis::LockClass::Stats,
+            vec![(Vec::new(), 0.0f64); scenario.tenants.len()],
+        );
         let registry = &registry;
         let results = &results_store;
 

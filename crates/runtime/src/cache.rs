@@ -36,8 +36,10 @@ use std::collections::hash_map::RandomState;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{BuildHasher, Hash};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use hebs_analysis::{interleave, lock_healthy, LockClass, OrderedCondvar, OrderedMutex};
 
 use hebs_core::{FrameTransform, ScalingOutcome};
 use hebs_imaging::{GrayImage, Histogram, HistogramSignature, DEFAULT_SIGNATURE_RESOLUTION};
@@ -162,7 +164,7 @@ pub(crate) fn content_hash128(bytes: &[u8], seed: u64) -> u128 {
     let mut b = mix(seed.wrapping_add(GOLDEN));
     let mut chunks = bytes.chunks_exact(8);
     for chunk in &mut chunks {
-        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")); // lint: allow(no-unwrap) chunks_exact(8) fixes the length
         a = mix(a ^ word).wrapping_add(GOLDEN);
         b = mix(b.rotate_left(23) ^ word);
     }
@@ -248,7 +250,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         }
         self.tick += 1;
         let tick = self.tick;
-        let entry = self.map.get_mut(key).expect("entry checked present");
+        let entry = self.map.get_mut(key).expect("entry checked present"); // lint: allow(no-unwrap) presence established by the expiry probe above
         let value = entry.value.clone();
         let generation = entry.generation;
         self.recency.remove(&entry.tick);
@@ -397,12 +399,13 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
 /// served rather than what the raw probes saw.
 #[derive(Debug)]
 pub struct ShardedLru<K, V> {
-    shards: Vec<Mutex<Shard<K, V>>>,
+    shards: Vec<OrderedMutex<Shard<K, V>>>,
     hasher: RandomState,
     hits: AtomicU64,
     misses: AtomicU64,
     rejections: AtomicU64,
     coalesced: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
@@ -441,11 +444,14 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         ShardedLru {
             shards: (0..shards)
                 .map(|i| {
-                    Mutex::new(Shard::new(
-                        base + usize::from(i < remainder),
-                        byte_base + usize::from(i < byte_remainder),
-                        ttl,
-                    ))
+                    OrderedMutex::new(
+                        LockClass::CacheShard,
+                        Shard::new(
+                            base + usize::from(i < remainder),
+                            byte_base + usize::from(i < byte_remainder),
+                            ttl,
+                        ),
+                    )
                 })
                 .collect(),
             hasher: RandomState::new(),
@@ -453,12 +459,23 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
             misses: AtomicU64::new(0),
             rejections: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
         }
     }
 
-    fn shard_for(&self, key: &K) -> &Mutex<Shard<K, V>> {
+    fn shard_for(&self, key: &K) -> &OrderedMutex<Shard<K, V>> {
         let index = self.hasher.hash_one(key) as usize % self.shards.len();
         &self.shards[index]
+    }
+
+    /// Counts one poisoned-lock recovery (see `EngineStats::poison_recoveries`).
+    fn note_poison(&self) {
+        self.poison_recoveries.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
+    }
+
+    /// Poisoned-lock recoveries performed by this store's accessors.
+    pub(crate) fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed) // ordering: advisory snapshot
     }
 
     /// Looks `key` up, refreshing its recency and counting a provisional
@@ -466,10 +483,10 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// Returns the value with an opaque generation token identifying the
     /// exact insertion the caller saw, for use with [`ShardedLru::reject`].
     pub fn get(&self, key: &K) -> Option<(V, u64)> {
-        let value = self.shard_for(key).lock().expect("cache lock").touch(key);
+        let value = lock_healthy(self.shard_for(key).lock(), || self.note_poison()).touch(key);
         match &value {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed), // ordering: monotonic tally, nothing published
+            None => self.misses.fetch_add(1, Ordering::Relaxed), // ordering: monotonic tally, nothing published
         };
         value
     }
@@ -483,11 +500,12 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// returned `None`, or a hit was [rejected](ShardedLru::reject)) for
     /// the same logical lookup, otherwise the counters drift.
     pub fn get_after_wait(&self, key: &K) -> Option<(V, u64)> {
-        let value = self.shard_for(key).lock().expect("cache lock").touch(key);
+        interleave::point("cache.get_after_wait");
+        let value = lock_healthy(self.shard_for(key).lock(), || self.note_poison()).touch(key);
         if value.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.misses.fetch_sub(1, Ordering::Relaxed);
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
+            self.misses.fetch_sub(1, Ordering::Relaxed); // ordering: reclassification tally, nothing published
+            self.coalesced.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
         }
         value
     }
@@ -502,13 +520,11 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// still that insertion, so a slow verifier never evicts a fresh
     /// replacement another worker installed in the meantime.
     pub fn reject(&self, key: &K, generation: u64) {
-        self.shard_for(key)
-            .lock()
-            .expect("cache lock")
+        lock_healthy(self.shard_for(key).lock(), || self.note_poison())
             .remove_generation(key, generation);
-        self.hits.fetch_sub(1, Ordering::Relaxed);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.rejections.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_sub(1, Ordering::Relaxed); // ordering: reclassification tally, nothing published
+        self.misses.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
+        self.rejections.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
     }
 
     /// Rejects a hit obtained from [`ShardedLru::get_after_wait`]: like
@@ -517,7 +533,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// as a plain miss plus a rejection.
     pub fn reject_after_wait(&self, key: &K, generation: u64) {
         self.reject(key, generation);
-        self.coalesced.fetch_sub(1, Ordering::Relaxed);
+        self.coalesced.fetch_sub(1, Ordering::Relaxed); // ordering: reclassification tally, nothing published
     }
 
     /// Inserts (or refreshes) an entry weighing `bytes`, evicting least
@@ -539,9 +555,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// partition, only that tenant's least-recently-used entries are
     /// evicted to make room — other tenants' entries are untouched.
     pub fn insert_for(&self, tenant: u16, key: K, value: V, bytes: usize) -> bool {
-        self.shard_for(&key)
-            .lock()
-            .expect("cache lock")
+        interleave::point("cache.insert_evict");
+        lock_healthy(self.shard_for(&key).lock(), || self.note_poison())
             .insert(key, value, bytes, tenant)
     }
 
@@ -559,9 +574,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         let base = byte_limit / shards;
         let remainder = byte_limit % shards;
         for (i, shard) in self.shards.iter().enumerate() {
-            shard
-                .lock()
-                .expect("cache lock")
+            lock_healthy(shard.lock(), || self.note_poison())
                 .tenant_limits
                 .insert(tenant, base + usize::from(i < remainder));
         }
@@ -571,7 +584,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     pub fn tenant_bytes(&self, tenant: u16) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache lock").tenant_charge(tenant))
+            .map(|s| lock_healthy(s.lock(), || self.note_poison()).tenant_charge(tenant))
             .sum()
     }
 
@@ -579,7 +592,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache lock").map.len())
+            .map(|s| lock_healthy(s.lock(), || self.note_poison()).map.len())
             .sum()
     }
 
@@ -592,31 +605,31 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     pub fn bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache lock").bytes)
+            .map(|s| lock_healthy(s.lock(), || self.note_poison()).bytes)
             .sum()
     }
 
     /// Number of lookups that were served from the cache (including
     /// coalesced hits, excluding rejected ones).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed) // ordering: advisory snapshot
     }
 
     /// Number of lookups that were not served from the cache (including
     /// rejected hits, excluding coalesced misses).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed) // ordering: advisory snapshot
     }
 
     /// Number of hits that were rejected by the caller's verification.
     pub fn rejections(&self) -> u64 {
-        self.rejections.load(Ordering::Relaxed)
+        self.rejections.load(Ordering::Relaxed) // ordering: advisory snapshot
     }
 
     /// Number of misses that were served by another thread's concurrent
     /// insert instead of a redundant computation.
     pub fn coalesced(&self) -> u64 {
-        self.coalesced.load(Ordering::Relaxed)
+        self.coalesced.load(Ordering::Relaxed) // ordering: advisory snapshot
     }
 }
 
@@ -624,8 +637,16 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
 /// in flight plus the condvar their waiters park on.
 #[derive(Debug)]
 struct FlightShard<K> {
-    inflight: Mutex<HashSet<K>>,
-    done: Condvar,
+    inflight: OrderedMutex<HashSet<K>>,
+    done: OrderedCondvar,
+    poison_recoveries: AtomicU64,
+}
+
+impl<K> FlightShard<K> {
+    /// Counts one poisoned-lock recovery (see `EngineStats::poison_recoveries`).
+    fn note_poison(&self) {
+        self.poison_recoveries.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
+    }
 }
 
 /// A per-key single-flight table: the first thread to [`FlightTable::join`]
@@ -663,8 +684,9 @@ impl<K: Hash + Eq + Clone> FlightTable<K> {
         FlightTable {
             shards: (0..shards.max(1))
                 .map(|_| FlightShard {
-                    inflight: Mutex::new(HashSet::new()),
-                    done: Condvar::new(),
+                    inflight: OrderedMutex::new(LockClass::FlightTable, HashSet::new()),
+                    done: OrderedCondvar::new(),
+                    poison_recoveries: AtomicU64::new(0),
                 })
                 .collect(),
             hasher: RandomState::new(),
@@ -675,7 +697,8 @@ impl<K: Hash + Eq + Clone> FlightTable<K> {
     /// flight, otherwise blocks until the current leader finishes.
     pub(crate) fn join(&self, key: &K) -> Flight<'_, K> {
         let shard = &self.shards[self.hasher.hash_one(key) as usize % self.shards.len()];
-        let mut inflight: MutexGuard<'_, HashSet<K>> = shard.inflight.lock().expect("flight lock");
+        interleave::point("flight.join");
+        let mut inflight = lock_healthy(shard.inflight.lock(), || shard.note_poison());
         if inflight.insert(key.clone()) {
             return Flight::Leader(FlightGuard {
                 shard,
@@ -683,19 +706,25 @@ impl<K: Hash + Eq + Clone> FlightTable<K> {
             });
         }
         while inflight.contains(key) {
-            inflight = shard.done.wait(inflight).expect("flight lock");
+            inflight = lock_healthy(shard.done.wait(inflight), || shard.note_poison());
+            interleave::point("flight.woke");
         }
         Flight::Waited
+    }
+
+    /// Poisoned-lock recoveries performed by this table's accessors.
+    pub(crate) fn poison_recoveries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.poison_recoveries.load(Ordering::Relaxed)) // ordering: advisory snapshot
+            .sum()
     }
 }
 
 impl<K: Hash + Eq + Clone> Drop for FlightGuard<'_, K> {
     fn drop(&mut self) {
-        let mut inflight = self
-            .shard
-            .inflight
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        interleave::point("flight.release");
+        let mut inflight = lock_healthy(self.shard.inflight.lock(), || self.shard.note_poison());
         inflight.remove(&self.key);
         self.shard.done.notify_all();
     }
@@ -942,6 +971,19 @@ impl TransformCache {
                 rejections: cache.store.rejections(),
                 coalesced: cache.store.coalesced(),
             },
+        }
+    }
+
+    /// Poisoned-lock recoveries performed inside the store and the
+    /// single-flight table (summed into `EngineStats::poison_recoveries`).
+    pub(crate) fn poison_recoveries(&self) -> u64 {
+        match self {
+            TransformCache::Exact(cache) => {
+                cache.store.poison_recoveries() + cache.flights.poison_recoveries()
+            }
+            TransformCache::Approximate(cache) => {
+                cache.store.poison_recoveries() + cache.flights.poison_recoveries()
+            }
         }
     }
 }

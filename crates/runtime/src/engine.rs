@@ -18,9 +18,11 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{JoinHandle, Scope, ScopedJoinHandle};
 use std::time::{Duration, Instant};
+
+use hebs_analysis::{lock_healthy, LockClass, OrderedMutex};
 
 use hebs_core::{
     evaluate_range_from_histogram, CharacteristicBank, DistortionCharacteristic, FitScratch,
@@ -1065,6 +1067,16 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         let mut stats = self.inner.totals.snapshot();
         stats.cache_bytes = self.cached_bytes() as u64;
+        stats.poison_recoveries += self
+            .inner
+            .cache
+            .as_ref()
+            .map_or(0, |cache| cache.poison_recoveries())
+            + self
+                .inner
+                .serving
+                .as_ref()
+                .map_or(0, OpenLoopState::poison_recoveries);
         stats
     }
 
@@ -1267,7 +1279,10 @@ impl Engine {
         let worker_count = self.inner.workers.min(frames.len()).max(1);
         let mut slots: Vec<Option<Result<FrameResult>>> = Vec::new();
         slots.resize_with(frames.len(), || None);
-        let slots = Mutex::new(slots);
+        // Stats class: the highest rank, so a worker that still held a serve
+        // path lock here would be caught by lockdep — results are only
+        // recorded after the serve completed and released everything.
+        let slots = OrderedMutex::new(LockClass::Stats, slots);
         let cursor = AtomicUsize::new(0);
 
         std::thread::scope(|scope| {
@@ -1278,7 +1293,7 @@ impl Engine {
                     // per-frame allocations.
                     let mut scratch = FitScratch::default();
                     loop {
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let index = cursor.fetch_add(1, Ordering::Relaxed); // ordering: work-steal ticket; the RMW itself is the only coordination needed
                         if index >= frames.len() {
                             break;
                         }
@@ -1289,15 +1304,20 @@ impl Engine {
                             None,
                             &mut scratch,
                         );
-                        slots.lock().expect("batch result lock")[index] = Some(result);
+                        lock_healthy(slots.lock(), || self.inner.totals.record_poison_recovery())
+                            [index] = Some(result);
                     }
                 });
             }
         });
 
         let mut results = Vec::with_capacity(frames.len());
-        for slot in slots.into_inner().expect("batch result lock") {
-            results.push(slot.expect("every frame index was claimed by a worker")?);
+        let slots = lock_healthy(slots.into_inner(), || {
+            self.inner.totals.record_poison_recovery()
+        });
+        for slot in slots {
+            let result = slot.expect("frame index claimed by a worker"); // lint: allow(no-unwrap) the cursor hands out each index exactly once
+            results.push(result?);
         }
         Ok(BatchReport {
             results,
@@ -1420,7 +1440,9 @@ fn stream_pipeline<'a, H>(
 ) -> (StreamCore, Vec<H>) {
     let (feed_tx, feed_rx) = sync_channel::<(usize, GrayImage)>(inner.queue_depth);
     let (out_tx, out_rx) = sync_channel::<Sequenced>(inner.queue_depth);
-    let feed_rx = Arc::new(Mutex::new(feed_rx));
+    // Stats class (highest rank): the guard is held across `recv`, but never
+    // while a serve-path lock is taken — the serve runs after the guard drops.
+    let feed_rx = Arc::new(OrderedMutex::new(LockClass::Stats, feed_rx));
     let progress = Arc::new(FeedProgress::default());
 
     let mut handles = Vec::with_capacity(inner.workers + 1);
@@ -1435,7 +1457,8 @@ fn stream_pipeline<'a, H>(
         handles.push(spawn(Box::new(move || {
             let mut scratch = FitScratch::default();
             loop {
-                let next = feed_rx.lock().expect("stream feed lock").recv();
+                let next =
+                    lock_healthy(feed_rx.lock(), || inner.totals.record_poison_recovery()).recv();
                 let Ok((index, frame)) = next else { break };
                 let result =
                     inner.serve_timed(index, &frame, inner.max_distortion, None, &mut scratch);
@@ -1605,7 +1628,7 @@ impl StreamCore {
         loop {
             if let Some(Reverse(head)) = self.reorder.peek() {
                 if head.index == self.next_index {
-                    let Reverse(seq) = self.reorder.pop().expect("peeked entry exists");
+                    let Reverse(seq) = self.reorder.pop().expect("peeked entry exists"); // lint: allow(no-unwrap) guarded by the peek above
                     self.next_index += 1;
                     return StreamPoll::Ready(seq.result);
                 }

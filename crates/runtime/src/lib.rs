@@ -83,3 +83,9 @@ pub use error::{Result, RuntimeError};
 pub use serving::{RecharacterizePolicy, ServingMode};
 pub use stats::EngineStats;
 pub use tenant::{AdmissionPermit, ShedPolicy, TenantId, TenantRegistry, TenantSpec};
+
+/// The concurrency-correctness toolkit the runtime is built on: lock-order
+/// verified mutexes, poison recovery and the seeded interleaving points
+/// (re-exported so harnesses can seed schedules via
+/// `hebs_runtime::analysis::interleave`).
+pub use hebs_analysis as analysis;

@@ -33,7 +33,9 @@
 //!   only the affected class's cached fits.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use hebs_analysis::{interleave, lock_healthy, LockClass, OrderedMutex};
 
 use hebs_core::{
     CharacteristicBank, CurveFit, DistortionCharacteristic, HebsPolicy, PipelineConfig,
@@ -295,7 +297,7 @@ pub(crate) struct OpenLoopState {
     pub(crate) recharacterize: RecharacterizePolicy,
     /// ArcSwap-style slot: load = clone under a short lock, store =
     /// replace. Workers serve off their loaded `Arc` while a rebuild swaps.
-    slot: Mutex<Option<Arc<CurveBank>>>,
+    slot: OrderedMutex<Option<Arc<CurveBank>>>,
     /// Allocator for curve generations (the *installed* generations live
     /// inside the bank's [`CurveState`]s so curve and generation are read
     /// coherently; this counter only hands out the next one).
@@ -303,7 +305,7 @@ pub(crate) struct OpenLoopState {
     /// One rolling sketch per configured class. Before a bank exists every
     /// frame classifies to class 0, so the bootstrap clustering reads
     /// sketch 0.
-    sketches: Vec<Mutex<TrafficSketch>>,
+    sketches: Vec<OrderedMutex<TrafficSketch>>,
     /// Per-class rebuild trigger counters.
     triggers: Vec<ClassTriggers>,
     /// Single-flight marker for rebuilds: one worker rebuilds, the others
@@ -318,6 +320,9 @@ pub(crate) struct OpenLoopState {
     /// characterization (windowed measures decline; the sketches are then
     /// never rebuilt and only installed curves are used).
     pub(crate) histogram_capable: bool,
+    /// Poisoned-lock recoveries performed by slot/sketch accessors (see
+    /// `EngineStats::poison_recoveries`).
+    poison_recoveries: AtomicU64,
 }
 
 impl OpenLoopState {
@@ -326,16 +331,27 @@ impl OpenLoopState {
         let capacity = recharacterize.sample_capacity;
         OpenLoopState {
             recharacterize,
-            slot: Mutex::new(None),
+            slot: OrderedMutex::new(LockClass::OpenLoopSlot, None),
             generation: AtomicU64::new(0),
             sketches: (0..classes)
-                .map(|_| Mutex::new(TrafficSketch::new(capacity)))
+                .map(|_| OrderedMutex::new(LockClass::Sketch, TrafficSketch::new(capacity)))
                 .collect(),
             triggers: (0..classes).map(|_| ClassTriggers::default()).collect(),
             rebuilding: AtomicBool::new(false),
             attempts: AtomicU64::new(0),
             histogram_capable,
+            poison_recoveries: AtomicU64::new(0),
         }
+    }
+
+    /// Counts one poisoned-lock recovery (see `EngineStats::poison_recoveries`).
+    fn note_poison(&self) {
+        self.poison_recoveries.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
+    }
+
+    /// Poisoned-lock recoveries performed by this state's accessors.
+    pub(crate) fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed) // ordering: advisory snapshot
     }
 
     /// Number of content classes the state is provisioned for.
@@ -345,7 +361,7 @@ impl OpenLoopState {
 
     /// The currently installed bank, if any.
     pub(crate) fn current(&self) -> Option<Arc<CurveBank>> {
-        self.slot.lock().expect("curve slot lock").clone()
+        lock_healthy(self.slot.lock(), || self.note_poison()).clone()
     }
 
     /// Largest generation of the installed bank (0 before the first
@@ -389,7 +405,8 @@ impl OpenLoopState {
             classes: vec![state],
             centroids: Vec::new(),
         });
-        *self.slot.lock().expect("curve slot lock") = Some(bank);
+        interleave::point("openloop.swap");
+        *lock_healthy(self.slot.lock(), || self.note_poison()) = Some(bank);
         self.reset_after_install();
         generation
     }
@@ -410,7 +427,8 @@ impl OpenLoopState {
         };
         let bank = Arc::new(CurveBank { classes, centroids });
         let generation = bank.max_generation();
-        *self.slot.lock().expect("curve slot lock") = Some(bank);
+        interleave::point("openloop.swap");
+        *lock_healthy(self.slot.lock(), || self.note_poison()) = Some(bank);
         self.reset_after_install();
         generation
     }
@@ -427,7 +445,8 @@ impl OpenLoopState {
     ) -> Option<u64> {
         let state = self.curve_state(config, characteristic);
         let generation = state.generation;
-        let mut slot = self.slot.lock().expect("curve slot lock");
+        interleave::point("openloop.swap");
+        let mut slot = lock_healthy(self.slot.lock(), || self.note_poison());
         let bank = slot.as_ref()?;
         if class >= bank.classes.len() {
             return None;
@@ -451,11 +470,11 @@ impl OpenLoopState {
     /// install_class`]) keep their sketches — routing is unchanged there.
     fn reset_after_install(&self) {
         for trigger in &self.triggers {
-            trigger.frames_since.store(0, Ordering::Relaxed);
-            trigger.drift_since.store(0, Ordering::Relaxed);
+            trigger.frames_since.store(0, Ordering::Release); // ordering: pairs with the Acquire trigger reads so the reset is seen with the install
+            trigger.drift_since.store(0, Ordering::Release); // ordering: pairs with the Acquire trigger reads so the reset is seen with the install
         }
         for sketch in &self.sketches {
-            *sketch.lock().expect("traffic sketch lock") =
+            *lock_healthy(sketch.lock(), || self.note_poison()) =
                 TrafficSketch::new(self.recharacterize.sample_capacity);
         }
     }
@@ -467,8 +486,8 @@ impl OpenLoopState {
     pub(crate) fn observed_triggers(&self, class: usize) -> (u64, u64) {
         let trigger = &self.triggers[class];
         (
-            trigger.frames_since.load(Ordering::Relaxed),
-            trigger.drift_since.load(Ordering::Relaxed),
+            trigger.frames_since.load(Ordering::Acquire), // ordering: a rebuild's observation pairs with the serve path's Release increments
+            trigger.drift_since.load(Ordering::Acquire), // ordering: a rebuild's observation pairs with the serve path's Release increments
         )
     }
 
@@ -481,12 +500,12 @@ impl OpenLoopState {
         let trigger = &self.triggers[class];
         let _ = trigger
             .frames_since
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
                 Some(v.saturating_sub(frames))
             });
         let _ = trigger
             .drift_since
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
                 Some(v.saturating_sub(drifts))
             });
     }
@@ -505,32 +524,35 @@ impl OpenLoopState {
         fallback: bool,
     ) {
         let trigger = &self.triggers[class];
-        let frames = trigger.frames_since.fetch_add(1, Ordering::Relaxed) + 1;
-        trigger.served_total.fetch_add(1, Ordering::Relaxed);
+        // ordering: Release publishes the serve (and its sketch sample, pushed
+        // below under the sketch lock) before the trigger count a rebuild
+        // decision Acquires.
+        let frames = trigger.frames_since.fetch_add(1, Ordering::Release) + 1;
+        trigger.served_total.fetch_add(1, Ordering::Relaxed); // ordering: statistical tally for rebalancing, nothing published
         if fallback {
-            trigger.drift_since.fetch_add(1, Ordering::Relaxed);
+            // ordering: Release pairs with the drift-trigger Acquire reads.
+            trigger.drift_since.fetch_add(1, Ordering::Release);
         }
         if frames % self.recharacterize.sample_period == 0 {
             let sample = match histogram {
                 Some(histogram) => histogram.clone(),
                 None => Histogram::of(frame),
             };
-            self.sketches[class]
-                .lock()
-                .expect("traffic sketch lock")
-                .push(sample);
+            lock_healthy(self.sketches[class].lock(), || self.note_poison()).push(sample);
         }
     }
 
     /// Whether one class's interval/drift triggers are due.
     fn class_due(&self, class: usize) -> bool {
         let trigger = &self.triggers[class];
-        let frames = trigger.frames_since.load(Ordering::Relaxed);
+        // ordering: Acquire pairs with the serve path's Release increments so
+        // a due decision sees the serves (and sketch samples) that caused it.
+        let frames = trigger.frames_since.load(Ordering::Acquire);
         let interval_due = self.recharacterize.interval.is_some_and(|n| frames >= n);
         let drift_due = self
             .recharacterize
             .drift_limit
-            .is_some_and(|n| trigger.drift_since.load(Ordering::Relaxed) >= n);
+            .is_some_and(|n| trigger.drift_since.load(Ordering::Acquire) >= n); // ordering: pairs with the fallback's Release increment
         interval_due || drift_due
     }
 
@@ -545,22 +567,16 @@ impl OpenLoopState {
             return None;
         }
         let Some(bank) = self.current() else {
-            let bootstrap_due = self.attempts.load(Ordering::Relaxed) == 0;
+            let bootstrap_due = self.attempts.load(Ordering::Relaxed) == 0; // ordering: advisory gate; the begin_rebuild CAS arbitrates
             if !(bootstrap_due || self.class_due(0)) {
                 return None;
             }
-            let ready = !self.sketches[0]
-                .lock()
-                .expect("traffic sketch lock")
-                .is_empty();
+            let ready = !lock_healthy(self.sketches[0].lock(), || self.note_poison()).is_empty();
             return ready.then_some(RebuildPlan::Bootstrap);
         };
         for class in 0..bank.classes.len().min(self.class_count()) {
             if self.class_due(class)
-                && !self.sketches[class]
-                    .lock()
-                    .expect("traffic sketch lock")
-                    .is_empty()
+                && !lock_healthy(self.sketches[class].lock(), || self.note_poison()).is_empty()
             {
                 return Some(RebuildPlan::Class(class));
             }
@@ -577,12 +593,13 @@ impl OpenLoopState {
     /// Claims the single-flight rebuild marker (counting the attempt).
     /// Returns `false` when another worker is already rebuilding.
     pub(crate) fn begin_rebuild(&self) -> bool {
+        interleave::point("openloop.begin_rebuild");
         let claimed = self
             .rebuilding
-            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed) // ordering: failure is Relaxed — a losing worker just keeps serving
             .is_ok();
         if claimed {
-            self.attempts.fetch_add(1, Ordering::Relaxed);
+            self.attempts.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally behind the Acquire CAS
         }
         claimed
     }
@@ -594,19 +611,13 @@ impl OpenLoopState {
 
     /// A point-in-time copy of one class's traffic sketch.
     pub(crate) fn sketch_snapshot(&self, class: usize) -> Vec<Histogram> {
-        self.sketches[class]
-            .lock()
-            .expect("traffic sketch lock")
-            .snapshot()
+        lock_healthy(self.sketches[class].lock(), || self.note_poison()).snapshot()
     }
 
     /// Current sample capacity of one class's sketch.
     #[cfg(test)]
     pub(crate) fn sketch_capacity(&self, class: usize) -> usize {
-        self.sketches[class]
-            .lock()
-            .expect("traffic sketch lock")
-            .capacity()
+        lock_healthy(self.sketches[class].lock(), || self.note_poison()).capacity()
     }
 
     /// Re-partitions the pooled sketch budget (`classes ×
@@ -629,7 +640,7 @@ impl OpenLoopState {
         let served: Vec<u64> = self
             .triggers
             .iter()
-            .map(|trigger| trigger.served_total.load(Ordering::Relaxed))
+            .map(|trigger| trigger.served_total.load(Ordering::Relaxed)) // ordering: statistical share estimate, exactness not required
             .collect();
         let total: u64 = served.iter().sum();
         if total == 0 {
@@ -650,10 +661,7 @@ impl OpenLoopState {
             shares[hottest] += leftover;
         }
         for (class, sketch) in self.sketches.iter().enumerate() {
-            sketch
-                .lock()
-                .expect("traffic sketch lock")
-                .set_capacity(floor + shares[class]);
+            lock_healthy(sketch.lock(), || self.note_poison()).set_capacity(floor + shares[class]);
         }
     }
 }

@@ -25,6 +25,10 @@ impl ServeKind {
 }
 
 /// Cumulative counters shared by all workers of an engine.
+///
+/// All increments and snapshot loads are `Relaxed`: each counter is an
+/// independent monotonic tally, nothing is published through them, and a
+/// snapshot is advisory — it never gates a control decision.
 #[derive(Debug, Default)]
 pub(crate) struct StatsCollector {
     frames: AtomicU64,
@@ -37,6 +41,7 @@ pub(crate) struct StatsCollector {
     recharacterizations: AtomicU64,
     deadline_degraded: AtomicU64,
     sheds: AtomicU64,
+    poison_recoveries: AtomicU64,
     busy_nanos: AtomicU64,
 }
 
@@ -50,67 +55,77 @@ impl StatsCollector {
         open_loop_fallback: bool,
         deadline_degraded: bool,
     ) {
-        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.frames.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
         self.busy_nanos
-            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed); // ordering: monotonic tally, nothing published
         if fit_evaluations > 0 {
             self.fit_evaluations
-                .fetch_add(fit_evaluations, Ordering::Relaxed);
+                .fetch_add(fit_evaluations, Ordering::Relaxed); // ordering: monotonic tally, nothing published
         }
         if open_loop_fallback {
-            self.open_loop_fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.open_loop_fallbacks.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
         }
         if deadline_degraded {
-            self.deadline_degraded.fetch_add(1, Ordering::Relaxed);
+            self.deadline_degraded.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
         }
         match kind {
             ServeKind::Uncached => {}
             ServeKind::Hit => {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.cache_hits.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
             }
             ServeKind::CoalescedHit => {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                self.cache_coalesced.fetch_add(1, Ordering::Relaxed);
+                self.cache_hits.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
+                self.cache_coalesced.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
             }
             ServeKind::Miss => {
-                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                self.cache_misses.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
             }
         }
         if rejections > 0 {
-            self.cache_rejected.fetch_add(rejections, Ordering::Relaxed);
+            self.cache_rejected.fetch_add(rejections, Ordering::Relaxed); // ordering: monotonic tally, nothing published
         }
     }
 
     /// Records one background re-characterization (an open-loop curve
     /// rebuild that was swapped in).
     pub(crate) fn record_recharacterization(&self) {
-        self.recharacterizations.fetch_add(1, Ordering::Relaxed);
+        self.recharacterizations.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
     }
 
     /// Records one shed arrival: a frame the admission control refused
     /// before it reached the serve path (it is *not* counted in `frames`).
     pub(crate) fn record_shed(&self) {
-        self.sheds.fetch_add(1, Ordering::Relaxed);
+        self.sheds.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
+    }
+
+    /// Records one poisoned-lock recovery: a guard whose previous holder
+    /// panicked was recovered through `lock_healthy` instead of cascading
+    /// the panic through the worker pool.
+    pub(crate) fn record_poison_recovery(&self) {
+        self.poison_recoveries.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
     }
 
     /// Snapshots the cumulative counters. `cache_bytes` and `queue_depth`
     /// are point-in-time quantities owned by the cache and the admission
-    /// controller, so the engine (or registry) fills them in afterwards.
+    /// controller, so the engine (or registry) fills them in afterwards —
+    /// as it does the poison recoveries counted inside the cache and the
+    /// open-loop state.
     pub(crate) fn snapshot(&self) -> EngineStats {
         EngineStats {
-            frames: self.frames.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            cache_coalesced: self.cache_coalesced.load(Ordering::Relaxed),
-            cache_rejected: self.cache_rejected.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed), // ordering: advisory snapshot
+            cache_hits: self.cache_hits.load(Ordering::Relaxed), // ordering: advisory snapshot
+            cache_misses: self.cache_misses.load(Ordering::Relaxed), // ordering: advisory snapshot
+            cache_coalesced: self.cache_coalesced.load(Ordering::Relaxed), // ordering: advisory snapshot
+            cache_rejected: self.cache_rejected.load(Ordering::Relaxed), // ordering: advisory snapshot
             cache_bytes: 0,
-            fit_evaluations: self.fit_evaluations.load(Ordering::Relaxed),
-            open_loop_fallbacks: self.open_loop_fallbacks.load(Ordering::Relaxed),
-            recharacterizations: self.recharacterizations.load(Ordering::Relaxed),
-            deadline_degraded: self.deadline_degraded.load(Ordering::Relaxed),
-            sheds: self.sheds.load(Ordering::Relaxed),
+            fit_evaluations: self.fit_evaluations.load(Ordering::Relaxed), // ordering: advisory snapshot
+            open_loop_fallbacks: self.open_loop_fallbacks.load(Ordering::Relaxed), // ordering: advisory snapshot
+            recharacterizations: self.recharacterizations.load(Ordering::Relaxed), // ordering: advisory snapshot
+            deadline_degraded: self.deadline_degraded.load(Ordering::Relaxed), // ordering: advisory snapshot
+            sheds: self.sheds.load(Ordering::Relaxed), // ordering: advisory snapshot
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed), // ordering: advisory snapshot
             queue_depth: 0,
-            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)), // ordering: advisory snapshot
         }
     }
 }
@@ -166,6 +181,12 @@ pub struct EngineStats {
     /// path (see [`ShedPolicy`](crate::ShedPolicy)); shed frames are not
     /// counted in `frames`. Always 0 outside multi-tenant serving.
     pub sheds: u64,
+    /// Poisoned-lock recoveries: acquisitions that found their lock
+    /// poisoned by a previously panicked holder and recovered the guard
+    /// (every critical section leaves its structure consistent) instead
+    /// of cascading the panic through the worker pool. Always 0 unless a
+    /// worker panicked mid-serve.
+    pub poison_recoveries: u64,
     /// Admitted frames currently queued or in service when the snapshot
     /// was taken (0 outside multi-tenant serving, where nothing bounds
     /// admission).
@@ -302,6 +323,16 @@ mod tests {
     }
 
     #[test]
+    fn poison_recoveries_accumulate() {
+        let collector = StatsCollector::default();
+        collector.record_poison_recovery();
+        collector.record_poison_recovery();
+        let stats = collector.snapshot();
+        assert_eq!(stats.poison_recoveries, 2);
+        assert_eq!(stats.frames, 0, "recoveries are not served frames");
+    }
+
+    #[test]
     fn empty_stats_have_safe_defaults() {
         let stats = EngineStats::default();
         assert_eq!(stats.cache_hit_rate(), 0.0);
@@ -310,6 +341,7 @@ mod tests {
         assert_eq!(stats.fit_evaluations, 0);
         assert_eq!(stats.deadline_degraded, 0);
         assert_eq!(stats.sheds, 0);
+        assert_eq!(stats.poison_recoveries, 0);
         assert_eq!(stats.queue_depth, 0);
     }
 }

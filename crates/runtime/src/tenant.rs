@@ -442,6 +442,7 @@ impl TenantRegistry {
         // Optimistically claim the slot, then roll back on refusal: two
         // racing arrivals can briefly overshoot the bound, but never both
         // hold permits beyond it.
+        hebs_analysis::interleave::point("tenant.admit");
         let outstanding = state.outstanding.fetch_add(1, Ordering::AcqRel) + 1;
         let total = self.total_outstanding.fetch_add(1, Ordering::AcqRel) + 1;
         let admitted = match self.shed {

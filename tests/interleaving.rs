@@ -1,0 +1,204 @@
+//! Deterministic interleaving stress: the runtime's race-prone invariant
+//! tests replayed under a bank of seeded yield schedules.
+//!
+//! The runtime carries `analysis::interleave::point` yield points at its
+//! race-prone seams (single-flight join/wake/release, cache insert-evict,
+//! generation-swap claim, tenant admission). Each seed drives a different
+//! deterministic perturbation of the thread interleaving through those
+//! points, so one test binary exercises many distinct schedules of the
+//! same scenario instead of whatever the scheduler happens to produce.
+//! In release builds (without the `lockdep`/debug-assertions points) the
+//! scenarios still run once each, unperturbed.
+
+use hebs::imaging::{GrayImage, SipiSuite};
+use hebs::runtime::analysis::interleave;
+use hebs::runtime::{
+    CacheConfig, Engine, EngineConfig, RuntimeError, ServeOptions, TenantRegistry, TenantSpec,
+};
+
+/// The seeded schedules every scenario is replayed under.
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
+
+fn policy() -> hebs::core::HebsPolicy {
+    hebs::core::HebsPolicy::closed_loop(hebs::core::PipelineConfig::default())
+}
+
+fn suite_frame(size: u32) -> GrayImage {
+    SipiSuite::with_size(size)
+        .iter()
+        .next()
+        .map(|(_, img)| img.clone())
+        .unwrap()
+}
+
+/// Runs `scenario` once per seed (or once with no perturbation when the
+/// interleaving points are compiled out), labelling failures with the seed
+/// that produced them so a failing schedule can be replayed exactly.
+fn replay_seeds(scenario: impl Fn(u64)) {
+    if !interleave::is_enabled() {
+        scenario(0);
+        return;
+    }
+    for seed in SEEDS {
+        interleave::set_seed(Some(seed));
+        scenario(seed);
+    }
+    interleave::set_seed(None);
+}
+
+/// The single-flight storm invariant (one fit per concurrent miss storm,
+/// counters reconciled) must hold under every seeded schedule: the seeds
+/// shuffle who reaches `flight.join` first, who wakes between the leader's
+/// insert and its `flight.release` notify, and when the waiters re-probe.
+#[test]
+fn single_flight_storm_holds_under_seeded_schedules() {
+    replay_seeds(|seed| {
+        let engine = Engine::new(
+            policy(),
+            EngineConfig {
+                workers: 1,
+                cache: Some(CacheConfig::exact()),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let frame = suite_frame(48);
+        let storm = 6u64;
+        let barrier = std::sync::Barrier::new(storm as usize);
+        std::thread::scope(|scope| {
+            for _ in 0..storm {
+                let engine = engine.clone();
+                let frame = &frame;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    engine.process_frame(frame).unwrap();
+                });
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.frames, storm, "seed {seed}");
+        assert_eq!(
+            stats.cache_misses, 1,
+            "seed {seed}: exactly one fit must run"
+        );
+        assert_eq!(stats.cache_hits, storm - 1, "seed {seed}");
+        assert!(stats.cache_coalesced < storm, "seed {seed}");
+        let counters = engine.cache_counters().unwrap();
+        assert_eq!(counters.hits, stats.cache_hits, "seed {seed}");
+        assert_eq!(counters.misses, stats.cache_misses, "seed {seed}");
+        assert_eq!(counters.coalesced, stats.cache_coalesced, "seed {seed}");
+        assert_eq!(
+            stats.poison_recoveries, 0,
+            "seed {seed}: no lock was poisoned"
+        );
+    });
+}
+
+/// Admission-control accounting (sheds never count as frames, released
+/// permits reopen the bound, per-tenant counters stay independent) must
+/// hold under every seeded schedule of concurrent arrivals racing the
+/// `tenant.admit` yield point.
+#[test]
+fn weighted_shed_accounting_holds_under_seeded_schedules() {
+    replay_seeds(|seed| {
+        let registry = TenantRegistry::builder()
+            .tenant(policy(), TenantSpec::named("tight").with_queue_limit(1))
+            .tenant(policy(), TenantSpec::named("roomy"))
+            .build()
+            .unwrap();
+        let tight = registry.id_of("tight").unwrap();
+        let roomy = registry.id_of("roomy").unwrap();
+        let frame = suite_frame(24);
+        let options = ServeOptions::default();
+
+        // One admitted permit saturates the bound; racing arrivals from
+        // several threads must all shed while it is held.
+        let permit = registry.admit(tight).unwrap();
+        let sheds_expected = 3u64;
+        std::thread::scope(|scope| {
+            for _ in 0..sheds_expected {
+                let registry = &registry;
+                scope.spawn(move || {
+                    assert!(matches!(
+                        registry.admit(tight),
+                        Err(RuntimeError::Shed { tenant: 0, .. })
+                    ));
+                });
+            }
+        });
+        registry
+            .serve_with_permit(&permit, &frame, &options)
+            .unwrap();
+        drop(permit);
+        registry.serve(tight, &frame, &options).unwrap();
+        registry.serve(roomy, &frame, &options).unwrap();
+
+        let tight_stats = registry.stats(tight).unwrap();
+        assert_eq!(
+            tight_stats.frames, 2,
+            "seed {seed}: sheds must not count as frames"
+        );
+        assert_eq!(tight_stats.sheds, sheds_expected, "seed {seed}");
+        assert_eq!(
+            tight_stats.queue_depth, 0,
+            "seed {seed}: permits were all released"
+        );
+        let roomy_stats = registry.stats(roomy).unwrap();
+        assert_eq!(roomy_stats.frames, 1, "seed {seed}");
+        assert_eq!(roomy_stats.sheds, 0, "seed {seed}");
+    });
+}
+
+/// Open-loop serving with concurrent traffic must keep its generation
+/// bookkeeping coherent under seeded schedules of the `openloop.swap` /
+/// `openloop.begin_rebuild` points: every served frame respects the
+/// distortion contract and the engine's accounting reconciles.
+#[test]
+fn open_loop_rebuild_race_holds_under_seeded_schedules() {
+    use hebs::quality::GlobalUiqiDistortion;
+    use hebs::runtime::{RecharacterizePolicy, ServingMode};
+    replay_seeds(|seed| {
+        let engine = Engine::new(
+            hebs::core::HebsPolicy::closed_loop(
+                hebs::core::PipelineConfig::default().with_measure(GlobalUiqiDistortion),
+            ),
+            EngineConfig {
+                workers: 2,
+                cache: Some(CacheConfig::exact()),
+                mode: ServingMode::OpenLoop {
+                    recharacterize: RecharacterizePolicy {
+                        interval: Some(4),
+                        drift_limit: Some(2),
+                        sample_period: 1,
+                        sample_capacity: 8,
+                        ..RecharacterizePolicy::default()
+                    },
+                },
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let base: Vec<GrayImage> = SipiSuite::with_size(32)
+            .iter()
+            .map(|(_, img)| img.clone())
+            .collect();
+        let frames: Vec<GrayImage> = base.iter().cycle().take(24).cloned().collect();
+        let report = engine.process_batch(&frames).unwrap();
+        assert_eq!(report.results.len(), frames.len(), "seed {seed}");
+        for result in &report.results {
+            assert!(
+                result.outcome.distortion <= engine.max_distortion() + 1e-9,
+                "seed {seed}: frame {} broke the distortion contract ({})",
+                result.index,
+                result.outcome.distortion
+            );
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.frames, frames.len() as u64, "seed {seed}");
+        assert_eq!(
+            stats.poison_recoveries, 0,
+            "seed {seed}: no lock was poisoned"
+        );
+    });
+}
