@@ -23,6 +23,10 @@
 //!   via the allowlist: an open-loop load generator paces by sleeping).
 //! * `raw-mutex` — no raw `std::sync::Mutex`/`MutexGuard`/`Condvar`
 //!   outside `crates/analysis`; the runtime uses the ordered wrappers.
+//! * `frame-ingest` — no direct `Histogram::of` / `HistogramSignature::of`
+//!   in runtime library code (`crates/runtime/src`): a serve traverses its
+//!   frame's pixels exactly once, through the fused `FrameIngest` pass,
+//!   which also yields the signature and the exact-cache content hash.
 
 use std::fmt;
 use std::fs;
@@ -41,6 +45,10 @@ const PAT_FORBID_UNSAFE: &str = concat!("#![forbid(", "unsafe_code)]");
 const PAT_CFG_TEST: &str = concat!("#[cfg(", "test)]");
 const PAT_CFG_ALL_TEST: &str = concat!("#[cfg(all(", "test");
 const RAW_SYNC_TOKENS: [&str; 3] = ["Mutex", "MutexGuard", "Condvar"];
+const INGEST_PATTERNS: [&str; 2] = [
+    concat!("Histogram::", "of("),
+    concat!("HistogramSignature::", "of("),
+];
 /// Marker a fixture uses to opt into the crate-root rule.
 pub const CRATE_ROOT_MARKER: &str = concat!("// lint-scope", ": crate-root");
 
@@ -289,6 +297,23 @@ pub fn scan_source(path: &str, kind: FileKind, contents: &str) -> Vec<Finding> {
                 format!("`{PAT_SLEEP}` in library code; blocking the pool hides backpressure"),
             );
         }
+
+        // The fused-ingest rule shares the no-unwrap scope: serve-path
+        // library code under crates/runtime/src, plus fixtures.
+        if unwrap_scope {
+            for pattern in INGEST_PATTERNS {
+                if code.contains(pattern) {
+                    push(
+                        "frame-ingest",
+                        format!(
+                            "direct `{pattern}...)` pixel pass in runtime library code; the \
+                             serve path computes histogram, signature and content hash in \
+                             one fused `FrameIngest` pass"
+                        ),
+                    );
+                }
+            }
+        }
     }
     findings
 }
@@ -451,6 +476,36 @@ mod tests {
                 sleepy
             )),
             vec!["no-sleep"]
+        );
+    }
+
+    #[test]
+    fn direct_histogram_passes_flag_in_runtime_library_code() {
+        let source = "fn serve(frame: &GrayImage) {\n    let h = Histogram::of(frame);\n    let s = HistogramSignature::of(frame);\n}\n";
+        let findings = scan_source("crates/runtime/src/engine.rs", FileKind::Library, source);
+        assert_eq!(rules(&findings), vec!["frame-ingest", "frame-ingest"]);
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[1].line, 3);
+        // The signature call is reported once, not once per pattern.
+        let sig_only = "fn key(frame: &GrayImage) { HistogramSignature::of(frame); }\n";
+        assert_eq!(
+            rules(&scan_source(
+                "crates/runtime/src/cache.rs",
+                FileKind::Library,
+                sig_only
+            )),
+            vec!["frame-ingest"]
+        );
+        // Outside the runtime crate the fused-ingest contract does not
+        // apply: hebs-core's pipeline legitimately builds histograms.
+        assert!(scan_source("crates/core/src/pipeline.rs", FileKind::Library, source).is_empty());
+        // A waived line (e.g. a build-time capability probe) passes.
+        let waived = "fn probe() { Histogram::of(&img); } // lint: allow(frame-ingest) 4x4 probe\n";
+        assert!(scan_source("crates/runtime/src/engine.rs", FileKind::Library, waived).is_empty());
+        // Test modules keep building histograms directly.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn h() { Histogram::of(&img); }\n}\n";
+        assert!(
+            scan_source("crates/runtime/src/engine.rs", FileKind::Library, test_only).is_empty()
         );
     }
 

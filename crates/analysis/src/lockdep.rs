@@ -677,7 +677,12 @@ pub use imp::{
     OrderedRwLockWriteGuard,
 };
 
-#[cfg(test)]
+// Without the checking `imp` the wrappers are transparent newtypes: the
+// panic-expecting tests would fail, and the reentrancy test would turn
+// into a genuine self-deadlock, so the module only exists where the
+// checks do (plain `cargo test` has `debug_assertions`, CI's release leg
+// enables the `lockdep` feature).
+#[cfg(all(test, any(debug_assertions, feature = "lockdep")))]
 mod tests {
     use super::*;
     use std::panic::{catch_unwind, AssertUnwindSafe};

@@ -1,0 +1,8 @@
+// A direct per-pixel histogram pass in serve-path code: the serve already
+// traversed the frame once in the fused FrameIngest pass, so this reads
+// every pixel a second time.
+pub fn serve_key(frame: &Frame) -> (Histogram, Signature) {
+    let histogram = Histogram::of(frame);
+    let signature = HistogramSignature::of(frame);
+    (histogram, signature)
+}

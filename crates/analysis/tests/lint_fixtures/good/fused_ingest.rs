@@ -1,0 +1,11 @@
+// The serve path traverses the frame once: histogram, signature and the
+// exact-cache content hash all come out of the single fused ingest pass.
+// The one sanctioned direct pass — a build-time capability probe on a
+// constant 4x4 frame — carries the inline waiver.
+pub fn serve_ingest(frame: &Frame, seed: u64) -> (Histogram, Signature, u128) {
+    FrameIngest::compute_auto(frame, seed).into_parts()
+}
+
+pub fn capability_probe() -> Histogram {
+    Histogram::of(&Frame::filled(4, 4, 128)) // lint: allow(frame-ingest) build-time probe, not a served frame
+}

@@ -7,6 +7,7 @@
 //!     [--baselines bench/baselines] \
 //!     [--throughput runtime_throughput.json] \
 //!     [--fit-scaling fit_scaling.json] \
+//!     [--frame-scaling frame_scaling.json] \
 //!     [--multi-tenant multi_tenant.json] \
 //!     [--latency-tolerance 0.25] [--throughput-tolerance 0.25] \
 //!     [--evals-tolerance 0.05] \
@@ -21,7 +22,10 @@
 //! as ratios against the same run's single-thread row (fail at >25%
 //! relative regression), the fit-scaling *shape* ratios (the
 //! histogram fit's flatness across frame sizes, the pixel paths' cost
-//! relative to it), and the multi-tenant load-generator contract (shed
+//! relative to it), the frame-scaling sub-linearity gates (4K serve
+//! latency far below linear in pixel count, hits no dearer than misses,
+//! parallel-ingest advantage on multi-core runners), and the
+//! multi-tenant load-generator contract (shed
 //! and deadline-degrade counts matching the schedules' structural
 //! expectations, counter reconciliation, savings ordering, overload
 //! retention, and the p999/p50 tail shape within a wide band).
@@ -34,14 +38,15 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use hebs_bench::regression::{
-    check_fit_scaling, check_multi_tenant, check_throughput, render_report, CheckConfig,
-    CheckReport,
+    check_fit_scaling, check_frame_scaling, check_multi_tenant, check_throughput, render_report,
+    CheckConfig, CheckReport,
 };
 
 struct Args {
     baselines: PathBuf,
     throughput: PathBuf,
     fit_scaling: PathBuf,
+    frame_scaling: PathBuf,
     multi_tenant: PathBuf,
     config: CheckConfig,
     write_baselines: bool,
@@ -52,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         baselines: PathBuf::from("bench/baselines"),
         throughput: PathBuf::from("runtime_throughput.json"),
         fit_scaling: PathBuf::from("fit_scaling.json"),
+        frame_scaling: PathBuf::from("frame_scaling.json"),
         multi_tenant: PathBuf::from("multi_tenant.json"),
         config: CheckConfig::default(),
         write_baselines: false,
@@ -66,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
             "--baselines" => args.baselines = PathBuf::from(value("--baselines")?),
             "--throughput" => args.throughput = PathBuf::from(value("--throughput")?),
             "--fit-scaling" => args.fit_scaling = PathBuf::from(value("--fit-scaling")?),
+            "--frame-scaling" => args.frame_scaling = PathBuf::from(value("--frame-scaling")?),
             "--multi-tenant" => args.multi_tenant = PathBuf::from(value("--multi-tenant")?),
             "--latency-tolerance" => {
                 args.config.latency_tolerance = value("--latency-tolerance")?
@@ -150,6 +157,13 @@ fn main() -> ExitCode {
         args.write_baselines,
         |baseline, current| check_fit_scaling(baseline, current, config),
     );
+    let frame_scaling_ok = gate(
+        "frame_scaling",
+        &args.frame_scaling,
+        &args.baselines,
+        args.write_baselines,
+        |baseline, current| check_frame_scaling(baseline, current, config),
+    );
     let multi_tenant_ok = gate(
         "multi_tenant",
         &args.multi_tenant,
@@ -157,16 +171,21 @@ fn main() -> ExitCode {
         args.write_baselines,
         |baseline, current| check_multi_tenant(baseline, current, config),
     );
-    match (throughput_ok, fit_scaling_ok, multi_tenant_ok) {
-        (Ok(true), Ok(true), Ok(true)) => {
+    match (
+        throughput_ok,
+        fit_scaling_ok,
+        frame_scaling_ok,
+        multi_tenant_ok,
+    ) {
+        (Ok(true), Ok(true), Ok(true), Ok(true)) => {
             println!("bench_check: OK");
             ExitCode::SUCCESS
         }
-        (Ok(_), Ok(_), Ok(_)) => {
+        (Ok(_), Ok(_), Ok(_), Ok(_)) => {
             eprintln!("bench_check: regression detected (see FAIL lines above)");
             ExitCode::FAILURE
         }
-        (Err(err), _, _) | (_, Err(err), _) | (_, _, Err(err)) => {
+        (Err(err), _, _, _) | (_, Err(err), _, _) | (_, _, Err(err), _) | (_, _, _, Err(err)) => {
             eprintln!("bench_check: {err}");
             ExitCode::FAILURE
         }

@@ -1,0 +1,88 @@
+//! End-to-end serve latency versus real frame resolution, 32×32 to 4K.
+//!
+//! ```text
+//! cargo run --release -p hebs-bench --bin frame_scaling [--quick] [--json <path>]
+//! ```
+//!
+//! The fit is histogram-domain and flat across resolutions (see
+//! `fit_scaling`); what a real deployment pays per frame is the per-pixel
+//! work around the fit. This harness serves synthetic frames at four real
+//! resolutions through an exact-cached engine with the histogram-capable
+//! global-UIQI measure and reports:
+//!
+//! * `serve miss` — fused ingest (histogram + signature + content hash in
+//!   one pass) + histogram-domain fit + one strip-vectorized LUT apply;
+//! * `serve hit` — the fused ingest is the only per-pixel work left;
+//! * `ingest serial` / `ingest parallel` — the fused pass alone, and the
+//!   same pass fanned out across the machine's available workers;
+//! * `LUT apply` — the strip-vectorized apply into a reused buffer.
+//!
+//! Because everything except the O(256) fit scales with the pixel count,
+//! serve latency grows far slower than pixels: the headline ratio at the
+//! end compares 4K/32×32 serve growth against the 8100× pixel ratio.
+
+use hebs_bench::{frame_scaling_json, run_frame_scaling, TextTable, FRAME_SCALING_SIZES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| {
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .cloned()
+                .ok_or("--json requires a file path argument")
+        })
+        .transpose()?;
+    let repeats = if quick { 2usize } else { 5 };
+    let workers = hebs_imaging::available_ingest_workers();
+
+    println!(
+        "HEBS serve latency vs. frame resolution ({repeats} repeats, {workers} ingest worker(s))"
+    );
+    println!("one row per resolution; columns are mean per-serve latency\n");
+
+    let rows = run_frame_scaling(&FRAME_SCALING_SIZES, repeats)?;
+
+    let mut table = TextTable::new([
+        "frame",
+        "pixels",
+        "serve miss [us]",
+        "serve hit [us]",
+        "ingest serial [us]",
+        "ingest parallel [us]",
+        "LUT apply [us]",
+    ]);
+    for row in &rows {
+        table.push_row([
+            row.label.to_string(),
+            row.pixels.to_string(),
+            format!("{:.1}", row.serve_miss.as_secs_f64() * 1e6),
+            format!("{:.1}", row.serve_hit.as_secs_f64() * 1e6),
+            format!("{:.1}", row.ingest_serial.as_secs_f64() * 1e6),
+            format!("{:.1}", row.ingest_parallel.as_secs_f64() * 1e6),
+            format!("{:.1}", row.lut_apply.as_secs_f64() * 1e6),
+        ]);
+    }
+    println!("{table}");
+
+    if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+        let pixel_ratio = last.pixels as f64 / first.pixels.max(1) as f64;
+        let serve_ratio = last.serve_miss.as_secs_f64() / first.serve_miss.as_secs_f64().max(1e-12);
+        let speedup =
+            last.ingest_serial.as_secs_f64() / last.ingest_parallel.as_secs_f64().max(1e-12);
+        println!(
+            "{} -> {}: {:.0}x the pixels, {:.1}x the serve-miss latency \
+             (sub-linear; the fit is histogram-domain); parallel ingest speedup at {}: {:.2}x",
+            first.label, last.label, pixel_ratio, serve_ratio, last.label, speedup,
+        );
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, frame_scaling_json(quick, repeats, workers, &rows))?;
+        println!("wrote machine-readable results to {path}");
+    }
+    Ok(())
+}

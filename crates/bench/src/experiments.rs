@@ -741,6 +741,148 @@ pub fn run_fit_scaling(
     Ok(rows)
 }
 
+/// One row of the serve-latency-versus-frame-resolution experiment.
+#[derive(Debug, Clone)]
+pub struct FrameScalingRow {
+    /// Human-readable resolution name ("32x32", "480p", "1080p", "4K").
+    pub label: &'static str,
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Total pixels per frame.
+    pub pixels: usize,
+    /// Mean end-to-end serve latency on an exact-cache **miss** (fused
+    /// ingest + histogram-domain fit + one LUT materialize).
+    pub serve_miss: Duration,
+    /// Mean end-to-end serve latency on an exact-cache **hit** (the fused
+    /// ingest is the only per-pixel work left).
+    pub serve_hit: Duration,
+    /// Mean latency of one serial fused ingest pass.
+    pub ingest_serial: Duration,
+    /// Mean latency of one fused ingest fanned out across the machine's
+    /// available workers (equals the serial pass on a 1-CPU machine).
+    pub ingest_parallel: Duration,
+    /// Mean latency of one strip-vectorized LUT apply into a reused buffer.
+    pub lut_apply: Duration,
+}
+
+/// The resolutions the frame-scaling experiment serves, 32×32 to 4K.
+pub const FRAME_SCALING_SIZES: [(&str, u32, u32); 4] = [
+    ("32x32", 32, 32),
+    ("480p", 854, 480),
+    ("1080p", 1920, 1080),
+    ("4K", 3840, 2160),
+];
+
+/// Measures end-to-end serve latency against real frame resolutions.
+///
+/// The fit itself is histogram-domain (O(candidates × 256), flat — see
+/// [`run_fit_scaling`]); what grows with resolution is the per-pixel work
+/// around it. This experiment pins how that per-pixel work is spent: one
+/// fused ingest pass (histogram + signature + content hash) per serve, one
+/// strip-vectorized LUT apply per miss, and nothing else. Each row serves
+/// an engine with an exact cache and the histogram-capable global-UIQI
+/// measure on the calling thread, timing misses (distinct frames) and hits
+/// (repeats of one frame) separately, then times the ingest and apply
+/// primitives in isolation — serially and fanned out across
+/// [`available_ingest_workers`](hebs_imaging::available_ingest_workers).
+///
+/// # Errors
+///
+/// Propagates engine construction and serve errors.
+pub fn run_frame_scaling(
+    sizes: &[(&'static str, u32, u32)],
+    repeats: usize,
+) -> hebs_runtime::Result<Vec<FrameScalingRow>> {
+    let repeats = repeats.max(1);
+    let workers = hebs_imaging::available_ingest_workers();
+    let mut rows = Vec::new();
+    for &(label, width, height) in sizes {
+        let policy =
+            HebsPolicy::closed_loop(PipelineConfig::default().with_measure(GlobalUiqiDistortion));
+        let engine = Engine::new(
+            policy,
+            EngineConfig {
+                workers: 1,
+                // Unbounded bytes: eviction noise is not what this measures.
+                cache: Some(CacheConfig::exact().with_byte_budget(None)),
+                ..EngineConfig::default()
+            },
+        )?;
+        let base = synthetic::still_life(width, height, 7);
+
+        // Distinct frames for the miss path: flip one pixel per clone so
+        // every content hash (and thus every exact key) differs while the
+        // per-pixel cost stays identical.
+        let misses: Vec<GrayImage> = (0..repeats)
+            .map(|i| {
+                let mut frame = base.clone();
+                let pixels = frame.as_raw_mut();
+                pixels[i % pixels.len()] ^= 0x55;
+                frame
+            })
+            .collect();
+
+        // Warm the engine (and the allocator) off the clock.
+        engine.process_frame(&base)?;
+
+        let started = Instant::now();
+        for frame in &misses {
+            let result = engine.process_frame(frame)?;
+            debug_assert!(!result.cache_hit);
+        }
+        let serve_miss = started.elapsed() / repeats as u32;
+
+        let started = Instant::now();
+        for _ in 0..repeats {
+            let result = engine.process_frame(&base)?;
+            debug_assert!(result.cache_hit);
+        }
+        let serve_hit = started.elapsed() / repeats as u32;
+
+        let seed = 0x5eed;
+        let ingest = hebs_imaging::FrameIngest::compute(&base, seed);
+        let started = Instant::now();
+        for _ in 0..repeats {
+            std::hint::black_box(hebs_imaging::FrameIngest::compute(&base, seed));
+        }
+        let ingest_serial = started.elapsed() / repeats as u32;
+
+        let started = Instant::now();
+        for _ in 0..repeats {
+            std::hint::black_box(hebs_imaging::FrameIngest::compute_parallel(
+                &base, seed, workers,
+            ));
+        }
+        let ingest_parallel = started.elapsed() / repeats as u32;
+
+        let lut: [u8; 256] = std::array::from_fn(|i| (i as u8).saturating_add(16));
+        let mut out = GrayImage::filled(width, height, 0);
+        hebs_imaging::apply_lut_into(&base, &lut, &mut out);
+        let started = Instant::now();
+        for _ in 0..repeats {
+            hebs_imaging::apply_lut_into(&base, &lut, &mut out);
+        }
+        let lut_apply = started.elapsed() / repeats as u32;
+        std::hint::black_box(&out);
+        std::hint::black_box(ingest);
+
+        rows.push(FrameScalingRow {
+            label,
+            width,
+            height,
+            pixels: width as usize * height as usize,
+            serve_miss,
+            serve_hit,
+            ingest_serial,
+            ingest_parallel,
+            lut_apply,
+        });
+    }
+    Ok(rows)
+}
+
 /// Smoke-checks the transformation cache's contract so regressions fail a
 /// CI build instead of only showing up in offline bench numbers:
 ///
@@ -1212,6 +1354,23 @@ mod tests {
             assert!(row.histogram_fit > Duration::ZERO);
             assert!(row.pixel_fit > Duration::ZERO);
             assert!(row.windowed_fit > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn frame_scaling_rows_cover_the_requested_sizes() {
+        let sizes = [("tiny", 16u32, 12u32), ("small", 48, 32)];
+        let rows = run_frame_scaling(&sizes, 1).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "tiny");
+        assert_eq!(rows[0].pixels, 192);
+        assert_eq!(rows[1].pixels, 48 * 32);
+        for row in &rows {
+            assert!(row.serve_miss > Duration::ZERO);
+            assert!(row.serve_hit > Duration::ZERO);
+            assert!(row.ingest_serial > Duration::ZERO);
+            assert!(row.ingest_parallel > Duration::ZERO);
+            assert!(row.lut_apply > Duration::ZERO);
         }
     }
 

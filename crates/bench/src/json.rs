@@ -6,7 +6,7 @@
 //! machine-readable artifact CI uploads, so throughput, hit rates and fit
 //! evaluations can be tracked across PRs.
 
-use crate::experiments::{FitScalingRow, MixedSuiteReport, RuntimeThroughputRow};
+use crate::experiments::{FitScalingRow, FrameScalingRow, MixedSuiteReport, RuntimeThroughputRow};
 use crate::loadgen::{IsolationReport, ScenarioReport};
 
 /// Escapes a string for embedding in a JSON document.
@@ -171,6 +171,54 @@ pub fn fit_scaling_json(base: u32, repeats: usize, rows: &[FitScalingRow]) -> St
         out.push_str(&format!(
             "\"windowed_fit_us\": {}",
             number(row.windowed_fit.as_secs_f64() * 1e6)
+        ));
+        out.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Serializes the serve-latency-versus-resolution experiment. `workers`
+/// records how many ingest workers the producing machine had: the
+/// parallel-speedup gate in `bench_check` only arms when the **current**
+/// artifact reports two or more, so a 1-CPU runner cannot fail it.
+pub fn frame_scaling_json(
+    quick: bool,
+    repeats: usize,
+    workers: usize,
+    rows: &[FrameScalingRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"repeats\": {repeats},\n"));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"label\": \"{}\", ", row.label));
+        out.push_str(&format!("\"width\": {}, ", row.width));
+        out.push_str(&format!("\"height\": {}, ", row.height));
+        out.push_str(&format!("\"pixels\": {}, ", row.pixels));
+        out.push_str(&format!(
+            "\"serve_miss_us\": {}, ",
+            number(row.serve_miss.as_secs_f64() * 1e6)
+        ));
+        out.push_str(&format!(
+            "\"serve_hit_us\": {}, ",
+            number(row.serve_hit.as_secs_f64() * 1e6)
+        ));
+        out.push_str(&format!(
+            "\"ingest_serial_us\": {}, ",
+            number(row.ingest_serial.as_secs_f64() * 1e6)
+        ));
+        out.push_str(&format!(
+            "\"ingest_parallel_us\": {}, ",
+            number(row.ingest_parallel.as_secs_f64() * 1e6)
+        ));
+        out.push_str(&format!(
+            "\"lut_apply_us\": {}",
+            number(row.lut_apply.as_secs_f64() * 1e6)
         ));
         out.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
     }
@@ -383,6 +431,39 @@ mod tests {
         let json = fit_scaling_json(96, 3, &rows);
         assert_eq!(json.matches("\"scale\":").count(), 2);
         assert!(json.contains("\"histogram_fit_us\": 91"));
+    }
+
+    #[test]
+    fn frame_scaling_json_records_workers_and_rows() {
+        let rows = vec![
+            FrameScalingRow {
+                label: "32x32",
+                width: 32,
+                height: 32,
+                pixels: 1024,
+                serve_miss: Duration::from_micros(120),
+                serve_hit: Duration::from_micros(20),
+                ingest_serial: Duration::from_micros(12),
+                ingest_parallel: Duration::from_micros(14),
+                lut_apply: Duration::from_micros(4),
+            },
+            FrameScalingRow {
+                label: "4K",
+                width: 3840,
+                height: 2160,
+                pixels: 8_294_400,
+                serve_miss: Duration::from_micros(52_000),
+                serve_hit: Duration::from_micros(18_000),
+                ingest_serial: Duration::from_micros(17_000),
+                ingest_parallel: Duration::from_micros(9_000),
+                lut_apply: Duration::from_micros(6_000),
+            },
+        ];
+        let json = frame_scaling_json(true, 2, 4, &rows);
+        assert!(json.contains("\"workers\": 4"));
+        assert_eq!(json.matches("\"label\":").count(), 2);
+        assert!(json.contains("\"serve_miss_us\": 52000"));
+        assert!(json.contains("\"ingest_parallel_us\": 9000"));
     }
 
     #[test]

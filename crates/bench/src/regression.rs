@@ -725,6 +725,179 @@ pub fn check_fit_scaling(
     Ok(report)
 }
 
+/// Gates a `frame_scaling.json` artifact: real-resolution serve latency
+/// must stay **sub-linear** in pixel count.
+///
+/// Structural gates read the **current** artifact only, so they hold on
+/// any machine:
+///
+/// * `serve_miss(4K) / serve_miss(32×32)` must stay far below the 8100×
+///   pixel ratio (the fit is histogram-domain; only the fused ingest and
+///   the LUT apply scale with pixels);
+/// * `serve_miss(4K) / serve_miss(1080p)` must not exceed the 4× pixel
+///   ratio — per-pixel cost cannot steepen at the top end;
+/// * at 1080p and above a hit must not cost more than its miss (a hit
+///   does strictly less per-pixel work: the ingest alone);
+/// * when the current artifact's `workers` is ≥ 2, the parallel ingest
+///   must beat the serial pass at 1080p and 4K. A 1-CPU runner records
+///   `workers: 1` and gets an informational note instead — conditioning
+///   on the *baseline*'s worker count would let a multi-core regression
+///   hide behind a single-core baseline.
+///
+/// The cross-run gate compares the machine-independent `4K / 1080p`
+/// serve-miss and serial-ingest shape ratios against the baseline.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed artifact.
+pub fn check_frame_scaling(
+    baseline: &str,
+    current: &str,
+    config: CheckConfig,
+) -> Result<CheckReport, String> {
+    /// Additive slack on gated shape ratios (see [`check_fit_scaling`]).
+    const RATIO_SLACK: f64 = 0.25;
+    /// Absolute ceiling on the 4K / 32×32 serve-miss ratio: ~30% of the
+    /// 8100× pixel ratio. The small frame's serve carries fixed per-serve
+    /// overhead (cache probe, fit, bookkeeping) that the big frame
+    /// amortizes, so the measured ratio sits far below linear; crossing
+    /// this ceiling means per-pixel work got superlinear or a second full
+    /// traversal crept back into the serve path.
+    const SUBLINEAR_CEILING: f64 = 2500.0;
+    /// Required parallel-ingest advantage when workers ≥ 2.
+    const PARALLEL_ADVANTAGE: f64 = 0.85;
+    let index = |doc: &JsonValue| -> Result<HashMap<String, JsonValue>, String> {
+        let rows = doc
+            .get("rows")
+            .and_then(JsonValue::as_array)
+            .ok_or("frame-scaling artifact has no \"rows\" array")?;
+        let mut map = HashMap::new();
+        for row in rows {
+            let label = row
+                .get("label")
+                .and_then(JsonValue::as_str)
+                .ok_or("row missing \"label\"")?;
+            map.insert(label.to_string(), row.clone());
+        }
+        Ok(map)
+    };
+    let baseline_doc = JsonValue::parse(baseline)?;
+    let current_doc = JsonValue::parse(current)?;
+    let baseline = index(&baseline_doc)?;
+    let current = index(&current_doc)?;
+    let mut report = CheckReport::default();
+
+    let cur_miss = |label: &str| -> Option<f64> {
+        current
+            .get(label)
+            .and_then(|row| field(row, "serve_miss_us"))
+    };
+
+    // Structural: whole-range sub-linearity, current artifact only.
+    if let (Some(small), Some(large)) = (cur_miss("32x32"), cur_miss("4K")) {
+        if small > 0.0 {
+            let ratio = large / small;
+            let line = format!(
+                "serve_miss 4K / 32x32: {ratio:.1}x for 8100x the pixels \
+                 (ceiling {SUBLINEAR_CEILING:.0}x)"
+            );
+            if ratio > SUBLINEAR_CEILING {
+                report.violations.push(line.clone());
+            }
+            report.comparisons.push(line);
+        }
+    } else {
+        report
+            .violations
+            .push("frame-scaling current run is missing the 32x32 or 4K row".to_string());
+    }
+
+    // Structural: the top end must not steepen past linear.
+    if let (Some(mid), Some(large)) = (cur_miss("1080p"), cur_miss("4K")) {
+        if mid > 0.0 {
+            let ratio = large / mid;
+            let limit = 4.0 + RATIO_SLACK;
+            let line =
+                format!("serve_miss 4K / 1080p: {ratio:.2}x for 4x the pixels (limit {limit:.2}x)");
+            if ratio > limit {
+                report.violations.push(line.clone());
+            }
+            report.comparisons.push(line);
+        }
+    }
+
+    // Structural: at real resolutions a hit (ingest only) cannot cost
+    // more than a miss (ingest + fit + apply).
+    for label in ["1080p", "4K"] {
+        if let Some(row) = current.get(label) {
+            if let (Some(hit), Some(miss)) =
+                (field(row, "serve_hit_us"), field(row, "serve_miss_us"))
+            {
+                let limit = miss * (1.0 + config.latency_tolerance);
+                let line = format!(
+                    "{label} serve_hit {hit:.1}us vs miss {miss:.1}us (limit {limit:.1}us)"
+                );
+                if hit > limit {
+                    report.violations.push(line.clone());
+                }
+                report.comparisons.push(line);
+            }
+        }
+    }
+
+    // Conditional: parallel ingest speedup, armed by the current machine.
+    let cur_workers = current_doc
+        .get("workers")
+        .and_then(JsonValue::as_number)
+        .unwrap_or(1.0);
+    for label in ["1080p", "4K"] {
+        let Some(row) = current.get(label) else {
+            continue;
+        };
+        let (Some(serial), Some(parallel)) = (
+            field(row, "ingest_serial_us").filter(|v| *v > 0.0),
+            field(row, "ingest_parallel_us"),
+        ) else {
+            continue;
+        };
+        if cur_workers >= 2.0 {
+            let limit = serial * PARALLEL_ADVANTAGE;
+            let line = format!(
+                "{label} parallel ingest {parallel:.1}us vs serial {serial:.1}us \
+                 ({cur_workers:.0} workers, limit {limit:.1}us)"
+            );
+            if parallel > limit {
+                report.violations.push(line.clone());
+            }
+            report.comparisons.push(line);
+        } else {
+            report.comparisons.push(format!(
+                "{label} parallel ingest {parallel:.1}us vs serial {serial:.1}us \
+                 (single worker; speedup gate not armed)"
+            ));
+        }
+    }
+
+    // Cross-run: the machine-independent top-end shape ratios.
+    for metric in ["serve_miss_us", "ingest_serial_us"] {
+        let ratio = |rows: &HashMap<String, JsonValue>| -> Option<f64> {
+            let mid = rows.get("1080p").and_then(|r| field(r, metric))?;
+            let large = rows.get("4K").and_then(|r| field(r, metric))?;
+            (mid > 0.0).then_some(large / mid)
+        };
+        if let (Some(base), Some(cur)) = (ratio(&baseline), ratio(&current)) {
+            report.compare_latency(
+                &format!("{metric} 4K / 1080p"),
+                base,
+                cur,
+                config.latency_tolerance,
+                RATIO_SLACK,
+            );
+        }
+    }
+    Ok(report)
+}
+
 /// Indexes a multi-tenant artifact as scenario name → tenant name → row.
 #[allow(clippy::type_complexity)]
 fn multi_tenant_rows(doc: &JsonValue) -> Result<Vec<(String, Vec<(String, JsonValue)>)>, String> {
@@ -1287,6 +1460,159 @@ mod tests {
         let report = check_fit_scaling(&base, only_one, CheckConfig::default()).unwrap();
         assert!(!report.passed());
         assert!(report.violations[0].contains("missing"));
+    }
+
+    /// Frame-scaling artifact. `speed` multiplies every latency uniformly
+    /// (a slower machine); the other knobs move individual gated numbers,
+    /// all expressed at `speed` 1.0: the 1080p and 4K miss latencies, the
+    /// 4K hit latency, and the 4K parallel-ingest latency (4K serial is
+    /// fixed at 24 ms).
+    fn frame_scaling_doc(
+        workers: u32,
+        speed: f64,
+        miss_1080: f64,
+        miss_4k: f64,
+        hit_4k: f64,
+        parallel_4k: f64,
+    ) -> String {
+        let s = |v: f64| v * speed;
+        format!(
+            r#"{{"quick": true, "repeats": 2, "workers": {workers}, "rows": [
+                {{"label": "32x32", "width": 32, "height": 32, "pixels": 1024,
+                  "serve_miss_us": {}, "serve_hit_us": {},
+                  "ingest_serial_us": {}, "ingest_parallel_us": {},
+                  "lut_apply_us": {}}},
+                {{"label": "480p", "width": 854, "height": 480, "pixels": 409920,
+                  "serve_miss_us": {}, "serve_hit_us": {},
+                  "ingest_serial_us": {}, "ingest_parallel_us": {},
+                  "lut_apply_us": {}}},
+                {{"label": "1080p", "width": 1920, "height": 1080, "pixels": 2073600,
+                  "serve_miss_us": {}, "serve_hit_us": {},
+                  "ingest_serial_us": {}, "ingest_parallel_us": {},
+                  "lut_apply_us": {}}},
+                {{"label": "4K", "width": 3840, "height": 2160, "pixels": 8294400,
+                  "serve_miss_us": {}, "serve_hit_us": {},
+                  "ingest_serial_us": {}, "ingest_parallel_us": {},
+                  "lut_apply_us": {}}}
+            ]}}"#,
+            s(150.0),
+            s(30.0),
+            s(12.0),
+            s(14.0),
+            s(4.0),
+            s(2600.0),
+            s(900.0),
+            s(1100.0),
+            s(700.0),
+            s(400.0),
+            s(miss_1080),
+            s(4500.0),
+            s(6000.0),
+            s(3200.0),
+            s(2000.0),
+            s(miss_4k),
+            s(hit_4k),
+            s(24000.0),
+            s(parallel_4k),
+            s(8000.0),
+        )
+    }
+
+    fn healthy_frame_scaling_doc() -> String {
+        frame_scaling_doc(4, 1.0, 13000.0, 50000.0, 18000.0, 13000.0)
+    }
+
+    #[test]
+    fn frame_scaling_identical_artifacts_pass() {
+        let doc = healthy_frame_scaling_doc();
+        let report = check_frame_scaling(&doc, &doc, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(!report.comparisons.is_empty());
+    }
+
+    #[test]
+    fn frame_scaling_structural_gates_read_the_current_artifact() {
+        // The top end steepening past the 4x pixel ratio fails even when
+        // the baseline has the identical shape: both ratio operands come
+        // from the current artifact.
+        let superlinear = frame_scaling_doc(4, 1.0, 13000.0, 60000.0, 18000.0, 13000.0);
+        let report =
+            check_frame_scaling(&superlinear, &superlinear, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        // 60000/13000 ≈ 4.6x > the 4.25x limit; far below the 2500x
+        // whole-range ceiling, so only the top-end gate fires.
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("4K / 1080p"));
+
+        // A hit costing more than a miss at 4K means the hit path re-reads
+        // pixels it should not touch.
+        let base = healthy_frame_scaling_doc();
+        let heavy_hit = frame_scaling_doc(4, 1.0, 13000.0, 50000.0, 70000.0, 13000.0);
+        let report = check_frame_scaling(&base, &heavy_hit, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(
+            report.violations.iter().any(|v| v.contains("serve_hit")),
+            "{:?}",
+            report.violations
+        );
+
+        // A missing row is a violation.
+        let truncated = r#"{"workers": 1, "rows": [{"label": "32x32",
+            "serve_miss_us": 150.0, "serve_hit_us": 30.0}]}"#;
+        let report = check_frame_scaling(&base, truncated, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations[0].contains("missing"));
+    }
+
+    #[test]
+    fn frame_scaling_parallel_gate_arms_only_on_multicore_runners() {
+        let base = healthy_frame_scaling_doc();
+
+        // workers >= 2 with the 4K fan-out no faster than serial: the
+        // parallel ingest regressed.
+        let no_speedup = frame_scaling_doc(4, 1.0, 13000.0, 50000.0, 18000.0, 23000.0);
+        let report = check_frame_scaling(&base, &no_speedup, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("parallel ingest")));
+
+        // The same degraded numbers from a single-core runner (which also
+        // sees no 1080p speedup) are informational only: one CPU cannot
+        // demonstrate a fan-out.
+        let single_core = frame_scaling_doc(1, 1.0, 13000.0, 50000.0, 18000.0, 24000.0).replace(
+            "\"ingest_parallel_us\": 3200",
+            "\"ingest_parallel_us\": 6000",
+        );
+        let report = check_frame_scaling(&base, &single_core, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report
+            .comparisons
+            .iter()
+            .any(|c| c.contains("speedup gate not armed")));
+    }
+
+    #[test]
+    fn frame_scaling_cross_run_shape_gates_cancel_machine_speed() {
+        // Baseline with a comfortable 4K/1080p serve-miss shape of 2.5x.
+        let base = frame_scaling_doc(4, 1.0, 20000.0, 50000.0, 18000.0, 13000.0);
+
+        // A uniformly 2x slower machine moves no gated ratio: passes.
+        let slow = frame_scaling_doc(4, 2.0, 20000.0, 50000.0, 18000.0, 13000.0);
+        let report = check_frame_scaling(&base, &slow, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+
+        // The shape drifting from 2.5x to ~3.85x stays under the absolute
+        // 4.25x structural limit but regresses the baseline's shape past
+        // tolerance: only the cross-run gate catches it.
+        let reshaped = frame_scaling_doc(4, 1.0, 13000.0, 50000.0, 18000.0, 13000.0);
+        let report = check_frame_scaling(&base, &reshaped, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("serve_miss_us 4K / 1080p")));
     }
 
     /// Multi-tenant artifact with a bursty scenario and an isolation

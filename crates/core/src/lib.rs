@@ -56,9 +56,10 @@ pub use characterize::{
 pub use error::{HebsError, Result};
 pub use ghe::{GheSolution, TargetRange};
 pub use pipeline::{
-    apply_transform, apply_transform_with_histogram, compute_transform,
-    evaluate_range_from_histogram, evaluate_transform_from_histogram, fit_transform, BlendMode,
-    Evaluation, FitScratch, FrameTransform, PipelineConfig, RangeEvaluation,
+    apply_transform, apply_transform_with_histogram, apply_transform_with_histogram_scratch,
+    compute_transform, evaluate_range_from_histogram, evaluate_transform_from_histogram,
+    fit_transform, BlendMode, Evaluation, FitScratch, FrameTransform, PipelineConfig,
+    RangeEvaluation,
 };
 pub use policy::{BacklightPolicy, HebsPolicy, RangeSelection, ScalingOutcome};
 pub use video::{FrameOutcome, VideoPipeline, VideoReport};

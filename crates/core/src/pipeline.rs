@@ -181,12 +181,14 @@ pub struct FrameTransform {
 #[derive(Debug, Clone)]
 pub struct FitScratch {
     displayed: GrayImage,
+    output: GrayImage,
 }
 
 impl Default for FitScratch {
     fn default() -> Self {
         FitScratch {
             displayed: GrayImage::filled(1, 1, 0),
+            output: GrayImage::filled(1, 1, 0),
         }
     }
 }
@@ -195,6 +197,30 @@ impl FitScratch {
     /// Creates an empty scratch.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Takes the reusable *output* frame buffer out of the scratch, leaving
+    /// a minimal placeholder behind.
+    ///
+    /// The output buffer is distinct from the internal candidate buffer:
+    /// candidates stay inside the scratch for the whole fit, while the
+    /// output leaves the pipeline inside the returned evaluation (the
+    /// served frame). Callers that later drop a served frame can donate its
+    /// allocation back with [`FitScratch::recycle_output`].
+    pub fn take_output(&mut self) -> GrayImage {
+        std::mem::replace(&mut self.output, GrayImage::filled(1, 1, 0))
+    }
+
+    /// Donates a no-longer-needed frame buffer back to the scratch so the
+    /// next [`FitScratch::take_output`] reuses its allocation.
+    ///
+    /// Keeps whichever of the current and donated buffers has the larger
+    /// capacity, so a steady-state worker converges on one full-frame
+    /// allocation.
+    pub fn recycle_output(&mut self, buffer: GrayImage) {
+        if buffer.pixel_count() > self.output.pixel_count() {
+            self.output = buffer;
+        }
     }
 }
 
@@ -234,6 +260,27 @@ impl Evaluation {
     pub fn materialize(self, image: &GrayImage) -> RangeEvaluation {
         RangeEvaluation {
             displayed: self.transform.response.apply(image),
+            transform: self.transform,
+            distortion: self.distortion,
+            power: self.power,
+            power_saving: self.power_saving,
+            fit_evaluations: self.fit_evaluations,
+        }
+    }
+
+    /// Like [`Evaluation::materialize`] but writes the displayed image into
+    /// the scratch's reusable output buffer ([`FitScratch::take_output`])
+    /// instead of allocating a fresh frame, so a steady-state serve
+    /// performs zero frame-sized allocations.
+    pub fn materialize_with_scratch(
+        self,
+        image: &GrayImage,
+        scratch: &mut FitScratch,
+    ) -> RangeEvaluation {
+        let mut displayed = scratch.take_output();
+        self.transform.response.apply_into(image, &mut displayed);
+        RangeEvaluation {
+            displayed,
             transform: self.transform,
             distortion: self.distortion,
             power: self.power,
@@ -350,8 +397,10 @@ pub fn evaluate_at_range_scratch(
         fit_range(config, histogram, target, Some((image, scratch)))?
             .expect("the pixel fallback was supplied");
     let (power, power_saving) = power_from_histogram(config, histogram, &transform)?;
+    let mut displayed = scratch.take_output();
+    transform.response.apply_into(image, &mut displayed);
     Ok(RangeEvaluation {
-        displayed: transform.response.apply(image),
+        displayed,
         transform,
         distortion,
         power,
@@ -586,7 +635,27 @@ pub fn apply_transform_with_histogram(
     histogram: &Histogram,
     transform: &Arc<FrameTransform>,
 ) -> Result<RangeEvaluation> {
-    let displayed = transform.response.apply(image);
+    let mut scratch = FitScratch::default();
+    apply_transform_with_histogram_scratch(config, image, histogram, transform, &mut scratch)
+}
+
+/// Same as [`apply_transform_with_histogram`] but materializes the
+/// displayed frame into the scratch's reusable output buffer
+/// ([`FitScratch::take_output`]), so a cache-hit replay on the serve path
+/// allocates nothing once the per-worker scratch has grown to frame size.
+///
+/// # Errors
+///
+/// Propagates errors from the display substrate.
+pub fn apply_transform_with_histogram_scratch(
+    config: &PipelineConfig,
+    image: &GrayImage,
+    histogram: &Histogram,
+    transform: &Arc<FrameTransform>,
+    scratch: &mut FitScratch,
+) -> Result<RangeEvaluation> {
+    let mut displayed = scratch.take_output();
+    transform.response.apply_into(image, &mut displayed);
     let distortion = match config
         .measure
         .distortion_from_levels(histogram, transform.response.levels())

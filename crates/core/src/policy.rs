@@ -24,9 +24,9 @@ use crate::characterize::{CurveFit, DistortionCharacteristic};
 use crate::error::{HebsError, Result};
 use crate::ghe::TargetRange;
 use crate::pipeline::{
-    apply_transform_with_histogram, evaluate_at_range_scratch, evaluate_range_from_histogram,
-    evaluate_transform_from_histogram, Evaluation, FitScratch, FrameTransform, PipelineConfig,
-    RangeEvaluation,
+    apply_transform_with_histogram_scratch, evaluate_at_range_scratch,
+    evaluate_range_from_histogram, evaluate_transform_from_histogram, Evaluation, FitScratch,
+    FrameTransform, PipelineConfig, RangeEvaluation,
 };
 
 /// The outcome of running a backlight scaling policy on one image.
@@ -225,7 +225,7 @@ impl HebsPolicy {
         let full_target = TargetRange::from_span(256).expect("256 is a valid span");
         if let Some(full) = evaluate_range_from_histogram(&self.config, histogram, full_target)? {
             if let Some(found) =
-                self.search_range_level_space(image, histogram, max_distortion, full)?
+                self.search_range_level_space(image, histogram, max_distortion, full, scratch)?
             {
                 return Ok(found);
             }
@@ -246,6 +246,7 @@ impl HebsPolicy {
         histogram: &Histogram,
         max_distortion: f64,
         full: Evaluation,
+        scratch: &mut FitScratch,
     ) -> Result<Option<RangeEvaluation>> {
         let mut total_evaluations = full.fit_evaluations;
         if full.distortion > max_distortion {
@@ -253,7 +254,7 @@ impl HebsPolicy {
             // the least-distorting configuration HEBS can produce).
             let mut best = full;
             best.fit_evaluations = total_evaluations;
-            return Ok(Some(best.materialize(image)));
+            return Ok(Some(best.materialize_with_scratch(image, scratch)));
         }
         let mut lo = 2u32;
         let mut hi = 256u32;
@@ -273,7 +274,7 @@ impl HebsPolicy {
             }
         }
         best.fit_evaluations = total_evaluations;
-        Ok(Some(best.materialize(image)))
+        Ok(Some(best.materialize_with_scratch(image, scratch)))
     }
 
     /// The pixel-path bisection for windowed measures: candidate images go
@@ -299,9 +300,11 @@ impl HebsPolicy {
             total_evaluations += eval.fit_evaluations;
             if eval.distortion <= max_distortion {
                 hi = mid;
-                best = eval;
+                let discarded = std::mem::replace(&mut best, eval);
+                scratch.recycle_output(discarded.displayed);
             } else {
                 lo = mid + 1;
+                scratch.recycle_output(eval.displayed);
             }
         }
         best.fit_evaluations = total_evaluations;
@@ -439,7 +442,31 @@ impl HebsPolicy {
         histogram: &Histogram,
         transform: &Arc<FrameTransform>,
     ) -> Result<ScalingOutcome> {
-        let evaluation = apply_transform_with_histogram(&self.config, image, histogram, transform)?;
+        let mut scratch = FitScratch::default();
+        self.apply_frame_transform_with_histogram_scratch(image, histogram, transform, &mut scratch)
+    }
+
+    /// Like [`HebsPolicy::apply_frame_transform_with_histogram`] but
+    /// materializes the displayed frame through the scratch's reusable
+    /// output buffer — the allocation-free serve-path variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the display substrate.
+    pub fn apply_frame_transform_with_histogram_scratch(
+        &self,
+        image: &GrayImage,
+        histogram: &Histogram,
+        transform: &Arc<FrameTransform>,
+        scratch: &mut FitScratch,
+    ) -> Result<ScalingOutcome> {
+        let evaluation = apply_transform_with_histogram_scratch(
+            &self.config,
+            image,
+            histogram,
+            transform,
+            scratch,
+        )?;
         Ok(ScalingOutcome::from_evaluation(&self.name, evaluation))
     }
 
@@ -461,6 +488,31 @@ impl HebsPolicy {
         transform: &Arc<FrameTransform>,
         max_distortion: f64,
     ) -> Result<Option<ScalingOutcome>> {
+        let mut scratch = FitScratch::default();
+        self.replay_frame_transform_with_scratch(
+            image,
+            histogram,
+            transform,
+            max_distortion,
+            &mut scratch,
+        )
+    }
+
+    /// Like [`HebsPolicy::replay_frame_transform`] but materializes an
+    /// accepted replay through the scratch's reusable output buffer, so a
+    /// steady-state cache hit allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the display substrate.
+    pub fn replay_frame_transform_with_scratch(
+        &self,
+        image: &GrayImage,
+        histogram: &Histogram,
+        transform: &Arc<FrameTransform>,
+        max_distortion: f64,
+        scratch: &mut FitScratch,
+    ) -> Result<Option<ScalingOutcome>> {
         if let Some(evaluation) =
             evaluate_transform_from_histogram(&self.config, histogram, transform)?
         {
@@ -470,13 +522,15 @@ impl HebsPolicy {
             }
             return Ok(Some(ScalingOutcome::from_evaluation(
                 &self.name,
-                evaluation.materialize(image),
+                evaluation.materialize_with_scratch(image, scratch),
             )));
         }
         // Windowed measure: the displayed image is needed to measure; it
         // doubles as the outcome on acceptance.
-        let outcome = self.apply_frame_transform_with_histogram(image, histogram, transform)?;
+        let outcome = self
+            .apply_frame_transform_with_histogram_scratch(image, histogram, transform, scratch)?;
         if outcome.distortion > max_distortion {
+            scratch.recycle_output(outcome.displayed);
             return Ok(None);
         }
         Ok(Some(outcome))

@@ -64,17 +64,15 @@ impl DisplayResponse {
     /// Applies the fused response to a frame, producing the displayed
     /// luminance image in one pass.
     pub fn apply(&self, image: &GrayImage) -> GrayImage {
-        image.map(|level| self.levels[level as usize])
+        hebs_imaging::apply_lut(image, &self.levels)
     }
 
     /// Applies the fused response into a caller-provided scratch image,
     /// reshaping it to the source dimensions. Performs no allocation once
-    /// the scratch has grown to the frame size.
+    /// the scratch has grown to the frame size. Strip-vectorized via
+    /// [`hebs_imaging::apply_lut_into`].
     pub fn apply_into(&self, image: &GrayImage, out: &mut GrayImage) {
-        out.reshape(image.width(), image.height());
-        for (dst, src) in out.as_raw_mut().iter_mut().zip(image.as_raw()) {
-            *dst = self.levels[*src as usize];
-        }
+        hebs_imaging::apply_lut_into(image, &self.levels, out);
     }
 }
 

@@ -6,6 +6,7 @@
 //! (Eq. 5–7 of the paper).
 
 use crate::image::GrayImage;
+use crate::traversals;
 
 /// Number of distinct grayscale levels of an 8-bit display.
 pub const GRAY_LEVELS: usize = 256;
@@ -45,7 +46,12 @@ impl Histogram {
     }
 
     /// Computes the histogram of an image.
+    ///
+    /// This is a full-frame pixel traversal (recorded by
+    /// [`crate::traversals`]); serve paths that also need the content hash
+    /// should use the fused [`crate::FrameIngest`] pass instead.
     pub fn of(image: &GrayImage) -> Self {
+        traversals::record();
         let mut hist = Histogram::new();
         for value in image.pixels() {
             hist.bins[value as usize] += 1;

@@ -1,0 +1,502 @@
+//! Fused single-pass frame ingest.
+//!
+//! A served frame needs three pixel-derived statistics before its fit can
+//! even be looked up: the 256-bin [`Histogram`] (the fitting domain), the
+//! 32-bin [`HistogramSignature`] (approximate cache key and curve-bank
+//! routing), and a seeded 128-bit content hash (exact cache key). Computed
+//! separately these are three full walks over the pixel buffer — at 4K
+//! that is ~25 MB of memory traffic before any fitting happens.
+//! [`FrameIngest`] computes all three in **one** fused pass: each 8-byte
+//! chunk of pixels bumps its histogram bins and feeds one 64-bit word into
+//! the hash, and the signature falls out of the finished histogram for
+//! free (it is a 256-element reduction, not a pixel pass).
+//!
+//! # Lane-structured hashing
+//!
+//! The hash is defined over fixed *lanes* — runs of whole rows sized to
+//! roughly [`LANE_TARGET_BYTES`] — rather than over the raw byte stream.
+//! Each lane is digested independently with a per-lane seed, and the lane
+//! digests are folded in lane order into the final 128-bit value. The lane
+//! decomposition is a pure function of the frame's shape, **never** of the
+//! thread count, so the serial and parallel paths are bit-identical and a
+//! hash computed on a 1-core box matches one computed on a 64-core box.
+//! Independent lanes are what make the parallel fan-out possible at all:
+//! a single sequential mixing chain cannot be split across workers.
+//!
+//! # Parallel fan-out
+//!
+//! [`FrameIngest::compute_parallel`] distributes lanes over a std-only
+//! [`std::thread::scope`] pool via an atomic lane cursor. Every worker
+//! accumulates a private 256-bin partial histogram and its lanes' digests,
+//! returns them through its join handle, and the caller merges: partial
+//! bins add (histogram merging is commutative), digests scatter into lane
+//! order (the fold is not). [`FrameIngest::compute_auto`] picks the fan-out
+//! only when the frame is large enough to amortize thread wake-up
+//! ([`PARALLEL_INGEST_THRESHOLD`]) and the machine actually has cores.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+use crate::histogram::{Histogram, GRAY_LEVELS};
+use crate::image::GrayImage;
+use crate::signature::HistogramSignature;
+use crate::traversals;
+
+/// SplitMix64 increment (the golden-ratio constant).
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Target size of one hash lane in bytes (whole rows, ~256 KiB).
+///
+/// Large enough that per-lane seeding and digest folding are noise, small
+/// enough that a 1080p frame (~2 MB) splits into ~8 lanes and keeps a
+/// handful of workers busy. Changing this constant changes every exact
+/// hash value; the cache is in-memory only, so that is safe between
+/// releases but must never happen silently within one.
+const LANE_TARGET_BYTES: usize = 256 * 1024;
+
+/// Pixel count below which [`FrameIngest::compute_auto`] stays serial.
+///
+/// Fan-out costs two thread spawns minimum; below ~256 K pixels (a 512×512
+/// frame) the fused serial pass finishes in well under the wake-up cost.
+pub const PARALLEL_INGEST_THRESHOLD: usize = 1 << 18;
+
+/// SplitMix64 finalizer: the avalanche permutation both hash streams use.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed for one lane from the frame seed and the lane index.
+fn lane_seed(seed: u64, lane: usize) -> u64 {
+    mix(seed ^ (lane as u64).wrapping_mul(GOLDEN))
+}
+
+/// The frame's lane decomposition: whole-row runs of ~[`LANE_TARGET_BYTES`].
+///
+/// Depends only on the frame shape, so every compute path (serial,
+/// parallel with any worker count, standalone [`frame_hash128`]) sees the
+/// same lanes and produces the same digest.
+#[derive(Debug, Clone, Copy)]
+struct LanePlan {
+    rows_per_lane: usize,
+    lanes: usize,
+}
+
+impl LanePlan {
+    fn of(width: u32, height: u32) -> LanePlan {
+        let row_bytes = width as usize;
+        let rows_per_lane = (LANE_TARGET_BYTES / row_bytes.max(1)).clamp(1, height as usize);
+        LanePlan {
+            rows_per_lane,
+            lanes: (height as usize).div_ceil(rows_per_lane),
+        }
+    }
+
+    /// Byte range of `lane` within the frame's raw buffer.
+    fn byte_range(&self, width: u32, height: u32, lane: usize) -> Range<usize> {
+        let start_row = lane * self.rows_per_lane;
+        let end_row = (start_row + self.rows_per_lane).min(height as usize);
+        start_row * width as usize..end_row * width as usize
+    }
+}
+
+/// Advances the two interleaved hash streams by one 64-bit word.
+fn stream_word(a: &mut u64, b: &mut u64, word: u64) {
+    *a = mix(*a ^ word).wrapping_add(GOLDEN);
+    *b = mix(b.rotate_left(23) ^ word);
+}
+
+/// Folds the sub-8-byte tail (if any) into the streams, tagged with its
+/// length so `[1]` and `[1, 0]` lanes cannot collide.
+fn stream_tail(a: &mut u64, b: &mut u64, tail: &[u8]) {
+    if tail.is_empty() {
+        return;
+    }
+    let mut padded = [0u8; 8];
+    padded[..tail.len()].copy_from_slice(tail);
+    let word = u64::from_le_bytes(padded) ^ ((tail.len() as u64) << 56);
+    *a = mix(*a ^ word);
+    *b = mix(*b ^ word.rotate_left(17));
+}
+
+fn stream_init(seed: u64) -> (u64, u64) {
+    (mix(seed ^ GOLDEN), mix(seed.wrapping_add(GOLDEN)))
+}
+
+/// Digests one lane's bytes (hash only — used by [`frame_hash128`]).
+fn hash_lane(bytes: &[u8], seed: u64) -> (u64, u64) {
+    let (mut a, mut b) = stream_init(seed);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8) yields 8 bytes"));
+        stream_word(&mut a, &mut b, word);
+    }
+    stream_tail(&mut a, &mut b, chunks.remainder());
+    (a, b)
+}
+
+/// One worker's share of a parallel ingest: its private histogram bins
+/// plus the `(lane index, lane digest)` pairs it pulled off the cursor.
+type WorkerPartial = ([u64; GRAY_LEVELS], Vec<(usize, (u64, u64))>);
+
+/// Digests one lane while bumping histogram bins: the fused inner loop.
+///
+/// Identical hash output to [`hash_lane`]; the bin increments ride along
+/// on the same pass over the bytes.
+fn ingest_lane(bytes: &[u8], seed: u64, bins: &mut [u64; GRAY_LEVELS]) -> (u64, u64) {
+    let (mut a, mut b) = stream_init(seed);
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        for &px in chunk {
+            bins[px as usize] += 1;
+        }
+        let word = u64::from_le_bytes(chunk.try_into().expect("chunks_exact(8) yields 8 bytes"));
+        stream_word(&mut a, &mut b, word);
+    }
+    let tail = chunks.remainder();
+    for &px in tail {
+        bins[px as usize] += 1;
+    }
+    stream_tail(&mut a, &mut b, tail);
+    (a, b)
+}
+
+/// Folds per-lane digests, in lane order, into the final 128-bit hash.
+fn fold_lanes(digests: &[(u64, u64)], seed: u64, total_bytes: usize) -> u128 {
+    let (mut a, mut b) = stream_init(seed);
+    for &(lane_a, lane_b) in digests {
+        stream_word(&mut a, &mut b, lane_a);
+        stream_word(&mut a, &mut b, lane_b);
+    }
+    a = mix(a ^ total_bytes as u64);
+    b = mix(b.wrapping_add(total_bytes as u64));
+    (u128::from(a) << 64) | u128::from(b)
+}
+
+/// Seeded 128-bit content hash of a frame's pixel buffer.
+///
+/// This is the canonical exact-key hash: [`FrameIngest`] produces the same
+/// value on its fused pass, serial or parallel. Lane-structured (see the
+/// module docs), so equal pixels under equal seed always hash equal
+/// regardless of how the work was split.
+pub fn frame_hash128(image: &GrayImage, seed: u64) -> u128 {
+    traversals::record();
+    let plan = LanePlan::of(image.width(), image.height());
+    let data = image.as_raw();
+    let mut digests = Vec::with_capacity(plan.lanes);
+    for lane in 0..plan.lanes {
+        let range = plan.byte_range(image.width(), image.height(), lane);
+        digests.push(hash_lane(&data[range], lane_seed(seed, lane)));
+    }
+    fold_lanes(&digests, seed, data.len())
+}
+
+/// Number of workers [`FrameIngest::compute_auto`] fans out to: the
+/// machine's available parallelism, probed once per process.
+pub fn available_ingest_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Every pixel-derived statistic the serve path needs, from one fused pass.
+///
+/// ```
+/// use hebs_imaging::{FrameIngest, GrayImage, Histogram, HistogramSignature, frame_hash128};
+///
+/// let frame = GrayImage::from_fn(64, 48, |x, y| ((x * 3 + y * 5) % 251) as u8);
+/// let ingest = FrameIngest::compute(&frame, 7);
+/// assert_eq!(*ingest.histogram(), Histogram::of(&frame));
+/// assert_eq!(ingest.signature(), HistogramSignature::of(&Histogram::of(&frame)));
+/// assert_eq!(ingest.content_hash(), frame_hash128(&frame, 7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameIngest {
+    histogram: Histogram,
+    signature: HistogramSignature,
+    content_hash: u128,
+}
+
+impl FrameIngest {
+    /// Fused serial pass: one traversal of the pixel buffer.
+    pub fn compute(image: &GrayImage, seed: u64) -> FrameIngest {
+        traversals::record();
+        Self::serial(image, seed)
+    }
+
+    /// Fused pass fanned out over at most `workers` scoped threads.
+    ///
+    /// Bit-identical to [`FrameIngest::compute`] for every worker count:
+    /// the lane decomposition is fixed by the frame shape, partial
+    /// histograms merge commutatively, and lane digests are re-ordered
+    /// before the fold. Counts as **one** traversal (recorded on the
+    /// calling thread) — the lanes partition the buffer, they do not
+    /// re-read it.
+    pub fn compute_parallel(image: &GrayImage, seed: u64, workers: usize) -> FrameIngest {
+        traversals::record();
+        let plan = LanePlan::of(image.width(), image.height());
+        let workers = workers.min(plan.lanes);
+        if workers <= 1 {
+            return Self::serial(image, seed);
+        }
+        Self::parallel(image, seed, workers, plan)
+    }
+
+    /// Fused pass with automatic fan-out: parallel when the frame is at
+    /// least [`PARALLEL_INGEST_THRESHOLD`] pixels and the machine has more
+    /// than one core, serial otherwise.
+    pub fn compute_auto(image: &GrayImage, seed: u64) -> FrameIngest {
+        traversals::record();
+        if image.pixel_count() >= PARALLEL_INGEST_THRESHOLD {
+            let plan = LanePlan::of(image.width(), image.height());
+            let workers = available_ingest_workers().min(plan.lanes);
+            if workers > 1 {
+                return Self::parallel(image, seed, workers, plan);
+            }
+        }
+        Self::serial(image, seed)
+    }
+
+    fn serial(image: &GrayImage, seed: u64) -> FrameIngest {
+        let plan = LanePlan::of(image.width(), image.height());
+        let data = image.as_raw();
+        let mut bins = [0u64; GRAY_LEVELS];
+        let mut digests = Vec::with_capacity(plan.lanes);
+        for lane in 0..plan.lanes {
+            let range = plan.byte_range(image.width(), image.height(), lane);
+            digests.push(ingest_lane(&data[range], lane_seed(seed, lane), &mut bins));
+        }
+        Self::assemble(bins, &digests, seed, data.len())
+    }
+
+    fn parallel(image: &GrayImage, seed: u64, workers: usize, plan: LanePlan) -> FrameIngest {
+        let data = image.as_raw();
+        let width = image.width();
+        let height = image.height();
+        let cursor = AtomicUsize::new(0);
+        let partials: Vec<WorkerPartial> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut bins = [0u64; GRAY_LEVELS];
+                        let mut digests = Vec::new();
+                        loop {
+                            // Lane payloads are read-only and results flow
+                            // through join handles, which synchronize.
+                            let lane = cursor.fetch_add(1, Ordering::Relaxed); // ordering: pure work distribution
+                            if lane >= plan.lanes {
+                                break;
+                            }
+                            let range = plan.byte_range(width, height, lane);
+                            let digest =
+                                ingest_lane(&data[range], lane_seed(seed, lane), &mut bins);
+                            digests.push((lane, digest));
+                        }
+                        (bins, digests)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("ingest worker panicked"))
+                .collect()
+        });
+
+        let mut bins = [0u64; GRAY_LEVELS];
+        let mut digests = vec![(0u64, 0u64); plan.lanes];
+        for (partial_bins, partial_digests) in partials {
+            for (total, partial) in bins.iter_mut().zip(partial_bins.iter()) {
+                *total += partial;
+            }
+            for (lane, digest) in partial_digests {
+                digests[lane] = digest;
+            }
+        }
+        Self::assemble(bins, &digests, seed, data.len())
+    }
+
+    fn assemble(
+        bins: [u64; GRAY_LEVELS],
+        digests: &[(u64, u64)],
+        seed: u64,
+        total_bytes: usize,
+    ) -> FrameIngest {
+        let histogram = Histogram::from_counts(bins);
+        let signature = HistogramSignature::of(&histogram);
+        FrameIngest {
+            signature,
+            content_hash: fold_lanes(digests, seed, total_bytes),
+            histogram,
+        }
+    }
+
+    /// The frame's full 256-bin histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// The frame's 32-bin coarse signature.
+    pub fn signature(&self) -> HistogramSignature {
+        self.signature
+    }
+
+    /// The seeded 128-bit exact-key content hash.
+    pub fn content_hash(&self) -> u128 {
+        self.content_hash
+    }
+
+    /// Decomposes into `(histogram, signature, content_hash)`.
+    pub fn into_parts(self) -> (Histogram, HistogramSignature, u128) {
+        (self.histogram, self.signature, self.content_hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::StdRng;
+
+    /// Shapes chosen to exercise every lane/tail case: degenerate 1×N and
+    /// N×1, widths that are not multiples of the 8-byte hash chunk,
+    /// multi-lane frames, and a lane whose byte count is odd (forcing the
+    /// padded-tail path inside a middle-of-frame lane).
+    const SHAPES: &[(u32, u32)] = &[
+        (1, 1),
+        (1, 7),
+        (7, 1),
+        (13, 9),
+        (32, 32),
+        (100, 1),
+        (1, 100),
+        (640, 3),
+        (1024, 600),
+        (513, 517),
+    ];
+
+    fn random_frame(rng: &mut StdRng, width: u32, height: u32) -> GrayImage {
+        GrayImage::from_fn(width, height, |_, _| (rng.next_u64() & 0xFF) as u8)
+    }
+
+    #[test]
+    fn lane_plan_covers_the_frame_exactly() {
+        for &(width, height) in SHAPES {
+            let plan = LanePlan::of(width, height);
+            let mut covered = 0usize;
+            for lane in 0..plan.lanes {
+                let range = plan.byte_range(width, height, lane);
+                assert_eq!(range.start, covered, "{width}x{height} lane {lane}");
+                assert!(!range.is_empty(), "{width}x{height} lane {lane} empty");
+                covered = range.end;
+            }
+            assert_eq!(covered, (width * height) as usize);
+        }
+    }
+
+    #[test]
+    fn large_frames_decompose_into_multiple_lanes() {
+        let plan = LanePlan::of(1024, 600);
+        assert_eq!(plan.rows_per_lane, 256);
+        assert_eq!(plan.lanes, 3);
+        // Last lane is short: 600 - 2*256 = 88 rows.
+        assert_eq!(plan.byte_range(1024, 600, 2).len(), 88 * 1024);
+    }
+
+    #[test]
+    fn fused_ingest_matches_the_separate_passes() {
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        for &(width, height) in SHAPES {
+            let frame = random_frame(&mut rng, width, height);
+            let ingest = FrameIngest::compute(&frame, 42);
+            let histogram = Histogram::of(&frame);
+            assert_eq!(*ingest.histogram(), histogram, "{width}x{height}");
+            assert_eq!(
+                ingest.signature(),
+                HistogramSignature::of(&histogram),
+                "{width}x{height}"
+            );
+            assert_eq!(
+                ingest.content_hash(),
+                frame_hash128(&frame, 42),
+                "{width}x{height}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial_for_every_worker_count() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for &(width, height) in &[(1024, 600), (513, 517), (32, 32)] {
+            let frame = random_frame(&mut rng, width, height);
+            let serial = FrameIngest::compute(&frame, 9);
+            for workers in 1..=5 {
+                let parallel = FrameIngest::compute_parallel(&frame, 9, workers);
+                assert_eq!(
+                    parallel.content_hash(),
+                    serial.content_hash(),
+                    "{width}x{height} workers={workers}"
+                );
+                assert_eq!(*parallel.histogram(), *serial.histogram());
+                assert_eq!(parallel.signature(), serial.signature());
+            }
+        }
+    }
+
+    #[test]
+    fn compute_auto_matches_compute() {
+        let mut rng = StdRng::seed_from_u64(0xCAFE);
+        // One frame below the parallel threshold, one above it.
+        for &(width, height) in &[(64, 64), (1024, 600)] {
+            let frame = random_frame(&mut rng, width, height);
+            let auto = FrameIngest::compute_auto(&frame, 3);
+            let serial = FrameIngest::compute(&frame, 3);
+            assert_eq!(auto.content_hash(), serial.content_hash());
+            assert_eq!(*auto.histogram(), *serial.histogram());
+        }
+    }
+
+    #[test]
+    fn hash_is_seed_sensitive() {
+        let frame = GrayImage::filled(16, 16, 128);
+        assert_ne!(frame_hash128(&frame, 1), frame_hash128(&frame, 2));
+    }
+
+    #[test]
+    fn hash_is_content_sensitive_in_every_position() {
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let base = random_frame(&mut rng, 37, 11);
+        let reference = frame_hash128(&base, 0);
+        for index in [0usize, 7, 8, 36, 37, 200, 37 * 11 - 1] {
+            let mut altered = base.clone();
+            altered.as_raw_mut()[index] ^= 0x40;
+            assert_ne!(frame_hash128(&altered, 0), reference, "index {index}");
+        }
+    }
+
+    #[test]
+    fn equal_shapes_with_shifted_content_do_not_collide() {
+        // Same multiset of bytes, different order: the hash must see
+        // position, not just the histogram.
+        let a = GrayImage::from_raw(4, 2, vec![1, 2, 3, 4, 5, 6, 7, 8]).expect("shape");
+        let b = GrayImage::from_raw(4, 2, vec![8, 7, 6, 5, 4, 3, 2, 1]).expect("shape");
+        assert_ne!(frame_hash128(&a, 0), frame_hash128(&b, 0));
+    }
+
+    #[test]
+    fn ingest_records_exactly_one_traversal_even_when_parallel() {
+        let frame = GrayImage::filled(1024, 600, 77);
+        let before = traversals::count();
+        let _ = FrameIngest::compute_parallel(&frame, 0, 4);
+        assert_eq!(traversals::count() - before, 1);
+        let _ = FrameIngest::compute(&frame, 0);
+        assert_eq!(traversals::count() - before, 2);
+        let _ = frame_hash128(&frame, 0);
+        assert_eq!(traversals::count() - before, 3);
+    }
+}

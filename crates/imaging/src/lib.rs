@@ -10,6 +10,11 @@
 //! * [`GrayImage`] / [`RgbImage`] — simple owned raster containers.
 //! * [`Histogram`] / [`CumulativeHistogram`] — marginal and cumulative pixel
 //!   value distributions, the central data structure of the algorithm.
+//! * [`FrameIngest`] / [`frame_hash128`] — the fused single-pass serve-path
+//!   ingest: histogram, 32-bin signature and seeded 128-bit content hash from
+//!   one traversal of the pixel buffer, optionally fanned out over scoped
+//!   threads; [`traversals`] counts full-frame walks so tests can pin the
+//!   serve path's traversal budget.
 //! * [`io`] — a dependency-free PGM/PPM codec so images can be inspected with
 //!   ordinary tools.
 //! * [`synthetic`] and [`suite`] — procedural generators that stand in for
@@ -35,6 +40,7 @@
 mod error;
 mod histogram;
 mod image;
+mod ingest;
 pub mod io;
 mod ops;
 mod pixel;
@@ -43,12 +49,14 @@ mod signature;
 mod stats;
 pub mod suite;
 pub mod synthetic;
+pub mod traversals;
 pub mod video;
 
 pub use error::{ImageError, Result};
 pub use histogram::{CumulativeHistogram, Histogram, GRAY_LEVELS};
 pub use image::{GrayImage, RgbImage};
-pub use ops::{apply_lut, crop, downsample, flip_horizontal, flip_vertical};
+pub use ingest::{available_ingest_workers, frame_hash128, FrameIngest, PARALLEL_INGEST_THRESHOLD};
+pub use ops::{apply_lut, apply_lut_into, crop, downsample, flip_horizontal, flip_vertical};
 pub use pixel::{Rgb, MAX_LEVEL};
 pub use signature::{HistogramSignature, DEFAULT_SIGNATURE_RESOLUTION, SIGNATURE_BINS};
 pub use stats::{covariance, ImageStats};

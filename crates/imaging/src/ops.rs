@@ -2,12 +2,45 @@
 
 use crate::error::{ImageError, Result};
 use crate::image::GrayImage;
+use crate::traversals;
+
+/// Strip width (bytes) of the fused LUT apply.
+///
+/// The source and destination strips of one iteration fit comfortably in
+/// L1 together with the 256-byte table, and the fixed-length
+/// `chunks_exact` bodies let the optimizer drop bounds checks and unroll.
+const LUT_STRIP: usize = 64;
+
+/// Maps `src` through `lut` into `dst`, strip by strip.
+///
+/// Callers guarantee `src.len() == dst.len()`; this is the shared
+/// (uncounted) core of [`apply_lut`] and [`apply_lut_into`] so each public
+/// entry point records exactly one traversal.
+fn fill_lut(src: &[u8], lut: &[u8; 256], dst: &mut [u8]) {
+    let mut src_strips = src.chunks_exact(LUT_STRIP);
+    let mut dst_strips = dst.chunks_exact_mut(LUT_STRIP);
+    for (out, inp) in dst_strips.by_ref().zip(src_strips.by_ref()) {
+        for (o, i) in out.iter_mut().zip(inp) {
+            *o = lut[*i as usize];
+        }
+    }
+    for (o, i) in dst_strips
+        .into_remainder()
+        .iter_mut()
+        .zip(src_strips.remainder())
+    {
+        *o = lut[*i as usize];
+    }
+}
 
 /// Applies a 256-entry lookup table to every pixel of an image.
 ///
 /// This is exactly what the LCD source driver does in hardware once the
 /// reference voltages are programmed: each incoming grayscale level is mapped
 /// to a new (displayed) level through a fixed curve.
+///
+/// Allocates the output image; hot paths that can reuse a buffer should
+/// prefer [`apply_lut_into`].
 ///
 /// ```
 /// use hebs_imaging::{apply_lut, GrayImage};
@@ -21,7 +54,35 @@ use crate::image::GrayImage;
 /// assert_eq!(shifted.get(0, 0), Some(5));
 /// ```
 pub fn apply_lut(image: &GrayImage, lut: &[u8; 256]) -> GrayImage {
-    image.map(|v| lut[v as usize])
+    traversals::record();
+    let mut out = GrayImage::filled(image.width(), image.height(), 0);
+    fill_lut(image.as_raw(), lut, out.as_raw_mut());
+    out
+}
+
+/// Applies a 256-entry lookup table into a reusable output image.
+///
+/// `out` is reshaped to `image`'s dimensions (reusing its allocation when
+/// the capacity suffices) and every pixel is overwritten, so any prior
+/// contents are irrelevant. This is the allocation-free serve-path variant
+/// of [`apply_lut`]: the pixels are walked once, in cache-friendly strips.
+///
+/// ```
+/// use hebs_imaging::{apply_lut, apply_lut_into, GrayImage};
+///
+/// let img = GrayImage::from_fn(40, 30, |x, y| (x * 7 + y) as u8);
+/// let mut lut = [0u8; 256];
+/// for (i, entry) in lut.iter_mut().enumerate() {
+///     *entry = (i as u8) / 2;
+/// }
+/// let mut out = GrayImage::filled(1, 1, 0);
+/// apply_lut_into(&img, &lut, &mut out);
+/// assert_eq!(out, apply_lut(&img, &lut));
+/// ```
+pub fn apply_lut_into(image: &GrayImage, lut: &[u8; 256], out: &mut GrayImage) {
+    traversals::record();
+    out.reshape(image.width(), image.height());
+    fill_lut(image.as_raw(), lut, out.as_raw_mut());
 }
 
 /// Extracts the rectangle `[x, x+width) × [y, y+height)` from an image.

@@ -1,0 +1,63 @@
+//! Debug counter of full-frame pixel traversals.
+//!
+//! Every operation in this crate that walks a frame's complete pixel buffer
+//! — the histogram build, the fused [`FrameIngest`](crate::FrameIngest)
+//! pass, the standalone content hash and the LUT applies — records itself
+//! here, on the thread that *requested* the walk. The counter is
+//! thread-local, so concurrently running tests and worker pools never
+//! observe each other's traffic, and a scoped parallel ingest counts as the
+//! single logical traversal it is (it is recorded once on the calling
+//! thread, before the fan-out).
+//!
+//! The serving runtime's regression tests pin the serve path's traversal
+//! budget with this counter (exactly one pre-fit pass over the frame, one
+//! apply on a miss — and nothing else, in particular no hidden re-reads on
+//! the sketch-sampling path). The cost is one thread-local add per
+//! *frame-level* operation, not per pixel, so the counter stays on in
+//! release builds.
+
+use std::cell::Cell;
+
+thread_local! {
+    static TRAVERSALS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of full-frame pixel traversals recorded on the current thread
+/// since it started.
+///
+/// Tests take a reading before and after the operation under scrutiny and
+/// assert on the difference; the absolute value includes whatever the
+/// thread did earlier.
+pub fn count() -> u64 {
+    TRAVERSALS.with(|c| c.get())
+}
+
+/// Records one full-frame traversal on the current thread.
+pub(crate) fn record() {
+    TRAVERSALS.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_on_the_current_thread() {
+        let before = count();
+        record();
+        record();
+        assert_eq!(count() - before, 2);
+    }
+
+    #[test]
+    fn other_threads_do_not_pollute_the_counter() {
+        let before = count();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                record();
+                record();
+            });
+        });
+        assert_eq!(count(), before);
+    }
+}

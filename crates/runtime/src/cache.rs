@@ -150,36 +150,10 @@ pub(crate) fn budget_band(max_distortion: f64, band_width: f64) -> u32 {
     (max_distortion / band_width).floor() as u32
 }
 
-/// A 128-bit content hash built from two interleaved SplitMix64-style
-/// streams (the same finalizer as `hebs_imaging::rng::StdRng`), seeded per
-/// cache so key collisions cannot be precomputed. One pass, no allocation.
-pub(crate) fn content_hash128(bytes: &[u8], seed: u64) -> u128 {
-    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
-    fn mix(mut z: u64) -> u64 {
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-    let mut a = mix(seed ^ GOLDEN);
-    let mut b = mix(seed.wrapping_add(GOLDEN));
-    let mut chunks = bytes.chunks_exact(8);
-    for chunk in &mut chunks {
-        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")); // lint: allow(no-unwrap) chunks_exact(8) fixes the length
-        a = mix(a ^ word).wrapping_add(GOLDEN);
-        b = mix(b.rotate_left(23) ^ word);
-    }
-    let tail = chunks.remainder();
-    if !tail.is_empty() {
-        let mut padded = [0u8; 8];
-        padded[..tail.len()].copy_from_slice(tail);
-        let word = u64::from_le_bytes(padded) ^ ((tail.len() as u64) << 56);
-        a = mix(a ^ word);
-        b = mix(b ^ word.rotate_left(17));
-    }
-    a = mix(a ^ bytes.len() as u64);
-    b = mix(b.wrapping_add(bytes.len() as u64));
-    (u128::from(a) << 64) | u128::from(b)
-}
+// The 128-bit exact-key content hash lives in `hebs_imaging::frame_hash128`
+// since the fused-ingest refactor: the serve path computes it inside
+// `FrameIngest`'s single pass and hands the finished value to
+// `ExactKey::of`, so the cache layer never walks a pixel buffer.
 
 /// One stored entry: the value plus its recency tick, insertion generation
 /// (see [`ShardedLru::reject`]), byte weight, owning tenant and insertion
@@ -734,9 +708,11 @@ impl<K: Hash + Eq + Clone> Drop for FlightGuard<'_, K> {
 /// owning tenant, the content class the frame routed to and the class's
 /// characteristic generation the fit was made under.
 ///
-/// The hash is computed in one allocation-free pass over the pixel buffer;
-/// the stored entry keeps the frame bytes so every hit is verified against
-/// the actual content (a collision is rejected, never served). The
+/// The hash is [`hebs_imaging::frame_hash128`], computed by the serve
+/// path's fused `FrameIngest` pass and passed in precomputed — building a
+/// key walks no pixels. The stored entry keeps the frame bytes so every
+/// hit is verified against the actual content (a collision is rejected,
+/// never served). The
 /// `(class, generation)` pair (both 0 in closed-loop mode) makes every
 /// open-loop re-characterization an implicit invalidation *scoped to its
 /// class*: a rebuilt class's fits are never probed again and age out of the
@@ -758,7 +734,7 @@ pub(crate) struct ExactKey {
 impl ExactKey {
     pub(crate) fn of(
         frame: &GrayImage,
-        seed: u64,
+        content_hash: u128,
         budget_band: u32,
         tenant: u16,
         class: u16,
@@ -767,7 +743,7 @@ impl ExactKey {
         ExactKey {
             width: frame.width(),
             height: frame.height(),
-            content_hash: content_hash128(frame.as_raw(), seed),
+            content_hash,
             budget_band,
             tenant,
             class,
@@ -1258,24 +1234,24 @@ mod tests {
         assert!(lru.hits() >= 4 * 200);
     }
 
-    #[test]
-    fn content_hash_is_deterministic_and_content_sensitive() {
-        let a = vec![7u8; 1000];
-        let mut b = a.clone();
-        b[999] = 8;
-        assert_eq!(content_hash128(&a, 1), content_hash128(&a, 1));
-        assert_ne!(content_hash128(&a, 1), content_hash128(&b, 1));
-        assert_ne!(content_hash128(&a, 1), content_hash128(&a, 2), "seeded");
-        assert_ne!(
-            content_hash128(&a[..999], 1),
-            content_hash128(&a, 1),
-            "length-sensitive"
-        );
-        assert_ne!(
-            content_hash128(&[0u8; 7], 1),
-            content_hash128(&[0u8; 8], 1),
-            "zero tails of different lengths differ"
-        );
+    /// Builds an exact key the way the serve path does: hash first (one
+    /// fused-ingest pass in production, `frame_hash128` here), then the key.
+    fn exact_key(
+        frame: &GrayImage,
+        seed: u64,
+        band: u32,
+        tenant: u16,
+        class: u16,
+        generation: u64,
+    ) -> ExactKey {
+        ExactKey::of(
+            frame,
+            hebs_imaging::frame_hash128(frame, seed),
+            band,
+            tenant,
+            class,
+            generation,
+        )
     }
 
     #[test]
@@ -1283,32 +1259,31 @@ mod tests {
         let a = GrayImage::filled(8, 8, 10);
         let b = GrayImage::filled(8, 8, 10);
         let c = GrayImage::filled(8, 8, 11);
-        assert_eq!(
-            ExactKey::of(&a, 9, 1, 0, 0, 0),
-            ExactKey::of(&b, 9, 1, 0, 0, 0)
+        assert_eq!(exact_key(&a, 9, 1, 0, 0, 0), exact_key(&b, 9, 1, 0, 0, 0));
+        assert_ne!(exact_key(&a, 9, 1, 0, 0, 0), exact_key(&c, 9, 1, 0, 0, 0));
+        assert_ne!(
+            exact_key(&a, 9, 1, 0, 0, 0),
+            exact_key(&a, 8, 1, 0, 0, 0),
+            "hash seed is part of the key"
         );
         assert_ne!(
-            ExactKey::of(&a, 9, 1, 0, 0, 0),
-            ExactKey::of(&c, 9, 1, 0, 0, 0)
-        );
-        assert_ne!(
-            ExactKey::of(&a, 9, 1, 0, 0, 0),
-            ExactKey::of(&a, 9, 2, 0, 0, 0),
+            exact_key(&a, 9, 1, 0, 0, 0),
+            exact_key(&a, 9, 2, 0, 0, 0),
             "budget band is part of the key"
         );
         assert_ne!(
-            ExactKey::of(&a, 9, 1, 0, 0, 0),
-            ExactKey::of(&a, 9, 1, 0, 0, 1),
+            exact_key(&a, 9, 1, 0, 0, 0),
+            exact_key(&a, 9, 1, 0, 0, 1),
             "characteristic generation is part of the key"
         );
         assert_ne!(
-            ExactKey::of(&a, 9, 1, 0, 0, 0),
-            ExactKey::of(&a, 9, 1, 0, 1, 0),
+            exact_key(&a, 9, 1, 0, 0, 0),
+            exact_key(&a, 9, 1, 0, 1, 0),
             "content class is part of the key"
         );
         assert_ne!(
-            ExactKey::of(&a, 9, 1, 0, 0, 0),
-            ExactKey::of(&a, 9, 1, 1, 0, 0),
+            exact_key(&a, 9, 1, 0, 0, 0),
+            exact_key(&a, 9, 1, 1, 0, 0),
             "tenant is part of the key"
         );
     }

@@ -28,7 +28,7 @@ use hebs_core::{
     evaluate_range_from_histogram, CharacteristicBank, DistortionCharacteristic, FitScratch,
     FrameTransform, HebsError, HebsPolicy, ScalingOutcome, TargetRange,
 };
-use hebs_imaging::{GrayImage, Histogram, HistogramSignature};
+use hebs_imaging::{FrameIngest, GrayImage, Histogram};
 
 use crate::cache::{
     budget_band, transform_bytes, ApproximateCache, CacheConfig, ExactCache, ExactEntry, ExactKey,
@@ -249,12 +249,10 @@ struct Served {
     /// The content class the frame routed to (0 outside multi-class
     /// open-loop serving) — the per-class sketch and triggers it feeds.
     class: u16,
-    /// The frame's histogram when the serve path computed one anyway
-    /// (approximate keys, class routing, any fit) — reused by the
-    /// open-loop traffic sketch so sampling never re-reads the pixels.
-    /// `None` only on single-class exact-mode hit paths, which never touch
-    /// a histogram.
-    histogram: Option<Histogram>,
+    /// The frame's histogram, produced by the serve's single fused ingest
+    /// pass — reused by cache keys, class routing, the fit and the
+    /// open-loop traffic sketch, so sampling never re-reads the pixels.
+    histogram: Histogram,
 }
 
 /// One completed fit: the outcome, its reusable transform, and whether it
@@ -332,8 +330,10 @@ impl EngineInner {
             }
             // Drift: the curve under-provisioned the range for this frame.
             // Honour the budget through the closed-loop search and let the
-            // caller feed the drift trigger.
+            // caller feed the drift trigger. The discarded open-loop
+            // frame's buffer goes back to the scratch for the refit.
             let open_evaluations = outcome.fit_evaluations;
+            scratch.recycle_output(outcome.displayed);
             let (mut outcome, transform) = self
                 .policy
                 .optimize_with_transform_using_histogram(frame, histogram, budget, scratch)?;
@@ -366,54 +366,68 @@ impl EngineInner {
         deadline: Option<Instant>,
         scratch: &mut FitScratch,
     ) -> Served {
+        // The fused ingest: one traversal of the pixel buffer yields the
+        // histogram, the routing signature and the exact-key content hash
+        // for every later stage (cache key, class routing, fit, sketch
+        // sampling). The hash is seeded with the exact cache's per-cache
+        // seed; other modes never consume it, so 0 is fine.
+        let seed = match self.cache.as_deref() {
+            Some(TransformCache::Exact(cache)) => cache.seed,
+            _ => 0,
+        };
+        let (histogram, signature, content_hash) =
+            FrameIngest::compute_auto(frame, seed).into_parts();
         // One coherent snapshot of the open-loop bank per serve: the cache
         // key's (class, generation) pair and the fitting curve always
         // agree, even when an install lands while this frame is in flight.
-        // A multi-class bank routes the frame by histogram signature, so
-        // the histogram is computed up front and reused by every later
-        // stage (key, fit, sketch sampling).
+        // A multi-class bank routes the frame by the ingest's signature.
         let bank = self.serving.as_ref().and_then(OpenLoopState::current);
-        let (curve, class, generation, histogram) = match &bank {
-            None => (None, 0u16, 0u64, None),
+        let (curve, class, generation) = match &bank {
+            None => (None, 0u16, 0u64),
             Some(bank) if bank.is_single() => {
                 let state = &bank.classes[0];
-                (Some(state), 0, state.generation, None)
+                (Some(state), 0, state.generation)
             }
             Some(bank) => {
-                let histogram = Histogram::of(frame);
-                let class = bank.classify(&HistogramSignature::of(&histogram));
+                let class = bank.classify(&signature);
                 let state = &bank.classes[class];
-                (Some(state), class as u16, state.generation, Some(histogram))
+                (Some(state), class as u16, state.generation)
             }
         };
         match self.cache.as_deref() {
-            None => {
-                let histogram = histogram.unwrap_or_else(|| Histogram::of(frame));
-                match self.fit(frame, &histogram, budget, curve, deadline, scratch) {
-                    Ok(fitted) => Served {
-                        fit_evaluations: u64::from(fitted.outcome.fit_evaluations),
-                        outcome: Ok(Arc::new(fitted.outcome)),
-                        kind: ServeKind::Uncached,
-                        rejections: 0,
-                        open_loop_fallback: fitted.open_loop_fallback,
-                        deadline_degraded: fitted.deadline_degraded,
-                        class,
-                        histogram: Some(histogram),
-                    },
-                    Err(err) => Served {
-                        outcome: Err(err),
-                        kind: ServeKind::Uncached,
-                        rejections: 0,
-                        fit_evaluations: 0,
-                        open_loop_fallback: false,
-                        deadline_degraded: false,
-                        class,
-                        histogram: Some(histogram),
-                    },
-                }
-            }
+            None => match self.fit(frame, &histogram, budget, curve, deadline, scratch) {
+                Ok(fitted) => Served {
+                    fit_evaluations: u64::from(fitted.outcome.fit_evaluations),
+                    outcome: Ok(Arc::new(fitted.outcome)),
+                    kind: ServeKind::Uncached,
+                    rejections: 0,
+                    open_loop_fallback: fitted.open_loop_fallback,
+                    deadline_degraded: fitted.deadline_degraded,
+                    class,
+                    histogram,
+                },
+                Err(err) => Served {
+                    outcome: Err(err),
+                    kind: ServeKind::Uncached,
+                    rejections: 0,
+                    fit_evaluations: 0,
+                    open_loop_fallback: false,
+                    deadline_degraded: false,
+                    class,
+                    histogram,
+                },
+            },
             Some(TransformCache::Exact(cache)) => self.serve_exact(
-                cache, frame, budget, curve, deadline, class, generation, histogram, scratch,
+                cache,
+                frame,
+                content_hash,
+                budget,
+                curve,
+                deadline,
+                class,
+                generation,
+                histogram,
+                scratch,
             ),
             Some(TransformCache::Approximate(cache)) => self.serve_approximate(
                 cache, frame, budget, curve, deadline, class, generation, histogram, scratch,
@@ -425,26 +439,27 @@ impl EngineInner {
     /// cached fit's measured distortion on a hit, and run at most one fit
     /// per key across all concurrent workers (single flight).
     ///
-    /// The hit path performs zero full-frame allocations (one histogram
-    /// pass when multi-class routing is active): the key is a hash computed
-    /// in place, verification is one memcmp, and the returned outcome is a
-    /// shared `Arc`.
+    /// The hit path performs zero full-frame allocations and zero pixel
+    /// traversals of its own: the key hash arrives precomputed from the
+    /// serve's fused ingest, verification is one memcmp, and the returned
+    /// outcome is a shared `Arc`.
     #[allow(clippy::too_many_arguments)]
     fn serve_exact(
         &self,
         cache: &ExactCache,
         frame: &GrayImage,
+        content_hash: u128,
         budget: f64,
         curve: Option<&Arc<CurveState>>,
         deadline: Option<Instant>,
         class: u16,
         generation: u64,
-        histogram: Option<Histogram>,
+        histogram: Histogram,
         scratch: &mut FitScratch,
     ) -> Served {
         let key = ExactKey::of(
             frame,
-            cache.seed,
+            content_hash,
             budget_band(budget, cache.band_width),
             self.tenant,
             class,
@@ -498,7 +513,6 @@ impl EngineInner {
             cache.store.reject_after_wait(&key, generation);
             rejections += 1;
         }
-        let histogram = histogram.unwrap_or_else(|| Histogram::of(frame));
         let fitted = match self.fit(frame, &histogram, budget, curve, deadline, scratch) {
             Ok(fitted) => fitted,
             Err(err) => {
@@ -510,7 +524,7 @@ impl EngineInner {
                     open_loop_fallback: false,
                     deadline_degraded: false,
                     class,
-                    histogram: Some(histogram),
+                    histogram,
                 }
             }
         };
@@ -532,7 +546,7 @@ impl EngineInner {
             open_loop_fallback: fitted.open_loop_fallback,
             deadline_degraded: fitted.deadline_degraded,
             class,
-            histogram: Some(histogram),
+            histogram,
         }
     }
 
@@ -554,10 +568,9 @@ impl EngineInner {
         deadline: Option<Instant>,
         class: u16,
         generation: u64,
-        histogram: Option<Histogram>,
+        histogram: Histogram,
         scratch: &mut FitScratch,
     ) -> Served {
-        let histogram = histogram.unwrap_or_else(|| Histogram::of(frame));
         let key = SignatureKey::of(
             frame,
             &histogram,
@@ -579,11 +592,12 @@ impl EngineInner {
                      transform: Arc<FrameTransform>,
                      generation: u64,
                      after_wait: bool,
-                     rejections: &mut u64|
+                     rejections: &mut u64,
+                     scratch: &mut FitScratch|
          -> std::result::Result<Option<ScalingOutcome>, HebsError> {
             match self
                 .policy
-                .replay_frame_transform(frame, histogram, &transform, budget)
+                .replay_frame_transform_with_scratch(frame, histogram, &transform, budget, scratch)
             {
                 Ok(Some(outcome)) => Ok(Some(outcome)),
                 Ok(None) => {
@@ -607,7 +621,14 @@ impl EngineInner {
             }
         };
         if let Some((transform, generation)) = cache.store.get(&key) {
-            match check(&histogram, transform, generation, false, &mut rejections) {
+            match check(
+                &histogram,
+                transform,
+                generation,
+                false,
+                &mut rejections,
+                scratch,
+            ) {
                 Ok(Some(outcome)) => {
                     return Served {
                         outcome: Ok(Arc::new(outcome)),
@@ -617,7 +638,7 @@ impl EngineInner {
                         open_loop_fallback: false,
                         deadline_degraded: false,
                         class,
-                        histogram: Some(histogram),
+                        histogram,
                     }
                 }
                 Ok(None) => {}
@@ -630,7 +651,7 @@ impl EngineInner {
                         open_loop_fallback: false,
                         deadline_degraded: false,
                         class,
-                        histogram: Some(histogram),
+                        histogram,
                     }
                 }
             }
@@ -640,7 +661,14 @@ impl EngineInner {
         // this frame's budget.
         let _flight = cache.flights.join(&key);
         if let Some((transform, generation)) = cache.store.get_after_wait(&key) {
-            match check(&histogram, transform, generation, true, &mut rejections) {
+            match check(
+                &histogram,
+                transform,
+                generation,
+                true,
+                &mut rejections,
+                scratch,
+            ) {
                 Ok(Some(outcome)) => {
                     return Served {
                         outcome: Ok(Arc::new(outcome)),
@@ -650,7 +678,7 @@ impl EngineInner {
                         open_loop_fallback: false,
                         deadline_degraded: false,
                         class,
-                        histogram: Some(histogram),
+                        histogram,
                     }
                 }
                 Ok(None) => {}
@@ -663,7 +691,7 @@ impl EngineInner {
                         open_loop_fallback: false,
                         deadline_degraded: false,
                         class,
-                        histogram: Some(histogram),
+                        histogram,
                     }
                 }
             }
@@ -679,7 +707,7 @@ impl EngineInner {
                     open_loop_fallback: false,
                     deadline_degraded: false,
                     class,
-                    histogram: Some(histogram),
+                    histogram,
                 }
             }
         };
@@ -700,7 +728,7 @@ impl EngineInner {
             open_loop_fallback: fitted.open_loop_fallback,
             deadline_degraded: fitted.deadline_degraded,
             class,
-            histogram: Some(histogram),
+            histogram,
         }
     }
 
@@ -733,8 +761,7 @@ impl EngineInner {
             // sustained degradation rebuilds the curve.
             state.record_serve(
                 served.class as usize,
-                frame,
-                served.histogram.as_ref(),
+                &served.histogram,
                 served.open_loop_fallback || served.deadline_degraded,
             );
             self.maybe_recharacterize(state);
@@ -1007,7 +1034,9 @@ impl Engine {
                 // histogram-domain evaluation the sketch rebuild needs.
                 // Windowed measures still serve open-loop off an installed
                 // curve; they just never rebuild it from the sketch.
-                let probe = Histogram::of(&GrayImage::filled(4, 4, 128));
+                // Build-time capability probe on a 4x4 constant frame, not a
+                // served frame; the fused-ingest rule does not apply here.
+                let probe = Histogram::of(&GrayImage::filled(4, 4, 128)); // lint: allow(frame-ingest)
                 let full = TargetRange::from_span(256).map_err(RuntimeError::Core)?;
                 let histogram_capable =
                     evaluate_range_from_histogram(policy.config(), &probe, full)
@@ -2420,5 +2449,130 @@ mod tests {
         assert_eq!(engine.characteristic_generation(), 0);
         assert_eq!(engine.characteristic_classes(), 0);
         assert!(engine.characteristic().is_none());
+    }
+
+    /// Pixel-traversal pins for the fused serve path. The counter in
+    /// [`hebs_imaging::traversals`] is thread-local and
+    /// [`Engine::process_frame`] serves on the calling thread, so each test
+    /// observes exactly its own serves. All pins use the histogram-capable
+    /// [`GlobalUiqiDistortion`](hebs_quality::GlobalUiqiDistortion) measure:
+    /// fits then run entirely in the histogram domain and the only
+    /// per-pixel work left is the fused ingest and the final LUT apply.
+    mod traversal_pins {
+        use super::*;
+        use crate::RecharacterizePolicy;
+        use hebs_imaging::traversals;
+        use hebs_quality::GlobalUiqiDistortion;
+
+        fn global_measure_engine(cache: Option<CacheConfig>, mode: ServingMode) -> Engine {
+            let policy = HebsPolicy::closed_loop(
+                PipelineConfig::default().with_measure(GlobalUiqiDistortion),
+            );
+            Engine::new(
+                policy,
+                EngineConfig {
+                    workers: 1,
+                    cache,
+                    mode,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap()
+        }
+
+        fn frame() -> GrayImage {
+            synthetic::linear_gradient(32, 32, 16, 240, true)
+        }
+
+        #[test]
+        fn closed_loop_miss_traverses_the_frame_exactly_twice() {
+            let engine = global_measure_engine(Some(CacheConfig::exact()), ServingMode::ClosedLoop);
+            let frame = frame();
+            let before = traversals::count();
+            engine.process_frame(&frame).unwrap();
+            assert_eq!(
+                traversals::count() - before,
+                2,
+                "a closed-loop miss is one fused ingest plus one LUT materialize"
+            );
+        }
+
+        #[test]
+        fn exact_cache_hit_traverses_the_frame_exactly_once() {
+            let engine = global_measure_engine(Some(CacheConfig::exact()), ServingMode::ClosedLoop);
+            let frame = frame();
+            engine.process_frame(&frame).unwrap();
+            let before = traversals::count();
+            let result = engine.process_frame(&frame).unwrap();
+            assert!(result.cache_hit);
+            assert_eq!(
+                traversals::count() - before,
+                1,
+                "an exact hit shares the cached output: only the fused ingest runs"
+            );
+        }
+
+        #[test]
+        fn approximate_hit_traverses_the_frame_exactly_twice() {
+            let engine =
+                global_measure_engine(Some(CacheConfig::approximate()), ServingMode::ClosedLoop);
+            let frame = frame();
+            engine.process_frame(&frame).unwrap();
+            let before = traversals::count();
+            let result = engine.process_frame(&frame).unwrap();
+            assert!(result.cache_hit);
+            assert_eq!(
+                traversals::count() - before,
+                2,
+                "an approximate hit replays the cached transform: ingest plus one materialize"
+            );
+        }
+
+        #[test]
+        fn uncached_serve_traverses_the_frame_exactly_twice() {
+            let engine = global_measure_engine(None, ServingMode::ClosedLoop);
+            let frame = frame();
+            let before = traversals::count();
+            engine.process_frame(&frame).unwrap();
+            assert_eq!(traversals::count() - before, 2);
+        }
+
+        /// Satellite pin: a sketched serve performs zero *extra* full-frame
+        /// traversals. With `sample_period: 1` every serve pushes its
+        /// histogram into the class sketch, yet the costs stay identical to
+        /// the unsketched pins above — the push clones the ingest histogram
+        /// instead of re-reading the frame, and the bootstrap
+        /// re-characterization triggered by the sketch runs purely in the
+        /// histogram domain.
+        #[test]
+        fn sketched_serves_add_no_extra_frame_traversals() {
+            let mode = ServingMode::OpenLoop {
+                recharacterize: RecharacterizePolicy {
+                    interval: None,
+                    drift_limit: None,
+                    sample_period: 1,
+                    ..RecharacterizePolicy::default()
+                },
+            };
+            let engine = global_measure_engine(Some(CacheConfig::exact()), mode);
+            let frame = frame();
+
+            let before = traversals::count();
+            engine.process_frame(&frame).unwrap();
+            assert_eq!(
+                traversals::count() - before,
+                2,
+                "a sketched miss still costs ingest + materialize only"
+            );
+
+            let before = traversals::count();
+            let result = engine.process_frame(&frame).unwrap();
+            assert!(result.cache_hit);
+            assert_eq!(
+                traversals::count() - before,
+                1,
+                "a sketched exact hit still costs the ingest only"
+            );
+        }
     }
 }

@@ -41,7 +41,7 @@ use hebs_core::{
     CharacteristicBank, CurveFit, DistortionCharacteristic, HebsPolicy, PipelineConfig,
     DEFAULT_RANGES,
 };
-use hebs_imaging::{GrayImage, Histogram, HistogramSignature, SIGNATURE_BINS};
+use hebs_imaging::{Histogram, HistogramSignature, SIGNATURE_BINS};
 
 /// How the engine turns a distortion budget into a fitted transform on a
 /// cache miss.
@@ -513,16 +513,9 @@ impl OpenLoopState {
     /// Records one served frame in its class: advances the class's rebuild
     /// triggers, counts a drift fallback, and samples the frame's histogram
     /// into the class's sketch every `sample_period` frames. `histogram` is
-    /// the serve path's already-computed histogram of `frame` when it has
-    /// one — sampling then clones 256 counters instead of re-reading the
-    /// pixels.
-    pub(crate) fn record_serve(
-        &self,
-        class: usize,
-        frame: &GrayImage,
-        histogram: Option<&Histogram>,
-        fallback: bool,
-    ) {
+    /// the serve path's fused-ingest histogram of the frame — sampling
+    /// clones 256 counters and never re-reads the pixels.
+    pub(crate) fn record_serve(&self, class: usize, histogram: &Histogram, fallback: bool) {
         let trigger = &self.triggers[class];
         // ordering: Release publishes the serve (and its sketch sample, pushed
         // below under the sketch lock) before the trigger count a rebuild
@@ -534,11 +527,8 @@ impl OpenLoopState {
             trigger.drift_since.fetch_add(1, Ordering::Release);
         }
         if frames % self.recharacterize.sample_period == 0 {
-            let sample = match histogram {
-                Some(histogram) => histogram.clone(),
-                None => Histogram::of(frame),
-            };
-            lock_healthy(self.sketches[class].lock(), || self.note_poison()).push(sample);
+            lock_healthy(self.sketches[class].lock(), || self.note_poison())
+                .push(histogram.clone());
         }
     }
 
@@ -669,6 +659,7 @@ impl OpenLoopState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hebs_imaging::GrayImage;
 
     fn histogram_of_level(level: u8) -> Histogram {
         Histogram::of(&GrayImage::filled(4, 4, level))
@@ -676,6 +667,23 @@ mod tests {
 
     fn state_with(policy: RecharacterizePolicy) -> OpenLoopState {
         OpenLoopState::new(policy, true)
+    }
+
+    #[test]
+    fn sketching_a_serve_reads_no_frame_pixels() {
+        // The sketch push clones the histogram the serve's fused ingest
+        // already produced; it must never re-traverse the frame. Pinned via
+        // the thread-local traversal counter, with every serve sampled.
+        let state = state_with(RecharacterizePolicy {
+            sample_period: 1,
+            ..RecharacterizePolicy::default()
+        });
+        let histogram = histogram_of_level(90);
+        let before = hebs_imaging::traversals::count();
+        for _ in 0..8 {
+            state.record_serve(0, &histogram, false);
+        }
+        assert_eq!(hebs_imaging::traversals::count(), before);
     }
 
     /// Installs a throwaway single-class bank so per-class triggers (rather
@@ -725,7 +733,7 @@ mod tests {
         let frame = GrayImage::filled(4, 4, 100);
 
         // Bootstrap: one sampled frame and no bank yet.
-        state.record_serve(0, &frame, None, false);
+        state.record_serve(0, &Histogram::of(&frame), false);
         assert_eq!(state.rebuild_plan(), Some(RebuildPlan::Bootstrap));
         // Simulate the bootstrap attempt succeeding: a bank installs and
         // resets the triggers; from here the per-class triggers gate.
@@ -737,10 +745,10 @@ mod tests {
         // the pre-bank clustering); sample_period 1 refills it while the
         // interval counter climbs toward the next rebuild.
         for _ in 0..3 {
-            state.record_serve(0, &frame, None, false);
+            state.record_serve(0, &Histogram::of(&frame), false);
             assert!(!state.rebuild_due());
         }
-        state.record_serve(0, &frame, None, false);
+        state.record_serve(0, &Histogram::of(&frame), false);
         assert_eq!(
             state.rebuild_plan(),
             Some(RebuildPlan::Class(0)),
@@ -750,9 +758,9 @@ mod tests {
         state.consume_triggers(0, frames, drifts);
 
         let hist = Histogram::of(&frame);
-        state.record_serve(0, &frame, Some(&hist), true);
+        state.record_serve(0, &hist, true);
         assert!(!state.rebuild_due());
-        state.record_serve(0, &frame, None, true);
+        state.record_serve(0, &Histogram::of(&frame), true);
         assert_eq!(
             state.rebuild_plan(),
             Some(RebuildPlan::Class(0)),
@@ -777,8 +785,8 @@ mod tests {
         let frame = GrayImage::filled(4, 4, 80);
 
         // Two fallbacks trip the drift trigger.
-        state.record_serve(0, &frame, None, true);
-        state.record_serve(0, &frame, None, true);
+        state.record_serve(0, &Histogram::of(&frame), true);
+        state.record_serve(0, &Histogram::of(&frame), true);
         assert_eq!(state.rebuild_plan(), Some(RebuildPlan::Class(0)));
         assert!(state.begin_rebuild());
         let (frames, drifts) = state.observed_triggers(0);
@@ -786,8 +794,8 @@ mod tests {
 
         // While the rebuild runs, concurrent workers record two more
         // fallbacks.
-        state.record_serve(0, &frame, None, true);
-        state.record_serve(0, &frame, None, true);
+        state.record_serve(0, &Histogram::of(&frame), true);
+        state.record_serve(0, &Histogram::of(&frame), true);
 
         // The rebuild finishes and consumes only what it observed.
         state.consume_triggers(0, frames, drifts);
@@ -813,13 +821,13 @@ mod tests {
         };
         let state = state_with(policy);
         let frame = GrayImage::filled(4, 4, 50);
-        state.record_serve(0, &frame, None, false);
+        state.record_serve(0, &Histogram::of(&frame), false);
         assert!(state.rebuild_due(), "bootstrap is due once");
         assert!(state.begin_rebuild());
         // The rebuild "fails": no install, marker released.
         state.end_rebuild();
         for _ in 0..10 {
-            state.record_serve(0, &frame, None, false);
+            state.record_serve(0, &Histogram::of(&frame), false);
             assert!(
                 !state.rebuild_due(),
                 "a failed bootstrap must not retry on every serve"
@@ -834,7 +842,7 @@ mod tests {
             ..RecharacterizePolicy::default()
         };
         let state = OpenLoopState::new(policy, false);
-        state.record_serve(0, &GrayImage::filled(4, 4, 9), None, true);
+        state.record_serve(0, &histogram_of_level(9), true);
         assert!(!state.rebuild_due());
     }
 
@@ -852,8 +860,8 @@ mod tests {
         };
         let state = state_with(policy);
         // Pre-bank traffic of two different shapes lands pooled in class 0.
-        state.record_serve(0, &GrayImage::filled(4, 4, 10), None, false);
-        state.record_serve(0, &GrayImage::filled(4, 4, 200), None, false);
+        state.record_serve(0, &histogram_of_level(10), false);
+        state.record_serve(0, &histogram_of_level(200), false);
         assert_eq!(state.sketch_snapshot(0).len(), 2);
 
         install_dummy_curve(&state);
@@ -864,7 +872,7 @@ mod tests {
 
         // Post-install samples are class-routed; a per-class curve swap
         // keeps them (routing did not change).
-        state.record_serve(1, &GrayImage::filled(4, 4, 10), None, false);
+        state.record_serve(1, &histogram_of_level(10), false);
         state.install_class(
             0,
             PipelineConfig::default(),
@@ -901,8 +909,8 @@ mod tests {
         let frame = GrayImage::filled(4, 4, 30);
 
         // Fallbacks recorded in class 1 never trip class 0's trigger.
-        state.record_serve(1, &frame, None, true);
-        state.record_serve(1, &frame, None, true);
+        state.record_serve(1, &Histogram::of(&frame), true);
+        state.record_serve(1, &Histogram::of(&frame), true);
         assert_eq!(
             state.rebuild_plan(),
             None,
@@ -1010,10 +1018,10 @@ mod tests {
 
         // 90% of traffic lands in class 0.
         for _ in 0..90 {
-            state.record_serve(0, &frame, None, false);
+            state.record_serve(0, &Histogram::of(&frame), false);
         }
         for _ in 0..10 {
-            state.record_serve(1, &frame, None, false);
+            state.record_serve(1, &Histogram::of(&frame), false);
         }
         state.rebalance_sketch_capacities();
 
@@ -1038,7 +1046,7 @@ mod tests {
             sample_capacity: 8,
             ..RecharacterizePolicy::default()
         });
-        single.record_serve(0, &GrayImage::filled(4, 4, 10), None, false);
+        single.record_serve(0, &histogram_of_level(10), false);
         single.rebalance_sketch_capacities();
         assert_eq!(single.sketch_capacity(0), 8, "single class is untouched");
 

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use hebs_imaging::{apply_lut, GrayImage, RgbImage};
+use hebs_imaging::{apply_lut, apply_lut_into, GrayImage, RgbImage};
 
 /// A compiled level-to-level mapping for 8-bit pixels.
 ///
@@ -104,8 +104,18 @@ impl LookupTable {
     }
 
     /// Applies the table to a grayscale image.
+    ///
+    /// Allocates the output; serve paths with a reusable buffer should use
+    /// [`LookupTable::apply_into`].
     pub fn apply(&self, image: &GrayImage) -> GrayImage {
         apply_lut(image, &self.entries)
+    }
+
+    /// Applies the table into a caller-provided output image, reshaping it
+    /// to the source dimensions and reusing its allocation when the
+    /// capacity suffices. Every pixel of `out` is overwritten.
+    pub fn apply_into(&self, image: &GrayImage, out: &mut GrayImage) {
+        apply_lut_into(image, &self.entries, out);
     }
 
     /// Applies the table to every channel of an RGB image.
