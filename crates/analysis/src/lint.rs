@@ -27,6 +27,12 @@
 //!   in runtime library code (`crates/runtime/src`): a serve traverses its
 //!   frame's pixels exactly once, through the fused `FrameIngest` pass,
 //!   which also yields the signature and the exact-cache content hash.
+//! * `snapshot-io` — no `std::fs` / `File::open` / `File::create` in
+//!   runtime library code: the runtime serves from memory, and snapshot
+//!   save/restore is written against caller-supplied `Read`/`Write`
+//!   streams so file handling (paths, tempfile-and-rename, fsync policy)
+//!   stays with the caller and every I/O failure surfaces as a typed
+//!   `SnapshotError::Io`, never an in-library unwrap.
 
 use std::fmt;
 use std::fs;
@@ -48,6 +54,11 @@ const RAW_SYNC_TOKENS: [&str; 3] = ["Mutex", "MutexGuard", "Condvar"];
 const INGEST_PATTERNS: [&str; 2] = [
     concat!("Histogram::", "of("),
     concat!("HistogramSignature::", "of("),
+];
+const SNAPSHOT_IO_PATTERNS: [&str; 3] = [
+    concat!("std::", "fs"),
+    concat!("File::", "open("),
+    concat!("File::", "create("),
 ];
 /// Marker a fixture uses to opt into the crate-root rule.
 pub const CRATE_ROOT_MARKER: &str = concat!("// lint-scope", ": crate-root");
@@ -298,8 +309,9 @@ pub fn scan_source(path: &str, kind: FileKind, contents: &str) -> Vec<Finding> {
             );
         }
 
-        // The fused-ingest rule shares the no-unwrap scope: serve-path
-        // library code under crates/runtime/src, plus fixtures.
+        // The fused-ingest and snapshot-io rules share the no-unwrap
+        // scope: serve-path library code under crates/runtime/src, plus
+        // fixtures.
         if unwrap_scope {
             for pattern in INGEST_PATTERNS {
                 if code.contains(pattern) {
@@ -309,6 +321,19 @@ pub fn scan_source(path: &str, kind: FileKind, contents: &str) -> Vec<Finding> {
                             "direct `{pattern}...)` pixel pass in runtime library code; the \
                              serve path computes histogram, signature and content hash in \
                              one fused `FrameIngest` pass"
+                        ),
+                    );
+                }
+            }
+            for pattern in SNAPSHOT_IO_PATTERNS {
+                if code.contains(pattern) {
+                    push(
+                        "snapshot-io",
+                        format!(
+                            "`{pattern}...` in runtime library code; snapshot save/restore \
+                             takes caller-supplied Read/Write streams so path handling and \
+                             fsync policy stay with the caller and I/O failures surface as \
+                             typed SnapshotError::Io values"
                         ),
                     );
                 }
@@ -504,6 +529,42 @@ mod tests {
         assert!(scan_source("crates/runtime/src/engine.rs", FileKind::Library, waived).is_empty());
         // Test modules keep building histograms directly.
         let test_only = "#[cfg(test)]\nmod tests {\n    fn h() { Histogram::of(&img); }\n}\n";
+        assert!(
+            scan_source("crates/runtime/src/engine.rs", FileKind::Library, test_only).is_empty()
+        );
+    }
+
+    #[test]
+    fn filesystem_access_flags_in_runtime_library_code() {
+        let source = "fn save(path: &Path) {\n    let f = std::fs::File::create(path);\n}\n";
+        let findings = scan_source("crates/runtime/src/snapshot.rs", FileKind::Library, source);
+        // One line trips both the module path and the constructor pattern.
+        assert_eq!(rules(&findings), vec!["snapshot-io", "snapshot-io"]);
+        assert_eq!(findings[0].line, 2);
+        // A bare File::open without the fs path still flags.
+        let opened = "fn load() { let f = File::open(\"bank.snap\"); }\n";
+        assert_eq!(
+            rules(&scan_source(
+                "crates/runtime/src/engine.rs",
+                FileKind::Library,
+                opened
+            )),
+            vec!["snapshot-io"]
+        );
+        // Outside the runtime crate (e.g. the bench harness writing JSON
+        // reports, this lint pass itself) filesystem access is fine.
+        assert!(scan_source("crates/bench/src/json.rs", FileKind::Library, source).is_empty());
+        assert!(scan_source("crates/analysis/src/lint.rs", FileKind::Library, source).is_empty());
+        // Stream-generic snapshot plumbing passes.
+        let streamed = "fn save<W: Write>(w: &mut W) -> Result<(), SnapshotError> { Ok(()) }\n";
+        assert!(scan_source(
+            "crates/runtime/src/snapshot.rs",
+            FileKind::Library,
+            streamed
+        )
+        .is_empty());
+        // Test modules may touch temp files directly.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::remove_file(p); }\n}\n";
         assert!(
             scan_source("crates/runtime/src/engine.rs", FileKind::Library, test_only).is_empty()
         );

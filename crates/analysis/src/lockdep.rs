@@ -35,6 +35,11 @@ pub enum LockClass {
     /// outermost: admission control runs before the serve path touches
     /// any engine lock.
     TenantRegistry,
+    /// The per-engine snapshot/restore gate: serializes whole-bank
+    /// save/restore against each other while a restore's installs take the
+    /// serve-path locks below it. Ranked above every serve-path lock and
+    /// below the registry, so registry-level save/load-all composes.
+    Snapshot,
     /// A per-class rolling traffic sketch feeding re-characterization.
     /// Ranked above the slot it publishes into: a rebuild drains the
     /// sketch and then installs the new curve.
@@ -57,6 +62,7 @@ impl LockClass {
     pub const fn rank(self) -> u8 {
         match self {
             LockClass::TenantRegistry => 10,
+            LockClass::Snapshot => 15,
             LockClass::Sketch => 20,
             LockClass::OpenLoopSlot => 30,
             LockClass::CacheShard => 40,
@@ -70,6 +76,7 @@ impl fmt::Display for LockClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
             LockClass::TenantRegistry => "TenantRegistry",
+            LockClass::Snapshot => "Snapshot",
             LockClass::Sketch => "Sketch",
             LockClass::OpenLoopSlot => "OpenLoopSlot",
             LockClass::CacheShard => "CacheShard",

@@ -1,0 +1,9 @@
+// Opening files inside the runtime ties snapshot persistence to one
+// filesystem layout and hides I/O failures from the caller's typed-error
+// path.
+pub fn save_bank(path: &Path, bytes: &[u8]) -> bool {
+    let Ok(mut file) = File::create(path) else {
+        return false;
+    };
+    std::fs::write(path, bytes).is_ok() && file.flush().is_ok()
+}

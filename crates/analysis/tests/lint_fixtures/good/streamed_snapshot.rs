@@ -1,0 +1,12 @@
+// Snapshot plumbing written against caller-supplied streams: the caller
+// owns the file (tempfile-and-rename, fsync policy) and every failure
+// comes back as a typed error.
+pub fn save_bank<W: Write>(writer: &mut W, bytes: &[u8]) -> Result<(), SnapshotError> {
+    writer.write_all(bytes).map_err(SnapshotError::Io)
+}
+
+pub fn load_bank<R: Read>(reader: &mut R) -> Result<Vec<u8>, SnapshotError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes).map_err(SnapshotError::Io)?;
+    Ok(bytes)
+}

@@ -9,6 +9,7 @@
 //!     [--fit-scaling fit_scaling.json] \
 //!     [--frame-scaling frame_scaling.json] \
 //!     [--multi-tenant multi_tenant.json] \
+//!     [--warm-start warm_start.json] \
 //!     [--latency-tolerance 0.25] [--throughput-tolerance 0.25] \
 //!     [--evals-tolerance 0.05] \
 //!     [--write-baselines]
@@ -28,7 +29,11 @@
 //! multi-tenant load-generator contract (shed
 //! and deadline-degrade counts matching the schedules' structural
 //! expectations, counter reconciliation, savings ordering, overload
-//! retention, and the p999/p50 tail shape within a wide band).
+//! retention, and the p999/p50 tail shape within a wide band), and the
+//! warm-start snapshot tier's serve economics (warm first miss at ≤ 1
+//! fit evaluation with zero recharacterizations, cold recovery strictly
+//! longer, the restored spill replaying as cache hits, savings within
+//! deterministic bands).
 //!
 //! `--write-baselines` refreshes the committed baselines from the current
 //! artifacts instead of checking (used when a PR intentionally moves the
@@ -38,8 +43,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use hebs_bench::regression::{
-    check_fit_scaling, check_frame_scaling, check_multi_tenant, check_throughput, render_report,
-    CheckConfig, CheckReport,
+    check_fit_scaling, check_frame_scaling, check_multi_tenant, check_throughput, check_warm_start,
+    render_report, CheckConfig, CheckReport,
 };
 
 struct Args {
@@ -48,6 +53,7 @@ struct Args {
     fit_scaling: PathBuf,
     frame_scaling: PathBuf,
     multi_tenant: PathBuf,
+    warm_start: PathBuf,
     config: CheckConfig,
     write_baselines: bool,
 }
@@ -59,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         fit_scaling: PathBuf::from("fit_scaling.json"),
         frame_scaling: PathBuf::from("frame_scaling.json"),
         multi_tenant: PathBuf::from("multi_tenant.json"),
+        warm_start: PathBuf::from("warm_start.json"),
         config: CheckConfig::default(),
         write_baselines: false,
     };
@@ -74,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
             "--fit-scaling" => args.fit_scaling = PathBuf::from(value("--fit-scaling")?),
             "--frame-scaling" => args.frame_scaling = PathBuf::from(value("--frame-scaling")?),
             "--multi-tenant" => args.multi_tenant = PathBuf::from(value("--multi-tenant")?),
+            "--warm-start" => args.warm_start = PathBuf::from(value("--warm-start")?),
             "--latency-tolerance" => {
                 args.config.latency_tolerance = value("--latency-tolerance")?
                     .parse()
@@ -171,23 +179,31 @@ fn main() -> ExitCode {
         args.write_baselines,
         |baseline, current| check_multi_tenant(baseline, current, config),
     );
-    match (
+    let warm_start_ok = gate(
+        "warm_start",
+        &args.warm_start,
+        &args.baselines,
+        args.write_baselines,
+        |baseline, current| check_warm_start(baseline, current, config),
+    );
+    let gates = [
         throughput_ok,
         fit_scaling_ok,
         frame_scaling_ok,
         multi_tenant_ok,
-    ) {
-        (Ok(true), Ok(true), Ok(true), Ok(true)) => {
-            println!("bench_check: OK");
-            ExitCode::SUCCESS
-        }
-        (Ok(_), Ok(_), Ok(_), Ok(_)) => {
-            eprintln!("bench_check: regression detected (see FAIL lines above)");
-            ExitCode::FAILURE
-        }
-        (Err(err), _, _, _) | (_, Err(err), _, _) | (_, _, Err(err), _) | (_, _, _, Err(err)) => {
+        warm_start_ok,
+    ];
+    for gate in &gates {
+        if let Err(err) = gate {
             eprintln!("bench_check: {err}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    }
+    if gates.iter().all(|g| matches!(g, Ok(true))) {
+        println!("bench_check: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_check: regression detected (see FAIL lines above)");
+        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,82 @@
+//! Warm-start tier benchmark: cold bootstrap vs. snapshot restore.
+//!
+//! ```text
+//! cargo run --release -p hebs-bench --bin warm_start -- [--quick] [--json <path>]
+//! ```
+//!
+//! One canary node characterizes a multi-class bank offline, serves its
+//! own traffic and snapshots bank + hot-cache spill to bytes. A cold
+//! fleet node then takes day-2 traffic from scratch (closed-loop fallback
+//! until its bootstrap recharacterization lands) while a warm node
+//! restores the snapshot first and serves at open-loop cost — one fit
+//! evaluation per miss — from its very first serve. The day-2 stream ends
+//! with a replay of canary frames, which only the warm node can serve
+//! from the restored spill.
+//!
+//! `--json <path>` writes the machine-readable artifact `bench_check`
+//! gates against the committed baseline; every gated quantity is a
+//! deterministic counter or saving over synthetic single-worker traffic,
+//! so the gate is independent of machine speed.
+
+use hebs_bench::{run_warm_start, warm_start_json, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| {
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .cloned()
+                .ok_or("--json requires a file path argument")
+        })
+        .transpose()?;
+
+    let (frame_size, day2_frames) = if quick { (32, 24) } else { (64, 48) };
+    let budget = 0.10;
+    println!(
+        "HEBS warm-start tier: cold bootstrap vs snapshot restore{}",
+        if quick { " (quick)" } else { "" }
+    );
+    println!("budget {budget}, frame size {frame_size}, day-2 frames {day2_frames}\n");
+
+    let report = run_warm_start(budget, frame_size, day2_frames)?;
+    println!(
+        "snapshot: {} bytes, {} classes, spill restored {} / skipped {}\n",
+        report.snapshot_bytes, report.classes, report.cache_restored, report.cache_skipped
+    );
+
+    let mut table = TextTable::new([
+        "node",
+        "frames",
+        "first-miss evals",
+        "recovery serves",
+        "fit evals",
+        "misses",
+        "hits",
+        "rebuilds",
+        "saving",
+    ]);
+    for node in &report.nodes {
+        table.push_row([
+            node.node.clone(),
+            node.frames.to_string(),
+            node.first_miss_evaluations.to_string(),
+            node.recovery_serves.to_string(),
+            node.fit_evaluations.to_string(),
+            node.cache_misses.to_string(),
+            node.cache_hits.to_string(),
+            node.recharacterizations.to_string(),
+            format!("{:.1}%", node.mean_power_saving * 100.0),
+        ]);
+    }
+    print!("{table}");
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, warm_start_json(&report))?;
+        println!("\nwrote {path}");
+    }
+    Ok(())
+}

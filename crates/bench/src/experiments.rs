@@ -1174,6 +1174,223 @@ pub fn verify_cache_invariants(frame_size: u32) -> Result<(), String> {
     Ok(())
 }
 
+/// One node's serve economics in the warm-start experiment.
+#[derive(Debug, Clone)]
+pub struct WarmStartNode {
+    /// Node role: "canary", "cold" or "warm".
+    pub node: String,
+    /// Frames the node served.
+    pub frames: usize,
+    /// Fit evaluations charged to the node's *first cache miss* — the
+    /// serve-#1 economics the warm-start tier exists to fix (≤ 1 warm,
+    /// a full closed-loop search cold).
+    pub first_miss_evaluations: u64,
+    /// Serves before the first ≤ 1-evaluation miss (0 for a warm node:
+    /// its very first miss is already a single characteristic lookup).
+    pub recovery_serves: usize,
+    /// Total fit evaluations over the node's traffic.
+    pub fit_evaluations: u64,
+    /// Cache misses over the node's traffic.
+    pub cache_misses: u64,
+    /// Cache hits over the node's traffic (a warm node replays the
+    /// canary's spilled fits; a cold node re-fits them).
+    pub cache_hits: u64,
+    /// Characteristic (re)builds the node ran from its own traffic sketch
+    /// (a cold node bootstraps at least once; a warm node never does).
+    pub recharacterizations: u64,
+    /// Mean fractional power saving over the node's traffic.
+    pub mean_power_saving: f64,
+}
+
+/// The warm-start experiment: one canary characterizes and snapshots, a
+/// cold node re-learns from scratch, a warm node restores the snapshot.
+#[derive(Debug, Clone)]
+pub struct WarmStartReport {
+    /// Distortion budget every node served with.
+    pub budget: f64,
+    /// Characteristic classes in the canary's bank.
+    pub classes: usize,
+    /// Serialized snapshot size in bytes.
+    pub snapshot_bytes: usize,
+    /// Hot-cache entries the warm node re-admitted from the spill.
+    pub cache_restored: usize,
+    /// Spilled entries the warm node skipped (shape mismatch, dead
+    /// generation).
+    pub cache_skipped: usize,
+    /// Per-node rows: canary, cold, warm.
+    pub nodes: Vec<WarmStartNode>,
+}
+
+/// The open-loop engine shape every node of the warm-start experiment
+/// runs: one worker, exact cache, multi-class bank slot, p95-envelope
+/// curve lookups (the fit the mixed-suite experiment shows recovers real
+/// savings on heterogeneous traffic — a single worst-case curve refuses
+/// to dim). `interval` arms the periodic rebuild trigger: the cold node
+/// keeps it armed (it *needs* the bootstrap recharacterization to become
+/// serviceable), the canary and warm nodes disarm it so their counters
+/// are a pure function of the installed bank.
+/// Builds the single-worker open-loop engine the warm-start experiments
+/// (and the CI snapshot round-trip harness) share: exact cache, envelope
+/// fit, `classes` content classes, and an optional periodic
+/// recharacterization `interval` (None leaves the node entirely dependent
+/// on whatever bank it is given — the warm-restore configuration).
+///
+/// # Errors
+///
+/// Propagates engine construction failures.
+pub fn warm_start_engine(
+    budget: f64,
+    classes: usize,
+    interval: Option<u64>,
+) -> hebs_runtime::Result<Engine> {
+    Engine::new(
+        HebsPolicy::closed_loop(open_loop_pipeline()),
+        EngineConfig {
+            workers: 1,
+            max_distortion: budget,
+            cache: Some(CacheConfig::exact()),
+            mode: ServingMode::OpenLoop {
+                recharacterize: RecharacterizePolicy {
+                    interval,
+                    drift_limit: None,
+                    sample_period: 1,
+                    fit: CurveFit::Envelope,
+                    classes,
+                    ..RecharacterizePolicy::default()
+                },
+            },
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// Serves `frames` one at a time, watching the per-serve fit-evaluation
+/// deltas, and summarizes the node's economics.
+fn serve_node(
+    engine: &Engine,
+    node: &str,
+    frames: &[GrayImage],
+) -> hebs_runtime::Result<WarmStartNode> {
+    let mut first_miss_evaluations = None;
+    let mut recovery_serves = None;
+    let mut savings = 0.0;
+    for (index, frame) in frames.iter().enumerate() {
+        let before = engine.stats().fit_evaluations;
+        let result = engine.process_frame(frame)?;
+        let evaluations = engine.stats().fit_evaluations - before;
+        savings += result.outcome.power_saving;
+        if !result.cache_hit {
+            if first_miss_evaluations.is_none() {
+                first_miss_evaluations = Some(evaluations);
+            }
+            if recovery_serves.is_none() && evaluations <= 1 {
+                recovery_serves = Some(index);
+            }
+        }
+    }
+    let stats = engine.stats();
+    Ok(WarmStartNode {
+        node: node.to_string(),
+        frames: frames.len(),
+        first_miss_evaluations: first_miss_evaluations.unwrap_or(0),
+        recovery_serves: recovery_serves.unwrap_or(frames.len()),
+        fit_evaluations: stats.fit_evaluations,
+        cache_misses: stats.cache_misses,
+        cache_hits: stats.cache_hits,
+        recharacterizations: stats.recharacterizations,
+        mean_power_saving: if frames.is_empty() {
+            0.0
+        } else {
+            savings / frames.len() as f64
+        },
+    })
+}
+
+/// Runs the warm-start comparison: a canary node characterizes a
+/// multi-class bank offline, serves its own traffic (filling the exact
+/// cache) and snapshots bank + hot-cache spill to bytes; a cold fleet
+/// node then takes day-2 traffic from scratch (closed-loop fallback until
+/// its bootstrap recharacterization lands), while a warm node restores
+/// the canary snapshot first and serves the same traffic at open-loop
+/// cost from its very first miss. The day-2 stream ends with a replay of
+/// canary frames, which the warm node serves from the restored spill.
+///
+/// Everything gated on this report is machine-independent: counters and
+/// savings over deterministic synthetic traffic on single-worker engines.
+///
+/// # Errors
+///
+/// Propagates engine construction, characterization, snapshot and serving
+/// errors.
+pub fn run_warm_start(
+    budget: f64,
+    frame_size: u32,
+    day2_frames: usize,
+) -> hebs_runtime::Result<WarmStartReport> {
+    const CLASSES: usize = 2;
+    const REPLAY_TAIL: usize = 4;
+    /// The cold node's periodic rebuild interval: its bootstrap lands
+    /// after this many serves (once the sketch holds enough histograms to
+    /// cluster), which is exactly the recovery window the warm node skips.
+    const COLD_INTERVAL: u64 = 4;
+
+    // Canary traffic: the synthetic suite. Day-2 traffic: the same suite
+    // regenerated at shifted sizes — every frame is a distinct exact-cache
+    // key, but the histogram *shapes* (and therefore the content classes)
+    // match what the canary characterized. The stream ends with a replay
+    // of the canary's own first frames, which only a restored spill can
+    // serve as hits.
+    let suite = SipiSuite::with_size(frame_size);
+    let canary_frames: Vec<GrayImage> = suite.iter().map(|(_, img)| img.clone()).collect();
+    let mut day2: Vec<GrayImage> = Vec::with_capacity(day2_frames + REPLAY_TAIL);
+    let mut shift = 1u32;
+    while day2.len() < day2_frames {
+        let shifted = SipiSuite::with_size(frame_size + 8 * shift);
+        day2.extend(
+            shifted
+                .iter()
+                .map(|(_, img)| img.clone())
+                .take(day2_frames - day2.len()),
+        );
+        shift += 1;
+    }
+    day2.extend(canary_frames.iter().take(REPLAY_TAIL).cloned());
+
+    // The canary characterizes offline (the documented deployment flow),
+    // serves its traffic, and snapshots bank + spill.
+    let canary = warm_start_engine(budget, CLASSES, None)?;
+    let histograms: Vec<Histogram> = canary_frames.iter().map(Histogram::of).collect();
+    let bank =
+        CharacteristicBank::build(&open_loop_pipeline(), &histograms, &DEFAULT_RANGES, CLASSES)
+            .map_err(hebs_runtime::RuntimeError::Core)?;
+    canary.install_bank(bank)?;
+    let canary_row = serve_node(&canary, "canary", &canary_frames)?;
+
+    let mut snapshot = Vec::new();
+    canary.snapshot_to_writer(&mut snapshot)?;
+
+    // The cold node learns day-2 traffic from nothing: closed-loop
+    // fallbacks (and their full fit searches) until its periodic trigger
+    // bootstraps a bank from the traffic sketch.
+    let cold = warm_start_engine(budget, CLASSES, Some(COLD_INTERVAL))?;
+    let cold_row = serve_node(&cold, "cold", &day2)?;
+
+    // The warm node restores the canary's snapshot first and serves the
+    // same traffic at open-loop cost from its first miss.
+    let warm = warm_start_engine(budget, CLASSES, None)?;
+    let report = warm.restore_from_reader(&mut &snapshot[..])?;
+    let warm_row = serve_node(&warm, "warm", &day2)?;
+
+    Ok(WarmStartReport {
+        budget,
+        classes: report.classes,
+        snapshot_bytes: snapshot.len(),
+        cache_restored: report.cache_restored,
+        cache_skipped: report.cache_skipped,
+        nodes: vec![canary_row, cold_row, warm_row],
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,9 @@
 //! machine-readable artifact CI uploads, so throughput, hit rates and fit
 //! evaluations can be tracked across PRs.
 
-use crate::experiments::{FitScalingRow, FrameScalingRow, MixedSuiteReport, RuntimeThroughputRow};
+use crate::experiments::{
+    FitScalingRow, FrameScalingRow, MixedSuiteReport, RuntimeThroughputRow, WarmStartReport,
+};
 use crate::loadgen::{IsolationReport, ScenarioReport};
 
 /// Escapes a string for embedding in a JSON document.
@@ -330,6 +332,55 @@ pub fn multi_tenant_json(
     out
 }
 
+/// Serializes the warm-start comparison. Every gated field is a
+/// deterministic counter or saving, so `bench_check` checks the artifact's
+/// structure (warm ≤ 1 evaluation from serve #1, cold recovery strictly
+/// longer) rather than cross-run timings.
+pub fn warm_start_json(report: &WarmStartReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"budget\": {},\n", number(report.budget)));
+    out.push_str(&format!("  \"classes\": {},\n", report.classes));
+    out.push_str(&format!(
+        "  \"snapshot_bytes\": {},\n",
+        report.snapshot_bytes
+    ));
+    out.push_str(&format!(
+        "  \"cache_restored\": {},\n",
+        report.cache_restored
+    ));
+    out.push_str(&format!("  \"cache_skipped\": {},\n", report.cache_skipped));
+    out.push_str("  \"nodes\": [\n");
+    for (i, node) in report.nodes.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"node\": \"{}\", ", escape(&node.node)));
+        out.push_str(&format!("\"frames\": {}, ", node.frames));
+        out.push_str(&format!(
+            "\"first_miss_evaluations\": {}, ",
+            node.first_miss_evaluations
+        ));
+        out.push_str(&format!("\"recovery_serves\": {}, ", node.recovery_serves));
+        out.push_str(&format!("\"fit_evaluations\": {}, ", node.fit_evaluations));
+        out.push_str(&format!("\"cache_misses\": {}, ", node.cache_misses));
+        out.push_str(&format!("\"cache_hits\": {}, ", node.cache_hits));
+        out.push_str(&format!(
+            "\"recharacterizations\": {}, ",
+            node.recharacterizations
+        ));
+        out.push_str(&format!(
+            "\"mean_power_saving\": {}",
+            number(node.mean_power_saving)
+        ));
+        out.push_str(if i + 1 < report.nodes.len() {
+            "},\n"
+        } else {
+            "}\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +400,36 @@ mod tests {
         assert_eq!(number(1.5), "1.5");
         assert_eq!(number(f64::NAN), "null");
         assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn warm_start_json_is_well_formed() {
+        use crate::experiments::{WarmStartNode, WarmStartReport};
+        let node = |name: &str, first: u64, recovery: usize| WarmStartNode {
+            node: name.to_string(),
+            frames: 23,
+            first_miss_evaluations: first,
+            recovery_serves: recovery,
+            fit_evaluations: 19,
+            cache_misses: 19,
+            cache_hits: 4,
+            recharacterizations: u64::from(name == "cold"),
+            mean_power_saving: 0.31,
+        };
+        let report = WarmStartReport {
+            budget: 0.1,
+            classes: 2,
+            snapshot_bytes: 4096,
+            cache_restored: 19,
+            cache_skipped: 0,
+            nodes: vec![node("canary", 1, 0), node("cold", 8, 1), node("warm", 1, 0)],
+        };
+        let json = warm_start_json(&report);
+        assert!(json.contains("\"node\": \"warm\""));
+        assert!(json.contains("\"cache_restored\": 19"));
+        assert!(json.contains("\"first_miss_evaluations\": 8"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

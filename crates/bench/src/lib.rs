@@ -18,17 +18,21 @@ pub mod table;
 pub use experiments::{
     characterize_workload, run_baseline_comparison, run_characterization, run_figure8,
     run_fit_scaling, run_frame_scaling, run_mixed_suite, run_runtime_throughput, run_table1,
-    verify_cache_invariants, BaselineComparison, Figure8Row, FitScalingRow, FrameScalingRow,
-    MixedSuiteReport, RuntimeThroughputRow, Table1Report, Table1Row, FRAME_SCALING_SIZES,
+    run_warm_start, verify_cache_invariants, warm_start_engine, BaselineComparison, Figure8Row,
+    FitScalingRow, FrameScalingRow, MixedSuiteReport, RuntimeThroughputRow, Table1Report,
+    Table1Row, WarmStartNode, WarmStartReport, FRAME_SCALING_SIZES,
 };
-pub use json::{fit_scaling_json, frame_scaling_json, multi_tenant_json, runtime_throughput_json};
+pub use json::{
+    fit_scaling_json, frame_scaling_json, multi_tenant_json, runtime_throughput_json,
+    warm_start_json,
+};
 pub use loadgen::{
     bursty_scenario, diurnal_scenario, run_overload_isolation, run_scenario, CountExpectation,
     IsolationReport, LoadScenario, ScenarioReport, TenantLoad, TenantLoadReport,
 };
 pub use regression::{
-    check_fit_scaling, check_frame_scaling, check_multi_tenant, check_throughput, CheckConfig,
-    CheckReport, JsonValue,
+    check_fit_scaling, check_frame_scaling, check_multi_tenant, check_throughput, check_warm_start,
+    CheckConfig, CheckReport, JsonValue,
 };
 pub use table::TextTable;
 

@@ -1145,6 +1145,184 @@ pub fn check_multi_tenant(
     Ok(report)
 }
 
+/// Extracts the per-node rows of a warm-start artifact, keyed by role.
+fn warm_start_nodes(doc: &JsonValue) -> Result<Vec<(String, JsonValue)>, String> {
+    let nodes = doc
+        .get("nodes")
+        .and_then(|v| v.as_array().map(<[JsonValue]>::to_vec))
+        .ok_or_else(|| "warm_start artifact has no nodes array".to_string())?;
+    nodes
+        .into_iter()
+        .map(|row| {
+            let name = row
+                .get("node")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "warm_start node row has no node name".to_string())?
+                .to_string();
+            Ok((name, row))
+        })
+        .collect()
+}
+
+/// Checks the warm-start artifact: the snapshot tier's serve economics.
+///
+/// Every gate is structural — a deterministic counter or saving over
+/// synthetic single-worker traffic — so a slow or loaded runner cannot
+/// fail it:
+///
+/// * the snapshot is non-empty and its hot-cache spill was re-admitted;
+/// * the warm node's *first* cache miss costs ≤ 1 fit evaluation (the
+///   whole point of restoring a characterized bank) and it never
+///   recharacterizes;
+/// * the cold node's first miss is strictly dearer and its recovery
+///   (serves until a ≤ 1-evaluation miss) strictly longer;
+/// * the warm node replays spilled fits as cache hits the cold node has
+///   to re-fit;
+/// * every node saves power, and the warm node's mean saving tracks the
+///   canary's within the savings tolerance (the bank traveled intact —
+///   restoring it preserves the canary's savings behaviour on in-class
+///   traffic) as well as its own committed baseline.
+///
+/// # Errors
+///
+/// Returns an error when either artifact cannot be parsed or lacks the
+/// expected nodes.
+pub fn check_warm_start(
+    baseline: &str,
+    current: &str,
+    config: CheckConfig,
+) -> Result<CheckReport, String> {
+    let baseline_doc = JsonValue::parse(baseline)?;
+    let current_doc = JsonValue::parse(current)?;
+    let current_nodes = warm_start_nodes(&current_doc)?;
+    let baseline_nodes = warm_start_nodes(&baseline_doc)?;
+    let mut report = CheckReport::default();
+
+    let node = |name: &str| -> Result<&JsonValue, String> {
+        current_nodes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, row)| row)
+            .ok_or_else(|| format!("warm_start artifact has no {name} node"))
+    };
+    let canary = node("canary")?;
+    let cold = node("cold")?;
+    let warm = node("warm")?;
+
+    let mut structural = |label: String, ok: bool| {
+        if !ok {
+            report.violations.push(label.clone());
+        }
+        report.comparisons.push(label);
+    };
+
+    for (key, expect_positive) in [("snapshot_bytes", true), ("cache_restored", true)] {
+        if let Some(value) = field(&current_doc, key) {
+            structural(
+                format!("{key}: {value} (expected > 0)"),
+                !expect_positive || value > 0.0,
+            );
+        }
+    }
+    if let Some(skipped) = field(&current_doc, "cache_skipped") {
+        structural(
+            format!("cache_skipped: {skipped} (expected 0 — same cache shape)"),
+            skipped == 0.0,
+        );
+    }
+
+    if let (Some(warm_first), Some(cold_first)) = (
+        field(warm, "first_miss_evaluations"),
+        field(cold, "first_miss_evaluations"),
+    ) {
+        structural(
+            format!("warm first-miss evaluations: {warm_first} (limit 1)"),
+            warm_first <= 1.0,
+        );
+        structural(
+            format!("cold first-miss evaluations: {cold_first} (must exceed warm's {warm_first})"),
+            cold_first > warm_first,
+        );
+    }
+    if let Some(rebuilds) = field(warm, "recharacterizations") {
+        structural(
+            format!("warm recharacterizations: {rebuilds} (expected 0 — the bank came in warm)"),
+            rebuilds == 0.0,
+        );
+    }
+    if let (Some(warm_recovery), Some(cold_recovery)) = (
+        field(warm, "recovery_serves"),
+        field(cold, "recovery_serves"),
+    ) {
+        structural(
+            format!("warm recovery serves: {warm_recovery} (expected 0)"),
+            warm_recovery == 0.0,
+        );
+        structural(
+            format!("cold recovery serves: {cold_recovery} (must exceed warm's {warm_recovery})"),
+            cold_recovery > warm_recovery,
+        );
+    }
+    if let (Some(warm_hits), Some(cold_hits)) =
+        (field(warm, "cache_hits"), field(cold, "cache_hits"))
+    {
+        structural(
+            format!(
+                "warm cache hits: {warm_hits} (must exceed cold's {cold_hits} — the \
+                 restored spill replays the canary's fits)"
+            ),
+            warm_hits > cold_hits,
+        );
+    }
+    for (name, row) in &current_nodes {
+        if let Some(saving) = field(row, "mean_power_saving") {
+            structural(
+                format!("{name} mean power saving: {saving:.4} (expected > 0)"),
+                saving > 0.0,
+            );
+        }
+    }
+    if let (Some(warm_saving), Some(canary_saving)) = (
+        field(warm, "mean_power_saving"),
+        field(canary, "mean_power_saving"),
+    ) {
+        let floor = canary_saving * (1.0 - config.savings_tolerance);
+        structural(
+            format!(
+                "warm saving tracks the canary's bank: {warm_saving:.4} vs \
+                 {canary_saving:.4} (floor {floor:.4})"
+            ),
+            warm_saving >= floor,
+        );
+    }
+
+    // The only cross-run gate: the warm node's saving against its own
+    // committed baseline (deterministic synthetic traffic, so the band
+    // only absorbs intentional curve-fitting changes).
+    for (name, base_row) in &baseline_nodes {
+        let Some((_, cur_row)) = current_nodes.iter().find(|(n, _)| n == name) else {
+            report.violations.push(format!(
+                "{name}: present in baseline but missing from current run"
+            ));
+            continue;
+        };
+        if let (Some(base), Some(cur)) = (
+            field(base_row, "mean_power_saving"),
+            field(cur_row, "mean_power_saving"),
+        ) {
+            let floor = base * (1.0 - config.savings_tolerance);
+            let line = format!(
+                "{name} mean power saving: {cur:.4} vs baseline {base:.4} (floor {floor:.4})"
+            );
+            if cur < floor {
+                report.violations.push(line.clone());
+            }
+            report.comparisons.push(line);
+        }
+    }
+    Ok(report)
+}
+
 /// Renders a report section for the CI log.
 pub fn render_report(name: &str, report: &CheckReport) -> String {
     let mut out = String::new();
@@ -1783,5 +1961,96 @@ mod tests {
         let rendered = render_report("runtime_throughput", &report);
         assert!(rendered.contains("FAIL"));
         assert!(rendered.contains("ok  "));
+    }
+
+    /// Warm-start artifact; the interesting knobs are parameterized.
+    fn warm_start_doc(
+        warm_first: u64,
+        cold_first: u64,
+        warm_recovery: usize,
+        cold_recovery: usize,
+        warm_rebuilds: u64,
+        warm_saving: f64,
+        cache_restored: usize,
+    ) -> String {
+        format!(
+            r#"{{"budget": 0.1, "classes": 2, "snapshot_bytes": 4096,
+                "cache_restored": {cache_restored}, "cache_skipped": 0,
+                "nodes": [
+                  {{"node": "canary", "frames": 19, "first_miss_evaluations": 1,
+                    "recovery_serves": 0, "fit_evaluations": 19, "cache_misses": 19,
+                    "cache_hits": 0, "recharacterizations": 0, "mean_power_saving": 0.30}},
+                  {{"node": "cold", "frames": 23, "first_miss_evaluations": {cold_first},
+                    "recovery_serves": {cold_recovery}, "fit_evaluations": 40,
+                    "cache_misses": 23, "cache_hits": 0, "recharacterizations": 1,
+                    "mean_power_saving": 0.30}},
+                  {{"node": "warm", "frames": 23, "first_miss_evaluations": {warm_first},
+                    "recovery_serves": {warm_recovery}, "fit_evaluations": 19,
+                    "cache_misses": 19, "cache_hits": 4, "recharacterizations": {warm_rebuilds},
+                    "mean_power_saving": {warm_saving}}}
+                ]}}"#
+        )
+    }
+
+    #[test]
+    fn warm_start_structural_gates_read_the_current_artifact() {
+        let healthy = warm_start_doc(1, 8, 0, 1, 0, 0.30, 19);
+        let report = check_warm_start(&healthy, &healthy, CheckConfig::default()).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+
+        // A warm node paying a multi-evaluation first miss lost the whole
+        // point of the restore.
+        let cold_warm = warm_start_doc(8, 8, 0, 1, 0, 0.30, 19);
+        let report = check_warm_start(&healthy, &cold_warm, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("warm first-miss evaluations")));
+
+        // A warm node that recharacterized did not come in warm.
+        let rebuilt = warm_start_doc(1, 8, 0, 1, 1, 0.30, 19);
+        let report = check_warm_start(&healthy, &rebuilt, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+
+        // A cold node recovering as fast as the warm one means the tier
+        // buys nothing.
+        let instant_cold = warm_start_doc(1, 8, 0, 0, 0, 0.30, 19);
+        let report = check_warm_start(&healthy, &instant_cold, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("cold recovery serves")));
+
+        // An empty spill restoration breaks the hot-cache half of the tier.
+        let no_spill = warm_start_doc(1, 8, 0, 1, 0, 0.30, 0);
+        let report = check_warm_start(&healthy, &no_spill, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn warm_start_savings_are_gated_against_canary_and_baseline() {
+        let healthy = warm_start_doc(1, 8, 0, 1, 0, 0.30, 19);
+        // Warm saving collapsing below the canary's means the restored
+        // bank did not preserve the canary's savings behaviour.
+        let dim = warm_start_doc(1, 8, 0, 1, 0, 0.20, 19);
+        let report = check_warm_start(&healthy, &dim, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("warm saving tracks the canary")));
+        // And a run whose savings regress their own committed baseline
+        // past tolerance fails the cross-run gate even when warm still
+        // tracks the canary. (Savings are deterministic, so the band
+        // only absorbs intentional curve-fitting changes.)
+        let both_dim = warm_start_doc(1, 8, 0, 1, 0, 0.30, 19).replace(
+            "\"mean_power_saving\": 0.30}",
+            "\"mean_power_saving\": 0.25}",
+        );
+        let report = check_warm_start(&healthy, &both_dim, CheckConfig::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.violations.iter().any(|v| v.contains("vs baseline")));
     }
 }

@@ -62,4 +62,8 @@ pub use pipeline::{
     RangeEvaluation,
 };
 pub use policy::{BacklightPolicy, HebsPolicy, RangeSelection, ScalingOutcome};
+// Re-exported for the runtime's snapshot codec, which reconstructs
+// `ScalingOutcome`/`FrameTransform` values without depending on the display
+// substrate directly.
+pub use hebs_display::{DisplayResponse, PowerBreakdown};
 pub use video::{FrameOutcome, VideoPipeline, VideoReport};

@@ -173,6 +173,42 @@ pub struct FrameTransform {
     pub response: DisplayResponse,
 }
 
+impl FrameTransform {
+    /// Reassembles a transform from its serialized parts (target band,
+    /// `β`, blend weight, coarsened curve and programmed LUT), recomposing
+    /// the fused display response from the pipeline's subsystem model.
+    ///
+    /// This is the deserialization half of the runtime's characteristic
+    /// snapshots: everything the fit *decided* is carried verbatim, while
+    /// the derived response — which has no serialized form of its own — is
+    /// rebuilt through the same [`LcdSubsystem::response`] composition that
+    /// produced it originally, so a restored transform applies frames
+    /// identically to the one that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HebsError::Display`] when `beta` is outside the
+    /// subsystem's admissible backlight range.
+    pub fn from_parts(
+        config: &PipelineConfig,
+        target: TargetRange,
+        beta: f64,
+        blend_weight: f64,
+        curve: PiecewiseLinear,
+        lut: LookupTable,
+    ) -> Result<Self> {
+        let response = config.subsystem.response(&lut, beta)?;
+        Ok(FrameTransform {
+            target,
+            beta,
+            blend_weight,
+            curve,
+            lut,
+            response,
+        })
+    }
+}
+
 /// Reusable pixel scratch for the pipeline's pixel paths: candidate
 /// displayed images are written here instead of being allocated per
 /// evaluation, so a steady-state engine worker performs no intermediate

@@ -74,6 +74,16 @@ impl HistogramSignature {
         HistogramSignature { bins }
     }
 
+    /// Reconstructs a signature from previously extracted bins (see
+    /// [`HistogramSignature::bins`]). Intended for deserialization paths
+    /// that persist signatures across processes; the bins are taken as-is,
+    /// so the caller is responsible for having produced them with
+    /// [`HistogramSignature::of`] or
+    /// [`HistogramSignature::with_resolution`] at a matching resolution.
+    pub fn from_bins(bins: [u8; SIGNATURE_BINS]) -> Self {
+        HistogramSignature { bins }
+    }
+
     /// The quantized per-bin mass values.
     pub fn bins(&self) -> &[u8; SIGNATURE_BINS] {
         &self.bins

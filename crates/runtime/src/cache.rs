@@ -605,6 +605,32 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     pub fn coalesced(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed) // ordering: advisory snapshot
     }
+
+    /// The `k` most recently used entries, newest first — what a snapshot
+    /// spills so a restored engine starts with its hottest fits resident.
+    /// Recency ticks are per shard, so the cross-shard merge is
+    /// approximate, but each shard's own contribution is exactly its
+    /// newest entries and the result never exceeds `k`.
+    pub(crate) fn recent_entries(&self, k: usize) -> Vec<(K, V)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut ranked: Vec<(u64, K, V)> = Vec::new();
+        for shard in &self.shards {
+            let shard = lock_healthy(shard.lock(), || self.note_poison());
+            for (&tick, key) in shard.recency.iter().rev().take(k) {
+                if let Some(entry) = shard.map.get(key) {
+                    ranked.push((tick, key.clone(), entry.value.clone()));
+                }
+            }
+        }
+        ranked.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        ranked.truncate(k);
+        ranked
+            .into_iter()
+            .map(|(_, key, value)| (key, value))
+            .collect()
+    }
 }
 
 /// One independently locked slice of a [`FlightTable`]: the keys currently
@@ -750,6 +776,37 @@ impl ExactKey {
             generation,
         }
     }
+
+    /// Stored frame width (for snapshot spill).
+    pub(crate) fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Stored frame height (for snapshot spill).
+    pub(crate) fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Quantized budget band the fit was made for (for snapshot spill).
+    pub(crate) fn budget_band(&self) -> u32 {
+        self.budget_band
+    }
+
+    /// Content class the frame routed to (for snapshot spill).
+    pub(crate) fn class(&self) -> u16 {
+        self.class
+    }
+
+    /// Owning tenant (for snapshot spill filtering).
+    pub(crate) fn tenant(&self) -> u16 {
+        self.tenant
+    }
+
+    /// Characteristic generation the fit was made under (for snapshot
+    /// spill filtering — only current-generation fits are worth carrying).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
 }
 
 /// Exact-mode value: the stored frame bytes (for hit verification) plus the
@@ -772,6 +829,11 @@ impl ExactEntry {
     /// guard on the hit path; one memcmp, no allocation).
     pub(crate) fn matches(&self, frame: &GrayImage) -> bool {
         self.pixels[..] == *frame.as_raw()
+    }
+
+    /// The stored frame bytes (for snapshot spill).
+    pub(crate) fn pixels(&self) -> &[u8] {
+        &self.pixels
     }
 
     /// Bytes this entry charges against the cache budget: stored pixels,
@@ -829,6 +891,65 @@ impl SignatureKey {
             class,
             generation,
         }
+    }
+
+    /// Rebuilds a key from its spilled parts (the snapshot restore path;
+    /// the signature is carried verbatim rather than recomputed because the
+    /// spilled transform, not the frame, is what is being restored).
+    pub(crate) fn from_parts(
+        width: u32,
+        height: u32,
+        signature: HistogramSignature,
+        budget_band: u32,
+        tenant: u16,
+        class: u16,
+        generation: u64,
+    ) -> Self {
+        SignatureKey {
+            width,
+            height,
+            signature,
+            budget_band,
+            tenant,
+            class,
+            generation,
+        }
+    }
+
+    /// Keyed frame width (for snapshot spill).
+    pub(crate) fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Keyed frame height (for snapshot spill).
+    pub(crate) fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The quantized histogram signature (for snapshot spill).
+    pub(crate) fn signature(&self) -> &HistogramSignature {
+        &self.signature
+    }
+
+    /// Quantized budget band the fit was made for (for snapshot spill).
+    pub(crate) fn budget_band(&self) -> u32 {
+        self.budget_band
+    }
+
+    /// Content class the frame routed to (for snapshot spill).
+    pub(crate) fn class(&self) -> u16 {
+        self.class
+    }
+
+    /// Owning tenant (for snapshot spill filtering).
+    pub(crate) fn tenant(&self) -> u16 {
+        self.tenant
+    }
+
+    /// Characteristic generation the fit was made under (for snapshot
+    /// spill filtering — only current-generation fits are worth carrying).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
     }
 }
 

@@ -15,33 +15,53 @@
 //! statistics are collected on the fly.
 
 use std::cmp::Reverse;
+use std::collections::hash_map::RandomState;
 use std::collections::BinaryHeap;
+use std::hash::BuildHasher;
+use std::io::{Read, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::{JoinHandle, Scope, ScopedJoinHandle};
 use std::time::{Duration, Instant};
 
-use hebs_analysis::{lock_healthy, LockClass, OrderedMutex};
+use hebs_analysis::{interleave, lock_healthy, LockClass, OrderedMutex};
 
 use hebs_core::{
-    evaluate_range_from_histogram, CharacteristicBank, DistortionCharacteristic, FitScratch,
-    FrameTransform, HebsError, HebsPolicy, ScalingOutcome, TargetRange,
+    evaluate_range_from_histogram, BankClass, CharacteristicBank, CharacterizationSample,
+    DistortionCharacteristic, FitScratch, FrameTransform, HebsError, HebsPolicy, PowerBreakdown,
+    ScalingOutcome, TargetRange,
 };
-use hebs_imaging::{FrameIngest, GrayImage, Histogram};
+use hebs_imaging::{
+    frame_hash128, FrameIngest, GrayImage, Histogram, HistogramSignature, SIGNATURE_BINS,
+};
+use hebs_transform::{ControlPoint, LookupTable, PiecewiseLinear};
 
 use crate::cache::{
     budget_band, transform_bytes, ApproximateCache, CacheConfig, ExactCache, ExactEntry, ExactKey,
     SignatureKey, TransformCache,
 };
 use crate::error::{Result, RuntimeError};
-use crate::serving::{CurveState, OpenLoopState, RebuildPlan, ServingMode};
+use crate::serving::{CurveBank, CurveState, OpenLoopState, RebuildPlan, ServingMode};
+use crate::snapshot::{
+    self, ApproxSpillRecord, BankRecord, CacheRecord, ClassRecord, ExactSpillRecord, OutcomeRecord,
+    RestoreReport, SampleRecord, SnapshotError,
+};
 use crate::stats::{EngineStats, ServeKind, StatsCollector};
 
 /// Upper bound on configurable content classes (the class id is a `u16` in
 /// every cache key; 256 is far beyond any useful clustering of 32-bin
 /// signatures).
 const MAX_CLASSES: usize = 256;
+
+/// How many hottest cache entries [`Engine::snapshot_to_writer`] spills
+/// alongside the characteristic bank. Enough to pre-warm the working set
+/// of a steady scene without making snapshots frame-archive sized.
+const SNAPSHOT_SPILL_TOP_K: usize = 64;
+
+/// Domain-separation input for the per-snapshot checksum seed (the magic
+/// bytes as a little-endian word).
+const SNAPSHOT_MAGIC_SEED: [u8; 8] = crate::snapshot::SNAPSHOT_MAGIC;
 
 /// Configuration of the serving engine.
 #[derive(Debug, Clone)]
@@ -229,6 +249,12 @@ struct EngineInner {
     /// its cache bytes — 0 for a standalone engine, the registry-assigned
     /// id for a tenant engine sharing its cache.
     tenant: u16,
+    /// Serializes snapshot saves/restores against each other (a restore
+    /// swapping the bank mid-snapshot would tear the serialized state).
+    /// Rank `Snapshot` (15): below every serve-path lock, so serving never
+    /// waits on snapshot I/O, and a snapshot may read bank/cache state
+    /// (which takes serve-path locks) while holding the gate.
+    snapshot_gate: OrderedMutex<()>,
     totals: StatsCollector,
 }
 
@@ -1076,6 +1102,7 @@ impl Engine {
                 queue_depth,
                 serving,
                 tenant,
+                snapshot_gate: OrderedMutex::new(LockClass::Snapshot, ()),
                 totals: StatsCollector::default(),
             }),
         })
@@ -1221,6 +1248,369 @@ impl Engine {
     /// rebuilt class's previously cached fits (and only those).
     pub fn characteristic_generation(&self) -> u64 {
         self.inner.policy_generation()
+    }
+
+    /// Serializes the engine's learned warm-start state into `writer`: the
+    /// installed characteristic bank (centroids, per-class curve samples,
+    /// fit mode, generations) plus a spill of the hottest transformation
+    /// cache entries, in the versioned, checksummed snapshot format (see
+    /// the `snapshot` module). A restarted engine — or a whole fleet — can
+    /// [`Engine::restore_from_reader`] this and serve open-loop from its
+    /// first frame instead of re-learning from live traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Snapshot`] with [`SnapshotError::NoBank`]
+    /// when the engine is closed-loop or has no bank installed yet, and
+    /// [`SnapshotError::Io`] when `writer` fails.
+    pub fn snapshot_to_writer<W: Write>(&self, writer: &mut W) -> Result<()> {
+        self.snapshot_with_spill(writer, SNAPSHOT_SPILL_TOP_K)
+    }
+
+    /// [`Engine::snapshot_to_writer`] with an explicit cache-spill size:
+    /// the `top_k` most recently used cache entries belonging to this
+    /// engine's tenant and current characteristic generations are carried
+    /// along (0 omits the cache section entirely).
+    pub fn snapshot_with_spill<W: Write>(&self, writer: &mut W, top_k: usize) -> Result<()> {
+        // Serialize against concurrent restores; serves are unaffected
+        // (they never take this lock).
+        let _gate = lock_healthy(self.inner.snapshot_gate.lock(), || {
+            self.inner.totals.record_poison_recovery()
+        });
+        let bank = self
+            .inner
+            .serving
+            .as_ref()
+            .and_then(OpenLoopState::current)
+            .ok_or(RuntimeError::Snapshot(SnapshotError::NoBank))?;
+        let record = self.bank_record(&bank)?;
+        let cache = if top_k == 0 {
+            None
+        } else {
+            self.spill_cache(top_k, &bank)
+        };
+        // Random checksum seed per snapshot: the seed travels in the
+        // header, so any reader verifies, while the digest of a given
+        // payload is not globally predictable.
+        let seed = RandomState::new().hash_one(u64::from_le_bytes(SNAPSHOT_MAGIC_SEED));
+        let bytes = snapshot::encode(&record, cache.as_ref(), seed);
+        writer
+            .write_all(&bytes)
+            .map_err(|err| RuntimeError::Snapshot(SnapshotError::Io(err)))
+    }
+
+    /// Builds the serializable bank record from the installed bank. The
+    /// per-class curves re-fit from their samples on restore, so the
+    /// samples — not the fitted spline coefficients — are the wire form.
+    fn bank_record(&self, bank: &CurveBank) -> Result<BankRecord> {
+        let state = self.serving_state()?;
+        let centroids = bank.centroids();
+        let mut classes = Vec::with_capacity(bank.classes.len());
+        for (index, class) in bank.classes.iter().enumerate() {
+            // A single-class bank routes without centroids; serialize zeros
+            // so the record shape is uniform.
+            let centroid = centroids
+                .get(index)
+                .copied()
+                .unwrap_or([0.0; SIGNATURE_BINS]);
+            let samples = class
+                .characteristic
+                .samples()
+                .iter()
+                .map(|sample| SampleRecord {
+                    image: sample.image.clone(),
+                    dynamic_range: sample.dynamic_range,
+                    distortion: sample.distortion,
+                    power_saving: sample.power_saving,
+                })
+                .collect();
+            classes.push(ClassRecord {
+                centroid,
+                generation: class.generation,
+                samples,
+            });
+        }
+        Ok(BankRecord {
+            fit: state.recharacterize.fit,
+            classes,
+        })
+    }
+
+    /// Spills the `top_k` most recently used cache entries that belong to
+    /// this engine's tenant and were fitted under a currently installed
+    /// class generation (stale-generation fits would never be probed and
+    /// are not worth carrying).
+    fn spill_cache(&self, top_k: usize, bank: &CurveBank) -> Option<CacheRecord> {
+        let cache = self.inner.cache.as_deref()?;
+        let tenant = self.inner.tenant;
+        let live = |class: u16, generation: u64| {
+            bank.classes
+                .get(usize::from(class))
+                .is_some_and(|state| state.generation == generation)
+        };
+        match cache {
+            TransformCache::Exact(cache) => {
+                let entries = cache
+                    .store
+                    .recent_entries(top_k)
+                    .into_iter()
+                    .filter(|(key, _)| {
+                        key.tenant() == tenant && live(key.class(), key.generation())
+                    })
+                    .map(|(key, entry)| ExactSpillRecord {
+                        width: key.width(),
+                        height: key.height(),
+                        budget_band: key.budget_band(),
+                        class: key.class(),
+                        pixels: entry.pixels().to_vec(),
+                        outcome: outcome_record(&entry.outcome),
+                    })
+                    .collect();
+                Some(CacheRecord::Exact {
+                    band_width: cache.band_width,
+                    entries,
+                })
+            }
+            TransformCache::Approximate(cache) => {
+                let entries = cache
+                    .store
+                    .recent_entries(top_k)
+                    .into_iter()
+                    .filter(|(key, _)| {
+                        key.tenant() == tenant && live(key.class(), key.generation())
+                    })
+                    .map(|(key, transform)| ApproxSpillRecord {
+                        width: key.width(),
+                        height: key.height(),
+                        budget_band: key.budget_band(),
+                        class: key.class(),
+                        signature: *key.signature().bins(),
+                        target_min: transform.target.g_min(),
+                        target_max: transform.target.g_max(),
+                        beta: transform.beta,
+                        blend_weight: transform.blend_weight,
+                        points: transform
+                            .curve
+                            .points()
+                            .iter()
+                            .map(|p| (p.x, p.y))
+                            .collect(),
+                        lut: *transform.lut.entries(),
+                    })
+                    .collect();
+                Some(CacheRecord::Approximate {
+                    band_width: cache.band_width,
+                    resolution: cache.resolution,
+                    entries,
+                })
+            }
+        }
+    }
+
+    /// Restores warm-start state saved by [`Engine::snapshot_to_writer`]:
+    /// the characteristic bank re-enters through the validated
+    /// [`Engine::install_bank`] path (fresh generations, atomic swap) and
+    /// spilled cache entries re-enter through the normal insert path (the
+    /// tenant partition and byte budget are respected; entries that don't
+    /// fit this engine's cache mode are skipped, never errors).
+    ///
+    /// # Errors
+    ///
+    /// A corrupt, truncated or schema-mismatched snapshot returns
+    /// [`RuntimeError::Snapshot`] and bumps
+    /// [`EngineStats::snapshot_rejected`]; the engine keeps serving
+    /// exactly as before the call (cold-start degradation, never a panic
+    /// and never partially installed state).
+    pub fn restore_from_reader<R: Read>(&self, reader: &mut R) -> Result<RestoreReport> {
+        let _gate = lock_healthy(self.inner.snapshot_gate.lock(), || {
+            self.inner.totals.record_poison_recovery()
+        });
+        let mut bytes = Vec::new();
+        let restored = match reader.read_to_end(&mut bytes) {
+            Ok(_) => self.restore_locked(&bytes),
+            Err(err) => Err(SnapshotError::Io(err)),
+        };
+        restored.map_err(|err| {
+            self.inner.totals.record_snapshot_rejection();
+            RuntimeError::Snapshot(err)
+        })
+    }
+
+    /// The restore body, under the snapshot gate: decode → validate →
+    /// rebuild the bank → install → re-admit spilled cache entries.
+    fn restore_locked(&self, bytes: &[u8]) -> std::result::Result<RestoreReport, SnapshotError> {
+        let (record, cache_record) = snapshot::decode(bytes)?;
+        let state = self.inner.serving.as_ref().ok_or(SnapshotError::NoBank)?;
+        if record.fit != state.recharacterize.fit {
+            // A bank serialized under a different fit mode would predict
+            // differently than the canary that learned it; refuse rather
+            // than silently change the distortion contract.
+            return Err(SnapshotError::Malformed {
+                context: "bank fit",
+                reason: format!(
+                    "snapshot fit {:?} does not match the engine's configured {:?}",
+                    record.fit, state.recharacterize.fit
+                ),
+            });
+        }
+        if record.classes.len() > state.class_count() {
+            return Err(SnapshotError::Malformed {
+                context: "bank classes",
+                reason: format!(
+                    "{} classes exceed the engine's {} configured classes",
+                    record.classes.len(),
+                    state.class_count()
+                ),
+            });
+        }
+        let mut classes = Vec::with_capacity(record.classes.len());
+        for class in &record.classes {
+            let samples = class
+                .samples
+                .iter()
+                .map(|sample| CharacterizationSample {
+                    image: sample.image.clone(),
+                    dynamic_range: sample.dynamic_range,
+                    distortion: sample.distortion,
+                    power_saving: sample.power_saving,
+                })
+                .collect();
+            let characteristic =
+                DistortionCharacteristic::from_samples(samples).map_err(|err| {
+                    SnapshotError::Malformed {
+                        context: "class curve",
+                        reason: err.to_string(),
+                    }
+                })?;
+            classes.push(BankClass {
+                centroid: class.centroid,
+                characteristic: Arc::new(characteristic),
+                members: class.samples.len(),
+            });
+        }
+        let bank =
+            CharacteristicBank::from_classes(classes).map_err(|err| SnapshotError::Malformed {
+                context: "bank",
+                reason: err.to_string(),
+            })?;
+        // The restore-vs-serve race seam: a seeded interleaving schedule
+        // can force serves between the decode above and the swap below.
+        interleave::point("snapshot.restore");
+        let generation = state.install_bank(self.inner.policy.config(), &bank);
+        let installed = state.current().ok_or(SnapshotError::Malformed {
+            context: "bank install",
+            reason: "installed bank not visible after swap".to_string(),
+        })?;
+        let (cache_restored, cache_skipped) = match cache_record {
+            None => (0, 0),
+            Some(record) => self.restore_cache(record, &installed),
+        };
+        Ok(RestoreReport {
+            classes: installed.classes.len(),
+            generation,
+            cache_restored,
+            cache_skipped,
+        })
+    }
+
+    /// Re-admits spilled cache entries through the normal insert path,
+    /// re-keyed under this cache's own hash seed and the freshly installed
+    /// class generations. Returns `(restored, skipped)` — a mode or
+    /// band-width mismatch with this engine's cache skips entries rather
+    /// than failing the restore.
+    fn restore_cache(&self, record: CacheRecord, bank: &CurveBank) -> (usize, usize) {
+        let tenant = self.inner.tenant;
+        match (self.inner.cache.as_deref(), record) {
+            (
+                Some(TransformCache::Exact(cache)),
+                CacheRecord::Exact {
+                    band_width,
+                    entries,
+                },
+            ) => {
+                if band_width.to_bits() != cache.band_width.to_bits() {
+                    return (0, entries.len());
+                }
+                let mut restored = 0;
+                let mut skipped = 0;
+                for entry in entries {
+                    let Some(class) = bank.classes.get(usize::from(entry.class)) else {
+                        skipped += 1;
+                        continue;
+                    };
+                    let Ok(frame) = GrayImage::from_raw(entry.width, entry.height, entry.pixels)
+                    else {
+                        skipped += 1;
+                        continue;
+                    };
+                    let Some(outcome) = rebuild_outcome(entry.outcome) else {
+                        skipped += 1;
+                        continue;
+                    };
+                    // Stored content hashes are not portable (the hash seed
+                    // is random per cache instance); recompute under ours.
+                    let key = ExactKey::of(
+                        &frame,
+                        frame_hash128(&frame, cache.seed),
+                        entry.budget_band,
+                        tenant,
+                        entry.class,
+                        class.generation,
+                    );
+                    let value = ExactEntry::new(&frame, Arc::new(outcome));
+                    let weight = value.weight();
+                    cache.store.insert_for(tenant, key, value, weight);
+                    restored += 1;
+                }
+                (restored, skipped)
+            }
+            (
+                Some(TransformCache::Approximate(cache)),
+                CacheRecord::Approximate {
+                    band_width,
+                    resolution,
+                    entries,
+                },
+            ) => {
+                if band_width.to_bits() != cache.band_width.to_bits()
+                    || resolution != cache.resolution
+                {
+                    return (0, entries.len());
+                }
+                let mut restored = 0;
+                let mut skipped = 0;
+                for entry in entries {
+                    let Some(class) = bank.classes.get(usize::from(entry.class)) else {
+                        skipped += 1;
+                        continue;
+                    };
+                    let Some(transform) = rebuild_transform(self.inner.policy.config(), &entry)
+                    else {
+                        skipped += 1;
+                        continue;
+                    };
+                    let key = SignatureKey::from_parts(
+                        entry.width,
+                        entry.height,
+                        HistogramSignature::from_bins(entry.signature),
+                        entry.budget_band,
+                        tenant,
+                        entry.class,
+                        class.generation,
+                    );
+                    let weight = transform_bytes(&transform);
+                    cache
+                        .store
+                        .insert_for(tenant, key, Arc::new(transform), weight);
+                    restored += 1;
+                }
+                (restored, skipped)
+            }
+            // No cache, or the snapshot's mode differs from ours: the bank
+            // alone still warm-starts serving; the spill is simply dropped.
+            (_, CacheRecord::Exact { entries, .. }) => (0, entries.len()),
+            (_, CacheRecord::Approximate { entries, .. }) => (0, entries.len()),
+        }
     }
 
     /// Serves a single frame synchronously on the calling thread.
@@ -1415,6 +1805,73 @@ impl Engine {
             stream_pipeline(&self.inner, frames.into_iter(), |task| scope.spawn(task));
         ScopedFrameStream { core, handles }
     }
+}
+
+/// Flattens a cached outcome into its serializable snapshot record.
+fn outcome_record(outcome: &ScalingOutcome) -> OutcomeRecord {
+    OutcomeRecord {
+        policy: outcome.policy.clone(),
+        beta: outcome.beta,
+        dynamic_range: outcome.dynamic_range,
+        distortion: outcome.distortion,
+        power: [
+            outcome.power.ccfl,
+            outcome.power.panel,
+            outcome.power.controller,
+            outcome.power.beta,
+        ],
+        power_saving: outcome.power_saving,
+        lut: *outcome.lut.entries(),
+        displayed_width: outcome.displayed.width(),
+        displayed_height: outcome.displayed.height(),
+        displayed: outcome.displayed.as_raw().to_vec(),
+        fit_evaluations: outcome.fit_evaluations,
+    }
+}
+
+/// Rebuilds a [`ScalingOutcome`] from its spilled record; `None` when the
+/// record's displayed frame is inconsistent (the entry is then skipped).
+fn rebuild_outcome(record: OutcomeRecord) -> Option<ScalingOutcome> {
+    let displayed = GrayImage::from_raw(
+        record.displayed_width,
+        record.displayed_height,
+        record.displayed,
+    )
+    .ok()?;
+    Some(ScalingOutcome {
+        policy: record.policy,
+        beta: record.beta,
+        dynamic_range: record.dynamic_range,
+        distortion: record.distortion,
+        power: PowerBreakdown {
+            ccfl: record.power[0],
+            panel: record.power[1],
+            controller: record.power[2],
+            beta: record.power[3],
+        },
+        power_saving: record.power_saving,
+        lut: LookupTable::from_entries(record.lut),
+        displayed,
+        fit_evaluations: record.fit_evaluations,
+    })
+}
+
+/// Rebuilds a [`FrameTransform`] from its spilled parts, recomposing the
+/// fused display response through the pipeline's subsystem model; `None`
+/// when any part is rejected by its validated constructor.
+fn rebuild_transform(
+    config: &hebs_core::PipelineConfig,
+    record: &ApproxSpillRecord,
+) -> Option<FrameTransform> {
+    let target = TargetRange::new(record.target_min, record.target_max).ok()?;
+    let points = record
+        .points
+        .iter()
+        .map(|&(x, y)| ControlPoint::new(x, y))
+        .collect();
+    let curve = PiecewiseLinear::new(points).ok()?;
+    let lut = LookupTable::from_entries(record.lut);
+    FrameTransform::from_parts(config, target, record.beta, record.blend_weight, curve, lut).ok()
 }
 
 /// Validates a cache configuration, shared between [`Engine::new`] and the
@@ -2449,6 +2906,194 @@ mod tests {
         assert_eq!(engine.characteristic_generation(), 0);
         assert_eq!(engine.characteristic_classes(), 0);
         assert!(engine.characteristic().is_none());
+    }
+
+    /// Warm-start snapshot pins: round trips preserve the bank (classes,
+    /// generations, first-miss cost), corrupt or mismatched bytes are a
+    /// typed rejection that leaves the engine serving cold, and spilled
+    /// cache entries re-enter through the normal insert path.
+    mod snapshots {
+        use super::*;
+        use crate::{RecharacterizePolicy, ServingMode, SnapshotError};
+
+        fn open_loop_engine(classes: usize, cache: Option<CacheConfig>) -> Engine {
+            open_loop_engine_with_fit(classes, cache, hebs_core::CurveFit::default())
+        }
+
+        fn open_loop_engine_with_fit(
+            classes: usize,
+            cache: Option<CacheConfig>,
+            fit: hebs_core::CurveFit,
+        ) -> Engine {
+            Engine::new(
+                HebsPolicy::closed_loop(PipelineConfig::default()),
+                EngineConfig {
+                    workers: 1,
+                    cache,
+                    mode: ServingMode::OpenLoop {
+                        recharacterize: RecharacterizePolicy {
+                            classes,
+                            fit,
+                            ..RecharacterizePolicy::default()
+                        },
+                    },
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap()
+        }
+
+        fn snapshot_bytes(engine: &Engine) -> Vec<u8> {
+            let mut bytes = Vec::new();
+            engine.snapshot_to_writer(&mut bytes).unwrap();
+            bytes
+        }
+
+        #[test]
+        fn snapshot_requires_an_installed_bank() {
+            // A closed-loop engine has no characteristic bank at all...
+            let closed = engine(EngineConfig::default());
+            assert!(matches!(
+                closed.snapshot_to_writer(&mut Vec::new()),
+                Err(RuntimeError::Snapshot(SnapshotError::NoBank))
+            ));
+            // ...and an open-loop engine that has not characterized yet has
+            // nothing worth shipping either.
+            let cold = open_loop_engine(2, None);
+            assert!(matches!(
+                cold.snapshot_to_writer(&mut Vec::new()),
+                Err(RuntimeError::Snapshot(SnapshotError::NoBank))
+            ));
+        }
+
+        #[test]
+        fn round_trip_restores_classes_and_generations() {
+            let canary = open_loop_engine(2, None);
+            canary.install_bank(two_class_bank()).unwrap();
+            let bytes = snapshot_bytes(&canary);
+
+            let fleet = open_loop_engine(2, None);
+            let report = fleet.restore_from_reader(&mut &bytes[..]).unwrap();
+            assert_eq!(report.classes, 2);
+            assert_eq!(report.cache_restored, 0);
+            assert_eq!(fleet.characteristic_classes(), 2);
+            assert_eq!(
+                fleet.characteristic_generation(),
+                canary.characteristic_generation(),
+                "a fresh restore replays the canary's install order"
+            );
+            assert_eq!(fleet.stats().snapshot_rejected, 0);
+
+            // The restored bank serves immediately at the open-loop cost:
+            // the first miss is one characteristic evaluation, with no
+            // bootstrap recharacterization.
+            fleet
+                .process_frame(&synthetic::portrait(32, 32, 9))
+                .unwrap();
+            let stats = fleet.stats();
+            assert_eq!(stats.fit_evaluations, 1, "warm first miss is one eval");
+            assert_eq!(stats.recharacterizations, 0);
+        }
+
+        #[test]
+        fn corrupt_snapshots_are_rejected_and_leave_the_engine_cold() {
+            let canary = open_loop_engine(2, None);
+            canary.install_bank(two_class_bank()).unwrap();
+            let mut bytes = snapshot_bytes(&canary);
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x20;
+
+            let fleet = open_loop_engine(2, None);
+            assert!(matches!(
+                fleet.restore_from_reader(&mut &bytes[..]),
+                Err(RuntimeError::Snapshot(SnapshotError::ChecksumMismatch))
+            ));
+            assert_eq!(fleet.stats().snapshot_rejected, 1);
+            assert_eq!(fleet.characteristic_classes(), 0, "no partial install");
+
+            // Cold-start degradation: the engine still serves through the
+            // closed-loop fallback, it just pays the cold (multi-eval) fit
+            // cost instead of the warm single-eval lookup.
+            let result = fleet
+                .process_frame(&synthetic::portrait(32, 32, 9))
+                .unwrap();
+            assert!(result.outcome.power_saving >= 0.0);
+            assert!(
+                fleet.stats().fit_evaluations > 1,
+                "a cold serve pays the full closed-loop fit"
+            );
+        }
+
+        #[test]
+        fn fit_mode_mismatch_is_refused() {
+            // Restoring an Average-fit bank into a WorstCase engine would
+            // silently weaken the distortion guarantee; the restore must be
+            // a typed rejection instead.
+            let canary = open_loop_engine_with_fit(2, None, hebs_core::CurveFit::Average);
+            canary.install_bank(two_class_bank()).unwrap();
+            let bytes = snapshot_bytes(&canary);
+
+            let fleet = open_loop_engine(2, None);
+            assert!(matches!(
+                fleet.restore_from_reader(&mut &bytes[..]),
+                Err(RuntimeError::Snapshot(SnapshotError::Malformed { .. }))
+            ));
+            assert_eq!(fleet.stats().snapshot_rejected, 1);
+            assert_eq!(fleet.characteristic_classes(), 0);
+        }
+
+        #[test]
+        fn oversized_banks_are_refused_by_narrow_engines() {
+            let canary = open_loop_engine(2, None);
+            canary.install_bank(two_class_bank()).unwrap();
+            let bytes = snapshot_bytes(&canary);
+
+            let narrow = open_loop_engine(1, None);
+            assert!(matches!(
+                narrow.restore_from_reader(&mut &bytes[..]),
+                Err(RuntimeError::Snapshot(SnapshotError::Malformed { .. }))
+            ));
+            assert_eq!(narrow.stats().snapshot_rejected, 1);
+        }
+
+        #[test]
+        fn spilled_exact_entries_replay_as_hits_after_restore() {
+            let canary = open_loop_engine(2, Some(CacheConfig::exact()));
+            canary.install_bank(two_class_bank()).unwrap();
+            let frame = synthetic::portrait(32, 32, 5);
+            canary.process_frame(&frame).unwrap();
+            let bytes = snapshot_bytes(&canary);
+
+            let fleet = open_loop_engine(2, Some(CacheConfig::exact()));
+            let report = fleet.restore_from_reader(&mut &bytes[..]).unwrap();
+            assert_eq!(report.cache_restored, 1);
+            assert_eq!(report.cache_skipped, 0);
+
+            // The spilled entry was re-keyed under the fleet engine's own
+            // hash seed and generations: the same frame replays bit-exact
+            // with zero fit work.
+            let replay = fleet.process_frame(&frame).unwrap();
+            assert!(replay.cache_hit, "restored entry must serve as a hit");
+            assert_eq!(fleet.stats().fit_evaluations, 0);
+        }
+
+        #[test]
+        fn cache_spill_is_skipped_when_the_cache_shape_differs() {
+            let canary = open_loop_engine(2, Some(CacheConfig::exact()));
+            canary.install_bank(two_class_bank()).unwrap();
+            canary
+                .process_frame(&synthetic::portrait(32, 32, 5))
+                .unwrap();
+            let bytes = snapshot_bytes(&canary);
+
+            // An approximate-cache engine cannot adopt exact entries; the
+            // bank still restores and the spill is counted as skipped.
+            let fleet = open_loop_engine(2, Some(CacheConfig::approximate()));
+            let report = fleet.restore_from_reader(&mut &bytes[..]).unwrap();
+            assert_eq!(report.classes, 2);
+            assert_eq!(report.cache_restored, 0);
+            assert_eq!(report.cache_skipped, 1);
+        }
     }
 
     /// Pixel-traversal pins for the fused serve path. The counter in

@@ -4,6 +4,8 @@ use std::fmt;
 
 use hebs_core::HebsError;
 
+use crate::snapshot::SnapshotError;
+
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, RuntimeError>;
 
@@ -60,6 +62,10 @@ pub enum RuntimeError {
         /// The unknown numeric tenant id.
         tenant: u16,
     },
+    /// A characteristic snapshot could not be saved or restored (see
+    /// [`SnapshotError`]). On restore the engine keeps serving cold — a
+    /// rejected snapshot never corrupts installed state.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -93,6 +99,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::UnknownTenant { tenant } => {
                 write!(f, "tenant {tenant} is not registered")
             }
+            RuntimeError::Snapshot(err) => write!(f, "snapshot error: {err}"),
         }
     }
 }
@@ -101,6 +108,7 @@ impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RuntimeError::Core(err) => Some(err),
+            RuntimeError::Snapshot(err) => Some(err),
             _ => None,
         }
     }
@@ -109,6 +117,12 @@ impl std::error::Error for RuntimeError {
 impl From<HebsError> for RuntimeError {
     fn from(err: HebsError) -> Self {
         RuntimeError::Core(err)
+    }
+}
+
+impl From<SnapshotError> for RuntimeError {
+    fn from(err: SnapshotError) -> Self {
+        RuntimeError::Snapshot(err)
     }
 }
 

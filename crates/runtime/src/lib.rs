@@ -68,6 +68,7 @@ mod cache;
 mod engine;
 mod error;
 mod serving;
+mod snapshot;
 mod stats;
 mod tenant;
 
@@ -81,6 +82,10 @@ pub use engine::{
 };
 pub use error::{Result, RuntimeError};
 pub use serving::{RecharacterizePolicy, ServingMode};
+pub use snapshot::{
+    RestoreReport, SnapshotError, REGISTRY_MAGIC, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
+    SNAPSHOT_SCHEMA_VERSION,
+};
 pub use stats::EngineStats;
 pub use tenant::{AdmissionPermit, ShedPolicy, TenantId, TenantRegistry, TenantSpec};
 

@@ -264,6 +264,13 @@ impl CurveBank {
     pub(crate) fn max_generation(&self) -> u64 {
         self.classes.iter().map(|c| c.generation).max().unwrap_or(0)
     }
+
+    /// The installed cluster centroids (empty for a single-class bank);
+    /// what a snapshot persists so a restored bank routes frames
+    /// identically.
+    pub(crate) fn centroids(&self) -> &[[f64; SIGNATURE_BINS]] {
+        &self.centroids
+    }
 }
 
 /// Per-class rebuild trigger counters.

@@ -42,6 +42,7 @@ pub(crate) struct StatsCollector {
     deadline_degraded: AtomicU64,
     sheds: AtomicU64,
     poison_recoveries: AtomicU64,
+    snapshot_rejected: AtomicU64,
     busy_nanos: AtomicU64,
 }
 
@@ -105,6 +106,13 @@ impl StatsCollector {
         self.poison_recoveries.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
     }
 
+    /// Records one rejected snapshot restore: a corrupt or
+    /// schema-mismatched snapshot was refused with a typed error and the
+    /// engine stayed cold instead of installing partial state.
+    pub(crate) fn record_snapshot_rejection(&self) {
+        self.snapshot_rejected.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, nothing published
+    }
+
     /// Snapshots the cumulative counters. `cache_bytes` and `queue_depth`
     /// are point-in-time quantities owned by the cache and the admission
     /// controller, so the engine (or registry) fills them in afterwards —
@@ -124,6 +132,7 @@ impl StatsCollector {
             deadline_degraded: self.deadline_degraded.load(Ordering::Relaxed), // ordering: advisory snapshot
             sheds: self.sheds.load(Ordering::Relaxed), // ordering: advisory snapshot
             poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed), // ordering: advisory snapshot
+            snapshot_rejected: self.snapshot_rejected.load(Ordering::Relaxed), // ordering: advisory snapshot
             queue_depth: 0,
             busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)), // ordering: advisory snapshot
         }
@@ -187,6 +196,13 @@ pub struct EngineStats {
     /// of cascading the panic through the worker pool. Always 0 unless a
     /// worker panicked mid-serve.
     pub poison_recoveries: u64,
+    /// Characteristic snapshots refused on restore: corrupt, truncated or
+    /// schema-mismatched snapshot files that were rejected with a typed
+    /// [`SnapshotError`](crate::SnapshotError) while the engine kept
+    /// serving cold. Always 0 unless
+    /// [`Engine::restore_from_reader`](crate::Engine::restore_from_reader)
+    /// was handed a bad snapshot.
+    pub snapshot_rejected: u64,
     /// Admitted frames currently queued or in service when the snapshot
     /// was taken (0 outside multi-tenant serving, where nothing bounds
     /// admission).
@@ -342,6 +358,7 @@ mod tests {
         assert_eq!(stats.deadline_degraded, 0);
         assert_eq!(stats.sheds, 0);
         assert_eq!(stats.poison_recoveries, 0);
+        assert_eq!(stats.snapshot_rejected, 0);
         assert_eq!(stats.queue_depth, 0);
     }
 }

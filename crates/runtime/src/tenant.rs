@@ -26,6 +26,7 @@
 //!   [`ServeOptions::deadline`]).
 
 use std::fmt;
+use std::io::{Read, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -36,6 +37,9 @@ use crate::cache::{CacheConfig, TransformCache};
 use crate::engine::{validate_cache_config, Engine, EngineConfig, FrameResult, ServeOptions};
 use crate::error::{Result, RuntimeError};
 use crate::serving::ServingMode;
+use crate::snapshot::{
+    ByteReader, ByteWriter, RestoreReport, SnapshotError, REGISTRY_MAGIC, SNAPSHOT_FORMAT_VERSION,
+};
 use crate::stats::EngineStats;
 
 /// Identifies one tenant of a [`TenantRegistry`]. Ids are assigned by the
@@ -534,6 +538,120 @@ impl TenantRegistry {
             .map_or(0, |cache| cache.tenant_bytes(tenant.raw())))
     }
 
+    /// Saves every tenant's warm-start snapshot into one container: the
+    /// canary side of fleet bank distribution. Each tenant record carries
+    /// the tenant's *name* and its engine's self-checking snapshot (see
+    /// [`Engine::snapshot_to_writer`]); a tenant whose engine has nothing
+    /// learned yet (closed-loop, or open-loop before characterization) is
+    /// recorded as absent rather than failing the save.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Snapshot`] with [`SnapshotError::Io`] when
+    /// `writer` fails.
+    pub fn snapshot_all_to_writer<W: Write>(&self, writer: &mut W) -> Result<()> {
+        let mut w = ByteWriter::new();
+        w.raw(&REGISTRY_MAGIC);
+        w.u16(SNAPSHOT_FORMAT_VERSION);
+        w.u32(self.tenants.len() as u32);
+        for state in &self.tenants {
+            w.str16(&state.name);
+            let mut blob = Vec::new();
+            match state.engine.snapshot_to_writer(&mut blob) {
+                Ok(()) => {
+                    w.u8(1);
+                    w.u64(blob.len() as u64);
+                    w.raw(&blob);
+                }
+                Err(RuntimeError::Snapshot(SnapshotError::NoBank)) => w.u8(0),
+                Err(err) => return Err(err),
+            }
+        }
+        writer
+            .write_all(&w.into_bytes())
+            .map_err(|err| RuntimeError::Snapshot(SnapshotError::Io(err)))
+    }
+
+    /// Restores a fleet-distribution container saved by
+    /// [`TenantRegistry::snapshot_all_to_writer`]: tenants are matched *by
+    /// name*, each matched engine restores through
+    /// [`Engine::restore_from_reader`], and the per-tenant reports of the
+    /// tenants that restored are returned in container order.
+    ///
+    /// Degradations are per tenant, never fleet-wide: an unknown name
+    /// (renamed or removed tenant), an absent record, or a tenant blob the
+    /// engine rejects (counted in that tenant's
+    /// [`EngineStats::snapshot_rejected`]) is skipped and every other
+    /// tenant still restores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Snapshot`] when the container itself is
+    /// unreadable — bad magic, newer format version, or truncated framing.
+    pub fn restore_all_from_reader<R: Read>(
+        &self,
+        reader: &mut R,
+    ) -> Result<Vec<(TenantId, RestoreReport)>> {
+        let mut bytes = Vec::new();
+        reader
+            .read_to_end(&mut bytes)
+            .map_err(|err| RuntimeError::Snapshot(SnapshotError::Io(err)))?;
+        self.restore_all(&bytes).map_err(RuntimeError::Snapshot)
+    }
+
+    fn restore_all(
+        &self,
+        bytes: &[u8],
+    ) -> std::result::Result<Vec<(TenantId, RestoreReport)>, SnapshotError> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(8, "registry magic")? != REGISTRY_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u16("registry version")?;
+        if version > SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            });
+        }
+        let count = r.u32("registry tenant count")? as usize;
+        if count > usize::from(u16::MAX) {
+            return Err(SnapshotError::Malformed {
+                context: "registry tenant count",
+                reason: format!("{count} exceeds the tenant id space"),
+            });
+        }
+        let mut restored = Vec::new();
+        for _ in 0..count {
+            let name = r.str16("registry tenant name")?;
+            match r.u8("registry tenant flag")? {
+                0 => continue,
+                1 => {}
+                other => {
+                    return Err(SnapshotError::Malformed {
+                        context: "registry tenant flag",
+                        reason: format!("unknown flag {other}"),
+                    })
+                }
+            }
+            let len = r.u64("registry blob length")? as usize;
+            let blob = r.take(len, "registry blob")?;
+            let Some(id) = self.id_of(&name) else {
+                continue;
+            };
+            let Ok(state) = self.state(id) else {
+                continue;
+            };
+            // A rejected tenant blob degrades that tenant to cold start
+            // (the engine counts the rejection); the rest of the fleet
+            // restore proceeds.
+            if let Ok(report) = state.engine.restore_from_reader(&mut &blob[..]) {
+                restored.push((id, report));
+            }
+        }
+        Ok(restored)
+    }
+
     fn state(&self, tenant: TenantId) -> Result<&TenantState> {
         self.tenants
             .get(tenant.index())
@@ -785,5 +903,103 @@ mod tests {
         assert_send_sync::<ShedPolicy>();
         assert_send_sync::<TenantSpec>();
         assert_send_sync::<TenantId>();
+    }
+
+    fn synthetic_curve() -> hebs_core::DistortionCharacteristic {
+        let samples: Vec<hebs_core::CharacterizationSample> = (1..=5)
+            .map(|i| hebs_core::CharacterizationSample {
+                image: format!("s{i}"),
+                dynamic_range: 50 * i,
+                distortion: 0.3 - 0.05 * f64::from(i),
+                power_saving: 0.4,
+            })
+            .collect();
+        hebs_core::DistortionCharacteristic::from_samples(samples).unwrap()
+    }
+
+    /// A mixed fleet: one warm-startable open-loop tenant alongside a
+    /// closed-loop one that has nothing to snapshot.
+    fn mixed_registry() -> TenantRegistry {
+        TenantRegistry::builder()
+            .tenant(
+                closed_loop(),
+                TenantSpec::named("edge").with_mode(crate::ServingMode::OpenLoop {
+                    recharacterize: crate::RecharacterizePolicy::default(),
+                }),
+            )
+            .tenant(closed_loop(), TenantSpec::named("batch"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn registry_snapshots_round_trip_by_tenant_name() {
+        let canary = mixed_registry();
+        let edge = canary.id_of("edge").unwrap();
+        canary
+            .engine(edge)
+            .unwrap()
+            .install_characteristic(synthetic_curve())
+            .unwrap();
+
+        let mut bytes = Vec::new();
+        canary.snapshot_all_to_writer(&mut bytes).unwrap();
+
+        // Restore matches tenants by name, not index: only the open-loop
+        // tenant had a bank, and only it reports a restore.
+        let fleet = mixed_registry();
+        let restored = fleet.restore_all_from_reader(&mut &bytes[..]).unwrap();
+        let fleet_edge = fleet.id_of("edge").unwrap();
+        assert_eq!(restored.len(), 1);
+        assert_eq!(restored[0].0, fleet_edge);
+        assert_eq!(restored[0].1.classes, 1);
+        assert_eq!(
+            fleet
+                .engine(fleet_edge)
+                .unwrap()
+                .characteristic_generation(),
+            canary.engine(edge).unwrap().characteristic_generation()
+        );
+        // The closed-loop tenant is untouched.
+        let batch = fleet.id_of("batch").unwrap();
+        assert_eq!(fleet.stats(batch).unwrap().snapshot_rejected, 0);
+    }
+
+    #[test]
+    fn registry_restores_skip_unknown_names_and_reject_corrupt_containers() {
+        let canary = mixed_registry();
+        let edge = canary.id_of("edge").unwrap();
+        canary
+            .engine(edge)
+            .unwrap()
+            .install_characteristic(synthetic_curve())
+            .unwrap();
+        let mut bytes = Vec::new();
+        canary.snapshot_all_to_writer(&mut bytes).unwrap();
+
+        // A fleet node without the "edge" tenant skips that record instead
+        // of misrouting the bank into a different tenant.
+        let renamed = TenantRegistry::builder()
+            .tenant(
+                closed_loop(),
+                TenantSpec::named("other").with_mode(crate::ServingMode::OpenLoop {
+                    recharacterize: crate::RecharacterizePolicy::default(),
+                }),
+            )
+            .tenant(closed_loop(), TenantSpec::named("batch"))
+            .build()
+            .unwrap();
+        let restored = renamed.restore_all_from_reader(&mut &bytes[..]).unwrap();
+        assert!(restored.is_empty());
+        let other = renamed.id_of("other").unwrap();
+        assert_eq!(renamed.engine(other).unwrap().characteristic_classes(), 0);
+
+        // Container-level corruption is a typed error, not a panic.
+        bytes[0] ^= 0xFF;
+        let fleet = mixed_registry();
+        assert!(matches!(
+            fleet.restore_all_from_reader(&mut &bytes[..]),
+            Err(RuntimeError::Snapshot(crate::SnapshotError::BadMagic))
+        ));
     }
 }

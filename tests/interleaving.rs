@@ -150,6 +150,97 @@ fn weighted_shed_accounting_holds_under_seeded_schedules() {
     });
 }
 
+/// A snapshot restore racing live serves must be atomic under every
+/// seeded schedule of the `snapshot.restore` point (which sits between
+/// the decode and the bank swap): every concurrent serve sees either the
+/// old state (cold closed-loop) or the fully installed bank — never a
+/// partial install — and the post-race engine serves warm.
+#[test]
+fn snapshot_restore_racing_serves_holds_under_seeded_schedules() {
+    use hebs::core::{CharacteristicBank, CurveFit, HebsPolicy, PipelineConfig, DEFAULT_RANGES};
+    use hebs::imaging::Histogram;
+    use hebs::quality::GlobalUiqiDistortion;
+    use hebs::runtime::{RecharacterizePolicy, ServingMode};
+
+    let pipeline = PipelineConfig::default().with_measure(GlobalUiqiDistortion);
+    let open_loop = |classes: usize| {
+        Engine::new(
+            HebsPolicy::closed_loop(pipeline.clone()),
+            EngineConfig {
+                workers: 2,
+                cache: Some(CacheConfig::exact()),
+                mode: ServingMode::OpenLoop {
+                    recharacterize: RecharacterizePolicy {
+                        interval: None,
+                        drift_limit: None,
+                        fit: CurveFit::Envelope,
+                        classes,
+                        ..RecharacterizePolicy::default()
+                    },
+                },
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap()
+    };
+
+    // One canary snapshot, reused by every seeded replay.
+    let canary = open_loop(2);
+    let suite: Vec<GrayImage> = SipiSuite::with_size(32)
+        .iter()
+        .map(|(_, img)| img.clone())
+        .collect();
+    let histograms: Vec<Histogram> = suite.iter().map(Histogram::of).collect();
+    let bank = CharacteristicBank::build(&pipeline, &histograms, &DEFAULT_RANGES, 2).unwrap();
+    canary.install_bank(bank).unwrap();
+    let mut snapshot = Vec::new();
+    canary.snapshot_to_writer(&mut snapshot).unwrap();
+
+    replay_seeds(|seed| {
+        let engine = open_loop(2);
+        let serves = 6usize;
+        let barrier = std::sync::Barrier::new(serves + 1);
+        std::thread::scope(|scope| {
+            for frame in suite.iter().take(serves) {
+                let engine = engine.clone();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    engine.process_frame(frame).unwrap()
+                });
+            }
+            let restorer = engine.clone();
+            let bytes = &snapshot;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let report = restorer.restore_from_reader(&mut &bytes[..]).unwrap();
+                assert_eq!(report.classes, 2, "seed {seed}");
+            });
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.frames, serves as u64, "seed {seed}");
+        assert_eq!(stats.snapshot_rejected, 0, "seed {seed}");
+        assert_eq!(stats.poison_recoveries, 0, "seed {seed}");
+        assert_eq!(
+            engine.characteristic_classes(),
+            2,
+            "seed {seed}: the restored bank must be fully installed"
+        );
+        // Whatever the race produced, the settled engine serves warm: a
+        // fresh miss costs exactly one characteristic evaluation.
+        let before = engine.stats().fit_evaluations;
+        let fresh = suite_frame(48);
+        let result = engine.process_frame(&fresh).unwrap();
+        assert!(!result.cache_hit, "seed {seed}");
+        assert_eq!(
+            engine.stats().fit_evaluations - before,
+            1,
+            "seed {seed}: post-restore serves must be open-loop"
+        );
+    });
+}
+
 /// Open-loop serving with concurrent traffic must keep its generation
 /// bookkeeping coherent under seeded schedules of the `openloop.swap` /
 /// `openloop.begin_rebuild` points: every served frame respects the

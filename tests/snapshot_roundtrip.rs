@@ -1,0 +1,158 @@
+//! Snapshot round-trip properties at the workspace level: a restored
+//! engine is *indistinguishable* from the canary it was saved from —
+//! identical serve outcomes across bank sizes and budgets — and every
+//! corrupted byte stream degrades to cold-start with a typed error.
+
+use hebs::core::{CharacteristicBank, CurveFit, HebsPolicy, PipelineConfig, DEFAULT_RANGES};
+use hebs::imaging::{GrayImage, Histogram, SipiSuite};
+use hebs::quality::GlobalUiqiDistortion;
+use hebs::runtime::{
+    CacheConfig, Engine, EngineConfig, RecharacterizePolicy, RuntimeError, ServingMode,
+};
+
+/// The histogram-capable pipeline open-loop serving characterizes with.
+fn pipeline() -> PipelineConfig {
+    PipelineConfig::default().with_measure(GlobalUiqiDistortion)
+}
+
+/// A single-worker open-loop engine that only serves what it is given:
+/// no periodic or drift-triggered recharacterization, so any behavioural
+/// difference between canary and restoree comes from the snapshot alone.
+fn engine(budget: f64, classes: usize, cache: Option<CacheConfig>) -> Engine {
+    Engine::new(
+        HebsPolicy::closed_loop(pipeline()),
+        EngineConfig {
+            workers: 1,
+            max_distortion: budget,
+            cache,
+            mode: ServingMode::OpenLoop {
+                recharacterize: RecharacterizePolicy {
+                    interval: None,
+                    drift_limit: None,
+                    fit: CurveFit::Envelope,
+                    classes,
+                    ..RecharacterizePolicy::default()
+                },
+            },
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn frames(size: u32) -> Vec<GrayImage> {
+    SipiSuite::with_size(size)
+        .iter()
+        .map(|(_, img)| img.clone())
+        .collect()
+}
+
+fn characterized(budget: f64, classes: usize, cache: Option<CacheConfig>) -> Engine {
+    let canary = engine(budget, classes, cache);
+    let histograms: Vec<Histogram> = frames(32).iter().map(Histogram::of).collect();
+    let bank = CharacteristicBank::build(&pipeline(), &histograms, &DEFAULT_RANGES, classes)
+        .expect("bank characterization");
+    canary.install_bank(bank).expect("bank install");
+    canary
+}
+
+fn snapshot(engine: &Engine) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    engine.snapshot_to_writer(&mut bytes).expect("snapshot");
+    bytes
+}
+
+/// Across bank sizes and budgets, a restored engine must reproduce the
+/// canary's serve outcomes *exactly* — same backlight factor, saving and
+/// distortion on every frame — and replay its install generations.
+#[test]
+fn restored_engines_serve_identically_to_their_canary() {
+    for classes in [1, 2, 3] {
+        for budget in [0.05, 0.10, 0.20] {
+            // No cache on either side: every serve goes through the bank,
+            // so equality below is curve-prediction equality, not cache
+            // replay.
+            let canary = characterized(budget, classes, None);
+            let bytes = snapshot(&canary);
+
+            let fleet = engine(budget, classes, None);
+            let report = fleet.restore_from_reader(&mut &bytes[..]).unwrap();
+            assert_eq!(report.classes, classes, "classes={classes} budget={budget}");
+            assert_eq!(
+                fleet.characteristic_generation(),
+                canary.characteristic_generation(),
+                "a fresh restore replays the canary's install order"
+            );
+
+            // Day-2 traffic the canary never characterized on.
+            for (index, frame) in frames(48).iter().enumerate() {
+                let canary_result = canary.process_frame(frame).unwrap();
+                let fleet_result = fleet.process_frame(frame).unwrap();
+                let label = format!("classes={classes} budget={budget} frame={index}");
+                assert_eq!(
+                    canary_result.outcome.beta.to_bits(),
+                    fleet_result.outcome.beta.to_bits(),
+                    "beta diverged: {label}"
+                );
+                assert_eq!(
+                    canary_result.outcome.power_saving.to_bits(),
+                    fleet_result.outcome.power_saving.to_bits(),
+                    "saving diverged: {label}"
+                );
+                assert_eq!(
+                    canary_result.outcome.distortion.to_bits(),
+                    fleet_result.outcome.distortion.to_bits(),
+                    "distortion diverged: {label}"
+                );
+            }
+            assert_eq!(
+                canary.stats().fit_evaluations,
+                fleet.stats().fit_evaluations,
+                "the restored bank must cost what the canary's does"
+            );
+        }
+    }
+}
+
+/// Every corrupted variant of a valid snapshot — truncated anywhere,
+/// bit-flipped anywhere — is rejected with a typed snapshot error, bumps
+/// the rejection counter, and leaves the engine serving (cold, not
+/// wedged).
+#[test]
+fn corrupted_snapshots_degrade_to_cold_start_not_panic() {
+    let canary = characterized(0.10, 2, Some(CacheConfig::exact()));
+    for frame in frames(32).iter().take(4) {
+        canary.process_frame(frame).unwrap();
+    }
+    let bytes = snapshot(&canary);
+
+    let mut corruptions: Vec<(String, Vec<u8>)> = Vec::new();
+    for cut in [0, 3, bytes.len() / 2, bytes.len() - 1] {
+        corruptions.push((format!("truncated to {cut}"), bytes[..cut].to_vec()));
+    }
+    for offset in (0..bytes.len()).step_by((bytes.len() / 8).max(1)) {
+        let mut mutated = bytes.clone();
+        mutated[offset] ^= 0x40;
+        corruptions.push((format!("bit-flipped at {offset}"), mutated));
+    }
+
+    for (label, corrupt) in corruptions {
+        let fleet = engine(0.10, 2, Some(CacheConfig::exact()));
+        let err = fleet
+            .restore_from_reader(&mut &corrupt[..])
+            .expect_err(&format!("{label}: corrupt snapshot must not restore"));
+        assert!(
+            matches!(err, RuntimeError::Snapshot(_)),
+            "{label}: expected a typed snapshot error, got {err}"
+        );
+        assert_eq!(fleet.stats().snapshot_rejected, 1, "{label}");
+        assert_eq!(
+            fleet.characteristic_classes(),
+            0,
+            "{label}: no partial bank may be installed"
+        );
+        // Cold-start degradation: the engine still serves closed-loop.
+        let result = fleet.process_frame(&frames(32)[0]).unwrap();
+        assert!(result.outcome.power_saving >= 0.0, "{label}");
+    }
+}
