@@ -1,18 +1,27 @@
 //! The serve-path lint binary: `cargo run -p hebs-analysis --bin lint`.
 //!
 //! With no arguments, scans the whole workspace (every `.rs` under
-//! `crates/*/src` and the facade's `src/`) and exits nonzero if any rule
-//! fires. With `--fixture <file>` (repeatable), scans each file as a lint
-//! self-test fixture — every rule armed — which is how the fixture tests
-//! drive the binary.
+//! `crates/*/src` and the facade's `src/`, plus the interleaving replay
+//! manifest) and exits nonzero if any rule fires. With `--fixture <file>`
+//! (repeatable), scans each file as a lint self-test fixture — every rule
+//! armed — which is how the fixture tests drive the binary.
+//!
+//! `--json <path>` additionally writes the findings as a machine-readable
+//! report (the CI `analysis` job uploads it as an artifact, mirroring the
+//! bench JSON flow). `--budget-seconds <n>` fails the run when the scan
+//! itself exceeds the wall-clock budget, so the analyzer can't quietly
+//! become the slowest job in CI.
 
 use hebs_analysis::lint;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fixtures: Vec<PathBuf> = Vec::new();
+    let mut json_path: Option<PathBuf> = None;
+    let mut budget_seconds: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -23,14 +32,31 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => match iter.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("lint: --json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--budget-seconds" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(seconds) => budget_seconds = Some(seconds),
+                None => {
+                    eprintln!("lint: --budget-seconds requires an integer");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("lint: unknown argument `{other}`");
-                eprintln!("usage: lint [--fixture <file>]...");
+                eprintln!(
+                    "usage: lint [--fixture <file>]... [--json <path>] [--budget-seconds <n>]"
+                );
                 return ExitCode::from(2);
             }
         }
     }
 
+    let started = Instant::now();
     let result = if fixtures.is_empty() {
         // The binary lives at crates/analysis; the workspace root is two
         // directories up, independent of the invocation directory.
@@ -41,7 +67,7 @@ fn main() -> ExitCode {
         match root {
             Some(root) => lint::scan_workspace(&root).map(|(scanned, findings)| {
                 println!("lint: scanned {scanned} files under {}", root.display());
-                findings
+                (scanned, findings)
             }),
             None => {
                 eprintln!("lint: cannot locate the workspace root");
@@ -49,27 +75,54 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        fixtures.iter().try_fold(Vec::new(), |mut all, path| {
-            all.extend(lint::scan_fixture(path)?);
-            Ok(all)
-        })
+        fixtures
+            .iter()
+            .try_fold(Vec::new(), |mut all, path| {
+                all.extend(lint::scan_fixture(path)?);
+                Ok(all)
+            })
+            .map(|findings| (fixtures.len(), findings))
     };
 
-    match result {
-        Ok(findings) if findings.is_empty() => {
-            println!("lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for finding in &findings {
-                println!("{finding}");
-            }
-            println!("lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
-        }
+    let (scanned, findings) = match result {
+        Ok(pair) => pair,
         Err(error) => {
             eprintln!("lint: {error}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    let elapsed = started.elapsed();
+
+    if let Some(path) = &json_path {
+        if let Err(error) = std::fs::write(path, lint::findings_json(scanned, &findings)) {
+            eprintln!("lint: cannot write {}: {error}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("lint: wrote {}", path.display());
+    }
+
+    let mut over_budget = false;
+    if let Some(budget) = budget_seconds {
+        let secs = elapsed.as_secs_f64();
+        if secs > budget as f64 {
+            eprintln!(
+                "lint: scan took {secs:.2}s, over the {budget}s self-runtime budget; the \
+                 analyzer must stay cheap enough to run on every push"
+            );
+            over_budget = true;
+        } else {
+            println!("lint: scan took {secs:.2}s (budget {budget}s)");
+        }
+    }
+
+    if findings.is_empty() && !over_budget {
+        println!("lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
+        println!("lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
     }
 }

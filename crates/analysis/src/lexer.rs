@@ -1,0 +1,970 @@
+//! A small std-only Rust lexer for the serve-path lint engine.
+//!
+//! The lint passes need more structure than line regexes can see: whether
+//! a pattern sits inside a string literal or a comment, which braces match,
+//! which `fn` item a token belongs to, and whether that item is gated by
+//! `#[cfg(test)]`. This module supplies exactly that — a token stream with
+//! line numbers ([`lex`]), and an item layer ([`Lexed`]) that extracts
+//! functions (with their enclosing `impl` type and attached `// lint:`
+//! annotations), structs, test regions and waiver comments.
+//!
+//! It is *not* a parser: no expressions, no types, no name resolution.
+//! Every consumer is a heuristic lint pass, and the contract is only that
+//! token boundaries, comment/string classification and brace matching are
+//! exact. That is what makes the passes immune to the failure modes of the
+//! old line scanner (patterns inside strings, waivers inside code, brace
+//! counting thrown off by braces in comments).
+
+use std::collections::HashMap;
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `serve`, `Ordering`).
+    Ident,
+    /// A numeric literal (`0xff_u64`, `1.5e-3`); the exact value is never
+    /// interpreted, only the token boundary matters.
+    Number,
+    /// A string literal, including raw (`r#"…"#`) and byte (`b"…"`) forms.
+    /// `text` holds the literal's *content* without quotes or escapes
+    /// processing, so passes can match point names exactly.
+    Str,
+    /// A character or byte-character literal.
+    Char,
+    /// A lifetime (`'a`) — distinguished from [`TokenKind::Char`] so a
+    /// lifetime never swallows code as string content.
+    Lifetime,
+    /// A single punctuation character (`{`, `.`, `#`, …).
+    Punct,
+    /// A `//` comment through end of line (including `///` and `//!` doc
+    /// comments); `text` excludes the leading slashes.
+    LineComment,
+    /// A `/* … */` comment (nesting-aware); `text` excludes the delimiters.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text (for [`TokenKind::Str`]/comments: the content only).
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: usize,
+}
+
+impl Token {
+    fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `source` into a token stream. Never fails: unterminated strings
+/// or comments simply end at EOF, which is the forgiving behavior a lint
+/// wants (the compiler will reject the file anyway).
+pub fn lex(source: &str) -> Vec<Token> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    let count_lines = |s: &str| s.bytes().filter(|&b| b == b'\n').count();
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: source[start..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut end = start;
+                while end < bytes.len() && depth > 0 {
+                    if bytes[end] == b'/' && bytes.get(end + 1) == Some(&b'*') {
+                        depth += 1;
+                        end += 2;
+                    } else if bytes[end] == b'*' && bytes.get(end + 1) == Some(&b'/') {
+                        depth -= 1;
+                        end += 2;
+                    } else {
+                        end += 1;
+                    }
+                }
+                let content_end = end.saturating_sub(2).max(start);
+                tokens.push(Token {
+                    kind: TokenKind::BlockComment,
+                    text: source[start..content_end].to_string(),
+                    line,
+                });
+                line += count_lines(&source[i..end]);
+                i = end;
+            }
+            b'"' => {
+                let (content, end) = scan_string(source, i);
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: content,
+                    line,
+                });
+                line += count_lines(&source[i..end]);
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                let next = bytes.get(i + 1).copied();
+                let is_lifetime = next.is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+                    && bytes.get(i + 2) != Some(&b'\'');
+                if is_lifetime {
+                    let start = i + 1;
+                    let mut end = start;
+                    while end < bytes.len() && is_ident_byte(bytes[end]) {
+                        end += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[start..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                } else {
+                    let mut end = i + 1;
+                    while end < bytes.len() {
+                        match bytes[end] {
+                            b'\\' => end += 2,
+                            b'\'' => {
+                                end += 1;
+                                break;
+                            }
+                            b'\n' => break,
+                            _ => end += 1,
+                        }
+                    }
+                    let end = end.min(bytes.len());
+                    tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: source[i..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                let mut end = i;
+                while end < bytes.len()
+                    && (is_ident_byte(bytes[end])
+                        || bytes[end] == b'.' && bytes.get(end + 1).is_some_and(u8::is_ascii_digit))
+                {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: source[start..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                let mut end = i;
+                while end < bytes.len() && is_ident_byte(bytes[end]) {
+                    end += 1;
+                }
+                // Raw / byte string prefixes: `r"…"`, `r#"…"#`, `b"…"`,
+                // `br#"…"#` — the prefix ident is part of the literal.
+                let text = &source[start..end];
+                if matches!(text, "r" | "b" | "br" | "rb")
+                    && end < bytes.len()
+                    && (bytes[end] == b'"' || (bytes[end] == b'#' && text.contains('r')))
+                {
+                    let (content, lit_end) = scan_raw_or_byte_string(source, start, end);
+                    tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: content,
+                        line,
+                    });
+                    line += count_lines(&source[start..lit_end]);
+                    i = lit_end;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Ident,
+                        text: text.to_string(),
+                        line,
+                    });
+                    i = end;
+                }
+            }
+            _ => {
+                // `::` and `=>` are single tokens: every pass matches on
+                // paths and match arms, and splitting them into bare
+                // colons makes those patterns ambiguous with `:` type
+                // ascription.
+                let glued = match (b, bytes.get(i + 1)) {
+                    (b':', Some(&b':')) => Some("::"),
+                    (b'=', Some(&b'>')) => Some("=>"),
+                    _ => None,
+                };
+                if let Some(text) = glued {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: text.to_string(),
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: (b as char).to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    tokens
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans a plain `"…"` string starting at `start` (the opening quote).
+/// Returns the unquoted content and the index one past the closing quote.
+fn scan_string(source: &str, start: usize) -> (String, usize) {
+    let bytes = source.as_bytes();
+    let mut end = start + 1;
+    while end < bytes.len() {
+        match bytes[end] {
+            b'\\' => end += 2,
+            b'"' => {
+                return (source[start + 1..end].to_string(), end + 1);
+            }
+            _ => end += 1,
+        }
+    }
+    (source[start + 1..].to_string(), bytes.len())
+}
+
+/// Scans a raw or byte string whose prefix ident spans `prefix..quote`.
+/// Returns the content and the index one past the closing delimiter.
+fn scan_raw_or_byte_string(source: &str, prefix: usize, quote: usize) -> (String, usize) {
+    let bytes = source.as_bytes();
+    let is_raw = source[prefix..quote].contains('r');
+    if !is_raw {
+        // `b"…"` — ordinary escape rules.
+        let (content, end) = scan_string(source, quote);
+        return (content, end);
+    }
+    let mut hashes = 0usize;
+    let mut at = quote;
+    while bytes.get(at) == Some(&b'#') {
+        hashes += 1;
+        at += 1;
+    }
+    if bytes.get(at) != Some(&b'"') {
+        // Not actually a raw string (e.g. `r#` in macro_rules); treat the
+        // prefix as an ident-adjacent punct run and move one byte on.
+        return (String::new(), prefix + 1);
+    }
+    let content_start = at + 1;
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat(b'#').take(hashes))
+        .collect();
+    let mut end = content_start;
+    while end < bytes.len() {
+        if bytes[end] == b'"' && bytes[end..].starts_with(&closer) {
+            return (source[content_start..end].to_string(), end + closer.len());
+        }
+        end += 1;
+    }
+    (source[content_start..].to_string(), bytes.len())
+}
+
+/// One `fn` item extracted from the token stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The enclosing `impl` block's type name, when the function is an
+    /// associated item (`impl Engine { fn serve … }` → `Engine`).
+    pub qualifier: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// 1-based line of the first attribute / doc comment attached to the
+    /// item (equals `sig_line` for a bare function).
+    pub item_line: usize,
+    /// Code-token index range of the body, *excluding* the braces; `None`
+    /// for a bodyless signature (trait method, extern).
+    pub body: Option<(usize, usize)>,
+    /// Whether the function sits in a `#[cfg(test)]` region or carries
+    /// `#[test]` itself.
+    pub is_test: bool,
+}
+
+/// One `struct` item with its fields (tuple structs yield no fields).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// The struct's name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub sig_line: usize,
+    /// Line of the first attached attribute / doc comment.
+    pub item_line: usize,
+    /// Named fields as `(name, type tokens joined by spaces, line)`.
+    pub fields: Vec<(String, String, usize)>,
+    /// Whether the struct sits in a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// A lexed source file with its item layer: code-token indexing, test
+/// regions, functions, structs and line-attached `// lint:` annotations.
+#[derive(Debug)]
+pub struct Lexed {
+    tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    code: Vec<usize>,
+    /// Per-code-token flag: inside a `#[cfg(test)]`-gated item (or a
+    /// `#[test]` function).
+    test_mask: Vec<bool>,
+    /// Extracted functions, in source order.
+    functions: Vec<FnItem>,
+    /// Extracted structs, in source order.
+    structs: Vec<StructItem>,
+    /// `// lint: …` annotation bodies keyed by the code line they apply
+    /// to: the comment's own line for a trailing comment, the next code
+    /// line for a standalone one.
+    annotations: HashMap<usize, Vec<String>>,
+    /// Number of lines in the file.
+    line_count: usize,
+}
+
+impl Lexed {
+    /// Lexes `source` and builds the item layer.
+    pub fn new(source: &str) -> Self {
+        let tokens = lex(source);
+        let code: Vec<usize> = (0..tokens.len()).filter(|&i| tokens[i].is_code()).collect();
+        let test_mask = compute_test_mask(&tokens, &code);
+        let annotations = collect_annotations(&tokens);
+        let mut lexed = Lexed {
+            tokens,
+            code,
+            test_mask,
+            functions: Vec::new(),
+            structs: Vec::new(),
+            annotations,
+            line_count: source.lines().count(),
+        };
+        lexed.functions = extract_functions(&lexed);
+        lexed.structs = extract_structs(&lexed);
+        lexed
+    }
+
+    /// Number of code tokens (comments excluded).
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// The `ci`-th code token.
+    pub fn code_tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Whether the `ci`-th code token lies in a test region.
+    pub fn in_test(&self, ci: usize) -> bool {
+        self.test_mask.get(ci).copied().unwrap_or(false)
+    }
+
+    /// All tokens including comments, in source order.
+    pub fn all_tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Extracted `fn` items in source order.
+    pub fn functions(&self) -> &[FnItem] {
+        &self.functions
+    }
+
+    /// Extracted `struct` items in source order.
+    pub fn structs(&self) -> &[StructItem] {
+        &self.structs
+    }
+
+    /// Lines in the file (for whole-file findings).
+    pub fn line_count(&self) -> usize {
+        self.line_count
+    }
+
+    /// `// lint: …` annotation bodies attached to `line` (1-based).
+    pub fn annotations_on(&self, line: usize) -> &[String] {
+        self.annotations.get(&line).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether any line in `lines` carries an annotation whose body starts
+    /// with `prefix` (e.g. `"hot-path"`); returns the full body if so.
+    pub fn annotation_in(
+        &self,
+        lines: std::ops::RangeInclusive<usize>,
+        prefix: &str,
+    ) -> Option<&str> {
+        for line in lines {
+            for body in self.annotations_on(line) {
+                if body.starts_with(prefix) {
+                    return Some(body);
+                }
+            }
+        }
+        None
+    }
+
+    /// Does the code token sequence starting at `ci` match `pattern`
+    /// text-for-text? (`["Ordering", "::", "Relaxed"]`)
+    pub fn seq(&self, ci: usize, pattern: &[&str]) -> bool {
+        pattern.iter().enumerate().all(|(k, want)| {
+            self.code
+                .get(ci + k)
+                .is_some_and(|&ti| self.tokens[ti].text == *want)
+        })
+    }
+
+    /// Whether any line comment on `line` contains `needle`.
+    pub fn line_comment_contains(&self, line: usize, needle: &str) -> bool {
+        self.tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::LineComment && t.line == line && t.text.contains(needle))
+    }
+
+    /// Finds the code index of the `}` matching the `{` at code index
+    /// `open` (which must be a `{`). Returns the last index on imbalance.
+    pub fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        for ci in open..self.code_len() {
+            match self.code_tok(ci).text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return ci;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.code_len().saturating_sub(1)
+    }
+}
+
+/// Collects `lint: …` annotation bodies from comments. A trailing comment
+/// (code earlier on the same line) applies to its own line; a standalone
+/// comment applies to the next line that has a code token.
+fn collect_annotations(tokens: &[Token]) -> HashMap<usize, Vec<String>> {
+    let mut code_lines: Vec<usize> = tokens
+        .iter()
+        .filter(|t| t.is_code())
+        .map(|t| t.line)
+        .collect();
+    code_lines.dedup();
+    let mut map: HashMap<usize, Vec<String>> = HashMap::new();
+    for token in tokens {
+        if token.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some(body) = annotation_body(&token.text) else {
+            continue;
+        };
+        let has_code_on_line = code_lines.binary_search(&token.line).is_ok();
+        let apply_line = if has_code_on_line {
+            token.line
+        } else {
+            match code_lines.binary_search(&token.line) {
+                Err(pos) if pos < code_lines.len() => code_lines[pos],
+                _ => token.line,
+            }
+        };
+        map.entry(apply_line).or_default().push(body.to_string());
+    }
+    map
+}
+
+/// Extracts the annotation body from a comment whose text *starts* with
+/// `lint:` — `" lint: hot-path"` → `"hot-path"`. A `lint:` mentioned
+/// mid-comment (prose, rustdoc examples) is not an annotation.
+pub fn annotation_body(comment: &str) -> Option<&str> {
+    Some(comment.trim_start().strip_prefix("lint:")?.trim())
+}
+
+/// Marks code tokens gated by `#[cfg(test)]` / `#[cfg(all(test, …)))]` /
+/// `#[test]`: the attribute tokens themselves, any stacked attributes, and
+/// the braced (or `;`-terminated) item they gate.
+fn compute_test_mask(tokens: &[Token], code: &[usize]) -> Vec<bool> {
+    let text = |ci: usize| tokens[code[ci]].text.as_str();
+    let mut mask = vec![false; code.len()];
+    let mut ci = 0usize;
+    while ci < code.len() {
+        if text(ci) == "#" && ci + 1 < code.len() && text(ci + 1) == "[" {
+            let attr_end = matching_bracket(tokens, code, ci + 1);
+            if attr_is_test(tokens, code, ci + 1, attr_end) {
+                // Mark this attribute, any stacked attributes, and the item.
+                let mut end = attr_end;
+                let mut at = attr_end + 1;
+                while at + 1 < code.len() && text(at) == "#" && text(at + 1) == "[" {
+                    let next_end = matching_bracket(tokens, code, at + 1);
+                    end = next_end;
+                    at = next_end + 1;
+                }
+                // Scan the gated item to its end: the matching `}` of the
+                // first top-level `{`, or the first top-level `;`.
+                let mut depth = 0i64;
+                while at < code.len() {
+                    match text(at) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = at;
+                                break;
+                            }
+                        }
+                        ";" if depth == 0 => {
+                            end = at;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    at += 1;
+                }
+                if at >= code.len() {
+                    end = code.len() - 1;
+                }
+                for slot in mask.iter_mut().take(end + 1).skip(ci) {
+                    *slot = true;
+                }
+                ci = end + 1;
+                continue;
+            }
+            ci = attr_end + 1;
+            continue;
+        }
+        ci += 1;
+    }
+    mask
+}
+
+/// Code index of the `]` matching the `[` at `open` (a code index).
+fn matching_bracket(tokens: &[Token], code: &[usize], open: usize) -> usize {
+    let mut depth = 0usize;
+    for ci in open..code.len() {
+        match tokens[code[ci]].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return ci;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Whether the attribute spanning code indices `open..=close` (the square
+/// brackets) gates test code: `#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, …))]`, `#[cfg(any(test, …))]` — but not
+/// `#[cfg(not(test))]`.
+fn attr_is_test(tokens: &[Token], code: &[usize], open: usize, close: usize) -> bool {
+    let text = |ci: usize| tokens[code[ci]].text.as_str();
+    // Bare `#[test]`.
+    if close == open + 2 && text(open + 1) == "test" {
+        return true;
+    }
+    if text(open + 1) != "cfg" {
+        return false;
+    }
+    // Walk the cfg expression keeping a stack of predicate heads; `test`
+    // counts unless it sits under a `not(…)`.
+    let mut heads: Vec<&str> = Vec::new();
+    let mut ci = open + 2;
+    while ci < close {
+        let t = text(ci);
+        if t == "(" {
+            // The head is the ident just before this paren (if any).
+            let head = if ci > open + 2 { text(ci - 1) } else { "" };
+            heads.push(head);
+        } else if t == ")" {
+            heads.pop();
+        } else if t == "test" && !heads.contains(&"not") {
+            return true;
+        }
+        ci += 1;
+    }
+    false
+}
+
+/// Extracts `fn` items, associating each with its innermost enclosing
+/// `impl` block's type name and its test gating.
+fn extract_functions(lexed: &Lexed) -> Vec<FnItem> {
+    let n = lexed.code_len();
+    let text = |ci: usize| lexed.code_tok(ci).text.as_str();
+    // First pass: impl regions as (body_open, body_close, type_name).
+    let mut impls: Vec<(usize, usize, String)> = Vec::new();
+    for ci in 0..n {
+        if text(ci) == "impl" && lexed.code_tok(ci).kind == TokenKind::Ident {
+            if let Some((open, name)) = impl_header(lexed, ci) {
+                let close = lexed.matching_brace(open);
+                impls.push((open, close, name));
+            }
+        }
+    }
+    let qualifier_for = |ci: usize| -> Option<String> {
+        impls
+            .iter()
+            .filter(|(open, close, _)| *open < ci && ci <= *close)
+            .min_by_key(|(open, close, _)| close - open)
+            .map(|(_, _, name)| name.clone())
+    };
+
+    let mut functions = Vec::new();
+    for ci in 0..n {
+        if text(ci) != "fn" || lexed.code_tok(ci).kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(name_ci) = (ci + 1 < n).then_some(ci + 1) else {
+            continue;
+        };
+        if lexed.code_tok(name_ci).kind != TokenKind::Ident {
+            continue;
+        }
+        let name = text(name_ci).to_string();
+        let sig_line = lexed.code_tok(ci).line;
+        // Find the body `{` or the terminating `;` at bracket depth 0.
+        let mut paren = 0i64;
+        let mut square = 0i64;
+        let mut body = None;
+        let mut at = name_ci + 1;
+        while at < n {
+            match text(at) {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => square += 1,
+                "]" => square -= 1,
+                "{" if paren == 0 && square == 0 => {
+                    let close = lexed.matching_brace(at);
+                    body = Some((at + 1, close));
+                    break;
+                }
+                ";" if paren == 0 && square == 0 => break,
+                _ => {}
+            }
+            at += 1;
+        }
+        // The item starts at its first stacked attribute (for annotation
+        // attachment): walk attributes backwards from the `fn`.
+        let mut item_start = ci;
+        loop {
+            // `#[…]` directly before: find a `]` whose matching `[` is
+            // preceded by `#`.
+            if item_start >= 1 && text(item_start - 1) == "]" {
+                let mut depth = 0i64;
+                let mut k = item_start - 1;
+                let mut found = None;
+                loop {
+                    match text(k) {
+                        "]" => depth += 1,
+                        "[" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                found = Some(k);
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+                if let Some(open) = found {
+                    if open >= 1 && text(open - 1) == "#" {
+                        item_start = open - 1;
+                        continue;
+                    }
+                }
+            }
+            // `pub`, `pub(crate)`, `const`, `unsafe`, `async` qualifiers.
+            if item_start >= 1 && matches!(text(item_start - 1), ")" | "pub" | "const" | "async") {
+                if text(item_start - 1) == ")" {
+                    break;
+                }
+                item_start -= 1;
+                continue;
+            }
+            break;
+        }
+        let item_line = lexed.code_tok(item_start).line;
+        functions.push(FnItem {
+            name,
+            qualifier: qualifier_for(ci),
+            sig_line,
+            item_line,
+            body,
+            is_test: lexed.in_test(ci),
+        });
+    }
+    functions
+}
+
+/// Parses an `impl` header starting at the `impl` keyword: returns the
+/// code index of the body `{` and the implemented type's name (the final
+/// path segment; for `impl Trait for Type`, the type after `for`).
+fn impl_header(lexed: &Lexed, impl_ci: usize) -> Option<(usize, String)> {
+    let n = lexed.code_len();
+    let text = |ci: usize| lexed.code_tok(ci).text.as_str();
+    let mut angle = 0i64;
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut at = impl_ci + 1;
+    while at < n {
+        let t = text(at);
+        match t {
+            "<" => angle += 1,
+            ">" => angle = (angle - 1).max(0),
+            "{" if angle == 0 => {
+                let name = after_for.or(last_ident)?;
+                return Some((at, name));
+            }
+            ";" if angle == 0 => return None,
+            "for" if angle == 0 => saw_for = true,
+            _ => {
+                if lexed.code_tok(at).kind == TokenKind::Ident && angle == 0 && t != "where" {
+                    if saw_for {
+                        after_for = Some(t.to_string());
+                    } else {
+                        last_ident = Some(t.to_string());
+                    }
+                }
+            }
+        }
+        at += 1;
+    }
+    None
+}
+
+/// Extracts `struct` items with named fields.
+fn extract_structs(lexed: &Lexed) -> Vec<StructItem> {
+    let n = lexed.code_len();
+    let text = |ci: usize| lexed.code_tok(ci).text.as_str();
+    let mut structs = Vec::new();
+    for ci in 0..n {
+        if text(ci) != "struct" || lexed.code_tok(ci).kind != TokenKind::Ident {
+            continue;
+        }
+        if ci + 1 >= n || lexed.code_tok(ci + 1).kind != TokenKind::Ident {
+            continue;
+        }
+        let name = text(ci + 1).to_string();
+        let sig_line = lexed.code_tok(ci).line;
+        // Skip generics to the body `{` (a `;` or `(` first means a unit
+        // or tuple struct — no named fields).
+        let mut angle = 0i64;
+        let mut at = ci + 2;
+        let mut open = None;
+        while at < n {
+            match text(at) {
+                "<" => angle += 1,
+                ">" => angle = (angle - 1).max(0),
+                "{" if angle == 0 => {
+                    open = Some(at);
+                    break;
+                }
+                ";" | "(" if angle == 0 => break,
+                _ => {}
+            }
+            at += 1;
+        }
+        let Some(open) = open else {
+            structs.push(StructItem {
+                name,
+                sig_line,
+                item_line: sig_line,
+                fields: Vec::new(),
+                is_test: lexed.in_test(ci),
+            });
+            continue;
+        };
+        let close = lexed.matching_brace(open);
+        // Fields: at depth 1 inside the body, `name : type…,`.
+        let mut fields = Vec::new();
+        let mut depth = 0i64;
+        let mut at = open;
+        while at <= close {
+            match text(at) {
+                "{" | "(" | "[" | "<" => depth += 1,
+                "}" | ")" | "]" | ">" => depth -= 1,
+                _ => {}
+            }
+            // A field name: ident at body depth 1 followed by a single `:`
+            // (not `::`).
+            if depth == 1
+                && lexed.code_tok(at).kind == TokenKind::Ident
+                && at < close
+                && text(at + 1) == ":"
+                && (at + 2 > close || text(at + 2) != ":")
+                && (at == open + 1 || matches!(text(at - 1), "{" | "," | "]" | ")"))
+            {
+                // Collect the type tokens to the `,` (or `}`) at depth 1.
+                let mut ty = String::new();
+                let mut d = 0i64;
+                let mut k = at + 2;
+                while k < close {
+                    let t = text(k);
+                    match t {
+                        "(" | "[" | "<" | "{" => d += 1,
+                        ")" | "]" | ">" | "}" => d -= 1,
+                        "," if d <= 0 => break,
+                        _ => {}
+                    }
+                    if !ty.is_empty() {
+                        ty.push(' ');
+                    }
+                    ty.push_str(t);
+                    k += 1;
+                }
+                fields.push((text(at).to_string(), ty, lexed.code_tok(at).line));
+            }
+            at += 1;
+        }
+        structs.push(StructItem {
+            name,
+            sig_line,
+            item_line: sig_line,
+            fields,
+            is_test: lexed.in_test(ci),
+        });
+    }
+    structs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_strings_and_code_are_distinguished() {
+        let lexed = Lexed::new(
+            "fn f() { let s = \"a // not a comment\"; } // trailing\n/* block { */ fn g() {}\n",
+        );
+        let strs: Vec<&str> = lexed
+            .all_tokens()
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["a // not a comment"]);
+        let comments: Vec<TokenKind> = lexed
+            .all_tokens()
+            .iter()
+            .filter(|t| !t.is_code())
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            comments,
+            vec![TokenKind::LineComment, TokenKind::BlockComment]
+        );
+        // The `{` inside the block comment does not break brace matching.
+        assert_eq!(lexed.functions().len(), 2);
+        assert!(lexed.functions().iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_lex_cleanly() {
+        let lexed = Lexed::new("fn f<'a>(x: &'a str) -> &'a str { r#\"raw \"quoted\"\"# }\n");
+        let raw: Vec<&str> = lexed
+            .all_tokens()
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(raw, vec!["raw \"quoted\""]);
+        let lifetimes = lexed
+            .all_tokens()
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn test_regions_cover_gated_items() {
+        let source =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let lexed = Lexed::new(source);
+        let fns = lexed.functions();
+        assert_eq!(fns.len(), 3);
+        assert!(!fns[0].is_test);
+        assert!(fns[1].is_test, "fn inside #[cfg(test)] mod");
+        assert!(!fns[2].is_test, "item after the gated mod");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let lexed = Lexed::new("#[cfg(not(test))]\nfn shipping() { x.unwrap(); }\n");
+        assert!(!lexed.functions()[0].is_test);
+        let gated = Lexed::new("#[cfg(all(test, feature = \"lockdep\"))]\nmod tests {}\n");
+        assert!((0..gated.code_len()).any(|ci| gated.in_test(ci)));
+    }
+
+    #[test]
+    fn functions_carry_their_impl_qualifier() {
+        let source = "impl Engine {\n    fn serve(&self) {}\n}\nimpl Clone for Shard {\n    fn clone(&self) -> Self { todo!() }\n}\nfn free() {}\n";
+        let lexed = Lexed::new(source);
+        let fns = lexed.functions();
+        assert_eq!(fns[0].qualifier.as_deref(), Some("Engine"));
+        assert_eq!(fns[1].qualifier.as_deref(), Some("Shard"));
+        assert_eq!(fns[2].qualifier, None);
+    }
+
+    #[test]
+    fn annotations_attach_to_trailing_and_next_code_line() {
+        let source = "// lint: hot-path\nfn serve() {}\nfn other() {} // lint: cold-path rebuild\n";
+        let lexed = Lexed::new(source);
+        assert_eq!(lexed.annotations_on(2), ["hot-path"]);
+        assert_eq!(lexed.annotations_on(3), ["cold-path rebuild"]);
+        assert!(lexed.annotation_in(2..=2, "hot-path").is_some());
+    }
+
+    #[test]
+    fn structs_expose_named_fields_with_types() {
+        let source = "pub struct Stats {\n    frames: AtomicU64,\n    map: HashMap<u64, Vec<u8>>,\n}\nstruct Unit;\n";
+        let lexed = Lexed::new(source);
+        let stats = &lexed.structs()[0];
+        assert_eq!(stats.name, "Stats");
+        assert_eq!(stats.fields[0].0, "frames");
+        assert!(stats.fields[0].1.contains("AtomicU64"));
+        assert_eq!(stats.fields[1].0, "map");
+        assert_eq!(lexed.structs()[1].fields.len(), 0);
+    }
+}

@@ -21,18 +21,25 @@
 //!   deterministically enough to re-run invariant tests under many
 //!   distinct schedules; in release builds the points are empty inline
 //!   functions.
-//! * [`lint`] — the source-scanning rules behind the `lint` binary
-//!   (`cargo run -p hebs-analysis --bin lint`): no `.unwrap()`/`.expect(`
-//!   in runtime library code (poison recovery goes through
-//!   [`lock_healthy`]), `#![forbid(unsafe_code)]` in every crate root,
-//!   justified `Relaxed`/`SeqCst` atomics, no `thread::sleep` in library
-//!   code, and no raw `std::sync::Mutex`/`Condvar` outside this crate.
+//! * [`lint`] — the token-level analyzer behind the `lint` binary
+//!   (`cargo run -p hebs-analysis --bin lint`). A std-only Rust lexer
+//!   ([`lexer`]) feeds a pass pipeline ([`passes`]): the style rules (no
+//!   `.unwrap()`/`.expect(` in runtime library code, `#![forbid(unsafe_code)]`
+//!   in every crate root, justified `Relaxed`/`SeqCst` atomics, no
+//!   `thread::sleep` in library code, no raw `std::sync` primitives
+//!   outside this crate, fused frame ingest, stream-only snapshot I/O)
+//!   plus semantic passes that statically pin the serve-path contracts:
+//!   zero allocation in hot functions, ascending lock-rank acquisition,
+//!   no guard held across fit/writer work, counter reconciliation, and
+//!   interleaving yield-point coverage.
 
 #![forbid(unsafe_code)]
 
 pub mod interleave;
+pub mod lexer;
 pub mod lint;
 pub mod lockdep;
+pub mod passes;
 
 pub use lockdep::{
     lock_healthy, LockClass, OrderedCondvar, OrderedMutex, OrderedMutexGuard, OrderedRwLock,

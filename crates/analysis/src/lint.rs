@@ -1,75 +1,63 @@
-//! The serve-path lint pass: source-scanning rules for the workspace.
+//! The serve-path lint: token-level source analysis for the workspace.
 //!
 //! Clippy cannot see project policy — that poisoned-lock recovery must go
-//! through [`lock_healthy`](crate::lock_healthy), that every `Relaxed`
-//! atomic must state *why* relaxed is enough, that raw `std::sync::Mutex`
-//! is banned outside this crate now that the runtime carries lock ranks.
-//! These rules are plain text scans (std-only, no syn/proc-macro) over
-//! non-test library code, with two escape hatches: a compiled-in per-rule
-//! path [`ALLOWLIST`] and an inline `// lint: allow(<rule>)` waiver on
-//! the offending line.
+//! through [`lock_healthy`](crate::lock_healthy), that the serve path
+//! must not allocate, that lock classes must be acquired in rank order.
+//! This module is the front door to the analyzer: it collects the
+//! workspace's sources, lexes them with the std-only engine in
+//! [`lexer`](crate::lexer), and runs the pass set in
+//! [`passes`] over the token streams.
 //!
-//! Rules:
+//! Style rules (ported from the original line scanner, now matched on
+//! tokens so strings and comments can never confuse them):
 //!
-//! * `no-unwrap` — no `.unwrap()` / `.expect(` in runtime library code
-//!   (`crates/runtime/src`). Lock recovery goes through `lock_healthy`;
-//!   everything else returns `RuntimeError`.
-//! * `forbid-unsafe` — every crate root must carry
-//!   `#![forbid(unsafe_code)]`.
-//! * `atomic-ordering` — a line using `Ordering::Relaxed` or
-//!   `Ordering::SeqCst` must carry a trailing `// ordering:` comment
-//!   justifying the choice.
-//! * `no-sleep` — no `thread::sleep` in library code (benches excepted
-//!   via the allowlist: an open-loop load generator paces by sleeping).
-//! * `raw-mutex` — no raw `std::sync::Mutex`/`MutexGuard`/`Condvar`
-//!   outside `crates/analysis`; the runtime uses the ordered wrappers.
-//! * `frame-ingest` — no direct `Histogram::of` / `HistogramSignature::of`
-//!   in runtime library code (`crates/runtime/src`): a serve traverses its
-//!   frame's pixels exactly once, through the fused `FrameIngest` pass,
-//!   which also yields the signature and the exact-cache content hash.
-//! * `snapshot-io` — no `std::fs` / `File::open` / `File::create` in
-//!   runtime library code: the runtime serves from memory, and snapshot
-//!   save/restore is written against caller-supplied `Read`/`Write`
-//!   streams so file handling (paths, tempfile-and-rename, fsync policy)
-//!   stays with the caller and every I/O failure surfaces as a typed
-//!   `SnapshotError::Io`, never an in-library unwrap.
+//! * `no-unwrap` — no `.unwrap()` / `.expect(` in runtime library code.
+//! * `forbid-unsafe` — every crate root carries `#![forbid(unsafe_code)]`.
+//! * `atomic-ordering` — `Ordering::Relaxed`/`SeqCst` need a trailing
+//!   `// ordering:` justification.
+//! * `no-sleep` — no `thread::sleep` in library code.
+//! * `raw-mutex` — no raw `std::sync` primitives outside `crates/analysis`.
+//! * `frame-ingest` — runtime code traverses frame pixels only through
+//!   the fused `FrameIngest` pass.
+//! * `snapshot-io` — runtime code does no filesystem I/O; snapshots use
+//!   caller-supplied streams.
+//!
+//! Semantic passes (see the [`passes`] submodules for the
+//! full contracts):
+//!
+//! * `hot-path-alloc` — functions reachable from `// lint: hot-path`
+//!   roots must not allocate.
+//! * `lock-order` — no function acquires two `Ordered*` locks in
+//!   descending `LockClass` rank order.
+//! * `guard-across-fit` — no lock guard held across fit/characterize
+//!   work or writer I/O.
+//! * `counter-reconciliation` — runtime stats counters are incremented
+//!   somewhere and appear in the stats snapshot.
+//! * `yield-coverage` — `interleave::point` names and the
+//!   `tests/interleaving.rs` manifest match exactly.
+//! * `unused-waiver` — a waiver that suppresses nothing is itself flagged.
+//!
+//! Waivers: `// lint: allow(rule) -- reason` on the offending line, or in
+//! the file header (before the first code token) to cover the whole file.
+//! Waivers for the semantic passes take effect only with a nonempty
+//! reason.
 
+use crate::passes::{self, SourceFile, Workspace};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-// Patterns are assembled with `concat!` so this file's own scan of the
-// workspace never matches the rule definitions themselves.
-const PAT_UNWRAP: &str = concat!(".", "unwrap()");
-const PAT_EXPECT: &str = concat!(".", "expect(");
-const PAT_RELAXED: &str = concat!("Ordering::", "Relaxed");
-const PAT_SEQCST: &str = concat!("Ordering::", "SeqCst");
-const PAT_ORDERING_COMMENT: &str = concat!("// ordering", ":");
-const PAT_SLEEP: &str = concat!("thread::", "sleep");
-const PAT_FORBID_UNSAFE: &str = concat!("#![forbid(", "unsafe_code)]");
-const PAT_CFG_TEST: &str = concat!("#[cfg(", "test)]");
-const PAT_CFG_ALL_TEST: &str = concat!("#[cfg(all(", "test");
-const RAW_SYNC_TOKENS: [&str; 3] = ["Mutex", "MutexGuard", "Condvar"];
-const INGEST_PATTERNS: [&str; 2] = [
-    concat!("Histogram::", "of("),
-    concat!("HistogramSignature::", "of("),
-];
-const SNAPSHOT_IO_PATTERNS: [&str; 3] = [
-    concat!("std::", "fs"),
-    concat!("File::", "open("),
-    concat!("File::", "create("),
-];
-/// Marker a fixture uses to opt into the crate-root rule.
-pub const CRATE_ROOT_MARKER: &str = concat!("// lint-scope", ": crate-root");
-
 /// One rule violation at a specific source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
+    /// The rule that fired (e.g. `no-unwrap`, `hot-path-alloc`).
     pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
     pub path: String,
     /// 1-based line number (line 1 for whole-file findings).
     pub line: usize,
+    /// Human-readable explanation of the violation.
     pub message: String,
 }
 
@@ -83,28 +71,6 @@ impl fmt::Display for Finding {
     }
 }
 
-/// A compiled-in waiver: `rule` is not applied to paths containing
-/// `path_contains`. Every entry carries its justification.
-pub struct Allow {
-    pub rule: &'static str,
-    pub path_contains: &'static str,
-    pub reason: &'static str,
-}
-
-/// The per-rule path allowlist.
-pub const ALLOWLIST: &[Allow] = &[Allow {
-    rule: "no-sleep",
-    path_contains: "crates/bench/",
-    reason:
-        "the open-loop load generator paces scheduled arrivals by sleeping until each send time",
-}];
-
-fn allowed(rule: &str, path: &str) -> bool {
-    ALLOWLIST
-        .iter()
-        .any(|a| a.rule == rule && path.contains(a.path_contains))
-}
-
 /// Which rule set a file gets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FileKind {
@@ -114,233 +80,20 @@ pub enum FileKind {
     Library,
     /// A lint self-test fixture: treated as runtime library code so every
     /// rule can fire; the crate-root rule applies only when the fixture
-    /// carries the [`CRATE_ROOT_MARKER`].
+    /// carries the [`CRATE_ROOT_MARKER`] comment.
     Fixture,
 }
 
-/// Strips a trailing `//` line comment, returning `(code, full_line)`.
-/// Heuristic: the first `//` outside obvious char/string context starts
-/// the comment; good enough for this workspace's style.
-fn code_portion(line: &str) -> &str {
-    match line.find("//") {
-        Some(pos) => &line[..pos],
-        None => line,
-    }
-}
-
-fn is_ident_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-/// Does `code` contain `token` as a standalone identifier?
-fn has_token(code: &str, token: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(token) {
-        let at = start + pos;
-        let before_ok = code[..at]
-            .chars()
-            .next_back()
-            .map_or(true, |c| !is_ident_char(c));
-        let after_ok = code[at + token.len()..]
-            .chars()
-            .next()
-            .map_or(true, |c| !is_ident_char(c));
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + token.len();
-    }
-    false
-}
-
-/// Marks each line that belongs to `#[cfg(test)]`-gated code: the
-/// attribute itself, any stacked attributes, and the braced item (or the
-/// single `;`-terminated item) it gates.
-fn test_region_map(lines: &[&str]) -> Vec<bool> {
-    let mut in_test = vec![false; lines.len()];
-    let mut depth: i32 = 0;
-    let mut pending = false;
-    for (i, line) in lines.iter().enumerate() {
-        let code = code_portion(line);
-        if depth > 0 {
-            in_test[i] = true;
-            depth += braces_delta(code);
-            if depth <= 0 {
-                depth = 0;
-            }
-            continue;
-        }
-        if pending {
-            in_test[i] = true;
-            let delta = braces_delta(code);
-            if delta > 0 {
-                depth = delta;
-                pending = false;
-            } else if code.contains(';') {
-                // A gated single-line item (e.g. a `use` declaration).
-                pending = false;
-            }
-            continue;
-        }
-        if code.contains(PAT_CFG_TEST) || code.contains(PAT_CFG_ALL_TEST) {
-            in_test[i] = true;
-            pending = true;
-            // The item may open on the same line as the attribute.
-            let delta = braces_delta(code);
-            if delta > 0 {
-                depth = delta;
-                pending = false;
-            }
-        }
-    }
-    in_test
-}
-
-fn braces_delta(code: &str) -> i32 {
-    let mut delta = 0;
-    for c in code.chars() {
-        match c {
-            '{' => delta += 1,
-            '}' => delta -= 1,
-            _ => {}
-        }
-    }
-    delta
-}
+/// Marker comment a fixture uses to opt into the crate-root rule.
+pub const CRATE_ROOT_MARKER: &str = "// lint-scope: crate-root";
 
 /// Scans one file's contents. `path` is the workspace-relative path used
-/// for rule scoping, allowlists and reporting.
+/// for rule scoping and reporting. Cross-file passes see a one-file
+/// workspace: the call-name closure, lock bindings and counter site
+/// searches all resolve within `contents`.
 pub fn scan_source(path: &str, kind: FileKind, contents: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let lines: Vec<&str> = contents.lines().collect();
-    let in_test = test_region_map(&lines);
-
-    let fixture = kind == FileKind::Fixture;
-    let crate_root =
-        kind == FileKind::CrateRoot || (fixture && contents.contains(CRATE_ROOT_MARKER));
-    let unwrap_scope = fixture || path.starts_with("crates/runtime/src");
-    let raw_mutex_scope = !path.starts_with("crates/analysis");
-
-    if crate_root && !contents.contains(PAT_FORBID_UNSAFE) {
-        findings.push(Finding {
-            rule: "forbid-unsafe",
-            path: path.to_string(),
-            line: 1,
-            message: format!("crate root is missing `{PAT_FORBID_UNSAFE}`"),
-        });
-    }
-
-    for (i, line) in lines.iter().enumerate() {
-        let number = i + 1;
-        let code = code_portion(line);
-        let waived =
-            |rule: &str| line.contains(&format!("lint: allow({rule})")) || allowed(rule, path);
-        let mut push = |rule: &'static str, message: String| {
-            if !waived(rule) {
-                findings.push(Finding {
-                    rule,
-                    path: path.to_string(),
-                    line: number,
-                    message,
-                });
-            }
-        };
-
-        if raw_mutex_scope {
-            for token in RAW_SYNC_TOKENS {
-                if has_token(code, token) {
-                    push(
-                        "raw-mutex",
-                        format!(
-                            "raw `std::sync::{token}` outside crates/analysis; use the \
-                             Ordered{} wrapper so the lock carries a rank",
-                            if token == "Condvar" {
-                                "Condvar"
-                            } else {
-                                "Mutex"
-                            }
-                        ),
-                    );
-                }
-            }
-        }
-
-        if in_test[i] {
-            continue;
-        }
-
-        if unwrap_scope {
-            if code.contains(PAT_UNWRAP) {
-                push(
-                    "no-unwrap",
-                    format!(
-                        "`{PAT_UNWRAP}` in runtime library code; recover poisoned locks \
-                         via `lock_healthy` or surface a RuntimeError"
-                    ),
-                );
-            }
-            if code.contains(PAT_EXPECT) {
-                push(
-                    "no-unwrap",
-                    format!(
-                        "`{PAT_EXPECT}...)` in runtime library code; recover poisoned \
-                         locks via `lock_healthy` or surface a RuntimeError"
-                    ),
-                );
-            }
-        }
-
-        for pattern in [PAT_RELAXED, PAT_SEQCST] {
-            if code.contains(pattern) && !line.contains(PAT_ORDERING_COMMENT) {
-                push(
-                    "atomic-ordering",
-                    format!(
-                        "`{pattern}` without a trailing `{PAT_ORDERING_COMMENT}` \
-                         justification comment"
-                    ),
-                );
-            }
-        }
-
-        if code.contains(PAT_SLEEP) {
-            push(
-                "no-sleep",
-                format!("`{PAT_SLEEP}` in library code; blocking the pool hides backpressure"),
-            );
-        }
-
-        // The fused-ingest and snapshot-io rules share the no-unwrap
-        // scope: serve-path library code under crates/runtime/src, plus
-        // fixtures.
-        if unwrap_scope {
-            for pattern in INGEST_PATTERNS {
-                if code.contains(pattern) {
-                    push(
-                        "frame-ingest",
-                        format!(
-                            "direct `{pattern}...)` pixel pass in runtime library code; the \
-                             serve path computes histogram, signature and content hash in \
-                             one fused `FrameIngest` pass"
-                        ),
-                    );
-                }
-            }
-            for pattern in SNAPSHOT_IO_PATTERNS {
-                if code.contains(pattern) {
-                    push(
-                        "snapshot-io",
-                        format!(
-                            "`{pattern}...` in runtime library code; snapshot save/restore \
-                             takes caller-supplied Read/Write streams so path handling and \
-                             fsync policy stay with the caller and I/O failures surface as \
-                             typed SnapshotError::Io values"
-                        ),
-                    );
-                }
-            }
-        }
-    }
-    findings
+    let workspace = Workspace::single(SourceFile::new(path, kind, contents));
+    passes::run_all(&workspace)
 }
 
 /// Scans a fixture file from disk with every rule armed.
@@ -354,7 +107,9 @@ pub fn scan_fixture(path: &Path) -> io::Result<Vec<Finding>> {
 }
 
 /// Scans the workspace rooted at `root`: every `.rs` file under
-/// `crates/*/src` and the facade's `src/`.
+/// `crates/*/src` and the facade's `src/`, plus the interleaving replay
+/// manifest (`tests/interleaving.rs`) for the yield-coverage pass.
+/// Returns `(files scanned, findings)`.
 pub fn scan_workspace(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
     let mut files: Vec<PathBuf> = Vec::new();
     let crates_dir = root.join("crates");
@@ -368,12 +123,11 @@ pub fn scan_workspace(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
     }
     collect_rs(&root.join("src"), &mut files)?;
 
-    let mut findings = Vec::new();
-    let scanned = files.len();
-    for file in files {
+    let mut sources = Vec::new();
+    for file in &files {
         let rel = file
             .strip_prefix(root)
-            .unwrap_or(&file)
+            .unwrap_or(file)
             .components()
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
@@ -383,10 +137,73 @@ pub fn scan_workspace(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
         } else {
             FileKind::Library
         };
-        let contents = fs::read_to_string(&file)?;
-        findings.extend(scan_source(&rel, kind, &contents));
+        let contents = fs::read_to_string(file)?;
+        sources.push(SourceFile::new(&rel, kind, &contents));
     }
-    Ok((scanned, findings))
+
+    let manifest_path = root.join("tests").join("interleaving.rs");
+    let manifest = match fs::read_to_string(&manifest_path) {
+        Ok(contents) => Some(SourceFile::new(
+            "tests/interleaving.rs",
+            FileKind::Library,
+            &contents,
+        )),
+        Err(_) => None,
+    };
+
+    let workspace = Workspace {
+        files: sources,
+        manifest,
+    };
+    Ok((files.len(), passes::run_all(&workspace)))
+}
+
+/// Renders findings as the machine-readable report the CI `analysis` job
+/// uploads: `{"files_scanned": N, "findings": [{rule, path, line,
+/// message}, …]}`. Hand-rolled (std-only workspace), with full string
+/// escaping.
+pub fn findings_json(files_scanned: usize, findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(256 + findings.len() * 128);
+    out.push_str("{\n  \"files_scanned\": ");
+    out.push_str(&files_scanned.to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, finding) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rule\": ");
+        push_json_str(&mut out, finding.rule);
+        out.push_str(", \"path\": ");
+        push_json_str(&mut out, &finding.path);
+        out.push_str(", \"line\": ");
+        out.push_str(&finding.line.to_string());
+        out.push_str(", \"message\": ");
+        push_json_str(&mut out, &finding.message);
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -433,6 +250,15 @@ mod tests {
     }
 
     #[test]
+    fn patterns_inside_strings_and_comments_never_match() {
+        // The old line scanner needed concat! tricks to scan its own rule
+        // table; the token engine classifies these as Str/comment tokens.
+        let source = "fn f() {\n    let msg = \"never call .unwrap() or thread::sleep here\";\n    // a comment mentioning x.lock().unwrap() and Ordering::Relaxed\n}\n";
+        let findings = scan_source("crates/runtime/src/engine.rs", FileKind::Library, source);
+        assert!(findings.is_empty(), "unexpected: {findings:?}");
+    }
+
+    #[test]
     fn unjustified_relaxed_flags_and_justified_passes() {
         let bad = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
         let good =
@@ -456,7 +282,7 @@ mod tests {
     }
 
     #[test]
-    fn sleep_flags_in_library_code_but_bench_is_allowlisted() {
+    fn sleep_flags_in_library_code_but_a_header_waiver_covers_a_file() {
         let source = "fn pace() { std::thread::sleep(d); }\n";
         assert_eq!(
             rules(&scan_source(
@@ -466,9 +292,12 @@ mod tests {
             )),
             vec!["no-sleep"]
         );
+        // The bench load generator carries a file-header waiver instead of
+        // the old compiled-in allowlist.
+        let waived = "//! Pacing docs.\n// lint: allow(no-sleep) -- paces scheduled arrivals\nfn pace() { std::thread::sleep(d); }\nfn pace2() { std::thread::sleep(d); }\n";
         assert!(
-            scan_source("crates/bench/src/loadgen.rs", FileKind::Library, source).is_empty(),
-            "bench pacing is allowlisted"
+            scan_source("crates/bench/src/loadgen.rs", FileKind::Library, waived).is_empty(),
+            "a header waiver covers every line of the file"
         );
     }
 
@@ -483,8 +312,8 @@ mod tests {
             )),
             vec!["forbid-unsafe"]
         );
-        let sealed = format!("{PAT_FORBID_UNSAFE}\npub mod engine;\n");
-        assert!(scan_source("crates/runtime/src/lib.rs", FileKind::CrateRoot, &sealed).is_empty());
+        let sealed = "#![forbid(unsafe_code)]\npub mod engine;\n";
+        assert!(scan_source("crates/runtime/src/lib.rs", FileKind::CrateRoot, sealed).is_empty());
     }
 
     #[test]
@@ -492,7 +321,8 @@ mod tests {
         let source =
             "fn f() { x.lock().unwrap(); } // lint: allow(no-unwrap) invariant: set above\n";
         assert!(scan_source("crates/runtime/src/engine.rs", FileKind::Library, source).is_empty());
-        // The waiver names one rule; others still fire.
+        // The waiver names one rule; others still fire — and the unused
+        // waiver is now itself a finding.
         let sleepy = "fn f() { std::thread::sleep(d); } // lint: allow(no-unwrap)\n";
         assert_eq!(
             rules(&scan_source(
@@ -500,7 +330,29 @@ mod tests {
                 FileKind::Library,
                 sleepy
             )),
-            vec!["no-sleep"]
+            vec!["no-sleep", "unused-waiver"]
+        );
+    }
+
+    #[test]
+    fn unused_waivers_are_findings_and_semantic_waivers_need_reasons() {
+        let stale = "fn f() {} // lint: allow(no-unwrap) nothing here\n";
+        assert_eq!(
+            rules(&scan_source(
+                "crates/runtime/src/engine.rs",
+                FileKind::Library,
+                stale
+            )),
+            vec!["unused-waiver"]
+        );
+        // A bare waiver for a semantic pass does not suppress: the
+        // finding stands and the waiver is reported stale.
+        let bare = "// lint: hot-path\nfn serve() { let v = Vec::new(); } // lint: allow(hot-path-alloc)\n";
+        let findings = scan_source("crates/runtime/src/engine.rs", FileKind::Library, bare);
+        assert_eq!(rules(&findings), vec!["hot-path-alloc", "unused-waiver"]);
+        let justified = "// lint: hot-path\nfn serve() { let v = Vec::new(); } // lint: allow(hot-path-alloc) -- bounded one-shot setup\n";
+        assert!(
+            scan_source("crates/runtime/src/engine.rs", FileKind::Library, justified).is_empty()
         );
     }
 
@@ -582,5 +434,23 @@ mod tests {
             rules(&scan_source("anything.rs", FileKind::Fixture, &marked)),
             vec!["forbid-unsafe"]
         );
+    }
+
+    #[test]
+    fn json_output_is_escaped_and_structured() {
+        let findings = vec![Finding {
+            rule: "no-unwrap",
+            path: "crates/runtime/src/engine.rs".to_string(),
+            line: 7,
+            message: "a \"quoted\" message\nwith a newline".to_string(),
+        }];
+        let json = findings_json(3, &findings);
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"rule\": \"no-unwrap\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\\n"));
+        assert!(!json.contains("\n  \"findings\": []"), "non-empty list");
+        let empty = findings_json(0, &[]);
+        assert!(empty.contains("\"findings\": []"));
     }
 }

@@ -1,0 +1,162 @@
+//! The counter-reconciliation pass: runtime stats counters must be
+//! written somewhere and surface in a snapshot.
+//!
+//! A monitoring counter that nothing increments, or that the stats
+//! snapshot forgets to copy, rots silently — dashboards read zero
+//! forever and nobody notices. For every `AtomicU64` field of a runtime
+//! stats struct (a struct whose name contains `Stats`, `Counters` or
+//! `Collector`, or one annotated `// lint: counter-struct`), this pass
+//! requires, in non-test code of the same crate:
+//!
+//! * at least one **write site** — `field.fetch_add(…)` / `store(…)` /
+//!   another mutating atomic op;
+//! * at least one **read site** — `field.load(…)` / `swap(…)`;
+//! * when the declaring file has a `snapshot` or `merge` function, the
+//!   field must appear inside one of those bodies, so new counters can't
+//!   be dropped from `EngineStats` snapshots.
+//!
+//! The pass is scoped to `crates/runtime/src` (and fixtures): that is
+//! where the serving stats live; other crates' atomics are working state
+//! with their own invariants, already covered by the `atomic-ordering`
+//! justification rule.
+
+use super::{Sink, SourceFile, Workspace};
+use crate::lexer::TokenKind;
+use crate::lint::FileKind;
+use std::collections::BTreeSet;
+
+const WRITE_OPS: [&str; 9] = [
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "store",
+    "compare_exchange",
+];
+const READ_OPS: [&str; 2] = ["load", "swap"];
+
+/// Runs the pass over every stats struct in scope.
+pub fn run(workspace: &Workspace, sink: &mut Sink<'_>) {
+    let mut crates: BTreeSet<&str> = BTreeSet::new();
+    for file in &workspace.files {
+        crates.insert(&file.crate_name);
+    }
+    for crate_name in crates {
+        let files: Vec<&SourceFile> = workspace.crate_files(crate_name);
+        for (fi, file) in files.iter().enumerate() {
+            let in_scope =
+                file.kind == FileKind::Fixture || file.path.starts_with("crates/runtime/src");
+            if !in_scope {
+                continue;
+            }
+            for item in file.lexed.structs() {
+                if item.is_test || !is_stats_struct(file, item) {
+                    continue;
+                }
+                check_struct(&files, fi, item, sink);
+            }
+        }
+    }
+}
+
+fn is_stats_struct(file: &SourceFile, item: &crate::lexer::StructItem) -> bool {
+    let by_name = ["Stats", "Counters", "Collector"]
+        .iter()
+        .any(|mark| item.name.contains(mark));
+    by_name
+        || file
+            .lexed
+            .annotation_in(item.item_line..=item.sig_line, "counter-struct")
+            .is_some()
+}
+
+fn check_struct(
+    files: &[&SourceFile],
+    declaring: usize,
+    item: &crate::lexer::StructItem,
+    sink: &mut Sink<'_>,
+) {
+    let file = files[declaring];
+    // Bodies of `snapshot`/`merge` functions in the declaring file, used
+    // for the reconciliation sub-check.
+    let reconcile_bodies: Vec<(usize, usize)> = file
+        .lexed
+        .functions()
+        .iter()
+        .filter(|f| !f.is_test && matches!(f.name.as_str(), "snapshot" | "merge"))
+        .filter_map(|f| f.body)
+        .collect();
+
+    for (field, ty, line) in &item.fields {
+        if !ty.split(' ').any(|t| t == "AtomicU64") {
+            continue;
+        }
+        let mut wrote = false;
+        let mut read = false;
+        for other in files {
+            let lexed = &other.lexed;
+            for ci in 0..lexed.code_len() {
+                let token = lexed.code_tok(ci);
+                if token.kind != TokenKind::Ident
+                    || token.text != *field
+                    || lexed.in_test(ci)
+                    || !lexed.seq(ci + 1, &["."])
+                    || ci + 2 >= lexed.code_len()
+                {
+                    continue;
+                }
+                let op = lexed.code_tok(ci + 2).text.as_str();
+                if !lexed.seq(ci + 3, &["("]) {
+                    continue;
+                }
+                wrote |= WRITE_OPS.contains(&op);
+                read |= READ_OPS.contains(&op);
+            }
+        }
+        if !wrote {
+            sink.report(
+                file,
+                "counter-reconciliation",
+                *line,
+                format!(
+                    "counter `{}.{field}` has no increment/store site in crate `{}`; either \
+                     wire it up or delete the dead field",
+                    item.name, file.crate_name
+                ),
+            );
+        }
+        if !read {
+            sink.report(
+                file,
+                "counter-reconciliation",
+                *line,
+                format!(
+                    "counter `{}.{field}` is never loaded in crate `{}`; a counter no \
+                     snapshot reads can rot silently",
+                    item.name, file.crate_name
+                ),
+            );
+        }
+        if !reconcile_bodies.is_empty() {
+            let lexed = &file.lexed;
+            let in_snapshot = reconcile_bodies
+                .iter()
+                .any(|&(start, end)| (start..end).any(|ci| lexed.code_tok(ci).text == *field));
+            if !in_snapshot {
+                sink.report(
+                    file,
+                    "counter-reconciliation",
+                    *line,
+                    format!(
+                        "counter `{}.{field}` does not appear in this file's \
+                         `snapshot`/`merge` body; stats snapshots would silently miss it",
+                        item.name
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The guard-across-fit pass: no lock guard held across a fit,
+//! characterization, or writer-I/O call.
+//!
+//! The serve path's latency contract assumes lock hold times are tiny —
+//! a guard held across `fit`/`evaluate`/`characterize` work or a stream
+//! write turns a shared lock into a convoy. This pass tracks let-bound
+//! guards (acquisitions recognized by the machinery shared with
+//! [`lock_order`](super::lock_order): `.lock()`/`.read()`/`.write()` on a
+//! class-mapped binding, or anything wrapped in `lock_healthy(…)`) and
+//! reports any *later statement* inside the same scope that calls a
+//! banned name while the guard is live: names starting with `fit` or
+//! containing `evaluate`/`characterize`, plus `write_all`, `write_fmt`
+//! and `flush`.
+//!
+//! Guards consumed within one statement are exempt — that is guarded
+//! data access, not a hold-across. Read-side I/O is deliberately not
+//! banned: restore paths legitimately read a stream under the snapshot
+//! gate. Waive with `// lint: allow(guard-across-fit) -- reason` on the
+//! call line when holding the lock *is* the contract (e.g. the snapshot
+//! gate serializing whole-bank writes).
+
+use super::lock_order::{acquisitions_in, class_bindings};
+use super::{Sink, SourceFile, Workspace};
+use crate::lexer::TokenKind;
+use std::collections::{BTreeSet, HashMap};
+
+/// Whether `name` is a call a live guard must not span.
+fn banned_callee(name: &str) -> bool {
+    name == "fit"
+        || name.starts_with("fit_")
+        || name.contains("evaluate")
+        || name.contains("characterize")
+        || matches!(name, "write_all" | "write_fmt" | "flush")
+}
+
+/// A live let-bound guard during the body walk.
+struct Held {
+    name: String,
+    line: usize,
+    depth: i64,
+    stmt: usize,
+}
+
+/// Runs the pass over every function in the workspace.
+pub fn run(workspace: &Workspace, sink: &mut Sink<'_>) {
+    let mut crates: BTreeSet<&str> = BTreeSet::new();
+    for file in &workspace.files {
+        crates.insert(&file.crate_name);
+    }
+    for crate_name in crates {
+        let files: Vec<&SourceFile> = workspace.crate_files(crate_name);
+        let bindings = class_bindings(&files);
+        for file in &files {
+            // The analysis crate implements the wrappers themselves; its
+            // internals hold the raw locks by construction. (Path-scoped,
+            // not crate-scoped: fixtures under crates/analysis/tests/
+            // still get the pass.)
+            if file.path.starts_with("crates/analysis/src") {
+                continue;
+            }
+            for item in file.lexed.functions() {
+                if item.is_test {
+                    continue;
+                }
+                let Some(body) = item.body else { continue };
+                check_body(file, &item.name, body, &bindings, sink);
+            }
+        }
+    }
+}
+
+fn check_body(
+    file: &SourceFile,
+    fn_name: &str,
+    body: (usize, usize),
+    bindings: &HashMap<String, String>,
+    sink: &mut Sink<'_>,
+) {
+    let lexed = &file.lexed;
+    let acqs = acquisitions_in(file, body, bindings);
+    if acqs.is_empty() {
+        return;
+    }
+    let guard_at: HashMap<usize, (&String, usize)> = acqs
+        .iter()
+        .filter_map(|a| {
+            a.guard_name
+                .as_ref()
+                .filter(|_| !a.temp)
+                .map(|name| (a.method_ci, (name, a.line)))
+        })
+        .collect();
+    if guard_at.is_empty() {
+        return;
+    }
+    let mut live: Vec<Held> = Vec::new();
+    let mut depth = 0i64;
+    let mut stmt = 0usize;
+    for ci in body.0..body.1 {
+        let token = lexed.code_tok(ci);
+        match token.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                live.retain(|g| g.depth <= depth);
+            }
+            ";" => stmt += 1,
+            "drop" if lexed.seq(ci + 1, &["("]) && ci + 2 < lexed.code_len() => {
+                let victim = lexed.code_tok(ci + 2).text.clone();
+                live.retain(|g| g.name != victim);
+            }
+            _ => {}
+        }
+        if let Some((name, line)) = guard_at.get(&ci) {
+            live.push(Held {
+                name: (*name).clone(),
+                line: *line,
+                depth,
+                stmt,
+            });
+            continue;
+        }
+        if token.kind == TokenKind::Ident
+            && banned_callee(&token.text)
+            && lexed.seq(ci + 1, &["("])
+            && !(ci > 0 && lexed.code_tok(ci - 1).text == "fn")
+        {
+            if let Some(guard) = live.iter().find(|g| g.stmt < stmt) {
+                sink.report(
+                    file,
+                    "guard-across-fit",
+                    token.line,
+                    format!(
+                        "`{}` called in `{fn_name}` while guard `{}` (acquired at line {}) is \
+                         still held; drop the lock before fit/characterize work or writer I/O, \
+                         or waive with a written justification",
+                        token.text, guard.name, guard.line
+                    ),
+                );
+            }
+        }
+    }
+}

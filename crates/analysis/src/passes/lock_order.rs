@@ -1,0 +1,397 @@
+//! The static lock-order pass: rank inversions caught at lint time.
+//!
+//! The runtime's lockdep layer panics when a thread acquires two
+//! [`Ordered*`](crate::lockdep) locks in descending rank order — but only
+//! on interleavings a test actually executes. This pass finds the same
+//! inversions statically: it parses the `LockClass` rank table out of
+//! `lockdep.rs` (the scanned workspace copy when present, the compiled-in
+//! copy otherwise), maps lock bindings to classes from their
+//! `OrderedMutex::new(LockClass::X, …)` construction sites, and then
+//! walks every function body tracking which guards are live at each
+//! acquisition. Acquiring a lower-ranked class while a higher-ranked
+//! guard is live reports a finding naming *both* acquisition sites —
+//! parity with the lockdep runtime panic message.
+//!
+//! Liveness is scoped the way the borrow checker would see it: a
+//! let-bound guard lives to the end of its block (or an explicit
+//! `drop(guard)`); a guard consumed inside one statement (including
+//! through `lock_healthy(…)`) dies at the statement's `;`. A line may
+//! also pin its class explicitly with `// lint: lock-class(Name)` when
+//! the binding is not constructed in the scanned crate.
+
+use super::{Sink, SourceFile, Workspace};
+use crate::lexer::{Lexed, TokenKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The compiled-in lockdep source, so rank parsing works in fixture mode
+/// where the scanned file set does not include `lockdep.rs`.
+const EMBEDDED_LOCKDEP: &str = include_str!("../lockdep.rs");
+
+/// Parses `LockClass::Name => rank` arms from lexed source.
+fn parse_ranks_into(lexed: &Lexed, ranks: &mut BTreeMap<String, u32>) {
+    for ci in 0..lexed.code_len() {
+        if !lexed.seq(ci, &["LockClass", "::"]) || ci + 4 >= lexed.code_len() {
+            continue;
+        }
+        let name = lexed.code_tok(ci + 2);
+        if name.kind != TokenKind::Ident || !lexed.seq(ci + 3, &["=>"]) {
+            continue;
+        }
+        let value = lexed.code_tok(ci + 4);
+        if value.kind == TokenKind::Number {
+            if let Ok(rank) = value.text.replace('_', "").parse::<u32>() {
+                ranks.entry(name.text.clone()).or_insert(rank);
+            }
+        }
+    }
+}
+
+/// The rank table: the workspace's `lockdep.rs` (so edits there are seen
+/// immediately) merged over the compiled-in copy, plus any arms declared
+/// in fixtures.
+pub(super) fn lock_ranks(workspace: &Workspace) -> BTreeMap<String, u32> {
+    let mut ranks = BTreeMap::new();
+    for file in &workspace.files {
+        parse_ranks_into(&file.lexed, &mut ranks);
+    }
+    parse_ranks_into(&Lexed::new(EMBEDDED_LOCKDEP), &mut ranks);
+    ranks
+}
+
+/// Maps binding names (`let slots = …`, `snapshot_gate: …` field inits)
+/// to the `LockClass` they are constructed with. A name constructed with
+/// two different classes is dropped as ambiguous.
+pub(super) fn class_bindings(files: &[&SourceFile]) -> HashMap<String, String> {
+    let mut map: HashMap<String, Option<String>> = HashMap::new();
+    for file in files {
+        let lexed = &file.lexed;
+        for ci in 0..lexed.code_len() {
+            let token = lexed.code_tok(ci);
+            if !matches!(
+                token.text.as_str(),
+                "OrderedMutex" | "OrderedRwLock" | "OrderedCondvar"
+            ) {
+                continue;
+            }
+            if !lexed.seq(ci + 1, &["::", "new", "(", "LockClass", "::"])
+                || ci + 6 >= lexed.code_len()
+            {
+                continue;
+            }
+            let class = lexed.code_tok(ci + 6).text.clone();
+            let Some(name) = binding_name(lexed, ci) else {
+                continue;
+            };
+            match map.get(&name) {
+                Some(Some(existing)) if *existing != class => {
+                    map.insert(name, None); // ambiguous
+                }
+                Some(_) => {}
+                None => {
+                    map.insert(name, Some(class));
+                }
+            }
+        }
+    }
+    map.into_iter()
+        .filter_map(|(name, class)| class.map(|c| (name, c)))
+        .collect()
+}
+
+/// Walks back from a constructor site to the binding it initializes: the
+/// nearest `let name` or struct-literal `name:` before a statement
+/// boundary.
+fn binding_name(lexed: &Lexed, ctor_ci: usize) -> Option<String> {
+    let mut k = ctor_ci;
+    for _ in 0..80 {
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+        let token = lexed.code_tok(k);
+        match token.text.as_str() {
+            ";" | "{" | "}" => return None,
+            "let" => {
+                let mut n = k + 1;
+                if lexed.code_tok(n).text == "mut" {
+                    n += 1;
+                }
+                let name = lexed.code_tok(n);
+                return (name.kind == TokenKind::Ident).then(|| name.text.clone());
+            }
+            _ => {
+                // A struct-literal field init `name:` (a path separator
+                // lexes as a single `::` token, so a bare `:` is
+                // unambiguous here).
+                if token.kind == TokenKind::Ident
+                    && k + 1 < lexed.code_len()
+                    && lexed.code_tok(k + 1).text == ":"
+                {
+                    return Some(token.text.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// One lock acquisition inside a function body.
+pub(super) struct Acquisition {
+    /// Code index of the `lock`/`read`/`write` method ident.
+    pub method_ci: usize,
+    /// Source line of the acquisition.
+    pub line: usize,
+    /// Resolved `LockClass` name, when known.
+    pub class: Option<String>,
+    /// The let binding holding the guard, when the guard outlives its
+    /// statement.
+    pub guard_name: Option<String>,
+    /// Whether the guard dies at its own statement's `;`.
+    pub temp: bool,
+}
+
+/// Finds the acquisitions in a code-token range. An acquisition is a
+/// `.lock(` / `.read(` / `.write(` whose receiver resolves to a known
+/// lock class (via `bindings` or a `// lint: lock-class(Name)` line
+/// annotation), or any such call wrapped in `lock_healthy(…)`.
+pub(super) fn acquisitions_in(
+    file: &SourceFile,
+    range: (usize, usize),
+    bindings: &HashMap<String, String>,
+) -> Vec<Acquisition> {
+    let lexed = &file.lexed;
+    let mut out = Vec::new();
+    for ci in range.0..range.1 {
+        let token = lexed.code_tok(ci);
+        if !matches!(token.text.as_str(), "lock" | "read" | "write")
+            || token.kind != TokenKind::Ident
+            || ci == 0
+            || lexed.code_tok(ci - 1).text != "."
+            || !lexed.seq(ci + 1, &["("])
+        {
+            continue;
+        }
+        let stmt_start = statement_start(lexed, ci, range.0);
+        let wrapped = (stmt_start..ci).any(|k| lexed.code_tok(k).text == "lock_healthy");
+        let class = lexed
+            .annotation_in(token.line..=token.line, "lock-class(")
+            .and_then(|body| {
+                let inner = body.strip_prefix("lock-class(")?;
+                Some(inner[..inner.find(')')?].trim().to_string())
+            })
+            .or_else(|| receiver_of(lexed, ci - 1).and_then(|name| bindings.get(&name).cloned()));
+        if class.is_none() && !wrapped {
+            continue;
+        }
+        let (guard_name, temp) = guard_binding(lexed, ci, stmt_start, wrapped);
+        out.push(Acquisition {
+            method_ci: ci,
+            line: token.line,
+            class,
+            guard_name,
+            temp,
+        });
+    }
+    out
+}
+
+/// The receiver ident of a method call: for `self.inner.snapshot_gate.`
+/// at the final dot, `snapshot_gate`; walks back over one `[index]`.
+fn receiver_of(lexed: &Lexed, dot_ci: usize) -> Option<String> {
+    if dot_ci == 0 {
+        return None;
+    }
+    let mut k = dot_ci - 1;
+    if lexed.code_tok(k).text == "]" {
+        let mut depth = 0usize;
+        loop {
+            match lexed.code_tok(k).text.as_str() {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if k == 0 {
+                return None;
+            }
+            k -= 1;
+        }
+        if k == 0 {
+            return None;
+        }
+        k -= 1;
+    }
+    let token = lexed.code_tok(k);
+    (token.kind == TokenKind::Ident).then(|| token.text.clone())
+}
+
+/// Code index just after the statement boundary (`;`, `{`, `}`) nearest
+/// before `ci`, clamped to `floor`.
+fn statement_start(lexed: &Lexed, ci: usize, floor: usize) -> usize {
+    let mut k = ci;
+    while k > floor {
+        k -= 1;
+        if matches!(lexed.code_tok(k).text.as_str(), ";" | "{" | "}") {
+            return k + 1;
+        }
+    }
+    floor
+}
+
+/// Classifies the guard produced by the acquisition at `method_ci`:
+/// `(let binding name, temporary?)`. A guard whose full call expression
+/// (including a `lock_healthy(…)` wrapper) is immediately chained into
+/// another method is consumed within its statement.
+fn guard_binding(
+    lexed: &Lexed,
+    method_ci: usize,
+    stmt_start: usize,
+    wrapped: bool,
+) -> (Option<String>, bool) {
+    let mut close = match_paren_forward(lexed, method_ci + 1);
+    if wrapped {
+        if let Some(lh) =
+            (stmt_start..method_ci).find(|&k| lexed.code_tok(k).text == "lock_healthy")
+        {
+            if let Some(open) = (lh..method_ci).find(|&k| lexed.code_tok(k).text == "(") {
+                close = match_paren_forward(lexed, open);
+            }
+        }
+    }
+    if close + 1 < lexed.code_len() && lexed.code_tok(close + 1).text == "." {
+        return (None, true);
+    }
+    if lexed.code_tok(stmt_start).text == "let" {
+        let mut n = stmt_start + 1;
+        if lexed.code_tok(n).text == "mut" {
+            n += 1;
+        }
+        let name = lexed.code_tok(n);
+        if name.kind == TokenKind::Ident {
+            return (Some(name.text.clone()), false);
+        }
+    }
+    (None, true)
+}
+
+/// Code index of the `)` matching the `(` at `open`.
+fn match_paren_forward(lexed: &Lexed, open: usize) -> usize {
+    let mut depth = 0usize;
+    for ci in open..lexed.code_len() {
+        match lexed.code_tok(ci).text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return ci;
+                }
+            }
+            _ => {}
+        }
+    }
+    lexed.code_len().saturating_sub(1)
+}
+
+/// A guard being tracked through a body walk.
+struct LiveGuard {
+    class: String,
+    rank: u32,
+    line: usize,
+    name: Option<String>,
+    depth: i64,
+    stmt: usize,
+    temp: bool,
+}
+
+/// Runs the lock-order pass over every crate in the workspace.
+pub fn run(workspace: &Workspace, sink: &mut Sink<'_>) {
+    let ranks = lock_ranks(workspace);
+    let mut crates: BTreeSet<&str> = BTreeSet::new();
+    for file in &workspace.files {
+        crates.insert(&file.crate_name);
+    }
+    for crate_name in crates {
+        let files: Vec<&SourceFile> = workspace.crate_files(crate_name);
+        let bindings = class_bindings(&files);
+        for file in &files {
+            for item in file.lexed.functions() {
+                if item.is_test {
+                    continue;
+                }
+                let Some(body) = item.body else { continue };
+                check_body(file, item.name.as_str(), body, &bindings, &ranks, sink);
+            }
+        }
+    }
+}
+
+fn check_body(
+    file: &SourceFile,
+    fn_name: &str,
+    body: (usize, usize),
+    bindings: &HashMap<String, String>,
+    ranks: &BTreeMap<String, u32>,
+    sink: &mut Sink<'_>,
+) {
+    let lexed = &file.lexed;
+    let acqs = acquisitions_in(file, body, bindings);
+    if acqs.len() < 2 {
+        return;
+    }
+    let by_ci: HashMap<usize, &Acquisition> = acqs.iter().map(|a| (a.method_ci, a)).collect();
+    let mut live: Vec<LiveGuard> = Vec::new();
+    let mut depth = 0i64;
+    let mut stmt = 0usize;
+    let mut ci = body.0;
+    while ci < body.1 {
+        match lexed.code_tok(ci).text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                live.retain(|g| g.depth <= depth);
+            }
+            ";" => {
+                live.retain(|g| !(g.temp && g.stmt == stmt));
+                stmt += 1;
+            }
+            "drop" if lexed.seq(ci + 1, &["("]) && ci + 2 < lexed.code_len() => {
+                let victim = lexed.code_tok(ci + 2).text.clone();
+                live.retain(|g| g.name.as_deref() != Some(victim.as_str()));
+            }
+            _ => {}
+        }
+        if let Some(acq) = by_ci.get(&ci) {
+            if let Some(class) = &acq.class {
+                if let Some(&rank) = ranks.get(class) {
+                    for held in live.iter().filter(|g| g.rank > rank) {
+                        sink.report(
+                            file,
+                            "lock-order",
+                            acq.line,
+                            format!(
+                                "lock-order inversion in `{fn_name}`: `{class}` (rank {rank}) \
+                                 acquired at line {} while `{}` (rank {}) acquired at line {} \
+                                 is still held; classes must be locked in ascending rank order",
+                                acq.line, held.class, held.rank, held.line
+                            ),
+                        );
+                    }
+                    live.push(LiveGuard {
+                        class: class.clone(),
+                        rank,
+                        line: acq.line,
+                        name: acq.guard_name.clone(),
+                        depth,
+                        stmt,
+                        temp: acq.temp,
+                    });
+                }
+            }
+        }
+        ci += 1;
+    }
+}

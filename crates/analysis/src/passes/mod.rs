@@ -1,0 +1,256 @@
+//! The lint pass framework: workspace model, waivers, and the reporting
+//! sink every pass emits through.
+//!
+//! A [`Workspace`] is a set of lexed [`SourceFile`]s (plus the optional
+//! interleaving-test manifest). Passes walk the token streams and report
+//! [`Finding`]s through a [`Sink`], which applies
+//! the waiver policy uniformly:
+//!
+//! * **same-line waiver** — `// lint: allow(rule) -- reason` trailing the
+//!   offending line suppresses that rule on that line only; standing
+//!   alone on its own line, the same comment covers the next code line
+//!   (where rustfmt leaves long justifications);
+//! * **file-header waiver** — the same comment *before the first code
+//!   token* of the file suppresses the rule for the whole file;
+//! * **justification** — waivers for the semantic passes
+//!   ([`JUSTIFIED_RULES`]) are honored only when they carry a nonempty
+//!   reason after `--` (or after the closing paren); a bare waiver is
+//!   ignored and the finding stands;
+//! * **staleness** — a waiver that never suppressed anything becomes an
+//!   `unused-waiver` finding itself, so stale exemptions get cleaned up.
+//!
+//! Each pass lives in its own submodule: [`style`] carries the ported
+//! line rules (unwrap, atomics, raw-mutex, frame-ingest, snapshot-io,
+//! sleep, forbid-unsafe); [`hot_path`], [`lock_order`], [`guard_fit`],
+//! [`counters`] and [`yields`] are the semantic passes over the token
+//! engine.
+
+pub mod counters;
+pub mod guard_fit;
+pub mod hot_path;
+pub mod lock_order;
+pub mod style;
+pub mod yields;
+
+use crate::lexer::{annotation_body, Lexed, TokenKind};
+use crate::lint::{FileKind, Finding};
+use std::cell::Cell;
+
+/// Rules whose waivers must carry a written justification to take effect.
+pub const JUSTIFIED_RULES: &[&str] = &[
+    "hot-path-alloc",
+    "lock-order",
+    "guard-across-fit",
+    "counter-reconciliation",
+    "yield-coverage",
+];
+
+/// One parsed waiver comment (`// lint: allow(rule) -- reason`).
+#[derive(Debug)]
+pub struct Waiver {
+    /// The rule the waiver names.
+    pub rule: String,
+    /// The line the waiver applies to; `None` for a file-header waiver.
+    pub line: Option<usize>,
+    /// The justification text after the rule (may be empty).
+    pub reason: String,
+    /// The line the waiver comment itself sits on (for staleness reports).
+    pub comment_line: usize,
+    /// Set once the waiver suppresses at least one finding.
+    pub used: Cell<bool>,
+}
+
+/// One lexed source file with its lint scoping metadata.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (used for scoping and
+    /// reporting).
+    pub path: String,
+    /// Which rule set the file gets.
+    pub kind: FileKind,
+    /// The crate the file belongs to (`runtime` for
+    /// `crates/runtime/src/…`, `hebs` for the facade, the path itself for
+    /// fixtures) — call-closure and counter passes stay within one crate.
+    pub crate_name: String,
+    /// The lexed token stream and item layer.
+    pub lexed: Lexed,
+    /// Waivers parsed from the file's comments.
+    pub waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    /// Lexes `contents` and parses its waivers.
+    pub fn new(path: &str, kind: FileKind, contents: &str) -> Self {
+        let crate_name = match path.strip_prefix("crates/") {
+            Some(rest) => rest.split('/').next().unwrap_or("crate").to_string(),
+            None if path.starts_with("src/") => "hebs".to_string(),
+            None => path.to_string(),
+        };
+        let lexed = Lexed::new(contents);
+        let waivers = parse_waivers(&lexed);
+        SourceFile {
+            path: path.to_string(),
+            kind,
+            crate_name,
+            lexed,
+            waivers,
+        }
+    }
+}
+
+/// Parses every `lint: allow(rule)` waiver comment in the file. A waiver
+/// before the first code token is a file-header waiver; a trailing waiver
+/// applies to its own line; a waiver standing alone on a line applies to
+/// the next code line (so long justifications can sit above the line they
+/// cover, where rustfmt leaves them be).
+fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
+    let code_lines: Vec<usize> = lexed
+        .all_tokens()
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|t| t.line)
+        .collect();
+    let first_code_line = code_lines.first().copied();
+    let mut waivers = Vec::new();
+    for token in lexed.all_tokens() {
+        if token.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some(body) = annotation_body(&token.text) else {
+            continue;
+        };
+        let Some(rest) = body.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..]
+            .trim()
+            .trim_start_matches("--")
+            .trim()
+            .to_string();
+        let is_header = first_code_line.map_or(true, |line| token.line < line);
+        let line = if is_header {
+            None
+        } else if code_lines.binary_search(&token.line).is_ok() {
+            Some(token.line)
+        } else {
+            // Standalone comment: covers the next line holding code.
+            Some(
+                code_lines[code_lines
+                    .partition_point(|&l| l <= token.line)
+                    .min(code_lines.len() - 1)],
+            )
+        };
+        waivers.push(Waiver {
+            rule,
+            line,
+            reason,
+            comment_line: token.line,
+            used: Cell::new(false),
+        });
+    }
+    waivers
+}
+
+/// A lexed workspace: the library files plus the interleaving-test
+/// manifest (`tests/interleaving.rs`) when present.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Library and fixture files in scan order.
+    pub files: Vec<SourceFile>,
+    /// The interleaving replay test, lexed for the yield-coverage pass.
+    pub manifest: Option<SourceFile>,
+}
+
+impl Workspace {
+    /// A workspace holding a single file (unit tests, fixture mode).
+    pub fn single(file: SourceFile) -> Self {
+        Workspace {
+            files: vec![file],
+            manifest: None,
+        }
+    }
+
+    /// Files belonging to `crate_name`, for same-crate passes.
+    pub fn crate_files<'a>(&'a self, crate_name: &str) -> Vec<&'a SourceFile> {
+        let crate_name = crate_name.to_string();
+        self.files
+            .iter()
+            .filter(|f| f.crate_name == crate_name)
+            .collect()
+    }
+}
+
+/// The reporting funnel: applies waivers and collects findings.
+pub struct Sink<'a> {
+    out: &'a mut Vec<Finding>,
+}
+
+impl<'a> Sink<'a> {
+    /// Wraps an output vector.
+    pub fn new(out: &'a mut Vec<Finding>) -> Self {
+        Sink { out }
+    }
+
+    /// Reports one finding against `file` at `line`, unless a same-line or
+    /// file-header waiver suppresses it. Waivers for [`JUSTIFIED_RULES`]
+    /// only count when they carry a reason.
+    pub fn report(&mut self, file: &SourceFile, rule: &'static str, line: usize, message: String) {
+        let needs_reason = JUSTIFIED_RULES.contains(&rule);
+        let waived = file.waivers.iter().any(|w| {
+            w.rule == rule
+                && (w.line.is_none() || w.line == Some(line))
+                && (!needs_reason || !w.reason.is_empty())
+                && {
+                    w.used.set(true);
+                    true
+                }
+        });
+        if !waived {
+            self.out.push(Finding {
+                rule,
+                path: file.path.clone(),
+                line,
+                message,
+            });
+        }
+    }
+}
+
+/// Runs every pass over the workspace and appends `unused-waiver`
+/// findings for waivers nothing used. Findings come back sorted by
+/// `(path, line)` so reports and JSON output are deterministic.
+pub fn run_all(workspace: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    {
+        let mut sink = Sink::new(&mut out);
+        for file in &workspace.files {
+            style::run(file, &mut sink);
+        }
+        hot_path::run(workspace, &mut sink);
+        lock_order::run(workspace, &mut sink);
+        guard_fit::run(workspace, &mut sink);
+        counters::run(workspace, &mut sink);
+        yields::run(workspace, &mut sink);
+    }
+    for file in workspace.files.iter().chain(workspace.manifest.as_ref()) {
+        for waiver in &file.waivers {
+            if !waiver.used.get() {
+                out.push(Finding {
+                    rule: "unused-waiver",
+                    path: file.path.clone(),
+                    line: waiver.comment_line,
+                    message: format!(
+                        "waiver for `{}` never suppressed a finding; remove the stale exemption",
+                        waiver.rule
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}

@@ -1,0 +1,163 @@
+//! The ported line rules on the token engine: unwrap, forbid-unsafe,
+//! atomic-ordering justification, no-sleep, raw-mutex, frame-ingest and
+//! snapshot-io.
+//!
+//! These are the rules the old line-regex scanner carried, re-expressed
+//! as token-sequence matches. Working on tokens removes the old scanner's
+//! blind spots for free: a pattern inside a string literal or a comment
+//! is a [`Str`](crate::lexer::TokenKind::Str)/comment token and can never
+//! match an identifier sequence, so the pass can scan its own source
+//! without `concat!` tricks, and `#[cfg(test)]` regions come from real
+//! attribute parsing instead of brace counting.
+
+use super::{Sink, SourceFile};
+use crate::lexer::TokenKind;
+use crate::lint::FileKind;
+
+/// Marker a fixture uses to opt into the crate-root rule (written as a
+/// comment: `// lint-scope: crate-root`).
+const CRATE_ROOT_MARK: &str = "lint-scope: crate-root";
+
+/// Runs every style rule over one file.
+pub fn run(file: &SourceFile, sink: &mut Sink<'_>) {
+    let lexed = &file.lexed;
+    let fixture = file.kind == FileKind::Fixture;
+    let crate_root = file.kind == FileKind::CrateRoot
+        || (fixture
+            && lexed
+                .all_tokens()
+                .iter()
+                .any(|t| t.kind == TokenKind::LineComment && t.text.contains(CRATE_ROOT_MARK)));
+    let runtime_scope = fixture || file.path.starts_with("crates/runtime/src");
+    let raw_mutex_scope = !file.path.starts_with("crates/analysis");
+
+    if crate_root {
+        let sealed = (0..lexed.code_len())
+            .any(|ci| lexed.seq(ci, &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"]));
+        if !sealed {
+            sink.report(
+                file,
+                "forbid-unsafe",
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            );
+        }
+    }
+
+    for ci in 0..lexed.code_len() {
+        let token = lexed.code_tok(ci);
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        let line = token.line;
+
+        // raw-mutex applies even in test regions: tests synchronize
+        // through the ordered wrappers too, so lockdep sees their edges.
+        if raw_mutex_scope && matches!(token.text.as_str(), "Mutex" | "MutexGuard" | "Condvar") {
+            let wrapper = if token.text == "Condvar" {
+                "Condvar"
+            } else {
+                "Mutex"
+            };
+            sink.report(
+                file,
+                "raw-mutex",
+                line,
+                format!(
+                    "raw `std::sync::{}` outside crates/analysis; use the Ordered{wrapper} \
+                     wrapper so the lock carries a rank",
+                    token.text
+                ),
+            );
+        }
+
+        if lexed.in_test(ci) {
+            continue;
+        }
+
+        if runtime_scope && (token.text == "unwrap" || token.text == "expect") {
+            let is_method =
+                ci >= 1 && lexed.code_tok(ci - 1).text == "." && lexed.seq(ci + 1, &["("]);
+            if is_method {
+                sink.report(
+                    file,
+                    "no-unwrap",
+                    line,
+                    format!(
+                        "`.{}(...)` in runtime library code; recover poisoned locks via \
+                         `lock_healthy` or surface a RuntimeError",
+                        token.text
+                    ),
+                );
+            }
+        }
+
+        if token.text == "Ordering" && lexed.seq(ci + 1, &["::"]) {
+            let target = lexed.code_tok(ci + 2);
+            if matches!(target.text.as_str(), "Relaxed" | "SeqCst")
+                && !lexed.line_comment_contains(target.line, "ordering:")
+            {
+                sink.report(
+                    file,
+                    "atomic-ordering",
+                    line,
+                    format!(
+                        "`Ordering::{}` without a trailing `// ordering:` justification comment",
+                        target.text
+                    ),
+                );
+            }
+        }
+
+        if token.text == "thread" && lexed.seq(ci + 1, &["::", "sleep"]) {
+            sink.report(
+                file,
+                "no-sleep",
+                line,
+                "`thread::sleep` in library code; blocking the pool hides backpressure".to_string(),
+            );
+        }
+
+        // The fused-ingest and snapshot-io rules share the runtime scope:
+        // serve-path library code under crates/runtime/src, plus fixtures.
+        if runtime_scope {
+            if matches!(token.text.as_str(), "Histogram" | "HistogramSignature")
+                && lexed.seq(ci + 1, &["::", "of", "("])
+            {
+                sink.report(
+                    file,
+                    "frame-ingest",
+                    line,
+                    format!(
+                        "direct `{}::of(...)` pixel pass in runtime library code; the serve \
+                         path computes histogram, signature and content hash in one fused \
+                         `FrameIngest` pass",
+                        token.text
+                    ),
+                );
+            }
+            if token.text == "std" && lexed.seq(ci + 1, &["::", "fs"]) {
+                sink.report(file, "snapshot-io", line, snapshot_io_message("std::fs"));
+            }
+            if token.text == "File" && lexed.seq(ci + 1, &["::"]) {
+                let ctor = lexed.code_tok(ci + 2);
+                if matches!(ctor.text.as_str(), "open" | "create") && lexed.seq(ci + 3, &["("]) {
+                    sink.report(
+                        file,
+                        "snapshot-io",
+                        line,
+                        snapshot_io_message(&format!("File::{}(", ctor.text)),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn snapshot_io_message(pattern: &str) -> String {
+    format!(
+        "`{pattern}...` in runtime library code; snapshot save/restore takes caller-supplied \
+         Read/Write streams so path handling and fsync policy stay with the caller and I/O \
+         failures surface as typed SnapshotError::Io values"
+    )
+}

@@ -1,0 +1,135 @@
+//! The yield-point coverage pass: every interleaving seam is replayed,
+//! and the replay manifest never goes stale.
+//!
+//! The runtime's race-prone seams carry `interleave::point("…")` markers
+//! that the seeded interleaving tests perturb. A point nothing replays is
+//! a seam with no schedule coverage; a manifest entry with no matching
+//! point is a test that silently stopped exercising anything. This pass
+//! cross-checks the two directions:
+//!
+//! * every `interleave::point("name")` in library code must be listed in
+//!   the `COVERED_POINTS` manifest of `tests/interleaving.rs`;
+//! * every name in `COVERED_POINTS` must exist as a point in library
+//!   code.
+//!
+//! In fixture mode a single file plays both roles: its points are
+//! checked against its own `COVERED_POINTS` const (absent const = empty
+//! manifest).
+
+use super::{Sink, Workspace};
+use crate::lexer::{Lexed, TokenKind};
+use crate::lint::FileKind;
+use std::collections::BTreeMap;
+
+/// Collects `interleave::point("name")` literals as `name → first line`.
+fn points_in(lexed: &Lexed) -> BTreeMap<String, usize> {
+    let mut points = BTreeMap::new();
+    for ci in 2..lexed.code_len() {
+        let token = lexed.code_tok(ci);
+        if token.kind == TokenKind::Str
+            && lexed.code_tok(ci - 1).text == "("
+            && lexed.code_tok(ci - 2).text == "point"
+            && ci >= 3
+            && lexed.code_tok(ci - 3).text == "::"
+        {
+            points.entry(token.text.clone()).or_insert(token.line);
+        }
+    }
+    points
+}
+
+/// Collects the string literals of a `COVERED_POINTS` const declaration,
+/// or `None` when the file declares no manifest.
+fn covered_points(lexed: &Lexed) -> Option<BTreeMap<String, usize>> {
+    let name = (0..lexed.code_len()).find(|&ci| lexed.code_tok(ci).text == "COVERED_POINTS")?;
+    // Skip past the declaration's type ascription (which may itself
+    // contain `;`, as in `[&str; 9]`) to the initializer.
+    let start = (name..lexed.code_len()).find(|&ci| lexed.code_tok(ci).text == "=")?;
+    let mut covered = BTreeMap::new();
+    for ci in start..lexed.code_len() {
+        let token = lexed.code_tok(ci);
+        if token.text == ";" {
+            break;
+        }
+        if token.kind == TokenKind::Str {
+            covered.entry(token.text.clone()).or_insert(token.line);
+        }
+    }
+    Some(covered)
+}
+
+/// Runs the coverage check: workspace mode uses the lexed
+/// `tests/interleaving.rs` manifest; fixtures are self-contained.
+pub fn run(workspace: &Workspace, sink: &mut Sink<'_>) {
+    if let Some(manifest) = &workspace.manifest {
+        let covered = covered_points(&manifest.lexed).unwrap_or_default();
+        let mut all_points: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for (fi, file) in workspace.files.iter().enumerate() {
+            if file.kind == FileKind::Fixture {
+                continue;
+            }
+            for (name, line) in points_in(&file.lexed) {
+                all_points.entry(name).or_insert((fi, line));
+            }
+        }
+        for (name, &(fi, line)) in &all_points {
+            if !covered.contains_key(name) {
+                sink.report(
+                    &workspace.files[fi],
+                    "yield-coverage",
+                    line,
+                    format!(
+                        "yield point `{name}` is not exercised by tests/interleaving.rs; add \
+                         it to COVERED_POINTS and a replay scenario"
+                    ),
+                );
+            }
+        }
+        for (name, &line) in &covered {
+            if !all_points.contains_key(name) {
+                sink.report(
+                    manifest,
+                    "yield-coverage",
+                    line,
+                    format!(
+                        "COVERED_POINTS lists `{name}` but no `interleave::point(\"{name}\")` \
+                         exists in library code; the replay scenario no longer exercises a \
+                         real seam"
+                    ),
+                );
+            }
+        }
+    }
+
+    for file in &workspace.files {
+        if file.kind != FileKind::Fixture {
+            continue;
+        }
+        let points = points_in(&file.lexed);
+        let manifest = covered_points(&file.lexed);
+        if points.is_empty() && manifest.is_none() {
+            continue;
+        }
+        let covered = manifest.unwrap_or_default();
+        for (name, &line) in &points {
+            if !covered.contains_key(name) {
+                sink.report(
+                    file,
+                    "yield-coverage",
+                    line,
+                    format!("yield point `{name}` is not listed in this fixture's COVERED_POINTS"),
+                );
+            }
+        }
+        for (name, &line) in &covered {
+            if !points.contains_key(name) {
+                sink.report(
+                    file,
+                    "yield-coverage",
+                    line,
+                    format!("COVERED_POINTS lists `{name}` but the fixture declares no such point"),
+                );
+            }
+        }
+    }
+}

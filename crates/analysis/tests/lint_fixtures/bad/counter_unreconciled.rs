@@ -1,0 +1,19 @@
+// A stats counter nothing increments and the snapshot forgot: the
+// dashboard reads zero forever. `hits` is fully reconciled; `misses`
+// trips all three sub-checks (no write site, no load site, absent from
+// the snapshot body).
+
+pub struct ShardStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardStats {
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally, read only by snapshots
+    }
+
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Acquire), 0)
+    }
+}

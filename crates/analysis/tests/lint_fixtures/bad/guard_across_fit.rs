@@ -1,0 +1,20 @@
+// A sketch guard held across characterization work: the rebuild fit can
+// take milliseconds, and every serve sampling into the sketch convoys
+// behind it. The guard must be dropped (or the sketch drained into a
+// local) before the heavy call.
+
+pub struct Bank {
+    slots: OrderedMutex<Slots>,
+}
+
+pub fn build() -> Bank {
+    Bank {
+        slots: OrderedMutex::new(LockClass::Sketch, Slots::default()),
+    }
+}
+
+pub fn rebuild(bank: &Bank) -> Curve {
+    let guard = bank.slots.lock();
+    let sketch = guard.sketch();
+    characterize_from(sketch)
+}

@@ -1,0 +1,18 @@
+// A serve-path root must not allocate: the fused ingest hands every
+// stage its buffers and steady-state fits reuse worker scratch. The
+// allocation here hides one call below the annotated root — the pass
+// follows the same-crate call closure, not just the root body.
+
+// lint: hot-path
+pub fn serve(frame: &Frame, scratch: &mut Scratch) -> Outcome {
+    let key = derive_key(frame);
+    fit_with(key, scratch)
+}
+
+fn derive_key(frame: &Frame) -> Key {
+    Key::from(frame.bytes.to_vec())
+}
+
+fn fit_with(key: Key, scratch: &mut Scratch) -> Outcome {
+    scratch.apply(key)
+}

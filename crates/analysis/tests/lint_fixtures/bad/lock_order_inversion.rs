@@ -1,0 +1,22 @@
+// Descending-rank acquisition: a CacheShard lock (rank 40) taken while
+// a FlightTable guard (rank 50) is still live. The lockdep runtime
+// panics on this only when a test executes the interleaving; the static
+// pass reports it at lint time, naming both acquisition sites.
+
+pub struct Shards {
+    flights: OrderedMutex<FlightSet>,
+    shards: [OrderedMutex<Shard>; 8],
+}
+
+pub fn build() -> Shards {
+    Shards {
+        flights: OrderedMutex::new(LockClass::FlightTable, FlightSet::default()),
+        shards: core::array::from_fn(|_| OrderedMutex::new(LockClass::CacheShard, Shard::default())),
+    }
+}
+
+pub fn promote(table: &Shards, slot: usize) {
+    let flight = table.flights.lock();
+    let shard = table.shards[slot].lock();
+    shard.insert(flight.key());
+}

@@ -1,0 +1,12 @@
+// Yield-coverage drift, both directions: `shard.evict` is a real seam
+// with no replay coverage, and `shard.stale` is a manifest entry whose
+// point no longer exists — a scenario that silently stopped exercising
+// anything.
+
+const COVERED_POINTS: [&str; 2] = ["shard.insert", "shard.stale"];
+
+pub fn insert(shard: &Shard, key: Key) {
+    interleave::point("shard.insert");
+    shard.put(key);
+    interleave::point("shard.evict");
+}

@@ -1,0 +1,34 @@
+// Guard hygiene around heavy work, three shapes the pass accepts: a
+// block scope ending the guard before the characterize call, an explicit
+// `drop` before writer I/O, and a guard consumed within one statement
+// (guarded data access, not a hold-across).
+
+pub struct Bank {
+    slots: OrderedMutex<Slots>,
+}
+
+pub fn build() -> Bank {
+    Bank {
+        slots: OrderedMutex::new(LockClass::Sketch, Slots::default()),
+    }
+}
+
+pub fn rebuild(bank: &Bank) -> Curve {
+    let sketch = {
+        let guard = bank.slots.lock();
+        guard.sketch()
+    };
+    characterize_from(sketch)
+}
+
+pub fn flush(bank: &Bank, out: &mut ByteSink) {
+    let guard = bank.slots.lock();
+    let bytes = guard.encode();
+    drop(guard);
+    out.write_all(&bytes);
+}
+
+pub fn occupancy_fit(bank: &Bank) -> Curve {
+    let len = bank.slots.lock().len();
+    fit_for(len)
+}

@@ -1,0 +1,26 @@
+// The allocation-free serve path: scratch reuse on the steady state, a
+// `// lint: cold-path` boundary fencing off the rebuild (which may
+// allocate freely — the closure stops there), and a justified waiver
+// where a refcount bump is the contract.
+
+// lint: hot-path
+pub fn serve(frame: &Frame, scratch: &mut Scratch) -> Outcome {
+    let key = derive_key(frame, scratch);
+    maybe_rebuild(scratch);
+    fit_with(key, scratch)
+}
+
+fn derive_key(frame: &Frame, scratch: &mut Scratch) -> Key {
+    scratch.ingest(frame)
+}
+
+// lint: cold-path
+fn maybe_rebuild(scratch: &mut Scratch) {
+    let staging: Vec<u8> = Vec::new();
+    scratch.rebuild_into(staging);
+}
+
+fn fit_with(key: Key, scratch: &mut Scratch) -> Outcome {
+    let bank = scratch.bank.clone(); // lint: allow(hot-path-alloc) -- Arc refcount bump handing the bank to the fit; no pixels are copied
+    bank.apply(key)
+}

@@ -1,0 +1,29 @@
+// Rank-ordered locking passes: ascending acquisition, and a descending
+// *sequence* is fine when the higher-ranked guard is dropped first —
+// liveness, not source order, is what the pass tracks.
+
+pub struct Shards {
+    flights: OrderedMutex<FlightSet>,
+    shards: [OrderedMutex<Shard>; 8],
+}
+
+pub fn build() -> Shards {
+    Shards {
+        flights: OrderedMutex::new(LockClass::FlightTable, FlightSet::default()),
+        shards: core::array::from_fn(|_| OrderedMutex::new(LockClass::CacheShard, Shard::default())),
+    }
+}
+
+pub fn promote(table: &Shards, slot: usize) {
+    let shard = table.shards[slot].lock();
+    let flight = table.flights.lock();
+    flight.note(shard.len());
+}
+
+pub fn requeue(table: &Shards, slot: usize) {
+    let flight = table.flights.lock();
+    let key = flight.key();
+    drop(flight);
+    let shard = table.shards[slot].lock();
+    shard.insert(key);
+}

@@ -1,0 +1,10 @@
+// The manifest and the seams agree exactly: every `interleave::point`
+// is listed in COVERED_POINTS and every entry names a real point.
+
+const COVERED_POINTS: [&str; 2] = ["shard.evict", "shard.insert"];
+
+pub fn insert(shard: &Shard, key: Key) {
+    interleave::point("shard.insert");
+    shard.put(key);
+    interleave::point("shard.evict");
+}

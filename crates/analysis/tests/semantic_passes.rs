@@ -1,0 +1,127 @@
+//! End-to-end checks for the semantic passes against *real* workspace
+//! sources: a seeded lock-order inversion must name both acquisition
+//! sites, a seeded allocation in the engine's serve path must fail the
+//! lint, and the binary's `--json` report must round-trip the findings.
+
+use hebs_analysis::lint::{self, FileKind, Finding};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/analysis sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn engine_source() -> String {
+    std::fs::read_to_string(repo_root().join("crates/runtime/src/engine.rs"))
+        .expect("crates/runtime/src/engine.rs is readable")
+}
+
+/// The seeded inversion the concurrency docs use as the canonical
+/// example: a CacheShard lock taken under a live FlightTable guard. The
+/// report must carry *both* acquisition sites, like the lockdep panic.
+#[test]
+fn lock_order_pass_names_both_sites_of_a_seeded_inversion() {
+    let source = "\
+pub struct Shards {
+    flights: OrderedMutex<FlightSet>,
+    shards: [OrderedMutex<Shard>; 8],
+}
+
+pub fn build() -> Shards {
+    Shards {
+        flights: OrderedMutex::new(LockClass::FlightTable, FlightSet::default()),
+        shards: core::array::from_fn(|_| OrderedMutex::new(LockClass::CacheShard, Shard::default())),
+    }
+}
+
+pub fn promote(table: &Shards, slot: usize) {
+    let flight = table.flights.lock();
+    let shard = table.shards[slot].lock();
+    shard.insert(flight.key());
+}
+";
+    let findings = lint::scan_source("crates/runtime/src/seeded.rs", FileKind::Library, source);
+    let inversions: Vec<&Finding> = findings.iter().filter(|f| f.rule == "lock-order").collect();
+    assert_eq!(
+        inversions.len(),
+        1,
+        "expected exactly one inversion, got: {findings:?}"
+    );
+    let report = &inversions[0];
+    assert_eq!(report.line, 15, "reported at the lower-ranked acquisition");
+    assert!(
+        report
+            .message
+            .contains("`CacheShard` (rank 40) acquired at line 15"),
+        "names the offending site: {}",
+        report.message
+    );
+    assert!(
+        report
+            .message
+            .contains("`FlightTable` (rank 50) acquired at line 14"),
+        "names the held guard's site: {}",
+        report.message
+    );
+}
+
+/// Seeding a heap allocation into the real engine's `fn serve` (a
+/// `// lint: hot-path` root) must fail the lint; the unmodified source
+/// must not carry that finding. This pins the pass to the actual serve
+/// path, not just fixtures.
+#[test]
+fn seeded_allocation_in_the_real_serve_fn_fails_the_lint() {
+    let pristine = engine_source();
+    let marker = "fn serve(";
+    let open = pristine
+        .find(marker)
+        .and_then(|at| pristine[at..].find(" {\n").map(|off| at + off + 3))
+        .expect("engine.rs declares fn serve with a body");
+    let mut seeded = pristine.clone();
+    seeded.insert_str(open, "        let leak: Vec<u8> = Vec::new();\n");
+
+    let path = "crates/runtime/src/engine.rs";
+    let before = lint::scan_source(path, FileKind::Library, &pristine);
+    assert!(
+        !before.iter().any(|f| f.rule == "hot-path-alloc"),
+        "pristine engine.rs must be allocation-clean on the serve path: {before:?}"
+    );
+    let after = lint::scan_source(path, FileKind::Library, &seeded);
+    let alloc: Vec<&Finding> = after
+        .iter()
+        .filter(|f| f.rule == "hot-path-alloc")
+        .collect();
+    assert!(
+        alloc.iter().any(
+            |f| f.message.contains("`Vec::new`") && f.message.contains("serve-path fn `serve`")
+        ),
+        "the seeded Vec::new must be flagged inside fn serve: {after:?}"
+    );
+}
+
+/// The `--json` report the CI analysis job uploads: findings round-trip
+/// through the binary with rule, path, line and message fields.
+#[test]
+fn lint_binary_writes_the_json_findings_artifact() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint_fixtures/bad/lock_order_inversion.rs");
+    let json_path =
+        std::env::temp_dir().join(format!("hebs_lint_findings_{}.json", std::process::id()));
+    let output = Command::new(env!("CARGO_BIN_EXE_lint"))
+        .arg("--fixture")
+        .arg(&fixture)
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .expect("failed to run the lint binary");
+    assert!(!output.status.success(), "the bad fixture must fail");
+    let json = std::fs::read_to_string(&json_path).expect("json artifact written");
+    let _ = std::fs::remove_file(&json_path);
+    assert!(json.contains("\"files_scanned\": 1"), "{json}");
+    assert!(json.contains("\"rule\": \"lock-order\""), "{json}");
+    assert!(json.contains("lock-order inversion in `promote`"), "{json}");
+}

@@ -16,6 +16,10 @@
 //! speed; only the latency percentiles reflect the machine, and
 //! `bench_check` gates those purely as p999/p50 shape ratios.
 
+// lint: allow(no-sleep) -- the open-loop dispatcher paces scheduled
+// arrivals by sleeping until each send instant; pausing here is the
+// arrival process itself, not hidden backpressure.
+
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 

@@ -385,6 +385,7 @@ impl EngineInner {
     /// Serves one frame through the cache (when enabled) or the full policy.
     /// `scratch` is the worker's reusable frame buffer: steady-state fits
     /// write intermediate candidate images into it instead of allocating.
+    // lint: hot-path
     fn serve(
         &self,
         frame: &GrayImage,
@@ -762,6 +763,7 @@ impl EngineInner {
     /// In open-loop mode, also feeds the traffic sketch and the rebuild
     /// triggers, and performs a due re-characterization on this worker
     /// (single-flight: concurrent workers keep serving off the old curve).
+    // lint: hot-path
     fn serve_timed(
         &self,
         index: usize,
@@ -814,6 +816,7 @@ impl EngineInner {
     /// rebuild time (never stored to zero), so fallbacks recorded by
     /// concurrent workers while the rebuild runs still count toward the
     /// next drift trigger.
+    // lint: cold-path
     fn maybe_recharacterize(&self, state: &OpenLoopState) {
         if state.rebuild_plan().is_none() || !state.begin_rebuild() {
             return;
@@ -1295,7 +1298,7 @@ impl Engine {
         let seed = RandomState::new().hash_one(u64::from_le_bytes(SNAPSHOT_MAGIC_SEED));
         let bytes = snapshot::encode(&record, cache.as_ref(), seed);
         writer
-            .write_all(&bytes)
+            .write_all(&bytes) // lint: allow(guard-across-fit) -- the snapshot gate exists to serialize whole-bank writes against concurrent restores; serves never take it, so holding it across the write blocks nothing on the serve path
             .map_err(|err| RuntimeError::Snapshot(SnapshotError::Io(err)))
     }
 

@@ -535,7 +535,7 @@ impl OpenLoopState {
         }
         if frames % self.recharacterize.sample_period == 0 {
             lock_healthy(self.sketches[class].lock(), || self.note_poison())
-                .push(histogram.clone());
+                .push(histogram.clone()); // lint: allow(hot-path-alloc) -- sampled once per sample_period frames; the sketch must own its copy beyond the serve
         }
     }
 

@@ -19,6 +19,37 @@ use hebs::runtime::{
 /// The seeded schedules every scenario is replayed under.
 const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 21, 34];
 
+/// Every `interleave::point` name in the runtime, in sorted order. The
+/// lint's yield-coverage pass cross-checks this manifest against the
+/// library source in both directions: a point missing here fails the
+/// lint (a seam with no schedule coverage), and an entry with no
+/// matching point fails too (a replay that stopped exercising anything).
+const COVERED_POINTS: [&str; 9] = [
+    "cache.get_after_wait",
+    "cache.insert_evict",
+    "flight.join",
+    "flight.release",
+    "flight.woke",
+    "openloop.begin_rebuild",
+    "openloop.swap",
+    "snapshot.restore",
+    "tenant.admit",
+];
+
+/// The manifest stays sorted and duplicate-free, so diffs against the
+/// lint's report are one-to-one.
+#[test]
+fn covered_points_manifest_is_sorted_and_unique() {
+    for pair in COVERED_POINTS.windows(2) {
+        assert!(
+            pair[0] < pair[1],
+            "COVERED_POINTS out of order or duplicated at `{}` / `{}`",
+            pair[0],
+            pair[1]
+        );
+    }
+}
+
 fn policy() -> hebs::core::HebsPolicy {
     hebs::core::HebsPolicy::closed_loop(hebs::core::PipelineConfig::default())
 }
